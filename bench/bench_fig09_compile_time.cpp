@@ -1,0 +1,94 @@
+// Fig. 9 — compiler scalability: compile time vs topology size (20–500
+// switches) for the three paper policies on (a) fat-trees and (b) random
+// networks.
+//
+//   MU = minimum utilization (no regexes, one metric)
+//   WP = waypointing (three regular expressions, one metric)
+//   CA = congestion-aware (non-isotonic, two metrics)
+//
+// Expected shape (paper): roughly linear in topology size, seconds at
+// hundreds of nodes; WP > CA > MU in cost.
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.h"
+#include "lang/parser.h"
+#include "topology/generators.h"
+
+namespace {
+
+using namespace contra;
+
+enum PolicyKind : int64_t { kMU = 0, kWP = 1, kCA = 2 };
+
+lang::Policy make_policy(PolicyKind kind, const topology::Topology& topo) {
+  switch (kind) {
+    case kMU:
+      return lang::parse_policy("minimize(path.util)");
+    case kWP: {
+      // Three regular expressions over three waypoints (paper's WP).
+      const std::string w0 = topo.name(0);
+      const std::string w1 = topo.name(1);
+      const std::string w2 = topo.name(2);
+      return lang::parse_policy("minimize(if .* " + w0 + " .* then (0, path.util) else if .* " +
+                                w1 + " .* then (1, path.util) else if .* " + w2 +
+                                " .* then (2, path.util) else inf)");
+    }
+    case kCA:
+      return lang::parse_policy(
+          "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))");
+  }
+  return lang::parse_policy("minimize(path.len)");
+}
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case kMU: return "MU";
+    case kWP: return "WP";
+    case kCA: return "CA";
+  }
+  return "?";
+}
+
+void BM_CompileFatTree(benchmark::State& state) {
+  const auto k = static_cast<uint32_t>(state.range(0));
+  const auto kind = static_cast<PolicyKind>(state.range(1));
+  const topology::Topology topo = topology::fat_tree(k);
+  const lang::Policy policy = make_policy(kind, topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::compile(policy, topo));
+  }
+  state.SetLabel(std::string(policy_name(kind)) + " @ " + std::to_string(topo.num_nodes()) +
+                 " switches");
+  state.counters["switches"] = topo.num_nodes();
+}
+
+void BM_CompileRandom(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const auto kind = static_cast<PolicyKind>(state.range(1));
+  const topology::Topology topo = topology::random_connected(n, 4.0, /*seed=*/7);
+  const lang::Policy policy = make_policy(kind, topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::compile(policy, topo));
+  }
+  state.SetLabel(std::string(policy_name(kind)) + " @ " + std::to_string(n) + " switches");
+  state.counters["switches"] = n;
+}
+
+void FatTreeArgs(benchmark::internal::Benchmark* bench) {
+  for (int64_t k : {4, 10, 14, 18, 20}) {  // 20..500 switches (paper x-axis)
+    for (int64_t policy : {kMU, kWP, kCA}) bench->Args({k, policy});
+  }
+}
+
+void RandomArgs(benchmark::internal::Benchmark* bench) {
+  for (int64_t n : {100, 200, 300, 400, 500}) {
+    for (int64_t policy : {kMU, kWP, kCA}) bench->Args({n, policy});
+  }
+}
+
+BENCHMARK(BM_CompileFatTree)->Apply(FatTreeArgs)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_CompileRandom)->Apply(RandomArgs)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Fig. 10 — switch state (kB) of the generated programs vs topology size,
+// for MU / WP / CA on fat-trees and random networks.
+//
+// Expected shape (paper): WP and CA above MU (tags and extra pids), all
+// well under ~100 kB at 500 switches — a tiny fraction of switch SRAM.
+#include <cstdio>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "lang/parser.h"
+#include "metrics/timeline.h"
+#include "topology/generators.h"
+
+namespace {
+
+using namespace contra;
+
+lang::Policy make_policy(const std::string& kind, const topology::Topology& topo) {
+  if (kind == "MU") return lang::parse_policy("minimize(path.util)");
+  if (kind == "WP") {
+    const std::string w0 = topo.name(0);
+    const std::string w1 = topo.name(1);
+    const std::string w2 = topo.name(2);
+    return lang::parse_policy("minimize(if .* " + w0 + " .* then (0, path.util) else if .* " +
+                              w1 + " .* then (1, path.util) else if .* " + w2 +
+                              " .* then (2, path.util) else inf)");
+  }
+  return lang::parse_policy(
+      "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))");
+}
+
+void sweep(const char* family, const std::vector<topology::Topology>& topologies) {
+  metrics::Table table({"topology", "switches", "MU (kB)", "WP (kB)", "CA (kB)"});
+  for (const topology::Topology& topo : topologies) {
+    std::vector<std::string> row{family, std::to_string(topo.num_nodes())};
+    for (const char* kind : {"MU", "WP", "CA"}) {
+      const compiler::CompileResult result = compiler::compile(make_policy(kind, topo), topo);
+      row.push_back(metrics::Table::num(result.max_switch_state_bytes() / 1024.0, "%.1f"));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 10 — per-switch state of generated programs (max over switches)\n\n");
+  std::printf("(a) fat-tree topologies\n");
+  std::vector<topology::Topology> fat_trees;
+  for (uint32_t k : {4, 10, 14, 18, 20}) fat_trees.push_back(topology::fat_tree(k));
+  sweep("fat-tree", fat_trees);
+
+  std::printf("(b) random networks (avg degree 4)\n");
+  std::vector<topology::Topology> randoms;
+  for (uint32_t n : {100, 200, 300, 400, 500}) {
+    randoms.push_back(topology::random_connected(n, 4.0, 7));
+  }
+  sweep("random", randoms);
+
+  std::printf("Expected shape: linear growth; WP/CA above MU; << switch SRAM (tens of MB).\n");
+  return 0;
+}

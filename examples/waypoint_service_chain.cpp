@@ -1,0 +1,78 @@
+// Waypoint routing / service chaining (policies P5-P6): all traffic must
+// traverse a firewall switch, while still load-balancing on utilization
+// among the policy-compliant paths. Shows that packets never bypass the
+// waypoint even as path preferences shift with load, and that destinations
+// unreachable through the waypoint get no route at all (rank ∞).
+//
+// Build & run:  ./build/examples/waypoint_service_chain
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "dataplane/contra_switch.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "sim/transport.h"
+#include "topology/parser.h"
+
+using namespace contra;
+
+int main() {
+  // A small ISP-ish topology with a firewall (FW) on some paths only.
+  //          S1 ---- R1 ---- R2 ---- D1
+  //            \      |       |    /
+  //             \     FW ---- R3 -
+  const topology::Topology topo = topology::parse_topology(R"(
+    link S1 R1 1 1
+    link S1 FW 1 1
+    link R1 R2 1 1
+    link R1 FW 1 1
+    link FW R3 1 1
+    link R2 R3 1 1
+    link R2 D1 1 1
+    link R3 D1 1 1
+  )");
+
+  const lang::Policy policy =
+      lang::parse_policy("minimize(if .* FW .* then path.util else inf)");
+  std::printf("Policy (P5 waypoint): %s\n", lang::to_string(policy).c_str());
+
+  const compiler::CompileResult compiled = compiler::compile(policy, topo);
+  std::printf("Compiled: %s\n", compiled.summary().c_str());
+
+  sim::SimConfig config;
+  config.host_link_bps = 1e9;
+  sim::Simulator sim(topo, config);
+  const sim::HostId sender = sim.add_host(topo.find("S1"));
+  const sim::HostId receiver = sim.add_host(topo.find("D1"));
+
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+  auto switches = dataplane::install_contra_network(sim, compiled, evaluator);
+  sim::TransportManager transport(sim);
+
+  sim.start();
+  sim.run_until(5e-3);  // converge
+
+  const topology::NodeId s1 = topo.find("S1");
+  const topology::NodeId d1 = topo.find("D1");
+  const auto best = switches[s1]->best_choice(d1, sim.now());
+  if (!best) {
+    std::printf("no policy-compliant route (unexpected here)\n");
+    return 1;
+  }
+  std::printf("S1 -> D1 first hop: %s (must lead through FW)\n",
+              topo.name(topo.link(best->nhop).to).c_str());
+
+  transport.start_flow(sender, receiver, 200'000, sim.now());
+  sim.run_until(sim.now() + 50e-3);
+
+  // The firewall must have carried every data packet S1 sent.
+  const auto& fw_stats = switches[topo.find("FW")]->stats();
+  const auto& s1_stats = switches[s1]->stats();
+  std::printf("packets forwarded by S1: %llu, by FW: %llu\n",
+              static_cast<unsigned long long>(s1_stats.data_forwarded),
+              static_cast<unsigned long long>(fw_stats.data_forwarded));
+  std::printf("flows completed: %zu\n", transport.completed_flows().size());
+  std::printf("waypoint invariant %s\n",
+              fw_stats.data_forwarded >= s1_stats.data_forwarded ? "HELD" : "VIOLATED");
+  return 0;
+}

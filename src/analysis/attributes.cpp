@@ -1,0 +1,29 @@
+#include "analysis/attributes.h"
+
+#include <algorithm>
+
+namespace contra::analysis {
+
+Combinator attr_combinator(lang::PathAttr attr) {
+  switch (attr) {
+    case lang::PathAttr::kUtil: return Combinator::kMax;
+    case lang::PathAttr::kLat: return Combinator::kAdd;
+    case lang::PathAttr::kLen: return Combinator::kAdd;
+  }
+  return Combinator::kAdd;
+}
+
+lang::PathAttributes extend(const lang::PathAttributes& attrs, const lang::LinkMetrics& link) {
+  lang::PathAttributes out = attrs;
+  out.util = std::max(out.util, link.util);
+  out.lat += link.lat;
+  out.len += 1.0;
+  return out;
+}
+
+lang::Rank evaluate_metric(const lang::ExprPtr& expr, const lang::PathAttributes& attrs) {
+  static const std::vector<std::string> kNoNodes;
+  return lang::evaluate_expr(expr, kNoNodes, attrs);
+}
+
+}  // namespace contra::analysis

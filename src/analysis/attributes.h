@@ -1,0 +1,23 @@
+// The metric algebra: how each path attribute extends when a path grows by
+// one link. `util` is a bottleneck metric (combines by max); `lat` and `len`
+// are additive. Monotonicity and isotonicity are properties of policy
+// expressions *with respect to this algebra*.
+#pragma once
+
+#include "lang/ast.h"
+#include "lang/eval.h"
+
+namespace contra::analysis {
+
+enum class Combinator { kAdd, kMax };
+
+Combinator attr_combinator(lang::PathAttr attr);
+
+/// Extends aggregated path attributes with one more link (in either probe or
+/// traffic direction — the algebra is symmetric).
+lang::PathAttributes extend(const lang::PathAttributes& attrs, const lang::LinkMetrics& link);
+
+/// Evaluates a test-free expression on attributes alone (no path shape).
+lang::Rank evaluate_metric(const lang::ExprPtr& expr, const lang::PathAttributes& attrs);
+
+}  // namespace contra::analysis

@@ -1,0 +1,303 @@
+#include "analysis/decompose.h"
+
+#include <algorithm>
+
+#include "lang/printer.h"
+#include "lang/rank.h"
+
+namespace contra::analysis {
+
+using lang::BinOp;
+using lang::BoolTest;
+using lang::Expr;
+using lang::ExprPtr;
+using lang::PathAttr;
+using lang::Policy;
+using lang::TestPtr;
+
+namespace {
+
+bool test_equal(const TestPtr& a, const TestPtr& b);
+
+bool expr_equal_impl(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case Expr::Kind::kConst:
+      return a->value == b->value;
+    case Expr::Kind::kInfinity:
+      return true;
+    case Expr::Kind::kAttr:
+      return a->attr == b->attr;
+    case Expr::Kind::kBinOp:
+      return a->op == b->op && expr_equal_impl(a->lhs, b->lhs) && expr_equal_impl(a->rhs, b->rhs);
+    case Expr::Kind::kIf:
+      return test_equal(a->cond, b->cond) && expr_equal_impl(a->then_branch, b->then_branch) &&
+             expr_equal_impl(a->else_branch, b->else_branch);
+    case Expr::Kind::kTuple: {
+      if (a->elems.size() != b->elems.size()) return false;
+      for (size_t i = 0; i < a->elems.size(); ++i) {
+        if (!expr_equal_impl(a->elems[i], b->elems[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool test_equal(const TestPtr& a, const TestPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case BoolTest::Kind::kRegex:
+      return lang::Regex::equal(*a->regex, *b->regex);
+    case BoolTest::Kind::kCompare:
+      return a->cmp == b->cmp && expr_equal_impl(a->cmp_lhs, b->cmp_lhs) &&
+             expr_equal_impl(a->cmp_rhs, b->cmp_rhs);
+    case BoolTest::Kind::kNot:
+      return test_equal(a->left, b->left);
+    case BoolTest::Kind::kOr:
+    case BoolTest::Kind::kAnd:
+      return test_equal(a->left, b->left) && test_equal(a->right, b->right);
+  }
+  return false;
+}
+
+void collect_atoms_test(const TestPtr& t, std::vector<TestPtr>& atoms);
+
+void collect_atoms_expr(const ExprPtr& e, std::vector<TestPtr>& atoms) {
+  if (!e) return;
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+    case Expr::Kind::kAttr:
+      return;
+    case Expr::Kind::kBinOp:
+      collect_atoms_expr(e->lhs, atoms);
+      collect_atoms_expr(e->rhs, atoms);
+      return;
+    case Expr::Kind::kIf:
+      collect_atoms_test(e->cond, atoms);
+      collect_atoms_expr(e->then_branch, atoms);
+      collect_atoms_expr(e->else_branch, atoms);
+      return;
+    case Expr::Kind::kTuple:
+      for (const auto& el : e->elems) collect_atoms_expr(el, atoms);
+      return;
+  }
+}
+
+void collect_atoms_test(const TestPtr& t, std::vector<TestPtr>& atoms) {
+  if (!t) return;
+  switch (t->kind) {
+    case BoolTest::Kind::kRegex:
+    case BoolTest::Kind::kCompare: {
+      for (const auto& existing : atoms) {
+        if (test_equal(existing, t)) return;
+      }
+      atoms.push_back(t);
+      return;
+    }
+    case BoolTest::Kind::kNot:
+      collect_atoms_test(t->left, atoms);
+      return;
+    case BoolTest::Kind::kOr:
+    case BoolTest::Kind::kAnd:
+      collect_atoms_test(t->left, atoms);
+      collect_atoms_test(t->right, atoms);
+      return;
+  }
+}
+
+bool resolve_test(const TestPtr& t, const std::vector<TestPtr>& atoms,
+                  const std::vector<bool>& assignment) {
+  switch (t->kind) {
+    case BoolTest::Kind::kRegex:
+    case BoolTest::Kind::kCompare: {
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (test_equal(atoms[i], t)) return assignment[i];
+      }
+      throw DecomposeError("atomic test not found in assignment");
+    }
+    case BoolTest::Kind::kNot:
+      return !resolve_test(t->left, atoms, assignment);
+    case BoolTest::Kind::kOr:
+      return resolve_test(t->left, atoms, assignment) ||
+             resolve_test(t->right, atoms, assignment);
+    case BoolTest::Kind::kAnd:
+      return resolve_test(t->left, atoms, assignment) &&
+             resolve_test(t->right, atoms, assignment);
+  }
+  return false;
+}
+
+bool is_const(const ExprPtr& e) { return e->kind == Expr::Kind::kConst; }
+bool is_inf(const ExprPtr& e) { return e->kind == Expr::Kind::kInfinity; }
+
+}  // namespace
+
+std::vector<TestPtr> collect_atomic_tests(const Policy& policy) {
+  std::vector<TestPtr> atoms;
+  collect_atoms_expr(policy.objective, atoms);
+  return atoms;
+}
+
+ExprPtr resolve_tests(const ExprPtr& e, const std::vector<TestPtr>& atoms,
+                      const std::vector<bool>& assignment) {
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+    case Expr::Kind::kAttr:
+      return e;
+    case Expr::Kind::kBinOp:
+      return Expr::binop(e->op, resolve_tests(e->lhs, atoms, assignment),
+                         resolve_tests(e->rhs, atoms, assignment));
+    case Expr::Kind::kIf:
+      return resolve_test(e->cond, atoms, assignment)
+                 ? resolve_tests(e->then_branch, atoms, assignment)
+                 : resolve_tests(e->else_branch, atoms, assignment);
+    case Expr::Kind::kTuple: {
+      std::vector<ExprPtr> elems;
+      elems.reserve(e->elems.size());
+      for (const auto& el : e->elems) elems.push_back(resolve_tests(el, atoms, assignment));
+      return Expr::tuple(std::move(elems));
+    }
+  }
+  return e;
+}
+
+ExprPtr normalize_metric(const ExprPtr& e) {
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+    case Expr::Kind::kAttr:
+      return e;
+    case Expr::Kind::kBinOp: {
+      ExprPtr l = normalize_metric(e->lhs);
+      ExprPtr r = normalize_metric(e->rhs);
+      // ∞ absorbs + and -.
+      if ((e->op == BinOp::kAdd || e->op == BinOp::kSub) && (is_inf(l) || is_inf(r))) {
+        return Expr::infinity();
+      }
+      if (is_const(l) && is_const(r)) {  // constant folding
+        const lang::Rank a = lang::Rank::scalar(l->value);
+        const lang::Rank b = lang::Rank::scalar(r->value);
+        lang::Rank result;
+        switch (e->op) {
+          case BinOp::kAdd: result = lang::Rank::add(a, b); break;
+          case BinOp::kSub: result = lang::Rank::sub(a, b); break;
+          case BinOp::kMin: result = lang::Rank::min(a, b); break;
+          case BinOp::kMax: result = lang::Rank::max(a, b); break;
+        }
+        return Expr::constant(result.scalar_value());
+      }
+      // A constant addend shifts every candidate path equally — drop it from
+      // the propagation objective (it still appears in the original policy
+      // used for the final s() ranking).
+      if (e->op == BinOp::kAdd) {
+        if (is_const(l)) return r;
+        if (is_const(r)) return l;
+      }
+      if (e->op == BinOp::kSub && is_const(r)) return l;
+      if (e->op == BinOp::kMin) {
+        if (is_inf(l)) return r;
+        if (is_inf(r)) return l;
+      }
+      if (e->op == BinOp::kMax) {
+        if (is_inf(l) || is_inf(r)) return Expr::infinity();
+      }
+      return Expr::binop(e->op, std::move(l), std::move(r));
+    }
+    case Expr::Kind::kIf:
+      throw DecomposeError("normalize_metric expects a test-free expression");
+    case Expr::Kind::kTuple: {
+      // Flatten nested tuples; an ∞ component forbids the whole path; drop
+      // constant components (equal across all candidates of this pid).
+      std::vector<ExprPtr> elems;
+      for (const auto& raw : e->elems) {
+        ExprPtr el = normalize_metric(raw);
+        if (is_inf(el)) return Expr::infinity();
+        if (is_const(el)) continue;
+        if (el->kind == Expr::Kind::kTuple) {
+          elems.insert(elems.end(), el->elems.begin(), el->elems.end());
+        } else {
+          elems.push_back(std::move(el));
+        }
+      }
+      if (elems.empty()) return Expr::constant(0.0);
+      if (elems.size() == 1) return elems[0];
+      return Expr::tuple(std::move(elems));
+    }
+  }
+  return e;
+}
+
+bool expr_equal(const ExprPtr& a, const ExprPtr& b) { return expr_equal_impl(a, b); }
+
+bool is_constant_metric(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kConst || e->kind == Expr::Kind::kInfinity;
+}
+
+bool is_infinite_metric(const ExprPtr& e) { return e->kind == Expr::Kind::kInfinity; }
+
+Decomposition decompose(const Policy& policy) {
+  const std::vector<TestPtr> atoms = collect_atomic_tests(policy);
+  if (atoms.size() > 16) {
+    throw DecomposeError("policy has " + std::to_string(atoms.size()) +
+                         " atomic tests; decomposition enumerates at most 2^16 assignments");
+  }
+
+  Decomposition out;
+  out.original = policy;
+  out.atomic_test_count = atoms.size();
+
+  const size_t num_assignments = size_t{1} << atoms.size();
+  for (size_t mask = 0; mask < num_assignments; ++mask) {
+    std::vector<bool> assignment(atoms.size());
+    for (size_t i = 0; i < atoms.size(); ++i) assignment[i] = (mask >> i) & 1;
+
+    ExprPtr user_branch = normalize_metric(resolve_tests(policy.objective, atoms, assignment));
+    if (is_infinite_metric(user_branch)) continue;  // forbidden: no probe needed
+    if (is_constant_metric(user_branch)) continue;  // piggybacks on any other pid
+
+    // Append the path-length tie-break unless length already participates.
+    ExprPtr branch = user_branch;
+    if (!lang::expr_uses_attr(branch, PathAttr::kLen)) {
+      branch = normalize_metric(Expr::tuple({branch, Expr::attribute(PathAttr::kLen)}));
+    }
+
+    bool duplicate = false;
+    for (const Subpolicy& existing : out.subpolicies) {
+      if (expr_equal(existing.objective, branch)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      out.subpolicies.push_back(
+          Subpolicy{branch, std::move(user_branch), lang::to_string(branch)});
+    }
+  }
+
+  // A fully static policy (every branch constant or ∞) still needs one probe
+  // to discover reachability; shortest-path is the canonical tie-break.
+  if (out.subpolicies.empty()) {
+    ExprPtr len = Expr::attribute(PathAttr::kLen);
+    out.subpolicies.push_back(Subpolicy{len, len, "path.len (reachability probe)"});
+  }
+
+  // Metrics vector layout: every attribute the original policy mentions plus
+  // len (the tie-break), in canonical order util < lat < len.
+  std::vector<PathAttr> attrs = lang::collect_attrs(policy);
+  if (std::find(attrs.begin(), attrs.end(), PathAttr::kLen) == attrs.end()) {
+    attrs.push_back(PathAttr::kLen);
+  }
+  std::sort(attrs.begin(), attrs.end(),
+            [](PathAttr a, PathAttr b) { return static_cast<int>(a) < static_cast<int>(b); });
+  out.attrs = std::move(attrs);
+  return out;
+}
+
+}  // namespace contra::analysis

@@ -1,0 +1,89 @@
+// Decomposition of policies into isotonic subpolicies (paper §3 challenge 3,
+// §4 "Solution", Appendix A).
+//
+// A policy's boolean tests come in two flavors: *regex* tests (resolved by
+// the product-graph tag once the full path is known) and *dynamic* tests
+// (resolved by the metrics the probe collected). Either kind makes the naive
+// best-probe-wins propagation lose optimal paths: the winning branch of a
+// conditional is not known mid-path, so a single "best" probe per (dst, tag)
+// can discard the path that a different branch would have preferred.
+//
+// The fix: enumerate assignments of the atomic tests. Every assignment
+// resolves the policy to a test-free metric expression; structurally distinct
+// expressions become separate *subpolicies*, each carried by its own probe id
+// (pid) and minimized independently (each is isotonic on its own). Sources
+// recombine by evaluating the *original* policy on every (tag, pid) candidate
+// — each candidate is a real path whose true rank is computable from its tag
+// (regex acceptance) and metrics — and pick the minimum (the paper's s()).
+//
+// Compiler optimizations implemented here, mirroring §6.1:
+//  * branches that resolve to ∞ need no probe (forbidden paths);
+//  * constant-only branches piggyback on any other pid (Fig. 6e: "a static
+//    analysis has determined that only one probe is needed");
+//  * constant offsets and constant tuple components are dropped from the
+//    propagation objective (they shift all candidates equally);
+//  * `path.len` is appended as a final tie-break component, which both makes
+//    probe propagation strictly improving (termination) and prefers shorter
+//    paths among policy-equal ones.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace contra::analysis {
+
+/// One isotonic subpolicy: a test-free objective used as the probe
+/// comparison function f(pid, mv).
+struct Subpolicy {
+  lang::ExprPtr objective;      ///< propagation objective: normalized + len tie-break
+  lang::ExprPtr user_objective; ///< the branch as the user wrote it (normalized only);
+                                ///< analyses judge this, not the tie-break
+  std::string description;      ///< human-readable, for diagnostics
+};
+
+struct Decomposition {
+  lang::Policy original;             ///< evaluated at sources (the s() rank)
+  std::vector<Subpolicy> subpolicies;///< index == pid
+  std::vector<lang::PathAttr> attrs; ///< metrics vector layout carried by probes
+  size_t atomic_test_count = 0;      ///< enumerated assignment dimensions
+};
+
+/// Thrown when a policy has too many atomic tests to enumerate (>16) or is
+/// otherwise malformed for decomposition.
+class DecomposeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Decomposition decompose(const lang::Policy& policy);
+
+// --- building blocks shared with the other analyses -----------------------
+
+/// Atomic tests (regex or comparison leaves) in first-appearance order.
+std::vector<lang::TestPtr> collect_atomic_tests(const lang::Policy& policy);
+
+/// Partially evaluates an expression under an assignment of atomic tests
+/// (index into the collect_atomic_tests order -> bool). The result contains
+/// no If/tests.
+lang::ExprPtr resolve_tests(const lang::ExprPtr& expr,
+                            const std::vector<lang::TestPtr>& atoms,
+                            const std::vector<bool>& assignment);
+
+/// Constant folding + tuple flattening + dropping of order-irrelevant
+/// constants (constant tuple components, constant addends).
+lang::ExprPtr normalize_metric(const lang::ExprPtr& expr);
+
+/// Structural equality after normalization.
+bool expr_equal(const lang::ExprPtr& a, const lang::ExprPtr& b);
+
+/// True if the normalized expression is a constant (incl. ∞) — it induces no
+/// ordering among paths.
+bool is_constant_metric(const lang::ExprPtr& expr);
+
+/// True if the expression is exactly ∞.
+bool is_infinite_metric(const lang::ExprPtr& expr);
+
+}  // namespace contra::analysis

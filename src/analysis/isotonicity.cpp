@@ -1,0 +1,142 @@
+#include "analysis/isotonicity.h"
+
+#include <sstream>
+
+#include "analysis/attributes.h"
+#include "util/rng.h"
+
+namespace contra::analysis {
+
+using lang::Expr;
+using lang::ExprPtr;
+using lang::PathAttr;
+
+namespace {
+
+/// Is this a single attribute or constant (the atomic isotonic shapes)?
+bool is_atomic(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kAttr || e->kind == Expr::Kind::kConst ||
+         e->kind == Expr::Kind::kInfinity;
+}
+
+bool is_bottleneck(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kAttr && attr_combinator(e->attr) == Combinator::kMax;
+}
+
+/// Additive trees of additive attributes/constants are isotonic (strictly
+/// order-preserving under extension).
+bool is_additive_tree(const ExprPtr& e) {
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+      return true;
+    case Expr::Kind::kAttr:
+      return attr_combinator(e->attr) == Combinator::kAdd;
+    case Expr::Kind::kBinOp:
+      return e->op == lang::BinOp::kAdd && is_additive_tree(e->lhs) && is_additive_tree(e->rhs);
+    default:
+      return false;
+  }
+}
+
+lang::PathAttributes random_attrs(util::Rng& rng) {
+  lang::PathAttributes a;
+  a.util = rng.uniform();
+  a.lat = rng.uniform() * 10.0;
+  a.len = static_cast<double>(rng.uniform_int(0, 12));
+  return a;
+}
+
+}  // namespace
+
+bool metric_is_isotonic_structural(const ExprPtr& expr) {
+  // Atomic metrics are isotonic: additive attributes preserve strict order;
+  // bottleneck attributes preserve weak order (max with a common value).
+  if (is_atomic(expr) || is_additive_tree(expr)) return true;
+  if (expr->kind == Expr::Kind::kTuple) {
+    // Lexicographic list: every component before the last must preserve
+    // strict order (additive); a bottleneck component is only safe in the
+    // final position (a collapse to a tie there has nothing left to flip).
+    for (size_t i = 0; i < expr->elems.size(); ++i) {
+      const ExprPtr& el = expr->elems[i];
+      const bool last = i + 1 == expr->elems.size();
+      if (last) {
+        if (!is_atomic(el) && !is_additive_tree(el)) return false;
+      } else {
+        if (!is_additive_tree(el) && el->kind != Expr::Kind::kConst) return false;
+        if (is_bottleneck(el)) return false;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+std::optional<IsotonicityCounterexample> sample_isotonicity_violation(const ExprPtr& expr,
+                                                                      uint64_t seed,
+                                                                      int samples) {
+  util::Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const lang::PathAttributes p1 = random_attrs(rng);
+    const lang::PathAttributes p2 = random_attrs(rng);
+    const lang::LinkMetrics link{.util = rng.uniform(), .lat = rng.uniform() * 2.0};
+    const lang::Rank r1 = evaluate_metric(expr, p1);
+    const lang::Rank r2 = evaluate_metric(expr, p2);
+    if (!(r1 <= r2)) continue;
+    const lang::Rank e1 = evaluate_metric(expr, extend(p1, link));
+    const lang::Rank e2 = evaluate_metric(expr, extend(p2, link));
+    if (!(e1 <= e2)) {
+      return IsotonicityCounterexample{.path1 = p1, .path2 = p2, .extension = link};
+    }
+  }
+  return std::nullopt;
+}
+
+IsotonicityReport check_isotonicity(const Decomposition& decomposition, uint64_t seed,
+                                    int samples) {
+  IsotonicityReport report;
+  report.num_subpolicies = decomposition.subpolicies.size();
+  if (decomposition.subpolicies.size() > 1) {
+    report.classification = IsotonicityClass::kDecomposed;
+    return report;
+  }
+  const ExprPtr& objective = decomposition.subpolicies[0].user_objective;
+  if (metric_is_isotonic_structural(objective)) {
+    report.classification = IsotonicityClass::kIsotonic;
+    return report;
+  }
+  auto violation = sample_isotonicity_violation(objective, seed, samples);
+  if (violation) {
+    report.classification = IsotonicityClass::kWeaklyNonIsotonic;
+    report.counterexample = std::move(violation);
+  } else {
+    report.classification = IsotonicityClass::kIsotonic;
+  }
+  return report;
+}
+
+IsotonicityReport check_isotonicity(const lang::Policy& policy, uint64_t seed, int samples) {
+  return check_isotonicity(decompose(policy), seed, samples);
+}
+
+const char* isotonicity_class_name(IsotonicityClass c) {
+  switch (c) {
+    case IsotonicityClass::kIsotonic: return "isotonic";
+    case IsotonicityClass::kDecomposed: return "non-isotonic (decomposed)";
+    case IsotonicityClass::kWeaklyNonIsotonic: return "weakly non-isotonic";
+  }
+  return "?";
+}
+
+std::string IsotonicityReport::to_string() const {
+  std::ostringstream out;
+  out << isotonicity_class_name(classification) << ", " << num_subpolicies << " subpolicies";
+  if (counterexample) {
+    out << " (counterexample: p1{util=" << counterexample->path1.util
+        << ",len=" << counterexample->path1.len << "} vs p2{util=" << counterexample->path2.util
+        << ",len=" << counterexample->path2.len
+        << "} flips after link util=" << counterexample->extension.util << ")";
+  }
+  return out.str();
+}
+
+}  // namespace contra::analysis

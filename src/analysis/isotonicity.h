@@ -1,0 +1,64 @@
+// Isotonicity analysis (paper §2, §3 challenge 3; Griffin & Sobrinho's
+// metarouting property).
+//
+// A metric is isotonic when extension preserves preference: if path p1 is
+// ranked no worse than p2 at some node, then e⊕p1 is ranked no worse than
+// e⊕p2 after both are extended by the same link e. Isotonicity is what makes
+// it safe for a switch to discard all but the best probe per (dst, tag, pid).
+//
+// Classification of a full policy:
+//   kIsotonic      — single subpolicy, provably/empirically isotonic; one
+//                    probe id suffices.
+//   kDecomposed    — the policy itself is non-isotonic (conditional branches
+//                    rank differently), but decomposition produced multiple
+//                    isotonic subpolicies (e.g. P9 / "CA").
+//   kWeaklyNonIsotonic — a single subpolicy with sampled isotonicity
+//                    violations (e.g. a bottleneck component followed by a
+//                    tie-break, as in P3 (path.util, path.len)): compiled
+//                    with one probe; convergence is to a good, possibly
+//                    non-optimal path. Reported so operators can re-order
+//                    components.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/decompose.h"
+#include "lang/ast.h"
+#include "lang/eval.h"
+
+namespace contra::analysis {
+
+enum class IsotonicityClass { kIsotonic, kDecomposed, kWeaklyNonIsotonic };
+
+const char* isotonicity_class_name(IsotonicityClass c);
+
+struct IsotonicityCounterexample {
+  lang::PathAttributes path1;
+  lang::PathAttributes path2;
+  lang::LinkMetrics extension;
+};
+
+struct IsotonicityReport {
+  IsotonicityClass classification = IsotonicityClass::kIsotonic;
+  size_t num_subpolicies = 1;
+  std::optional<IsotonicityCounterexample> counterexample;  ///< weakly-non-isotonic only
+
+  std::string to_string() const;
+};
+
+/// Structural sufficient condition for one metric expression: a lexicographic
+/// list whose bottleneck (max-combined) components appear only in the last
+/// position is isotonic.
+bool metric_is_isotonic_structural(const lang::ExprPtr& expr);
+
+/// Randomized check: find p1 <= p2 whose order flips after a common extension.
+std::optional<IsotonicityCounterexample> sample_isotonicity_violation(
+    const lang::ExprPtr& expr, uint64_t seed, int samples);
+
+IsotonicityReport check_isotonicity(const lang::Policy& policy, uint64_t seed = 11,
+                                    int samples = 4000);
+IsotonicityReport check_isotonicity(const Decomposition& decomposition, uint64_t seed = 11,
+                                    int samples = 4000);
+
+}  // namespace contra::analysis

@@ -1,0 +1,151 @@
+#include "analysis/monotonicity.h"
+
+#include <sstream>
+
+#include "analysis/attributes.h"
+#include "util/rng.h"
+
+namespace contra::analysis {
+
+using lang::Expr;
+using lang::ExprPtr;
+
+namespace {
+
+/// Direction lattice for the structural pass.
+enum class Trend { kConstant, kNonDecreasing, kNonIncreasing, kUnknown };
+
+Trend combine_add(Trend a, Trend b) {
+  if (a == Trend::kConstant) return b;
+  if (b == Trend::kConstant) return a;
+  if (a == b) return a;
+  return Trend::kUnknown;
+}
+
+Trend negate(Trend t) {
+  switch (t) {
+    case Trend::kConstant: return Trend::kConstant;
+    case Trend::kNonDecreasing: return Trend::kNonIncreasing;
+    case Trend::kNonIncreasing: return Trend::kNonDecreasing;
+    case Trend::kUnknown: return Trend::kUnknown;
+  }
+  return Trend::kUnknown;
+}
+
+Trend trend_of(const ExprPtr& e) {
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+      return Trend::kConstant;
+    case Expr::Kind::kAttr:
+      // Every attribute is non-decreasing under extension: util by max,
+      // lat/len by adding non-negative amounts.
+      return Trend::kNonDecreasing;
+    case Expr::Kind::kBinOp: {
+      const Trend l = trend_of(e->lhs);
+      const Trend r = trend_of(e->rhs);
+      switch (e->op) {
+        case lang::BinOp::kAdd:
+          return combine_add(l, r);
+        case lang::BinOp::kSub:
+          return combine_add(l, negate(r));
+        case lang::BinOp::kMin:
+        case lang::BinOp::kMax:
+          return combine_add(l, r) == Trend::kUnknown ? Trend::kUnknown : combine_add(l, r);
+      }
+      return Trend::kUnknown;
+    }
+    case Expr::Kind::kIf:
+      return Trend::kUnknown;  // handled by decomposition first
+    case Expr::Kind::kTuple: {
+      Trend acc = Trend::kConstant;
+      for (const auto& el : e->elems) {
+        const Trend t = trend_of(el);
+        if (t == Trend::kUnknown || t == Trend::kNonIncreasing) return Trend::kUnknown;
+        if (t == Trend::kNonDecreasing) acc = Trend::kNonDecreasing;
+      }
+      return acc;
+    }
+  }
+  return Trend::kUnknown;
+}
+
+lang::PathAttributes random_attrs(util::Rng& rng) {
+  lang::PathAttributes a;
+  a.util = rng.uniform();
+  a.lat = rng.uniform() * 10.0;
+  a.len = static_cast<double>(rng.uniform_int(0, 12));
+  return a;
+}
+
+lang::LinkMetrics random_link(util::Rng& rng) {
+  return lang::LinkMetrics{.util = rng.uniform(), .lat = rng.uniform() * 2.0};
+}
+
+}  // namespace
+
+bool metric_is_monotonic_structural(const ExprPtr& expr) {
+  const Trend t = trend_of(expr);
+  return t == Trend::kConstant || t == Trend::kNonDecreasing;
+}
+
+std::optional<MonotonicityCounterexample> sample_monotonicity_violation(const ExprPtr& expr,
+                                                                        uint64_t seed,
+                                                                        int samples) {
+  util::Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const lang::PathAttributes base = random_attrs(rng);
+    const lang::LinkMetrics link = random_link(rng);
+    const lang::PathAttributes extended = extend(base, link);
+    const lang::Rank before = evaluate_metric(expr, base);
+    const lang::Rank after = evaluate_metric(expr, extended);
+    if (after < before) {
+      return MonotonicityCounterexample{
+          .base = base,
+          .extension = link,
+          .base_rank = before.to_string(),
+          .extended_rank = after.to_string(),
+      };
+    }
+  }
+  return std::nullopt;
+}
+
+MonotonicityReport check_monotonicity(const Decomposition& decomposition, uint64_t seed,
+                                      int samples) {
+  MonotonicityReport report;
+  for (size_t pid = 0; pid < decomposition.subpolicies.size(); ++pid) {
+    const ExprPtr& objective = decomposition.subpolicies[pid].objective;
+    if (metric_is_monotonic_structural(objective)) continue;
+    auto violation = sample_monotonicity_violation(objective, seed, samples);
+    if (violation) {
+      report.monotonic = false;
+      report.violating_pid = pid;
+      report.counterexample = std::move(violation);
+      return report;
+    }
+    // Structurally unknown but no sampled violation: treat as monotonic
+    // (randomized soundness); the structural pass covers all paper policies.
+  }
+  return report;
+}
+
+MonotonicityReport check_monotonicity(const lang::Policy& policy, uint64_t seed, int samples) {
+  return check_monotonicity(decompose(policy), seed, samples);
+}
+
+std::string MonotonicityReport::to_string() const {
+  if (monotonic) return "monotonic";
+  std::ostringstream out;
+  out << "non-monotonic (pid " << violating_pid << ")";
+  if (counterexample) {
+    out << ": rank " << counterexample->base_rank << " -> " << counterexample->extended_rank
+        << " after extending {util=" << counterexample->base.util
+        << ", lat=" << counterexample->base.lat << ", len=" << counterexample->base.len
+        << "} with link {util=" << counterexample->extension.util
+        << ", lat=" << counterexample->extension.lat << "}";
+  }
+  return out.str();
+}
+
+}  // namespace contra::analysis

@@ -1,0 +1,53 @@
+// Monotonicity analysis (paper §2 "Advanced policy analysis", §5.1).
+//
+// A policy is monotonic when a path's rank never improves as the path is
+// extended — the property that makes probe propagation terminate (a probe
+// circling a loop strictly worsens, so it stops beating the stored entry)
+// and that versioned probes rely on for loop mitigation.
+//
+// The check runs per decomposed subpolicy (the propagation objectives) and
+// combines a structural pass (sound for the common shapes) with a randomized
+// semantic check over the metric algebra (catches everything else with high
+// probability, e.g. subtraction of attributes).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/decompose.h"
+#include "lang/ast.h"
+#include "lang/eval.h"
+
+namespace contra::analysis {
+
+struct MonotonicityCounterexample {
+  lang::PathAttributes base;
+  lang::LinkMetrics extension;
+  std::string base_rank;
+  std::string extended_rank;
+};
+
+struct MonotonicityReport {
+  bool monotonic = true;
+  /// Which subpolicy (pid) violated, if any.
+  size_t violating_pid = 0;
+  std::optional<MonotonicityCounterexample> counterexample;
+
+  std::string to_string() const;
+};
+
+/// Checks a single test-free metric expression.
+bool metric_is_monotonic_structural(const lang::ExprPtr& expr);
+
+/// Randomized semantic check of one metric expression. Returns a
+/// counterexample if rank(extend(attrs, link)) < rank(attrs) for any sample.
+std::optional<MonotonicityCounterexample> sample_monotonicity_violation(
+    const lang::ExprPtr& expr, uint64_t seed, int samples);
+
+/// Full policy check via decomposition.
+MonotonicityReport check_monotonicity(const lang::Policy& policy, uint64_t seed = 7,
+                                      int samples = 4000);
+MonotonicityReport check_monotonicity(const Decomposition& decomposition, uint64_t seed = 7,
+                                      int samples = 4000);
+
+}  // namespace contra::analysis

@@ -1,0 +1,106 @@
+#include "automata/dfa.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "automata/minimize.h"
+
+namespace contra::automata {
+
+Dfa::Dfa(uint32_t num_states, uint32_t num_symbols)
+    : num_states_(num_states),
+      num_symbols_(num_symbols),
+      transitions_(static_cast<size_t>(num_states) * num_symbols, 0),
+      accepting_(num_states, false) {}
+
+bool Dfa::accepts(const std::vector<uint32_t>& word) const {
+  uint32_t state = start_;
+  for (uint32_t symbol : word) state = next(state, symbol);
+  return accepting(state);
+}
+
+std::string Dfa::to_string(const Alphabet& alphabet) const {
+  std::ostringstream out;
+  out << "DFA states=" << num_states_ << " start=" << start_ << " dead="
+      << (dead_ == kNoDead ? std::string("-") : std::to_string(dead_)) << "\n";
+  for (uint32_t s = 0; s < num_states_; ++s) {
+    out << "  q" << s << (accepting_[s] ? " [accept]" : "") << ":";
+    for (uint32_t a = 0; a < num_symbols_; ++a) {
+      out << " " << alphabet.name(a) << "->q" << next(s, a);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void eps_close(const Nfa& nfa, std::set<uint32_t>& states) {
+  std::vector<uint32_t> stack(states.begin(), states.end());
+  while (!stack.empty()) {
+    const uint32_t s = stack.back();
+    stack.pop_back();
+    for (uint32_t t : nfa.epsilon[s]) {
+      if (states.insert(t).second) stack.push_back(t);
+    }
+  }
+}
+
+}  // namespace
+
+Dfa determinize(const Nfa& nfa, uint32_t num_symbols) {
+  std::map<std::set<uint32_t>, uint32_t> ids;
+  std::vector<std::set<uint32_t>> subsets;
+  std::vector<std::vector<uint32_t>> table;  // per DFA state, per symbol
+
+  auto intern = [&](std::set<uint32_t> subset) -> uint32_t {
+    auto [it, inserted] = ids.emplace(subset, static_cast<uint32_t>(subsets.size()));
+    if (inserted) {
+      subsets.push_back(std::move(subset));
+      table.emplace_back(num_symbols, UINT32_MAX);
+    }
+    return it->second;
+  };
+
+  std::set<uint32_t> start_set{nfa.start};
+  eps_close(nfa, start_set);
+  const uint32_t start_id = intern(std::move(start_set));
+
+  for (uint32_t current = 0; current < subsets.size(); ++current) {
+    for (uint32_t symbol = 0; symbol < num_symbols; ++symbol) {
+      std::set<uint32_t> next;
+      for (uint32_t s : subsets[current]) {
+        for (const NfaTransition& t : nfa.transitions[s]) {
+          if (t.symbol == symbol || t.symbol == kAnySymbol) next.insert(t.target);
+        }
+      }
+      eps_close(nfa, next);
+      table[current][symbol] = intern(std::move(next));
+    }
+  }
+
+  // The empty subset, if it appeared, is the dead state and is already
+  // total (all its transitions stay empty -> itself).
+  uint32_t dead = Dfa::kNoDead;
+  for (uint32_t i = 0; i < subsets.size(); ++i) {
+    if (subsets[i].empty()) dead = i;
+  }
+
+  Dfa dfa(static_cast<uint32_t>(subsets.size()), num_symbols);
+  dfa.set_start(start_id);
+  dfa.set_dead_state(dead);
+  for (uint32_t s = 0; s < subsets.size(); ++s) {
+    dfa.set_accepting(s, subsets[s].count(nfa.accept) > 0);
+    for (uint32_t a = 0; a < num_symbols; ++a) dfa.set_next(s, a, table[s][a]);
+  }
+  return dfa;
+}
+
+Dfa compile_regex(const lang::RegexPtr& regex, const Alphabet& alphabet) {
+  const Nfa nfa = thompson_construct(regex, alphabet);
+  Dfa dfa = determinize(nfa, alphabet.size());
+  return minimize(dfa);
+}
+
+}  // namespace contra::automata

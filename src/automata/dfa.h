@@ -1,0 +1,64 @@
+// Deterministic automata over switch-id alphabets.
+//
+// DFAs here are *total*: every state has a transition for every symbol, with
+// a distinguished non-accepting dead state (the paper's "garbage" state "-")
+// that absorbs all input. Totality keeps the product-graph construction
+// uniform — a PG node may have one automaton in the garbage state while
+// another is still making progress.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace contra::automata {
+
+class Dfa {
+ public:
+  Dfa() = default;
+  Dfa(uint32_t num_states, uint32_t num_symbols);
+
+  uint32_t num_states() const { return num_states_; }
+  uint32_t num_symbols() const { return num_symbols_; }
+  uint32_t start() const { return start_; }
+  void set_start(uint32_t s) { start_ = s; }
+
+  uint32_t next(uint32_t state, uint32_t symbol) const {
+    return transitions_[static_cast<size_t>(state) * num_symbols_ + symbol];
+  }
+  void set_next(uint32_t state, uint32_t symbol, uint32_t target) {
+    transitions_[static_cast<size_t>(state) * num_symbols_ + symbol] = target;
+  }
+
+  bool accepting(uint32_t state) const { return accepting_[state]; }
+  void set_accepting(uint32_t state, bool value) { accepting_[state] = value; }
+
+  /// The absorbing dead state, or kNoDead if every state can reach accept.
+  uint32_t dead_state() const { return dead_; }
+  void set_dead_state(uint32_t s) { dead_ = s; }
+  static constexpr uint32_t kNoDead = UINT32_MAX;
+
+  bool accepts(const std::vector<uint32_t>& word) const;
+
+  /// Human-readable dump for debugging and golden tests.
+  std::string to_string(const Alphabet& alphabet) const;
+
+ private:
+  uint32_t num_states_ = 0;
+  uint32_t num_symbols_ = 0;
+  uint32_t start_ = 0;
+  uint32_t dead_ = kNoDead;
+  std::vector<uint32_t> transitions_;
+  std::vector<bool> accepting_;
+};
+
+/// Subset construction; the result is total (a dead state is added whenever
+/// some input has nowhere to go).
+Dfa determinize(const Nfa& nfa, uint32_t num_symbols);
+
+/// Convenience: regex -> minimal total DFA in one step.
+Dfa compile_regex(const lang::RegexPtr& regex, const Alphabet& alphabet);
+
+}  // namespace contra::automata

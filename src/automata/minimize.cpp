@@ -1,0 +1,61 @@
+#include "automata/minimize.h"
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace contra::automata {
+
+Dfa minimize(const Dfa& dfa) {
+  const uint32_t n = dfa.num_states();
+  const uint32_t k = dfa.num_symbols();
+  if (n == 0) return dfa;
+
+  // Moore's algorithm: start from the accepting / non-accepting partition
+  // and refine until transition signatures agree within every block.
+  std::vector<uint32_t> block(n);
+  for (uint32_t s = 0; s < n; ++s) block[s] = dfa.accepting(s) ? 1 : 0;
+  uint32_t num_blocks = 2;
+
+  while (true) {
+    // Signature of a state: (its block, blocks of all successors).
+    std::map<std::vector<uint32_t>, uint32_t> sig_ids;
+    std::vector<uint32_t> new_block(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      std::vector<uint32_t> sig;
+      sig.reserve(k + 1);
+      sig.push_back(block[s]);
+      for (uint32_t a = 0; a < k; ++a) sig.push_back(block[dfa.next(s, a)]);
+      auto [it, inserted] = sig_ids.emplace(std::move(sig),
+                                            static_cast<uint32_t>(sig_ids.size()));
+      (void)inserted;
+      new_block[s] = it->second;
+    }
+    const uint32_t refined = static_cast<uint32_t>(sig_ids.size());
+    block = std::move(new_block);
+    if (refined == num_blocks) break;
+    num_blocks = refined;
+  }
+
+  Dfa out(num_blocks, k);
+  out.set_start(block[dfa.start()]);
+  for (uint32_t s = 0; s < n; ++s) {
+    out.set_accepting(block[s], dfa.accepting(s));
+    for (uint32_t a = 0; a < k; ++a) out.set_next(block[s], a, block[dfa.next(s, a)]);
+  }
+
+  // Re-identify the dead state: non-accepting and all transitions self-loop.
+  out.set_dead_state(Dfa::kNoDead);
+  for (uint32_t s = 0; s < num_blocks; ++s) {
+    if (out.accepting(s)) continue;
+    bool absorbing = true;
+    for (uint32_t a = 0; a < k && absorbing; ++a) absorbing = out.next(s, a) == s;
+    if (absorbing) {
+      out.set_dead_state(s);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace contra::automata

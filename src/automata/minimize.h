@@ -1,0 +1,13 @@
+// DFA minimization (Moore partition refinement).
+#pragma once
+
+#include "automata/dfa.h"
+
+namespace contra::automata {
+
+/// Returns the minimal DFA equivalent to the input. The result is total;
+/// if a dead state survives (i.e., some word can never reach acceptance),
+/// dead_state() identifies it.
+Dfa minimize(const Dfa& dfa);
+
+}  // namespace contra::automata

@@ -1,0 +1,135 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+#include <set>
+
+namespace contra::automata {
+
+namespace {
+
+/// Symbol id used for regex node names missing from the alphabet: an edge
+/// labeled with it can never fire because real symbols are < alphabet size.
+constexpr uint32_t kNeverSymbol = UINT32_MAX - 1;
+
+class Builder {
+ public:
+  explicit Builder(const Alphabet& alphabet) : alphabet_(alphabet) {}
+
+  Nfa build(const lang::RegexPtr& regex) {
+    auto [s, a] = construct(regex);
+    nfa_.start = s;
+    nfa_.accept = a;
+    return std::move(nfa_);
+  }
+
+ private:
+  uint32_t new_state() {
+    nfa_.transitions.emplace_back();
+    nfa_.epsilon.emplace_back();
+    return static_cast<uint32_t>(nfa_.transitions.size() - 1);
+  }
+  void add_edge(uint32_t from, uint32_t symbol, uint32_t to) {
+    nfa_.transitions[from].push_back({symbol, to});
+  }
+  void add_eps(uint32_t from, uint32_t to) { nfa_.epsilon[from].push_back(to); }
+
+  std::pair<uint32_t, uint32_t> construct(const lang::RegexPtr& r) {
+    using Kind = lang::Regex::Kind;
+    switch (r->kind) {
+      case Kind::kEmpty: {
+        const uint32_t s = new_state();
+        const uint32_t a = new_state();
+        return {s, a};  // no edges: accepts nothing
+      }
+      case Kind::kEpsilon: {
+        const uint32_t s = new_state();
+        const uint32_t a = new_state();
+        add_eps(s, a);
+        return {s, a};
+      }
+      case Kind::kNode: {
+        const uint32_t s = new_state();
+        const uint32_t a = new_state();
+        uint32_t sym = alphabet_.find(r->node);
+        if (sym == Alphabet::kUnknown) sym = kNeverSymbol;
+        add_edge(s, sym, a);
+        return {s, a};
+      }
+      case Kind::kDot: {
+        const uint32_t s = new_state();
+        const uint32_t a = new_state();
+        add_edge(s, kAnySymbol, a);
+        return {s, a};
+      }
+      case Kind::kUnion: {
+        auto [ls, la] = construct(r->left);
+        auto [rs, ra] = construct(r->right);
+        const uint32_t s = new_state();
+        const uint32_t a = new_state();
+        add_eps(s, ls);
+        add_eps(s, rs);
+        add_eps(la, a);
+        add_eps(ra, a);
+        return {s, a};
+      }
+      case Kind::kConcat: {
+        auto [ls, la] = construct(r->left);
+        auto [rs, ra] = construct(r->right);
+        add_eps(la, rs);
+        return {ls, ra};
+      }
+      case Kind::kStar: {
+        auto [is, ia] = construct(r->left);
+        const uint32_t s = new_state();
+        const uint32_t a = new_state();
+        add_eps(s, is);
+        add_eps(s, a);
+        add_eps(ia, is);
+        add_eps(ia, a);
+        return {s, a};
+      }
+    }
+    const uint32_t s = new_state();
+    return {s, s};
+  }
+
+  const Alphabet& alphabet_;
+  Nfa nfa_;
+};
+
+void eps_closure(const Nfa& nfa, std::set<uint32_t>& states) {
+  std::vector<uint32_t> stack(states.begin(), states.end());
+  while (!stack.empty()) {
+    const uint32_t s = stack.back();
+    stack.pop_back();
+    for (uint32_t t : nfa.epsilon[s]) {
+      if (states.insert(t).second) stack.push_back(t);
+    }
+  }
+}
+
+}  // namespace
+
+bool Nfa::accepts(const std::vector<uint32_t>& word) const {
+  std::set<uint32_t> current{start};
+  eps_closure(*this, current);
+  for (uint32_t symbol : word) {
+    std::set<uint32_t> next;
+    for (uint32_t s : current) {
+      for (const NfaTransition& t : transitions[s]) {
+        if (t.symbol == symbol || t.symbol == kAnySymbol) next.insert(t.target);
+      }
+    }
+    eps_closure(*this, next);
+    current = std::move(next);
+    if (current.empty()) return false;
+  }
+  return current.count(accept) > 0;
+}
+
+Nfa thompson_construct(const lang::RegexPtr& regex, const Alphabet& alphabet) {
+  Builder builder(alphabet);
+  return builder.build(regex);
+}
+
+}  // namespace contra::automata

@@ -1,0 +1,38 @@
+// Thompson construction: regex AST -> NFA with epsilon moves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/regex.h"
+#include "lang/ast.h"
+
+namespace contra::automata {
+
+/// Wildcard symbol ('.') on an NFA edge.
+inline constexpr uint32_t kAnySymbol = UINT32_MAX;
+
+struct NfaTransition {
+  uint32_t symbol = 0;  ///< symbol id, or kAnySymbol
+  uint32_t target = 0;
+};
+
+/// Thompson-style NFA: one start, one accept state.
+struct Nfa {
+  uint32_t start = 0;
+  uint32_t accept = 0;
+  std::vector<std::vector<NfaTransition>> transitions;  ///< per state
+  std::vector<std::vector<uint32_t>> epsilon;           ///< per state
+
+  uint32_t num_states() const { return static_cast<uint32_t>(transitions.size()); }
+
+  /// Simulates the NFA on a word (used to cross-check the DFA pipeline).
+  bool accepts(const std::vector<uint32_t>& word) const;
+};
+
+/// Builds an NFA for the regex over the given alphabet. Node ids that do not
+/// appear in the alphabet yield edges that can never fire (the regex names a
+/// switch absent from this topology).
+Nfa thompson_construct(const lang::RegexPtr& regex, const Alphabet& alphabet);
+
+}  // namespace contra::automata

@@ -1,0 +1,28 @@
+#include "automata/regex.h"
+
+#include <stdexcept>
+
+namespace contra::automata {
+
+Alphabet::Alphabet(std::vector<std::string> symbols) : symbols_(std::move(symbols)) {
+  for (uint32_t i = 0; i < symbols_.size(); ++i) index_[symbols_[i]] = i;
+}
+
+uint32_t Alphabet::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+std::vector<uint32_t> encode_word(const Alphabet& alphabet,
+                                  const std::vector<std::string>& names) {
+  std::vector<uint32_t> word;
+  word.reserve(names.size());
+  for (const auto& n : names) {
+    const uint32_t s = alphabet.find(n);
+    if (s == Alphabet::kUnknown) throw std::out_of_range("symbol not in alphabet: " + n);
+    word.push_back(s);
+  }
+  return word;
+}
+
+}  // namespace contra::automata

@@ -1,0 +1,42 @@
+// Alphabet handling and the regex → automaton entry points.
+//
+// The alphabet of a policy automaton is the set of switch ids in the
+// topology (paper §4.1). Because probes travel opposite to traffic, the
+// compiler builds automata for the *reverse* of each policy regex; helpers
+// here expose both directions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace contra::automata {
+
+/// Maps switch names to dense symbol ids.
+class Alphabet {
+ public:
+  Alphabet() = default;
+  explicit Alphabet(std::vector<std::string> symbols);
+
+  uint32_t size() const { return static_cast<uint32_t>(symbols_.size()); }
+  const std::string& name(uint32_t symbol) const { return symbols_.at(symbol); }
+  /// Returns the symbol id, or kUnknown if the name is not in the alphabet.
+  uint32_t find(const std::string& name) const;
+  const std::vector<std::string>& names() const { return symbols_; }
+
+  static constexpr uint32_t kUnknown = UINT32_MAX;
+
+ private:
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// Encodes a node-name word as symbol ids (throws std::out_of_range if a
+/// name is missing from the alphabet).
+std::vector<uint32_t> encode_word(const Alphabet& alphabet,
+                                  const std::vector<std::string>& names);
+
+}  // namespace contra::automata

@@ -1,0 +1,51 @@
+#include "compiler/classified.h"
+
+#include <sstream>
+
+namespace contra::compiler {
+
+ClassifiedCompileResult compile_classified(const lang::ClassifiedPolicy& classified,
+                                           const topology::Topology& topo,
+                                           const CompileOptions& options) {
+  if (classified.rules.empty()) {
+    throw CompileError("classified policy has no rules");
+  }
+  ClassifiedCompileResult result;
+  result.classified = classified;
+  result.classes.reserve(classified.rules.size());
+  for (const lang::TrafficClassRule& rule : classified.rules) {
+    try {
+      result.classes.push_back(compile(rule.policy, topo, options));
+    } catch (const CompileError& e) {
+      throw CompileError("class '" + rule.name + "': " + e.what());
+    }
+  }
+  return result;
+}
+
+ClassifiedCompileResult compile_classified(const std::string& classified_text,
+                                           const topology::Topology& topo,
+                                           const CompileOptions& options) {
+  return compile_classified(lang::parse_classified_policy(classified_text), topo, options);
+}
+
+uint64_t ClassifiedCompileResult::total_state_bytes() const {
+  uint64_t total = 0;
+  for (const CompileResult& cls : classes) total += cls.total_state_bytes();
+  return total;
+}
+
+std::string ClassifiedCompileResult::summary() const {
+  std::ostringstream out;
+  out << classes.size() << " traffic class(es)";
+  if (!classified.is_total()) {
+    out << " [WARNING: classification is not total — unmatched flows drop at ingress]";
+  }
+  for (size_t i = 0; i < classes.size(); ++i) {
+    out << "\n  " << classified.rules[i].name << " ("
+        << lang::to_string(classified.rules[i].predicate) << "): " << classes[i].summary();
+  }
+  return out.str();
+}
+
+}  // namespace contra::compiler

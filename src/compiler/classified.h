@@ -1,0 +1,36 @@
+// Compilation of classified policies (the paper's future-work traffic
+// classification): each traffic class compiles independently — its own
+// decomposition, product graph, probe ids — and the dataplane runs one
+// protocol instance per class, dispatched by header predicates at the
+// ingress switch and by the stamped class id downstream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "lang/traffic_class.h"
+
+namespace contra::compiler {
+
+struct ClassifiedCompileResult {
+  lang::ClassifiedPolicy classified;
+  /// One full compilation per rule, same order.
+  std::vector<CompileResult> classes;
+
+  uint64_t total_state_bytes() const;
+  std::string summary() const;
+};
+
+/// Compiles every rule's policy against the topology. Throws CompileError on
+/// any failing class or when the rule list is empty; warns (via the summary)
+/// when classification is not total (unmatched flows are dropped at ingress).
+ClassifiedCompileResult compile_classified(const lang::ClassifiedPolicy& classified,
+                                           const topology::Topology& topo,
+                                           const CompileOptions& options = {});
+
+ClassifiedCompileResult compile_classified(const std::string& classified_text,
+                                           const topology::Topology& topo,
+                                           const CompileOptions& options = {});
+
+}  // namespace contra::compiler

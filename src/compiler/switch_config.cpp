@@ -1,0 +1,4 @@
+#include "compiler/switch_config.h"
+
+// SwitchConfig is a plain data carrier; this TU anchors the module.
+namespace contra::compiler {}

@@ -1,0 +1,61 @@
+// Per-switch compiled artifacts: the table contents a generated P4 program
+// carries for one device (§4.2-4.3). The schema (match keys, action data) is
+// shared across devices; only the entries differ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace contra::compiler {
+
+/// Probe ingress: a probe arrives carrying the neighbor's tag; the local
+/// virtual-node tag is a pure function of it (NEXTPGNODE in the paper's
+/// pseudocode).
+struct TagStepEntry {
+  uint32_t in_tag = 0;     ///< tag carried by the arriving probe
+  uint32_t local_tag = 0;  ///< tag of this switch's virtual node
+};
+
+/// Probe egress: from local virtual node `local_tag`, multicast a copy out
+/// of `out_link` rewritten to `neighbor_tag` (MULTICASTPROBE).
+struct ProbeMulticastEntry {
+  uint32_t local_tag = 0;
+  topology::LinkId out_link = topology::kInvalidLink;
+  uint32_t neighbor_tag = 0;
+};
+
+/// Estimated switch memory for the generated program (Fig. 10).
+struct StateFootprint {
+  uint64_t fwdt_entries = 0;
+  uint64_t fwdt_bytes = 0;
+  uint64_t best_bytes = 0;
+  uint64_t flowlet_bytes = 0;
+  uint64_t loop_table_bytes = 0;
+  uint64_t multicast_bytes = 0;
+
+  uint64_t total_bytes() const {
+    return fwdt_bytes + best_bytes + flowlet_bytes + loop_table_bytes + multicast_bytes;
+  }
+};
+
+struct SwitchConfig {
+  topology::NodeId node = topology::kInvalidNode;
+  std::string name;
+
+  /// Tags of the virtual nodes living at this switch.
+  std::vector<uint32_t> local_tags;
+  std::vector<TagStepEntry> tag_step;
+  std::vector<ProbeMulticastEntry> multicast;
+
+  /// Whether the policy admits this switch as a traffic destination, and the
+  /// probe-sending tag if so.
+  bool is_destination = false;
+  uint32_t origin_tag = 0;
+
+  StateFootprint footprint;
+};
+
+}  // namespace contra::compiler

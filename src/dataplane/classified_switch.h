@@ -1,0 +1,59 @@
+// Multi-class Contra dataplane: one protocol instance (ContraSwitch) per
+// traffic class, dispatched by flow predicates at ingress and by the stamped
+// class id in transit. Probes carry their class id, so each class's
+// distance-vector state converges independently — e.g. a latency-sensitive
+// class can route over short paths while bulk traffic spreads by
+// utilization (the B4-style separation the paper cites as future work).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compiler/classified.h"
+#include "dataplane/contra_switch.h"
+#include "pg/policy_eval.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace contra::dataplane {
+
+struct ClassifiedSwitchStats {
+  uint64_t unclassified_drops = 0;  ///< no rule matched at ingress
+};
+
+class ClassifiedContraSwitch : public sim::Device {
+ public:
+  /// `evaluators` holds one PolicyEvaluator per class (same order as the
+  /// compile result); both must outlive the switch.
+  ClassifiedContraSwitch(const compiler::ClassifiedCompileResult& compiled,
+                         const std::vector<pg::PolicyEvaluator>& evaluators,
+                         topology::NodeId self, ContraSwitchOptions options = {});
+
+  void start(sim::Simulator& sim) override;
+  void handle_packet(sim::Simulator& sim, sim::Packet&& packet,
+                     topology::LinkId in_link) override;
+  const char* kind_name() const override { return "contra-classified"; }
+
+  const ContraSwitch& class_switch(size_t cls) const { return *instances_.at(cls); }
+  ContraSwitch& class_switch(size_t cls) { return *instances_.at(cls); }
+  size_t num_classes() const { return instances_.size(); }
+  const ClassifiedSwitchStats& stats() const { return stats_; }
+
+ private:
+  const compiler::ClassifiedCompileResult* compiled_;
+  std::vector<std::unique_ptr<ContraSwitch>> instances_;
+  ClassifiedSwitchStats stats_;
+};
+
+/// Installed network handle: owns the per-class evaluators the switches
+/// reference. Keep it alive as long as the simulator runs.
+struct ClassifiedNetwork {
+  std::vector<pg::PolicyEvaluator> evaluators;
+  std::vector<ClassifiedContraSwitch*> switches;  ///< observers, owned by sim
+};
+
+ClassifiedNetwork install_classified_network(sim::Simulator& sim,
+                                             const compiler::ClassifiedCompileResult& compiled,
+                                             ContraSwitchOptions options = {});
+
+}  // namespace contra::dataplane

@@ -1,0 +1,346 @@
+#include "dataplane/contra_switch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace contra::dataplane {
+
+using sim::Packet;
+using sim::PacketKind;
+using sim::Simulator;
+using topology::LinkId;
+using topology::NodeId;
+
+ContraSwitch::ContraSwitch(const compiler::CompileResult& compiled,
+                           const pg::PolicyEvaluator& evaluator, NodeId self,
+                           ContraSwitchOptions options)
+    : compiled_(&compiled),
+      evaluator_(&evaluator),
+      self_(self),
+      options_(options),
+      flowlets_(options.flowlet_timeout_s),
+      loop_detector_(options.loop_table_slots, options.loop_ttl_threshold),
+      probe_clock_(options.probe_period_s),
+      failure_detector_(options.failure_detect_periods * options.probe_period_s) {}
+
+void ContraSwitch::start(Simulator& sim) {
+  if (compiled_->switches[self_].is_destination) {
+    // Jitter-free periodic origination; all destinations share the phase,
+    // which keeps rounds comparable (the paper's probes are periodic too).
+    originate_probes(sim);
+  }
+}
+
+uint32_t ContraSwitch::probe_wire_bytes() const {
+  return options_.probe_base_bytes +
+         4 * static_cast<uint32_t>(compiled_->decomposition.attrs.size());
+}
+
+void ContraSwitch::originate_probes(Simulator& sim) {
+  const uint32_t origin_tag = compiled_->switches[self_].origin_tag;
+  const uint64_t version = probe_clock_.advance();
+  const uint32_t pg_node = compiled_->graph.node_index(self_, origin_tag);
+  if (pg_node != pg::kInvalidPgNode) {
+    for (uint32_t pid = 0; pid < evaluator_->num_pids(); ++pid) {
+      for (const pg::PgEdge& edge : compiled_->graph.out_edges(pg_node)) {
+        Packet probe;
+        probe.kind = PacketKind::kProbe;
+        probe.id = sim.next_packet_id();
+        probe.size_bytes = probe_wire_bytes();
+        probe.src_switch = self_;
+        probe.probe = sim::ProbeFields{self_, pid, origin_tag, options_.traffic_class_id,
+                                       version, pg::MetricsVector{}};
+        ++stats_.probes_originated;
+        sim.send_on_link(edge.link, std::move(probe));
+      }
+    }
+  }
+  sim.events().schedule_in(options_.probe_period_s, [this, &sim] { originate_probes(sim); });
+}
+
+void ContraSwitch::handle_packet(Simulator& sim, Packet&& packet, LinkId in_link) {
+  if (packet.kind == PacketKind::kProbe) {
+    process_probe(sim, std::move(packet), in_link);
+  } else {
+    forward_data(sim, std::move(packet), in_link);
+  }
+}
+
+void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link) {
+  ++stats_.probes_received;
+  failure_detector_.note_probe(in_link, sim.now());
+  sim::ProbeFields& probe = *packet.probe;
+
+  // UPDATEMVEC: probes travel opposite to traffic, so the traffic-direction
+  // link is the reverse of the arrival link. Latency counts propagation plus
+  // the current queueing backlog.
+  const LinkId traffic_link = sim.topo().link(in_link).reverse;
+  const sim::Link& link = sim.link(traffic_link);
+  // path.lat is carried in microseconds: switch metric registers are Q16.16
+  // fixed point, where sub-microsecond second-denominated values underflow.
+  // Latency here is propagation delay; queueing pressure is what path.util
+  // captures (adding the instantaneous queue would couple the latency metric
+  // to probe-burst noise). Utilization is quantized like a hardware register.
+  double util = link.utilization();
+  if (options_.util_quantum > 0) {
+    util = std::round(util / options_.util_quantum) * options_.util_quantum;
+  }
+  probe.mv.extend(util, link.delay_s() * 1e6);
+
+  // NEXTPGNODE: the local virtual node implied by the carried tag.
+  const uint32_t incoming_tag = probe.tag;
+  const uint32_t local_tag = compiled_->graph.next_tag(incoming_tag, self_);
+  if (local_tag == pg::kInvalidTag) {
+    ++stats_.probes_dropped_no_pg;
+    return;
+  }
+
+  const FwdKey key{probe.origin, local_tag, probe.pid};
+  auto it = fwdt_.find(key);
+  bool propagate = true;
+  if (it != fwdt_.end()) {
+    FwdEntry& entry = it->second;
+    if (options_.versioned_probes && probe.version < entry.version) {
+      ++stats_.probes_dropped_version;  // outdated probe (§5.1)
+      return;
+    }
+    const bool fresher = options_.versioned_probes && probe.version > entry.version;
+    const lang::Rank new_rank = evaluator_->propagation_rank(probe.pid, probe.mv);
+    const lang::Rank old_rank = evaluator_->propagation_rank(probe.pid, entry.mv);
+    const bool better = new_rank < old_rank;
+    // Without versions this is classic distance-vector: the current next hop
+    // may always overwrite its own advertisement (worse news included), but
+    // other neighbors must strictly improve — the §3 loop-prone strawman.
+    const bool same_successor = entry.nhop == traffic_link;
+    if (!fresher && !better && !(!options_.versioned_probes && same_successor)) {
+      ++stats_.probes_dropped_worse;
+      return;
+    }
+    // A same-successor refresh with an unchanged rank keeps the entry alive
+    // but is not re-advertised (DV re-advertises on change, not on refresh).
+    propagate = fresher || better || new_rank != old_rank;
+    entry.mv = probe.mv;
+    entry.ntag = incoming_tag;
+    entry.nhop = traffic_link;
+    entry.version = probe.version;
+    entry.updated_at = sim.now();
+  } else {
+    fwdt_.emplace(key, FwdEntry{probe.mv, incoming_tag, traffic_link, probe.version, sim.now()});
+    best_index_[probe.origin].emplace_back(local_tag, probe.pid);
+  }
+  ++stats_.fwdt_updates;
+  if (!propagate) return;
+
+  // MULTICASTPROBE along PG out-edges of the local virtual node. The pure
+  // back-edge (same link, same virtual node it just came from) is skipped —
+  // such a probe is strictly stale at the sender.
+  const uint32_t pg_node = compiled_->graph.node_index(self_, local_tag);
+  if (pg_node == pg::kInvalidPgNode) return;
+  probe.tag = local_tag;
+  for (const pg::PgEdge& edge : compiled_->graph.out_edges(pg_node)) {
+    if (edge.link == traffic_link && edge.to_tag == incoming_tag) continue;
+    Packet copy = packet;
+    copy.id = sim.next_packet_id();
+    ++stats_.probes_propagated;
+    sim.send_on_link(edge.link, std::move(copy));
+  }
+}
+
+bool ContraSwitch::entry_usable(const FwdEntry& entry, sim::Time now) const {
+  if (now - entry.updated_at > options_.metric_expiry_periods * options_.probe_period_s) {
+    return false;  // metric expiration (§5.4)
+  }
+  // The next hop is presumed failed when its probe direction went silent.
+  const LinkId probe_dir = compiled_->graph.topo().link(entry.nhop).reverse;
+  return !failure_detector_.presumed_failed(probe_dir, now);
+}
+
+const ContraSwitch::FwdEntry* ContraSwitch::fwd_entry(NodeId dst, uint32_t tag,
+                                                      uint32_t pid) const {
+  auto it = fwdt_.find(FwdKey{dst, tag, pid});
+  return it == fwdt_.end() ? nullptr : &it->second;
+}
+
+std::optional<ContraSwitch::BestChoice> ContraSwitch::best_choice(NodeId dst,
+                                                                  sim::Time now) const {
+  auto idx = best_index_.find(dst);
+  if (idx == best_index_.end()) return std::nullopt;
+  std::optional<BestChoice> best;
+  for (const auto& [tag, pid] : idx->second) {
+    auto it = fwdt_.find(FwdKey{dst, tag, pid});
+    if (it == fwdt_.end() || !entry_usable(it->second, now)) continue;
+    lang::Rank rank = evaluator_->selection_rank(tag, it->second.mv);
+    if (rank.is_infinite()) continue;
+    if (!best || rank < best->rank) {
+      best = BestChoice{tag, pid, std::move(rank), it->second.nhop};
+    }
+  }
+  return best;
+}
+
+void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link) {
+  const sim::Time now = sim.now();
+  packet.trace.push_back(static_cast<uint16_t>(self_));
+
+  if (in_link == sim::kFromHost) {
+    if (packet.dst_switch == self_) {  // same-rack delivery
+      ++stats_.data_to_host;
+      sim.send_to_host(packet.dst_host, std::move(packet));
+      return;
+    }
+    // First switch: BestT selection stamps (tag, pid) — the s() rank over
+    // every candidate entry for this destination. The selection itself is
+    // flowlet-pinned so a flowlet stays on one (tag, pid) path.
+    const uint32_t fid = util::hash_five_tuple(packet.tuple);
+    auto pin = source_pins_.find(fid);
+    if (pin != source_pins_.end() && now - pin->second.last_seen <= options_.flowlet_timeout_s) {
+      packet.routing.tag = pin->second.tag;
+      packet.routing.pid = pin->second.pid;
+      pin->second.last_seen = now;
+    } else {
+      const auto choice = best_choice(packet.dst_switch, now);
+      if (!choice) {
+        ++stats_.data_dropped_no_route;
+        return;
+      }
+      packet.routing.tag = choice->tag;
+      packet.routing.pid = choice->pid;
+      source_pins_[fid] = SourcePin{choice->tag, choice->pid, now};
+    }
+    packet.size_bytes += options_.tag_overhead_bytes;  // tag+pid header on the wire
+    packet.routing.traffic_class = options_.traffic_class_id;
+    packet.routing.stamped = true;
+  } else {
+    // Exact transit loop accounting (simulator-side ground truth): the same
+    // packet id crossing this switch twice within the window is a loop.
+    if (now - recent_packets_reset_ > 0.01) {
+      recent_packets_.clear();
+      recent_packets_reset_ = now;
+    }
+    auto [it, inserted] = recent_packets_.try_emplace(packet.id, uint8_t{0});
+    if (!inserted && it->second == 0) {
+      ++stats_.looped_packets_seen;
+      it->second = 1;
+    }
+  }
+
+  if (packet.dst_switch == self_) {
+    ++stats_.data_to_host;
+    sim.send_to_host(packet.dst_host, std::move(packet));
+    return;
+  }
+
+  const uint32_t fid = util::hash_five_tuple(packet.tuple);
+  const FlowletKey fkey = options_.policy_aware_flowlets
+                              ? FlowletKey{packet.routing.tag, packet.routing.pid, fid}
+                              : FlowletKey{0, 0, fid};
+
+  // Lazy loop breaking (§5.5): a TTL spread beyond threshold flushes the
+  // flowlet entry so the next lookup re-rates against current FwdT state.
+  if (options_.loop_detection && in_link != sim::kFromHost &&
+      loop_detector_.observe(packet.loop_signature(), packet.routing.ttl)) {
+    ++stats_.loops_broken;
+    flowlets_.flush(fkey);
+  }
+
+  LinkId nhop = topology::kInvalidLink;
+  uint32_t ntag = pg::kInvalidTag;
+
+  FlowletEntry* pinned = flowlets_.lookup(fkey, now);
+  if (pinned != nullptr) {
+    const LinkId probe_dir = sim.topo().link(pinned->nhop).reverse;
+    if (failure_detector_.presumed_failed(probe_dir, now)) {
+      flowlets_.flush(fkey);  // §5.4: expire flowlets over failed links
+      pinned = nullptr;
+    }
+  }
+
+  if (pinned != nullptr) {
+    nhop = pinned->nhop;
+    if (options_.policy_aware_flowlets) {
+      ntag = pinned->ntag;
+    } else {
+      // Naive flowlet pinning carries only the next hop; the tag must still
+      // follow the actual path. A transition outside the PG is a policy
+      // violation (the Fig. 8a scenario) — count and drop.
+      ntag = compiled_->graph.next_tag(packet.routing.tag, sim.topo().link(nhop).to);
+      if (ntag == pg::kInvalidTag) {
+        ++stats_.data_dropped_no_route;
+        flowlets_.flush(fkey);
+        return;
+      }
+    }
+    flowlets_.touch(fkey, now);
+  } else {
+    const FwdKey key{packet.dst_switch, packet.routing.tag, packet.routing.pid};
+    auto it = fwdt_.find(key);
+    if (it == fwdt_.end() || !entry_usable(it->second, now)) {
+      ++stats_.data_dropped_no_route;
+      return;
+    }
+    nhop = it->second.nhop;
+    ntag = it->second.ntag;
+    flowlets_.pin(fkey, FlowletEntry{nhop, ntag, packet.routing.pid, now});
+  }
+
+  if (packet.routing.ttl == 0) {
+    ++stats_.data_dropped_ttl;
+    return;
+  }
+  --packet.routing.ttl;
+  packet.routing.tag = ntag;
+  ++stats_.data_forwarded;
+  sim.send_on_link(nhop, std::move(packet));
+}
+
+std::string ContraSwitch::render_tables(sim::Time now) const {
+  const topology::Topology& topo = compiled_->graph.topo();
+  std::ostringstream out;
+  out << "FwdT @ " << topo.name(self_) << " (* = BestT choice)\n";
+  out << "  [dst, tag, pid] -> (util, lat_us, len), ntag, nhop, version\n";
+
+  // Deterministic order: by destination, tag, pid.
+  std::vector<std::pair<FwdKey, const FwdEntry*>> rows;
+  rows.reserve(fwdt_.size());
+  for (const auto& [key, entry] : fwdt_) rows.emplace_back(key, &entry);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.origin, a.first.tag, a.first.pid) <
+           std::tie(b.first.origin, b.first.tag, b.first.pid);
+  });
+
+  for (const auto& [key, entry] : rows) {
+    const auto best = best_choice(key.origin, now);
+    const bool starred = best && best->tag == key.tag && best->pid == key.pid;
+    char line[192];
+    std::snprintf(line, sizeof line,
+                  "  [%s, t%u, p%u] -> (%.3f, %.2f, %.0f), t%u, %s, v%llu%s%s\n",
+                  topo.name(key.origin).c_str(), key.tag, key.pid, entry->mv.util,
+                  entry->mv.lat, entry->mv.len, entry->ntag,
+                  topo.name(topo.link(entry->nhop).to).c_str(),
+                  static_cast<unsigned long long>(entry->version),
+                  entry_usable(*entry, now) ? "" : " [expired]", starred ? " *" : "");
+    out << line;
+  }
+  return out.str();
+}
+
+std::vector<ContraSwitch*> install_contra_network(Simulator& sim,
+                                                  const compiler::CompileResult& compiled,
+                                                  const pg::PolicyEvaluator& evaluator,
+                                                  ContraSwitchOptions options) {
+  std::vector<ContraSwitch*> switches;
+  switches.reserve(sim.topo().num_nodes());
+  for (NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
+    auto sw = std::make_unique<ContraSwitch>(compiled, evaluator, n, options);
+    switches.push_back(sw.get());
+    sim.install_switch(n, std::move(sw));
+  }
+  return switches;
+}
+
+}  // namespace contra::dataplane

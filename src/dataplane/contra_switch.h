@@ -1,0 +1,186 @@
+// The Contra switch dataplane: the executable semantics of the generated
+// per-switch P4 programs (paper §4.2-§5.5).
+//
+// Implements, per the paper's final refinement stack:
+//   * PROCESSPROBE with versioned probes (§4.3 + §5.1): per-(dst, tag, pid)
+//     FwdT entries store the metrics vector, next tag, next hop, and probe
+//     version; older versions are discarded, newer versions always adopted,
+//     same-version probes adopted only when they improve f(pid, mv);
+//   * INITPROBE/MULTICASTPROBE probe origination at valid destinations, one
+//     probe per PG out-edge link per round;
+//   * SWIFORWARDPKT with BestT source selection (the s() rank over all
+//     (tag, pid) candidates of the destination);
+//   * policy-aware flowlet switching keyed by (tag, pid, fid) (§5.3);
+//   * probe-silence failure detection + flowlet/metric expiration (§5.4);
+//   * lazy transient-loop breaking via the TTL-spread table (§5.5).
+//
+// The ablation flags in ContraSwitchOptions turn individual refinements off
+// so experiments can demonstrate why each exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "dataplane/flowlet_table.h"
+#include "dataplane/loop_detector.h"
+#include "dataplane/probe_engine.h"
+#include "pg/policy_eval.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace contra::dataplane {
+
+struct ContraSwitchOptions {
+  double probe_period_s = 256e-6;
+  double flowlet_timeout_s = 200e-6;
+  /// Probe-silence multiplier: link presumed failed after this many periods.
+  double failure_detect_periods = 3.0;
+  /// FwdT entries older than this many periods rank as unusable (§5.4
+  /// metric expiration).
+  double metric_expiry_periods = 12.0;
+  uint8_t loop_ttl_threshold = 6;
+  uint32_t loop_table_slots = 256;
+  uint32_t probe_base_bytes = 64;
+  /// Utilization is quantized to this step when written into probe metrics,
+  /// mirroring the few-bit utilization registers of switch ASICs. Coarse
+  /// steps make near-equal paths tie so the length tie-break keeps traffic
+  /// on shortest paths unless congestion differences are real — without it,
+  /// measurement noise steers flows onto arbitrarily long "less utilized"
+  /// paths and inflates total traffic.
+  double util_quantum = 1.0 / 64;
+  /// Extra wire bytes data packets carry for the (tag, pid) header — added
+  /// when the first switch stamps the packet, so Fig. 16's overhead includes
+  /// tag bytes physically.
+  uint32_t tag_overhead_bytes = 2;
+
+  // Ablation knobs (each defaults to the paper's final design).
+  bool versioned_probes = true;      ///< §5.1 off => classic distance-vector
+  bool policy_aware_flowlets = true; ///< §5.3 off => flowlet key ignores tag/pid
+  bool loop_detection = true;        ///< §5.5 off => no lazy loop breaking
+
+  /// When this switch is one protocol instance of a classified policy, the
+  /// rule index it serves; stamped into probes and data it sources.
+  uint32_t traffic_class_id = 0;
+};
+
+struct ContraSwitchStats {
+  uint64_t probes_originated = 0;
+  uint64_t probes_received = 0;
+  uint64_t probes_propagated = 0;
+  uint64_t probes_dropped_version = 0;
+  uint64_t probes_dropped_worse = 0;
+  uint64_t probes_dropped_no_pg = 0;
+  uint64_t fwdt_updates = 0;
+  uint64_t data_forwarded = 0;
+  uint64_t data_to_host = 0;
+  uint64_t data_dropped_no_route = 0;
+  uint64_t data_dropped_ttl = 0;
+  uint64_t loops_broken = 0;
+  uint64_t looped_packets_seen = 0;  ///< exact revisit count (§6.5 metric)
+};
+
+class ContraSwitch : public sim::Device {
+ public:
+  /// `compiled` and `evaluator` are shared across all switches of a network
+  /// (they are the common protocol configuration); `self` selects this
+  /// switch's slice.
+  ContraSwitch(const compiler::CompileResult& compiled, const pg::PolicyEvaluator& evaluator,
+               topology::NodeId self, ContraSwitchOptions options = {});
+
+  void start(sim::Simulator& sim) override;
+  void handle_packet(sim::Simulator& sim, sim::Packet&& packet,
+                     topology::LinkId in_link) override;
+  const char* kind_name() const override { return "contra"; }
+
+  const ContraSwitchStats& stats() const { return stats_; }
+  const FlowletStats& flowlet_stats() const { return flowlets_.stats(); }
+
+  // ----- introspection for tests and convergence checks -------------------
+
+  struct FwdEntry {
+    pg::MetricsVector mv;
+    uint32_t ntag = 0;
+    topology::LinkId nhop = topology::kInvalidLink;
+    uint64_t version = 0;
+    sim::Time updated_at = 0.0;
+  };
+
+  /// Entry for (traffic destination, local tag, pid), or nullptr.
+  const FwdEntry* fwd_entry(topology::NodeId dst, uint32_t tag, uint32_t pid) const;
+
+  struct BestChoice {
+    uint32_t tag = 0;
+    uint32_t pid = 0;
+    lang::Rank rank;
+    topology::LinkId nhop = topology::kInvalidLink;
+  };
+  /// The s()-best candidate for a destination right now (BestT semantics),
+  /// skipping expired entries and presumed-failed next hops.
+  std::optional<BestChoice> best_choice(topology::NodeId dst, sim::Time now) const;
+
+  /// Renders FwdT + BestT in the paper's Fig. 6e layout:
+  ///   [dst, tag, pid] -> mv, ntag, nhop, version   (* marks BestT's pick)
+  std::string render_tables(sim::Time now) const;
+
+ private:
+  struct FwdKey {
+    topology::NodeId origin;  ///< traffic destination / probe origin
+    uint32_t tag;
+    uint32_t pid;
+    friend bool operator==(const FwdKey&, const FwdKey&) = default;
+  };
+  struct FwdKeyHash {
+    size_t operator()(const FwdKey& k) const {
+      return static_cast<size_t>(
+          util::hash_combine(util::hash_combine(k.origin, k.tag), k.pid));
+    }
+  };
+
+  void originate_probes(sim::Simulator& sim);
+  void process_probe(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
+  void forward_data(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
+
+  bool entry_usable(const FwdEntry& entry, sim::Time now) const;
+  uint32_t probe_wire_bytes() const;
+
+  const compiler::CompileResult* compiled_;
+  const pg::PolicyEvaluator* evaluator_;
+  topology::NodeId self_;
+  ContraSwitchOptions options_;
+
+  std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwdt_;
+  /// Per destination: the (tag, pid) keys present (BestT scan index).
+  std::unordered_map<topology::NodeId, std::vector<std::pair<uint32_t, uint32_t>>> best_index_;
+
+  /// Source-side pin of the BestT choice per flowlet (the "sender sets the
+  /// initial tag and probe number" rule, §4.2).
+  struct SourcePin {
+    uint32_t tag = 0;
+    uint32_t pid = 0;
+    sim::Time last_seen = 0.0;
+  };
+  std::unordered_map<uint32_t, SourcePin> source_pins_;
+
+  FlowletTable flowlets_;
+  LoopDetector loop_detector_;
+  ProbeClock probe_clock_;
+  FailureDetector failure_detector_;
+
+  /// Exact loop accounting (simulator-side truth, not a switch table): packet
+  /// ids seen recently at this switch; a revisit is a looped packet.
+  std::unordered_map<uint64_t, uint8_t> recent_packets_;
+  sim::Time recent_packets_reset_ = 0.0;
+
+  ContraSwitchStats stats_;
+};
+
+/// Installs a ContraSwitch at every node and returns raw observers.
+std::vector<ContraSwitch*> install_contra_network(sim::Simulator& sim,
+                                                  const compiler::CompileResult& compiled,
+                                                  const pg::PolicyEvaluator& evaluator,
+                                                  ContraSwitchOptions options = {});
+
+}  // namespace contra::dataplane

@@ -1,0 +1,53 @@
+#include "dataplane/ecmp_switch.h"
+
+#include "util/hash.h"
+
+namespace contra::dataplane {
+
+void EcmpSwitch::handle_packet(sim::Simulator& sim, sim::Packet&& packet,
+                               topology::LinkId in_link) {
+  (void)in_link;
+  if (packet.kind == sim::PacketKind::kProbe) return;  // no probes in ECMP
+  if (packet.dst_switch == self_) {
+    ++stats_.data_to_host;
+    sim.send_to_host(packet.dst_host, std::move(packet));
+    return;
+  }
+  // ECMP groups exclude ports whose link is locally down (standard LAG/ECMP
+  // behaviour); it stays load-oblivious among the live members.
+  const auto& hops = (*table_)[self_][packet.dst_switch];
+  std::vector<topology::LinkId> live;
+  live.reserve(hops.size());
+  for (topology::LinkId l : hops) {
+    if (!sim.link(l).down()) live.push_back(l);
+  }
+  if (live.empty()) {
+    ++stats_.data_dropped_no_route;
+    return;
+  }
+  if (packet.routing.ttl == 0) {
+    ++stats_.data_dropped_ttl;
+    return;
+  }
+  --packet.routing.ttl;
+  const uint32_t h = util::hash_five_tuple(packet.tuple, /*seed=*/0x5bd1e995u);
+  ++stats_.data_forwarded;
+  sim.send_on_link(live[h % live.size()], std::move(packet));
+}
+
+std::vector<EcmpSwitch*> install_ecmp_network(sim::Simulator& sim) {
+  // The table reflects the routing protocol's converged view: links already
+  // down at install time are excluded (fail links before installing to model
+  // a steady-state asymmetric topology, as in Fig. 12).
+  auto table = std::make_shared<const EcmpSwitch::EcmpTable>(compute_ecmp_next_hops(
+      sim.topo(), [&sim](topology::LinkId l) { return !sim.link(l).down(); }));
+  std::vector<EcmpSwitch*> switches;
+  for (topology::NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
+    auto sw = std::make_unique<EcmpSwitch>(table, n);
+    switches.push_back(sw.get());
+    sim.install_switch(n, std::move(sw));
+  }
+  return switches;
+}
+
+}  // namespace contra::dataplane

@@ -1,0 +1,34 @@
+#include "dataplane/flowlet_table.h"
+
+namespace contra::dataplane {
+
+FlowletEntry* FlowletTable::lookup(const FlowletKey& key, sim::Time now) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (now - it->second.last_seen > timeout_s_) {
+    table_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void FlowletTable::pin(const FlowletKey& key, const FlowletEntry& entry) {
+  table_[key] = entry;
+}
+
+void FlowletTable::touch(const FlowletKey& key, sim::Time now) {
+  auto it = table_.find(key);
+  if (it != table_.end()) it->second.last_seen = now;
+}
+
+void FlowletTable::flush(const FlowletKey& key) {
+  if (table_.erase(key) > 0) ++stats_.flushes;
+}
+
+}  // namespace contra::dataplane

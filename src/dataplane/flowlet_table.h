@@ -1,0 +1,74 @@
+// Policy-aware flowlet switching table (paper §5.3).
+//
+// Classic flowlet switching keys on the flow hash alone; Contra additionally
+// keys on the packet's PG tag and probe id so that a pinned decision can
+// never leak traffic across policy constraints (the Fig. 8a violation). The
+// same class serves the baselines by leaving tag/pid at 0.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "topology/topology.h"
+#include "util/hash.h"
+
+namespace contra::dataplane {
+
+struct FlowletKey {
+  uint32_t tag = 0;
+  uint32_t pid = 0;
+  uint32_t fid = 0;  ///< five-tuple hash
+
+  friend bool operator==(const FlowletKey&, const FlowletKey&) = default;
+};
+
+struct FlowletKeyHash {
+  size_t operator()(const FlowletKey& k) const {
+    uint64_t h = util::hash_combine(k.tag, k.pid);
+    return static_cast<size_t>(util::hash_combine(h, k.fid));
+  }
+};
+
+struct FlowletEntry {
+  topology::LinkId nhop = topology::kInvalidLink;
+  uint32_t ntag = 0;
+  uint32_t npid = 0;
+  sim::Time last_seen = 0.0;
+};
+
+struct FlowletStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t expirations = 0;
+  uint64_t flushes = 0;
+};
+
+class FlowletTable {
+ public:
+  explicit FlowletTable(double timeout_s) : timeout_s_(timeout_s) {}
+
+  /// Live entry for this key, or nullptr (expired entries are erased and
+  /// counted). Does NOT refresh the timestamp — call touch() after use.
+  FlowletEntry* lookup(const FlowletKey& key, sim::Time now);
+
+  /// Pins (or re-pins) a decision.
+  void pin(const FlowletKey& key, const FlowletEntry& entry);
+
+  /// Refreshes the inter-packet gap timer.
+  void touch(const FlowletKey& key, sim::Time now);
+
+  /// Removes a pinned decision (loop breaking, failure expiry).
+  void flush(const FlowletKey& key);
+
+  size_t size() const { return table_.size(); }
+  const FlowletStats& stats() const { return stats_; }
+  double timeout_s() const { return timeout_s_; }
+
+ private:
+  double timeout_s_;
+  std::unordered_map<FlowletKey, FlowletEntry, FlowletKeyHash> table_;
+  FlowletStats stats_;
+};
+
+}  // namespace contra::dataplane

@@ -1,0 +1,30 @@
+#include "dataplane/loop_detector.h"
+
+#include <algorithm>
+
+namespace contra::dataplane {
+
+LoopDetector::LoopDetector(uint32_t slots, uint8_t ttl_spread_threshold)
+    : slots_(std::max(1u, slots)), threshold_(ttl_spread_threshold) {}
+
+bool LoopDetector::observe(uint32_t signature, uint8_t ttl) {
+  Slot& slot = slots_[signature % slots_.size()];
+  if (!slot.valid || slot.signature != signature) {
+    // New packet (or hash collision): start fresh — hardware overwrites.
+    slot.signature = signature;
+    slot.max_ttl = ttl;
+    slot.min_ttl = ttl;
+    slot.valid = true;
+    return false;
+  }
+  slot.max_ttl = std::max(slot.max_ttl, ttl);
+  slot.min_ttl = std::min(slot.min_ttl, ttl);
+  if (slot.max_ttl - slot.min_ttl > threshold_) {
+    ++loops_detected_;
+    slot.valid = false;  // reset so a persistent loop re-triggers later
+    return true;
+  }
+  return false;
+}
+
+}  // namespace contra::dataplane

@@ -1,0 +1,41 @@
+// Lazy transient-loop detection (paper §5.5).
+//
+// Each switch keeps a fixed-size, hash-indexed table mapping a packet
+// signature to the max and min TTL values seen. δ = maxttl - minttl equals
+// the difference between the longest and shortest path the "same" packet
+// took to reach this switch; a δ beyond the threshold flags a loop (with
+// false positives, as the paper notes) and the caller flushes the offending
+// flowlet entry. The table is sized and indexed like the P4 register it
+// models: collisions overwrite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace contra::dataplane {
+
+class LoopDetector {
+ public:
+  LoopDetector(uint32_t slots, uint8_t ttl_spread_threshold);
+
+  /// Observes a packet; true when a loop is suspected (the entry resets so
+  /// one loop is reported once until it re-accumulates).
+  bool observe(uint32_t signature, uint8_t ttl);
+
+  uint64_t loops_detected() const { return loops_detected_; }
+  uint8_t threshold() const { return threshold_; }
+
+ private:
+  struct Slot {
+    uint32_t signature = 0;
+    uint8_t max_ttl = 0;
+    uint8_t min_ttl = 255;
+    bool valid = false;
+  };
+
+  std::vector<Slot> slots_;
+  uint8_t threshold_;
+  uint64_t loops_detected_ = 0;
+};
+
+}  // namespace contra::dataplane

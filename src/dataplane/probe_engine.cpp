@@ -1,0 +1,4 @@
+#include "dataplane/probe_engine.h"
+
+// Header-only components; this TU anchors the module in the build.
+namespace contra::dataplane {}

@@ -1,0 +1,55 @@
+// Probe timing utilities shared by Contra and HULA switches: the periodic
+// probe clock with per-round version numbers (§5.1-5.2) and the
+// probe-silence failure detector (§5.4 — a link is declared failed after k
+// probe periods with no probe arrivals on it).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "topology/topology.h"
+
+namespace contra::dataplane {
+
+/// Version counter advanced once per probe round.
+class ProbeClock {
+ public:
+  explicit ProbeClock(double period_s) : period_s_(period_s) {}
+
+  double period_s() const { return period_s_; }
+  uint64_t version() const { return version_; }
+  uint64_t advance() { return ++version_; }
+
+ private:
+  double period_s_;
+  uint64_t version_ = 0;
+};
+
+class FailureDetector {
+ public:
+  /// `silence_threshold_s` — how long without probes before a link is
+  /// presumed failed (the paper uses k probe periods, k≈3).
+  explicit FailureDetector(double silence_threshold_s)
+      : threshold_s_(silence_threshold_s) {}
+
+  /// A probe arrived over the given directed link (toward this switch).
+  void note_probe(topology::LinkId in_link, sim::Time now) { last_probe_[in_link] = now; }
+
+  /// Is the link presumed failed? Links that never carried a probe are
+  /// treated as alive until `now` exceeds the threshold from time zero
+  /// (bootstrap grace).
+  bool presumed_failed(topology::LinkId in_link, sim::Time now) const {
+    auto it = last_probe_.find(in_link);
+    const sim::Time last = it == last_probe_.end() ? 0.0 : it->second;
+    return now - last > threshold_s_;
+  }
+
+  double threshold_s() const { return threshold_s_; }
+
+ private:
+  double threshold_s_;
+  std::unordered_map<topology::LinkId, sim::Time> last_probe_;
+};
+
+}  // namespace contra::dataplane

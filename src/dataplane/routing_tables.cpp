@@ -1,0 +1,158 @@
+#include "dataplane/routing_tables.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+
+namespace contra::dataplane {
+
+using topology::LinkId;
+using topology::NodeId;
+using topology::Topology;
+
+namespace {
+
+/// BFS hop counts toward `dst`, honoring the availability predicate.
+std::vector<uint32_t> filtered_bfs(const Topology& topo, NodeId dst, const LinkUpFn& link_up) {
+  std::vector<uint32_t> dist(topo.num_nodes(), UINT32_MAX);
+  std::deque<NodeId> queue{dst};
+  dist[dst] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (LinkId l : topo.out_links(u)) {
+      // Links are symmetric cables: usability of either direction gates both.
+      if (link_up && !link_up(l)) continue;
+      const NodeId v = topo.link(l).to;
+      if (dist[v] == UINT32_MAX) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::vector<LinkId>>> compute_ecmp_next_hops(const Topology& topo,
+                                                                     const LinkUpFn& link_up) {
+  const uint32_t n = topo.num_nodes();
+  std::vector<std::vector<std::vector<LinkId>>> table(
+      n, std::vector<std::vector<LinkId>>(n));
+  for (NodeId dst = 0; dst < n; ++dst) {
+    const std::vector<uint32_t> dist = filtered_bfs(topo, dst, link_up);
+    for (NodeId node = 0; node < n; ++node) {
+      if (node == dst || dist[node] == UINT32_MAX) continue;
+      for (LinkId l : topo.out_links(node)) {
+        if (link_up && !link_up(l)) continue;
+        const NodeId neighbor = topo.link(l).to;
+        if (dist[neighbor] + 1 == dist[node]) table[node][dst].push_back(l);
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<std::vector<LinkId>> compute_shortest_next_hops(const Topology& topo,
+                                                            const LinkUpFn& link_up) {
+  const auto ecmp = compute_ecmp_next_hops(topo, link_up);
+  const uint32_t n = topo.num_nodes();
+  std::vector<std::vector<LinkId>> table(n, std::vector<LinkId>(n, topology::kInvalidLink));
+  for (NodeId node = 0; node < n; ++node) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (!ecmp[node][dst].empty()) {
+        // Deterministic tie-break: lowest link id.
+        table[node][dst] = *std::min_element(ecmp[node][dst].begin(), ecmp[node][dst].end());
+      }
+    }
+  }
+  return table;
+}
+
+namespace {
+
+/// Dijkstra with per-cable additive penalties (for path diversity).
+std::vector<NodeId> penalized_shortest_path(const Topology& topo, NodeId src, NodeId dst,
+                                            const std::map<LinkId, double>& penalty) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(topo.num_nodes(), inf);
+  std::vector<LinkId> via(topo.num_nodes(), topology::kInvalidLink);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (LinkId l : topo.out_links(u)) {
+      auto it = penalty.find(std::min(l, topo.link(l).reverse));
+      const double w = 1.0 + (it == penalty.end() ? 0.0 : it->second);
+      const NodeId v = topo.link(l).to;
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        via[v] = l;
+        heap.push({dist[v], v});
+      }
+    }
+  }
+  if (dist[dst] == inf) return {};
+  std::deque<NodeId> rev;
+  NodeId cur = dst;
+  while (cur != src) {
+    rev.push_front(cur);
+    cur = topo.link(via[cur]).from;
+  }
+  rev.push_front(src);
+  return {rev.begin(), rev.end()};
+}
+
+}  // namespace
+
+SpainRouting::SpainRouting(const Topology& topo, uint32_t k)
+    : topo_(&topo), k_(k), num_nodes_(topo.num_nodes()) {
+  paths_.resize(static_cast<size_t>(num_nodes_) * num_nodes_);
+  for (NodeId src = 0; src < num_nodes_; ++src) {
+    for (NodeId dst = 0; dst < num_nodes_; ++dst) {
+      if (src == dst) continue;
+      std::map<LinkId, double> penalty;
+      auto& bucket = paths_[index(src, dst)];
+      for (uint32_t i = 0; i < k_; ++i) {
+        std::vector<NodeId> path = penalized_shortest_path(topo, src, dst, penalty);
+        if (path.empty()) break;
+        // Deduplicate: a repeat means the graph has no more diversity.
+        const bool duplicate =
+            std::find(bucket.begin(), bucket.end(), path) != bucket.end();
+        for (size_t h = 0; h + 1 < path.size(); ++h) {
+          const LinkId l = topo.link_between(path[h], path[h + 1]);
+          penalty[std::min(l, topo.link(l).reverse)] += 2.0;
+        }
+        if (!duplicate) bucket.push_back(std::move(path));
+      }
+    }
+  }
+}
+
+const std::vector<NodeId>& SpainRouting::path(NodeId src, NodeId dst, uint32_t path_id) const {
+  const auto& bucket = paths_[index(src, dst)];
+  if (bucket.empty()) return empty_;
+  return bucket[path_id % bucket.size()];
+}
+
+uint32_t SpainRouting::num_paths(NodeId src, NodeId dst) const {
+  return static_cast<uint32_t>(paths_[index(src, dst)].size());
+}
+
+LinkId SpainRouting::next_hop(NodeId src, NodeId dst, uint32_t path_id, NodeId self) const {
+  const std::vector<NodeId>& p = path(src, dst, path_id);
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    if (p[i] == self) return topo_->link_between(self, p[i + 1]);
+  }
+  return topology::kInvalidLink;
+}
+
+}  // namespace contra::dataplane

@@ -1,0 +1,64 @@
+// Offline routing computations shared by the baseline dataplanes:
+// single/multi shortest-path next hops (SP, ECMP) and SPAIN-style
+// precomputed multipath sets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace contra::dataplane {
+
+/// Predicate for link availability; routing recomputation after a failure
+/// (the converged state of the underlying routing protocol) passes one that
+/// excludes the failed links.
+using LinkUpFn = std::function<bool(topology::LinkId)>;
+
+/// [node][dst] -> all out-links on hop-count-shortest paths (empty at dst).
+std::vector<std::vector<std::vector<topology::LinkId>>> compute_ecmp_next_hops(
+    const topology::Topology& topo, const LinkUpFn& link_up = {});
+
+/// [node][dst] -> the single deterministic shortest-path out-link
+/// (kInvalidLink at dst or if unreachable).
+std::vector<std::vector<topology::LinkId>> compute_shortest_next_hops(
+    const topology::Topology& topo, const LinkUpFn& link_up = {});
+
+/// SPAIN (NSDI'10) style path precomputation: k paths per (src, dst) chosen
+/// by repeated shortest-path with overlap penalties, so the set is diverse.
+/// Flows hash onto a path index carried in the packet (the VLAN id in real
+/// SPAIN); switches forward along the selected path.
+class SpainRouting {
+ public:
+  SpainRouting(const topology::Topology& topo, uint32_t k);
+
+  uint32_t k() const { return k_; }
+
+  /// The path node sequence, or empty when fewer than path_id+1 paths exist.
+  const std::vector<topology::NodeId>& path(topology::NodeId src, topology::NodeId dst,
+                                            uint32_t path_id) const;
+
+  /// Next out-link for a packet of (src, dst, path_id) currently at `self`,
+  /// or kInvalidLink if `self` is off-path (a forwarding anomaly).
+  topology::LinkId next_hop(topology::NodeId src, topology::NodeId dst, uint32_t path_id,
+                            topology::NodeId self) const;
+
+  /// Number of distinct paths available for this pair.
+  uint32_t num_paths(topology::NodeId src, topology::NodeId dst) const;
+
+ private:
+  size_t index(topology::NodeId src, topology::NodeId dst) const {
+    return static_cast<size_t>(src) * num_nodes_ + dst;
+  }
+
+  const topology::Topology* topo_;
+  uint32_t k_;
+  uint32_t num_nodes_;
+  /// [src*N+dst] -> up to k node sequences.
+  std::vector<std::vector<std::vector<topology::NodeId>>> paths_;
+  std::vector<topology::NodeId> empty_;
+};
+
+}  // namespace contra::dataplane

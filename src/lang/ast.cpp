@@ -1,0 +1,429 @@
+#include "lang/ast.h"
+
+#include <algorithm>
+
+namespace contra::lang {
+
+const char* path_attr_name(PathAttr attr) {
+  switch (attr) {
+    case PathAttr::kUtil: return "util";
+    case PathAttr::kLat: return "lat";
+    case PathAttr::kLen: return "len";
+  }
+  return "?";
+}
+
+const char* bin_op_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMin: return "min";
+    case BinOp::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* cmp_op_name(BoolTest::CmpOp op) {
+  switch (op) {
+    case BoolTest::CmpOp::kLt: return "<";
+    case BoolTest::CmpOp::kLe: return "<=";
+    case BoolTest::CmpOp::kGt: return ">";
+    case BoolTest::CmpOp::kGe: return ">=";
+    case BoolTest::CmpOp::kEq: return "==";
+    case BoolTest::CmpOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------------
+// Regex factories
+// --------------------------------------------------------------------------
+
+RegexPtr Regex::empty() {
+  static const RegexPtr r = std::make_shared<Regex>(Regex{.kind = Kind::kEmpty});
+  return r;
+}
+
+RegexPtr Regex::epsilon() {
+  static const RegexPtr r = std::make_shared<Regex>(Regex{.kind = Kind::kEpsilon});
+  return r;
+}
+
+RegexPtr Regex::make_node(std::string id) {
+  auto r = std::make_shared<Regex>();
+  r->kind = Kind::kNode;
+  r->node = std::move(id);
+  return r;
+}
+
+RegexPtr Regex::dot() {
+  static const RegexPtr r = std::make_shared<Regex>(Regex{.kind = Kind::kDot});
+  return r;
+}
+
+RegexPtr Regex::make_union(RegexPtr a, RegexPtr b) {
+  if (a->kind == Kind::kEmpty) return b;
+  if (b->kind == Kind::kEmpty) return a;
+  auto r = std::make_shared<Regex>();
+  r->kind = Kind::kUnion;
+  r->left = std::move(a);
+  r->right = std::move(b);
+  return r;
+}
+
+RegexPtr Regex::concat(RegexPtr a, RegexPtr b) {
+  if (a->kind == Kind::kEmpty || b->kind == Kind::kEmpty) return empty();
+  if (a->kind == Kind::kEpsilon) return b;
+  if (b->kind == Kind::kEpsilon) return a;
+  auto r = std::make_shared<Regex>();
+  r->kind = Kind::kConcat;
+  r->left = std::move(a);
+  r->right = std::move(b);
+  return r;
+}
+
+RegexPtr Regex::star(RegexPtr a) {
+  if (a->kind == Kind::kEmpty || a->kind == Kind::kEpsilon) return epsilon();
+  if (a->kind == Kind::kStar) return a;
+  auto r = std::make_shared<Regex>();
+  r->kind = Kind::kStar;
+  r->left = std::move(a);
+  return r;
+}
+
+RegexPtr Regex::literal_path(const std::vector<std::string>& ids) {
+  RegexPtr r = epsilon();
+  for (const auto& id : ids) r = concat(r, make_node(id));
+  return r;
+}
+
+bool Regex::equal(const Regex& a, const Regex& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::kEmpty:
+    case Kind::kEpsilon:
+    case Kind::kDot:
+      return true;
+    case Kind::kNode:
+      return a.node == b.node;
+    case Kind::kStar:
+      return equal(*a.left, *b.left);
+    case Kind::kUnion:
+    case Kind::kConcat:
+      return equal(*a.left, *b.left) && equal(*a.right, *b.right);
+  }
+  return false;
+}
+
+RegexPtr Regex::reverse(const RegexPtr& r) {
+  switch (r->kind) {
+    case Kind::kEmpty:
+    case Kind::kEpsilon:
+    case Kind::kNode:
+    case Kind::kDot:
+      return r;
+    case Kind::kUnion:
+      return make_union(reverse(r->left), reverse(r->right));
+    case Kind::kConcat:
+      return concat(reverse(r->right), reverse(r->left));
+    case Kind::kStar:
+      return star(reverse(r->left));
+  }
+  return empty();
+}
+
+std::vector<std::string> Regex::mentioned_nodes(const RegexPtr& r) {
+  std::vector<std::string> out;
+  auto visit = [&](auto&& self, const RegexPtr& cur) -> void {
+    if (!cur) return;
+    if (cur->kind == Kind::kNode) {
+      if (std::find(out.begin(), out.end(), cur->node) == out.end()) out.push_back(cur->node);
+    }
+    self(self, cur->left);
+    self(self, cur->right);
+  };
+  visit(visit, r);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Test factories
+// --------------------------------------------------------------------------
+
+TestPtr BoolTest::regex_test(RegexPtr r) {
+  auto t = std::make_shared<BoolTest>();
+  t->kind = Kind::kRegex;
+  t->regex = std::move(r);
+  return t;
+}
+
+TestPtr BoolTest::compare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto t = std::make_shared<BoolTest>();
+  t->kind = Kind::kCompare;
+  t->cmp = op;
+  t->cmp_lhs = std::move(lhs);
+  t->cmp_rhs = std::move(rhs);
+  return t;
+}
+
+TestPtr BoolTest::negate(TestPtr inner) {
+  auto t = std::make_shared<BoolTest>();
+  t->kind = Kind::kNot;
+  t->left = std::move(inner);
+  return t;
+}
+
+TestPtr BoolTest::disj(TestPtr a, TestPtr b) {
+  auto t = std::make_shared<BoolTest>();
+  t->kind = Kind::kOr;
+  t->left = std::move(a);
+  t->right = std::move(b);
+  return t;
+}
+
+TestPtr BoolTest::conj(TestPtr a, TestPtr b) {
+  auto t = std::make_shared<BoolTest>();
+  t->kind = Kind::kAnd;
+  t->left = std::move(a);
+  t->right = std::move(b);
+  return t;
+}
+
+// --------------------------------------------------------------------------
+// Expression factories
+// --------------------------------------------------------------------------
+
+ExprPtr Expr::constant(util::Fixed v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->value = v;
+  return e;
+}
+
+ExprPtr Expr::constant(double v) { return constant(util::Fixed::from_double(v)); }
+
+ExprPtr Expr::infinity() {
+  static const ExprPtr e = std::make_shared<Expr>(Expr{.kind = Kind::kInfinity});
+  return e;
+}
+
+ExprPtr Expr::attribute(PathAttr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kAttr;
+  e->attr = a;
+  return e;
+}
+
+ExprPtr Expr::binop(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinOp;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::if_then_else(TestPtr c, ExprPtr t, ExprPtr els) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kIf;
+  e->cond = std::move(c);
+  e->then_branch = std::move(t);
+  e->else_branch = std::move(els);
+  return e;
+}
+
+ExprPtr Expr::tuple(std::vector<ExprPtr> es) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kTuple;
+  e->elems = std::move(es);
+  return e;
+}
+
+// --------------------------------------------------------------------------
+// Structural queries
+// --------------------------------------------------------------------------
+
+namespace {
+
+void collect_regexes_test(const TestPtr& t, std::vector<RegexPtr>& out);
+
+void collect_regexes_expr(const ExprPtr& e, std::vector<RegexPtr>& out) {
+  if (!e) return;
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+    case Expr::Kind::kAttr:
+      return;
+    case Expr::Kind::kBinOp:
+      collect_regexes_expr(e->lhs, out);
+      collect_regexes_expr(e->rhs, out);
+      return;
+    case Expr::Kind::kIf:
+      collect_regexes_test(e->cond, out);
+      collect_regexes_expr(e->then_branch, out);
+      collect_regexes_expr(e->else_branch, out);
+      return;
+    case Expr::Kind::kTuple:
+      for (const auto& el : e->elems) collect_regexes_expr(el, out);
+      return;
+  }
+}
+
+void collect_regexes_test(const TestPtr& t, std::vector<RegexPtr>& out) {
+  if (!t) return;
+  switch (t->kind) {
+    case BoolTest::Kind::kRegex: {
+      for (const auto& r : out)
+        if (Regex::equal(*r, *t->regex)) return;
+      out.push_back(t->regex);
+      return;
+    }
+    case BoolTest::Kind::kCompare:
+      collect_regexes_expr(t->cmp_lhs, out);
+      collect_regexes_expr(t->cmp_rhs, out);
+      return;
+    case BoolTest::Kind::kNot:
+      collect_regexes_test(t->left, out);
+      return;
+    case BoolTest::Kind::kOr:
+    case BoolTest::Kind::kAnd:
+      collect_regexes_test(t->left, out);
+      collect_regexes_test(t->right, out);
+      return;
+  }
+}
+
+void collect_attrs_test(const TestPtr& t, std::vector<PathAttr>& out);
+
+void collect_attrs_expr(const ExprPtr& e, std::vector<PathAttr>& out) {
+  if (!e) return;
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+      return;
+    case Expr::Kind::kAttr:
+      if (std::find(out.begin(), out.end(), e->attr) == out.end()) out.push_back(e->attr);
+      return;
+    case Expr::Kind::kBinOp:
+      collect_attrs_expr(e->lhs, out);
+      collect_attrs_expr(e->rhs, out);
+      return;
+    case Expr::Kind::kIf:
+      collect_attrs_test(e->cond, out);
+      collect_attrs_expr(e->then_branch, out);
+      collect_attrs_expr(e->else_branch, out);
+      return;
+    case Expr::Kind::kTuple:
+      for (const auto& el : e->elems) collect_attrs_expr(el, out);
+      return;
+  }
+}
+
+void collect_attrs_test(const TestPtr& t, std::vector<PathAttr>& out) {
+  if (!t) return;
+  switch (t->kind) {
+    case BoolTest::Kind::kRegex:
+      return;
+    case BoolTest::Kind::kCompare:
+      collect_attrs_expr(t->cmp_lhs, out);
+      collect_attrs_expr(t->cmp_rhs, out);
+      return;
+    case BoolTest::Kind::kNot:
+      collect_attrs_test(t->left, out);
+      return;
+    case BoolTest::Kind::kOr:
+    case BoolTest::Kind::kAnd:
+      collect_attrs_test(t->left, out);
+      collect_attrs_test(t->right, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<RegexPtr> collect_regexes(const Policy& policy) {
+  std::vector<RegexPtr> out;
+  collect_regexes_expr(policy.objective, out);
+  return out;
+}
+
+std::vector<PathAttr> collect_attrs(const Policy& policy) {
+  std::vector<PathAttr> out;
+  collect_attrs_expr(policy.objective, out);
+  return out;
+}
+
+bool test_is_dynamic(const TestPtr& t) {
+  if (!t) return false;
+  switch (t->kind) {
+    case BoolTest::Kind::kRegex:
+      return false;
+    case BoolTest::Kind::kCompare:
+      // A comparison is dynamic if either side mentions an attribute or
+      // contains a dynamic sub-test; constant-only comparisons are static.
+      return expr_has_dynamic_test(t->cmp_lhs) || expr_has_dynamic_test(t->cmp_rhs) ||
+             expr_uses_attr(t->cmp_lhs, PathAttr::kUtil) ||
+             expr_uses_attr(t->cmp_lhs, PathAttr::kLat) ||
+             expr_uses_attr(t->cmp_lhs, PathAttr::kLen) ||
+             expr_uses_attr(t->cmp_rhs, PathAttr::kUtil) ||
+             expr_uses_attr(t->cmp_rhs, PathAttr::kLat) ||
+             expr_uses_attr(t->cmp_rhs, PathAttr::kLen);
+    case BoolTest::Kind::kNot:
+      return test_is_dynamic(t->left);
+    case BoolTest::Kind::kOr:
+    case BoolTest::Kind::kAnd:
+      return test_is_dynamic(t->left) || test_is_dynamic(t->right);
+  }
+  return false;
+}
+
+bool expr_has_dynamic_test(const ExprPtr& e) {
+  if (!e) return false;
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+    case Expr::Kind::kAttr:
+      return false;
+    case Expr::Kind::kBinOp:
+      return expr_has_dynamic_test(e->lhs) || expr_has_dynamic_test(e->rhs);
+    case Expr::Kind::kIf:
+      return test_is_dynamic(e->cond) || expr_has_dynamic_test(e->then_branch) ||
+             expr_has_dynamic_test(e->else_branch);
+    case Expr::Kind::kTuple:
+      for (const auto& el : e->elems)
+        if (expr_has_dynamic_test(el)) return true;
+      return false;
+  }
+  return false;
+}
+
+bool has_dynamic_test(const Policy& policy) { return expr_has_dynamic_test(policy.objective); }
+
+bool expr_uses_attr(const ExprPtr& e, PathAttr attr) {
+  std::vector<PathAttr> attrs;
+  collect_attrs_expr(e, attrs);
+  return std::find(attrs.begin(), attrs.end(), attr) != attrs.end();
+}
+
+size_t expr_size(const ExprPtr& e) {
+  if (!e) return 0;
+  size_t n = 1;
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+    case Expr::Kind::kAttr:
+      break;
+    case Expr::Kind::kBinOp:
+      n += expr_size(e->lhs) + expr_size(e->rhs);
+      break;
+    case Expr::Kind::kIf:
+      n += 1 + expr_size(e->then_branch) + expr_size(e->else_branch);
+      break;
+    case Expr::Kind::kTuple:
+      for (const auto& el : e->elems) n += expr_size(el);
+      break;
+  }
+  return n;
+}
+
+}  // namespace contra::lang

@@ -1,0 +1,152 @@
+// Abstract syntax for the Contra policy language (paper Fig. 2).
+//
+//   pol ::= minimize(e)
+//   e   ::= n | inf | path.attr | e1 (+|-|min|max) e2 | if b then e1 else e2 | (e1,...,en)
+//   b   ::= r | e1 <= e2 | not b | b1 or b2 | b1 and b2
+//   r   ::= node_id | . | r1 + r2 | r1 r2 | r*
+//
+// Nodes are immutable and shared; the compiler freely aliases subtrees when
+// decomposing policies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/fixed_point.h"
+
+namespace contra::lang {
+
+/// Dynamic path attributes a policy can rank on. `util` aggregates along a
+/// path by max (bottleneck), `lat` and `len` by addition.
+enum class PathAttr { kUtil, kLat, kLen };
+
+const char* path_attr_name(PathAttr attr);
+
+enum class BinOp { kAdd, kSub, kMin, kMax };
+
+const char* bin_op_name(BinOp op);
+
+// ---------------------------------------------------------------------------
+// Regular path expressions
+// ---------------------------------------------------------------------------
+
+struct Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+struct Regex {
+  enum class Kind {
+    kEmpty,    ///< matches nothing (the zero of union)
+    kEpsilon,  ///< matches the empty path
+    kNode,     ///< a single switch id
+    kDot,      ///< any single switch
+    kUnion,    ///< r1 + r2
+    kConcat,   ///< r1 r2
+    kStar,     ///< r*
+  };
+
+  Kind kind = Kind::kEmpty;
+  std::string node;        ///< kNode only
+  RegexPtr left;           ///< kUnion / kConcat / kStar
+  RegexPtr right;          ///< kUnion / kConcat
+
+  static RegexPtr empty();
+  static RegexPtr epsilon();
+  static RegexPtr make_node(std::string id);
+  static RegexPtr dot();
+  static RegexPtr make_union(RegexPtr a, RegexPtr b);
+  static RegexPtr concat(RegexPtr a, RegexPtr b);
+  static RegexPtr star(RegexPtr a);
+  /// Convenience: concatenation of node ids, e.g. {"A","B","D"} -> A B D.
+  static RegexPtr literal_path(const std::vector<std::string>& ids);
+
+  /// Structural equality (used to dedup regexes across a policy).
+  static bool equal(const Regex& a, const Regex& b);
+
+  /// The regex matching reversed strings (probes travel opposite to traffic;
+  /// the compiler builds automata for reversed policy regexes, §4.1).
+  static RegexPtr reverse(const RegexPtr& r);
+
+  /// All node ids mentioned, in first-appearance order.
+  static std::vector<std::string> mentioned_nodes(const RegexPtr& r);
+};
+
+// ---------------------------------------------------------------------------
+// Boolean tests and ranking expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+struct BoolTest;
+using TestPtr = std::shared_ptr<const BoolTest>;
+
+struct BoolTest {
+  enum class Kind { kRegex, kCompare, kNot, kOr, kAnd };
+  enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+  Kind kind = Kind::kRegex;
+  RegexPtr regex;           ///< kRegex
+  CmpOp cmp = CmpOp::kLe;   ///< kCompare
+  ExprPtr cmp_lhs, cmp_rhs; ///< kCompare
+  TestPtr left, right;      ///< kNot (left only) / kOr / kAnd
+
+  static TestPtr regex_test(RegexPtr r);
+  static TestPtr compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+  static TestPtr negate(TestPtr t);
+  static TestPtr disj(TestPtr a, TestPtr b);
+  static TestPtr conj(TestPtr a, TestPtr b);
+};
+
+const char* cmp_op_name(BoolTest::CmpOp op);
+
+struct Expr {
+  enum class Kind { kConst, kInfinity, kAttr, kBinOp, kIf, kTuple };
+
+  Kind kind = Kind::kConst;
+  util::Fixed value;              ///< kConst
+  PathAttr attr = PathAttr::kUtil;///< kAttr
+  BinOp op = BinOp::kAdd;         ///< kBinOp
+  ExprPtr lhs, rhs;               ///< kBinOp
+  TestPtr cond;                   ///< kIf
+  ExprPtr then_branch, else_branch;
+  std::vector<ExprPtr> elems;     ///< kTuple
+
+  static ExprPtr constant(util::Fixed v);
+  static ExprPtr constant(double v);
+  static ExprPtr infinity();
+  static ExprPtr attribute(PathAttr a);
+  static ExprPtr binop(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr if_then_else(TestPtr c, ExprPtr t, ExprPtr e);
+  static ExprPtr tuple(std::vector<ExprPtr> es);
+};
+
+/// A complete policy: minimize(objective).
+struct Policy {
+  ExprPtr objective;
+};
+
+// ---------------------------------------------------------------------------
+// Structural queries used by the analyses and the compiler
+// ---------------------------------------------------------------------------
+
+/// Every distinct regex (structurally deduplicated) in evaluation order.
+std::vector<RegexPtr> collect_regexes(const Policy& policy);
+
+/// Path attributes referenced anywhere in the policy, deduplicated, in
+/// first-use order.
+std::vector<PathAttr> collect_attrs(const Policy& policy);
+
+/// True if any boolean test compares dynamic attributes (a "soft constraint"
+/// in the paper's terms) — the source of non-isotonicity handled by
+/// decomposition.
+bool has_dynamic_test(const Policy& policy);
+bool expr_has_dynamic_test(const ExprPtr& e);
+bool test_is_dynamic(const TestPtr& t);
+
+/// True if the expression mentions the given attribute.
+bool expr_uses_attr(const ExprPtr& e, PathAttr attr);
+
+/// Number of AST nodes — a size measure reported by compiler stats.
+size_t expr_size(const ExprPtr& e);
+
+}  // namespace contra::lang

@@ -1,0 +1,157 @@
+#include "lang/eval.h"
+
+#include <algorithm>
+
+namespace contra::lang {
+
+namespace {
+
+// ----- Brzozowski derivative matcher ---------------------------------------
+
+bool nullable(const RegexPtr& r) {
+  switch (r->kind) {
+    case Regex::Kind::kEmpty:
+    case Regex::Kind::kNode:
+    case Regex::Kind::kDot:
+      return false;
+    case Regex::Kind::kEpsilon:
+    case Regex::Kind::kStar:
+      return true;
+    case Regex::Kind::kUnion:
+      return nullable(r->left) || nullable(r->right);
+    case Regex::Kind::kConcat:
+      return nullable(r->left) && nullable(r->right);
+  }
+  return false;
+}
+
+RegexPtr derivative(const RegexPtr& r, const std::string& symbol) {
+  switch (r->kind) {
+    case Regex::Kind::kEmpty:
+    case Regex::Kind::kEpsilon:
+      return Regex::empty();
+    case Regex::Kind::kNode:
+      return r->node == symbol ? Regex::epsilon() : Regex::empty();
+    case Regex::Kind::kDot:
+      return Regex::epsilon();
+    case Regex::Kind::kUnion:
+      return Regex::make_union(derivative(r->left, symbol), derivative(r->right, symbol));
+    case Regex::Kind::kConcat: {
+      RegexPtr first = Regex::concat(derivative(r->left, symbol), r->right);
+      if (nullable(r->left)) {
+        return Regex::make_union(std::move(first), derivative(r->right, symbol));
+      }
+      return first;
+    }
+    case Regex::Kind::kStar:
+      return Regex::concat(derivative(r->left, symbol), r);
+  }
+  return Regex::empty();
+}
+
+bool evaluate_test(const TestPtr& t, const std::vector<std::string>& nodes,
+                   const PathAttributes& attrs);
+
+Rank evaluate_expr_impl(const ExprPtr& e, const std::vector<std::string>& nodes,
+                        const PathAttributes& attrs) {
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+      return Rank::scalar(e->value);
+    case Expr::Kind::kInfinity:
+      return Rank::infinity();
+    case Expr::Kind::kAttr:
+      switch (e->attr) {
+        case PathAttr::kUtil: return Rank::scalar(attrs.util);
+        case PathAttr::kLat: return Rank::scalar(attrs.lat);
+        case PathAttr::kLen: return Rank::scalar(attrs.len);
+      }
+      return Rank::infinity();
+    case Expr::Kind::kBinOp: {
+      const Rank a = evaluate_expr_impl(e->lhs, nodes, attrs);
+      const Rank b = evaluate_expr_impl(e->rhs, nodes, attrs);
+      switch (e->op) {
+        case BinOp::kAdd: return Rank::add(a, b);
+        case BinOp::kSub: return Rank::sub(a, b);
+        case BinOp::kMin: return Rank::min(a, b);
+        case BinOp::kMax: return Rank::max(a, b);
+      }
+      return Rank::infinity();
+    }
+    case Expr::Kind::kIf:
+      return evaluate_test(e->cond, nodes, attrs)
+                 ? evaluate_expr_impl(e->then_branch, nodes, attrs)
+                 : evaluate_expr_impl(e->else_branch, nodes, attrs);
+    case Expr::Kind::kTuple: {
+      std::vector<Rank> elems;
+      elems.reserve(e->elems.size());
+      for (const auto& el : e->elems) elems.push_back(evaluate_expr_impl(el, nodes, attrs));
+      return Rank::concat(elems);
+    }
+  }
+  return Rank::infinity();
+}
+
+bool evaluate_test(const TestPtr& t, const std::vector<std::string>& nodes,
+                   const PathAttributes& attrs) {
+  switch (t->kind) {
+    case BoolTest::Kind::kRegex:
+      return regex_matches(t->regex, nodes);
+    case BoolTest::Kind::kCompare: {
+      const Rank a = evaluate_expr_impl(t->cmp_lhs, nodes, attrs);
+      const Rank b = evaluate_expr_impl(t->cmp_rhs, nodes, attrs);
+      switch (t->cmp) {
+        case BoolTest::CmpOp::kLt: return a < b;
+        case BoolTest::CmpOp::kLe: return a <= b;
+        case BoolTest::CmpOp::kGt: return a > b;
+        case BoolTest::CmpOp::kGe: return a >= b;
+        case BoolTest::CmpOp::kEq: return a == b;
+        case BoolTest::CmpOp::kNe: return a != b;
+      }
+      return false;
+    }
+    case BoolTest::Kind::kNot:
+      return !evaluate_test(t->left, nodes, attrs);
+    case BoolTest::Kind::kOr:
+      return evaluate_test(t->left, nodes, attrs) || evaluate_test(t->right, nodes, attrs);
+    case BoolTest::Kind::kAnd:
+      return evaluate_test(t->left, nodes, attrs) && evaluate_test(t->right, nodes, attrs);
+  }
+  return false;
+}
+
+}  // namespace
+
+PathAttributes aggregate(const ConcretePath& path) {
+  PathAttributes attrs;
+  for (const LinkMetrics& link : path.links) {
+    attrs.util = std::max(attrs.util, link.util);
+    attrs.lat += link.lat;
+  }
+  attrs.len = static_cast<double>(path.links.size());
+  return attrs;
+}
+
+bool regex_matches(const RegexPtr& regex, const std::vector<std::string>& nodes) {
+  RegexPtr current = regex;
+  for (const std::string& node : nodes) {
+    if (current->kind == Regex::Kind::kEmpty) return false;
+    current = derivative(current, node);
+  }
+  return nullable(current);
+}
+
+Rank evaluate_expr(const ExprPtr& expr, const std::vector<std::string>& nodes,
+                   const PathAttributes& attrs) {
+  return evaluate_expr_impl(expr, nodes, attrs);
+}
+
+Rank evaluate(const Policy& policy, const ConcretePath& path) {
+  return evaluate_expr_impl(policy.objective, path.nodes, aggregate(path));
+}
+
+Rank evaluate_with_attrs(const Policy& policy, const std::vector<std::string>& nodes,
+                         const PathAttributes& attrs) {
+  return evaluate_expr_impl(policy.objective, nodes, attrs);
+}
+
+}  // namespace contra::lang

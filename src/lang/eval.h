@@ -1,0 +1,58 @@
+// Reference (specification-level) semantics of policies.
+//
+// This evaluator ranks a concrete path given per-link metrics. It is the
+// ground truth the compiler and the dataplane are validated against: for any
+// path p, the rank the distributed protocol converges to must equal
+// evaluate(policy, p).
+//
+// Regex matching uses Brzozowski derivatives — self-contained, no dependency
+// on the automata module (which itself is tested against this matcher).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/rank.h"
+
+namespace contra::lang {
+
+/// Metrics of one directed link on a path.
+struct LinkMetrics {
+  double util = 0.0;  ///< utilization in [0, 1] (or any max-combined metric)
+  double lat = 0.0;   ///< latency contribution (additive)
+};
+
+/// A concrete path: nodes_[0] is the traffic source, nodes_.back() the
+/// destination; links_[i] connects nodes_[i] -> nodes_[i+1].
+struct ConcretePath {
+  std::vector<std::string> nodes;
+  std::vector<LinkMetrics> links;
+};
+
+/// Aggregated path attributes per the metric algebra (util: max, lat: +,
+/// len: hop count).
+struct PathAttributes {
+  double util = 0.0;
+  double lat = 0.0;
+  double len = 0.0;
+};
+
+PathAttributes aggregate(const ConcretePath& path);
+
+/// Whether the regex matches the node sequence of the path.
+bool regex_matches(const RegexPtr& regex, const std::vector<std::string>& nodes);
+
+/// Evaluates an expression given path shape (for regex tests) and attributes.
+Rank evaluate_expr(const ExprPtr& expr, const std::vector<std::string>& nodes,
+                   const PathAttributes& attrs);
+
+/// Ranks a path under a policy. Lower is better; ∞ means forbidden.
+Rank evaluate(const Policy& policy, const ConcretePath& path);
+
+/// Evaluates with explicitly supplied attributes (used by analyses that
+/// sample attribute space independently of a concrete link assignment).
+Rank evaluate_with_attrs(const Policy& policy, const std::vector<std::string>& nodes,
+                         const PathAttributes& attrs);
+
+}  // namespace contra::lang

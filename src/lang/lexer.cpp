@@ -1,0 +1,131 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace contra::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> map = {
+      {"minimize", TokenKind::kMinimize}, {"if", TokenKind::kIf},
+      {"then", TokenKind::kThen},         {"else", TokenKind::kElse},
+      {"not", TokenKind::kNot},           {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},             {"path", TokenKind::kPath},
+      {"inf", TokenKind::kInf},           {"min", TokenKind::kMin},
+      {"max", TokenKind::kMax},
+  };
+  return map;
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = src.size();
+  auto push = [&](TokenKind kind, size_t at, std::string text = {}) {
+    out.push_back(Token{.kind = kind, .text = std::move(text), .number = 0.0, .offset = at});
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // line comment
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    const size_t at = i;
+    if (is_ident_start(c)) {
+      size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      std::string word(src.substr(i, j - i));
+      auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second, at, word);
+      } else {
+        push(TokenKind::kIdent, at, word);
+      }
+      i = j;
+      continue;
+    }
+    // A number is digits, or '.' immediately followed by a digit (".8").
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (is_digit(src[j]) || (src[j] == '.' && !seen_dot))) {
+        // Do not absorb '.' that begins a regex wildcard after an integer:
+        // only treat '.' as part of the number when a digit follows.
+        if (src[j] == '.') {
+          if (j + 1 >= n || !is_digit(src[j + 1])) break;
+          seen_dot = true;
+        }
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(src.substr(i, j - i));
+      t.number = std::stod(t.text);
+      t.offset = at;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, at); ++i; break;
+      case ')': push(TokenKind::kRParen, at); ++i; break;
+      case ',': push(TokenKind::kComma, at); ++i; break;
+      case '.': push(TokenKind::kDot, at); ++i; break;
+      case '*': push(TokenKind::kStar, at); ++i; break;
+      case '+': push(TokenKind::kPlus, at); ++i; break;
+      case '-': push(TokenKind::kMinus, at); ++i; break;
+      case '<':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kLe, at);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, at);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kGe, at);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, at);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kEq, at);
+          i += 2;
+        } else {
+          throw ParseError("expected '==' but found lone '='", at);
+        }
+        break;
+      case '!':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kNe, at);
+          i += 2;
+        } else {
+          throw ParseError("expected '!=' but found lone '!'", at);
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", at);
+    }
+  }
+  out.push_back(Token{.kind = TokenKind::kEnd, .text = "", .number = 0.0, .offset = n});
+  return out;
+}
+
+}  // namespace contra::lang

@@ -1,0 +1,27 @@
+// Lexer for the Contra policy language.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace contra::lang {
+
+/// Raised on malformed policy text; carries the byte offset.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, size_t offset)
+      : std::runtime_error(std::move(message)), offset_(offset) {}
+  size_t offset() const { return offset_; }
+
+ private:
+  size_t offset_;
+};
+
+/// Tokenizes a full policy string. A trailing kEnd token is always appended.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace contra::lang

@@ -1,0 +1,286 @@
+#include "lang/parser.h"
+
+#include <optional>
+
+namespace contra::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Policy parse_policy() {
+    expect(TokenKind::kMinimize);
+    expect(TokenKind::kLParen);
+    ExprPtr e = parse_expression();
+    expect(TokenKind::kRParen);
+    expect(TokenKind::kEnd);
+    return Policy{.objective = std::move(e)};
+  }
+
+  ExprPtr parse_bare_expr() {
+    ExprPtr e = parse_expression();
+    expect(TokenKind::kEnd);
+    return e;
+  }
+
+  RegexPtr parse_bare_regex() {
+    RegexPtr r = parse_regex_union();
+    expect(TokenKind::kEnd);
+    return r;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  TokenKind kind(size_t ahead = 0) const { return peek(ahead).kind; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool accept(TokenKind k) {
+    if (kind() == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(TokenKind k) {
+    if (kind() != k) {
+      throw ParseError(std::string("expected ") + token_kind_name(k) + " but found " +
+                           token_kind_name(kind()),
+                       peek().offset);
+    }
+    return advance();
+  }
+  [[noreturn]] void fail(const std::string& message) { throw ParseError(message, peek().offset); }
+
+  // ----- expressions ------------------------------------------------------
+
+  ExprPtr parse_expression() {
+    if (kind() == TokenKind::kIf) return parse_if();
+    return parse_additive();
+  }
+
+  ExprPtr parse_if() {
+    expect(TokenKind::kIf);
+    TestPtr cond = parse_test();
+    expect(TokenKind::kThen);
+    ExprPtr then_branch = parse_expression();
+    expect(TokenKind::kElse);
+    ExprPtr else_branch = parse_expression();
+    return Expr::if_then_else(std::move(cond), std::move(then_branch), std::move(else_branch));
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr left = parse_primary();
+    while (kind() == TokenKind::kPlus || kind() == TokenKind::kMinus) {
+      const BinOp op = kind() == TokenKind::kPlus ? BinOp::kAdd : BinOp::kSub;
+      advance();
+      ExprPtr right = parse_primary();
+      left = Expr::binop(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr parse_primary() {
+    switch (kind()) {
+      case TokenKind::kNumber: {
+        const double v = advance().number;
+        return Expr::constant(v);
+      }
+      case TokenKind::kInf:
+        advance();
+        return Expr::infinity();
+      case TokenKind::kPath: {
+        advance();
+        expect(TokenKind::kDot);
+        const Token& attr = expect(TokenKind::kIdent);
+        if (attr.text == "util") return Expr::attribute(PathAttr::kUtil);
+        if (attr.text == "lat") return Expr::attribute(PathAttr::kLat);
+        if (attr.text == "len") return Expr::attribute(PathAttr::kLen);
+        throw ParseError("unknown path attribute 'path." + attr.text +
+                             "' (expected util, lat, or len)",
+                         attr.offset);
+      }
+      case TokenKind::kMin:
+      case TokenKind::kMax: {
+        const BinOp op = kind() == TokenKind::kMin ? BinOp::kMin : BinOp::kMax;
+        advance();
+        expect(TokenKind::kLParen);
+        ExprPtr a = parse_expression();
+        expect(TokenKind::kComma);
+        ExprPtr b = parse_expression();
+        expect(TokenKind::kRParen);
+        return Expr::binop(op, std::move(a), std::move(b));
+      }
+      case TokenKind::kIf:
+        return parse_if();
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr first = parse_expression();
+        if (accept(TokenKind::kComma)) {
+          std::vector<ExprPtr> elems;
+          elems.push_back(std::move(first));
+          do {
+            elems.push_back(parse_expression());
+          } while (accept(TokenKind::kComma));
+          expect(TokenKind::kRParen);
+          return Expr::tuple(std::move(elems));
+        }
+        expect(TokenKind::kRParen);
+        return first;
+      }
+      default:
+        fail(std::string("expected a ranking expression but found ") + token_kind_name(kind()));
+    }
+  }
+
+  // ----- boolean tests ----------------------------------------------------
+
+  TestPtr parse_test() { return parse_or_test(); }
+
+  TestPtr parse_or_test() {
+    TestPtr left = parse_and_test();
+    while (accept(TokenKind::kOr)) {
+      TestPtr right = parse_and_test();
+      left = BoolTest::disj(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  TestPtr parse_and_test() {
+    TestPtr left = parse_not_test();
+    while (accept(TokenKind::kAnd)) {
+      TestPtr right = parse_not_test();
+      left = BoolTest::conj(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  TestPtr parse_not_test() {
+    if (accept(TokenKind::kNot)) return BoolTest::negate(parse_not_test());
+    return parse_base_test();
+  }
+
+  TestPtr parse_base_test() {
+    switch (kind()) {
+      case TokenKind::kIdent:
+      case TokenKind::kDot:
+        return BoolTest::regex_test(parse_regex_union());
+      case TokenKind::kPath:
+      case TokenKind::kNumber:
+      case TokenKind::kInf:
+      case TokenKind::kMin:
+      case TokenKind::kMax:
+        return parse_comparison();
+      case TokenKind::kLParen: {
+        // Tentatively try: regex (it may continue past the group, e.g.
+        // "(A + B)* C"), then grouped boolean test, then comparison.
+        const size_t save = pos_;
+        try {
+          return BoolTest::regex_test(parse_regex_union());
+        } catch (const ParseError&) {
+          pos_ = save;
+        }
+        try {
+          advance();
+          TestPtr inner = parse_test();
+          expect(TokenKind::kRParen);
+          return inner;
+        } catch (const ParseError&) {
+          pos_ = save;
+        }
+        return parse_comparison();
+      }
+      default:
+        fail(std::string("expected a boolean test but found ") + token_kind_name(kind()));
+    }
+  }
+
+  TestPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    BoolTest::CmpOp op;
+    switch (kind()) {
+      case TokenKind::kLt: op = BoolTest::CmpOp::kLt; break;
+      case TokenKind::kLe: op = BoolTest::CmpOp::kLe; break;
+      case TokenKind::kGt: op = BoolTest::CmpOp::kGt; break;
+      case TokenKind::kGe: op = BoolTest::CmpOp::kGe; break;
+      case TokenKind::kEq: op = BoolTest::CmpOp::kEq; break;
+      case TokenKind::kNe: op = BoolTest::CmpOp::kNe; break;
+      default:
+        fail("expected a comparison operator");
+    }
+    advance();
+    ExprPtr rhs = parse_additive();
+    return BoolTest::compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  // ----- regular path expressions -----------------------------------------
+
+  RegexPtr parse_regex_union() {
+    RegexPtr left = parse_regex_concat();
+    while (kind() == TokenKind::kPlus) {
+      advance();
+      RegexPtr right = parse_regex_concat();
+      left = Regex::make_union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  RegexPtr parse_regex_concat() {
+    RegexPtr left = parse_regex_star();
+    while (kind() == TokenKind::kIdent || kind() == TokenKind::kDot ||
+           kind() == TokenKind::kLParen) {
+      RegexPtr right = parse_regex_star();
+      left = Regex::concat(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  RegexPtr parse_regex_star() {
+    RegexPtr atom = parse_regex_atom();
+    while (accept(TokenKind::kStar)) atom = Regex::star(std::move(atom));
+    return atom;
+  }
+
+  RegexPtr parse_regex_atom() {
+    switch (kind()) {
+      case TokenKind::kIdent:
+        return Regex::make_node(advance().text);
+      case TokenKind::kDot:
+        advance();
+        return Regex::dot();
+      case TokenKind::kLParen: {
+        advance();
+        RegexPtr inner = parse_regex_union();
+        expect(TokenKind::kRParen);
+        return inner;
+      }
+      default:
+        fail(std::string("expected a path expression but found ") + token_kind_name(kind()));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Policy parse_policy(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse_policy();
+}
+
+RegexPtr parse_regex(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse_bare_regex();
+}
+
+ExprPtr parse_expr(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse_bare_expr();
+}
+
+}  // namespace contra::lang

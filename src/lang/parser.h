@@ -1,0 +1,28 @@
+// Recursive-descent parser for the Contra policy language (Fig. 2).
+//
+// Disambiguation notes:
+//  - In boolean-test position, a leading identifier or '.' starts a regular
+//    path expression; 'path', a number, 'inf', 'min' or 'max' starts a
+//    comparison. A leading '(' is resolved by tentative parsing with
+//    backtracking (grouped test, then regex, then comparison).
+//  - Regex union uses '+', which never collides with arithmetic '+' because
+//    regexes and arithmetic live in disjoint grammar positions.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace contra::lang {
+
+/// Parses "minimize(<expr>)". Throws ParseError on malformed input.
+Policy parse_policy(std::string_view source);
+
+/// Parses a bare regular path expression (used by tests and tools).
+RegexPtr parse_regex(std::string_view source);
+
+/// Parses a bare ranking expression.
+ExprPtr parse_expr(std::string_view source);
+
+}  // namespace contra::lang

@@ -1,0 +1,45 @@
+#include "lang/policies.h"
+
+namespace contra::lang::policies {
+
+Policy shortest_path() { return parse_policy("minimize(path.len)"); }
+
+Policy min_util() { return parse_policy("minimize(path.util)"); }
+
+Policy widest_shortest() { return parse_policy("minimize((path.util, path.len))"); }
+
+Policy shortest_widest() { return parse_policy("minimize((path.len, path.util))"); }
+
+Policy waypoint(const std::string& f1, const std::string& f2) {
+  return parse_policy("minimize(if .* (" + f1 + " + " + f2 +
+                      ") .* then path.util else inf)");
+}
+
+Policy waypoint_single(const std::string& w) {
+  return parse_policy("minimize(if .* " + w + " .* then path.util else inf)");
+}
+
+Policy link_preference(const std::string& x, const std::string& y) {
+  return parse_policy("minimize(if .* " + x + " " + y + " .* then path.util else inf)");
+}
+
+Policy weighted_link(const std::string& x, const std::string& y, int weight) {
+  return parse_policy("minimize((if .* " + x + " " + y + " .* then " + std::to_string(weight) +
+                      " else 0) + path.len)");
+}
+
+Policy source_local(const std::string& x) {
+  return parse_policy("minimize(if " + x + " .* then path.util else path.lat)");
+}
+
+Policy congestion_aware() {
+  return parse_policy(
+      "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))");
+}
+
+Policy failover(const std::string& path1, const std::string& path2) {
+  return parse_policy("minimize(if " + path1 + " then 0 else if " + path2 +
+                      " then 1 else inf)");
+}
+
+}  // namespace contra::lang::policies

@@ -1,0 +1,45 @@
+// The policy catalog from paper Fig. 3 (P1–P9), as reusable constructors.
+// Node-dependent policies take the relevant switch ids as parameters.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/parser.h"
+
+namespace contra::lang::policies {
+
+/// P1 — shortest path routing (RIP-style).
+Policy shortest_path();
+
+/// P2 — minimum utilization (HULA-style); "MU" in the evaluation.
+Policy min_util();
+
+/// P3 — widest shortest paths: (path.util, path.len).
+Policy widest_shortest();
+
+/// P4 — shortest widest paths: (path.len, path.util).
+Policy shortest_widest();
+
+/// P5 — waypointing through f1 or f2; "WP" in the evaluation.
+Policy waypoint(const std::string& f1, const std::string& f2);
+
+/// Waypoint through a single middlebox w: if .* w .* then path.util else inf.
+Policy waypoint_single(const std::string& w);
+
+/// P6 — link preference: only paths crossing link x-y are allowed.
+Policy link_preference(const std::string& x, const std::string& y);
+
+/// P7 — weighted link: penalize link x-y by `weight` on top of path length.
+Policy weighted_link(const std::string& x, const std::string& y, int weight);
+
+/// P8 — source-local preference: node x minimizes util, everyone else latency.
+Policy source_local(const std::string& x);
+
+/// P9 — congestion-aware routing; "CA" in the evaluation. Non-isotonic.
+Policy congestion_aware();
+
+/// Propane-style failover preference: use path1 if available, else path2.
+Policy failover(const std::string& path1, const std::string& path2);
+
+}  // namespace contra::lang::policies

@@ -1,0 +1,15 @@
+// Pretty-printer for policies; output round-trips through the parser.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace contra::lang {
+
+std::string to_string(const Policy& policy);
+std::string to_string(const ExprPtr& expr);
+std::string to_string(const TestPtr& test);
+std::string to_string(const RegexPtr& regex);
+
+}  // namespace contra::lang

@@ -1,0 +1,56 @@
+#include "lang/rank.h"
+
+#include <algorithm>
+
+namespace contra::lang {
+
+int Rank::compare(const Rank& a, const Rank& b) {
+  if (a.infinite_ && b.infinite_) return 0;
+  if (a.infinite_) return 1;
+  if (b.infinite_) return -1;
+  const size_t width = std::max(a.comps_.size(), b.comps_.size());
+  for (size_t i = 0; i < width; ++i) {
+    const util::Fixed av = i < a.comps_.size() ? a.comps_[i] : util::Fixed{};
+    const util::Fixed bv = i < b.comps_.size() ? b.comps_[i] : util::Fixed{};
+    if (av < bv) return -1;
+    if (bv < av) return 1;
+  }
+  return 0;
+}
+
+Rank Rank::add(const Rank& a, const Rank& b) {
+  if (a.infinite_ || b.infinite_) return infinity();
+  return scalar(a.scalar_value().saturating_add(b.scalar_value()));
+}
+
+Rank Rank::sub(const Rank& a, const Rank& b) {
+  if (a.infinite_ || b.infinite_) return infinity();
+  return scalar(a.scalar_value().saturating_sub(b.scalar_value()));
+}
+
+Rank Rank::min(const Rank& a, const Rank& b) { return a <= b ? a : b; }
+
+Rank Rank::max(const Rank& a, const Rank& b) { return a >= b ? a : b; }
+
+Rank Rank::concat(const std::vector<Rank>& elems) {
+  std::vector<util::Fixed> comps;
+  for (const Rank& e : elems) {
+    if (e.infinite_) return infinity();
+    comps.insert(comps.end(), e.comps_.begin(), e.comps_.end());
+  }
+  return vector(std::move(comps));
+}
+
+std::string Rank::to_string() const {
+  if (infinite_) return "inf";
+  if (comps_.size() == 1) return comps_[0].to_string();
+  std::string out = "(";
+  for (size_t i = 0; i < comps_.size(); ++i) {
+    if (i) out += ", ";
+    out += comps_[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace contra::lang

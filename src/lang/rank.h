@@ -1,0 +1,72 @@
+// Rank values: the results of evaluating a policy on a path.
+//
+// A rank is either the top element ∞ (the policy forbids the path) or a
+// lexicographically ordered vector of fixed-point components. Tuples in the
+// language flatten into the component vector; a scalar is a one-component
+// rank. Ranks of different widths compare by zero-padding the shorter one,
+// which matches the paper's use of ∞ against arbitrary tuple shapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/fixed_point.h"
+
+namespace contra::lang {
+
+class Rank {
+ public:
+  Rank() = default;
+
+  static Rank infinity() {
+    Rank r;
+    r.infinite_ = true;
+    return r;
+  }
+  static Rank scalar(util::Fixed v) {
+    Rank r;
+    r.comps_.push_back(v);
+    return r;
+  }
+  static Rank scalar(double v) { return scalar(util::Fixed::from_double(v)); }
+  static Rank vector(std::vector<util::Fixed> comps) {
+    Rank r;
+    r.comps_ = std::move(comps);
+    return r;
+  }
+
+  bool is_infinite() const { return infinite_; }
+  bool is_scalar() const { return !infinite_ && comps_.size() == 1; }
+  const std::vector<util::Fixed>& components() const { return comps_; }
+  /// Scalar value; only valid when is_scalar() or width-0 (treated as 0).
+  util::Fixed scalar_value() const { return comps_.empty() ? util::Fixed{} : comps_[0]; }
+
+  /// Total-order comparison: ∞ above everything; otherwise lexicographic
+  /// with zero padding.
+  static int compare(const Rank& a, const Rank& b);
+
+  friend bool operator<(const Rank& a, const Rank& b) { return compare(a, b) < 0; }
+  friend bool operator>(const Rank& a, const Rank& b) { return compare(a, b) > 0; }
+  friend bool operator<=(const Rank& a, const Rank& b) { return compare(a, b) <= 0; }
+  friend bool operator>=(const Rank& a, const Rank& b) { return compare(a, b) >= 0; }
+  friend bool operator==(const Rank& a, const Rank& b) { return compare(a, b) == 0; }
+  friend bool operator!=(const Rank& a, const Rank& b) { return compare(a, b) != 0; }
+
+  /// Scalar arithmetic lifted over ∞ (∞ absorbs + and -; min drops it).
+  static Rank add(const Rank& a, const Rank& b);
+  static Rank sub(const Rank& a, const Rank& b);
+  static Rank min(const Rank& a, const Rank& b);
+  static Rank max(const Rank& a, const Rank& b);
+
+  /// Flattened concatenation for tuple construction; any ∞ element makes the
+  /// whole tuple ∞ (a forbidden component forbids the path).
+  static Rank concat(const std::vector<Rank>& elems);
+
+  std::string to_string() const;
+
+ private:
+  bool infinite_ = false;
+  std::vector<util::Fixed> comps_;
+};
+
+}  // namespace contra::lang

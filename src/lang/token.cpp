@@ -1,0 +1,38 @@
+#include "lang/token.h"
+
+namespace contra::lang {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kMinimize: return "'minimize'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kThen: return "'then'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kPath: return "'path'";
+    case TokenKind::kInf: return "'inf'";
+    case TokenKind::kMin: return "'min'";
+    case TokenKind::kMax: return "'max'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace contra::lang

@@ -1,0 +1,48 @@
+// Tokens of the Contra policy language.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace contra::lang {
+
+enum class TokenKind {
+  kIdent,     // switch id
+  kNumber,    // decimal literal (may start with '.')
+  kMinimize,
+  kIf,
+  kThen,
+  kElse,
+  kNot,
+  kAnd,
+  kOr,
+  kPath,      // the 'path' keyword in path.attr
+  kInf,       // 'inf' (the paper's ∞)
+  kMin,       // min(e1, e2)
+  kMax,       // max(e1, e2)
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,       // regex wildcard / attribute separator
+  kStar,
+  kPlus,
+  kMinus,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,        // ==
+  kNe,        // !=
+  kEnd,
+};
+
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< identifier spelling or number literal
+  double number = 0.0;   ///< kNumber only
+  size_t offset = 0;     ///< byte offset in the source, for diagnostics
+};
+
+}  // namespace contra::lang

@@ -1,0 +1,292 @@
+#include "lang/traffic_class.h"
+
+#include <cctype>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "util/strings.h"
+
+namespace contra::lang {
+
+// ---------------------------------------------------------------------------
+// FlowPredicate
+// ---------------------------------------------------------------------------
+
+FlowPredicatePtr FlowPredicate::any() {
+  static const FlowPredicatePtr p = std::make_shared<FlowPredicate>();
+  return p;
+}
+
+FlowPredicatePtr FlowPredicate::atom(Field field, uint32_t lo, uint32_t hi) {
+  auto p = std::make_shared<FlowPredicate>();
+  p->kind = Kind::kAtom;
+  p->field = field;
+  p->lo = lo;
+  p->hi = hi;
+  return p;
+}
+
+FlowPredicatePtr FlowPredicate::negate(FlowPredicatePtr inner) {
+  auto p = std::make_shared<FlowPredicate>();
+  p->kind = Kind::kNot;
+  p->left = std::move(inner);
+  return p;
+}
+
+FlowPredicatePtr FlowPredicate::conj(FlowPredicatePtr a, FlowPredicatePtr b) {
+  auto p = std::make_shared<FlowPredicate>();
+  p->kind = Kind::kAnd;
+  p->left = std::move(a);
+  p->right = std::move(b);
+  return p;
+}
+
+FlowPredicatePtr FlowPredicate::disj(FlowPredicatePtr a, FlowPredicatePtr b) {
+  auto p = std::make_shared<FlowPredicate>();
+  p->kind = Kind::kOr;
+  p->left = std::move(a);
+  p->right = std::move(b);
+  return p;
+}
+
+bool FlowPredicate::matches(const util::FiveTuple& tuple) const {
+  switch (kind) {
+    case Kind::kAny:
+      return true;
+    case Kind::kAtom: {
+      uint32_t value = 0;
+      switch (field) {
+        case Field::kProtocol: value = tuple.protocol; break;
+        case Field::kSrcPort: value = tuple.src_port; break;
+        case Field::kDstPort: value = tuple.dst_port; break;
+      }
+      return value >= lo && value <= hi;
+    }
+    case Kind::kNot:
+      return !left->matches(tuple);
+    case Kind::kAnd:
+      return left->matches(tuple) && right->matches(tuple);
+    case Kind::kOr:
+      return left->matches(tuple) || right->matches(tuple);
+  }
+  return false;
+}
+
+std::optional<size_t> ClassifiedPolicy::classify(const util::FiveTuple& tuple) const {
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].predicate->matches(tuple)) return i;
+  }
+  return std::nullopt;
+}
+
+bool ClassifiedPolicy::is_total() const {
+  for (const TrafficClassRule& rule : rules) {
+    if (rule.predicate->kind == FlowPredicate::Kind::kAny) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Predicate parser (dedicated mini-grammar)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PredParser {
+  std::string_view text;
+  size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+  bool accept_symbol(std::string_view symbol) {
+    skip_ws();
+    if (text.substr(pos, symbol.size()) == symbol) {
+      pos += symbol.size();
+      return true;
+    }
+    return false;
+  }
+  std::string peek_word() {
+    skip_ws();
+    size_t end = pos;
+    while (end < text.size() && (std::isalnum(static_cast<unsigned char>(text[end])) ||
+                                 text[end] == '_')) {
+      ++end;
+    }
+    return std::string(text.substr(pos, end - pos));
+  }
+  bool accept_word(std::string_view word) {
+    if (peek_word() == word) {
+      skip_ws();
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+  [[noreturn]] void fail(const std::string& message) { throw ParseError(message, pos); }
+
+  uint32_t parse_value() {
+    skip_ws();
+    const std::string word = peek_word();
+    if (word.empty()) fail("expected a value");
+    pos += word.size();
+    // Protocol aliases.
+    if (word == "tcp") return 6;
+    if (word == "udp") return 17;
+    if (word == "icmp") return 1;
+    for (char c : word) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        fail("expected a number or protocol name, found '" + word + "'");
+      }
+    }
+    return static_cast<uint32_t>(std::stoul(word));
+  }
+
+  FlowPredicatePtr parse_or() {
+    FlowPredicatePtr left = parse_and();
+    while (accept_word("or")) left = FlowPredicate::disj(left, parse_and());
+    return left;
+  }
+  FlowPredicatePtr parse_and() {
+    FlowPredicatePtr left = parse_not();
+    while (accept_word("and")) left = FlowPredicate::conj(left, parse_not());
+    return left;
+  }
+  FlowPredicatePtr parse_not() {
+    if (accept_word("not")) return FlowPredicate::negate(parse_not());
+    return parse_atom();
+  }
+  FlowPredicatePtr parse_atom() {
+    skip_ws();
+    if (accept_symbol("(")) {
+      FlowPredicatePtr inner = parse_or();
+      if (!accept_symbol(")")) fail("expected ')'");
+      return inner;
+    }
+    if (accept_symbol("*")) return FlowPredicate::any();
+    FlowPredicate::Field field;
+    if (accept_word("proto")) {
+      field = FlowPredicate::Field::kProtocol;
+    } else if (accept_word("src_port")) {
+      field = FlowPredicate::Field::kSrcPort;
+    } else if (accept_word("dst_port")) {
+      field = FlowPredicate::Field::kDstPort;
+    } else {
+      fail("expected '*', 'proto', 'src_port', or 'dst_port'");
+    }
+    if (accept_symbol("==")) {
+      const uint32_t v = parse_value();
+      return FlowPredicate::atom(field, v, v);
+    }
+    if (accept_word("in")) {
+      const uint32_t lo = parse_value();
+      if (!accept_symbol("..")) fail("expected '..' in range");
+      const uint32_t hi = parse_value();
+      if (hi < lo) fail("empty range");
+      return FlowPredicate::atom(field, lo, hi);
+    }
+    fail("expected '==' or 'in' after field name");
+  }
+};
+
+std::string field_name(FlowPredicate::Field field) {
+  switch (field) {
+    case FlowPredicate::Field::kProtocol: return "proto";
+    case FlowPredicate::Field::kSrcPort: return "src_port";
+    case FlowPredicate::Field::kDstPort: return "dst_port";
+  }
+  return "?";
+}
+
+std::string print_predicate(const FlowPredicatePtr& p, int parent_prec) {
+  auto wrap = [&](std::string s, int prec) {
+    return prec < parent_prec ? "(" + s + ")" : s;
+  };
+  switch (p->kind) {
+    case FlowPredicate::Kind::kAny:
+      return "*";
+    case FlowPredicate::Kind::kAtom:
+      if (p->lo == p->hi) return field_name(p->field) + " == " + std::to_string(p->lo);
+      return field_name(p->field) + " in " + std::to_string(p->lo) + " .. " +
+             std::to_string(p->hi);
+    case FlowPredicate::Kind::kNot:
+      return wrap("not " + print_predicate(p->left, 2), 2);
+    case FlowPredicate::Kind::kAnd:
+      return wrap(print_predicate(p->left, 1) + " and " + print_predicate(p->right, 1), 1);
+    case FlowPredicate::Kind::kOr:
+      return wrap(print_predicate(p->left, 0) + " or " + print_predicate(p->right, 0), 0);
+  }
+  return "?";
+}
+
+/// Finds "class" as a standalone word at/after `from`; npos if absent.
+size_t find_class_keyword(std::string_view text, size_t from) {
+  while (true) {
+    const size_t at = text.find("class", from);
+    if (at == std::string_view::npos) return at;
+    const bool left_ok = at == 0 || !(std::isalnum(static_cast<unsigned char>(text[at - 1])) ||
+                                      text[at - 1] == '_');
+    const size_t end = at + 5;
+    const bool right_ok =
+        end >= text.size() ||
+        !(std::isalnum(static_cast<unsigned char>(text[end])) || text[end] == '_');
+    if (left_ok && right_ok) return at;
+    from = at + 1;
+  }
+}
+
+}  // namespace
+
+FlowPredicatePtr parse_flow_predicate(std::string_view source) {
+  PredParser parser{source};
+  FlowPredicatePtr p = parser.parse_or();
+  if (!parser.at_end()) parser.fail("trailing input after predicate");
+  return p;
+}
+
+ClassifiedPolicy parse_classified_policy(std::string_view source) {
+  ClassifiedPolicy out;
+  size_t at = find_class_keyword(source, 0);
+  if (at == std::string_view::npos) {
+    throw ParseError("classified policy needs at least one 'class' rule", 0);
+  }
+  while (at != std::string_view::npos) {
+    const size_t body = at + 5;  // past "class"
+    const size_t colon = source.find(':', body);
+    if (colon == std::string_view::npos) {
+      throw ParseError("missing ':' after class predicate", body);
+    }
+    const size_t next = find_class_keyword(source, colon + 1);
+    const std::string_view pred_text = source.substr(body, colon - body);
+    const std::string_view policy_text =
+        source.substr(colon + 1, (next == std::string_view::npos ? source.size() : next) -
+                                     colon - 1);
+    TrafficClassRule rule;
+    rule.predicate = parse_flow_predicate(pred_text);
+    rule.policy = parse_policy(policy_text);
+    rule.name = "class" + std::to_string(out.rules.size());
+    out.rules.push_back(std::move(rule));
+    at = next;
+  }
+  return out;
+}
+
+std::string to_string(const FlowPredicatePtr& predicate) {
+  return print_predicate(predicate, 0);
+}
+
+std::string to_string(const ClassifiedPolicy& classified) {
+  std::string out;
+  for (const TrafficClassRule& rule : classified.rules) {
+    out += "class " + to_string(rule.predicate) + " : " + to_string(rule.policy) + "\n";
+  }
+  return out;
+}
+
+}  // namespace contra::lang

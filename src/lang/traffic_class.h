@@ -1,0 +1,76 @@
+// Traffic classification — the extension the paper names as future work
+// (§2 "Limitations": header predicates as in Frenetic/NetKAT).
+//
+// A classified policy is an ordered list of (flow predicate, policy) rules;
+// the first matching rule's policy routes the flow. Predicates match packet
+// header fields (protocol, ports) with equality/range atoms combined by
+// `and` / `or` / `not`; `*` matches everything.
+//
+// Text syntax (parse_classified_policy):
+//
+//   class proto == udp                : minimize(path.lat)
+//   class dst_port in 8000 .. 8999    : minimize((path.len, path.util))
+//   class *                           : minimize(path.util)
+//
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "util/hash.h"
+
+namespace contra::lang {
+
+struct FlowPredicate;
+using FlowPredicatePtr = std::shared_ptr<const FlowPredicate>;
+
+struct FlowPredicate {
+  enum class Kind { kAny, kAtom, kNot, kAnd, kOr };
+  enum class Field { kProtocol, kSrcPort, kDstPort };
+
+  Kind kind = Kind::kAny;
+  Field field = Field::kProtocol;  ///< kAtom
+  uint32_t lo = 0;                 ///< kAtom: match range [lo, hi]
+  uint32_t hi = 0;
+  FlowPredicatePtr left, right;    ///< kNot (left) / kAnd / kOr
+
+  static FlowPredicatePtr any();
+  static FlowPredicatePtr atom(Field field, uint32_t lo, uint32_t hi);
+  static FlowPredicatePtr negate(FlowPredicatePtr p);
+  static FlowPredicatePtr conj(FlowPredicatePtr a, FlowPredicatePtr b);
+  static FlowPredicatePtr disj(FlowPredicatePtr a, FlowPredicatePtr b);
+
+  bool matches(const util::FiveTuple& tuple) const;
+};
+
+struct TrafficClassRule {
+  FlowPredicatePtr predicate;
+  Policy policy;
+  std::string name;  ///< optional label, defaults to "class<i>"
+};
+
+struct ClassifiedPolicy {
+  std::vector<TrafficClassRule> rules;
+
+  /// Index of the first matching rule; nullopt when nothing matches (add a
+  /// final `class *` rule to make classification total).
+  std::optional<size_t> classify(const util::FiveTuple& tuple) const;
+
+  bool is_total() const;
+};
+
+/// Parses the `class <predicate> : minimize(...)` syntax, one rule per
+/// `class` keyword. Throws ParseError.
+ClassifiedPolicy parse_classified_policy(std::string_view source);
+
+/// Parses a bare flow predicate (for tests/tools).
+FlowPredicatePtr parse_flow_predicate(std::string_view source);
+
+std::string to_string(const FlowPredicatePtr& predicate);
+std::string to_string(const ClassifiedPolicy& classified);
+
+}  // namespace contra::lang

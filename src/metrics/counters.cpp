@@ -1,0 +1,36 @@
+#include "metrics/counters.h"
+
+#include <cstdio>
+
+namespace contra::metrics {
+
+OverheadReport make_overhead_report(const sim::LinkStats& fabric) {
+  OverheadReport report;
+  report.data_bytes = fabric.tx_data_bytes;
+  report.ack_bytes = fabric.tx_ack_bytes;
+  report.probe_bytes = fabric.tx_probe_bytes;
+  report.total_bytes = fabric.tx_bytes;
+  report.drops = fabric.drops;
+  return report;
+}
+
+OverheadReport make_overhead_report(const sim::LinkStats& end, const sim::LinkStats& start) {
+  OverheadReport report;
+  report.data_bytes = end.tx_data_bytes - start.tx_data_bytes;
+  report.ack_bytes = end.tx_ack_bytes - start.tx_ack_bytes;
+  report.probe_bytes = end.tx_probe_bytes - start.tx_probe_bytes;
+  report.total_bytes = end.tx_bytes - start.tx_bytes;
+  report.drops = end.drops - start.drops;
+  return report;
+}
+
+std::string OverheadReport::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "total=%.3f MB (data=%.3f, ack=%.3f, probe=%.3f) drops=%llu",
+                total_bytes / 1e6, data_bytes / 1e6, ack_bytes / 1e6, probe_bytes / 1e6,
+                static_cast<unsigned long long>(drops));
+  return buf;
+}
+
+}  // namespace contra::metrics

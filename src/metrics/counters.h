@@ -1,0 +1,37 @@
+// Traffic-overhead accounting (Fig. 16): total fabric bytes split into data,
+// ACK, and probe traffic; overhead is reported normalized to a baseline run.
+#pragma once
+
+#include <string>
+
+#include "sim/link.h"
+
+namespace contra::metrics {
+
+struct OverheadReport {
+  uint64_t data_bytes = 0;
+  uint64_t ack_bytes = 0;
+  uint64_t probe_bytes = 0;
+  uint64_t total_bytes = 0;
+  uint64_t drops = 0;
+
+  double probe_fraction() const {
+    return total_bytes ? static_cast<double>(probe_bytes) / total_bytes : 0.0;
+  }
+  /// Total traffic relative to a baseline run of the same workload.
+  double normalized_to(const OverheadReport& baseline) const {
+    return baseline.total_bytes
+               ? static_cast<double>(total_bytes) / baseline.total_bytes
+               : 0.0;
+  }
+
+  std::string to_string() const;
+};
+
+OverheadReport make_overhead_report(const sim::LinkStats& fabric);
+
+/// Windowed report: counters at window end minus counters at window start
+/// (LinkStats counters are monotonic).
+OverheadReport make_overhead_report(const sim::LinkStats& end, const sim::LinkStats& start);
+
+}  // namespace contra::metrics

@@ -1,0 +1,75 @@
+#include "metrics/fct.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace contra::metrics {
+
+namespace {
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * (sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - lo;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+FctSummary summarize_fct(const std::vector<sim::FlowRecord>& completed, size_t total_flows) {
+  FctSummary summary;
+  summary.completed = completed.size();
+  summary.incomplete = total_flows >= completed.size() ? total_flows - completed.size() : 0;
+  if (completed.empty()) return summary;
+
+  std::vector<double> fcts;
+  fcts.reserve(completed.size());
+  double sum = 0.0;
+  for (const sim::FlowRecord& flow : completed) {
+    fcts.push_back(flow.fct());
+    sum += flow.fct();
+  }
+  std::sort(fcts.begin(), fcts.end());
+  summary.mean_s = sum / fcts.size();
+  summary.median_s = quantile(fcts, 0.5);
+  summary.p95_s = quantile(fcts, 0.95);
+  summary.p99_s = quantile(fcts, 0.99);
+  summary.max_s = fcts.back();
+  return summary;
+}
+
+double mean_fct_below(const std::vector<sim::FlowRecord>& completed, uint64_t threshold) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const sim::FlowRecord& flow : completed) {
+    if (flow.bytes < threshold) {
+      sum += flow.fct();
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+double mean_fct_at_least(const std::vector<sim::FlowRecord>& completed, uint64_t threshold) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const sim::FlowRecord& flow : completed) {
+    if (flow.bytes >= threshold) {
+      sum += flow.fct();
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+std::string FctSummary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu (+%zu incomplete) mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms",
+                completed, incomplete, mean_s * 1e3, median_s * 1e3, p95_s * 1e3, p99_s * 1e3);
+  return buf;
+}
+
+}  // namespace contra::metrics

@@ -1,0 +1,57 @@
+#include "metrics/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace contra::metrics {
+
+std::string format_series(const std::string& name, const std::vector<double>& xs,
+                          const std::vector<double>& ys, const char* x_fmt,
+                          const char* y_fmt) {
+  std::ostringstream out;
+  out << name << ":";
+  char buf[64];
+  for (size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    std::snprintf(buf, sizeof buf, x_fmt, xs[i]);
+    out << " " << buf << "=";
+    std::snprintf(buf, sizeof buf, y_fmt, ys[i]);
+    out << buf;
+  }
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::num(double v, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace contra::metrics

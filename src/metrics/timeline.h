@@ -1,0 +1,29 @@
+// Small output helpers shared by the benchmark binaries: aligned tables and
+// (x, y) series in the layout of the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace contra::metrics {
+
+/// Prints "<name>: x1=y1 x2=y2 ..." rows, e.g. FCT-vs-load series.
+std::string format_series(const std::string& name, const std::vector<double>& xs,
+                          const std::vector<double>& ys, const char* x_fmt = "%g",
+                          const char* y_fmt = "%.3f");
+
+/// A simple fixed-width table: header row + data rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  std::string to_string() const;
+
+  static std::string num(double v, const char* fmt = "%.3f");
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace contra::metrics

@@ -1,0 +1,28 @@
+// Rendering of compiled switch configurations as P4-16-style source text.
+//
+// The paper's prototype emits device-local P4 programs; this module produces
+// the equivalent artifact. The in-process dataplane (src/dataplane) is the
+// executable semantics of exactly these tables — generate_p4() is the
+// human-auditable view of what each switch runs: probe parsing, the tag-step
+// and multicast const entries from the product graph, FwdT/BestT registers,
+// policy-aware flowlet switching, and the TTL-spread loop detector.
+#pragma once
+
+#include <string>
+
+#include "compiler/compiler.h"
+
+namespace contra::p4gen {
+
+/// P4 program for one switch.
+std::string generate_p4(const compiler::CompileResult& result,
+                        const compiler::SwitchConfig& config);
+
+/// Shared header/metadata definitions (identical on every switch).
+std::string generate_common_headers(const compiler::CompileResult& result);
+
+/// Convenience: all per-switch programs concatenated with banners (useful
+/// for golden tests and inspection).
+std::string generate_all(const compiler::CompileResult& result);
+
+}  // namespace contra::p4gen

@@ -1,0 +1,95 @@
+#include "pg/path_enum.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace contra::pg {
+
+namespace {
+
+struct Walker {
+  const ProductGraph& graph;
+  const PolicyEvaluator& evaluator;
+  topology::NodeId src;
+  PathEnumOptions options;
+
+  std::vector<topology::NodeId> stack;  ///< probe direction: dst ... current
+  std::vector<bool> visited;
+  std::vector<EnumeratedPath> results;
+
+  void walk(uint32_t pg_node, const MetricsVector& mv) {
+    if (results.size() >= options.max_paths) return;
+    const topology::NodeId here = graph.node_location(pg_node);
+    const uint32_t tag = graph.node_tag(pg_node);
+
+    if (here == src && stack.size() > 1) {
+      const lang::Rank rank = evaluator.selection_rank(tag, mv);
+      if (!rank.is_infinite()) {
+        EnumeratedPath path;
+        path.nodes.assign(stack.rbegin(), stack.rend());  // traffic direction
+        path.source_tag = tag;
+        path.static_rank = rank;
+        results.push_back(std::move(path));
+      }
+      if (options.simple_only) return;  // nothing past src can re-reach it
+    }
+    if (stack.size() > options.max_hops) return;
+
+    for (const PgEdge& edge : graph.out_edges(pg_node)) {
+      if (options.simple_only && visited[edge.to]) continue;
+      const uint32_t next = graph.node_index(edge.to, edge.to_tag);
+      if (next == kInvalidPgNode) continue;
+      MetricsVector extended = mv;
+      extended.extend(0.0, graph.topo().link(edge.link).delay_s * 1e6);
+      visited[edge.to] = true;
+      stack.push_back(edge.to);
+      walk(next, extended);
+      stack.pop_back();
+      visited[edge.to] = false;
+      if (results.size() >= options.max_paths) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<EnumeratedPath> enumerate_policy_paths(const ProductGraph& graph,
+                                                   const PolicyEvaluator& evaluator,
+                                                   const analysis::Decomposition& decomposition,
+                                                   topology::NodeId src, topology::NodeId dst,
+                                                   PathEnumOptions options) {
+  (void)decomposition;
+  std::vector<EnumeratedPath> empty;
+  if (src == dst) return empty;
+  const uint32_t origin_tag = graph.origin_tag(dst);
+  if (origin_tag == kInvalidTag) return empty;  // dst forbidden as destination
+  const uint32_t start = graph.node_index(dst, origin_tag);
+  if (start == kInvalidPgNode) return empty;
+
+  Walker walker{graph, evaluator, src, options, {}, {}, {}};
+  walker.visited.assign(graph.topo().num_nodes(), false);
+  walker.visited[dst] = true;
+  walker.stack.push_back(dst);
+  walker.walk(start, MetricsVector{});
+
+  std::sort(walker.results.begin(), walker.results.end(),
+            [](const EnumeratedPath& a, const EnumeratedPath& b) {
+              if (a.static_rank != b.static_rank) return a.static_rank < b.static_rank;
+              return a.nodes < b.nodes;  // deterministic tie order
+            });
+  return walker.results;
+}
+
+std::string format_paths(const ProductGraph& graph, const std::vector<EnumeratedPath>& paths) {
+  std::ostringstream out;
+  for (const EnumeratedPath& path : paths) {
+    for (size_t i = 0; i < path.nodes.size(); ++i) {
+      if (i) out << " -> ";
+      out << graph.topo().name(path.nodes[i]);
+    }
+    out << "  rank=" << path.static_rank.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace contra::pg

@@ -1,0 +1,47 @@
+// Offline enumeration of policy-compliant paths from the product graph —
+// the "what-if" companion to the runtime protocol. Network operators use it
+// to audit a policy before deployment: which paths can traffic between two
+// switches legally take, and how are they ranked under static metrics?
+//
+// Paths are walked along reversed PG edges (probe direction is destination
+// -> source, traffic is the reverse), so a result is a traffic-direction
+// switch sequence ending at the destination whose final tag can produce a
+// finite rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/decompose.h"
+#include "lang/rank.h"
+#include "pg/policy_eval.h"
+#include "pg/product_graph.h"
+
+namespace contra::pg {
+
+struct EnumeratedPath {
+  std::vector<topology::NodeId> nodes;  ///< source first, destination last
+  uint32_t source_tag = kInvalidTag;    ///< PG tag at the source (for s())
+  /// Rank under the policy with static metrics (util 0, lat from link
+  /// delays in microseconds, len = hops).
+  lang::Rank static_rank;
+};
+
+struct PathEnumOptions {
+  size_t max_paths = 64;   ///< stop after this many results
+  size_t max_hops = 16;    ///< bound walk depth (PG paths may revisit switches)
+  bool simple_only = true; ///< restrict to physically loop-free paths
+};
+
+/// All policy-compliant paths src -> dst (up to the limits), sorted by
+/// static rank (best first). Empty when the policy forbids the pair.
+std::vector<EnumeratedPath> enumerate_policy_paths(const ProductGraph& graph,
+                                                   const PolicyEvaluator& evaluator,
+                                                   const analysis::Decomposition& decomposition,
+                                                   topology::NodeId src, topology::NodeId dst,
+                                                   PathEnumOptions options = {});
+
+/// Human-readable rendering ("A -> B -> D  rank=0").
+std::string format_paths(const ProductGraph& graph, const std::vector<EnumeratedPath>& paths);
+
+}  // namespace contra::pg

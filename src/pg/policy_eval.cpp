@@ -1,0 +1,64 @@
+#include "pg/policy_eval.h"
+
+#include <stdexcept>
+
+#include "analysis/attributes.h"
+#include "lang/eval.h"
+
+namespace contra::pg {
+
+PolicyEvaluator::PolicyEvaluator(const ProductGraph& graph,
+                                 const analysis::Decomposition& decomposition)
+    : graph_(&graph), decomposition_(&decomposition) {
+  atoms_ = analysis::collect_atomic_tests(decomposition.original);
+  atom_regex_.assign(atoms_.size(), UINT32_MAX);
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i]->kind != lang::BoolTest::Kind::kRegex) continue;
+    for (uint32_t r = 0; r < graph.num_regexes(); ++r) {
+      if (lang::Regex::equal(*graph.regexes()[r], *atoms_[i]->regex)) {
+        atom_regex_[i] = r;
+        break;
+      }
+    }
+    if (atom_regex_[i] == UINT32_MAX) {
+      throw std::logic_error("policy regex missing from product graph");
+    }
+  }
+}
+
+lang::Rank PolicyEvaluator::propagation_rank(uint32_t pid, const MetricsVector& mv) const {
+  const auto& sub = decomposition_->subpolicies.at(pid);
+  return analysis::evaluate_metric(sub.objective, mv.to_attrs());
+}
+
+lang::Rank PolicyEvaluator::selection_rank(uint32_t tag, const MetricsVector& mv) const {
+  const lang::PathAttributes attrs = mv.to_attrs();
+  const std::vector<bool>& accepting = graph_->accepting(tag);
+
+  // Resolve every atomic test up front: regex atoms from the tag, dynamic
+  // atoms from the metrics; then partially evaluate the original objective.
+  std::vector<bool> assignment(atoms_.size(), false);
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atom_regex_[i] != UINT32_MAX) {
+      assignment[i] = accepting[atom_regex_[i]];
+    } else {
+      static const std::vector<std::string> kNoNodes;
+      const lang::TestPtr& atom = atoms_[i];
+      const lang::Rank lhs = lang::evaluate_expr(atom->cmp_lhs, kNoNodes, attrs);
+      const lang::Rank rhs = lang::evaluate_expr(atom->cmp_rhs, kNoNodes, attrs);
+      switch (atom->cmp) {
+        case lang::BoolTest::CmpOp::kLt: assignment[i] = lhs < rhs; break;
+        case lang::BoolTest::CmpOp::kLe: assignment[i] = lhs <= rhs; break;
+        case lang::BoolTest::CmpOp::kGt: assignment[i] = lhs > rhs; break;
+        case lang::BoolTest::CmpOp::kGe: assignment[i] = lhs >= rhs; break;
+        case lang::BoolTest::CmpOp::kEq: assignment[i] = lhs == rhs; break;
+        case lang::BoolTest::CmpOp::kNe: assignment[i] = lhs != rhs; break;
+      }
+    }
+  }
+  const lang::ExprPtr resolved =
+      analysis::resolve_tests(decomposition_->original.objective, atoms_, assignment);
+  return analysis::evaluate_metric(resolved, attrs);
+}
+
+}  // namespace contra::pg

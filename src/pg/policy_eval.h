@@ -1,0 +1,55 @@
+// Policy evaluation at PG states — the paper's f() and s() functions (§4.3).
+//
+//  f(pid, mv): the propagation objective — ranks a metrics vector under one
+//      decomposed subpolicy; used when a switch decides whether an incoming
+//      probe beats the stored FwdT entry for the same (dst, tag, pid).
+//  s(tag, mv): the source-selection rank — evaluates the ORIGINAL policy,
+//      resolving regex tests from the tag's acceptance bits and dynamic
+//      tests from the actual metrics; used to pick BestT at traffic sources.
+#pragma once
+
+#include <algorithm>
+
+#include "analysis/decompose.h"
+#include "lang/eval.h"
+#include "lang/rank.h"
+#include "pg/product_graph.h"
+
+namespace contra::pg {
+
+/// Metrics vector as carried by probes: a value per decomposition.attrs slot.
+struct MetricsVector {
+  double util = 0.0;
+  double lat = 0.0;
+  double len = 0.0;
+
+  lang::PathAttributes to_attrs() const { return {util, lat, len}; }
+  /// Extends by one link in the probe's direction of travel.
+  void extend(double link_util, double link_lat) {
+    util = std::max(util, link_util);
+    lat += link_lat;
+    len += 1.0;
+  }
+};
+
+class PolicyEvaluator {
+ public:
+  PolicyEvaluator(const ProductGraph& graph, const analysis::Decomposition& decomposition);
+
+  /// f — propagation rank of mv under subpolicy `pid`.
+  lang::Rank propagation_rank(uint32_t pid, const MetricsVector& mv) const;
+
+  /// s — true policy rank of a candidate with this tag and metrics.
+  lang::Rank selection_rank(uint32_t tag, const MetricsVector& mv) const;
+
+  uint32_t num_pids() const { return static_cast<uint32_t>(decomposition_->subpolicies.size()); }
+
+ private:
+  const ProductGraph* graph_;
+  const analysis::Decomposition* decomposition_;
+  /// atom index -> regex index in graph->regexes() (UINT32_MAX for dynamic).
+  std::vector<uint32_t> atom_regex_;
+  std::vector<lang::TestPtr> atoms_;
+};
+
+}  // namespace contra::pg

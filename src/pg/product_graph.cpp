@@ -1,0 +1,231 @@
+#include "pg/product_graph.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "pg/prune.h"
+#include "pg/tag_minimize.h"
+#include "util/logging.h"
+
+namespace contra::pg {
+
+namespace {
+
+uint64_t node_key(topology::NodeId loc, uint32_t tag) {
+  return (static_cast<uint64_t>(loc) << 32) | tag;
+}
+
+}  // namespace
+
+/// Phase 1 of ProductGraph::build: automata construction, tag interning, and
+/// BFS from every probe-sending state. Produces the unpruned graph.
+ProductGraph build_unpruned(const topology::Topology& topo,
+                            const analysis::Decomposition& decomposition) {
+  ProductGraph graph;
+  graph.topo_ = &topo;
+  graph.regexes_ = lang::collect_regexes(decomposition.original);
+  graph.num_regexes_ = static_cast<uint32_t>(graph.regexes_.size());
+
+  // Alphabet symbol id == topology NodeId by construction.
+  const automata::Alphabet alphabet(topo.node_names());
+
+  // One minimal total DFA per *reversed* regex (§4.1: probes travel opposite
+  // to traffic).
+  std::vector<automata::Dfa> dfas;
+  dfas.reserve(graph.num_regexes_);
+  for (const auto& regex : graph.regexes_) {
+    dfas.push_back(automata::compile_regex(lang::Regex::reverse(regex), alphabet));
+  }
+
+  // Tag interning: automaton state vector -> dense tag id. Rows of the tag
+  // transition table are filled as tags are created (worklist closure over
+  // the full product automaton, which is small: a product of minimal DFAs).
+  std::map<std::vector<uint32_t>, uint32_t> tag_ids;
+  std::vector<std::vector<uint32_t>> tag_vectors;
+  std::deque<uint32_t> tag_worklist;
+
+  auto intern = [&](const std::vector<uint32_t>& vec) -> uint32_t {
+    auto [it, inserted] = tag_ids.emplace(vec, static_cast<uint32_t>(tag_vectors.size()));
+    if (inserted) {
+      tag_vectors.push_back(vec);
+      tag_worklist.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  auto step_vector = [&](const std::vector<uint32_t>& vec,
+                         topology::NodeId to) -> std::vector<uint32_t> {
+    std::vector<uint32_t> next(vec.size());
+    for (uint32_t i = 0; i < vec.size(); ++i) next[i] = dfas[i].next(vec[i], to);
+    return next;
+  };
+
+  // Seed with every destination's probe-sending tag: the origin has already
+  // "traversed" itself from the automata start states.
+  graph.origin_tags_.assign(topo.num_nodes(), kInvalidTag);
+  std::vector<uint32_t> start_vec(graph.num_regexes_);
+  for (uint32_t i = 0; i < graph.num_regexes_; ++i) start_vec[i] = dfas[i].start();
+  for (topology::NodeId d = 0; d < topo.num_nodes(); ++d) {
+    graph.origin_tags_[d] = intern(step_vector(start_vec, d));
+  }
+
+  // Close the tag table.
+  while (!tag_worklist.empty()) {
+    const uint32_t tag = tag_worklist.front();
+    tag_worklist.pop_front();
+    if (graph.tag_trans_.size() <= tag) graph.tag_trans_.resize(tag + 1);
+    auto& row = graph.tag_trans_[tag];
+    row.assign(topo.num_nodes(), kInvalidTag);
+    const std::vector<uint32_t> vec = tag_vectors[tag];  // copy: interning reallocates
+    for (topology::NodeId to = 0; to < topo.num_nodes(); ++to) {
+      row[to] = intern(step_vector(vec, to));
+    }
+  }
+
+  // Acceptance bits per tag.
+  graph.accepting_.resize(tag_vectors.size());
+  for (uint32_t t = 0; t < tag_vectors.size(); ++t) {
+    graph.accepting_[t].assign(graph.num_regexes_, false);
+    for (uint32_t i = 0; i < graph.num_regexes_; ++i) {
+      graph.accepting_[t][i] = dfas[i].accepting(tag_vectors[t][i]);
+    }
+  }
+
+  // Possible finiteness per tag: with regex tests pinned by the tag's
+  // acceptance bits, is there any dynamic-test outcome that yields a finite
+  // rank? (Determines which virtual nodes can ever justify traffic.)
+  const auto atoms = analysis::collect_atomic_tests(decomposition.original);
+  std::vector<size_t> dynamic_atoms;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (atoms[i]->kind == lang::BoolTest::Kind::kCompare) dynamic_atoms.push_back(i);
+  }
+  auto regex_index = [&](const lang::RegexPtr& r) -> uint32_t {
+    for (uint32_t i = 0; i < graph.num_regexes_; ++i) {
+      if (lang::Regex::equal(*graph.regexes_[i], *r)) return i;
+    }
+    return UINT32_MAX;
+  };
+
+  graph.possibly_finite_.assign(tag_vectors.size(), false);
+  for (uint32_t t = 0; t < tag_vectors.size(); ++t) {
+    std::vector<bool> assignment(atoms.size(), false);
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (atoms[i]->kind == lang::BoolTest::Kind::kRegex) {
+        assignment[i] = graph.accepting_[t][regex_index(atoms[i]->regex)];
+      }
+    }
+    const size_t combos = size_t{1} << dynamic_atoms.size();
+    for (size_t mask = 0; mask < combos && !graph.possibly_finite_[t]; ++mask) {
+      for (size_t b = 0; b < dynamic_atoms.size(); ++b) {
+        assignment[dynamic_atoms[b]] = (mask >> b) & 1;
+      }
+      const lang::ExprPtr resolved = analysis::normalize_metric(
+          analysis::resolve_tests(decomposition.original.objective, atoms, assignment));
+      if (!analysis::is_infinite_metric(resolved)) graph.possibly_finite_[t] = true;
+    }
+  }
+
+  // BFS over virtual nodes from every probe-sending state.
+  auto add_node = [&](topology::NodeId loc, uint32_t tag) -> uint32_t {
+    const uint64_t key = node_key(loc, tag);
+    auto it = graph.node_index_.find(key);
+    if (it != graph.node_index_.end()) return it->second;
+    const uint32_t idx = static_cast<uint32_t>(graph.node_locs_.size());
+    graph.node_index_.emplace(key, idx);
+    graph.node_locs_.push_back(loc);
+    graph.node_tags_.push_back(tag);
+    graph.out_edges_.emplace_back();
+    return idx;
+  };
+
+  std::deque<uint32_t> frontier;
+  for (topology::NodeId d = 0; d < topo.num_nodes(); ++d) {
+    frontier.push_back(add_node(d, graph.origin_tags_[d]));
+  }
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const uint32_t idx = frontier[head];
+    const topology::NodeId loc = graph.node_locs_[idx];
+    const uint32_t tag = graph.node_tags_[idx];
+    for (topology::LinkId l : topo.out_links(loc)) {
+      const topology::NodeId to = topo.link(l).to;
+      const uint32_t to_tag = graph.tag_trans_[tag][to];
+      const bool is_new = !graph.node_index_.count(node_key(to, to_tag));
+      const uint32_t to_idx = add_node(to, to_tag);
+      graph.out_edges_[idx].push_back(PgEdge{to, to_tag, l});
+      if (is_new) frontier.push_back(to_idx);
+    }
+  }
+
+  graph.nodes_at_.assign(topo.num_nodes(), {});
+  for (uint32_t i = 0; i < graph.node_locs_.size(); ++i) {
+    graph.nodes_at_[graph.node_locs_[i]].push_back(i);
+  }
+  return graph;
+}
+
+ProductGraph ProductGraph::build(const topology::Topology& topo,
+                                 const analysis::Decomposition& decomposition) {
+  ProductGraph graph = build_unpruned(topo, decomposition);
+  const uint32_t before_nodes = graph.num_nodes();
+  prune_useless(graph);
+  minimize_tags(graph, decomposition);
+  LOG_DEBUG("pg") << "built PG: " << graph.num_nodes() << " nodes (" << before_nodes
+                  << " pre-prune), " << graph.num_tags() << " tags, " << graph.num_edges()
+                  << " edges";
+  return graph;
+}
+
+uint32_t ProductGraph::num_edges() const {
+  uint32_t n = 0;
+  for (const auto& edges : out_edges_) n += static_cast<uint32_t>(edges.size());
+  return n;
+}
+
+uint32_t ProductGraph::tag_bits() const {
+  const uint32_t tags = num_tags();
+  uint32_t bits = 1;
+  while ((1u << bits) < tags) ++bits;
+  return bits;
+}
+
+uint32_t ProductGraph::next_tag(uint32_t tag, topology::NodeId to) const {
+  if (tag >= tag_trans_.size()) return kInvalidTag;
+  const uint32_t t = tag_trans_[tag][to];
+  if (t == kInvalidTag || !node_exists(to, t)) return kInvalidTag;
+  return t;
+}
+
+uint32_t ProductGraph::node_index(topology::NodeId loc, uint32_t tag) const {
+  auto it = node_index_.find(node_key(loc, tag));
+  return it == node_index_.end() ? kInvalidPgNode : it->second;
+}
+
+void ProductGraph::rebuild_node_index() {
+  node_index_.clear();
+  nodes_at_.assign(topo_->num_nodes(), {});
+  for (uint32_t i = 0; i < node_locs_.size(); ++i) {
+    node_index_.emplace(node_key(node_locs_[i], node_tags_[i]), i);
+    nodes_at_[node_locs_[i]].push_back(i);
+  }
+}
+
+std::string ProductGraph::to_string() const {
+  std::ostringstream out;
+  out << "ProductGraph: " << num_nodes() << " nodes, " << num_tags() << " tags, " << num_edges()
+      << " edges\n";
+  for (uint32_t i = 0; i < node_locs_.size(); ++i) {
+    out << "  (" << topo_->name(node_locs_[i]) << ", t" << node_tags_[i] << ")";
+    const auto& acc = accepting_[node_tags_[i]];
+    out << " accepts={";
+    for (size_t r = 0; r < acc.size(); ++r) out << (acc[r] ? '1' : '0');
+    out << "} ->";
+    for (const PgEdge& e : out_edges_[i]) {
+      out << " (" << topo_->name(e.to) << ",t" << e.to_tag << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace contra::pg

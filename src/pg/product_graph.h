@@ -1,0 +1,121 @@
+// The product graph (PG): policy automata × network topology (paper §4.1).
+//
+// Each policy regex is reversed (probes travel opposite to traffic) and
+// compiled to a minimal total DFA over the alphabet of switch ids. A PG
+// *tag* is an interned vector of automaton states — one state per regex —
+// and a PG *virtual node* is a (switch, tag) pair. There is a PG edge from
+// (X, t) to (Y, t') when X-Y is a topology link and t' = δ(t, Y); edges
+// point in the probe direction (destination → sources), so traffic flows
+// along reversed PG edges.
+//
+// Probes for destination d originate at the probe-sending node
+// (d, δ(t_init, d)). The graph built here is already pruned to nodes that
+// are (a) reachable from some probe-sending state and (b) useful — able to
+// reach a node whose tag can yield a finite policy rank (see prune.h) —
+// and tags are minimized by bisimulation + compaction (see tag_minimize.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/decompose.h"
+#include "automata/dfa.h"
+#include "lang/ast.h"
+#include "topology/topology.h"
+
+namespace contra::pg {
+
+inline constexpr uint32_t kInvalidTag = UINT32_MAX;
+inline constexpr uint32_t kInvalidPgNode = UINT32_MAX;
+
+/// A PG edge in probe direction: the probe moves across `link` to switch
+/// `to`, where its tag becomes `to_tag`.
+struct PgEdge {
+  topology::NodeId to = topology::kInvalidNode;
+  uint32_t to_tag = kInvalidTag;
+  topology::LinkId link = topology::kInvalidLink;
+};
+
+class ProductGraph {
+ public:
+  /// Builds, prunes, and tag-minimizes the PG for a decomposed policy.
+  static ProductGraph build(const topology::Topology& topo,
+                            const analysis::Decomposition& decomposition);
+
+  const topology::Topology& topo() const { return *topo_; }
+
+  uint32_t num_tags() const { return static_cast<uint32_t>(accepting_.size()); }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(node_locs_.size()); }
+  uint32_t num_edges() const;
+  uint32_t num_regexes() const { return num_regexes_; }
+
+  /// Bits needed to carry a tag in a packet/probe header.
+  uint32_t tag_bits() const;
+
+  /// Tag transition: probe (or packet, in reverse) enters switch `to` while
+  /// carrying `tag`. Returns kInvalidTag when the resulting virtual node was
+  /// pruned (no policy-compliant continuation).
+  uint32_t next_tag(uint32_t tag, topology::NodeId to) const;
+
+  /// Initial tag of probes originating at destination `d`, or kInvalidTag if
+  /// the policy forbids d as a destination.
+  uint32_t origin_tag(topology::NodeId d) const { return origin_tags_.at(d); }
+
+  /// Which regexes accept at this tag, in collect_regexes(policy) order.
+  const std::vector<bool>& accepting(uint32_t tag) const { return accepting_[tag]; }
+
+  /// Whether a tag could produce a finite rank for some dynamic-test outcome.
+  bool possibly_finite(uint32_t tag) const { return possibly_finite_[tag]; }
+
+  /// Virtual-node lookup: index of (loc, tag), or kInvalidPgNode.
+  uint32_t node_index(topology::NodeId loc, uint32_t tag) const;
+  bool node_exists(topology::NodeId loc, uint32_t tag) const {
+    return node_index(loc, tag) != kInvalidPgNode;
+  }
+
+  topology::NodeId node_location(uint32_t node) const { return node_locs_[node]; }
+  uint32_t node_tag(uint32_t node) const { return node_tags_[node]; }
+
+  /// PG out-edges (probe direction) of a virtual node.
+  const std::vector<PgEdge>& out_edges(uint32_t node) const { return out_edges_[node]; }
+  const std::vector<PgEdge>& out_edges(topology::NodeId loc, uint32_t tag) const {
+    return out_edges_[node_index(loc, tag)];
+  }
+
+  /// All virtual nodes at a switch (used for table sizing and forwarding).
+  const std::vector<uint32_t>& nodes_at(topology::NodeId loc) const { return nodes_at_[loc]; }
+
+  /// The regexes whose acceptance bits accepting() reports, policy order.
+  const std::vector<lang::RegexPtr>& regexes() const { return regexes_; }
+
+  std::string to_string() const;
+
+ private:
+  friend ProductGraph build_unpruned(const topology::Topology&,
+                                     const analysis::Decomposition&);
+  friend void prune_useless(ProductGraph&);
+  friend void minimize_tags(ProductGraph&, const analysis::Decomposition&);
+
+  void rebuild_node_index();
+
+  const topology::Topology* topo_ = nullptr;
+  uint32_t num_regexes_ = 0;
+  std::vector<lang::RegexPtr> regexes_;
+
+  // Tag tables (dense): tag x topology-node -> tag.
+  std::vector<std::vector<uint32_t>> tag_trans_;
+  std::vector<std::vector<bool>> accepting_;   // per tag, per regex
+  std::vector<bool> possibly_finite_;          // per tag
+  std::vector<uint32_t> origin_tags_;          // per topology node
+
+  // Virtual nodes.
+  std::vector<topology::NodeId> node_locs_;
+  std::vector<uint32_t> node_tags_;
+  std::vector<std::vector<PgEdge>> out_edges_;
+  std::vector<std::vector<uint32_t>> nodes_at_;
+  std::unordered_map<uint64_t, uint32_t> node_index_;
+};
+
+}  // namespace contra::pg

@@ -1,0 +1,71 @@
+#include "pg/prune.h"
+
+#include <deque>
+#include <vector>
+
+#include "pg/product_graph.h"
+
+namespace contra::pg {
+
+void prune_useless(ProductGraph& graph) {
+  const uint32_t n = graph.num_nodes();
+
+  // Reverse adjacency over PG edges.
+  std::vector<std::vector<uint32_t>> reverse_adj(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const PgEdge& e : graph.out_edges_[i]) {
+      const uint32_t to_idx = graph.node_index(e.to, e.to_tag);
+      reverse_adj[to_idx].push_back(i);
+    }
+  }
+
+  // Useful = can reach (in probe direction) a node whose tag may produce a
+  // finite rank. Seed with the possibly-finite nodes themselves, walk the
+  // reversed edges.
+  std::vector<bool> useful(n, false);
+  std::deque<uint32_t> frontier;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (graph.possibly_finite_[graph.node_tags_[i]]) {
+      useful[i] = true;
+      frontier.push_back(i);
+    }
+  }
+  while (!frontier.empty()) {
+    const uint32_t i = frontier.front();
+    frontier.pop_front();
+    for (uint32_t pred : reverse_adj[i]) {
+      if (!useful[pred]) {
+        useful[pred] = true;
+        frontier.push_back(pred);
+      }
+    }
+  }
+
+  // Compact the node arrays.
+  std::vector<uint32_t> remap(n, kInvalidPgNode);
+  std::vector<topology::NodeId> locs;
+  std::vector<uint32_t> tags;
+  std::vector<std::vector<PgEdge>> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!useful[i]) continue;
+    remap[i] = static_cast<uint32_t>(locs.size());
+    locs.push_back(graph.node_locs_[i]);
+    tags.push_back(graph.node_tags_[i]);
+    edges.emplace_back();
+    for (const PgEdge& e : graph.out_edges_[i]) {
+      if (useful[graph.node_index(e.to, e.to_tag)]) edges.back().push_back(e);
+    }
+  }
+  graph.node_locs_ = std::move(locs);
+  graph.node_tags_ = std::move(tags);
+  graph.out_edges_ = std::move(edges);
+  graph.rebuild_node_index();
+
+  // Destinations whose probe-sending node vanished are forbidden by policy.
+  for (topology::NodeId d = 0; d < graph.topo_->num_nodes(); ++d) {
+    const uint32_t t = graph.origin_tags_[d];
+    if (t == kInvalidTag || !graph.node_exists(d, t)) graph.origin_tags_[d] = kInvalidTag;
+  }
+}
+
+}  // namespace contra::pg

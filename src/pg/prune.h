@@ -1,0 +1,21 @@
+// PG pruning: drop virtual nodes that cannot contribute a policy-compliant,
+// finite-rank path (paper §4.1 "prunes invalid transitions").
+//
+// A virtual node is *useful* when, following PG edges (probe direction), it
+// can reach some node whose tag may yield a finite rank — i.e. a probe
+// passing through it might eventually inform a source of a usable path.
+// Nodes that are merely transient automaton progress (e.g. "waypoint not yet
+// crossed") are kept; nodes in all-garbage automaton states under a
+// forbidding policy are removed, which also stops probe multicast along
+// pointless edges (protocol efficiency).
+#pragma once
+
+namespace contra::pg {
+
+class ProductGraph;
+
+/// In-place: removes useless nodes and their edges; destinations whose
+/// probe-sending node was pruned get origin_tag = kInvalidTag.
+void prune_useless(ProductGraph& graph);
+
+}  // namespace contra::pg

@@ -1,0 +1,135 @@
+#include "pg/tag_minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "pg/product_graph.h"
+
+namespace contra::pg {
+
+void minimize_tags(ProductGraph& graph, const analysis::Decomposition& decomposition) {
+  (void)decomposition;
+  const uint32_t num_tags = static_cast<uint32_t>(graph.tag_trans_.size());
+  const uint32_t num_locations = graph.topo_->num_nodes();
+  if (num_tags == 0) return;
+
+  // --- Bisimulation merge (Moore refinement over the tag table) -----------
+  // Initial partition: acceptance bit-vector + possible finiteness.
+  std::vector<uint32_t> block(num_tags);
+  {
+    std::map<std::pair<std::vector<bool>, bool>, uint32_t> classes;
+    for (uint32_t t = 0; t < num_tags; ++t) {
+      auto key = std::make_pair(graph.accepting_[t], graph.possibly_finite_[t]);
+      auto [it, _] = classes.emplace(std::move(key), static_cast<uint32_t>(classes.size()));
+      block[t] = it->second;
+    }
+  }
+
+  // Refine until the number of blocks is stable (Moore's algorithm; the
+  // block count is monotone non-decreasing and bounded by num_tags).
+  size_t num_blocks = 0;
+  for (uint32_t b : block) num_blocks = std::max<size_t>(num_blocks, b + 1);
+  while (true) {
+    std::map<std::vector<uint32_t>, uint32_t> sig_ids;
+    std::vector<uint32_t> next(num_tags);
+    for (uint32_t t = 0; t < num_tags; ++t) {
+      std::vector<uint32_t> sig;
+      sig.reserve(num_locations + 1);
+      sig.push_back(block[t]);
+      for (uint32_t loc = 0; loc < num_locations; ++loc) {
+        sig.push_back(block[graph.tag_trans_[t][loc]]);
+      }
+      auto [it, _] = sig_ids.emplace(std::move(sig), static_cast<uint32_t>(sig_ids.size()));
+      next[t] = it->second;
+    }
+    block = std::move(next);
+    if (sig_ids.size() == num_blocks) break;
+    num_blocks = sig_ids.size();
+  }
+
+  // --- Compaction: keep only blocks used by surviving virtual nodes or as
+  // an origin tag, renumber densely. ---------------------------------------
+  // First, merged tags: two same-block (loc, tag) nodes collapse into one.
+  std::vector<bool> block_used(num_tags, false);
+  for (uint32_t tag : graph.node_tags_) block_used[block[tag]] = true;
+  for (uint32_t t : graph.origin_tags_) {
+    if (t != kInvalidTag) block_used[block[t]] = true;
+  }
+
+  std::vector<uint32_t> block_to_new(num_tags, kInvalidTag);
+  uint32_t next_id = 0;
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    const uint32_t b = block[t];
+    if (block_used[b] && block_to_new[b] == kInvalidTag) block_to_new[b] = next_id++;
+  }
+  auto remap = [&](uint32_t tag) -> uint32_t {
+    return tag == kInvalidTag ? kInvalidTag : block_to_new[block[tag]];
+  };
+
+  // Rebuild tag tables under the new numbering. A representative old tag per
+  // new tag supplies the rows (all members agree by bisimulation).
+  std::vector<uint32_t> representative(next_id, kInvalidTag);
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    const uint32_t nt = remap(t);
+    if (nt != kInvalidTag && representative[nt] == kInvalidTag) representative[nt] = t;
+  }
+
+  std::vector<std::vector<uint32_t>> new_trans(next_id);
+  std::vector<std::vector<bool>> new_accepting(next_id);
+  std::vector<bool> new_finite(next_id);
+  for (uint32_t nt = 0; nt < next_id; ++nt) {
+    const uint32_t rep = representative[nt];
+    new_accepting[nt] = graph.accepting_[rep];
+    new_finite[nt] = graph.possibly_finite_[rep];
+    new_trans[nt].resize(num_locations);
+    for (uint32_t loc = 0; loc < num_locations; ++loc) {
+      // Transition targets may fall in unused blocks (paths pruning removed);
+      // map them to kInvalidTag — next_tag() treats that as "no PG node".
+      const uint32_t target = graph.tag_trans_[rep][loc];
+      const uint32_t mapped = block_used[block[target]] ? remap(target) : kInvalidTag;
+      new_trans[nt][loc] = mapped;
+    }
+  }
+  graph.tag_trans_ = std::move(new_trans);
+  graph.accepting_ = std::move(new_accepting);
+  graph.possibly_finite_ = std::move(new_finite);
+
+  for (uint32_t& t : graph.origin_tags_) t = remap(t);
+
+  // Remap virtual nodes, deduplicating (loc, tag) pairs merged by the
+  // bisimulation, and union their edges.
+  std::map<std::pair<topology::NodeId, uint32_t>, uint32_t> dedup;
+  std::vector<topology::NodeId> locs;
+  std::vector<uint32_t> tags;
+  std::vector<std::vector<PgEdge>> edges;
+  std::vector<uint32_t> node_remap(graph.node_locs_.size());
+  for (uint32_t i = 0; i < graph.node_locs_.size(); ++i) {
+    const auto key = std::make_pair(graph.node_locs_[i], remap(graph.node_tags_[i]));
+    auto [it, inserted] = dedup.emplace(key, static_cast<uint32_t>(locs.size()));
+    if (inserted) {
+      locs.push_back(key.first);
+      tags.push_back(key.second);
+      edges.emplace_back();
+    }
+    node_remap[i] = it->second;
+  }
+  for (uint32_t i = 0; i < graph.node_locs_.size(); ++i) {
+    for (const PgEdge& e : graph.out_edges_[i]) {
+      PgEdge mapped{e.to, remap(e.to_tag), e.link};
+      auto& bucket = edges[node_remap[i]];
+      bool present = false;
+      for (const PgEdge& existing : bucket) {
+        present = present || (existing.to == mapped.to && existing.to_tag == mapped.to_tag &&
+                              existing.link == mapped.link);
+      }
+      if (!present) bucket.push_back(mapped);
+    }
+  }
+  graph.node_locs_ = std::move(locs);
+  graph.node_tags_ = std::move(tags);
+  graph.out_edges_ = std::move(edges);
+  graph.rebuild_node_index();
+}
+
+}  // namespace contra::pg

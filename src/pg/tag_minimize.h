@@ -1,0 +1,21 @@
+// Tag minimization (paper §6.1: "minimizing the number of tags ... reducing
+// the number of bits to represent the tags").
+//
+// Two tags are interchangeable when they accept the same regexes, agree on
+// possible finiteness, and transition to interchangeable tags on every
+// switch (a bisimulation over the tag table). Merging them shrinks packet
+// headers and switch tables without changing forwarding behaviour. After
+// merging, tags are compacted to a dense range, dropping tags no surviving
+// virtual node uses.
+#pragma once
+
+#include "analysis/decompose.h"
+
+namespace contra::pg {
+
+class ProductGraph;
+
+/// In-place bisimulation merge + compaction.
+void minimize_tags(ProductGraph& graph, const analysis::Decomposition& decomposition);
+
+}  // namespace contra::pg

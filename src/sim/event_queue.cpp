@@ -1,0 +1,28 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace contra::sim {
+
+void EventQueue::schedule_at(Time time, Handler handler) {
+  heap_.push(Event{std::max(time, now_), next_seq_++, std::move(handler)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Moving out of a priority_queue top requires a const_cast; the element is
+  // popped immediately after, so the heap invariant is never observed broken.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.handler();
+  return true;
+}
+
+void EventQueue::run_until(Time end) {
+  while (!heap_.empty() && heap_.top().time <= end) step();
+  now_ = std::max(now_, end);
+}
+
+}  // namespace contra::sim

@@ -1,0 +1,58 @@
+// Discrete-event core: a time-ordered queue of closures.
+//
+// Ties break by insertion order, which (with seeded RNGs everywhere) makes
+// every simulation bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace contra::sim {
+
+using Time = double;  ///< seconds
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedules at an absolute time (>= now, clamped).
+  void schedule_at(Time time, Handler handler);
+  /// Schedules `delay` seconds from now.
+  void schedule_in(Time delay, Handler handler) { schedule_at(now_ + delay, std::move(handler)); }
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+  /// Runs one event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue empties or the next event is after `end`;
+  /// advances now() to `end` at most.
+  void run_until(Time end);
+
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace contra::sim

@@ -1,0 +1,36 @@
+#include "sim/failure_schedule.h"
+
+namespace contra::sim {
+
+FailureSchedule& FailureSchedule::fail_at(Time at, topology::LinkId link) {
+  events_.push_back(Event{at, link, true});
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::restore_at(Time at, topology::LinkId link) {
+  events_.push_back(Event{at, link, false});
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::flap(topology::LinkId link, Time start, Time half_period,
+                                       int cycles) {
+  for (int i = 0; i < cycles; ++i) {
+    fail_at(start + 2 * i * half_period, link);
+    restore_at(start + (2 * i + 1) * half_period, link);
+  }
+  return *this;
+}
+
+void FailureSchedule::arm(Simulator& sim) const {
+  for (const Event& event : events_) {
+    sim.events().schedule_at(event.at, [&sim, event] {
+      if (event.fail) {
+        sim.fail_cable(event.link);
+      } else {
+        sim.restore_cable(event.link);
+      }
+    });
+  }
+}
+
+}  // namespace contra::sim

@@ -1,0 +1,36 @@
+// Scripted failure injection: declare a timeline of cable failures and
+// recoveries up front, then arm it against a simulator. Used by the
+// failure-recovery experiments and the churn property tests.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace contra::sim {
+
+class FailureSchedule {
+ public:
+  /// Cable containing `link` goes down at `at`.
+  FailureSchedule& fail_at(Time at, topology::LinkId link);
+  /// Cable comes back at `at`.
+  FailureSchedule& restore_at(Time at, topology::LinkId link);
+  /// Flap: alternate fail/restore every `half_period` starting at `start`,
+  /// `cycles` times (ends restored).
+  FailureSchedule& flap(topology::LinkId link, Time start, Time half_period, int cycles);
+
+  size_t size() const { return events_.size(); }
+
+  /// Registers every event with the simulator's event queue.
+  void arm(Simulator& sim) const;
+
+ private:
+  struct Event {
+    Time at;
+    topology::LinkId link;
+    bool fail;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace contra::sim

@@ -1,0 +1,34 @@
+#include "sim/host.h"
+
+#include "util/strings.h"
+
+namespace contra::sim {
+
+std::vector<HostId> attach_hosts_to_fat_tree_edges(Simulator& sim, uint32_t per_switch) {
+  std::vector<HostId> hosts;
+  const topology::Topology& topo = sim.topo();
+  for (topology::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (topology::fat_tree_layer(topo, n) != topology::FatTreeLayer::kEdge) continue;
+    for (uint32_t i = 0; i < per_switch; ++i) hosts.push_back(sim.add_host(n));
+  }
+  return hosts;
+}
+
+std::vector<HostId> attach_hosts_to_leaves(Simulator& sim, uint32_t per_switch) {
+  std::vector<HostId> hosts;
+  const topology::Topology& topo = sim.topo();
+  for (topology::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (!util::starts_with(topo.name(n), "leaf")) continue;
+    for (uint32_t i = 0; i < per_switch; ++i) hosts.push_back(sim.add_host(n));
+  }
+  return hosts;
+}
+
+std::vector<HostId> attach_hosts(Simulator& sim, const std::vector<topology::NodeId>& switches) {
+  std::vector<HostId> hosts;
+  hosts.reserve(switches.size());
+  for (topology::NodeId n : switches) hosts.push_back(sim.add_host(n));
+  return hosts;
+}
+
+}  // namespace contra::sim

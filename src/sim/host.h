@@ -1,0 +1,24 @@
+// Host-side helpers. Hosts are thin in this simulator: endpoints with a NIC
+// link pair managed by Simulator and a transport managed by
+// TransportManager. This header provides the placement helpers experiments
+// use to attach hosts to edge switches.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topology/generators.h"
+
+namespace contra::sim {
+
+/// Attaches `per_switch` hosts to every edge switch of a fat-tree (names
+/// starting with "e"); returns the host ids in attachment order.
+std::vector<HostId> attach_hosts_to_fat_tree_edges(Simulator& sim, uint32_t per_switch);
+
+/// Attaches `per_switch` hosts to every leaf of a leaf-spine topology.
+std::vector<HostId> attach_hosts_to_leaves(Simulator& sim, uint32_t per_switch);
+
+/// Attaches one host to each of the given switches.
+std::vector<HostId> attach_hosts(Simulator& sim, const std::vector<topology::NodeId>& switches);
+
+}  // namespace contra::sim

@@ -1,0 +1,94 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace contra::sim {
+
+Link::Link(EventQueue& events, double capacity_bps, double delay_s,
+           uint64_t queue_capacity_bytes, double util_tau_s)
+    : events_(events),
+      capacity_bps_(capacity_bps),
+      delay_s_(delay_s),
+      queue_capacity_bytes_(queue_capacity_bytes),
+      util_tau_s_(util_tau_s) {}
+
+bool Link::enqueue(Packet&& packet) {
+  if (down_ || queue_bytes_ + packet.size_bytes > queue_capacity_bytes_) {
+    ++stats_.drops;
+    stats_.drop_bytes += packet.size_bytes;
+    if (packet.kind != PacketKind::kProbe) ++stats_.data_drops;
+    return false;
+  }
+  if (ecn_threshold_bytes_ > 0 && queue_bytes_ > ecn_threshold_bytes_) {
+    packet.ecn_marked = true;  // DCTCP-style instantaneous-queue marking
+  }
+  queue_bytes_ += packet.size_bytes;
+  queue_.push_back(std::move(packet));
+  if (queue_sampler_) queue_sampler_(events_.now(), queue_bytes_);
+  maybe_start_transmit();
+  return true;
+}
+
+void Link::set_down(bool down) {
+  down_ = down;
+  if (down) {
+    // In-queue packets are lost with the link.
+    stats_.drops += queue_.size();
+    for (const Packet& p : queue_) {
+      stats_.drop_bytes += p.size_bytes;
+      if (p.kind != PacketKind::kProbe) ++stats_.data_drops;
+    }
+    queue_.clear();
+    queue_bytes_ = 0;
+  }
+}
+
+void Link::maybe_start_transmit() {
+  if (busy_ || queue_.empty() || down_) return;
+  busy_ = true;
+  const double tx_time = queue_.front().size_bytes * 8.0 / capacity_bps_;
+  events_.schedule_in(tx_time, [this] { on_transmit_done(); });
+}
+
+void Link::on_transmit_done() {
+  busy_ = false;
+  if (down_ || queue_.empty()) return;  // lost while down
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  queue_bytes_ -= packet.size_bytes;
+  note_tx(packet);
+  // Propagation: deliver after the wire delay.
+  events_.schedule_in(delay_s_, [this, packet = std::move(packet)]() mutable {
+    if (deliver_ && !down_) deliver_(std::move(packet));
+  });
+  maybe_start_transmit();
+}
+
+void Link::note_tx(const Packet& packet) {
+  ++stats_.tx_packets;
+  stats_.tx_bytes += packet.size_bytes;
+  switch (packet.kind) {
+    case PacketKind::kData: stats_.tx_data_bytes += packet.size_bytes; break;
+    case PacketKind::kAck: stats_.tx_ack_bytes += packet.size_bytes; break;
+    case PacketKind::kProbe: stats_.tx_probe_bytes += packet.size_bytes; break;
+  }
+  // Utilization EWMA (HULA-style): linear decay over tau, then add the
+  // transmitted bytes.
+  const Time now = events_.now();
+  const double decay = std::max(0.0, 1.0 - (now - util_updated_) / util_tau_s_);
+  util_bytes_ = packet.size_bytes + util_bytes_ * decay;
+  util_updated_ = now;
+}
+
+double Link::utilization() const {
+  const Time now = events_.now();
+  const double decay = std::max(0.0, 1.0 - (now - util_updated_) / util_tau_s_);
+  util_bytes_ *= decay;
+  util_updated_ = now;
+  const double window_bytes = capacity_bps_ / 8.0 * util_tau_s_;
+  return window_bytes > 0 ? util_bytes_ / window_bytes : 0.0;
+}
+
+}  // namespace contra::sim

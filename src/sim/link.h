@@ -1,0 +1,86 @@
+// A simulated directed link: store-and-forward serialization at the link
+// rate, propagation delay, a drop-tail byte-capacity queue, and the
+// utilization estimator the dataplane reads (an EWMA over transmitted bytes,
+// the estimator HULA and Contra use in hardware).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+
+namespace contra::sim {
+
+struct LinkStats {
+  uint64_t tx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t tx_data_bytes = 0;
+  uint64_t tx_ack_bytes = 0;
+  uint64_t tx_probe_bytes = 0;
+  uint64_t drops = 0;       ///< all kinds (incl. probes sent at down links)
+  uint64_t drop_bytes = 0;
+  uint64_t data_drops = 0;  ///< data/ACK packets only — the loss that hurts flows
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+  /// Called on every enqueue with (time, queue_bytes_after); used by the
+  /// queue-length CDF experiment (Fig. 13).
+  using QueueSampleFn = std::function<void(Time, uint64_t)>;
+
+  Link(EventQueue& events, double capacity_bps, double delay_s, uint64_t queue_capacity_bytes,
+       double util_tau_s);
+
+  /// ECN: packets enqueued while the queue exceeds this threshold get
+  /// congestion-marked (0 disables marking — the default).
+  void set_ecn_threshold_bytes(uint64_t bytes) { ecn_threshold_bytes_ = bytes; }
+
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+  void set_queue_sampler(QueueSampleFn sampler) { queue_sampler_ = std::move(sampler); }
+
+  /// Enqueues for transmission; false (and a drop count) if the queue is
+  /// full or the link is administratively down.
+  bool enqueue(Packet&& packet);
+
+  void set_down(bool down);
+  bool down() const { return down_; }
+
+  /// Current utilization estimate in [0, ~1]: EWMA of transmitted bytes over
+  /// the decay window tau, normalized by capacity.
+  double utilization() const;
+
+  uint64_t queue_bytes() const { return queue_bytes_; }
+  double capacity_bps() const { return capacity_bps_; }
+  double delay_s() const { return delay_s_; }
+  const LinkStats& stats() const { return stats_; }
+
+ private:
+  void maybe_start_transmit();
+  void on_transmit_done();
+  void note_tx(const Packet& packet);
+
+  EventQueue& events_;
+  double capacity_bps_;
+  double delay_s_;
+  uint64_t queue_capacity_bytes_;
+  double util_tau_s_;
+
+  std::deque<Packet> queue_;
+  uint64_t queue_bytes_ = 0;
+  uint64_t ecn_threshold_bytes_ = 0;
+  bool busy_ = false;
+  bool down_ = false;
+
+  // Utilization EWMA state.
+  mutable double util_bytes_ = 0.0;
+  mutable Time util_updated_ = 0.0;
+
+  DeliverFn deliver_;
+  QueueSampleFn queue_sampler_;
+  LinkStats stats_;
+};
+
+}  // namespace contra::sim

@@ -1,0 +1,5 @@
+#include "sim/node.h"
+
+// Device is a pure interface; this TU anchors its vtable-adjacent docs and
+// keeps the module layout uniform (one .cpp per component).
+namespace contra::sim {}

@@ -1,0 +1,31 @@
+// Device abstraction: anything installed at a topology node that handles
+// packets (Contra switches, baseline switches). Devices send through the
+// Simulator, which owns the links.
+#pragma once
+
+#include "sim/packet.h"
+#include "topology/topology.h"
+
+namespace contra::sim {
+
+class Simulator;
+
+/// A pseudo link id meaning "arrived from a locally attached host".
+inline constexpr topology::LinkId kFromHost = topology::kInvalidLink;
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Called once when the simulation starts (e.g. to arm probe timers).
+  virtual void start(Simulator& sim) { (void)sim; }
+
+  /// A packet fully arrived at this switch. `in_link` is the directed
+  /// topology link it came over, or kFromHost for host ingress.
+  virtual void handle_packet(Simulator& sim, Packet&& packet, topology::LinkId in_link) = 0;
+
+  /// Human-readable name for diagnostics.
+  virtual const char* kind_name() const = 0;
+};
+
+}  // namespace contra::sim

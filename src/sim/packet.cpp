@@ -1,0 +1,4 @@
+#include "sim/packet.h"
+
+// Packet is a plain value type; this TU anchors the module in the build.
+namespace contra::sim {}

@@ -1,0 +1,92 @@
+// Simulation packets. One struct covers data, ACK, and probe packets —
+// this is a simulator object, not a wire format; the wire sizes used for
+// serialization and overhead accounting are explicit fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pg/policy_eval.h"
+#include "topology/topology.h"
+#include "util/hash.h"
+
+namespace contra::sim {
+
+using HostId = uint32_t;
+inline constexpr HostId kInvalidHost = UINT32_MAX;
+
+enum class PacketKind : uint8_t { kData, kAck, kProbe };
+
+/// Routing/protocol fields a Contra (or baseline) switch reads and writes.
+struct RoutingState {
+  uint32_t tag = 0;            ///< Contra PG tag (rewritten hop by hop)
+  uint32_t pid = 0;            ///< Contra probe id
+  uint32_t path_id = 0;        ///< SPAIN path index
+  uint32_t traffic_class = 0;  ///< classified policies: rule index (stamped at ingress)
+  uint8_t ttl = 64;
+  bool stamped = false;        ///< first switch has chosen (tag, pid)
+  bool hula_up = true;         ///< HULA: probe still traveling upward
+};
+
+/// CONGA-style in-band congestion state piggybacked on data packets
+/// (leaf-spine only): the forward half tracks the path's max egress
+/// utilization; the feedback half opportunistically returns one
+/// (uplink, metric) observation to the sender-side leaf.
+struct CongaFields {
+  topology::NodeId src_leaf = topology::kInvalidNode;
+  uint8_t uplink = 0;        ///< index of the chosen uplink at the source leaf
+  float metric = 0.0f;       ///< max egress utilization seen so far
+  bool has_feedback = false;
+  uint8_t fb_uplink = 0;
+  float fb_metric = 0.0f;
+};
+
+/// Probe payload (Contra and HULA reuse the same carrier).
+struct ProbeFields {
+  topology::NodeId origin = topology::kInvalidNode;
+  uint32_t pid = 0;
+  uint32_t tag = 0;
+  uint32_t traffic_class = 0;  ///< classified policies: which protocol instance
+  uint64_t version = 0;
+  pg::MetricsVector mv;
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  uint64_t id = 0;  ///< unique per packet, for tracing
+
+  // Endpoints.
+  HostId src_host = kInvalidHost;
+  HostId dst_host = kInvalidHost;
+  topology::NodeId src_switch = topology::kInvalidNode;
+  topology::NodeId dst_switch = topology::kInvalidNode;
+
+  // Transport.
+  uint64_t flow_id = 0;
+  uint64_t seq = 0;       ///< data: sequence number; ack: cumulative ack
+  uint32_t size_bytes = 0;
+  bool ecn_marked = false;  ///< congestion-experienced (set by queues, echoed by ACKs)
+
+  util::FiveTuple tuple;
+  RoutingState routing;
+  std::optional<ProbeFields> probe;
+  std::optional<CongaFields> conga;
+
+  /// Switch-level path trace (appended by dataplanes as the packet crosses
+  /// them). A simulation affordance for compliance checking — it has no
+  /// wire-format counterpart and no effect on behaviour.
+  std::vector<uint16_t> trace;
+
+  bool is_probe() const { return kind == PacketKind::kProbe; }
+
+  /// Signature for the loop-detection table (§5.5): identifies "the same
+  /// packet" across hops without the mutable tag/ttl fields.
+  uint32_t loop_signature() const {
+    uint64_t h = util::hash_combine(flow_id, seq);
+    h = util::hash_combine(h, id);
+    return static_cast<uint32_t>(h);
+  }
+};
+
+}  // namespace contra::sim

@@ -1,0 +1,107 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace contra::sim {
+
+Simulator::Simulator(const topology::Topology& topo, SimConfig config)
+    : topo_(&topo), config_(config) {
+  devices_.resize(topo.num_nodes());
+  wire_topology_links();
+}
+
+void Simulator::wire_topology_links() {
+  links_.reserve(topo_->num_links());
+  for (topology::LinkId id = 0; id < topo_->num_links(); ++id) {
+    const topology::DirectedLink& l = topo_->link(id);
+    auto link = std::make_unique<Link>(events_, l.capacity_bps, l.delay_s,
+                                       config_.queue_capacity_bytes, config_.util_tau_s);
+    const topology::NodeId to = l.to;
+    Link* raw = link.get();
+    (void)raw;
+    link->set_deliver([this, to, id](Packet&& packet) {
+      if (devices_[to]) devices_[to]->handle_packet(*this, std::move(packet), id);
+    });
+    links_.push_back(std::move(link));
+  }
+}
+
+HostId Simulator::add_host(topology::NodeId attach) {
+  if (attach >= topo_->num_nodes()) throw std::out_of_range("add_host: bad switch id");
+  const HostId host = static_cast<HostId>(host_attach_.size());
+  host_attach_.push_back(attach);
+
+  // Host -> switch (uplink).
+  auto up = std::make_unique<Link>(events_, config_.host_link_bps, config_.host_link_delay_s,
+                                   config_.queue_capacity_bytes, config_.util_tau_s);
+  up->set_deliver([this, attach](Packet&& packet) {
+    if (devices_[attach]) devices_[attach]->handle_packet(*this, std::move(packet), kFromHost);
+  });
+  host_uplink_.push_back(links_.size());
+  links_.push_back(std::move(up));
+
+  // Switch -> host (downlink).
+  auto down = std::make_unique<Link>(events_, config_.host_link_bps, config_.host_link_delay_s,
+                                     config_.queue_capacity_bytes, config_.util_tau_s);
+  down->set_deliver([this, host](Packet&& packet) {
+    if (host_receiver_) host_receiver_(host, std::move(packet));
+  });
+  host_downlink_.push_back(links_.size());
+  links_.push_back(std::move(down));
+  return host;
+}
+
+void Simulator::install_switch(topology::NodeId node, std::unique_ptr<Device> device) {
+  if (node >= devices_.size()) throw std::out_of_range("install_switch: bad node id");
+  devices_[node] = std::move(device);
+}
+
+void Simulator::start() {
+  for (auto& device : devices_) {
+    if (device) device->start(*this);
+  }
+}
+
+bool Simulator::send_on_link(topology::LinkId link, Packet&& packet) {
+  return links_.at(link)->enqueue(std::move(packet));
+}
+
+bool Simulator::send_to_host(HostId host, Packet&& packet) {
+  return links_.at(host_downlink_.at(host))->enqueue(std::move(packet));
+}
+
+bool Simulator::host_send(HostId host, Packet&& packet) {
+  return links_.at(host_uplink_.at(host))->enqueue(std::move(packet));
+}
+
+void Simulator::fail_cable(topology::LinkId link) {
+  links_.at(link)->set_down(true);
+  links_.at(topo_->link(link).reverse)->set_down(true);
+  LOG_INFO("sim") << "cable " << topo_->name(topo_->link(link).from) << "-"
+                  << topo_->name(topo_->link(link).to) << " failed at t=" << now();
+}
+
+void Simulator::restore_cable(topology::LinkId link) {
+  links_.at(link)->set_down(false);
+  links_.at(topo_->link(link).reverse)->set_down(false);
+}
+
+LinkStats Simulator::aggregate_fabric_stats() const {
+  LinkStats total;
+  for (topology::LinkId id = 0; id < topo_->num_links(); ++id) {
+    const LinkStats& s = links_[id]->stats();
+    total.tx_packets += s.tx_packets;
+    total.tx_bytes += s.tx_bytes;
+    total.tx_data_bytes += s.tx_data_bytes;
+    total.tx_ack_bytes += s.tx_ack_bytes;
+    total.tx_probe_bytes += s.tx_probe_bytes;
+    total.drops += s.drops;
+    total.drop_bytes += s.drop_bytes;
+    total.data_drops += s.data_drops;
+  }
+  return total;
+}
+
+}  // namespace contra::sim

@@ -1,0 +1,104 @@
+// The network simulator: topology links + host links, installed switch
+// devices, hosts, and failure injection. This is the substrate the paper ran
+// on ns-3; behaviourally it models the same quantities the evaluation
+// depends on — queueing, loss, utilization, propagation, RTT.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/packet.h"
+#include "topology/topology.h"
+
+namespace contra::sim {
+
+struct SimConfig {
+  double host_link_bps = 10e9;
+  double host_link_delay_s = 0.5e-6;
+  /// Drop-tail capacity per link queue; the paper uses 1000 MSS.
+  uint64_t queue_capacity_bytes = 1000ull * 1500;
+  /// Utilization EWMA window; commonly a couple of probe periods.
+  double util_tau_s = 512e-6;
+};
+
+class Simulator {
+ public:
+  Simulator(const topology::Topology& topo, SimConfig config);
+
+  const topology::Topology& topo() const { return *topo_; }
+  const SimConfig& config() const { return config_; }
+  EventQueue& events() { return events_; }
+  Time now() const { return events_.now(); }
+
+  // ----- setup ------------------------------------------------------------
+
+  /// Attaches a host to a switch; returns its id.
+  HostId add_host(topology::NodeId attach);
+  uint32_t num_hosts() const { return static_cast<uint32_t>(host_attach_.size()); }
+  topology::NodeId host_switch(HostId host) const { return host_attach_.at(host); }
+
+  void install_switch(topology::NodeId node, std::unique_ptr<Device> device);
+  Device& device_at(topology::NodeId node) { return *devices_.at(node); }
+
+  /// Delivery of packets that reached their destination host.
+  void set_host_receiver(std::function<void(HostId, Packet&&)> receiver) {
+    host_receiver_ = std::move(receiver);
+  }
+
+  /// Calls Device::start on every switch (arm probe timers etc.).
+  void start();
+
+  // ----- dataplane services -----------------------------------------------
+
+  /// Switch egress on a topology link. Returns false when dropped.
+  bool send_on_link(topology::LinkId link, Packet&& packet);
+  /// Edge switch -> attached host.
+  bool send_to_host(HostId host, Packet&& packet);
+  /// Host NIC -> its switch.
+  bool host_send(HostId host, Packet&& packet);
+
+  /// Link state and metrics, as read by switch dataplanes.
+  Link& link(topology::LinkId id) { return *links_.at(id); }
+  const Link& link(topology::LinkId id) const { return *links_.at(id); }
+  Link& host_uplink(HostId host) { return *links_.at(host_uplink_.at(host)); }
+  Link& host_downlink(HostId host) { return *links_.at(host_downlink_.at(host)); }
+
+  // ----- failure injection --------------------------------------------------
+
+  /// Fails/restores both directions of the cable containing `link`.
+  void fail_cable(topology::LinkId link);
+  void restore_cable(topology::LinkId link);
+
+  // ----- run / stats ---------------------------------------------------------
+
+  void run_until(Time end) { events_.run_until(end); }
+
+  /// Aggregate traffic transmitted on switch-switch links (Fig. 16).
+  LinkStats aggregate_fabric_stats() const;
+
+  uint64_t next_packet_id() { return next_packet_id_++; }
+
+ private:
+  void wire_topology_links();
+
+  const topology::Topology* topo_;
+  SimConfig config_;
+  EventQueue events_;
+
+  /// [0, topo.num_links()) are topology links; host links follow.
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Device>> devices_;
+
+  std::vector<topology::NodeId> host_attach_;
+  std::vector<size_t> host_uplink_;    ///< host -> switch link index
+  std::vector<size_t> host_downlink_;  ///< switch -> host link index
+
+  std::function<void(HostId, Packet&&)> host_receiver_;
+  uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace contra::sim

@@ -1,0 +1,53 @@
+#include "sim/tracing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace contra::sim {
+
+void QueueLengthTracer::attach_fabric(Simulator& sim, uint32_t mss_bytes) {
+  for (topology::LinkId id = 0; id < sim.topo().num_links(); ++id) {
+    sim.link(id).set_queue_sampler([this, mss_bytes](Time, uint64_t queue_bytes) {
+      samples_.push_back(static_cast<double>(queue_bytes) / mss_bytes);
+    });
+  }
+}
+
+std::vector<double> QueueLengthTracer::sorted_samples() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+double QueueLengthTracer::cdf_at(double threshold_mss) const {
+  if (samples_.empty()) return 0.0;
+  size_t count = 0;
+  for (double s : samples_) {
+    if (s <= threshold_mss) ++count;
+  }
+  return static_cast<double>(count) / samples_.size();
+}
+
+double QueueLengthTracer::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = sorted_samples();
+  const double pos = std::clamp(q, 0.0, 1.0) * (sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - lo;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void ThroughputTimeline::add(Time t, uint32_t bytes) {
+  if (t < 0) return;
+  const size_t bin = static_cast<size_t>(t / bin_width_);
+  if (bins_.size() <= bin) bins_.resize(bin + 1, 0);
+  bins_[bin] += bytes;
+}
+
+double ThroughputTimeline::throughput_bps(size_t bin) const {
+  if (bin >= bins_.size()) return 0.0;
+  return bins_[bin] * 8.0 / bin_width_;
+}
+
+}  // namespace contra::sim

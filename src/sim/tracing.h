@@ -1,0 +1,49 @@
+// Measurement taps: queue-length sampling across fabric links (Fig. 13) and
+// received-throughput timelines (Fig. 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace contra::sim {
+
+/// Records every enqueue-time queue length (in MSS units) on the selected
+/// links; yields the CDF data Fig. 13 plots.
+class QueueLengthTracer {
+ public:
+  /// Attaches to all switch-switch links of the simulator.
+  void attach_fabric(Simulator& sim, uint32_t mss_bytes = 1500);
+
+  const std::vector<double>& samples_mss() const { return samples_; }
+
+  /// Sorted copy + CDF evaluation helper.
+  std::vector<double> sorted_samples() const;
+  /// Fraction of samples <= threshold.
+  double cdf_at(double threshold_mss) const;
+  /// Quantile in MSS (q in [0,1]).
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Bins received bytes into fixed-width intervals: throughput(t) series.
+class ThroughputTimeline {
+ public:
+  explicit ThroughputTimeline(double bin_width_s) : bin_width_(bin_width_s) {}
+
+  void add(Time t, uint32_t bytes);
+
+  double bin_width() const { return bin_width_; }
+  /// Throughput of bin i in bits/s.
+  double throughput_bps(size_t bin) const;
+  size_t num_bins() const { return bins_.size(); }
+
+ private:
+  double bin_width_;
+  std::vector<uint64_t> bins_;
+};
+
+}  // namespace contra::sim

@@ -1,0 +1,160 @@
+// End-host transport: a TCP-like reliable byte stream (slow start, AIMD,
+// fast retransmit, RTO with Jacobson/Karels estimation) and a constant-rate
+// UDP sender. This is deliberately a compact congestion-controlled transport
+// — enough fidelity for flow completion times to respond to queueing and
+// loss the way the paper's ns-3 TCP does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace contra::sim {
+
+struct TransportConfig {
+  uint32_t mss_bytes = 1460;       ///< payload per data packet
+  uint32_t header_bytes = 40;      ///< TCP/IP header overhead
+  uint32_t ack_bytes = 64;         ///< ACK wire size
+  uint32_t init_cwnd_pkts = 10;
+  double init_rto_s = 2e-3;
+  double min_rto_s = 200e-6;
+  double max_rto_s = 100e-3;
+  /// DCTCP mode: react proportionally to the fraction of ECN-marked ACKs
+  /// (requires links with an ECN threshold; see Link::set_ecn_threshold_bytes).
+  bool dctcp = false;
+  double dctcp_gain = 1.0 / 16;    ///< the DCTCP g parameter
+};
+
+struct FlowRecord {
+  uint64_t flow_id = 0;
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  uint64_t bytes = 0;
+  Time start = 0.0;
+  Time end = 0.0;
+  bool completed = false;
+
+  double fct() const { return end - start; }
+};
+
+class TransportManager {
+ public:
+  TransportManager(Simulator& sim, TransportConfig config = {});
+
+  /// Schedules a TCP-like flow; returns its flow id.
+  uint64_t start_flow(HostId src, HostId dst, uint64_t bytes, Time start_time);
+
+  /// Constant-rate UDP stream between [start, stop).
+  uint64_t start_udp_flow(HostId src, HostId dst, double rate_bps, Time start_time,
+                          Time stop_time, uint32_t packet_bytes = 1500);
+
+  /// Completed TCP flows (in completion order).
+  const std::vector<FlowRecord>& completed_flows() const { return completed_; }
+  /// All TCP flows, completed or not (flow-id order).
+  std::vector<FlowRecord> all_flows() const;
+
+  uint64_t udp_bytes_received() const { return udp_bytes_received_; }
+
+  /// Total data packets that arrived out of order across all TCP receivers —
+  /// the paper's "Ordered" objective (§5.3). Retransmission arrivals count
+  /// too (they also fill holes), so compare like against like.
+  uint64_t total_reordered_packets() const;
+  /// Invoked on every delivered UDP packet (throughput timelines, Fig. 14).
+  void set_udp_receive_hook(std::function<void(Time, uint32_t)> hook) {
+    udp_hook_ = std::move(hook);
+  }
+
+  /// Invoked on every data packet (TCP and UDP) that reaches its host —
+  /// e.g. to audit Packet::trace for policy compliance.
+  void set_data_inspector(std::function<void(const Packet&)> inspector) {
+    data_inspector_ = std::move(inspector);
+  }
+
+  const TransportConfig& config() const { return config_; }
+
+ private:
+  struct TcpSender {
+    HostId src = kInvalidHost;
+    HostId dst = kInvalidHost;
+    uint64_t flow_id = 0;
+    uint64_t total_pkts = 0;
+    uint32_t last_pkt_payload = 0;
+    uint64_t bytes = 0;
+    Time start_time = 0.0;
+
+    uint64_t next_seq = 0;
+    uint64_t acked = 0;
+    double cwnd = 1.0;
+    double ssthresh = 1e18;
+    int dupacks = 0;
+
+    double srtt = 0.0;
+    double rttvar = 0.0;
+    double rto = 0.0;
+    uint64_t rto_generation = 0;
+    bool rtt_seeded = false;
+    bool started = false;
+    bool done = false;
+
+    std::unordered_map<uint64_t, Time> send_time;
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+
+    // DCTCP state (§ECN): per-window marked/total ACK accounting.
+    double dctcp_alpha = 0.0;
+    uint64_t dctcp_window_end = 0;
+    uint64_t dctcp_acked_total = 0;
+    uint64_t dctcp_acked_marked = 0;
+  };
+
+  struct TcpReceiver {
+    uint64_t expected = 0;
+    std::set<uint64_t> out_of_order;
+    uint64_t max_seq_seen = 0;
+    bool any_seen = false;
+    uint64_t reordered = 0;  ///< packets arriving below an already-seen seq
+  };
+
+  struct UdpFlow {
+    HostId src = kInvalidHost;
+    HostId dst = kInvalidHost;
+    uint64_t flow_id = 0;
+    double rate_bps = 0.0;
+    Time stop_time = 0.0;
+    uint32_t packet_bytes = 1500;
+    uint64_t next_seq = 0;
+  };
+
+  void on_host_receive(HostId host, Packet&& packet);
+  void on_data(Packet&& packet);
+  void on_ack(Packet&& packet);
+
+  void tcp_start(TcpSender& sender);
+  void tcp_send_window(TcpSender& sender);
+  void tcp_send_packet(TcpSender& sender, uint64_t seq);
+  void tcp_arm_rto(TcpSender& sender);
+  void tcp_on_rto(uint64_t flow_id, uint64_t generation);
+  void tcp_complete(TcpSender& sender);
+
+  void udp_send_next(uint64_t flow_id);
+
+  Packet make_packet(PacketKind kind, HostId src, HostId dst, uint64_t flow_id, uint64_t seq,
+                     uint32_t size_bytes, uint8_t protocol);
+
+  Simulator& sim_;
+  TransportConfig config_;
+  std::unordered_map<uint64_t, TcpSender> senders_;
+  std::unordered_map<uint64_t, TcpReceiver> receivers_;
+  std::unordered_map<uint64_t, UdpFlow> udp_flows_;
+  std::vector<FlowRecord> completed_;
+  uint64_t next_flow_id_ = 1;
+  uint64_t udp_bytes_received_ = 0;
+  std::function<void(Time, uint32_t)> udp_hook_;
+  std::function<void(const Packet&)> data_inspector_;
+};
+
+}  // namespace contra::sim

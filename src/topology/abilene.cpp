@@ -1,0 +1,51 @@
+#include "topology/abilene.h"
+
+#include <array>
+
+namespace contra::topology {
+
+namespace {
+
+struct AbileneLink {
+  const char* a;
+  const char* b;
+  double delay_us;  ///< one-way propagation, roughly distance/c_fiber
+};
+
+// Historical Abilene PoPs and links (Internet2, 2005 map). Delays derive
+// from great-circle distances at ~2/3 c.
+constexpr std::array<AbileneLink, 14> kLinks = {{
+    {"Seattle", "Sunnyvale", 6600.0 / 1000},
+    {"Seattle", "Denver", 8300.0 / 1000},
+    {"Sunnyvale", "LosAngeles", 2800.0 / 1000},
+    {"Sunnyvale", "Denver", 7600.0 / 1000},
+    {"LosAngeles", "Houston", 11200.0 / 1000},
+    {"Denver", "KansasCity", 4500.0 / 1000},
+    {"KansasCity", "Houston", 5900.0 / 1000},
+    {"KansasCity", "Indianapolis", 3900.0 / 1000},
+    {"Houston", "Atlanta", 5700.0 / 1000},
+    {"Indianapolis", "Chicago", 1500.0 / 1000},
+    {"Indianapolis", "Atlanta", 4300.0 / 1000},
+    {"Chicago", "NewYork", 5800.0 / 1000},
+    {"Atlanta", "WashingtonDC", 4400.0 / 1000},
+    {"NewYork", "WashingtonDC", 1800.0 / 1000},
+}};
+
+constexpr std::array<const char*, 11> kNodes = {
+    "Seattle",   "Sunnyvale",    "LosAngeles", "Denver",  "KansasCity", "Houston",
+    "Indianapolis", "Chicago",   "Atlanta",    "NewYork", "WashingtonDC",
+};
+
+}  // namespace
+
+Topology abilene(double capacity_bps, double delay_scale) {
+  Topology topo;
+  for (const char* n : kNodes) topo.add_node(n);
+  for (const AbileneLink& l : kLinks) {
+    topo.add_link(topo.find(l.a), topo.find(l.b), capacity_bps,
+                  l.delay_us * 1e-6 * delay_scale);
+  }
+  return topo;
+}
+
+}  // namespace contra::topology

@@ -1,0 +1,16 @@
+// The Abilene research backbone (Internet2), the paper's WAN topology for
+// §6.4. 11 PoPs with the historical link structure; link delays approximate
+// geographic propagation.
+#pragma once
+
+#include "topology/topology.h"
+
+namespace contra::topology {
+
+/// Builds Abilene with the given uniform capacity (the paper uses 40 Gbps).
+/// `delay_scale` multiplies the built-in per-link propagation delays, which
+/// lets experiments shrink the WAN to simulation-friendly RTTs while keeping
+/// relative delay structure.
+Topology abilene(double capacity_bps = 40e9, double delay_scale = 1.0);
+
+}  // namespace contra::topology

@@ -1,0 +1,50 @@
+// Topology generators for the families used in the paper's evaluation:
+// k-ary fat-trees, leaf-spine, random connected graphs, plus small shapes
+// (ring, line, grid) used by tests.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.h"
+
+namespace contra::topology {
+
+/// Default link parameters used by generators when unspecified.
+struct LinkParams {
+  double capacity_bps = 10e9;
+  double delay_s = 1e-6;
+};
+
+/// k-ary fat-tree (k even): k^2/4 core, k^2/2 aggregation, k^2/2 edge
+/// switches = 5k^2/4 total. Names: "c<i>", "a<p>_<i>", "e<p>_<i>" where p is
+/// the pod. k=4 -> 20 switches ... k=20 -> 500 switches (the paper's Fig. 9
+/// x-axis).
+Topology fat_tree(uint32_t k, LinkParams params = {});
+
+/// Identifies fat-tree layers by name prefix ("c", "a", "e").
+enum class FatTreeLayer { kCore, kAgg, kEdge, kUnknown };
+FatTreeLayer fat_tree_layer(const Topology& topo, NodeId node);
+
+/// Leaf-spine (2-tier Clos): every leaf connects to every spine. Names
+/// "leaf<i>" / "spine<i>". `uplink` parameters apply to leaf-spine cables.
+Topology leaf_spine(uint32_t leaves, uint32_t spines, LinkParams params = {});
+
+/// Random connected graph: a random spanning tree plus extra random edges
+/// until the average degree is reached. Deterministic per seed.
+Topology random_connected(uint32_t nodes, double avg_degree, uint64_t seed,
+                          LinkParams params = {});
+
+/// Cycle of n nodes ("n0".."n<n-1>").
+Topology ring(uint32_t n, LinkParams params = {});
+
+/// Line (path graph) of n nodes.
+Topology line(uint32_t n, LinkParams params = {});
+
+/// rows x cols mesh.
+Topology grid(uint32_t rows, uint32_t cols, LinkParams params = {});
+
+/// The four-switch diamond from the paper's running example (Fig. 6a):
+/// A-B, A-C, B-C, B-D, C-D.
+Topology running_example();
+
+}  // namespace contra::topology

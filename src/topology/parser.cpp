@@ -1,0 +1,68 @@
+#include "topology/parser.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace contra::topology {
+
+Topology parse_topology(std::string_view text, double default_capacity_bps,
+                        double default_delay_s) {
+  Topology topo;
+  auto get_or_add = [&](const std::string& name) -> NodeId {
+    const NodeId found = topo.find(name);
+    return found != kInvalidNode ? found : topo.add_node(name);
+  };
+
+  size_t line_no = 0;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = util::split_whitespace(line);
+    auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("topology line " + std::to_string(line_no) + ": " + why);
+    };
+    if (fields[0] == "node") {
+      if (fields.size() != 2) fail("'node' takes exactly one name");
+      get_or_add(fields[1]);
+    } else if (fields[0] == "link") {
+      if (fields.size() < 3 || fields.size() > 5) {
+        fail("'link' takes two names and optional capacity/delay");
+      }
+      if (fields[1] == fields[2]) fail("self-loop link");
+      const NodeId a = get_or_add(fields[1]);
+      const NodeId b = get_or_add(fields[2]);
+      double capacity = default_capacity_bps;
+      double delay = default_delay_s;
+      try {
+        if (fields.size() >= 4) capacity = std::stod(fields[3]) * 1e9;
+        if (fields.size() >= 5) delay = std::stod(fields[4]) * 1e-6;
+      } catch (const std::exception&) {
+        fail("malformed number");
+      }
+      if (capacity <= 0 || delay < 0) fail("capacity must be positive, delay non-negative");
+      topo.add_link(a, b, capacity, delay);
+    } else {
+      fail("unknown directive '" + fields[0] + "'");
+    }
+  }
+  return topo;
+}
+
+std::string format_topology(const Topology& topo) {
+  std::ostringstream out;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) out << "node " << topo.name(n) << "\n";
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const DirectedLink& link = topo.link(l);
+    if (link.from > link.to) continue;  // emit each cable once
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " %.6g %.6g", link.capacity_bps / 1e9, link.delay_s * 1e6);
+    out << "link " << topo.name(link.from) << " " << topo.name(link.to) << buf << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace contra::topology

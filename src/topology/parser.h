@@ -1,0 +1,26 @@
+// Text format for topologies (Topology Zoo-style edge lists):
+//
+//   # comment
+//   node <name>
+//   link <name1> <name2> [capacity_gbps] [delay_us]
+//
+// `node` lines are optional — names appearing in `link` lines are created on
+// first use with declaration order preserved.
+#pragma once
+
+#include <string_view>
+
+#include "topology/topology.h"
+
+namespace contra::topology {
+
+/// Parses the edge-list format above. Throws std::invalid_argument with a
+/// line number on malformed input.
+Topology parse_topology(std::string_view text, double default_capacity_bps = 10e9,
+                        double default_delay_s = 1e-6);
+
+/// Serializes a topology back to the text format (round-trips through
+/// parse_topology).
+std::string format_topology(const Topology& topo);
+
+}  // namespace contra::topology

@@ -1,0 +1,110 @@
+#include "topology/topology.h"
+
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace contra::topology {
+
+NodeId Topology::add_node(std::string name) {
+  if (index_.count(name)) throw std::invalid_argument("duplicate node name: " + name);
+  const NodeId id = static_cast<NodeId>(names_.size());
+  index_[name] = id;
+  names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps, double delay_s) {
+  if (a >= num_nodes() || b >= num_nodes()) throw std::out_of_range("bad node id in add_link");
+  if (a == b) throw std::invalid_argument("self-loop links are not allowed");
+  const LinkId ab = static_cast<LinkId>(links_.size());
+  const LinkId ba = ab + 1;
+  links_.push_back({a, b, capacity_bps, delay_s, ba});
+  links_.push_back({b, a, capacity_bps, delay_s, ab});
+  adjacency_[a].push_back(ab);
+  adjacency_[b].push_back(ba);
+  return ab;
+}
+
+NodeId Topology::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidNode : it->second;
+}
+
+LinkId Topology::link_between(NodeId a, NodeId b) const {
+  for (LinkId l : adjacency_.at(a)) {
+    if (links_[l].to == b) return l;
+  }
+  return kInvalidLink;
+}
+
+std::vector<uint32_t> Topology::bfs_hops(NodeId from) const {
+  std::vector<uint32_t> dist(num_nodes(), UINT32_MAX);
+  std::deque<NodeId> queue{from};
+  dist[from] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (LinkId l : adjacency_[u]) {
+      const NodeId v = links_[l].to;
+      if (dist[v] == UINT32_MAX) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t Topology::diameter() const {
+  uint32_t best = 0;
+  for (NodeId s = 0; s < num_nodes(); ++s) {
+    for (uint32_t d : bfs_hops(s)) {
+      if (d != UINT32_MAX && d > best) best = d;
+    }
+  }
+  return best;
+}
+
+double Topology::max_rtt_s() const {
+  // Dijkstra by propagation delay from every source.
+  double worst = 0.0;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (NodeId s = 0; s < num_nodes(); ++s) {
+    std::vector<double> dist(num_nodes(), inf);
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[s] = 0.0;
+    heap.push({0.0, s});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (LinkId l : adjacency_[u]) {
+        const auto& link = links_[l];
+        const double nd = d + link.delay_s;
+        if (nd < dist[link.to]) {
+          dist[link.to] = nd;
+          heap.push({nd, link.to});
+        }
+      }
+    }
+    for (double d : dist) {
+      if (d != inf && 2.0 * d > worst) worst = 2.0 * d;
+    }
+  }
+  return worst;
+}
+
+bool Topology::connected() const {
+  if (num_nodes() == 0) return true;
+  const auto dist = bfs_hops(0);
+  for (uint32_t d : dist) {
+    if (d == UINT32_MAX) return false;
+  }
+  return true;
+}
+
+}  // namespace contra::topology

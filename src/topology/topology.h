@@ -1,0 +1,79 @@
+// Switch-level network topology.
+//
+// Links are stored as directed half-links (two per physical cable) so the
+// simulator and the dataplane can attach per-direction state (queues,
+// utilization estimators) naturally. Nodes are switches; hosts live in the
+// simulator and attach to edge switches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace contra::topology {
+
+using NodeId = uint32_t;
+using LinkId = uint32_t;  ///< index of a *directed* link
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+inline constexpr LinkId kInvalidLink = UINT32_MAX;
+
+struct DirectedLink {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double capacity_bps = 0.0;
+  double delay_s = 0.0;   ///< propagation delay
+  LinkId reverse = kInvalidLink;  ///< the opposite direction of the same cable
+};
+
+class Topology {
+ public:
+  /// Adds a switch; names must be unique.
+  NodeId add_node(std::string name);
+
+  /// Adds a bidirectional cable; returns the a->b directed link id (the b->a
+  /// id is its `reverse`).
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps, double delay_s);
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(names_.size()); }
+  uint32_t num_links() const { return static_cast<uint32_t>(links_.size()); }
+
+  const std::string& name(NodeId id) const { return names_.at(id); }
+  /// Node id by name, or kInvalidNode.
+  NodeId find(const std::string& name) const;
+  std::vector<std::string> node_names() const { return names_; }
+
+  const DirectedLink& link(LinkId id) const { return links_.at(id); }
+  const std::vector<DirectedLink>& links() const { return links_; }
+
+  /// Outgoing directed links of a node.
+  const std::vector<LinkId>& out_links(NodeId node) const { return adjacency_.at(node); }
+
+  /// The directed link from `a` to `b`, or kInvalidLink if not adjacent.
+  LinkId link_between(NodeId a, NodeId b) const;
+
+  bool adjacent(NodeId a, NodeId b) const { return link_between(a, b) != kInvalidLink; }
+
+  /// BFS hop counts from a source (UINT32_MAX where unreachable).
+  std::vector<uint32_t> bfs_hops(NodeId from) const;
+
+  /// Hop-count diameter over reachable pairs.
+  uint32_t diameter() const;
+
+  /// Upper bound on switch-to-switch RTT: for every pair, twice the
+  /// propagation delay along the minimum-delay path; returns the max.
+  /// The paper's probe-period rule (§5.2) requires period >= 0.5 * max RTT.
+  double max_rtt_s() const;
+
+  bool connected() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> index_;
+  std::vector<DirectedLink> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+}  // namespace contra::topology

@@ -1,0 +1,89 @@
+#include "topology/zoo.h"
+
+#include <initializer_list>
+
+namespace contra::topology {
+
+namespace {
+
+struct ZooLink {
+  const char* a;
+  const char* b;
+  double delay_us;  ///< approximate one-way propagation (distance at ~2/3 c)
+};
+
+Topology build(std::initializer_list<const char*> nodes, std::initializer_list<ZooLink> links,
+               double capacity_bps, double delay_scale) {
+  Topology topo;
+  for (const char* n : nodes) topo.add_node(n);
+  for (const ZooLink& l : links) {
+    topo.add_link(topo.find(l.a), topo.find(l.b), capacity_bps,
+                  l.delay_us * 1e-6 * delay_scale);
+  }
+  return topo;
+}
+
+}  // namespace
+
+Topology geant(double capacity_bps, double delay_scale) {
+  return build(
+      {"London", "Paris", "Amsterdam", "Brussels", "Frankfurt", "Geneva", "Milan",
+       "Vienna", "Prague", "Warsaw", "Berlin", "Copenhagen", "Stockholm", "Helsinki",
+       "Madrid", "Lisbon", "Rome", "Athens", "Budapest", "Bucharest", "Zagreb", "Dublin"},
+      {
+          {"London", "Paris", 1700},      {"London", "Amsterdam", 1800},
+          {"London", "Dublin", 2300},     {"Paris", "Madrid", 5300},
+          {"Paris", "Geneva", 2000},      {"Paris", "Brussels", 1300},
+          {"Amsterdam", "Brussels", 900}, {"Amsterdam", "Frankfurt", 1800},
+          {"Amsterdam", "Copenhagen", 3100}, {"Brussels", "Frankfurt", 1600},
+          {"Frankfurt", "Geneva", 2300},  {"Frankfurt", "Berlin", 2200},
+          {"Frankfurt", "Prague", 2100},  {"Geneva", "Milan", 1200},
+          {"Geneva", "Madrid", 5100},     {"Milan", "Rome", 2400},
+          {"Milan", "Vienna", 3100},      {"Vienna", "Prague", 1300},
+          {"Vienna", "Budapest", 1100},   {"Vienna", "Zagreb", 1300},
+          {"Prague", "Warsaw", 2600},     {"Warsaw", "Berlin", 2600},
+          {"Berlin", "Copenhagen", 1800}, {"Copenhagen", "Stockholm", 2600},
+          {"Stockholm", "Helsinki", 2000},{"Madrid", "Lisbon", 2500},
+          {"Lisbon", "London", 7900},     {"Rome", "Athens", 5300},
+          {"Athens", "Bucharest", 3700},  {"Budapest", "Bucharest", 3200},
+          {"Zagreb", "Budapest", 1500},   {"Helsinki", "Warsaw", 4600},
+          {"Dublin", "Amsterdam", 3800},  {"Stockholm", "Berlin", 4100},
+          {"Rome", "Zagreb", 2600},       {"Bucharest", "Warsaw", 4700},
+      },
+      capacity_bps, delay_scale);
+}
+
+Topology b4(double capacity_bps, double delay_scale) {
+  return build(
+      {"Dalles", "PaloAlto", "Council", "Atlanta", "Berkeley", "Pryor", "Lenoir",
+       "Dublin2", "StGhislain", "Hamina", "Singapore", "Taiwan"},
+      {
+          {"Dalles", "PaloAlto", 3100},     {"Dalles", "Council", 7400},
+          {"PaloAlto", "Berkeley", 300},    {"PaloAlto", "Taiwan", 52000},
+          {"Berkeley", "Council", 7200},    {"Council", "Pryor", 2200},
+          {"Council", "Lenoir", 5500},      {"Pryor", "Atlanta", 3500},
+          {"Atlanta", "Lenoir", 1600},      {"Lenoir", "Dublin2", 29000},
+          {"Dublin2", "StGhislain", 3900},  {"StGhislain", "Hamina", 8600},
+          {"Hamina", "Singapore", 43000},   {"Singapore", "Taiwan", 16000},
+          {"Atlanta", "StGhislain", 33000}, {"Dalles", "Taiwan", 50000},
+          {"Berkeley", "Pryor", 8900},
+      },
+      capacity_bps, delay_scale);
+}
+
+Topology cesnet(double capacity_bps, double delay_scale) {
+  return build(
+      {"Praha", "Brno", "Ostrava", "Plzen", "Liberec", "HradecKralove", "CeskeBudejovice",
+       "Olomouc", "Zlin", "UstiNadLabem"},
+      {
+          {"Praha", "Brno", 1000},            {"Praha", "Plzen", 450},
+          {"Praha", "Liberec", 550},          {"Praha", "HradecKralove", 600},
+          {"Praha", "UstiNadLabem", 400},     {"Praha", "CeskeBudejovice", 700},
+          {"Brno", "Ostrava", 850},           {"Brno", "Olomouc", 400},
+          {"Brno", "Zlin", 500},              {"Olomouc", "Ostrava", 500},
+          {"HradecKralove", "Olomouc", 700},  {"Plzen", "CeskeBudejovice", 650},
+      },
+      capacity_bps, delay_scale);
+}
+
+}  // namespace contra::topology

@@ -1,0 +1,24 @@
+// A small catalog of real-world WAN topologies (after the Internet Topology
+// Zoo the paper draws on), with approximate geographic propagation delays.
+// Alongside Abilene (topology/abilene.h) these give the WAN experiments a
+// range of real graph shapes: a European research backbone, an inter-
+// datacenter WAN, and a mid-size national network.
+#pragma once
+
+#include "topology/topology.h"
+
+namespace contra::topology {
+
+/// GÉANT-style European research backbone (22 PoPs, ~36 links) — the larger,
+/// denser WAN case.
+Topology geant(double capacity_bps = 40e9, double delay_scale = 1.0);
+
+/// B4-style inter-datacenter WAN (12 sites across three continents) —
+/// the Google SDN-WAN shape the paper cites for traffic priorities.
+Topology b4(double capacity_bps = 40e9, double delay_scale = 1.0);
+
+/// CESNET-style national research network (10 PoPs, sparse, tree-ish with a
+/// few cross links) — low path diversity stresses policy pruning.
+Topology cesnet(double capacity_bps = 10e9, double delay_scale = 1.0);
+
+}  // namespace contra::topology

@@ -1,0 +1,45 @@
+#include "util/fixed_point.h"
+
+#include <cmath>
+
+namespace contra::util {
+
+Fixed Fixed::from_double(double v) {
+  if (std::isnan(v)) return Fixed{};
+  const double scaled = v * kOne;
+  const double bound = static_cast<double>(max().raw());
+  if (scaled >= bound) return max();
+  if (scaled <= -bound) return from_raw(-max().raw());
+  return from_raw(static_cast<int64_t>(std::llround(scaled)));
+}
+
+Fixed Fixed::saturating_add(Fixed other) const {
+  const int64_t a = raw_;
+  const int64_t b = other.raw_;
+  const int64_t bound = max().raw();
+  if (b > 0 && a > bound - b) return max();
+  if (b < 0 && a < -bound - b) return from_raw(-bound);
+  return from_raw(a + b);
+}
+
+Fixed Fixed::saturating_sub(Fixed other) const {
+  return saturating_add(from_raw(-other.raw_));
+}
+
+Fixed Fixed::mul(Fixed other) const {
+  // 128-bit intermediate keeps precision for EWMA coefficients.
+  const __int128 prod = static_cast<__int128>(raw_) * other.raw_;
+  const __int128 shifted = prod >> kFractionBits;
+  const int64_t bound = max().raw();
+  if (shifted > bound) return max();
+  if (shifted < -static_cast<__int128>(bound)) return from_raw(-bound);
+  return from_raw(static_cast<int64_t>(shifted));
+}
+
+std::string Fixed::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", to_double());
+  return buf;
+}
+
+}  // namespace contra::util

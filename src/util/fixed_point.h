@@ -1,0 +1,57 @@
+// Q16.16 fixed-point arithmetic.
+//
+// Programmable switch ASICs (the deployment target of the generated programs)
+// have no floating-point units; metrics such as link utilization are carried
+// in probes as fixed-point integers. The compiler and the dataplane runtime
+// use this type for every metric component so that the in-process execution
+// matches what the emitted P4 would compute bit-for-bit.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace contra::util {
+
+class Fixed {
+ public:
+  static constexpr int kFractionBits = 16;
+  static constexpr int64_t kOne = int64_t{1} << kFractionBits;
+
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_raw(int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+  static constexpr Fixed from_int(int64_t v) { return from_raw(v << kFractionBits); }
+  static Fixed from_double(double v);
+
+  /// Largest representable value; used as the saturation bound.
+  static constexpr Fixed max() { return from_raw(std::numeric_limits<int64_t>::max() / 4); }
+
+  constexpr int64_t raw() const { return raw_; }
+  double to_double() const { return static_cast<double>(raw_) / kOne; }
+  /// Truncation toward zero.
+  constexpr int64_t to_int() const { return raw_ >> kFractionBits; }
+
+  /// Saturating addition: switch pipelines saturate rather than wrap.
+  Fixed saturating_add(Fixed other) const;
+  Fixed saturating_sub(Fixed other) const;
+  /// Fixed-point multiply (used by EWMA decay in utilization estimation).
+  Fixed mul(Fixed other) const;
+
+  friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+  std::string to_string() const;
+
+ private:
+  int64_t raw_ = 0;
+};
+
+inline Fixed fixed_max(Fixed a, Fixed b) { return a < b ? b : a; }
+inline Fixed fixed_min(Fixed a, Fixed b) { return a < b ? a : b; }
+
+}  // namespace contra::util

@@ -1,0 +1,30 @@
+#include "util/logging.h"
+
+namespace contra::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view module, std::string_view message) {
+  std::cerr << "[" << log_level_name(level) << "] " << module << ": " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace contra::util

@@ -1,0 +1,57 @@
+// Minimal leveled logger used across the Contra library.
+//
+// The library is deterministic and single-threaded by design (the simulator
+// is a discrete-event loop), so the logger keeps no locks. Levels can be
+// raised at runtime to silence modules during benchmarks.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace contra::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Returns a short tag such as "INFO" for a level.
+std::string_view log_level_name(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view module, std::string_view message);
+}
+
+/// Stream-style log statement builder. Usage:
+///   LOG_INFO("compiler") << "built PG with " << n << " nodes";
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view module) : level_(level), module_(module) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() {
+    if (level_ >= log_level()) detail::log_emit(level_, module_, stream_.str());
+  }
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace contra::util
+
+#define CONTRA_LOG(level, module) ::contra::util::LogStatement(level, module)
+#define LOG_TRACE(module) CONTRA_LOG(::contra::util::LogLevel::kTrace, module)
+#define LOG_DEBUG(module) CONTRA_LOG(::contra::util::LogLevel::kDebug, module)
+#define LOG_INFO(module) CONTRA_LOG(::contra::util::LogLevel::kInfo, module)
+#define LOG_WARN(module) CONTRA_LOG(::contra::util::LogLevel::kWarn, module)
+#define LOG_ERROR(module) CONTRA_LOG(::contra::util::LogLevel::kError, module)

@@ -1,0 +1,5 @@
+#include "util/rng.h"
+
+// Header-only in practice; this TU anchors the module in the build so the
+// library layout mirrors one file pair per component.
+namespace contra::util {}

@@ -1,0 +1,42 @@
+// Deterministic random source for workload generation and randomized tests.
+// Every experiment takes an explicit seed so results reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace contra::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+  /// Uniform in [lo, hi].
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+  uint64_t next_u64() { return engine_(); }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(uniform_int(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace contra::util

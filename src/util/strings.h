@@ -1,0 +1,24 @@
+// Small string utilities shared by the policy parser and topology file parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace contra::util {
+
+/// Split on a delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on arbitrary whitespace; empty fields are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace contra::util

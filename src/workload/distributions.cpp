@@ -1,0 +1,81 @@
+#include "workload/distributions.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace contra::workload {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("empty CDF");
+  // The first point is a point mass; later segments interpolate between
+  // consecutive points (midpoint rule for the analytic mean).
+  double mean = points_[0].cum_prob * points_[0].bytes;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].cum_prob <= points_[i - 1].cum_prob) {
+      throw std::invalid_argument("CDF probabilities must increase");
+    }
+    mean += (points_[i].cum_prob - points_[i - 1].cum_prob) * 0.5 *
+            (points_[i - 1].bytes + points_[i].bytes);
+  }
+  if (std::abs(points_.back().cum_prob - 1.0) > 1e-9) {
+    throw std::invalid_argument("CDF must end at 1.0");
+  }
+  mean_bytes_ = mean;
+}
+
+uint64_t EmpiricalCdf::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  if (u <= points_[0].cum_prob) {
+    return static_cast<uint64_t>(std::max(1.0, points_[0].bytes));
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (u > points_[i].cum_prob) continue;
+    const double span = points_[i].cum_prob - points_[i - 1].cum_prob;
+    const double frac = span > 0 ? (u - points_[i - 1].cum_prob) / span : 1.0;
+    // Log-linear interpolation matches heavy-tailed shapes better than
+    // linear.
+    const double lo = std::max(points_[i - 1].bytes, 1.0);
+    const double hi = std::max(points_[i].bytes, 1.0);
+    const double bytes = std::exp(std::log(lo) + frac * (std::log(hi) - std::log(lo)));
+    return static_cast<uint64_t>(std::max(1.0, bytes));
+  }
+  return static_cast<uint64_t>(std::max(1.0, points_.back().bytes));
+}
+
+const EmpiricalCdf& web_search_flow_sizes() {
+  static const EmpiricalCdf cdf({
+      {6e3, 0.15},
+      {13e3, 0.20},
+      {19e3, 0.30},
+      {33e3, 0.40},
+      {53e3, 0.53},
+      {133e3, 0.60},
+      {667e3, 0.70},
+      {1333e3, 0.80},
+      {3333e3, 0.90},
+      {6667e3, 0.97},
+      {20000e3, 1.00},
+  });
+  return cdf;
+}
+
+const EmpiricalCdf& cache_flow_sizes() {
+  static const EmpiricalCdf cdf({
+      {100, 0.10},
+      {300, 0.30},
+      {600, 0.50},
+      {1e3, 0.60},
+      {3e3, 0.70},
+      {10e3, 0.80},
+      {100e3, 0.90},
+      {1e6, 0.97},
+      {10e6, 1.00},
+  });
+  return cdf;
+}
+
+EmpiricalCdf fixed_size(double bytes) {
+  return EmpiricalCdf({{bytes, 1.0}});
+}
+
+}  // namespace contra::workload

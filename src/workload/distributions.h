@@ -1,0 +1,47 @@
+// Empirical flow-size distributions for the two production workloads the
+// paper evaluates with (§6.1):
+//  * "web search" — the DCTCP search workload (Alizadeh et al., SIGCOMM'10):
+//    a mix of small queries and multi-MB responses;
+//  * "cache"      — the Facebook cache-follower workload (Roy et al.,
+//    SIGCOMM'15): dominated by tiny objects with a heavy tail.
+// The CDFs below are standard approximations of the published curves (the
+// original traces are proprietary — see DESIGN.md substitutions). Shapes,
+// not absolute values, drive every figure that uses them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace contra::workload {
+
+/// Piecewise log-linear inverse-CDF sampler over flow sizes in bytes.
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double bytes;
+    double cum_prob;  ///< strictly increasing, last == 1.0
+  };
+
+  explicit EmpiricalCdf(std::vector<Point> points);
+
+  uint64_t sample(util::Rng& rng) const;
+  double mean_bytes() const { return mean_bytes_; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+  double mean_bytes_ = 0.0;
+};
+
+/// The DCTCP web-search flow-size distribution.
+const EmpiricalCdf& web_search_flow_sizes();
+
+/// The Facebook cache-follower flow-size distribution.
+const EmpiricalCdf& cache_flow_sizes();
+
+/// Fixed-size flows (tests and microbenchmarks).
+EmpiricalCdf fixed_size(double bytes);
+
+}  // namespace contra::workload

@@ -1,0 +1,51 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace contra::workload {
+
+std::vector<GeneratedFlow> generate_poisson(const EmpiricalCdf& sizes,
+                                            const std::vector<sim::HostId>& senders,
+                                            const std::vector<sim::HostId>& receivers,
+                                            const WorkloadConfig& config) {
+  if (senders.empty() || receivers.empty()) {
+    throw std::invalid_argument("workload needs senders and receivers");
+  }
+  util::Rng rng(config.seed);
+  const double bits_per_flow = sizes.mean_bytes() * 8.0 * config.size_scale;
+  const double rate_per_sender = config.load * config.sender_capacity_bps / bits_per_flow;
+
+  std::vector<GeneratedFlow> flows;
+  for (sim::HostId sender : senders) {
+    sim::Time t = config.start + rng.exponential(rate_per_sender);
+    while (t < config.start + config.duration) {
+      GeneratedFlow flow;
+      flow.src = sender;
+      flow.bytes = std::max<uint64_t>(
+          1, static_cast<uint64_t>(sizes.sample(rng) * config.size_scale));
+      flow.start = t;
+      do {
+        flow.dst = receivers[static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int64_t>(receivers.size()) - 1))];
+      } while (flow.dst == sender && receivers.size() > 1);
+      flows.push_back(flow);
+      t += rng.exponential(rate_per_sender);
+    }
+  }
+  return flows;
+}
+
+void submit(sim::TransportManager& transport, const std::vector<GeneratedFlow>& flows) {
+  for (const GeneratedFlow& flow : flows) {
+    transport.start_flow(flow.src, flow.dst, flow.bytes, flow.start);
+  }
+}
+
+uint64_t total_bytes(const std::vector<GeneratedFlow>& flows) {
+  uint64_t total = 0;
+  for (const GeneratedFlow& flow : flows) total += flow.bytes;
+  return total;
+}
+
+}  // namespace contra::workload

@@ -1,0 +1,164 @@
+// Decomposition tests: pid counts for the Fig. 3 catalog, normalization
+// rules (constant dropping, tuple flattening, ∞ pruning), and the semantic
+// guarantee that recombining subpolicies preserves the original optimum.
+#include <gtest/gtest.h>
+
+#include "analysis/attributes.h"
+#include "analysis/decompose.h"
+#include "lang/parser.h"
+#include "lang/policies.h"
+#include "lang/printer.h"
+#include "util/rng.h"
+
+namespace contra::analysis {
+namespace {
+
+using lang::parse_expr;
+using lang::parse_policy;
+
+TEST(Normalize, FoldsConstants) {
+  EXPECT_EQ(lang::to_string(normalize_metric(parse_expr("1 + 2"))), "3");
+  EXPECT_EQ(lang::to_string(normalize_metric(parse_expr("min(4, 2)"))), "2");
+  EXPECT_EQ(lang::to_string(normalize_metric(parse_expr("max(4, 2)"))), "4");
+}
+
+TEST(Normalize, DropsConstantAddends) {
+  const auto e = normalize_metric(parse_expr("10 + path.len"));
+  EXPECT_EQ(lang::to_string(e), "path.len");
+}
+
+TEST(Normalize, InfinityAbsorbsSums) {
+  EXPECT_TRUE(is_infinite_metric(normalize_metric(parse_expr("inf + path.len"))));
+  EXPECT_TRUE(is_infinite_metric(normalize_metric(parse_expr("max(inf, path.util)"))));
+  EXPECT_EQ(lang::to_string(normalize_metric(parse_expr("min(inf, path.util)"))),
+            "path.util");
+}
+
+TEST(Normalize, FlattensTuplesAndDropsConstants) {
+  const auto e = normalize_metric(parse_expr("(1, (path.len, 0), path.util)"));
+  ASSERT_EQ(e->kind, lang::Expr::Kind::kTuple);
+  ASSERT_EQ(e->elems.size(), 2u);
+  EXPECT_EQ(e->elems[0]->attr, lang::PathAttr::kLen);
+  EXPECT_EQ(e->elems[1]->attr, lang::PathAttr::kUtil);
+}
+
+TEST(Normalize, TupleWithInfinityIsInfinite) {
+  EXPECT_TRUE(is_infinite_metric(normalize_metric(parse_expr("(path.len, inf)"))));
+}
+
+TEST(Decompose, MinUtilHasOnePid) {
+  const Decomposition d = decompose(lang::policies::min_util());
+  ASSERT_EQ(d.subpolicies.size(), 1u);
+  // len tie-break appended.
+  EXPECT_EQ(lang::to_string(d.subpolicies[0].objective), "(path.util, path.len)");
+  EXPECT_EQ(lang::to_string(d.subpolicies[0].user_objective), "path.util");
+}
+
+TEST(Decompose, WaypointHasOnePid) {
+  // Fig. 6e: "a static analysis has determined that only one probe is
+  // needed" — the forbidden (∞) branch needs no probe.
+  const Decomposition d = decompose(lang::policies::waypoint("F1", "F2"));
+  EXPECT_EQ(d.subpolicies.size(), 1u);
+}
+
+TEST(Decompose, RunningExamplePolicyHasOnePid) {
+  const Decomposition d = decompose(
+      parse_policy("minimize(if A B D then 0 else if B .* D then path.util else inf)"));
+  // Branch "0" is constant (piggybacks), branch inf is pruned: one pid.
+  EXPECT_EQ(d.subpolicies.size(), 1u);
+}
+
+TEST(Decompose, CongestionAwareHasTwoPids) {
+  const Decomposition d = decompose(lang::policies::congestion_aware());
+  ASSERT_EQ(d.subpolicies.size(), 2u);
+  // One branch minimizes (util, len), the other (len, util).
+  std::vector<std::string> objectives = {lang::to_string(d.subpolicies[0].objective),
+                                         lang::to_string(d.subpolicies[1].objective)};
+  std::sort(objectives.begin(), objectives.end());
+  EXPECT_EQ(objectives[0], "(path.len, path.util)");
+  EXPECT_EQ(objectives[1], "(path.util, path.len)");
+}
+
+TEST(Decompose, FullyStaticPolicyGetsReachabilityProbe) {
+  const Decomposition d = decompose(lang::policies::failover("A B D", "A C D"));
+  ASSERT_EQ(d.subpolicies.size(), 1u);
+  EXPECT_TRUE(lang::expr_uses_attr(d.subpolicies[0].objective, lang::PathAttr::kLen));
+}
+
+TEST(Decompose, SourceLocalSplitsOnRegex) {
+  // if X .* then util else lat: the two branches rank by different metrics,
+  // so they need separate probes (the §4 regex non-isotonicity).
+  const Decomposition d = decompose(lang::policies::source_local("X"));
+  EXPECT_EQ(d.subpolicies.size(), 2u);
+}
+
+TEST(Decompose, WeightedLinkMergesToOnePid) {
+  // (if r then 10 else 0) + path.len: both branches reduce to path.len after
+  // constant-addend dropping — one pid.
+  const Decomposition d = decompose(lang::policies::weighted_link("X", "Y", 10));
+  EXPECT_EQ(d.subpolicies.size(), 1u);
+  EXPECT_EQ(lang::to_string(d.subpolicies[0].objective), "path.len");
+}
+
+TEST(Decompose, AttrsCoverPolicyAndTieBreak) {
+  const Decomposition d = decompose(lang::policies::min_util());
+  ASSERT_EQ(d.attrs.size(), 2u);
+  EXPECT_EQ(d.attrs[0], lang::PathAttr::kUtil);
+  EXPECT_EQ(d.attrs[1], lang::PathAttr::kLen);
+}
+
+TEST(Decompose, TooManyTestsThrows) {
+  // 17 distinct atomic tests exceeds the enumeration bound.
+  std::string policy = "minimize(";
+  for (int i = 0; i < 17; ++i) {
+    policy += "(if path.util < ." + std::to_string(i % 10) + std::to_string(i / 10) +
+              " then 1 else 0) + ";
+  }
+  policy += "path.len)";
+  EXPECT_THROW(decompose(lang::parse_policy(policy)), DecomposeError);
+}
+
+// Semantic property: for any attribute assignment, the minimum over
+// subpolicy-optimal candidates (ranked by the original policy) equals the
+// original policy's optimum over all candidates. We emulate this on random
+// candidate sets.
+TEST(Decompose, RecombinationPreservesOptimum) {
+  const lang::Policy policy = lang::policies::congestion_aware();
+  const Decomposition d = decompose(policy);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random candidate paths (attribute vectors).
+    std::vector<lang::PathAttributes> candidates;
+    for (int i = 0; i < 6; ++i) {
+      candidates.push_back({rng.uniform(), rng.uniform() * 5,
+                            static_cast<double>(rng.uniform_int(1, 8))});
+    }
+    // True optimum under the original policy.
+    lang::Rank best_true = lang::Rank::infinity();
+    for (const auto& c : candidates) {
+      best_true = lang::Rank::min(best_true, lang::evaluate_with_attrs(policy, {}, c));
+    }
+    // Protocol view: each pid keeps only its own f-minimal candidate; the
+    // source ranks those survivors with the original policy.
+    lang::Rank best_via_pids = lang::Rank::infinity();
+    for (const auto& sub : d.subpolicies) {
+      const lang::PathAttributes* kept = nullptr;
+      lang::Rank kept_rank = lang::Rank::infinity();
+      for (const auto& c : candidates) {
+        const lang::Rank r = evaluate_metric(sub.objective, c);
+        if (r < kept_rank) {
+          kept_rank = r;
+          kept = &c;
+        }
+      }
+      if (kept != nullptr) {
+        best_via_pids =
+            lang::Rank::min(best_via_pids, lang::evaluate_with_attrs(policy, {}, *kept));
+      }
+    }
+    EXPECT_EQ(best_true, best_via_pids) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace contra::analysis

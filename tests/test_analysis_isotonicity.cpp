@@ -1,0 +1,96 @@
+// Isotonicity analysis tests: classification of the paper's catalog
+// (P9/"CA" is the canonical non-isotonic, decomposed policy), structural
+// rules for lexicographic metrics, and sampled counterexamples for
+// bottleneck-before-tiebreak orderings.
+#include <gtest/gtest.h>
+
+#include "analysis/isotonicity.h"
+#include "lang/parser.h"
+#include "lang/policies.h"
+
+namespace contra::analysis {
+namespace {
+
+using lang::parse_expr;
+
+TEST(IsotonicityStructural, AtomsAreIsotonic) {
+  EXPECT_TRUE(metric_is_isotonic_structural(parse_expr("path.util")));
+  EXPECT_TRUE(metric_is_isotonic_structural(parse_expr("path.len")));
+  EXPECT_TRUE(metric_is_isotonic_structural(parse_expr("path.lat + path.len")));
+}
+
+TEST(IsotonicityStructural, AdditiveThenBottleneckIsIsotonic) {
+  // (len, util): the additive leading component preserves strict order;
+  // a bottleneck in last position is safe.
+  EXPECT_TRUE(metric_is_isotonic_structural(parse_expr("(path.len, path.util)")));
+}
+
+TEST(IsotonicityStructural, BottleneckBeforeTiebreakIsNot) {
+  // (util, len): max can collapse a strict util order into a tie, letting
+  // len flip the decision.
+  EXPECT_FALSE(metric_is_isotonic_structural(parse_expr("(path.util, path.len)")));
+}
+
+TEST(IsotonicitySampled, FindsTheUtilLenFlip) {
+  const auto violation =
+      sample_isotonicity_violation(parse_expr("(path.util, path.len)"), 3, 8000);
+  ASSERT_TRUE(violation.has_value());
+  // The extension's util must exceed both paths' utils (the collapse).
+  EXPECT_GE(violation->extension.util, violation->path1.util);
+  EXPECT_GE(violation->extension.util, violation->path2.util);
+}
+
+TEST(IsotonicitySampled, NoViolationForLenUtil) {
+  EXPECT_FALSE(
+      sample_isotonicity_violation(parse_expr("(path.len, path.util)"), 3, 8000).has_value());
+}
+
+TEST(IsotonicitySampled, NoViolationForPureAdditive) {
+  EXPECT_FALSE(
+      sample_isotonicity_violation(parse_expr("path.lat + path.len"), 3, 8000).has_value());
+}
+
+TEST(Isotonicity, MinUtilIsIsotonic) {
+  const IsotonicityReport report = check_isotonicity(lang::policies::min_util());
+  EXPECT_EQ(report.classification, IsotonicityClass::kIsotonic) << report.to_string();
+}
+
+TEST(Isotonicity, CongestionAwareIsDecomposed) {
+  // The paper's "CA": non-isotonic, handled via decomposition into two
+  // isotonic subpolicies (probe ids).
+  const IsotonicityReport report = check_isotonicity(lang::policies::congestion_aware());
+  EXPECT_EQ(report.classification, IsotonicityClass::kDecomposed);
+  EXPECT_EQ(report.num_subpolicies, 2u);
+}
+
+TEST(Isotonicity, SourceLocalIsDecomposed) {
+  const IsotonicityReport report = check_isotonicity(lang::policies::source_local("X"));
+  EXPECT_EQ(report.classification, IsotonicityClass::kDecomposed);
+}
+
+TEST(Isotonicity, WidestShortestIsWeaklyNonIsotonic) {
+  // P3 (util, len): compiled with one probe but flagged so operators know
+  // convergence may be to a near-optimal path.
+  const IsotonicityReport report = check_isotonicity(lang::policies::widest_shortest());
+  EXPECT_EQ(report.classification, IsotonicityClass::kWeaklyNonIsotonic);
+  EXPECT_TRUE(report.counterexample.has_value());
+}
+
+TEST(Isotonicity, ShortestWidestIsIsotonic) {
+  const IsotonicityReport report = check_isotonicity(lang::policies::shortest_widest());
+  EXPECT_EQ(report.classification, IsotonicityClass::kIsotonic) << report.to_string();
+}
+
+TEST(Isotonicity, WaypointIsIsotonic) {
+  const IsotonicityReport report = check_isotonicity(lang::policies::waypoint("F1", "F2"));
+  EXPECT_EQ(report.classification, IsotonicityClass::kIsotonic) << report.to_string();
+}
+
+TEST(Isotonicity, ClassNamesAreStable) {
+  EXPECT_STREQ(isotonicity_class_name(IsotonicityClass::kIsotonic), "isotonic");
+  EXPECT_STREQ(isotonicity_class_name(IsotonicityClass::kDecomposed),
+               "non-isotonic (decomposed)");
+}
+
+}  // namespace
+}  // namespace contra::analysis

@@ -1,0 +1,93 @@
+// Monotonicity analysis tests: the paper's catalog is monotonic; policies
+// that reward longer paths (subtracting attributes, negative weights) are
+// flagged, with counterexamples.
+#include <gtest/gtest.h>
+
+#include "analysis/monotonicity.h"
+#include "lang/parser.h"
+#include "lang/policies.h"
+
+namespace contra::analysis {
+namespace {
+
+using lang::parse_expr;
+using lang::parse_policy;
+
+TEST(MonotonicityStructural, AttributesAreMonotone) {
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("path.util")));
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("path.lat")));
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("path.len")));
+}
+
+TEST(MonotonicityStructural, SumsAndTuples) {
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("path.lat + path.len")));
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("(path.util, path.len)")));
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("10 + path.len")));
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("path.len - 5")));
+}
+
+TEST(MonotonicityStructural, MinMaxOfMonotone) {
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("min(path.lat, path.len)")));
+  EXPECT_TRUE(metric_is_monotonic_structural(parse_expr("max(path.util, path.len)")));
+}
+
+TEST(MonotonicityStructural, SubtractingAttributesIsNot) {
+  EXPECT_FALSE(metric_is_monotonic_structural(parse_expr("10 - path.util")));
+  EXPECT_FALSE(metric_is_monotonic_structural(parse_expr("path.lat - path.util")));
+  EXPECT_FALSE(metric_is_monotonic_structural(parse_expr("(path.len, 1 - path.util)")));
+}
+
+TEST(MonotonicitySampled, FindsCounterexampleForNegatedUtil) {
+  const auto violation = sample_monotonicity_violation(parse_expr("0 - path.util"), 1, 4000);
+  ASSERT_TRUE(violation.has_value());
+  // The counterexample's extension must have strictly raised the bottleneck
+  // (that is what makes the negated rank drop).
+  EXPECT_GT(violation->extension.util, violation->base.util);
+}
+
+TEST(MonotonicitySampled, NoCounterexampleForMonotone) {
+  EXPECT_FALSE(
+      sample_monotonicity_violation(parse_expr("(path.util, path.len)"), 1, 4000).has_value());
+  EXPECT_FALSE(
+      sample_monotonicity_violation(parse_expr("path.lat + path.len"), 1, 4000).has_value());
+}
+
+// Every Fig. 3 policy is monotonic (the paper compiles them all).
+class CatalogMonotone : public ::testing::TestWithParam<lang::Policy> {};
+
+TEST_P(CatalogMonotone, IsMonotonic) {
+  const MonotonicityReport report = check_monotonicity(GetParam());
+  EXPECT_TRUE(report.monotonic) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig3, CatalogMonotone,
+    ::testing::Values(lang::policies::shortest_path(), lang::policies::min_util(),
+                      lang::policies::widest_shortest(), lang::policies::shortest_widest(),
+                      lang::policies::waypoint("F1", "F2"),
+                      lang::policies::link_preference("X", "Y"),
+                      lang::policies::weighted_link("X", "Y", 10),
+                      lang::policies::source_local("X"), lang::policies::congestion_aware(),
+                      lang::policies::failover("A B D", "A C D")));
+
+TEST(Monotonicity, MaximizeUtilizationIsRejected) {
+  const MonotonicityReport report =
+      check_monotonicity(parse_policy("minimize(1 - path.util)"));
+  EXPECT_FALSE(report.monotonic);
+  EXPECT_TRUE(report.counterexample.has_value());
+  EXPECT_NE(report.to_string().find("non-monotonic"), std::string::npos);
+}
+
+TEST(Monotonicity, NegativeWeightIsRejected) {
+  const MonotonicityReport report =
+      check_monotonicity(parse_policy("minimize(path.len - path.lat)"));
+  EXPECT_FALSE(report.monotonic);
+}
+
+TEST(Monotonicity, ReportStringsAreInformative) {
+  const MonotonicityReport good = check_monotonicity(lang::policies::min_util());
+  EXPECT_EQ(good.to_string(), "monotonic");
+}
+
+}  // namespace
+}  // namespace contra::analysis

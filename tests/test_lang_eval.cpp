@@ -1,0 +1,162 @@
+// Reference-semantics tests: rank algebra, regex matching over node paths,
+// and policy evaluation on concrete paths (the ground truth the protocol is
+// validated against).
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "lang/parser.h"
+#include "lang/policies.h"
+
+namespace contra::lang {
+namespace {
+
+ConcretePath make_path(std::vector<std::string> nodes, std::vector<LinkMetrics> links) {
+  return ConcretePath{std::move(nodes), std::move(links)};
+}
+
+TEST(Rank, InfinityDominates) {
+  EXPECT_LT(Rank::scalar(1e9), Rank::infinity());
+  EXPECT_EQ(Rank::infinity(), Rank::infinity());
+  EXPECT_GT(Rank::infinity(), Rank::vector({util::Fixed::from_int(5)}));
+}
+
+TEST(Rank, LexicographicOrder) {
+  const Rank a = Rank::vector({util::Fixed::from_int(1), util::Fixed::from_int(9)});
+  const Rank b = Rank::vector({util::Fixed::from_int(2), util::Fixed::from_int(0)});
+  EXPECT_LT(a, b);
+}
+
+TEST(Rank, ZeroPaddingOnWidthMismatch) {
+  const Rank narrow = Rank::scalar(1.0);
+  const Rank wide = Rank::vector({util::Fixed::from_int(1), util::Fixed::from_int(0)});
+  EXPECT_EQ(narrow, wide);
+  const Rank wider = Rank::vector({util::Fixed::from_int(1), util::Fixed::from_int(1)});
+  EXPECT_LT(narrow, wider);
+}
+
+TEST(Rank, ConcatPropagatesInfinity) {
+  const Rank r = Rank::concat({Rank::scalar(1.0), Rank::infinity()});
+  EXPECT_TRUE(r.is_infinite());
+}
+
+TEST(Rank, ArithmeticOnInfinity) {
+  EXPECT_TRUE(Rank::add(Rank::infinity(), Rank::scalar(1.0)).is_infinite());
+  EXPECT_TRUE(Rank::sub(Rank::scalar(1.0), Rank::infinity()).is_infinite());
+  EXPECT_EQ(Rank::min(Rank::infinity(), Rank::scalar(2.0)), Rank::scalar(2.0));
+  EXPECT_TRUE(Rank::max(Rank::infinity(), Rank::scalar(2.0)).is_infinite());
+}
+
+TEST(Aggregate, UtilIsMaxLatIsSumLenIsHops) {
+  const ConcretePath p = make_path({"A", "B", "C"}, {{0.3, 1.0}, {0.7, 2.5}});
+  const PathAttributes attrs = aggregate(p);
+  EXPECT_DOUBLE_EQ(attrs.util, 0.7);
+  EXPECT_DOUBLE_EQ(attrs.lat, 3.5);
+  EXPECT_DOUBLE_EQ(attrs.len, 2.0);
+}
+
+TEST(RegexMatch, LiteralSequence) {
+  const RegexPtr r = parse_regex("A B D");
+  EXPECT_TRUE(regex_matches(r, {"A", "B", "D"}));
+  EXPECT_FALSE(regex_matches(r, {"A", "C", "D"}));
+  EXPECT_FALSE(regex_matches(r, {"A", "B"}));
+  EXPECT_FALSE(regex_matches(r, {"A", "B", "D", "E"}));
+}
+
+TEST(RegexMatch, DotStarWaypoint) {
+  const RegexPtr r = parse_regex(".* W .*");
+  EXPECT_TRUE(regex_matches(r, {"W"}));
+  EXPECT_TRUE(regex_matches(r, {"A", "W", "B"}));
+  EXPECT_TRUE(regex_matches(r, {"W", "B"}));
+  EXPECT_FALSE(regex_matches(r, {"A", "B"}));
+}
+
+TEST(RegexMatch, Union) {
+  const RegexPtr r = parse_regex("A (B + C) D");
+  EXPECT_TRUE(regex_matches(r, {"A", "B", "D"}));
+  EXPECT_TRUE(regex_matches(r, {"A", "C", "D"}));
+  EXPECT_FALSE(regex_matches(r, {"A", "E", "D"}));
+}
+
+TEST(RegexMatch, StarRepetition) {
+  const RegexPtr r = parse_regex("A B* D");
+  EXPECT_TRUE(regex_matches(r, {"A", "D"}));
+  EXPECT_TRUE(regex_matches(r, {"A", "B", "D"}));
+  EXPECT_TRUE(regex_matches(r, {"A", "B", "B", "B", "D"}));
+  EXPECT_FALSE(regex_matches(r, {"A", "C", "D"}));
+}
+
+TEST(RegexMatch, EmptyPathOnlyMatchesNullable) {
+  EXPECT_TRUE(regex_matches(parse_regex(".*"), {}));
+  EXPECT_FALSE(regex_matches(parse_regex("A"), {}));
+}
+
+TEST(RegexMatch, ReverseMatchesReversedWord) {
+  const RegexPtr r = parse_regex("A .* D");
+  const RegexPtr rev = Regex::reverse(r);
+  EXPECT_TRUE(regex_matches(rev, {"D", "X", "A"}));
+  EXPECT_FALSE(regex_matches(rev, {"A", "X", "D"}));
+}
+
+TEST(Evaluate, MinUtilRanksByBottleneck) {
+  const Policy p = policies::min_util();
+  const Rank r = evaluate(p, make_path({"A", "B"}, {{0.42, 1.0}}));
+  EXPECT_NEAR(r.scalar_value().to_double(), 0.42, 1e-4);
+}
+
+TEST(Evaluate, WaypointForbidsBypass) {
+  const Policy p = policies::waypoint_single("W");
+  EXPECT_TRUE(evaluate(p, make_path({"A", "B", "D"}, {{0.1, 1}, {0.1, 1}})).is_infinite());
+  EXPECT_FALSE(evaluate(p, make_path({"A", "W", "D"}, {{0.1, 1}, {0.1, 1}})).is_infinite());
+}
+
+TEST(Evaluate, FailoverRanksStatically) {
+  const Policy p = policies::failover("A B D", "A C D");
+  EXPECT_EQ(evaluate(p, make_path({"A", "B", "D"}, {{0, 0}, {0, 0}})), Rank::scalar(0.0));
+  EXPECT_EQ(evaluate(p, make_path({"A", "C", "D"}, {{0, 0}, {0, 0}})), Rank::scalar(1.0));
+  EXPECT_TRUE(evaluate(p, make_path({"A", "X", "D"}, {{0, 0}, {0, 0}})).is_infinite());
+}
+
+TEST(Evaluate, CongestionAwareSwitchesBranchAtThreshold) {
+  const Policy p = policies::congestion_aware();
+  const Rank light = evaluate(p, make_path({"A", "B"}, {{0.5, 1.0}}));
+  const Rank heavy = evaluate(p, make_path({"A", "B"}, {{0.9, 1.0}}));
+  // Light branch leads with 1, heavy with 2 — heavy always ranks worse.
+  EXPECT_LT(light, heavy);
+  ASSERT_EQ(light.components().size(), 3u);
+  EXPECT_EQ(light.components()[0], util::Fixed::from_int(1));
+  EXPECT_EQ(heavy.components()[0], util::Fixed::from_int(2));
+}
+
+TEST(Evaluate, WeightedLinkAddsPenalty) {
+  const Policy p = policies::weighted_link("X", "Y", 10);
+  const Rank through = evaluate(p, make_path({"A", "X", "Y", "D"}, {{0, 0}, {0, 0}, {0, 0}}));
+  const Rank around = evaluate(p, make_path({"A", "B", "C", "D"}, {{0, 0}, {0, 0}, {0, 0}}));
+  EXPECT_NEAR(through.scalar_value().to_double(), 13.0, 1e-6);
+  EXPECT_NEAR(around.scalar_value().to_double(), 3.0, 1e-6);
+}
+
+TEST(Evaluate, SourceLocalPolicyDependsOnFirstNode) {
+  const Policy p = policies::source_local("X");
+  const Rank from_x = evaluate(p, make_path({"X", "B"}, {{0.3, 5.0}}));
+  const Rank from_y = evaluate(p, make_path({"Y", "B"}, {{0.3, 5.0}}));
+  EXPECT_NEAR(from_x.scalar_value().to_double(), 0.3, 1e-4);  // util
+  EXPECT_NEAR(from_y.scalar_value().to_double(), 5.0, 1e-4);  // latency
+}
+
+TEST(Evaluate, TupleRanksLexicographically) {
+  const Policy p = policies::widest_shortest();  // (util, len)
+  const Rank short_busy = evaluate(p, make_path({"A", "B"}, {{0.9, 1}}));
+  const Rank long_idle =
+      evaluate(p, make_path({"A", "C", "B"}, {{0.1, 1}, {0.1, 1}}));
+  EXPECT_LT(long_idle, short_busy);  // lower util wins despite longer path
+}
+
+TEST(Evaluate, BooleanOperatorsInTests) {
+  const Policy p = parse_policy(
+      "minimize(if path.util < .5 and not (path.len > 3) then 0 else 1)");
+  EXPECT_EQ(evaluate(p, make_path({"A", "B"}, {{0.2, 1}})), Rank::scalar(0.0));
+  EXPECT_EQ(evaluate(p, make_path({"A", "B"}, {{0.8, 1}})), Rank::scalar(1.0));
+}
+
+}  // namespace
+}  // namespace contra::lang

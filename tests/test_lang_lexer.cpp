@@ -1,0 +1,100 @@
+// Lexer tests: token boundaries, the '.8' vs '.*' ambiguity, errors.
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+
+namespace contra::lang {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, Keywords) {
+  const auto k = kinds("minimize if then else not and or path inf min max");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kMinimize, TokenKind::kIf,   TokenKind::kThen, TokenKind::kElse,
+      TokenKind::kNot,      TokenKind::kAnd,  TokenKind::kOr,   TokenKind::kPath,
+      TokenKind::kInf,      TokenKind::kMin,  TokenKind::kMax,  TokenKind::kEnd};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords) {
+  const auto tokens = tokenize("ifx pathy A1 _x");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::kIdent);
+}
+
+TEST(Lexer, LeadingDotNumber) {
+  const auto tokens = tokenize(".8");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0.8);
+}
+
+TEST(Lexer, DotStarIsRegexWildcard) {
+  const auto k = kinds(".*");
+  const std::vector<TokenKind> expected = {TokenKind::kDot, TokenKind::kStar, TokenKind::kEnd};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, IntegerFollowedByDotStar) {
+  // "1.*" must lex as number 1, dot, star — not "1." as a number.
+  const auto tokens = tokenize("1.*");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 1.0);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStar);
+}
+
+TEST(Lexer, DecimalNumber) {
+  const auto tokens = tokenize("3.25");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 3.25);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  const auto k = kinds("< <= > >= == !=");
+  const std::vector<TokenKind> expected = {TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                                           TokenKind::kGe, TokenKind::kEq, TokenKind::kNe,
+                                           TokenKind::kEnd};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto k = kinds("path # rest of line\n.util");
+  const std::vector<TokenKind> expected = {TokenKind::kPath, TokenKind::kDot,
+                                           TokenKind::kIdent, TokenKind::kEnd};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, LoneEqualsThrows) { EXPECT_THROW(tokenize("a = b"), ParseError); }
+
+TEST(Lexer, LoneBangThrows) { EXPECT_THROW(tokenize("a ! b"), ParseError); }
+
+TEST(Lexer, UnexpectedCharThrowsWithOffset) {
+  try {
+    tokenize("ab $");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.offset(), 3u);
+  }
+}
+
+TEST(Lexer, OffsetsPointAtTokens) {
+  const auto tokens = tokenize("if path");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(Lexer, EmptyInputHasOnlyEnd) {
+  const auto tokens = tokenize("   \n\t ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace contra::lang

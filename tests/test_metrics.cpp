@@ -1,0 +1,98 @@
+// Metrics helpers: FCT summaries, overhead reports, output formatting.
+#include <gtest/gtest.h>
+
+#include "metrics/counters.h"
+#include "metrics/fct.h"
+#include "metrics/timeline.h"
+
+namespace contra::metrics {
+namespace {
+
+sim::FlowRecord flow(uint64_t id, double start, double end, uint64_t bytes = 1000) {
+  return sim::FlowRecord{id, 0, 1, bytes, start, end, true};
+}
+
+TEST(Fct, SummaryBasics) {
+  const std::vector<sim::FlowRecord> flows = {flow(1, 0.0, 0.010), flow(2, 0.0, 0.020),
+                                              flow(3, 0.0, 0.030)};
+  const FctSummary s = summarize_fct(flows, 5);
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_EQ(s.incomplete, 2u);
+  EXPECT_NEAR(s.mean_s, 0.020, 1e-9);
+  EXPECT_NEAR(s.median_s, 0.020, 1e-9);
+  EXPECT_NEAR(s.max_s, 0.030, 1e-9);
+}
+
+TEST(Fct, EmptySummaryIsZero) {
+  const FctSummary s = summarize_fct({}, 0);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_s, 0.0);
+}
+
+TEST(Fct, QuantilesInterpolate) {
+  std::vector<sim::FlowRecord> flows;
+  for (int i = 1; i <= 100; ++i) flows.push_back(flow(i, 0.0, i * 1e-3));
+  const FctSummary s = summarize_fct(flows, flows.size());
+  EXPECT_NEAR(s.p99_s, 0.09901, 1e-4);
+  EXPECT_NEAR(s.p95_s, 0.09505, 1e-4);
+}
+
+TEST(Fct, SizeFilteredMeans) {
+  const std::vector<sim::FlowRecord> flows = {flow(1, 0, 0.01, 100),
+                                              flow(2, 0, 0.03, 1'000'000)};
+  EXPECT_NEAR(mean_fct_below(flows, 1000), 0.01, 1e-9);
+  EXPECT_NEAR(mean_fct_at_least(flows, 1000), 0.03, 1e-9);
+  EXPECT_DOUBLE_EQ(mean_fct_below(flows, 1), 0.0);
+}
+
+TEST(Fct, ToStringMentionsCounts) {
+  const FctSummary s = summarize_fct({flow(1, 0, 0.01)}, 2);
+  EXPECT_NE(s.to_string().find("n=1"), std::string::npos);
+  EXPECT_NE(s.to_string().find("+1 incomplete"), std::string::npos);
+}
+
+TEST(Overhead, ReportAggregates) {
+  sim::LinkStats stats;
+  stats.tx_data_bytes = 800;
+  stats.tx_ack_bytes = 100;
+  stats.tx_probe_bytes = 100;
+  stats.tx_bytes = 1000;
+  stats.drops = 3;
+  const OverheadReport r = make_overhead_report(stats);
+  EXPECT_DOUBLE_EQ(r.probe_fraction(), 0.1);
+  EXPECT_EQ(r.drops, 3u);
+}
+
+TEST(Overhead, NormalizationAgainstBaseline) {
+  OverheadReport contra;
+  contra.total_bytes = 1010;
+  OverheadReport ecmp;
+  ecmp.total_bytes = 1000;
+  EXPECT_NEAR(contra.normalized_to(ecmp), 1.01, 1e-12);
+  OverheadReport empty;
+  EXPECT_DOUBLE_EQ(contra.normalized_to(empty), 0.0);
+}
+
+TEST(Formatting, SeriesLayout) {
+  const std::string s = format_series("fct", {10, 20}, {1.5, 2.5});
+  EXPECT_EQ(s, "fct: 10=1.500 20=2.500");
+}
+
+TEST(Formatting, TableAligns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Three lines: header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Formatting, NumFormats) {
+  EXPECT_EQ(Table::num(1.5, "%.1f"), "1.5");
+  EXPECT_EQ(Table::num(42, "%.0f"), "42");
+}
+
+}  // namespace
+}  // namespace contra::metrics

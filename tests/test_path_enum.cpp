@@ -1,0 +1,149 @@
+// Policy-compliant path enumeration: the offline what-if API must agree
+// with the reference evaluator — every returned path satisfies the policy,
+// forbidden pairs return nothing, and ranking is consistent.
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "lang/parser.h"
+#include "pg/path_enum.h"
+#include "topology/generators.h"
+
+namespace contra::pg {
+namespace {
+
+using topology::NodeId;
+using topology::Topology;
+
+struct Built {
+  explicit Built(const Topology& topo_in, const std::string& policy_text)
+      : topo(topo_in),
+        decomp(analysis::decompose(lang::parse_policy(policy_text))),
+        graph(ProductGraph::build(topo, decomp)),
+        evaluator(graph, decomp) {}
+  Topology topo;
+  analysis::Decomposition decomp;
+  ProductGraph graph;
+  PolicyEvaluator evaluator;
+};
+
+std::vector<std::string> names(const Topology& topo, const EnumeratedPath& path) {
+  std::vector<std::string> out;
+  for (NodeId n : path.nodes) out.push_back(topo.name(n));
+  return out;
+}
+
+TEST(PathEnum, DiamondMinUtilFindsAllSimplePaths) {
+  const Built built(topology::running_example(), "minimize(path.util)");
+  const auto paths = enumerate_policy_paths(built.graph, built.evaluator, built.decomp,
+                                            built.topo.find("A"), built.topo.find("D"));
+  // A-B-D, A-C-D, A-B-C-D, A-C-B-D.
+  EXPECT_EQ(paths.size(), 4u);
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.nodes.front(), built.topo.find("A"));
+    EXPECT_EQ(path.nodes.back(), built.topo.find("D"));
+    // Physically valid and simple.
+    for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      EXPECT_TRUE(built.topo.adjacent(path.nodes[i], path.nodes[i + 1]));
+    }
+  }
+  // Best-first: 2-hop paths precede 3-hop ones (len tie-break inside s()?
+  // no — MU ranks by util only, all zero => equal; order is deterministic).
+  EXPECT_EQ(paths[0].static_rank, paths[1].static_rank);
+}
+
+TEST(PathEnum, WaypointPathsAllCrossWaypoint) {
+  const Built built(topology::running_example(),
+                    "minimize(if .* B .* then path.len else inf)");
+  const auto paths = enumerate_policy_paths(built.graph, built.evaluator, built.decomp,
+                                            built.topo.find("A"), built.topo.find("D"));
+  ASSERT_FALSE(paths.empty());
+  const lang::RegexPtr constraint = lang::parse_regex(".* B .*");
+  for (const auto& path : paths) {
+    EXPECT_TRUE(lang::regex_matches(constraint, names(built.topo, path)))
+        << format_paths(built.graph, {path});
+  }
+  // The best is the shortest through B: A-B-D, rank 2.
+  EXPECT_EQ(paths[0].static_rank, lang::Rank::scalar(2.0));
+  EXPECT_EQ(names(built.topo, paths[0]),
+            (std::vector<std::string>{"A", "B", "D"}));
+}
+
+TEST(PathEnum, ForbiddenPairsReturnNothing) {
+  // Only D is a valid destination; C as destination yields no paths.
+  const Built built(topology::running_example(),
+                    "minimize(if .* D then path.util else inf)");
+  const auto to_c = enumerate_policy_paths(built.graph, built.evaluator, built.decomp,
+                                           built.topo.find("A"), built.topo.find("C"));
+  EXPECT_TRUE(to_c.empty());
+  const auto to_d = enumerate_policy_paths(built.graph, built.evaluator, built.decomp,
+                                           built.topo.find("A"), built.topo.find("D"));
+  EXPECT_FALSE(to_d.empty());
+}
+
+TEST(PathEnum, FailoverRanksPrimaryFirst) {
+  Topology topo;
+  const NodeId a = topo.add_node("A");
+  const NodeId b = topo.add_node("B");
+  const NodeId c = topo.add_node("C");
+  const NodeId d = topo.add_node("D");
+  topo.add_link(a, b, 1e9, 1e-6);
+  topo.add_link(b, d, 1e9, 1e-6);
+  topo.add_link(a, c, 1e9, 1e-6);
+  topo.add_link(c, d, 1e9, 1e-6);
+  const Built built(topo, "minimize(if A B D then 0 else if A C D then 1 else inf)");
+  const auto paths =
+      enumerate_policy_paths(built.graph, built.evaluator, built.decomp, a, d);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(names(built.topo, paths[0]), (std::vector<std::string>{"A", "B", "D"}));
+  EXPECT_EQ(paths[0].static_rank, lang::Rank::scalar(0.0));
+  EXPECT_EQ(names(built.topo, paths[1]), (std::vector<std::string>{"A", "C", "D"}));
+  EXPECT_EQ(paths[1].static_rank, lang::Rank::scalar(1.0));
+}
+
+TEST(PathEnum, RespectsLimits) {
+  const Built built(topology::grid(3, 3), "minimize(path.len)");
+  PathEnumOptions options;
+  options.max_paths = 3;
+  const auto paths = enumerate_policy_paths(built.graph, built.evaluator, built.decomp, 0,
+                                            8, options);
+  EXPECT_EQ(paths.size(), 3u);
+  options.max_paths = 64;
+  options.max_hops = 4;  // only the 4-hop Manhattan paths fit
+  const auto short_paths = enumerate_policy_paths(built.graph, built.evaluator, built.decomp,
+                                                  0, 8, options);
+  for (const auto& path : short_paths) EXPECT_LE(path.nodes.size(), 5u);
+  EXPECT_GE(short_paths.size(), 6u);  // C(4,2)=6 Manhattan routes
+}
+
+TEST(PathEnum, EveryPathRankMatchesReferenceEvaluator) {
+  const Built built(topology::ring(5),
+                    "minimize((if .* n1 n2 .* then 10 else 0) + path.len)");
+  const lang::Policy policy =
+      lang::parse_policy("minimize((if .* n1 n2 .* then 10 else 0) + path.len)");
+  const auto paths = enumerate_policy_paths(built.graph, built.evaluator, built.decomp,
+                                            built.topo.find("n0"), built.topo.find("n3"));
+  ASSERT_FALSE(paths.empty());
+  for (const auto& path : paths) {
+    lang::ConcretePath concrete;
+    concrete.nodes = names(built.topo, path);
+    for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      const auto& link =
+          built.topo.link(built.topo.link_between(path.nodes[i], path.nodes[i + 1]));
+      concrete.links.push_back(lang::LinkMetrics{0.0, link.delay_s * 1e6});
+    }
+    EXPECT_EQ(path.static_rank, lang::evaluate(policy, concrete))
+        << format_paths(built.graph, {path});
+  }
+}
+
+TEST(PathEnum, FormatIsReadable) {
+  const Built built(topology::running_example(), "minimize(path.len)");
+  const auto paths = enumerate_policy_paths(built.graph, built.evaluator, built.decomp,
+                                            built.topo.find("A"), built.topo.find("D"));
+  const std::string text = format_paths(built.graph, paths);
+  EXPECT_NE(text.find("A -> B -> D"), std::string::npos);
+  EXPECT_NE(text.find("rank="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace contra::pg

@@ -1,0 +1,123 @@
+// §5.2 probe frequency: versioned probes make path discovery *latency
+// sensitive* — if a new probe round starts before the previous round has
+// fully propagated, probes along high-latency paths always arrive outdated
+// and are discarded, so a better-but-slower path is never adopted. The rule:
+// probe period >= 0.5 x max RTT.
+//
+// This test reproduces the paper's exact scenario: two paths to D, the
+// fast-but-congested one and the slow-but-idle one. With a too-short probe
+// period the source sticks to the congested path; with a compliant period it
+// converges to the idle one.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "dataplane/contra_switch.h"
+#include "lang/policies.h"
+#include "sim/transport.h"
+#include "topology/topology.h"
+
+namespace contra::dataplane {
+namespace {
+
+using topology::NodeId;
+using topology::Topology;
+
+struct TwoPathWorld {
+  explicit TwoPathWorld(double probe_period_s)
+      : topo(make_topo()),
+        compiled(compiler::compile(lang::policies::min_util(), topo)),
+        evaluator(compiled.graph, compiled.decomposition),
+        sim(topo, make_config()) {
+    ContraSwitchOptions options;
+    options.probe_period_s = probe_period_s;
+    // Generous expiry so the slow path's entries are judged on version
+    // semantics, not staleness.
+    options.metric_expiry_periods = 1000;
+    options.failure_detect_periods = 1000;
+    switches = install_contra_network(sim, compiled, evaluator, options);
+  }
+
+  static Topology make_topo() {
+    // Fast path S-A-D: 5us links. Slow path S-B-D: 150us links (one-way
+    // path latency 300us). Max RTT ~ 610us -> rule demands period >= 305us.
+    Topology topo;
+    const NodeId s = topo.add_node("S");
+    const NodeId a = topo.add_node("A");
+    const NodeId b = topo.add_node("B");
+    const NodeId d = topo.add_node("D");
+    topo.add_link(s, a, 1e9, 5e-6);
+    topo.add_link(a, d, 1e9, 5e-6);
+    topo.add_link(s, b, 1e9, 150e-6);
+    topo.add_link(b, d, 1e9, 150e-6);
+    return topo;
+  }
+  static sim::SimConfig make_config() {
+    sim::SimConfig c;
+    c.host_link_bps = 1e9;
+    return c;
+  }
+
+  void congest_fast_path() {
+    host_a = sim.add_host(topo.find("A"));
+    host_d = sim.add_host(topo.find("D"));
+    transport = std::make_unique<sim::TransportManager>(sim);
+    sim.start();
+    // 600 Mbps across A-D: the fast path's utilization ~0.6 forever.
+    transport->start_udp_flow(host_a, host_d, 600e6, 0.0, 10.0);
+  }
+
+  Topology topo;
+  compiler::CompileResult compiled;
+  pg::PolicyEvaluator evaluator;
+  sim::Simulator sim;
+  std::vector<ContraSwitch*> switches;
+  std::unique_ptr<sim::TransportManager> transport;
+  sim::HostId host_a = sim::kInvalidHost;
+  sim::HostId host_d = sim::kInvalidHost;
+};
+
+TEST(ProbePeriod, CompilerRuleIsHalfMaxRtt) {
+  const TwoPathWorld world(256e-6);
+  // The paper's rule uses switch-pair RTTs, i.e. min-delay paths: the worst
+  // pair here is B<->A at 155us one-way, giving a 155us lower bound. Note
+  // this is a *lower* bound — probes traveling non-shortest policy paths
+  // (S-B-D, 300us one-way) need proportionally longer periods, which the
+  // behavioural tests below demonstrate.
+  EXPECT_NEAR(world.compiled.min_probe_period_s, 0.5 * world.topo.max_rtt_s(), 1e-9);
+  EXPECT_NEAR(world.compiled.min_probe_period_s, 155e-6, 2e-6);
+}
+
+TEST(ProbePeriod, TooFastProbesStarveTheSlowPath) {
+  // Period 50us << 305us: by the time the slow path's probe reaches S, three
+  // fresher rounds arrived via the fast path — the slow probe is outdated
+  // and discarded, so S keeps using the congested fast path.
+  TwoPathWorld world(50e-6);
+  world.congest_fast_path();
+  world.sim.run_until(30e-3);
+  const auto best =
+      world.switches[world.topo.find("S")]->best_choice(world.topo.find("D"),
+                                                        world.sim.now());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(world.topo.name(world.topo.link(best->nhop).to), "A")
+      << "slow path should be starved by versioning at this period";
+  // And the rank reflects the congestion it is stuck with.
+  EXPECT_GT(best->rank.scalar_value().to_double(), 0.3);
+}
+
+TEST(ProbePeriod, CompliantPeriodFindsTheBetterPath) {
+  // Period 400us > 305us: every round fully propagates before the next —
+  // the slow path's probes carry the current version and win on utilization.
+  TwoPathWorld world(400e-6);
+  world.congest_fast_path();
+  world.sim.run_until(30e-3);
+  const auto best =
+      world.switches[world.topo.find("S")]->best_choice(world.topo.find("D"),
+                                                        world.sim.now());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(world.topo.name(world.topo.link(best->nhop).to), "B")
+      << "compliant probe period must discover the idle slow path";
+  EXPECT_LT(best->rank.scalar_value().to_double(), 0.3);
+}
+
+}  // namespace
+}  // namespace contra::dataplane

@@ -1,0 +1,227 @@
+// Product graph tests: the Fig. 6 running example, pruning, tag transitions,
+// policy-compliance invariants, and the f()/s() evaluator.
+#include <gtest/gtest.h>
+
+#include "analysis/decompose.h"
+#include "lang/eval.h"
+#include "lang/parser.h"
+#include "lang/policies.h"
+#include "pg/policy_eval.h"
+#include "pg/product_graph.h"
+#include "topology/abilene.h"
+#include "topology/generators.h"
+
+namespace contra::pg {
+namespace {
+
+using topology::NodeId;
+using topology::Topology;
+
+ProductGraph build(const Topology& topo, const std::string& policy_text,
+                   analysis::Decomposition* out_decomp = nullptr) {
+  const analysis::Decomposition d = analysis::decompose(lang::parse_policy(policy_text));
+  if (out_decomp) *out_decomp = d;
+  return ProductGraph::build(topo, d);
+}
+
+TEST(ProductGraph, MinUtilHasOneTagEverywhere) {
+  const Topology topo = topology::fat_tree(4);
+  const ProductGraph pg = build(topo, "minimize(path.util)");
+  EXPECT_EQ(pg.num_tags(), 1u);
+  EXPECT_EQ(pg.num_nodes(), topo.num_nodes());
+  EXPECT_EQ(pg.tag_bits(), 1u);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(pg.origin_tag(n), 0u);
+    EXPECT_EQ(pg.next_tag(0, n), 0u);
+  }
+}
+
+TEST(ProductGraph, MinUtilEdgesMirrorTopology) {
+  const Topology topo = topology::ring(6);
+  const ProductGraph pg = build(topo, "minimize(path.util)");
+  EXPECT_EQ(pg.num_edges(), topo.num_links());
+}
+
+TEST(ProductGraph, RunningExampleStructure) {
+  // Fig. 6: policy "if ABD then 0 else if B.*D then util else inf" over the
+  // diamond topology. D must have a probe-sending node; B must have two
+  // virtual nodes (B0 on the ABD path, B1 on B.*D paths); A must have a
+  // virtual node whose tag accepts ABD.
+  const Topology topo = topology::running_example();
+  analysis::Decomposition decomp;
+  const ProductGraph pg =
+      build(topo, "minimize(if A B D then 0 else if B .* D then path.util else inf)",
+            &decomp);
+
+  const NodeId a = topo.find("A");
+  const NodeId b = topo.find("B");
+  const NodeId d = topo.find("D");
+
+  EXPECT_NE(pg.origin_tag(d), kInvalidTag);
+  EXPECT_EQ(pg.nodes_at(b).size(), 2u);  // B0 and B1
+
+  // Some virtual node at A accepts the ABD regex (regex index 0).
+  bool a_accepts_abd = false;
+  for (uint32_t node : pg.nodes_at(a)) {
+    a_accepts_abd |= pg.accepting(pg.node_tag(node))[0];
+  }
+  EXPECT_TRUE(a_accepts_abd);
+
+  // A and C are not valid destinations (no path ranks finite toward them).
+  EXPECT_EQ(pg.origin_tag(a), kInvalidTag);
+  EXPECT_EQ(pg.origin_tag(topo.find("C")), kInvalidTag);
+}
+
+TEST(ProductGraph, WaypointPrunesDeadBranches) {
+  //   S - W - D   and a bypass S - X - D: paths through X only can never
+  //   satisfy .* W .*; their virtual nodes survive only while W is still
+  //   reachable ahead.
+  Topology topo;
+  const NodeId s = topo.add_node("S");
+  const NodeId w = topo.add_node("W");
+  const NodeId x = topo.add_node("X");
+  const NodeId d = topo.add_node("D");
+  topo.add_link(s, w, 1e9, 1e-6);
+  topo.add_link(w, d, 1e9, 1e-6);
+  topo.add_link(s, x, 1e9, 1e-6);
+  topo.add_link(x, d, 1e9, 1e-6);
+
+  const ProductGraph pg = build(topo, "minimize(if .* W .* then path.util else inf)");
+  // Every node is a valid destination... except none are unreachable here;
+  // what matters: the accepting tag exists at S (path S..W..D reversed).
+  bool s_has_accepting = false;
+  for (uint32_t node : pg.nodes_at(s)) {
+    s_has_accepting |= pg.accepting(pg.node_tag(node))[0];
+  }
+  EXPECT_TRUE(s_has_accepting);
+}
+
+TEST(ProductGraph, EdgesRespectTagTransitions) {
+  const Topology topo = topology::abilene();
+  const ProductGraph pg =
+      build(topo, "minimize(if .* Denver .* then path.util else inf)");
+  for (uint32_t n = 0; n < pg.num_nodes(); ++n) {
+    for (const PgEdge& e : pg.out_edges(n)) {
+      EXPECT_EQ(pg.next_tag(pg.node_tag(n), e.to), e.to_tag);
+      EXPECT_TRUE(pg.node_exists(e.to, e.to_tag));
+      // The link must be a real topology link from this node.
+      EXPECT_EQ(topo.link(e.link).from, pg.node_location(n));
+      EXPECT_EQ(topo.link(e.link).to, e.to);
+    }
+  }
+}
+
+TEST(ProductGraph, NoEdgesWithoutTopologyLinks) {
+  // Paper: "no edges exist from any (D,*,*) state to (A,*,*) state" when D-A
+  // is not a topology link.
+  const Topology topo = topology::running_example();
+  const ProductGraph pg = build(topo, "minimize(path.len)");
+  const NodeId a = topo.find("A");
+  const NodeId d = topo.find("D");
+  for (uint32_t n : pg.nodes_at(d)) {
+    for (const PgEdge& e : pg.out_edges(n)) EXPECT_NE(e.to, a);
+  }
+}
+
+TEST(ProductGraph, TagMinimizationMergesEquivalentStates) {
+  // Two interchangeable waypoints in a union produce symmetric automaton
+  // states that must merge.
+  const Topology topo = topology::ring(6);
+  const ProductGraph pg =
+      build(topo, "minimize(if .* (n2 + n2) .* then path.util else inf)");
+  EXPECT_LE(pg.num_tags(), 2u);
+}
+
+TEST(PolicyEvaluator, PropagationRankUsesSubpolicy) {
+  const Topology topo = topology::running_example();
+  analysis::Decomposition decomp;
+  const ProductGraph pg = build(topo, "minimize(path.util)", &decomp);
+  const PolicyEvaluator eval(pg, decomp);
+
+  MetricsVector low;
+  low.extend(0.2, 1e-6);
+  MetricsVector high;
+  high.extend(0.9, 1e-6);
+  EXPECT_LT(eval.propagation_rank(0, low), eval.propagation_rank(0, high));
+}
+
+TEST(PolicyEvaluator, PropagationTieBreaksOnLength) {
+  const Topology topo = topology::running_example();
+  analysis::Decomposition decomp;
+  const ProductGraph pg = build(topo, "minimize(path.util)", &decomp);
+  const PolicyEvaluator eval(pg, decomp);
+
+  MetricsVector short_path;
+  short_path.extend(0.5, 1e-6);
+  MetricsVector long_path;
+  long_path.extend(0.5, 1e-6);
+  long_path.extend(0.5, 1e-6);
+  EXPECT_LT(eval.propagation_rank(0, short_path), eval.propagation_rank(0, long_path));
+}
+
+TEST(PolicyEvaluator, SelectionRankResolvesRegexFromTag) {
+  const Topology topo = topology::running_example();
+  analysis::Decomposition decomp;
+  const ProductGraph pg =
+      build(topo, "minimize(if A B D then 0 else if B .* D then path.util else inf)",
+            &decomp);
+  const PolicyEvaluator eval(pg, decomp);
+
+  // Find A's tag that accepts ABD and one B tag that accepts only B.*D.
+  const NodeId a = topo.find("A");
+  const NodeId b = topo.find("B");
+  uint32_t abd_tag = kInvalidTag;
+  for (uint32_t n : pg.nodes_at(a)) {
+    if (pg.accepting(pg.node_tag(n))[0]) abd_tag = pg.node_tag(n);
+  }
+  ASSERT_NE(abd_tag, kInvalidTag);
+
+  MetricsVector mv;
+  mv.extend(0.7, 1e-6);
+  mv.extend(0.7, 1e-6);
+  EXPECT_EQ(eval.selection_rank(abd_tag, mv), lang::Rank::scalar(0.0));
+
+  uint32_t bd_tag = kInvalidTag;
+  for (uint32_t n : pg.nodes_at(b)) {
+    const auto& acc = pg.accepting(pg.node_tag(n));
+    if (!acc[0] && acc[1]) bd_tag = pg.node_tag(n);
+  }
+  ASSERT_NE(bd_tag, kInvalidTag);
+  const lang::Rank r = eval.selection_rank(bd_tag, mv);
+  EXPECT_FALSE(r.is_infinite());
+  EXPECT_NEAR(r.scalar_value().to_double(), 0.7, 1e-3);
+}
+
+TEST(PolicyEvaluator, SelectionRankResolvesDynamicTests) {
+  const Topology topo = topology::running_example();
+  analysis::Decomposition decomp;
+  const ProductGraph pg = build(
+      topo, "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))",
+      &decomp);
+  const PolicyEvaluator eval(pg, decomp);
+  ASSERT_EQ(eval.num_pids(), 2u);
+
+  MetricsVector light;
+  light.extend(0.3, 1e-6);
+  MetricsVector heavy;
+  heavy.extend(0.95, 1e-6);
+  const lang::Rank light_rank = eval.selection_rank(0, light);
+  const lang::Rank heavy_rank = eval.selection_rank(0, heavy);
+  EXPECT_LT(light_rank, heavy_rank);
+  EXPECT_EQ(light_rank.components()[0], util::Fixed::from_int(1));
+  EXPECT_EQ(heavy_rank.components()[0], util::Fixed::from_int(2));
+}
+
+TEST(ProductGraph, ScalesLinearlyOnFatTrees) {
+  // Sanity bound rather than a benchmark: PG size stays proportional to the
+  // topology for a fixed policy.
+  const ProductGraph small = ProductGraph::build(
+      topology::fat_tree(4), analysis::decompose(lang::policies::min_util()));
+  const ProductGraph large = ProductGraph::build(
+      topology::fat_tree(8), analysis::decompose(lang::policies::min_util()));
+  EXPECT_EQ(small.num_nodes(), 20u);
+  EXPECT_EQ(large.num_nodes(), 80u);
+}
+
+}  // namespace
+}  // namespace contra::pg

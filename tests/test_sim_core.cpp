@@ -1,0 +1,270 @@
+// Simulator core tests: event ordering, link serialization/propagation,
+// drop-tail queues, utilization EWMA, failure injection, host wiring.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "sim/tracing.h"
+#include "topology/generators.h"
+
+namespace contra::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NestedSchedulingWorks) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(4.999);
+  EXPECT_EQ(fired, 0);
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run_until(2.0);
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });  // in the past -> now
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+Packet make_packet(uint32_t bytes, PacketKind kind = PacketKind::kData) {
+  Packet p;
+  p.kind = kind;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Link, SerializationPlusPropagationDelay) {
+  EventQueue q;
+  // 1500B at 1Gbps = 12us; propagation 5us -> arrival at 17us.
+  Link link(q, 1e9, 5e-6, 1 << 20, 1e-3);
+  Time arrival = -1;
+  link.set_deliver([&](Packet&&) { arrival = q.now(); });
+  ASSERT_TRUE(link.enqueue(make_packet(1500)));
+  q.run_until(1.0);
+  EXPECT_NEAR(arrival, 17e-6, 1e-9);
+}
+
+TEST(Link, BackToBackPacketsSerialize) {
+  EventQueue q;
+  Link link(q, 1e9, 0.0, 1 << 20, 1e-3);
+  std::vector<Time> arrivals;
+  link.set_deliver([&](Packet&&) { arrivals.push_back(q.now()); });
+  link.enqueue(make_packet(1500));
+  link.enqueue(make_packet(1500));
+  q.run_until(1.0);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[1] - arrivals[0], 12e-6, 1e-9);
+}
+
+TEST(Link, DropTailWhenQueueFull) {
+  EventQueue q;
+  Link link(q, 1e9, 0.0, 3000, 1e-3);  // room for two 1500B packets
+  int delivered = 0;
+  link.set_deliver([&](Packet&&) { ++delivered; });
+  EXPECT_TRUE(link.enqueue(make_packet(1500)));
+  EXPECT_TRUE(link.enqueue(make_packet(1500)));
+  EXPECT_FALSE(link.enqueue(make_packet(1500)));  // full
+  EXPECT_EQ(link.stats().drops, 1u);
+  q.run_until(1.0);
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Link, DownLinkDropsEverything) {
+  EventQueue q;
+  Link link(q, 1e9, 0.0, 1 << 20, 1e-3);
+  int delivered = 0;
+  link.set_deliver([&](Packet&&) { ++delivered; });
+  link.set_down(true);
+  EXPECT_FALSE(link.enqueue(make_packet(100)));
+  link.set_down(false);
+  EXPECT_TRUE(link.enqueue(make_packet(100)));
+  q.run_until(1.0);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Link, UtilizationTracksLoad) {
+  EventQueue q;
+  const double tau = 100e-6;
+  Link link(q, 1e9, 0.0, 1 << 22, tau);
+  link.set_deliver([](Packet&&) {});
+  // Saturate for 2 tau: utilization should approach 1.
+  const int n = static_cast<int>(2 * tau * 1e9 / 8 / 1500);
+  for (int i = 0; i < n; ++i) link.enqueue(make_packet(1500));
+  q.run_until(2 * tau);
+  EXPECT_GT(link.utilization(), 0.6);
+  // After 2 tau idle, the estimate decays to zero.
+  q.run_until(4 * tau);
+  EXPECT_NEAR(link.utilization(), 0.0, 1e-9);
+}
+
+TEST(Link, PerKindByteCounters) {
+  EventQueue q;
+  Link link(q, 1e9, 0.0, 1 << 20, 1e-3);
+  link.set_deliver([](Packet&&) {});
+  link.enqueue(make_packet(1000, PacketKind::kData));
+  link.enqueue(make_packet(64, PacketKind::kAck));
+  link.enqueue(make_packet(80, PacketKind::kProbe));
+  q.run_until(1.0);
+  EXPECT_EQ(link.stats().tx_data_bytes, 1000u);
+  EXPECT_EQ(link.stats().tx_ack_bytes, 64u);
+  EXPECT_EQ(link.stats().tx_probe_bytes, 80u);
+  EXPECT_EQ(link.stats().tx_bytes, 1144u);
+}
+
+TEST(Link, QueueSamplerFires) {
+  EventQueue q;
+  Link link(q, 1e9, 0.0, 1 << 20, 1e-3);
+  link.set_deliver([](Packet&&) {});
+  std::vector<uint64_t> samples;
+  link.set_queue_sampler([&](Time, uint64_t bytes) { samples.push_back(bytes); });
+  link.enqueue(make_packet(1500));
+  link.enqueue(make_packet(1500));
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0], 1500u);
+  EXPECT_EQ(samples[1], 3000u);
+}
+
+// A trivial device that records arrivals and bounces nothing.
+class SinkDevice : public Device {
+ public:
+  void handle_packet(Simulator&, Packet&& packet, topology::LinkId in_link) override {
+    arrivals.push_back({packet.id, in_link});
+  }
+  const char* kind_name() const override { return "sink"; }
+  std::vector<std::pair<uint64_t, topology::LinkId>> arrivals;
+};
+
+TEST(Simulator, DeliversAcrossTopologyLink) {
+  const topology::Topology topo = topology::line(2);
+  Simulator sim(topo, SimConfig{});
+  auto sink = std::make_unique<SinkDevice>();
+  SinkDevice* observer = sink.get();
+  sim.install_switch(1, std::move(sink));
+
+  Packet p;
+  p.id = 77;
+  p.size_bytes = 100;
+  const topology::LinkId l01 = topo.link_between(0, 1);
+  sim.send_on_link(l01, std::move(p));
+  sim.run_until(1e-3);
+  ASSERT_EQ(observer->arrivals.size(), 1u);
+  EXPECT_EQ(observer->arrivals[0].first, 77u);
+  EXPECT_EQ(observer->arrivals[0].second, l01);
+}
+
+TEST(Simulator, HostPacketsArriveWithFromHostMarker) {
+  const topology::Topology topo = topology::line(2);
+  Simulator sim(topo, SimConfig{});
+  auto sink = std::make_unique<SinkDevice>();
+  SinkDevice* observer = sink.get();
+  sim.install_switch(0, std::move(sink));
+  const HostId h = sim.add_host(0);
+
+  Packet p;
+  p.id = 5;
+  p.size_bytes = 100;
+  sim.host_send(h, std::move(p));
+  sim.run_until(1e-3);
+  ASSERT_EQ(observer->arrivals.size(), 1u);
+  EXPECT_EQ(observer->arrivals[0].second, kFromHost);
+}
+
+TEST(Simulator, HostReceiverGetsDownlinkPackets) {
+  const topology::Topology topo = topology::line(2);
+  Simulator sim(topo, SimConfig{});
+  const HostId h = sim.add_host(0);
+  HostId received_at = kInvalidHost;
+  sim.set_host_receiver([&](HostId host, Packet&&) { received_at = host; });
+  Packet p;
+  p.size_bytes = 64;
+  sim.send_to_host(h, std::move(p));
+  sim.run_until(1e-3);
+  EXPECT_EQ(received_at, h);
+}
+
+TEST(Simulator, FailCableKillsBothDirections) {
+  const topology::Topology topo = topology::line(2);
+  Simulator sim(topo, SimConfig{});
+  const topology::LinkId l01 = topo.link_between(0, 1);
+  sim.fail_cable(l01);
+  EXPECT_TRUE(sim.link(l01).down());
+  EXPECT_TRUE(sim.link(topo.link(l01).reverse).down());
+  sim.restore_cable(l01);
+  EXPECT_FALSE(sim.link(l01).down());
+}
+
+TEST(Simulator, AggregateFabricStatsSumsLinks) {
+  const topology::Topology topo = topology::line(3);
+  Simulator sim(topo, SimConfig{});
+  Packet p;
+  p.size_bytes = 500;
+  sim.send_on_link(topo.link_between(0, 1), std::move(p));
+  sim.run_until(1e-3);
+  EXPECT_EQ(sim.aggregate_fabric_stats().tx_bytes, 500u);
+}
+
+TEST(Tracing, ThroughputTimelineBins) {
+  ThroughputTimeline timeline(1e-3);
+  timeline.add(0.5e-3, 1000);
+  timeline.add(0.9e-3, 1000);
+  timeline.add(1.1e-3, 500);
+  EXPECT_DOUBLE_EQ(timeline.throughput_bps(0), 2000 * 8.0 / 1e-3);
+  EXPECT_DOUBLE_EQ(timeline.throughput_bps(1), 500 * 8.0 / 1e-3);
+  EXPECT_DOUBLE_EQ(timeline.throughput_bps(9), 0.0);
+}
+
+TEST(Tracing, QueueTracerQuantiles) {
+  QueueLengthTracer tracer;
+  // No attach needed: exercise the math directly via a fabricated tracer is
+  // not possible (samples_ is private), so attach to a tiny sim instead.
+  const topology::Topology topo = topology::line(2);
+  Simulator sim(topo, SimConfig{});
+  tracer.attach_fabric(sim, 1500);
+  for (int i = 0; i < 4; ++i) {
+    Packet p;
+    p.size_bytes = 1500;
+    sim.send_on_link(topo.link_between(0, 1), std::move(p));
+  }
+  EXPECT_EQ(tracer.samples_mss().size(), 4u);
+  EXPECT_DOUBLE_EQ(tracer.quantile(1.0), 4.0);
+  EXPECT_GT(tracer.cdf_at(4.0), 0.99);
+}
+
+}  // namespace
+}  // namespace contra::sim

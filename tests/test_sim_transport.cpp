@@ -1,0 +1,149 @@
+// Transport tests: TCP-like reliability under loss, FCT accounting,
+// congestion response, and UDP streaming — run over a line topology with a
+// pass-through switch.
+#include <gtest/gtest.h>
+
+#include "dataplane/static_switch.h"
+#include "sim/transport.h"
+#include "topology/generators.h"
+
+namespace contra::sim {
+namespace {
+
+struct World {
+  explicit World(double link_bps = 1e9, uint64_t queue_bytes = 150'000)
+      : topo(topology::line(2, topology::LinkParams{link_bps, 1e-6})),
+        sim(topo, make_config(link_bps, queue_bytes)),
+        transport(sim) {
+    dataplane::install_shortest_path_network(sim);
+    src = sim.add_host(0);
+    dst = sim.add_host(1);
+    sim.start();
+  }
+  static SimConfig make_config(double link_bps, uint64_t queue_bytes) {
+    SimConfig c;
+    c.host_link_bps = link_bps;
+    c.queue_capacity_bytes = queue_bytes;
+    return c;
+  }
+  topology::Topology topo;
+  Simulator sim;
+  TransportManager transport;
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+};
+
+TEST(Transport, SmallFlowCompletes) {
+  World w;
+  w.transport.start_flow(w.src, w.dst, 10'000, 0.0);
+  w.sim.run_until(0.1);
+  ASSERT_EQ(w.transport.completed_flows().size(), 1u);
+  const FlowRecord& flow = w.transport.completed_flows()[0];
+  EXPECT_TRUE(flow.completed);
+  EXPECT_GT(flow.fct(), 0.0);
+  EXPECT_LT(flow.fct(), 0.01);
+}
+
+TEST(Transport, LargeFlowApproachesLineRate) {
+  World w(1e9);
+  const uint64_t bytes = 5'000'000;
+  w.transport.start_flow(w.src, w.dst, bytes, 0.0);
+  w.sim.run_until(1.0);
+  ASSERT_EQ(w.transport.completed_flows().size(), 1u);
+  const double fct = w.transport.completed_flows()[0].fct();
+  const double ideal = bytes * 8.0 / 1e9;
+  EXPECT_LT(fct, ideal * 2.5);  // within 2.5x of line rate incl. slow start
+  EXPECT_GT(fct, ideal * 0.9);  // cannot beat the wire
+}
+
+TEST(Transport, ManyFlowsAllComplete) {
+  World w;
+  for (int i = 0; i < 20; ++i) {
+    w.transport.start_flow(w.src, w.dst, 20'000 + 1000 * i, i * 1e-4);
+  }
+  w.sim.run_until(0.5);
+  EXPECT_EQ(w.transport.completed_flows().size(), 20u);
+}
+
+TEST(Transport, BidirectionalFlows) {
+  World w;
+  w.transport.start_flow(w.src, w.dst, 50'000, 0.0);
+  w.transport.start_flow(w.dst, w.src, 50'000, 0.0);
+  w.sim.run_until(0.5);
+  EXPECT_EQ(w.transport.completed_flows().size(), 2u);
+}
+
+TEST(Transport, RecoversFromLossViaTinyQueue) {
+  // A queue of ~3 packets forces drops during slow start; retransmission
+  // must still complete the flow.
+  World w(1e9, 4'500);
+  w.transport.start_flow(w.src, w.dst, 500'000, 0.0);
+  w.sim.run_until(2.0);
+  ASSERT_EQ(w.transport.completed_flows().size(), 1u);
+  EXPECT_GT(w.sim.aggregate_fabric_stats().drops +
+                w.sim.host_uplink(w.src).stats().drops,
+            0u);
+}
+
+TEST(Transport, SharedBottleneckIsFair) {
+  World w(1e9);
+  const uint64_t bytes = 1'000'000;
+  w.transport.start_flow(w.src, w.dst, bytes, 0.0);
+  w.transport.start_flow(w.src, w.dst, bytes, 0.0);
+  w.sim.run_until(2.0);
+  ASSERT_EQ(w.transport.completed_flows().size(), 2u);
+  const double f1 = w.transport.completed_flows()[0].fct();
+  const double f2 = w.transport.completed_flows()[1].fct();
+  EXPECT_LT(std::max(f1, f2) / std::min(f1, f2), 3.0);
+}
+
+TEST(Transport, AllFlowsIncludesIncomplete) {
+  World w;
+  w.transport.start_flow(w.src, w.dst, 10'000, 0.0);
+  w.transport.start_flow(w.src, w.dst, 10'000, 10.0);  // far future
+  w.sim.run_until(0.1);
+  EXPECT_EQ(w.transport.completed_flows().size(), 1u);
+  EXPECT_EQ(w.transport.all_flows().size(), 2u);
+}
+
+TEST(Transport, FlowRecordsCarryEndpoints) {
+  World w;
+  const uint64_t id = w.transport.start_flow(w.src, w.dst, 5'000, 0.0);
+  w.sim.run_until(0.1);
+  const FlowRecord& flow = w.transport.completed_flows().at(0);
+  EXPECT_EQ(flow.flow_id, id);
+  EXPECT_EQ(flow.src, w.src);
+  EXPECT_EQ(flow.dst, w.dst);
+  EXPECT_EQ(flow.bytes, 5'000u);
+}
+
+TEST(Transport, UdpDeliversAtConfiguredRate) {
+  World w(1e9);
+  w.transport.start_udp_flow(w.src, w.dst, 100e6, 0.0, 10e-3);
+  uint64_t hook_bytes = 0;
+  w.transport.set_udp_receive_hook([&](Time, uint32_t b) { hook_bytes += b; });
+  w.sim.run_until(20e-3);
+  const double expected = 100e6 * 10e-3 / 8.0;
+  EXPECT_NEAR(static_cast<double>(w.transport.udp_bytes_received()), expected,
+              expected * 0.05);
+  EXPECT_EQ(hook_bytes, w.transport.udp_bytes_received());
+}
+
+TEST(Transport, UdpStopsAtStopTime) {
+  World w;
+  w.transport.start_udp_flow(w.src, w.dst, 50e6, 0.0, 1e-3);
+  w.sim.run_until(5e-3);
+  const uint64_t first = w.transport.udp_bytes_received();
+  w.sim.run_until(10e-3);
+  EXPECT_EQ(w.transport.udp_bytes_received(), first);
+}
+
+TEST(Transport, ZeroByteFlowStillCompletes) {
+  World w;
+  w.transport.start_flow(w.src, w.dst, 0, 0.0);
+  w.sim.run_until(0.1);
+  EXPECT_EQ(w.transport.completed_flows().size(), 1u);
+}
+
+}  // namespace
+}  // namespace contra::sim

@@ -1,0 +1,113 @@
+// CLI helper tests: flag parsing and topology/policy loading used by
+// contrac / contrasim.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tools/cli_common.h"
+
+namespace contra::tools {
+namespace {
+
+Args make_args(std::vector<std::string> words) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(words);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& w : storage) argv.push_back(w.data());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, KeyValueAndFlags) {
+  const Args args = make_args({"--load", "0.6", "--quiet", "--seed", "7", "pos1"});
+  EXPECT_TRUE(args.has("quiet"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_DOUBLE_EQ(args.get_double("load", 0.0), 0.6);
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+  EXPECT_EQ(args.get("absent", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Args, FlagFollowedByFlagHasEmptyValue) {
+  const Args args = make_args({"--quiet", "--out", "dir"});
+  EXPECT_EQ(args.get("quiet", "x"), "");
+  EXPECT_EQ(args.get("out"), "dir");
+}
+
+TEST(LoadTopology, BuiltinSpecs) {
+  std::string error;
+  EXPECT_EQ(load_topology(make_args({"--builtin", "fat-tree:4"}), &error)->num_nodes(), 20u);
+  EXPECT_EQ(load_topology(make_args({"--builtin", "leaf-spine:4x2"}), &error)->num_nodes(),
+            6u);
+  EXPECT_EQ(load_topology(make_args({"--builtin", "abilene"}), &error)->num_nodes(), 11u);
+  EXPECT_EQ(load_topology(make_args({"--builtin", "ring:5"}), &error)->num_nodes(), 5u);
+  EXPECT_EQ(load_topology(make_args({"--builtin", "grid:2x3"}), &error)->num_nodes(), 6u);
+  EXPECT_EQ(load_topology(make_args({"--builtin", "diamond"}), &error)->num_nodes(), 4u);
+  EXPECT_EQ(load_topology(make_args({"--builtin", "random:30:5"}), &error)->num_nodes(), 30u);
+}
+
+TEST(LoadTopology, DefaultsToDiamond) {
+  std::string error;
+  const auto topo = load_topology(make_args({}), &error);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->num_nodes(), 4u);
+}
+
+TEST(LoadTopology, BadSpecReportsError) {
+  std::string error;
+  EXPECT_FALSE(load_topology(make_args({"--builtin", "klein-bottle:9"}), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LoadTopology, FromFile) {
+  const auto path = std::filesystem::temp_directory_path() / "contra_tool_test_topo.txt";
+  {
+    std::ofstream out(path);
+    out << "link x y 10 5\nlink y z\n";
+  }
+  std::string error;
+  const auto topo = load_topology(make_args({"--topology", path.string()}), &error);
+  ASSERT_TRUE(topo.has_value()) << error;
+  EXPECT_EQ(topo->num_nodes(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(LoadTopology, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(
+      load_topology(make_args({"--topology", "/nonexistent/nope.txt"}), &error).has_value());
+  EXPECT_NE(error.find("cannot read"), std::string::npos);
+}
+
+TEST(LoadPolicy, InlineAndFile) {
+  std::string error;
+  EXPECT_EQ(*load_policy_text(make_args({"--policy", "minimize(path.len)"}), &error),
+            "minimize(path.len)");
+
+  const auto path = std::filesystem::temp_directory_path() / "contra_tool_test_policy.txt";
+  {
+    std::ofstream out(path);
+    out << "minimize(path.util)";
+  }
+  EXPECT_EQ(*load_policy_text(make_args({"--policy-file", path.string()}), &error),
+            "minimize(path.util)");
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(load_policy_text(make_args({}), &error).has_value());
+  EXPECT_NE(error.find("missing"), std::string::npos);
+}
+
+TEST(Files, WriteAndReadRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "contra_tool_test_rw.txt";
+  ASSERT_TRUE(write_file(path.string(), "hello\nworld\n"));
+  const auto content = read_file(path.string());
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, "hello\nworld\n");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace contra::tools

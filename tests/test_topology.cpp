@@ -1,0 +1,196 @@
+// Topology tests: graph invariants, generators (fat-tree structure, random
+// connectivity), Abilene, the text parser, and RTT/diameter utilities.
+#include <gtest/gtest.h>
+
+#include "topology/abilene.h"
+#include "topology/generators.h"
+#include "topology/parser.h"
+#include "topology/topology.h"
+
+namespace contra::topology {
+namespace {
+
+TEST(Topology, AddNodeAndLink) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId ab = t.add_link(a, b, 1e9, 1e-6);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.num_links(), 2u);  // two directed halves
+  EXPECT_EQ(t.link(ab).from, a);
+  EXPECT_EQ(t.link(ab).to, b);
+  EXPECT_EQ(t.link(t.link(ab).reverse).from, b);
+  EXPECT_EQ(t.link(t.link(ab).reverse).reverse, ab);
+}
+
+TEST(Topology, DuplicateNameThrows) {
+  Topology t;
+  t.add_node("x");
+  EXPECT_THROW(t.add_node("x"), std::invalid_argument);
+}
+
+TEST(Topology, SelfLoopThrows) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  EXPECT_THROW(t.add_link(a, a, 1e9, 1e-6), std::invalid_argument);
+}
+
+TEST(Topology, LinkBetween) {
+  Topology t = ring(4);
+  EXPECT_NE(t.link_between(0, 1), kInvalidLink);
+  EXPECT_EQ(t.link_between(0, 2), kInvalidLink);
+}
+
+TEST(Topology, BfsHops) {
+  const Topology t = line(5);
+  const auto d = t.bfs_hops(0);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(t.diameter(), 4u);
+}
+
+TEST(Topology, MaxRttUsesDelays) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c");
+  t.add_link(a, b, 1e9, 10e-6);
+  t.add_link(b, c, 1e9, 5e-6);
+  t.add_link(a, c, 1e9, 1e-6);  // shortcut
+  // a..b one-way is 10us direct but 6us via c; worst pair is a-b at 6us.
+  EXPECT_NEAR(t.max_rtt_s(), 2 * 6e-6, 1e-9);
+}
+
+TEST(FatTree, SizesMatchPaperAxis) {
+  // The Fig. 9 x-axis: k=4 -> 20, k=10 -> 125, k=14 -> 245, k=18 -> 405,
+  // k=20 -> 500 switches.
+  EXPECT_EQ(fat_tree(4).num_nodes(), 20u);
+  EXPECT_EQ(fat_tree(10).num_nodes(), 125u);
+  EXPECT_EQ(fat_tree(14).num_nodes(), 245u);
+  EXPECT_EQ(fat_tree(18).num_nodes(), 405u);
+  EXPECT_EQ(fat_tree(20).num_nodes(), 500u);
+}
+
+TEST(FatTree, StructureIsCorrect) {
+  const uint32_t k = 4;
+  const Topology t = fat_tree(k);
+  uint32_t core = 0, agg = 0, edge = 0;
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    switch (fat_tree_layer(t, n)) {
+      case FatTreeLayer::kCore: ++core; break;
+      case FatTreeLayer::kAgg: ++agg; break;
+      case FatTreeLayer::kEdge: ++edge; break;
+      case FatTreeLayer::kUnknown: FAIL(); break;
+    }
+  }
+  EXPECT_EQ(core, k * k / 4);
+  EXPECT_EQ(agg, k * k / 2);
+  EXPECT_EQ(edge, k * k / 2);
+  EXPECT_TRUE(t.connected());
+  // Every edge switch has k/2 uplinks; every core switch has k downlinks.
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    if (fat_tree_layer(t, n) == FatTreeLayer::kEdge) {
+      EXPECT_EQ(t.out_links(n).size(), k / 2);
+    } else if (fat_tree_layer(t, n) == FatTreeLayer::kCore) {
+      EXPECT_EQ(t.out_links(n).size(), k);
+    }
+  }
+}
+
+TEST(FatTree, EdgeToEdgeCrossPodIsFourHops) {
+  const Topology t = fat_tree(4);
+  const NodeId e0 = t.find("e0_0");
+  const NodeId e3 = t.find("e3_0");
+  EXPECT_EQ(t.bfs_hops(e0)[e3], 4u);  // edge-agg-core-agg-edge
+}
+
+TEST(FatTree, OddArityThrows) { EXPECT_THROW(fat_tree(5), std::invalid_argument); }
+
+TEST(LeafSpine, FullBipartite) {
+  const Topology t = leaf_spine(4, 2);
+  EXPECT_EQ(t.num_nodes(), 6u);
+  EXPECT_EQ(t.num_links(), 2u * 8);
+  EXPECT_EQ(t.diameter(), 2u);
+}
+
+TEST(RandomConnected, AlwaysConnectedAndDeterministic) {
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    const Topology t = random_connected(60, 4.0, seed);
+    EXPECT_TRUE(t.connected()) << seed;
+    const Topology t2 = random_connected(60, 4.0, seed);
+    EXPECT_EQ(t.num_links(), t2.num_links());
+  }
+}
+
+TEST(RandomConnected, HitsTargetDegree) {
+  const Topology t = random_connected(100, 4.0, 3);
+  const double avg_degree = 2.0 * (t.num_links() / 2) / t.num_nodes();
+  EXPECT_NEAR(avg_degree, 4.0, 0.5);
+}
+
+TEST(Grid, StructureAndDiameter) {
+  const Topology t = grid(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12u);
+  EXPECT_EQ(t.diameter(), 5u);  // (3-1) + (4-1)
+}
+
+TEST(Abilene, HasElevenNodesAndFourteenCables) {
+  const Topology t = abilene();
+  EXPECT_EQ(t.num_nodes(), 11u);
+  EXPECT_EQ(t.num_links(), 28u);
+  EXPECT_TRUE(t.connected());
+  EXPECT_NE(t.find("Seattle"), kInvalidNode);
+  EXPECT_NE(t.find("WashingtonDC"), kInvalidNode);
+}
+
+TEST(Abilene, DelayScaleApplies) {
+  const Topology base = abilene(40e9, 1.0);
+  const Topology scaled = abilene(40e9, 0.1);
+  EXPECT_NEAR(scaled.max_rtt_s(), base.max_rtt_s() * 0.1, base.max_rtt_s() * 0.01);
+}
+
+TEST(RunningExample, MatchesFig6a) {
+  const Topology t = running_example();
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_TRUE(t.adjacent(t.find("A"), t.find("B")));
+  EXPECT_TRUE(t.adjacent(t.find("B"), t.find("D")));
+  EXPECT_TRUE(t.adjacent(t.find("C"), t.find("D")));
+  EXPECT_FALSE(t.adjacent(t.find("A"), t.find("D")));
+}
+
+TEST(Parser, ParsesLinksAndDefaults) {
+  const Topology t = parse_topology("link a b\nlink b c 40 100\n");
+  EXPECT_EQ(t.num_nodes(), 3u);
+  const LinkId bc = t.link_between(t.find("b"), t.find("c"));
+  EXPECT_DOUBLE_EQ(t.link(bc).capacity_bps, 40e9);
+  EXPECT_DOUBLE_EQ(t.link(bc).delay_s, 100e-6);
+}
+
+TEST(Parser, CommentsAndNodeLines) {
+  const Topology t = parse_topology("# hello\nnode solo\nlink a b\n");
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_NE(t.find("solo"), kInvalidNode);
+}
+
+TEST(Parser, RejectsMalformedLines) {
+  EXPECT_THROW(parse_topology("link a"), std::invalid_argument);
+  EXPECT_THROW(parse_topology("link a a"), std::invalid_argument);
+  EXPECT_THROW(parse_topology("frob a b"), std::invalid_argument);
+  EXPECT_THROW(parse_topology("link a b notanumber"), std::invalid_argument);
+  EXPECT_THROW(parse_topology("link a b -1"), std::invalid_argument);
+}
+
+TEST(Parser, RoundTripsThroughFormat) {
+  const Topology t = abilene();
+  const Topology again = parse_topology(format_topology(t));
+  EXPECT_EQ(again.num_nodes(), t.num_nodes());
+  EXPECT_EQ(again.num_links(), t.num_links());
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    const auto& a = t.link(l);
+    const LinkId l2 = again.link_between(again.find(t.name(a.from)), again.find(t.name(a.to)));
+    ASSERT_NE(l2, kInvalidLink);
+    EXPECT_NEAR(again.link(l2).delay_s, a.delay_s, a.delay_s * 1e-3 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace contra::topology

@@ -1,0 +1,238 @@
+// Traffic classification tests: predicate parsing/matching, classified
+// compilation, and end-to-end per-class routing.
+#include <gtest/gtest.h>
+
+#include "compiler/classified.h"
+#include "dataplane/classified_switch.h"
+#include "lang/lexer.h"
+#include "lang/traffic_class.h"
+#include "sim/transport.h"
+#include "topology/abilene.h"
+#include "topology/generators.h"
+
+namespace contra::lang {
+namespace {
+
+util::FiveTuple tuple(uint8_t proto, uint16_t src_port, uint16_t dst_port) {
+  return util::FiveTuple{1, 2, src_port, dst_port, proto};
+}
+
+TEST(FlowPredicate, AnyMatchesEverything) {
+  EXPECT_TRUE(FlowPredicate::any()->matches(tuple(6, 1, 2)));
+  EXPECT_TRUE(FlowPredicate::any()->matches(tuple(17, 9999, 53)));
+}
+
+TEST(FlowPredicate, ProtocolEquality) {
+  const auto p = parse_flow_predicate("proto == tcp");
+  EXPECT_TRUE(p->matches(tuple(6, 1, 2)));
+  EXPECT_FALSE(p->matches(tuple(17, 1, 2)));
+}
+
+TEST(FlowPredicate, ProtocolAliases) {
+  EXPECT_TRUE(parse_flow_predicate("proto == udp")->matches(tuple(17, 0, 0)));
+  EXPECT_TRUE(parse_flow_predicate("proto == icmp")->matches(tuple(1, 0, 0)));
+  EXPECT_TRUE(parse_flow_predicate("proto == 6")->matches(tuple(6, 0, 0)));
+}
+
+TEST(FlowPredicate, PortRange) {
+  const auto p = parse_flow_predicate("dst_port in 8000 .. 8999");
+  EXPECT_TRUE(p->matches(tuple(6, 1, 8000)));
+  EXPECT_TRUE(p->matches(tuple(6, 1, 8500)));
+  EXPECT_TRUE(p->matches(tuple(6, 1, 8999)));
+  EXPECT_FALSE(p->matches(tuple(6, 1, 9000)));
+  EXPECT_FALSE(p->matches(tuple(6, 1, 7999)));
+}
+
+TEST(FlowPredicate, BooleanCombinators) {
+  const auto p = parse_flow_predicate("proto == tcp and not (dst_port == 80 or dst_port == 443)");
+  EXPECT_TRUE(p->matches(tuple(6, 1, 8080)));
+  EXPECT_FALSE(p->matches(tuple(6, 1, 80)));
+  EXPECT_FALSE(p->matches(tuple(6, 1, 443)));
+  EXPECT_FALSE(p->matches(tuple(17, 1, 8080)));
+}
+
+TEST(FlowPredicate, SrcPortField) {
+  const auto p = parse_flow_predicate("src_port == 1234");
+  EXPECT_TRUE(p->matches(tuple(6, 1234, 80)));
+  EXPECT_FALSE(p->matches(tuple(6, 1235, 80)));
+}
+
+TEST(FlowPredicate, ParseErrors) {
+  EXPECT_THROW(parse_flow_predicate("frobnicate == 3"), ParseError);
+  EXPECT_THROW(parse_flow_predicate("proto = 6"), ParseError);
+  EXPECT_THROW(parse_flow_predicate("dst_port in 10 .. 5"), ParseError);
+  EXPECT_THROW(parse_flow_predicate("proto == tcp extra"), ParseError);
+}
+
+TEST(FlowPredicate, RoundTripsThroughPrinter) {
+  for (const char* text :
+       {"*", "proto == 6", "dst_port in 80 .. 443",
+        "proto == 17 and src_port == 53", "not proto == 6 or dst_port == 22"}) {
+    const auto p = parse_flow_predicate(text);
+    const auto again = parse_flow_predicate(to_string(p));
+    EXPECT_EQ(to_string(p), to_string(again)) << text;
+  }
+}
+
+TEST(ClassifiedPolicy, ParsesRulesInOrder) {
+  const ClassifiedPolicy cp = parse_classified_policy(R"(
+    class proto == udp : minimize(path.lat)
+    class dst_port in 5000 .. 5999 : minimize(path.len)
+    class * : minimize(path.util)
+  )");
+  ASSERT_EQ(cp.rules.size(), 3u);
+  EXPECT_TRUE(cp.is_total());
+  EXPECT_EQ(cp.classify(tuple(17, 1, 2)), 0u);    // udp
+  EXPECT_EQ(cp.classify(tuple(6, 1, 5500)), 1u);  // port range
+  EXPECT_EQ(cp.classify(tuple(6, 1, 80)), 2u);    // fallthrough
+}
+
+TEST(ClassifiedPolicy, FirstMatchWins) {
+  const ClassifiedPolicy cp = parse_classified_policy(R"(
+    class * : minimize(path.len)
+    class proto == udp : minimize(path.lat)
+  )");
+  EXPECT_EQ(cp.classify(tuple(17, 1, 2)), 0u);  // the catch-all shadows rule 1
+}
+
+TEST(ClassifiedPolicy, NonTotalClassifierReported) {
+  const ClassifiedPolicy cp =
+      parse_classified_policy("class proto == udp : minimize(path.lat)");
+  EXPECT_FALSE(cp.is_total());
+  EXPECT_EQ(cp.classify(tuple(6, 1, 2)), std::nullopt);
+}
+
+TEST(ClassifiedPolicy, ParseErrors) {
+  EXPECT_THROW(parse_classified_policy("minimize(path.len)"), ParseError);
+  EXPECT_THROW(parse_classified_policy("class proto == udp minimize(path.lat)"), ParseError);
+}
+
+}  // namespace
+}  // namespace contra::lang
+
+namespace contra::compiler {
+namespace {
+
+TEST(ClassifiedCompile, CompilesEveryClass) {
+  const topology::Topology topo = topology::abilene();
+  const ClassifiedCompileResult result = compile_classified(R"(
+    class proto == udp : minimize(path.lat)
+    class * : minimize(path.util)
+  )", topo);
+  ASSERT_EQ(result.classes.size(), 2u);
+  EXPECT_EQ(result.classes[0].num_pids(), 1u);
+  EXPECT_GT(result.total_state_bytes(), 0u);
+  EXPECT_NE(result.summary().find("class0"), std::string::npos);
+}
+
+TEST(ClassifiedCompile, EmptyRulesThrow) {
+  const topology::Topology topo = topology::ring(4);
+  EXPECT_THROW(compile_classified(lang::ClassifiedPolicy{}, topo), CompileError);
+}
+
+TEST(ClassifiedCompile, BadClassPolicyNamesTheClass) {
+  const topology::Topology topo = topology::ring(4);
+  try {
+    compile_classified("class * : minimize(1 - path.util)", topo);
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("class0"), std::string::npos);
+  }
+}
+
+TEST(ClassifiedCompile, NonTotalWarnsInSummary) {
+  const topology::Topology topo = topology::ring(4);
+  const ClassifiedCompileResult result =
+      compile_classified("class proto == udp : minimize(path.len)", topo);
+  EXPECT_NE(result.summary().find("WARNING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace contra::compiler
+
+namespace contra::dataplane {
+namespace {
+
+TEST(ClassifiedDataplane, ClassesRouteIndependently) {
+  // Abilene: the latency class should pick latency-optimal next hops, the
+  // default class utilization-optimal ones; both converge independently.
+  const topology::Topology topo = topology::abilene(1e9, 0.02);
+  const compiler::ClassifiedCompileResult compiled = compiler::compile_classified(R"(
+    class proto == udp : minimize(path.lat)
+    class * : minimize(path.util)
+  )", topo);
+
+  sim::SimConfig config;
+  config.host_link_bps = 1e9;
+  sim::Simulator sim(topo, config);
+  ClassifiedNetwork network = install_classified_network(sim, compiled);
+  sim.start();
+  sim.run_until(15e-3);
+
+  const topology::NodeId src = topo.find("Seattle");
+  const topology::NodeId dst = topo.find("WashingtonDC");
+  const auto lat_best = network.switches[src]->class_switch(0).best_choice(dst, sim.now());
+  const auto util_best = network.switches[src]->class_switch(1).best_choice(dst, sim.now());
+  ASSERT_TRUE(lat_best.has_value());
+  ASSERT_TRUE(util_best.has_value());
+  // The latency class's rank is a path latency (µs; ~0.5 at this delay
+  // scale); the util class's rank is a utilization (~0 on an idle network,
+  // perturbed only by probe traffic). They are different quantities from
+  // independently converged protocol instances.
+  EXPECT_GT(lat_best->rank.scalar_value().to_double(), 0.2);
+  EXPECT_LT(util_best->rank.scalar_value().to_double(), 0.1);
+  EXPECT_GT(lat_best->rank.scalar_value().to_double(),
+            util_best->rank.scalar_value().to_double());
+}
+
+TEST(ClassifiedDataplane, TrafficDispatchesAndDelivers) {
+  const topology::Topology topo = topology::abilene(1e9, 0.02);
+  const compiler::ClassifiedCompileResult compiled = compiler::compile_classified(R"(
+    class proto == udp : minimize(path.lat)
+    class * : minimize((path.len, path.util))
+  )", topo);
+
+  sim::SimConfig config;
+  config.host_link_bps = 1e9;
+  sim::Simulator sim(topo, config);
+  ClassifiedNetwork network = install_classified_network(sim, compiled);
+  sim::TransportManager transport(sim);
+  const sim::HostId a = sim.add_host(topo.find("Seattle"));
+  const sim::HostId b = sim.add_host(topo.find("NewYork"));
+  sim.start();
+  sim.run_until(15e-3);
+
+  transport.start_flow(a, b, 100'000, sim.now());                      // TCP
+  transport.start_udp_flow(a, b, 20e6, sim.now(), sim.now() + 10e-3);  // UDP
+  sim.run_until(sim.now() + 150e-3);
+
+  EXPECT_EQ(transport.completed_flows().size(), 1u);
+  EXPECT_GT(transport.udp_bytes_received(), 0u);
+  // Both classes forwarded something at the source switch.
+  const auto& sw = *network.switches[topo.find("Seattle")];
+  EXPECT_GT(sw.class_switch(0).stats().data_forwarded, 0u);  // UDP class
+  EXPECT_GT(sw.class_switch(1).stats().data_forwarded, 0u);  // TCP class
+  uint64_t unclassified = 0;
+  for (const auto* s : network.switches) unclassified += s->stats().unclassified_drops;
+  EXPECT_EQ(unclassified, 0u);
+}
+
+TEST(ClassifiedDataplane, NonTotalClassifierDropsUnmatched) {
+  const topology::Topology topo = topology::line(2);
+  const compiler::ClassifiedCompileResult compiled = compiler::compile_classified(
+      "class proto == udp : minimize(path.len)", topo);
+  sim::Simulator sim(topo, sim::SimConfig{});
+  ClassifiedNetwork network = install_classified_network(sim, compiled);
+  sim::TransportManager transport(sim);
+  const sim::HostId a = sim.add_host(0);
+  const sim::HostId b = sim.add_host(1);
+  sim.start();
+  sim.run_until(2e-3);
+  transport.start_flow(a, b, 10'000, sim.now());  // TCP: no rule matches
+  sim.run_until(sim.now() + 50e-3);
+  EXPECT_TRUE(transport.completed_flows().empty());
+  EXPECT_GT(network.switches[0]->stats().unclassified_drops, 0u);
+}
+
+}  // namespace
+}  // namespace contra::dataplane

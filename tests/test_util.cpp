@@ -1,0 +1,159 @@
+// Unit tests for the util module: fixed point, hashing, rng, strings.
+#include <gtest/gtest.h>
+
+#include "util/fixed_point.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace contra::util {
+namespace {
+
+TEST(FixedPoint, RoundTripsIntegers) {
+  for (int64_t v : {-100, -1, 0, 1, 7, 65535, 1 << 20}) {
+    EXPECT_EQ(Fixed::from_int(v).to_int(), v) << v;
+  }
+}
+
+TEST(FixedPoint, RoundTripsFractions) {
+  EXPECT_NEAR(Fixed::from_double(0.5).to_double(), 0.5, 1e-4);
+  EXPECT_NEAR(Fixed::from_double(0.8).to_double(), 0.8, 1e-4);
+  EXPECT_NEAR(Fixed::from_double(-3.25).to_double(), -3.25, 1e-4);
+  EXPECT_NEAR(Fixed::from_double(123.456).to_double(), 123.456, 1e-4);
+}
+
+TEST(FixedPoint, ComparesTotally) {
+  EXPECT_LT(Fixed::from_double(0.1), Fixed::from_double(0.2));
+  EXPECT_GT(Fixed::from_double(1.0), Fixed::from_double(0.999));
+  EXPECT_EQ(Fixed::from_double(0.5), Fixed::from_double(0.5));
+  EXPECT_LT(Fixed::from_int(-1), Fixed::from_int(0));
+}
+
+TEST(FixedPoint, SaturatingAddClampsAtMax) {
+  const Fixed big = Fixed::max();
+  EXPECT_EQ(big.saturating_add(big), Fixed::max());
+  EXPECT_EQ(big.saturating_add(Fixed::from_int(1)), Fixed::max());
+}
+
+TEST(FixedPoint, SaturatingSubClampsAtMin) {
+  const Fixed lo = Fixed::from_raw(-Fixed::max().raw());
+  EXPECT_EQ(lo.saturating_sub(Fixed::max()), lo);
+}
+
+TEST(FixedPoint, AdditionIsExactForRepresentable) {
+  const Fixed a = Fixed::from_double(0.25);
+  const Fixed b = Fixed::from_double(0.125);
+  EXPECT_DOUBLE_EQ(a.saturating_add(b).to_double(), 0.375);
+}
+
+TEST(FixedPoint, MulMatchesDoubleWithinTolerance) {
+  const Fixed a = Fixed::from_double(1.5);
+  const Fixed b = Fixed::from_double(0.4);
+  EXPECT_NEAR(a.mul(b).to_double(), 0.6, 1e-3);
+}
+
+TEST(FixedPoint, NanBecomesZero) {
+  EXPECT_EQ(Fixed::from_double(std::nan("")).raw(), 0);
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3).
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(std::string_view("")), 0u); }
+
+TEST(Crc32, SeedChangesResult) {
+  EXPECT_NE(crc32(std::string_view("abc"), 0), crc32(std::string_view("abc"), 1));
+}
+
+TEST(FiveTupleHash, Deterministic) {
+  const FiveTuple t{0x0a000001, 0x0a000002, 1234, 80, 6};
+  EXPECT_EQ(hash_five_tuple(t), hash_five_tuple(t));
+}
+
+TEST(FiveTupleHash, SensitiveToEveryField) {
+  const FiveTuple base{0x0a000001, 0x0a000002, 1234, 80, 6};
+  FiveTuple t = base;
+  t.src_ip ^= 1;
+  EXPECT_NE(hash_five_tuple(base), hash_five_tuple(t));
+  t = base;
+  t.dst_ip ^= 1;
+  EXPECT_NE(hash_five_tuple(base), hash_five_tuple(t));
+  t = base;
+  t.src_port ^= 1;
+  EXPECT_NE(hash_five_tuple(base), hash_five_tuple(t));
+  t = base;
+  t.dst_port ^= 1;
+  EXPECT_NE(hash_five_tuple(base), hash_five_tuple(t));
+  t = base;
+  t.protocol ^= 1;
+  EXPECT_NE(hash_five_tuple(base), hash_five_tuple(t));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 0.01, 0.001);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  const auto parts = split_whitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace contra::util

@@ -1,0 +1,149 @@
+// Workload generator tests: CDF sampling, load calibration, determinism.
+#include <gtest/gtest.h>
+
+#include "workload/distributions.h"
+#include "workload/generator.h"
+
+namespace contra::workload {
+namespace {
+
+TEST(EmpiricalCdf, SamplesWithinSupport) {
+  util::Rng rng(1);
+  const EmpiricalCdf& cdf = web_search_flow_sizes();
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t bytes = cdf.sample(rng);
+    EXPECT_GE(bytes, 1u);
+    EXPECT_LE(bytes, static_cast<uint64_t>(cdf.points().back().bytes));
+  }
+}
+
+TEST(EmpiricalCdf, SampleMeanTracksAnalyticMean) {
+  util::Rng rng(2);
+  const EmpiricalCdf& cdf = web_search_flow_sizes();
+  double sum = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(cdf.sample(rng));
+  // Log-linear interpolation skews below the midpoint-based analytic mean;
+  // agreement within 40% is enough for load calibration.
+  EXPECT_NEAR(sum / n, cdf.mean_bytes(), cdf.mean_bytes() * 0.4);
+}
+
+TEST(EmpiricalCdf, CacheIsSmallerThanWebSearch) {
+  // The cache workload is dominated by tiny objects (Roy et al.).
+  EXPECT_LT(cache_flow_sizes().mean_bytes(), web_search_flow_sizes().mean_bytes() / 5);
+}
+
+TEST(EmpiricalCdf, MedianOrdersMatchPaperWorkloads) {
+  util::Rng rng(3);
+  std::vector<double> web, cache;
+  for (int i = 0; i < 20001; ++i) {
+    web.push_back(static_cast<double>(web_search_flow_sizes().sample(rng)));
+    cache.push_back(static_cast<double>(cache_flow_sizes().sample(rng)));
+  }
+  std::sort(web.begin(), web.end());
+  std::sort(cache.begin(), cache.end());
+  EXPECT_GT(web[web.size() / 2], 10e3);    // web search median tens of kB
+  EXPECT_LT(cache[cache.size() / 2], 5e3); // cache median well under 5 kB
+}
+
+TEST(EmpiricalCdf, RejectsMalformed) {
+  EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalCdf({{100, 0.5}}), std::invalid_argument);          // != 1.0
+  EXPECT_THROW(EmpiricalCdf({{100, 0.7}, {200, 0.6}, {300, 1.0}}),
+               std::invalid_argument);  // non-increasing
+}
+
+TEST(FixedSize, AlwaysSamplesTheSame) {
+  util::Rng rng(4);
+  const EmpiricalCdf cdf = fixed_size(5000);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(cdf.sample(rng), 5000u);
+}
+
+TEST(Generator, FlowCountMatchesLoad) {
+  WorkloadConfig config;
+  config.load = 0.5;
+  config.sender_capacity_bps = 1e9;
+  config.duration = 0.5;
+  config.seed = 11;
+  const EmpiricalCdf cdf = fixed_size(100'000);  // 0.8 ms per flow at 1Gbps
+  const auto flows = generate_poisson(cdf, {0, 1}, {2, 3}, config);
+  // Expected per sender: load * capacity / (bytes*8) * duration = 312.5.
+  EXPECT_NEAR(static_cast<double>(flows.size()), 2 * 312.5, 2 * 312.5 * 0.2);
+}
+
+TEST(Generator, OfferedBytesMatchLoad) {
+  WorkloadConfig config;
+  config.load = 0.3;
+  config.sender_capacity_bps = 1e9;
+  config.duration = 1.0;
+  config.seed = 12;
+  const auto flows =
+      generate_poisson(web_search_flow_sizes(), {0}, {1}, config);
+  const double offered_bps = total_bytes(flows) * 8.0 / config.duration;
+  EXPECT_NEAR(offered_bps, 0.3 * 1e9, 0.3 * 1e9 * 0.45);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.duration = 0.05;
+  config.seed = 9;
+  const auto a = generate_poisson(cache_flow_sizes(), {0, 1}, {2, 3}, config);
+  const auto b = generate_poisson(cache_flow_sizes(), {0, 1}, {2, 3}, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_DOUBLE_EQ(a[i].start, b[i].start);
+  }
+}
+
+TEST(Generator, NeverSendsToSelf) {
+  WorkloadConfig config;
+  config.duration = 0.2;
+  config.seed = 10;
+  // host 1 is both sender and receiver: flows from 1 must avoid dst 1.
+  const auto flows = generate_poisson(cache_flow_sizes(), {1}, {1, 2}, config);
+  for (const auto& flow : flows) EXPECT_NE(flow.dst, flow.src);
+}
+
+TEST(Generator, SizeScaleShrinksFlowsKeepsLoad) {
+  WorkloadConfig config;
+  config.load = 0.5;
+  config.sender_capacity_bps = 1e9;
+  config.duration = 0.5;
+  config.seed = 13;
+  WorkloadConfig scaled = config;
+  scaled.size_scale = 0.1;
+  const auto base = generate_poisson(fixed_size(100'000), {0}, {1}, config);
+  const auto small = generate_poisson(fixed_size(100'000), {0}, {1}, scaled);
+  // Roughly 10x the flows at a tenth the size: offered bytes comparable.
+  EXPECT_NEAR(static_cast<double>(small.size()), 10.0 * base.size(),
+              4.0 * base.size());
+  EXPECT_NEAR(static_cast<double>(total_bytes(small)),
+              static_cast<double>(total_bytes(base)),
+              static_cast<double>(total_bytes(base)) * 0.4);
+}
+
+TEST(Generator, StartsWithinWindow) {
+  WorkloadConfig config;
+  config.start = 1.0;
+  config.duration = 0.1;
+  config.seed = 14;
+  const auto flows = generate_poisson(cache_flow_sizes(), {0}, {1}, config);
+  for (const auto& flow : flows) {
+    EXPECT_GE(flow.start, 1.0);
+    EXPECT_LT(flow.start, 1.1);
+  }
+}
+
+TEST(Generator, EmptySendersThrow) {
+  WorkloadConfig config;
+  EXPECT_THROW(generate_poisson(cache_flow_sizes(), {}, {1}, config),
+               std::invalid_argument);
+  EXPECT_THROW(generate_poisson(cache_flow_sizes(), {0}, {}, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace contra::workload

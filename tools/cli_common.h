@@ -1,0 +1,141 @@
+// Minimal flag parsing + file helpers shared by the CLI tools.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "topology/abilene.h"
+#include "topology/generators.h"
+#include "topology/parser.h"
+
+namespace contra::tools {
+
+/// "--key value" and "--flag" style arguments; positionals collected apart.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "";
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  int64_t get_int(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+inline std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+inline bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+/// Topology selection shared by the tools:
+///   --topology <file>            edge-list file (topology/parser.h format)
+///   --builtin fat-tree:<k> | leaf-spine:<l>x<s> | random:<n>:<seed> |
+///             abilene | ring:<n> | grid:<r>x<c> | diamond
+inline std::optional<topology::Topology> load_topology(const Args& args, std::string* error) {
+  if (args.has("topology")) {
+    const auto text = read_file(args.get("topology"));
+    if (!text) {
+      *error = "cannot read topology file: " + args.get("topology");
+      return std::nullopt;
+    }
+    try {
+      return topology::parse_topology(*text);
+    } catch (const std::exception& e) {
+      *error = e.what();
+      return std::nullopt;
+    }
+  }
+  const std::string spec = args.get("builtin", "diamond");
+  try {
+    if (spec.rfind("fat-tree:", 0) == 0) {
+      return topology::fat_tree(static_cast<uint32_t>(std::stoul(spec.substr(9))));
+    }
+    if (spec.rfind("leaf-spine:", 0) == 0) {
+      const std::string dims = spec.substr(11);
+      const size_t x = dims.find('x');
+      return topology::leaf_spine(std::stoul(dims.substr(0, x)),
+                                  std::stoul(dims.substr(x + 1)));
+    }
+    if (spec.rfind("random:", 0) == 0) {
+      const std::string rest = spec.substr(7);
+      const size_t colon = rest.find(':');
+      const uint32_t n = std::stoul(rest.substr(0, colon));
+      const uint64_t seed = colon == std::string::npos ? 1 : std::stoull(rest.substr(colon + 1));
+      return topology::random_connected(n, 4.0, seed);
+    }
+    if (spec == "abilene") return topology::abilene();
+    if (spec.rfind("ring:", 0) == 0) {
+      return topology::ring(static_cast<uint32_t>(std::stoul(spec.substr(5))));
+    }
+    if (spec.rfind("grid:", 0) == 0) {
+      const std::string dims = spec.substr(5);
+      const size_t x = dims.find('x');
+      return topology::grid(std::stoul(dims.substr(0, x)), std::stoul(dims.substr(x + 1)));
+    }
+    if (spec == "diamond") return topology::running_example();
+  } catch (const std::exception& e) {
+    *error = std::string("bad --builtin spec '") + spec + "': " + e.what();
+    return std::nullopt;
+  }
+  *error = "unknown --builtin spec: " + spec;
+  return std::nullopt;
+}
+
+/// Policy from --policy "<text>" or --policy-file <path>.
+inline std::optional<std::string> load_policy_text(const Args& args, std::string* error) {
+  if (args.has("policy")) return args.get("policy");
+  if (args.has("policy-file")) {
+    const auto text = read_file(args.get("policy-file"));
+    if (!text) {
+      *error = "cannot read policy file: " + args.get("policy-file");
+      return std::nullopt;
+    }
+    return *text;
+  }
+  *error = "missing --policy \"minimize(...)\" or --policy-file <path>";
+  return std::nullopt;
+}
+
+}  // namespace contra::tools

@@ -1,0 +1,161 @@
+// contrasim — run a performance-aware-routing experiment from the command
+// line: pick a topology, a dataplane (contra / ecmp / hula / spain / sp), a
+// workload, and get FCT + overhead numbers.
+//
+//   contrasim --builtin fat-tree:4 --plane contra \
+//             --policy "minimize((path.len, path.util))" \
+//             --workload web-search --load 0.6 --duration-ms 30 --seed 1
+//
+// Hosts attach to fat-tree edge switches / leaf-spine leaves automatically;
+// on arbitrary topologies one host attaches to every switch.
+#include <cstdio>
+#include <memory>
+
+#include "cli_common.h"
+#include "compiler/compiler.h"
+#include "dataplane/contra_switch.h"
+#include "dataplane/ecmp_switch.h"
+#include "dataplane/hula_switch.h"
+#include "dataplane/spain_switch.h"
+#include "dataplane/static_switch.h"
+#include "lang/parser.h"
+#include "metrics/counters.h"
+#include "metrics/fct.h"
+#include "sim/host.h"
+#include "sim/transport.h"
+#include "util/strings.h"
+#include "workload/generator.h"
+
+using namespace contra;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topology <file> | --builtin <spec>]\n"
+               "          --plane contra|ecmp|hula|spain|sp\n"
+               "          [--policy \"minimize(...)\"]   (contra only; default MU)\n"
+               "          [--workload web-search|cache] [--load 0.5]\n"
+               "          [--duration-ms 30] [--seed 1] [--size-scale 0.1]\n"
+               "          [--link-gbps 10] [--probe-period-us 256]\n"
+               "          [--fail <nodeA>-<nodeB>]      (fail a cable pre-traffic)\n",
+               argv0);
+  return 2;
+}
+
+std::vector<sim::HostId> attach_hosts_auto(sim::Simulator& sim) {
+  std::vector<sim::HostId> hosts = sim::attach_hosts_to_fat_tree_edges(sim, 2);
+  if (!hosts.empty()) return hosts;
+  hosts = sim::attach_hosts_to_leaves(sim, 2);
+  if (!hosts.empty()) return hosts;
+  for (topology::NodeId n = 0; n < sim.topo().num_nodes(); ++n) hosts.push_back(sim.add_host(n));
+  return hosts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  if (args.has("help")) return usage(argv[0]);
+
+  std::string error;
+  const auto topo = tools::load_topology(args, &error);
+  if (!topo) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage(argv[0]);
+  }
+
+  const double link_bps = args.get_double("link-gbps", 10.0) * 1e9;
+  const double load = args.get_double("load", 0.5);
+  const double duration_s = args.get_double("duration-ms", 30.0) * 1e-3;
+  const double probe_period_s = args.get_double("probe-period-us", 256.0) * 1e-6;
+  const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
+  const double size_scale = args.get_double("size-scale", 0.1);
+  const std::string plane = args.get("plane", "contra");
+
+  sim::SimConfig config;
+  config.host_link_bps = link_bps;
+  config.util_tau_s = 2 * probe_period_s;
+  sim::Simulator sim(*topo, config);
+  const std::vector<sim::HostId> hosts = attach_hosts_auto(sim);
+  if (hosts.size() < 2) {
+    std::fprintf(stderr, "topology too small to host traffic\n");
+    return 1;
+  }
+
+  if (args.has("fail")) {
+    const auto parts = util::split(args.get("fail"), '-');
+    if (parts.size() != 2 || topo->find(parts[0]) == topology::kInvalidNode ||
+        topo->find(parts[1]) == topology::kInvalidNode ||
+        topo->link_between(topo->find(parts[0]), topo->find(parts[1])) ==
+            topology::kInvalidLink) {
+      std::fprintf(stderr, "bad --fail spec '%s' (want <nodeA>-<nodeB>)\n",
+                   args.get("fail").c_str());
+      return 1;
+    }
+    sim.fail_cable(topo->link_between(topo->find(parts[0]), topo->find(parts[1])));
+  }
+
+  compiler::CompileResult compiled;
+  std::unique_ptr<pg::PolicyEvaluator> evaluator;
+  if (plane == "contra") {
+    const std::string policy = args.get("policy", "minimize(path.util)");
+    try {
+      compiled = compiler::compile(policy, *topo);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "compile error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("compiled: %s\n", compiled.summary().c_str());
+    evaluator = std::make_unique<pg::PolicyEvaluator>(compiled.graph, compiled.decomposition);
+    dataplane::ContraSwitchOptions options;
+    options.probe_period_s = std::max(probe_period_s, compiled.min_probe_period_s);
+    dataplane::install_contra_network(sim, compiled, *evaluator, options);
+  } else if (plane == "ecmp") {
+    dataplane::install_ecmp_network(sim);
+  } else if (plane == "hula") {
+    dataplane::HulaOptions options;
+    options.probe_period_s = probe_period_s;
+    dataplane::install_hula_network(sim, options);
+  } else if (plane == "spain") {
+    dataplane::install_spain_network(sim);
+  } else if (plane == "sp") {
+    dataplane::install_shortest_path_network(sim);
+  } else {
+    std::fprintf(stderr, "unknown --plane '%s'\n", plane.c_str());
+    return usage(argv[0]);
+  }
+
+  const workload::EmpiricalCdf& sizes = args.get("workload", "web-search") == "cache"
+                                            ? workload::cache_flow_sizes()
+                                            : workload::web_search_flow_sizes();
+  std::vector<sim::HostId> senders, receivers;
+  for (sim::HostId h : hosts) (h % 2 ? receivers : senders).push_back(h);
+
+  sim::TransportManager transport(sim);
+  workload::WorkloadConfig wl;
+  wl.load = load;
+  wl.sender_capacity_bps = link_bps / 4;  // conservative fair share
+  wl.start = 20 * probe_period_s;         // converge first
+  wl.duration = duration_s;
+  wl.seed = seed;
+  wl.size_scale = size_scale;
+  const auto flows = workload::generate_poisson(sizes, senders, receivers, wl);
+  workload::submit(transport, flows);
+
+  sim.start();
+  sim.run_until(wl.start);
+  const sim::LinkStats window_start = sim.aggregate_fabric_stats();
+  sim.run_until(wl.start + wl.duration);
+  const sim::LinkStats window_end = sim.aggregate_fabric_stats();
+  sim.run_until(wl.start + wl.duration + 0.25);
+
+  const auto fct = metrics::summarize_fct(transport.completed_flows(), flows.size());
+  const auto overhead = metrics::make_overhead_report(window_end, window_start);
+  std::printf("plane=%s load=%.0f%% flows=%zu\n", plane.c_str(), load * 100, flows.size());
+  std::printf("FCT     : %s\n", fct.to_string().c_str());
+  std::printf("traffic : %s\n", overhead.to_string().c_str());
+  std::printf("drops   : %llu data packets\n",
+              static_cast<unsigned long long>(sim.aggregate_fabric_stats().data_drops));
+  return 0;
+}
