@@ -1,0 +1,279 @@
+// Canonical perf gate for the discrete-event core (see DESIGN.md,
+// "Simulator performance architecture"). Three scenarios stress the three
+// hot-path layers:
+//
+//   event_throughput — self-rescheduling timers; pure EventQueue
+//       schedule/dispatch cost, no packets.
+//   link_saturation  — two switches ping-ponging a window of packets over
+//       one cable; the per-packet-hop path (enqueue, serialize, propagate,
+//       deliver) with allocation accounting per hop.
+//   probe_flood      — a k=4 fat-tree running the Contra dataplane with an
+//       aggressive probe period and no workload; the probe fan-out path
+//       that multiplies event counts in every figure benchmark.
+//
+// Emits machine-readable JSON (default BENCH_core.json) so future PRs can
+// regress against this one with tools/compare_bench.py. Pass
+// --baseline-json <file> to embed a previous run (e.g. the pre-rewrite
+// core) under "baseline" in the output.
+//
+// Uses only the public simulator API on purpose: the same source measures
+// the std::function core before the zero-allocation rewrite and the SBO
+// core after it.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "dataplane/contra_switch.h"
+#include "sim/simulator.h"
+#include "topology/generators.h"
+#include "util/alloc_probe.h"
+
+CONTRA_DEFINE_COUNTING_ALLOC_HOOKS()
+
+namespace contra::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ScenarioResult {
+  std::string name;
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  double allocs_per_event = 0.0;
+
+  double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0.0; }
+};
+
+// ---- event_throughput ------------------------------------------------------
+
+ScenarioResult run_event_throughput(uint64_t total_events) {
+  sim::EventQueue queue;
+  // 64 interleaved periodic timers with co-prime-ish periods: the heap stays
+  // populated and events arrive in nontrivial order.
+  constexpr int kTimers = 64;
+  uint64_t remaining = total_events;
+  struct Timer {
+    sim::EventQueue* queue;
+    uint64_t* remaining;
+    double period;
+    void fire() {
+      if (*remaining == 0) return;
+      --*remaining;
+      queue->schedule_in(period, [this] { fire(); });
+    }
+  };
+  std::vector<Timer> timers(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    timers[i] = Timer{&queue, &remaining, 1e-6 * (17 + i)};
+    timers[i].fire();
+  }
+  const auto start = Clock::now();
+  const uint64_t allocs_before = util::alloc_count();
+  while (queue.step()) {
+  }
+  ScenarioResult result;
+  result.name = "event_throughput";
+  result.wall_s = seconds_since(start);
+  result.events = queue.events_processed();
+  result.allocs_per_event =
+      result.events ? double(util::alloc_count() - allocs_before) / result.events : 0.0;
+  return result;
+}
+
+// ---- link_saturation -------------------------------------------------------
+
+/// Bounces every arriving packet straight back out on a fixed link.
+class Bouncer : public sim::Device {
+ public:
+  explicit Bouncer(topology::LinkId out) : out_(out) {}
+  void handle_packet(sim::Simulator& sim, sim::Packet&& packet,
+                     topology::LinkId) override {
+    ++bounced;
+    sim.send_on_link(out_, std::move(packet));
+  }
+  const char* kind_name() const override { return "bouncer"; }
+  uint64_t bounced = 0;
+
+ private:
+  topology::LinkId out_;
+};
+
+ScenarioResult run_link_saturation(double sim_seconds) {
+  const topology::Topology topo = topology::line(2);
+  sim::SimConfig config;
+  sim::Simulator sim(topo, config);
+  const topology::LinkId l01 = topo.link_between(0, 1);
+  const topology::LinkId l10 = topo.link_between(1, 0);
+  auto b0 = std::make_unique<Bouncer>(l01);
+  auto b1 = std::make_unique<Bouncer>(l10);
+  Bouncer* counter = b1.get();
+  sim.install_switch(0, std::move(b0));
+  sim.install_switch(1, std::move(b1));
+
+  // A window of packets in flight keeps the link busy both directions.
+  for (int i = 0; i < 32; ++i) {
+    sim::Packet p;
+    p.id = sim.next_packet_id();
+    p.size_bytes = 1500;
+    sim.send_on_link(l01, std::move(p));
+  }
+  // Warm up pools, heap storage, and deque/ring chunks before counting.
+  sim.run_until(sim_seconds * 0.1);
+  const uint64_t events_before = sim.events().events_processed();
+  const uint64_t hops_before = counter->bounced;
+  const uint64_t allocs_before = util::alloc_count();
+  const auto start = Clock::now();
+  sim.run_until(sim_seconds * 1.1);
+  ScenarioResult result;
+  result.name = "link_saturation";
+  result.wall_s = seconds_since(start);
+  result.events = sim.events().events_processed() - events_before;
+  const uint64_t hops = counter->bounced - hops_before;
+  result.allocs_per_event =
+      hops ? double(util::alloc_count() - allocs_before) / hops : 0.0;
+  return result;
+}
+
+// ---- probe_flood -----------------------------------------------------------
+
+ScenarioResult run_probe_flood(double sim_seconds) {
+  const topology::Topology topo =
+      topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile("minimize((path.len, path.util))", topo);
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+
+  sim::SimConfig config;
+  sim::Simulator sim(topo, config);
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 64e-6;  // 4x the paper's rate: a deliberate flood
+  dataplane::install_contra_network(sim, compiled, evaluator, options);
+  sim.start();
+
+  // Warm up: tables converge, pools and probe fan-out paths fill.
+  sim.run_until(sim_seconds * 0.1);
+  const uint64_t events_before = sim.events().events_processed();
+  const uint64_t allocs_before = util::alloc_count();
+  const auto start = Clock::now();
+  sim.run_until(sim_seconds * 1.1);
+  ScenarioResult result;
+  result.name = "probe_flood";
+  result.wall_s = seconds_since(start);
+  result.events = sim.events().events_processed() - events_before;
+  result.allocs_per_event =
+      result.events ? double(util::alloc_count() - allocs_before) / result.events : 0.0;
+  return result;
+}
+
+// ---- driver ----------------------------------------------------------------
+
+void write_json(const std::string& path, const std::string& label,
+                const std::vector<ScenarioResult>& results,
+                const std::string& baseline_blob) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"core_speed\",\n";
+  out << "  \"label\": \"" << label << "\",\n";
+  out << "  \"scenarios\": {\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    \"%s\": {\"events\": %llu, \"wall_s\": %.6f, "
+                  "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f}%s\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.events), r.wall_s,
+                  r.events_per_sec(), r.allocs_per_event,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  }";
+  if (!baseline_blob.empty()) out << ",\n  \"baseline\": " << baseline_blob;
+  out << "\n}\n";
+
+  std::ofstream file(path);
+  file << out.str();
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_core.json";
+  std::string label = "core";
+  std::string baseline_path;
+  int repeats = 3;
+  uint64_t timer_events = 2'000'000;
+  double sim_seconds = 20e-3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--out") out_path = next();
+    else if (arg == "--label") label = next();
+    else if (arg == "--baseline-json") baseline_path = next();
+    else if (arg == "--repeats") repeats = std::atoi(next());
+    else if (arg == "--events") timer_events = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--sim-seconds") sim_seconds = std::atof(next());
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_core_speed [--out file] [--label name] "
+                   "[--baseline-json file] [--repeats n] [--events n] "
+                   "[--sim-seconds s]\n");
+      return 2;
+    }
+  }
+
+  // Best-of-N: wall-clock noise only ever slows a run down.
+  std::vector<ScenarioResult> best;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::vector<ScenarioResult> round;
+    round.push_back(run_event_throughput(timer_events));
+    round.push_back(run_link_saturation(sim_seconds));
+    round.push_back(run_probe_flood(sim_seconds));
+    if (best.empty()) {
+      best = round;
+    } else {
+      for (size_t i = 0; i < round.size(); ++i) {
+        if (round[i].wall_s < best[i].wall_s) best[i] = round[i];
+      }
+    }
+  }
+
+  for (const ScenarioResult& r : best) {
+    std::printf("%-18s %9llu events  %8.4f s  %12.0f ev/s  %.4f allocs/event\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.events), r.wall_s,
+                r.events_per_sec(), r.allocs_per_event);
+  }
+
+  std::string baseline_blob;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream blob;
+    blob << in.rdbuf();
+    baseline_blob = blob.str();
+    while (!baseline_blob.empty() &&
+           (baseline_blob.back() == '\n' || baseline_blob.back() == ' ')) {
+      baseline_blob.pop_back();
+    }
+  }
+  write_json(out_path, label, best, baseline_blob);
+  return 0;
+}
+
+}  // namespace
+}  // namespace contra::bench
+
+int main(int argc, char** argv) { return contra::bench::main(argc, argv); }

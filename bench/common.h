@@ -81,6 +81,7 @@ struct ExperimentResult {
   uint64_t loops_broken = 0;
   uint64_t policy_drops = 0;
   uint64_t data_packets_forwarded = 0;
+  uint64_t events_processed = 0;  ///< simulator events for the whole run
   std::vector<double> queue_samples_mss;
 };
 
@@ -170,6 +171,7 @@ inline ExperimentResult run_fat_tree_experiment(const FatTreeExperiment& exp) {
     result.policy_drops += sw->stats().data_dropped_no_route;
     result.data_packets_forwarded += sw->stats().data_forwarded;
   }
+  result.events_processed = sim.events().events_processed();
   result.queue_samples_mss = tracer.samples_mss();
   return result;
 }
@@ -252,6 +254,7 @@ inline ExperimentResult run_abilene_experiment(const AbileneExperiment& exp) {
   result.fct = metrics::summarize_fct(transport.completed_flows(), flows.size());
   result.overhead = metrics::make_overhead_report(window_end, window_start);
   result.fabric_drops = sim.aggregate_fabric_stats().drops;
+  result.events_processed = sim.events().events_processed();
   return result;
 }
 

@@ -110,8 +110,8 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
       return;
     }
     const bool fresher = options_.versioned_probes && probe.version > entry.version;
-    const lang::Rank new_rank = evaluator_->propagation_rank(probe.pid, probe.mv);
-    const lang::Rank old_rank = evaluator_->propagation_rank(probe.pid, entry.mv);
+    lang::Rank new_rank = evaluator_->propagation_rank(probe.pid, probe.mv);
+    const lang::Rank& old_rank = entry.rank;  // cached f(pid, entry.mv)
     const bool better = new_rank < old_rank;
     // Without versions this is classic distance-vector: the current next hop
     // may always overwrite its own advertisement (worse news included), but
@@ -129,8 +129,10 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     entry.nhop = traffic_link;
     entry.version = probe.version;
     entry.updated_at = sim.now();
+    entry.rank = std::move(new_rank);
   } else {
-    fwdt_.emplace(key, FwdEntry{probe.mv, incoming_tag, traffic_link, probe.version, sim.now()});
+    fwdt_.emplace(key, FwdEntry{probe.mv, incoming_tag, traffic_link, probe.version, sim.now(),
+                                evaluator_->propagation_rank(probe.pid, probe.mv)});
     best_index_[probe.origin].emplace_back(local_tag, probe.pid);
   }
   ++stats_.fwdt_updates;
@@ -185,7 +187,7 @@ std::optional<ContraSwitch::BestChoice> ContraSwitch::best_choice(NodeId dst,
 
 void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link) {
   const sim::Time now = sim.now();
-  packet.trace.push_back(static_cast<uint16_t>(self_));
+  if (sim.trace_enabled()) packet.trace.push_back(static_cast<uint16_t>(self_));
 
   if (in_link == sim::kFromHost) {
     if (packet.dst_switch == self_) {  // same-rack delivery

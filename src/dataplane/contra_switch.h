@@ -106,6 +106,10 @@ class ContraSwitch : public sim::Device {
     topology::LinkId nhop = topology::kInvalidLink;
     uint64_t version = 0;
     sim::Time updated_at = 0.0;
+    /// f(pid, mv) of the stored metrics, cached at write time so comparing
+    /// an incoming probe against the entry costs one rank evaluation, not
+    /// two. propagation_rank is pure, so the cache can never go stale.
+    lang::Rank rank;
   };
 
   /// Entry for (traffic destination, local tag, pid), or nullptr.

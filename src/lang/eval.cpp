@@ -82,10 +82,12 @@ Rank evaluate_expr_impl(const ExprPtr& e, const std::vector<std::string>& nodes,
                  ? evaluate_expr_impl(e->then_branch, nodes, attrs)
                  : evaluate_expr_impl(e->else_branch, nodes, attrs);
     case Expr::Kind::kTuple: {
-      std::vector<Rank> elems;
-      elems.reserve(e->elems.size());
-      for (const auto& el : e->elems) elems.push_back(evaluate_expr_impl(el, nodes, attrs));
-      return Rank::concat(elems);
+      Rank out;
+      for (const auto& el : e->elems) {
+        out.append(evaluate_expr_impl(el, nodes, attrs));
+        if (out.is_infinite()) break;  // ∞ absorbs; skip the remaining elems
+      }
+      return out;
     }
   }
   return Rank::infinity();

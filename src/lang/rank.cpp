@@ -33,12 +33,12 @@ Rank Rank::min(const Rank& a, const Rank& b) { return a <= b ? a : b; }
 Rank Rank::max(const Rank& a, const Rank& b) { return a >= b ? a : b; }
 
 Rank Rank::concat(const std::vector<Rank>& elems) {
-  std::vector<util::Fixed> comps;
+  Rank out;
   for (const Rank& e : elems) {
     if (e.infinite_) return infinity();
-    comps.insert(comps.end(), e.comps_.begin(), e.comps_.end());
+    out.append(e);
   }
-  return vector(std::move(comps));
+  return out;
 }
 
 std::string Rank::to_string() const {

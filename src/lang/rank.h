@@ -11,11 +11,17 @@
 #include <vector>
 
 #include "util/fixed_point.h"
+#include "util/small_vector.h"
 
 namespace contra::lang {
 
 class Rank {
  public:
+  /// Component storage. Policies almost never produce tuples wider than 4,
+  /// so ranks stay heap-free on the probe-processing hot path; wider tuples
+  /// spill transparently.
+  using Components = util::SmallVector<util::Fixed, 4>;
+
   Rank() = default;
 
   static Rank infinity() {
@@ -29,15 +35,15 @@ class Rank {
     return r;
   }
   static Rank scalar(double v) { return scalar(util::Fixed::from_double(v)); }
-  static Rank vector(std::vector<util::Fixed> comps) {
+  static Rank vector(const std::vector<util::Fixed>& comps) {
     Rank r;
-    r.comps_ = std::move(comps);
+    r.comps_.append(comps.data(), comps.data() + comps.size());
     return r;
   }
 
   bool is_infinite() const { return infinite_; }
   bool is_scalar() const { return !infinite_ && comps_.size() == 1; }
-  const std::vector<util::Fixed>& components() const { return comps_; }
+  const Components& components() const { return comps_; }
   /// Scalar value; only valid when is_scalar() or width-0 (treated as 0).
   util::Fixed scalar_value() const { return comps_.empty() ? util::Fixed{} : comps_[0]; }
 
@@ -62,11 +68,23 @@ class Rank {
   /// whole tuple ∞ (a forbidden component forbids the path).
   static Rank concat(const std::vector<Rank>& elems);
 
+  /// In-place tuple construction: appends `next`'s components to this rank;
+  /// an ∞ element makes the whole rank ∞. The allocation-free path the
+  /// evaluator uses instead of materializing a std::vector<Rank>.
+  void append(const Rank& next) {
+    if (next.infinite_) {
+      infinite_ = true;
+      comps_.clear();
+      return;
+    }
+    if (!infinite_) comps_.append(next.comps_.begin(), next.comps_.end());
+  }
+
   std::string to_string() const;
 
  private:
   bool infinite_ = false;
-  std::vector<util::Fixed> comps_;
+  Components comps_;
 };
 
 }  // namespace contra::lang

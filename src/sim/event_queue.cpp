@@ -2,26 +2,89 @@
 
 #include <algorithm>
 
+#include "sim/link.h"
+
 namespace contra::sim {
 
+uint32_t EventQueue::acquire_slot() {
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+  const uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void EventQueue::push(Time time, uint32_t slot) {
+  heap_.push_back(HeapEntry{clamp(time), next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void EventQueue::schedule_at(Time time, Handler handler) {
-  heap_.push(Event{std::max(time, now_), next_seq_++, std::move(handler)});
+  const uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.kind = Kind::kClosure;
+  s.handler = std::move(handler);
+  push(time, slot);
+}
+
+void EventQueue::schedule_link_tx(Time time, Link* link) {
+  const uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.kind = Kind::kLinkTx;
+  s.link = link;
+  push(time, slot);
+}
+
+void EventQueue::schedule_deliver(Time time, Link* link, Packet&& packet) {
+  Packet* parked = pool_.acquire();
+  *parked = std::move(packet);
+  const uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.kind = Kind::kDeliver;
+  s.link = link;
+  s.packet = parked;
+  push(time, slot);
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // Moving out of a priority_queue top requires a const_cast; the element is
-  // popped immediately after, so the heap invariant is never observed broken.
-  Event event = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  now_ = event.time;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapEntry entry = heap_.back();
+  heap_.pop_back();
+  now_ = entry.time;
   ++processed_;
-  event.handler();
+  // Take what the dispatch needs out of the slot and recycle it before
+  // invoking: the handler may schedule (growing slots_ would invalidate a
+  // held reference) and may legitimately reuse this very slot.
+  Slot& slot = slots_[entry.slot];
+  switch (slot.kind) {
+    case Kind::kClosure: {
+      Handler handler = std::move(slot.handler);
+      free_slots_.push_back(entry.slot);
+      handler();
+      break;
+    }
+    case Kind::kLinkTx: {
+      Link* link = slot.link;
+      free_slots_.push_back(entry.slot);
+      link->on_transmit_done();
+      break;
+    }
+    case Kind::kDeliver: {
+      Link* link = slot.link;
+      Packet* packet = slot.packet;
+      free_slots_.push_back(entry.slot);
+      link->complete_delivery(packet);
+      break;
+    }
+  }
   return true;
 }
 
 void EventQueue::run_until(Time end) {
-  while (!heap_.empty() && heap_.top().time <= end) step();
+  while (!heap_.empty() && heap_.front().time <= end) step();
   now_ = std::max(now_, end);
 }
 

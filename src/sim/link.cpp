@@ -36,10 +36,10 @@ void Link::set_down(bool down) {
   if (down) {
     // In-queue packets are lost with the link.
     stats_.drops += queue_.size();
-    for (const Packet& p : queue_) {
+    queue_.for_each([this](const Packet& p) {
       stats_.drop_bytes += p.size_bytes;
       if (p.kind != PacketKind::kProbe) ++stats_.data_drops;
-    }
+    });
     queue_.clear();
     queue_bytes_ = 0;
   }
@@ -49,21 +49,23 @@ void Link::maybe_start_transmit() {
   if (busy_ || queue_.empty() || down_) return;
   busy_ = true;
   const double tx_time = queue_.front().size_bytes * 8.0 / capacity_bps_;
-  events_.schedule_in(tx_time, [this] { on_transmit_done(); });
+  events_.schedule_link_tx(events_.now() + tx_time, this);
 }
 
 void Link::on_transmit_done() {
   busy_ = false;
   if (down_ || queue_.empty()) return;  // lost while down
-  Packet packet = std::move(queue_.front());
-  queue_.pop_front();
+  Packet packet = queue_.pop_front();
   queue_bytes_ -= packet.size_bytes;
   note_tx(packet);
   // Propagation: deliver after the wire delay.
-  events_.schedule_in(delay_s_, [this, packet = std::move(packet)]() mutable {
-    if (deliver_ && !down_) deliver_(std::move(packet));
-  });
+  events_.schedule_deliver(events_.now() + delay_s_, this, std::move(packet));
   maybe_start_transmit();
+}
+
+void Link::complete_delivery(Packet* packet) {
+  if (deliver_ && !down_) deliver_(std::move(*packet));
+  events_.packet_pool().release(packet);
 }
 
 void Link::note_tx(const Packet& packet) {
@@ -83,12 +85,14 @@ void Link::note_tx(const Packet& packet) {
 }
 
 double Link::utilization() const {
-  const Time now = events_.now();
-  const double decay = std::max(0.0, 1.0 - (now - util_updated_) / util_tau_s_);
-  util_bytes_ *= decay;
-  util_updated_ = now;
+  // Pure read: the decay since the last transmission is computed on the fly
+  // and never written back. The linear decay factor does not compose across
+  // split intervals ((1-a)(1-b) != 1-(a+b)), so a read that wrote back would
+  // make the estimate depend on how often it is observed — probes sampling a
+  // link twice in one round would see different values.
+  const double decay = std::max(0.0, 1.0 - (events_.now() - util_updated_) / util_tau_s_);
   const double window_bytes = capacity_bps_ / 8.0 * util_tau_s_;
-  return window_bytes > 0 ? util_bytes_ / window_bytes : 0.0;
+  return window_bytes > 0 ? util_bytes_ * decay / window_bytes : 0.0;
 }
 
 }  // namespace contra::sim

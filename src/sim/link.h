@@ -5,11 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "util/ring_queue.h"
 
 namespace contra::sim {
 
@@ -58,8 +58,16 @@ class Link {
   const LinkStats& stats() const { return stats_; }
 
  private:
+  // The event queue dispatches the two typed per-hop events (transmit-done,
+  // propagation-delivery) straight into these without going through a
+  // closure; see EventQueue::schedule_link_tx / schedule_deliver.
+  friend class EventQueue;
+
   void maybe_start_transmit();
   void on_transmit_done();
+  /// Propagation finished: hand the pooled packet to deliver_ and return the
+  /// slot to the event queue's freelist.
+  void complete_delivery(Packet* packet);
   void note_tx(const Packet& packet);
 
   EventQueue& events_;
@@ -68,15 +76,16 @@ class Link {
   uint64_t queue_capacity_bytes_;
   double util_tau_s_;
 
-  std::deque<Packet> queue_;
+  util::RingQueue<Packet> queue_;
   uint64_t queue_bytes_ = 0;
   uint64_t ecn_threshold_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;
 
-  // Utilization EWMA state.
-  mutable double util_bytes_ = 0.0;
-  mutable Time util_updated_ = 0.0;
+  // Utilization EWMA state; written only by note_tx, so utilization() reads
+  // are idempotent at any timestamp.
+  double util_bytes_ = 0.0;
+  Time util_updated_ = 0.0;
 
   DeliverFn deliver_;
   QueueSampleFn queue_sampler_;

@@ -1,4 +1,41 @@
 #include "sim/packet.h"
 
-// Packet is a plain value type; this TU anchors the module in the build.
-namespace contra::sim {}
+#include <cassert>
+
+namespace contra::sim {
+namespace {
+
+#ifndef NDEBUG
+// Canary stamped into freed slots: acquire() checks it survived the slot's
+// time on the freelist, release() checks it is absent (double-release).
+constexpr uint64_t kPoisonId = 0xdeadbeefdeadbeefull;
+#endif
+
+}  // namespace
+
+Packet* PacketPool::acquire() {
+  if (free_.empty()) {
+    storage_.push_back(std::make_unique<Packet>());
+    return storage_.back().get();
+  }
+  Packet* packet = free_.back();
+  free_.pop_back();
+#ifndef NDEBUG
+  assert(packet->id == kPoisonId && "packet pool slot written while free");
+  packet->id = 0;
+#endif
+  return packet;
+}
+
+void PacketPool::release(Packet* packet) {
+#ifndef NDEBUG
+  assert(packet->id != kPoisonId && "packet released to the pool twice");
+  packet->id = kPoisonId;
+  packet->flow_id = kPoisonId;
+  packet->seq = kPoisonId;
+  packet->size_bytes = 0xdeadbeefu;
+#endif
+  free_.push_back(packet);
+}
+
+}  // namespace contra::sim

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "pg/policy_eval.h"
@@ -52,6 +54,14 @@ struct ProbeFields {
   pg::MetricsVector mv;
 };
 
+// Probe payloads must stay heap-free: probe fan-out copies packets once per
+// PG out-edge, and the metrics vector rides along as a fixed-width register
+// block exactly as it would on a switch ASIC.
+static_assert(std::is_trivially_copyable_v<ProbeFields>,
+              "probe fields must copy without touching the heap");
+static_assert(std::is_trivially_copyable_v<CongaFields>,
+              "conga fields must copy without touching the heap");
+
 struct Packet {
   PacketKind kind = PacketKind::kData;
   uint64_t id = 0;  ///< unique per packet, for tracing
@@ -87,6 +97,29 @@ struct Packet {
     h = util::hash_combine(h, id);
     return static_cast<uint32_t>(h);
   }
+};
+
+/// Freelist recycler for in-flight packet storage. The event core parks a
+/// packet here for the propagation leg of every hop (see
+/// EventQueue::schedule_deliver); recycling the slots keeps the steady-state
+/// hop path allocation-free. Slots are poisoned while free in debug builds
+/// so reuse-after-release is caught instead of silently corrupting a
+/// simulation.
+class PacketPool {
+ public:
+  /// Returns a recycled (or newly created) packet slot. The caller owns the
+  /// slot until it releases it; contents are whatever the caller assigns.
+  Packet* acquire();
+  /// Returns a slot to the freelist. Double-release asserts in debug builds.
+  void release(Packet* packet);
+
+  /// Slots ever created (freelist high-water mark); stable once warm.
+  size_t allocated() const { return storage_.size(); }
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Packet>> storage_;
+  std::vector<Packet*> free_;
 };
 
 }  // namespace contra::sim

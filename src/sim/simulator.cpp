@@ -19,8 +19,6 @@ void Simulator::wire_topology_links() {
     auto link = std::make_unique<Link>(events_, l.capacity_bps, l.delay_s,
                                        config_.queue_capacity_bytes, config_.util_tau_s);
     const topology::NodeId to = l.to;
-    Link* raw = link.get();
-    (void)raw;
     link->set_deliver([this, to, id](Packet&& packet) {
       if (devices_[to]) devices_[to]->handle_packet(*this, std::move(packet), id);
     });

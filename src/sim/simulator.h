@@ -23,6 +23,10 @@ struct SimConfig {
   uint64_t queue_capacity_bytes = 1000ull * 1500;
   /// Utilization EWMA window; commonly a couple of probe periods.
   double util_tau_s = 512e-6;
+  /// Record the switch-level path each packet takes in Packet::trace.
+  /// Compliance checks need it; everything else runs faster without the
+  /// per-hop vector growth, so it is opt-in.
+  bool capture_traces = false;
 };
 
 class Simulator {
@@ -33,6 +37,9 @@ class Simulator {
   const SimConfig& config() const { return config_; }
   EventQueue& events() { return events_; }
   Time now() const { return events_.now(); }
+  /// Whether dataplanes should append to Packet::trace (see
+  /// SimConfig::capture_traces).
+  bool trace_enabled() const { return config_.capture_traces; }
 
   // ----- setup ------------------------------------------------------------
 

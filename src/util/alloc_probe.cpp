@@ -1,0 +1,10 @@
+#include "util/alloc_probe.h"
+
+namespace contra::util {
+
+std::atomic<uint64_t>& alloc_counter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+}  // namespace contra::util

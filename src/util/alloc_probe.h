@@ -1,0 +1,47 @@
+// Allocation-counting test hook. The perf contract of the event core is
+// "zero heap allocations per steady-state packet hop"; this probe lets tests
+// and benchmarks assert it instead of trusting a comment.
+//
+// The counter lives in the library (always available, always cheap); the
+// global operator new/delete replacements that feed it are only compiled
+// into binaries that opt in, because replaceable allocation functions must
+// be defined in exactly one TU per binary. Opt in from one .cpp file with:
+//
+//   CONTRA_DEFINE_COUNTING_ALLOC_HOOKS()
+//
+// after which util::alloc_count() reflects every allocation in the process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace contra::util {
+
+/// Process-wide allocation counter, bumped by the opt-in operator new
+/// replacement. Stays at zero in binaries that do not install the hooks.
+std::atomic<uint64_t>& alloc_counter();
+
+/// Current count (0 unless the defining binary installed the hooks).
+inline uint64_t alloc_count() { return alloc_counter().load(std::memory_order_relaxed); }
+
+}  // namespace contra::util
+
+// NOLINTBEGIN — replaceable allocation functions, intentionally global.
+// GCC pairs the malloc in the replaced operator new with the free in the
+// replaced operator delete and warns about the mismatch it itself created;
+// the pairing is exactly the point here.
+#define CONTRA_DEFINE_COUNTING_ALLOC_HOOKS()                                             \
+  _Pragma("GCC diagnostic push")                                                         \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")                          \
+  void* operator new(std::size_t size) {                                                 \
+    ::contra::util::alloc_counter().fetch_add(1, std::memory_order_relaxed);             \
+    if (void* p = std::malloc(size ? size : 1)) return p;                                \
+    throw std::bad_alloc{};                                                              \
+  }                                                                                      \
+  void* operator new[](std::size_t size) { return ::operator new(size); }                \
+  void operator delete(void* p) noexcept { std::free(p); }                               \
+  void operator delete[](void* p) noexcept { std::free(p); }                             \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }                  \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }                \
+  _Pragma("GCC diagnostic pop")
+// NOLINTEND

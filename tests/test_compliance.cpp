@@ -45,6 +45,7 @@ TEST_P(ComplianceSweep, DeliveredPacketsMatchPolicyPaths) {
 
   sim::SimConfig config;
   config.host_link_bps = 1e9;
+  config.capture_traces = true;  // the audit below reads Packet::trace
   sim::Simulator sim(topo, config);
   dataplane::ContraSwitchOptions options;
   options.probe_period_s = 128e-6;

@@ -1,12 +1,26 @@
 // Simulator core tests: event ordering, link serialization/propagation,
-// drop-tail queues, utilization EWMA, failure injection, host wiring.
+// drop-tail queues, utilization EWMA, failure injection, host wiring, and
+// the golden-replay determinism gate for the zero-allocation event core.
 #include <gtest/gtest.h>
 
+#include <bit>
+
+#include "compiler/compiler.h"
+#include "dataplane/contra_switch.h"
 #include "sim/event_queue.h"
+#include "sim/host.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
 #include "sim/tracing.h"
+#include "sim/transport.h"
+#include "topology/abilene.h"
 #include "topology/generators.h"
+#include "util/alloc_probe.h"
+#include "workload/generator.h"
+
+// One TU of the test binary installs the counting allocator so the
+// zero-allocation contract of the event core is checked, not assumed.
+CONTRA_DEFINE_COUNTING_ALLOC_HOOKS()
 
 namespace contra::sim {
 namespace {
@@ -61,6 +75,95 @@ TEST(EventQueue, PastTimesClampToNow) {
   q.run_until(2.0);
   EXPECT_EQ(fired, 1);
 }
+
+TEST(EventQueue, ClampedEventsAreCounted) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run_until(2.0);
+  EXPECT_EQ(q.events_clamped(), 0u);
+  q.schedule_at(1.0, [] {});  // past -> clamped
+  q.schedule_at(2.0, [] {});  // exactly now -> not a clamp
+  q.schedule_at(3.0, [] {});
+  EXPECT_EQ(q.events_clamped(), 1u);
+  q.run_until(3.0);
+  EXPECT_EQ(q.events_clamped(), 1u);
+}
+
+TEST(EventHandler, SmallCapturesStayInline) {
+  int fired = 0;
+  struct Small {
+    int* counter;
+    double pad[4];
+  };  // 40 bytes: fits the 48-byte buffer
+  static_assert(sizeof(Small) <= EventHandler::kInlineCapacity);
+  EventHandler h([s = Small{&fired, {}}] { ++*s.counter; });
+  EXPECT_TRUE(h.is_inline());
+  h();
+  EXPECT_EQ(fired, 1);
+
+  // Moving relocates the inline capture; the source empties.
+  EventHandler moved = std::move(h);
+  EXPECT_TRUE(moved.is_inline());
+  EXPECT_FALSE(static_cast<bool>(h));
+  moved();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventHandler, LargeCapturesFallBackToHeap) {
+  int fired = 0;
+  struct Big {
+    int* counter;
+    double pad[8];
+  };  // 72 bytes: exceeds the inline buffer
+  static_assert(sizeof(Big) > EventHandler::kInlineCapacity);
+  const uint64_t allocs_before = util::alloc_count();
+  EventHandler h([b = Big{&fired, {}}] { ++*b.counter; });
+  EXPECT_FALSE(h.is_inline());
+  EXPECT_GT(util::alloc_count(), allocs_before);
+  EventHandler moved = std::move(h);  // heap pointer steal, no copy
+  moved();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventHandler, SchedulingSmallLambdasDoesNotAllocatePerEvent) {
+  EventQueue q;
+  uint64_t fired = 0;
+  // Warm up the queue's heap storage, then verify rescheduling a small
+  // closure is allocation-free.
+  q.schedule_in(1e-6, [&] { ++fired; });
+  q.run_until(1.0);
+  const uint64_t allocs_before = util::alloc_count();
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_in(1e-6, [&] { ++fired; });
+    q.run_until(q.now() + 1e-6);
+  }
+  EXPECT_EQ(util::alloc_count(), allocs_before);
+  EXPECT_EQ(fired, 101u);
+}
+
+TEST(PacketPool, RecyclesReleasedSlots) {
+  PacketPool pool;
+  Packet* a = pool.acquire();
+  a->id = 7;
+  a->size_bytes = 1500;
+  EXPECT_EQ(pool.allocated(), 1u);
+  pool.release(a);
+  EXPECT_EQ(pool.free_count(), 1u);
+  Packet* b = pool.acquire();  // recycled, not newly created
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.allocated(), 1u);
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.release(b);
+}
+
+#ifndef NDEBUG
+TEST(PacketPoolDeathTest, DoubleReleaseIsCaught) {
+  PacketPool pool;
+  Packet* p = pool.acquire();
+  pool.release(p);
+  EXPECT_DEATH(pool.release(p), "released to the pool twice");
+}
+#endif
 
 Packet make_packet(uint32_t bytes, PacketKind kind = PacketKind::kData) {
   Packet p;
@@ -131,6 +234,47 @@ TEST(Link, UtilizationTracksLoad) {
   // After 2 tau idle, the estimate decays to zero.
   q.run_until(4 * tau);
   EXPECT_NEAR(link.utilization(), 0.0, 1e-9);
+}
+
+TEST(Link, UtilizationReadsAreIdempotent) {
+  // Pins the EWMA arithmetic: 1 Gbps link, tau = 100us, one 1500B packet.
+  // The transmission completes at 12us (1500B * 8 / 1e9); the decay window
+  // holds capacity_bps/8 * tau = 12500 bytes, so utilization right after the
+  // transmit is 1500/12500 = 0.12, and 50us later half has decayed away.
+  EventQueue q;
+  const double tau = 100e-6;
+  Link link(q, 1e9, 0.0, 1 << 20, tau);
+  link.set_deliver([](Packet&&) {});
+  link.enqueue(make_packet(1500));
+  q.run_until(12e-6);
+  EXPECT_DOUBLE_EQ(link.utilization(), 0.12);
+  // Reading must not change the estimate: the historical bug decayed the
+  // accumulator on every read, so frequent observers saw smaller values.
+  EXPECT_DOUBLE_EQ(link.utilization(), 0.12);
+  q.run_until(62e-6);
+  EXPECT_DOUBLE_EQ(link.utilization(), 0.06);
+  EXPECT_DOUBLE_EQ(link.utilization(), 0.06);
+}
+
+TEST(Link, SteadyStateHopAllocatesNothing) {
+  // Two links ping-pong one packet forever. After warmup (pool slot created,
+  // ring buffers and the event heap grown), a packet hop must not touch the
+  // allocator: this is the zero-allocation contract of the event core.
+  EventQueue q;
+  Link ab(q, 1e9, 5e-6, 1 << 20, 1e-3);
+  Link ba(q, 1e9, 5e-6, 1 << 20, 1e-3);
+  uint64_t hops = 0;
+  ab.set_deliver([&](Packet&& p) { ++hops; ba.enqueue(std::move(p)); });
+  ba.set_deliver([&](Packet&& p) { ++hops; ab.enqueue(std::move(p)); });
+  ab.enqueue(make_packet(1500));
+  q.run_until(1e-3);  // warmup
+  ASSERT_GT(hops, 10u);
+  const uint64_t hops_before = hops;
+  const uint64_t allocs_before = util::alloc_count();
+  q.run_until(10e-3);
+  EXPECT_GT(hops, hops_before + 100);
+  EXPECT_EQ(util::alloc_count() - allocs_before, 0u);
+  EXPECT_EQ(q.packet_pool().allocated(), 1u);  // one slot, recycled forever
 }
 
 TEST(Link, PerKindByteCounters) {
@@ -237,6 +381,124 @@ TEST(Simulator, AggregateFabricStatsSumsLinks) {
   sim.send_on_link(topo.link_between(0, 1), std::move(p));
   sim.run_until(1e-3);
   EXPECT_EQ(sim.aggregate_fabric_stats().tx_bytes, 500u);
+}
+
+// ---- golden-replay determinism gate ---------------------------------------
+//
+// Same seed + same policy must give bit-identical simulations: identical
+// event counts, identical FCT lists, identical link statistics. The digests
+// below were captured from the std::function-based event core immediately
+// before the SBO/pool rewrite; the rewrite (and any future core change that
+// claims to be a pure optimization) must reproduce them exactly.
+
+uint64_t fnv_mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ull;
+}
+
+struct GoldenRun {
+  uint64_t digest = 0;
+  uint64_t events = 0;
+  size_t completed_flows = 0;
+};
+
+GoldenRun run_golden_scenario(const topology::Topology& topo,
+                              const compiler::CompileResult& compiled,
+                              const pg::PolicyEvaluator& evaluator, bool abilene,
+                              uint64_t seed) {
+  SimConfig config;
+  config.host_link_bps = abilene ? 2e9 : 10e9;
+  config.util_tau_s = 512e-6;
+  Simulator sim(topo, config);
+
+  std::vector<HostId> senders, receivers;
+  if (abilene) {
+    senders = attach_hosts(sim, {topo.find("Seattle"), topo.find("Sunnyvale")});
+    receivers = attach_hosts(sim, {topo.find("NewYork"), topo.find("Atlanta")});
+  } else {
+    for (HostId h : attach_hosts_to_fat_tree_edges(sim, 2)) {
+      (h % 2 ? receivers : senders).push_back(h);
+    }
+  }
+
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 256e-6;
+  dataplane::install_contra_network(sim, compiled, evaluator, options);
+
+  TransportManager transport(sim);
+  workload::WorkloadConfig wl;
+  wl.load = 0.4;
+  wl.sender_capacity_bps = 2e9;
+  wl.start = 2e-3;
+  wl.duration = 4e-3;
+  wl.seed = seed;
+  wl.size_scale = 0.05;
+  const auto flows = workload::generate_poisson(workload::web_search_flow_sizes(), senders,
+                                                receivers, wl);
+  workload::submit(transport, flows);
+
+  sim.start();
+  sim.run_until(wl.start + wl.duration + 0.05);
+
+  GoldenRun out;
+  out.events = sim.events().events_processed();
+  out.completed_flows = transport.completed_flows().size();
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  h = fnv_mix(h, out.events);
+  for (const auto& f : transport.completed_flows()) {
+    h = fnv_mix(h, f.flow_id);
+    h = fnv_mix(h, std::bit_cast<uint64_t>(f.start));
+    h = fnv_mix(h, std::bit_cast<uint64_t>(f.end));
+  }
+  for (topology::LinkId id = 0; id < topo.num_links(); ++id) {
+    const LinkStats& s = sim.link(id).stats();
+    h = fnv_mix(h, s.tx_packets);
+    h = fnv_mix(h, s.tx_bytes);
+    h = fnv_mix(h, s.tx_probe_bytes);
+    h = fnv_mix(h, s.drops);
+    h = fnv_mix(h, s.data_drops);
+  }
+  out.digest = h;
+  return out;
+}
+
+TEST(Determinism, GoldenReplayFatTreeAndAbilene) {
+  struct Golden {
+    bool abilene;
+    uint64_t seed;
+    uint64_t digest;
+  };
+  static constexpr Golden kGoldens[] = {
+      {false, 1, 0xe090f9d9124f3967ull}, {false, 2, 0x0d9468bb87c52a02ull},
+      {false, 3, 0xda0bd1b95cea9b0dull}, {true, 1, 0xcbb74e7f3851bbe8ull},
+      {true, 2, 0x4be7a8dfc341f9e7ull},  {true, 3, 0x9ff4ed9257b05c57ull},
+  };
+
+  const topology::Topology fat_tree =
+      topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const topology::Topology abilene = topology::abilene(2e9, 0.02);
+  const compiler::CompileResult fat_compiled =
+      compiler::compile("minimize((path.len, path.util))", fat_tree);
+  const compiler::CompileResult abi_compiled = compiler::compile("minimize(path.util)", abilene);
+  const pg::PolicyEvaluator fat_eval(fat_compiled.graph, fat_compiled.decomposition);
+  const pg::PolicyEvaluator abi_eval(abi_compiled.graph, abi_compiled.decomposition);
+
+  for (const Golden& g : kGoldens) {
+    const topology::Topology& topo = g.abilene ? abilene : fat_tree;
+    const compiler::CompileResult& compiled = g.abilene ? abi_compiled : fat_compiled;
+    const pg::PolicyEvaluator& evaluator = g.abilene ? abi_eval : fat_eval;
+    const GoldenRun first = run_golden_scenario(topo, compiled, evaluator, g.abilene, g.seed);
+    const GoldenRun replay = run_golden_scenario(topo, compiled, evaluator, g.abilene, g.seed);
+    // Replay determinism: two fresh simulators, same inputs, same bits.
+    EXPECT_EQ(first.digest, replay.digest)
+        << (g.abilene ? "abilene" : "fat-tree") << " seed " << g.seed;
+    EXPECT_EQ(first.events, replay.events);
+    EXPECT_GT(first.completed_flows, 0u);
+    // Cross-rewrite golden: pinned against the pre-rewrite core.
+    EXPECT_EQ(first.digest, g.digest)
+        << (g.abilene ? "abilene" : "fat-tree") << " seed " << g.seed << std::hex
+        << " actual digest 0x" << first.digest;
+  }
 }
 
 TEST(Tracing, ThroughputTimelineBins) {

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two bench_core_speed JSON reports and fail on regression.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
+  compare_bench.py --self CURRENT.json [--threshold 0.10]
+
+Each scenario's events_per_sec in CURRENT must be no more than `threshold`
+below BASELINE (default 10%). With --self, CURRENT's embedded "baseline"
+section (written by bench_core_speed --baseline-json) is the reference.
+Exit code 0 = ok, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"compare_bench: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"compare_bench: {path} is not valid JSON: {e}")
+
+
+def load_scenarios(report, where):
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        sys.exit(f"compare_bench: no scenarios in {where}")
+    return scenarios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BASELINE CURRENT, or CURRENT with --self")
+    parser.add_argument("--self", dest="use_self", action="store_true",
+                        help="compare CURRENT against its embedded baseline section")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional events/sec drop (default 0.10)")
+    args = parser.parse_args()
+
+    if args.use_self:
+        if len(args.files) != 1:
+            sys.exit("compare_bench: --self takes exactly one file")
+        current_report = load_report(args.files[0])
+        baseline_report = current_report.get("baseline")
+        if not isinstance(baseline_report, dict):
+            sys.exit(f"compare_bench: {args.files[0]} has no embedded baseline")
+        baseline_name = f"{args.files[0]}#baseline"
+        current_name = args.files[0]
+    else:
+        if len(args.files) != 2:
+            sys.exit("compare_bench: need BASELINE and CURRENT files")
+        baseline_report = load_report(args.files[0])
+        current_report = load_report(args.files[1])
+        baseline_name, current_name = args.files
+
+    baseline = load_scenarios(baseline_report, baseline_name)
+    current = load_scenarios(current_report, current_name)
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"MISSING  {name}: present in baseline, absent in current")
+            failed = True
+            continue
+        base_eps = float(base["events_per_sec"])
+        cur_eps = float(cur["events_per_sec"])
+        ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
+        status = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
+        if status != "OK":
+            failed = True
+        print(f"{status:10s} {name}: {base_eps:,.0f} -> {cur_eps:,.0f} ev/s "
+              f"({(ratio - 1) * 100:+.1f}%)")
+
+    if failed:
+        print(f"compare_bench: regression beyond {args.threshold:.0%} threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
