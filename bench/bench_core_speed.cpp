@@ -10,6 +10,11 @@
 //   probe_flood      — a k=4 fat-tree running the Contra dataplane with an
 //       aggressive probe period and no workload; the probe fan-out path
 //       that multiplies event counts in every figure benchmark.
+//   probe_flood_telemetry_off — the same flood, but the scenario also
+//       *verifies* the telemetry contract: counters are compiled in and
+//       advancing, no trace sink is attached, and the measured window does
+//       exactly zero heap allocations. A regression here fails the bench
+//       binary itself (exit 1), not just the compare_bench gate.
 //
 // Emits machine-readable JSON (default BENCH_core.json) so future PRs can
 // regress against this one with tools/compare_bench.py. Pass
@@ -22,6 +27,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -32,6 +38,7 @@
 
 #include "compiler/compiler.h"
 #include "dataplane/contra_switch.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "topology/generators.h"
 #include "util/alloc_probe.h"
@@ -148,7 +155,8 @@ ScenarioResult run_link_saturation(double sim_seconds) {
 
 // ---- probe_flood -----------------------------------------------------------
 
-ScenarioResult run_probe_flood(double sim_seconds) {
+ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
+                                    bool verify_telemetry_contract) {
   const topology::Topology topo =
       topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
   const compiler::CompileResult compiled =
@@ -165,16 +173,50 @@ ScenarioResult run_probe_flood(double sim_seconds) {
   // Warm up: tables converge, pools and probe fan-out paths fill.
   sim.run_until(sim_seconds * 0.1);
   const uint64_t events_before = sim.events().events_processed();
+  const uint64_t probes_before =
+      sim.telemetry().metrics().value(sim.telemetry().core().probes_received);
   const uint64_t allocs_before = util::alloc_count();
   const auto start = Clock::now();
   sim.run_until(sim_seconds * 1.1);
+  // Snapshot the counter before touching anything that may itself allocate
+  // (assigning a >SSO-length scenario name to result.name does).
+  const uint64_t allocs = util::alloc_count() - allocs_before;
   ScenarioResult result;
-  result.name = "probe_flood";
+  result.name = name;
   result.wall_s = seconds_since(start);
   result.events = sim.events().events_processed() - events_before;
-  result.allocs_per_event =
-      result.events ? double(util::alloc_count() - allocs_before) / result.events : 0.0;
+  result.allocs_per_event = result.events ? double(allocs) / result.events : 0.0;
+
+  if (verify_telemetry_contract) {
+    // The always-on counters must actually be counting…
+    const uint64_t probes =
+        sim.telemetry().metrics().value(sim.telemetry().core().probes_received) -
+        probes_before;
+    if (probes == 0) {
+      std::fprintf(stderr, "%s: telemetry counters did not advance\n", name);
+      std::exit(1);
+    }
+    // …with no sink attached…
+    if (sim.telemetry().tracing()) {
+      std::fprintf(stderr, "%s: unexpected trace sink attached\n", name);
+      std::exit(1);
+    }
+    // …and at exactly zero heap allocations in the measured window.
+    if (allocs != 0) {
+      std::fprintf(stderr, "%s: %llu allocations in measured window (want 0)\n",
+                   name, static_cast<unsigned long long>(allocs));
+      std::exit(1);
+    }
+  }
   return result;
+}
+
+ScenarioResult run_probe_flood(double sim_seconds) {
+  return run_probe_flood_impl("probe_flood", sim_seconds, false);
+}
+
+ScenarioResult run_probe_flood_telemetry_off(double sim_seconds) {
+  return run_probe_flood_impl("probe_flood_telemetry_off", sim_seconds, true);
 }
 
 // ---- driver ----------------------------------------------------------------
@@ -239,6 +281,7 @@ int main(int argc, char** argv) {
     round.push_back(run_event_throughput(timer_events));
     round.push_back(run_link_saturation(sim_seconds));
     round.push_back(run_probe_flood(sim_seconds));
+    round.push_back(run_probe_flood_telemetry_off(sim_seconds));
     if (best.empty()) {
       best = round;
     } else {

@@ -18,6 +18,8 @@ CongaSwitch::CongaSwitch(NodeId self, CongaOptions options)
     : self_(self), options_(options), flowlets_(options.flowlet_timeout_s) {}
 
 void CongaSwitch::start(Simulator& sim) {
+  telemetry_ = &sim.telemetry();
+  flowlets_.bind_telemetry(telemetry_, self_);
   layer_ = topology::fat_tree_layer(sim.topo(), self_);
   if (layer_ != FatTreeLayer::kEdge && layer_ != FatTreeLayer::kAgg) {
     throw std::invalid_argument("CONGA requires a leaf-spine fabric (node " +
@@ -62,6 +64,10 @@ uint8_t CongaSwitch::pick_uplink(Simulator& sim, NodeId dst_leaf, uint32_t fid,
 
 void CongaSwitch::handle_packet(Simulator& sim, Packet&& packet, LinkId in_link) {
   (void)in_link;
+  if (telemetry_ == nullptr) {
+    telemetry_ = &sim.telemetry();
+    flowlets_.bind_telemetry(telemetry_, self_);
+  }
   if (packet.kind == PacketKind::kProbe) return;  // CONGA has no probes
   if (layer_ == FatTreeLayer::kEdge) {
     forward_from_leaf(sim, std::move(packet));
@@ -87,6 +93,7 @@ void CongaSwitch::forward_from_leaf(Simulator& sim, Packet&& packet) {
         if (to_cells.size() <= conga.fb_uplink) to_cells.resize(conga.fb_uplink + 1);
         to_cells[conga.fb_uplink] = MetricCell{conga.fb_metric, now};
         ++stats_.feedback_received;
+        telemetry_->metrics().add(telemetry_->core().conga_feedback_received);
       }
     }
   }
@@ -107,7 +114,7 @@ void CongaSwitch::forward_from_leaf(Simulator& sim, Packet&& packet) {
     flowlets_.touch(fkey, now);
   } else {
     uplink = pick_uplink(sim, packet.dst_switch, fid, now);
-    flowlets_.pin(fkey, FlowletEntry{uplinks_[uplink], uplink, 0, now});
+    flowlets_.pin(fkey, FlowletEntry{uplinks_[uplink], uplink, 0, now}, now);
   }
   if (uplink >= uplinks_.size()) uplink = 0;
   const LinkId out = uplinks_[uplink];
@@ -127,16 +134,19 @@ void CongaSwitch::forward_from_leaf(Simulator& sim, Packet&& packet) {
       conga.fb_uplink = rr;
       conga.fb_metric = cell.value;
       ++stats_.feedback_sent;
+      telemetry_->metrics().add(telemetry_->core().conga_feedback_sent);
     }
   }
   packet.conga = conga;
 
   if (packet.routing.ttl == 0) {
     ++stats_.data_dropped_ttl;
+    telemetry_->metrics().add(telemetry_->core().data_dropped_ttl);
     return;
   }
   --packet.routing.ttl;
   ++stats_.data_forwarded;
+  telemetry_->metrics().add(telemetry_->core().data_forwarded);
   sim.send_on_link(out, std::move(packet));
 }
 
@@ -144,6 +154,7 @@ void CongaSwitch::forward_from_spine(Simulator& sim, Packet&& packet) {
   const LinkId down = sim.topo().link_between(self_, packet.dst_switch);
   if (down == topology::kInvalidLink) {
     ++stats_.data_dropped_no_route;
+    telemetry_->metrics().add(telemetry_->core().data_dropped_no_route);
     return;
   }
   if (packet.conga) {
@@ -152,10 +163,12 @@ void CongaSwitch::forward_from_spine(Simulator& sim, Packet&& packet) {
   }
   if (packet.routing.ttl == 0) {
     ++stats_.data_dropped_ttl;
+    telemetry_->metrics().add(telemetry_->core().data_dropped_ttl);
     return;
   }
   --packet.routing.ttl;
   ++stats_.data_forwarded;
+  telemetry_->metrics().add(telemetry_->core().data_forwarded);
   sim.send_on_link(down, std::move(packet));
 }
 

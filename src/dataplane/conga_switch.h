@@ -75,6 +75,7 @@ class CongaSwitch : public sim::Device {
 
   FlowletTable flowlets_;
   CongaStats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 /// Installs CONGA on a leaf-spine fabric (any 2-tier topology whose names

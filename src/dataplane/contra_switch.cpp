@@ -28,12 +28,53 @@ ContraSwitch::ContraSwitch(const compiler::CompileResult& compiled,
       probe_clock_(options.probe_period_s),
       failure_detector_(options.failure_detect_periods * options.probe_period_s) {}
 
+void ContraSwitch::bind_telemetry(Simulator& sim) {
+  telemetry_ = &sim.telemetry();
+  flowlets_.bind_telemetry(telemetry_, self_);
+  loop_detector_.bind_telemetry(telemetry_, self_);
+  failure_detector_.bind_telemetry(telemetry_, self_);
+}
+
 void ContraSwitch::start(Simulator& sim) {
+  bind_telemetry(sim);
   if (compiled_->switches[self_].is_destination) {
     // Jitter-free periodic origination; all destinations share the phase,
     // which keeps rounds comparable (the paper's probes are periodic too).
     originate_probes(sim);
   }
+}
+
+void ContraSwitch::trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double t) {
+  obs::TraceRecord r;
+  r.t = t;
+  r.ev = ev;
+  r.sw = self_;
+  r.dst = probe.origin;
+  r.tag = probe.tag;
+  r.pid = probe.pid;
+  r.version = probe.version;
+  r.value = probe.mv.len;
+  telemetry_->emit(r);
+}
+
+void ContraSwitch::note_route_flip(NodeId dst, sim::Time now) {
+  const auto choice = best_choice(dst, now);
+  if (!choice) return;
+  auto [it, inserted] = last_best_.try_emplace(dst, choice->nhop);
+  if (inserted || it->second == choice->nhop) return;
+  const LinkId old_nhop = it->second;
+  it->second = choice->nhop;
+  telemetry_->metrics().add(telemetry_->core().route_flips);
+  obs::TraceRecord r;
+  r.t = now;
+  r.ev = obs::Ev::kRouteFlip;
+  r.sw = self_;
+  r.dst = dst;
+  r.tag = choice->tag;
+  r.pid = choice->pid;
+  r.link = choice->nhop;
+  r.aux = old_nhop;
+  telemetry_->emit(r);
 }
 
 uint32_t ContraSwitch::probe_wire_bytes() const {
@@ -56,6 +97,8 @@ void ContraSwitch::originate_probes(Simulator& sim) {
         probe.probe = sim::ProbeFields{self_, pid, origin_tag, options_.traffic_class_id,
                                        version, pg::MetricsVector{}};
         ++stats_.probes_originated;
+        telemetry_->metrics().add(telemetry_->core().probes_originated);
+        if (telemetry_->tracing()) trace_probe(obs::Ev::kProbeOrig, *probe.probe, sim.now());
         sim.send_on_link(edge.link, std::move(probe));
       }
     }
@@ -64,6 +107,8 @@ void ContraSwitch::originate_probes(Simulator& sim) {
 }
 
 void ContraSwitch::handle_packet(Simulator& sim, Packet&& packet, LinkId in_link) {
+  // Tests drive handle_packet without start(); bind on first packet.
+  if (telemetry_ == nullptr) bind_telemetry(sim);
   if (packet.kind == PacketKind::kProbe) {
     process_probe(sim, std::move(packet), in_link);
   } else {
@@ -75,6 +120,9 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
   ++stats_.probes_received;
   failure_detector_.note_probe(in_link, sim.now());
   sim::ProbeFields& probe = *packet.probe;
+  obs::Telemetry& tel = *telemetry_;
+  tel.metrics().add(tel.core().probes_received);
+  if (tel.tracing()) trace_probe(obs::Ev::kProbeRx, probe, sim.now());
 
   // UPDATEMVEC: probes travel opposite to traffic, so the traffic-direction
   // link is the reverse of the arrival link. Latency counts propagation plus
@@ -97,6 +145,8 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
   const uint32_t local_tag = compiled_->graph.next_tag(incoming_tag, self_);
   if (local_tag == pg::kInvalidTag) {
     ++stats_.probes_dropped_no_pg;
+    tel.metrics().add(tel.core().probes_rejected_no_pg);
+    if (tel.tracing()) trace_probe(obs::Ev::kProbeRejectNoPg, probe, sim.now());
     return;
   }
 
@@ -107,6 +157,8 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     FwdEntry& entry = it->second;
     if (options_.versioned_probes && probe.version < entry.version) {
       ++stats_.probes_dropped_version;  // outdated probe (§5.1)
+      tel.metrics().add(tel.core().probes_rejected_stale);
+      if (tel.tracing()) trace_probe(obs::Ev::kProbeRejectStale, probe, sim.now());
       return;
     }
     const bool fresher = options_.versioned_probes && probe.version > entry.version;
@@ -119,6 +171,8 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     const bool same_successor = entry.nhop == traffic_link;
     if (!fresher && !better && !(!options_.versioned_probes && same_successor)) {
       ++stats_.probes_dropped_worse;
+      tel.metrics().add(tel.core().probes_rejected_rank);
+      if (tel.tracing()) trace_probe(obs::Ev::kProbeRejectRank, probe, sim.now());
       return;
     }
     // A same-successor refresh with an unchanged rank keeps the entry alive
@@ -136,6 +190,15 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     best_index_[probe.origin].emplace_back(local_tag, probe.pid);
   }
   ++stats_.fwdt_updates;
+  tel.metrics().add(tel.core().probes_accepted);
+  tel.metrics().add(tel.core().fwdt_updates);
+  tel.metrics().observe(tel.core().probe_path_len, probe.mv.len);
+  if (tel.tracing()) {
+    sim::ProbeFields accepted = probe;
+    accepted.tag = local_tag;  // record against the adopted local virtual node
+    trace_probe(obs::Ev::kProbeAccept, accepted, sim.now());
+    note_route_flip(probe.origin, sim.now());
+  }
   if (!propagate) return;
 
   // MULTICASTPROBE along PG out-edges of the local virtual node. The pure
@@ -208,6 +271,7 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
       const auto choice = best_choice(packet.dst_switch, now);
       if (!choice) {
         ++stats_.data_dropped_no_route;
+        telemetry_->metrics().add(telemetry_->core().data_dropped_no_route);
         return;
       }
       packet.routing.tag = choice->tag;
@@ -245,9 +309,9 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
   // Lazy loop breaking (§5.5): a TTL spread beyond threshold flushes the
   // flowlet entry so the next lookup re-rates against current FwdT state.
   if (options_.loop_detection && in_link != sim::kFromHost &&
-      loop_detector_.observe(packet.loop_signature(), packet.routing.ttl)) {
+      loop_detector_.observe(packet.loop_signature(), packet.routing.ttl, now)) {
     ++stats_.loops_broken;
-    flowlets_.flush(fkey);
+    flowlets_.flush(fkey, now);
   }
 
   LinkId nhop = topology::kInvalidLink;
@@ -257,7 +321,7 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
   if (pinned != nullptr) {
     const LinkId probe_dir = sim.topo().link(pinned->nhop).reverse;
     if (failure_detector_.presumed_failed(probe_dir, now)) {
-      flowlets_.flush(fkey);  // §5.4: expire flowlets over failed links
+      flowlets_.flush(fkey, now);  // §5.4: expire flowlets over failed links
       pinned = nullptr;
     }
   }
@@ -273,7 +337,8 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
       ntag = compiled_->graph.next_tag(packet.routing.tag, sim.topo().link(nhop).to);
       if (ntag == pg::kInvalidTag) {
         ++stats_.data_dropped_no_route;
-        flowlets_.flush(fkey);
+        telemetry_->metrics().add(telemetry_->core().data_dropped_no_route);
+        flowlets_.flush(fkey, now);
         return;
       }
     }
@@ -283,20 +348,23 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
     auto it = fwdt_.find(key);
     if (it == fwdt_.end() || !entry_usable(it->second, now)) {
       ++stats_.data_dropped_no_route;
+      telemetry_->metrics().add(telemetry_->core().data_dropped_no_route);
       return;
     }
     nhop = it->second.nhop;
     ntag = it->second.ntag;
-    flowlets_.pin(fkey, FlowletEntry{nhop, ntag, packet.routing.pid, now});
+    flowlets_.pin(fkey, FlowletEntry{nhop, ntag, packet.routing.pid, now}, now);
   }
 
   if (packet.routing.ttl == 0) {
     ++stats_.data_dropped_ttl;
+    telemetry_->metrics().add(telemetry_->core().data_dropped_ttl);
     return;
   }
   --packet.routing.ttl;
   packet.routing.tag = ntag;
   ++stats_.data_forwarded;
+  telemetry_->metrics().add(telemetry_->core().data_forwarded);
   sim.send_on_link(nhop, std::move(packet));
 }
 

@@ -150,6 +150,16 @@ class ContraSwitch : public sim::Device {
   bool entry_usable(const FwdEntry& entry, sim::Time now) const;
   uint32_t probe_wire_bytes() const;
 
+  /// Wires this switch, its flowlet table, loop detector, and failure
+  /// detector to the simulator's telemetry hub.
+  void bind_telemetry(sim::Simulator& sim);
+  /// Emits a probe-lifecycle trace record (sw/dst/tag/pid/version from the
+  /// probe, value = carried path length). Caller checks tracing().
+  void trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double t);
+  /// Tracing-only: recompute BestT for `dst` and emit kRouteFlip when its
+  /// next hop moved since the last accepted probe for that destination.
+  void note_route_flip(topology::NodeId dst, sim::Time now);
+
   const compiler::CompileResult* compiled_;
   const pg::PolicyEvaluator* evaluator_;
   topology::NodeId self_;
@@ -179,6 +189,13 @@ class ContraSwitch : public sim::Device {
   sim::Time recent_packets_reset_ = 0.0;
 
   ContraSwitchStats stats_;
+
+  /// Bound at start(); counters are a relaxed add when set, trace records one
+  /// predictable branch when no sink is attached.
+  obs::Telemetry* telemetry_ = nullptr;
+  /// Tracing-only: BestT next hop last reported per destination, for
+  /// kRouteFlip detection. Untouched (empty) when no sink is attached.
+  std::unordered_map<topology::NodeId, topology::LinkId> last_best_;
 };
 
 /// Installs a ContraSwitch at every node and returns raw observers.

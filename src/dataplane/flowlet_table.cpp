@@ -2,6 +2,20 @@
 
 namespace contra::dataplane {
 
+void FlowletTable::emit(obs::Ev ev, const FlowletKey& key, topology::LinkId nhop,
+                        double t, double value) const {
+  obs::TraceRecord r;
+  r.t = t;
+  r.ev = ev;
+  r.sw = switch_id_;
+  r.tag = key.tag;
+  r.pid = key.pid;
+  r.aux = key.fid;
+  r.link = nhop;
+  r.value = value;
+  telemetry_->emit(r);
+}
+
 FlowletEntry* FlowletTable::lookup(const FlowletKey& key, sim::Time now) {
   auto it = table_.find(key);
   if (it == table_.end()) {
@@ -9,6 +23,14 @@ FlowletEntry* FlowletTable::lookup(const FlowletKey& key, sim::Time now) {
     return nullptr;
   }
   if (now - it->second.last_seen > timeout_s_) {
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().add(telemetry_->core().flowlets_expired);
+      if (telemetry_->tracing()) {
+        prev_nhop_[key] = it->second.nhop;
+        emit(obs::Ev::kFlowletExpire, key, it->second.nhop, now,
+             now - it->second.last_seen);
+      }
+    }
     table_.erase(it);
     ++stats_.expirations;
     ++stats_.misses;
@@ -18,7 +40,21 @@ FlowletEntry* FlowletTable::lookup(const FlowletKey& key, sim::Time now) {
   return &it->second;
 }
 
-void FlowletTable::pin(const FlowletKey& key, const FlowletEntry& entry) {
+void FlowletTable::pin(const FlowletKey& key, const FlowletEntry& entry, sim::Time now) {
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().add(telemetry_->core().flowlets_created);
+    if (telemetry_->tracing()) {
+      auto prev = prev_nhop_.find(key);
+      if (prev != prev_nhop_.end() && prev->second != entry.nhop) {
+        telemetry_->metrics().add(telemetry_->core().flowlets_switched);
+        emit(obs::Ev::kFlowletSwitch, key, entry.nhop, now,
+             static_cast<double>(prev->second));
+      } else {
+        emit(obs::Ev::kFlowletCreate, key, entry.nhop, now);
+      }
+      if (prev != prev_nhop_.end()) prev_nhop_.erase(prev);
+    }
+  }
   table_[key] = entry;
 }
 
@@ -27,8 +63,18 @@ void FlowletTable::touch(const FlowletKey& key, sim::Time now) {
   if (it != table_.end()) it->second.last_seen = now;
 }
 
-void FlowletTable::flush(const FlowletKey& key) {
-  if (table_.erase(key) > 0) ++stats_.flushes;
+void FlowletTable::flush(const FlowletKey& key, sim::Time now) {
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().add(telemetry_->core().flowlets_flushed);
+    if (telemetry_->tracing()) {
+      prev_nhop_[key] = it->second.nhop;
+      emit(obs::Ev::kFlowletFlush, key, it->second.nhop, now);
+    }
+  }
+  table_.erase(it);
+  ++stats_.flushes;
 }
 
 }  // namespace contra::dataplane

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "topology/topology.h"
 #include "util/hash.h"
@@ -48,27 +49,44 @@ class FlowletTable {
  public:
   explicit FlowletTable(double timeout_s) : timeout_s_(timeout_s) {}
 
+  /// Attributes flowlet create/switch/expire/flush events to `switch_id`.
+  /// Path-switch detection (same key re-pinned onto a different next hop
+  /// after expiry) keeps a tombstone of the previous next hop per key — that
+  /// bookkeeping only runs while a trace sink is attached.
+  void bind_telemetry(obs::Telemetry* telemetry, uint32_t switch_id) {
+    telemetry_ = telemetry;
+    switch_id_ = switch_id;
+  }
+
   /// Live entry for this key, or nullptr (expired entries are erased and
   /// counted). Does NOT refresh the timestamp — call touch() after use.
   FlowletEntry* lookup(const FlowletKey& key, sim::Time now);
 
   /// Pins (or re-pins) a decision.
-  void pin(const FlowletKey& key, const FlowletEntry& entry);
+  void pin(const FlowletKey& key, const FlowletEntry& entry, sim::Time now = 0.0);
 
   /// Refreshes the inter-packet gap timer.
   void touch(const FlowletKey& key, sim::Time now);
 
   /// Removes a pinned decision (loop breaking, failure expiry).
-  void flush(const FlowletKey& key);
+  void flush(const FlowletKey& key, sim::Time now = 0.0);
 
   size_t size() const { return table_.size(); }
   const FlowletStats& stats() const { return stats_; }
   double timeout_s() const { return timeout_s_; }
 
  private:
+  void emit(obs::Ev ev, const FlowletKey& key, topology::LinkId nhop, double t,
+            double value = 0.0) const;
+
   double timeout_s_;
   std::unordered_map<FlowletKey, FlowletEntry, FlowletKeyHash> table_;
   FlowletStats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
+  uint32_t switch_id_ = obs::kNoField;
+  /// Last next hop a (now removed) key was pinned to — distinguishes a
+  /// flowlet *switch* from a flowlet *create*. Populated only while tracing.
+  std::unordered_map<FlowletKey, topology::LinkId, FlowletKeyHash> prev_nhop_;
 };
 
 }  // namespace contra::dataplane

@@ -34,7 +34,14 @@ HulaSwitch::HulaSwitch(NodeId self, HulaOptions options)
       probe_clock_(options.probe_period_s),
       failure_detector_(options.failure_detect_periods * options.probe_period_s) {}
 
+void HulaSwitch::bind_telemetry(Simulator& sim) {
+  telemetry_ = &sim.telemetry();
+  flowlets_.bind_telemetry(telemetry_, self_);
+  failure_detector_.bind_telemetry(telemetry_, self_);
+}
+
 void HulaSwitch::start(Simulator& sim) {
+  bind_telemetry(sim);
   layer_ = topology::fat_tree_layer(sim.topo(), self_);
   if (layer_ == FatTreeLayer::kUnknown) {
     throw std::invalid_argument("HULA requires a fat-tree topology (node " +
@@ -54,12 +61,23 @@ void HulaSwitch::originate_probes(Simulator& sim) {
     probe.probe = sim::ProbeFields{self_, 0, 0, 0, version, pg::MetricsVector{}};
     probe.routing.hula_up = true;
     ++stats_.probes_originated;
+    telemetry_->metrics().add(telemetry_->core().probes_originated);
+    if (telemetry_->tracing()) {
+      obs::TraceRecord r;
+      r.t = sim.now();
+      r.ev = obs::Ev::kProbeOrig;
+      r.sw = self_;
+      r.dst = self_;
+      r.version = version;
+      telemetry_->emit(r);
+    }
     sim.send_on_link(l, std::move(probe));
   }
   sim.events().schedule_in(options_.probe_period_s, [this, &sim] { originate_probes(sim); });
 }
 
 void HulaSwitch::handle_packet(Simulator& sim, Packet&& packet, LinkId in_link) {
+  if (telemetry_ == nullptr) bind_telemetry(sim);
   if (packet.kind == PacketKind::kProbe) {
     process_probe(sim, std::move(packet), in_link);
   } else {
@@ -71,6 +89,8 @@ void HulaSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link) 
   ++stats_.probes_received;
   failure_detector_.note_probe(in_link, sim.now());
   sim::ProbeFields& probe = *packet.probe;
+  obs::Telemetry& tel = *telemetry_;
+  tel.metrics().add(tel.core().probes_received);
 
   // Path utilization toward the origin ToR: max over the traffic-direction
   // (reverse) links, exactly like Contra's mv update.
@@ -81,11 +101,50 @@ void HulaSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link) 
   const bool fresher = probe.version > entry.version;
   const bool better = probe.mv.util < entry.util;
   const bool same_hop = entry.nhop == traffic_link;
-  if (entry.nhop != topology::kInvalidLink && !fresher && !better && !same_hop) return;
+  if (entry.nhop != topology::kInvalidLink && !fresher && !better && !same_hop) {
+    tel.metrics().add(tel.core().probes_rejected_rank);
+    if (tel.tracing()) {
+      obs::TraceRecord r;
+      r.t = sim.now();
+      r.ev = obs::Ev::kProbeRejectRank;
+      r.sw = self_;
+      r.dst = probe.origin;
+      r.version = probe.version;
+      r.value = probe.mv.util;
+      tel.emit(r);
+    }
+    return;
+  }
+  const LinkId old_nhop = entry.nhop;
   entry.nhop = traffic_link;
   entry.util = probe.mv.util;
   entry.version = probe.version;
   entry.updated_at = sim.now();
+  tel.metrics().add(tel.core().probes_accepted);
+  tel.metrics().add(tel.core().fwdt_updates);
+  tel.metrics().observe(tel.core().probe_path_len, probe.mv.len);
+  if (tel.tracing()) {
+    obs::TraceRecord r;
+    r.t = sim.now();
+    r.ev = obs::Ev::kProbeAccept;
+    r.sw = self_;
+    r.dst = probe.origin;
+    r.link = traffic_link;
+    r.version = probe.version;
+    r.value = probe.mv.util;
+    tel.emit(r);
+    if (old_nhop != topology::kInvalidLink && old_nhop != traffic_link) {
+      tel.metrics().add(tel.core().route_flips);
+      obs::TraceRecord flip;
+      flip.t = sim.now();
+      flip.ev = obs::Ev::kRouteFlip;
+      flip.sw = self_;
+      flip.dst = probe.origin;
+      flip.link = traffic_link;
+      flip.aux = old_nhop;
+      tel.emit(flip);
+    }
+  }
 
   // Propagation restricted to up-down paths: probes that started down never
   // turn back up; the layer of the sender tells the direction.
@@ -132,7 +191,7 @@ void HulaSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link) {
   if (pinned != nullptr) {
     const LinkId probe_dir = sim.topo().link(pinned->nhop).reverse;
     if (failure_detector_.presumed_failed(probe_dir, now)) {
-      flowlets_.flush(fkey);
+      flowlets_.flush(fkey, now);
       pinned = nullptr;
     }
   }
@@ -143,17 +202,20 @@ void HulaSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link) {
     auto it = best_.find(packet.dst_switch);
     if (it == best_.end() || !entry_usable(it->second, now)) {
       ++stats_.data_dropped_no_route;
+      telemetry_->metrics().add(telemetry_->core().data_dropped_no_route);
       return;
     }
     nhop = it->second.nhop;
-    flowlets_.pin(fkey, FlowletEntry{nhop, 0, 0, now});
+    flowlets_.pin(fkey, FlowletEntry{nhop, 0, 0, now}, now);
   }
   if (packet.routing.ttl == 0) {
     ++stats_.data_dropped_ttl;
+    telemetry_->metrics().add(telemetry_->core().data_dropped_ttl);
     return;
   }
   --packet.routing.ttl;
   ++stats_.data_forwarded;
+  telemetry_->metrics().add(telemetry_->core().data_forwarded);
   sim.send_on_link(nhop, std::move(packet));
 }
 

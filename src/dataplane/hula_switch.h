@@ -60,6 +60,7 @@ class HulaSwitch : public sim::Device {
   void process_probe(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
   void forward_data(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
   bool entry_usable(const BestHop& entry, sim::Time now) const;
+  void bind_telemetry(sim::Simulator& sim);
 
   topology::NodeId self_;
   HulaOptions options_;
@@ -70,6 +71,7 @@ class HulaSwitch : public sim::Device {
   ProbeClock probe_clock_;
   FailureDetector failure_detector_;
   HulaStats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 /// Installs HULA on a fat-tree (throws std::invalid_argument elsewhere).

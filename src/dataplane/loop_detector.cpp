@@ -27,4 +27,28 @@ bool LoopDetector::observe(uint32_t signature, uint8_t ttl) {
   return false;
 }
 
+bool LoopDetector::observe(uint32_t signature, uint8_t ttl, double now) {
+  const uint8_t spread_before = [&] {
+    const Slot& slot = slots_[signature % slots_.size()];
+    if (!slot.valid || slot.signature != signature) return uint8_t{0};
+    const uint8_t hi = std::max(slot.max_ttl, ttl);
+    const uint8_t lo = std::min(slot.min_ttl, ttl);
+    return static_cast<uint8_t>(hi - lo);
+  }();
+  const bool looped = observe(signature, ttl);
+  if (looped && telemetry_ != nullptr) {
+    telemetry_->metrics().add(telemetry_->core().loop_breaks);
+    if (telemetry_->tracing()) {
+      obs::TraceRecord r;
+      r.t = now;
+      r.ev = obs::Ev::kLoopBreak;
+      r.sw = switch_id_;
+      r.aux = signature;
+      r.value = static_cast<double>(spread_before);
+      telemetry_->emit(r);
+    }
+  }
+  return looped;
+}
+
 }  // namespace contra::dataplane

@@ -12,15 +12,27 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.h"
+
 namespace contra::dataplane {
 
 class LoopDetector {
  public:
   LoopDetector(uint32_t slots, uint8_t ttl_spread_threshold);
 
+  /// Attributes loop_break counters/trace records to `switch_id`.
+  void bind_telemetry(obs::Telemetry* telemetry, uint32_t switch_id) {
+    telemetry_ = telemetry;
+    switch_id_ = switch_id;
+  }
+
   /// Observes a packet; true when a loop is suspected (the entry resets so
   /// one loop is reported once until it re-accumulates).
   bool observe(uint32_t signature, uint8_t ttl);
+
+  /// As above, but also reports a detection through the bound telemetry
+  /// (kLoopBreak stamped at `now`, aux = signature, value = TTL spread).
+  bool observe(uint32_t signature, uint8_t ttl, double now);
 
   uint64_t loops_detected() const { return loops_detected_; }
   uint8_t threshold() const { return threshold_; }
@@ -36,6 +48,8 @@ class LoopDetector {
   std::vector<Slot> slots_;
   uint8_t threshold_;
   uint64_t loops_detected_ = 0;
+  obs::Telemetry* telemetry_ = nullptr;
+  uint32_t switch_id_ = obs::kNoField;
 };
 
 }  // namespace contra::dataplane

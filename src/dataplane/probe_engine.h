@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "topology/topology.h"
 
@@ -33,6 +34,15 @@ class FailureDetector {
   explicit FailureDetector(double silence_threshold_s)
       : threshold_s_(silence_threshold_s) {}
 
+  /// Attributes failure_detect/failure_clear events to `switch_id`. The
+  /// failed<->alive transition bookkeeping this needs runs only while a
+  /// trace sink is attached, so the per-query cost stays a single map read
+  /// otherwise.
+  void bind_telemetry(obs::Telemetry* telemetry, uint32_t switch_id) {
+    telemetry_ = telemetry;
+    switch_id_ = switch_id;
+  }
+
   /// A probe arrived over the given directed link (toward this switch).
   void note_probe(topology::LinkId in_link, sim::Time now) { last_probe_[in_link] = now; }
 
@@ -42,14 +52,38 @@ class FailureDetector {
   bool presumed_failed(topology::LinkId in_link, sim::Time now) const {
     auto it = last_probe_.find(in_link);
     const sim::Time last = it == last_probe_.end() ? 0.0 : it->second;
-    return now - last > threshold_s_;
+    const bool failed = now - last > threshold_s_;
+    if (telemetry_ != nullptr && telemetry_->tracing()) note_state(in_link, failed, now);
+    return failed;
   }
 
   double threshold_s() const { return threshold_s_; }
 
  private:
+  void note_state(topology::LinkId in_link, bool failed, sim::Time now) const {
+    auto [it, inserted] = presumed_.try_emplace(in_link, failed);
+    if (!inserted) {
+      if (it->second == failed) return;
+      it->second = failed;
+    } else if (!failed) {
+      return;  // first query saw a healthy link — nothing to report
+    }
+    telemetry_->metrics().add(failed ? telemetry_->core().failure_detections
+                                     : telemetry_->core().failure_clears);
+    obs::TraceRecord r;
+    r.t = now;
+    r.ev = failed ? obs::Ev::kFailureDetect : obs::Ev::kFailureClear;
+    r.sw = switch_id_;
+    r.link = in_link;
+    telemetry_->emit(r);
+  }
+
   double threshold_s_;
   std::unordered_map<topology::LinkId, sim::Time> last_probe_;
+  obs::Telemetry* telemetry_ = nullptr;
+  uint32_t switch_id_ = obs::kNoField;
+  /// Tracing-only failed/alive transition state per in-link.
+  mutable std::unordered_map<topology::LinkId, bool> presumed_;
 };
 
 }  // namespace contra::dataplane

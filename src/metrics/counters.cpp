@@ -10,6 +10,10 @@ OverheadReport make_overhead_report(const sim::LinkStats& fabric) {
   report.ack_bytes = fabric.tx_ack_bytes;
   report.probe_bytes = fabric.tx_probe_bytes;
   report.total_bytes = fabric.tx_bytes;
+  report.data_packets = fabric.tx_data_packets;
+  report.ack_packets = fabric.tx_ack_packets;
+  report.probe_packets = fabric.tx_probe_packets;
+  report.total_packets = fabric.tx_packets;
   report.drops = fabric.drops;
   return report;
 }
@@ -20,15 +24,22 @@ OverheadReport make_overhead_report(const sim::LinkStats& end, const sim::LinkSt
   report.ack_bytes = end.tx_ack_bytes - start.tx_ack_bytes;
   report.probe_bytes = end.tx_probe_bytes - start.tx_probe_bytes;
   report.total_bytes = end.tx_bytes - start.tx_bytes;
+  report.data_packets = end.tx_data_packets - start.tx_data_packets;
+  report.ack_packets = end.tx_ack_packets - start.tx_ack_packets;
+  report.probe_packets = end.tx_probe_packets - start.tx_probe_packets;
+  report.total_packets = end.tx_packets - start.tx_packets;
   report.drops = end.drops - start.drops;
   return report;
 }
 
 std::string OverheadReport::to_string() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
-                "total=%.3f MB (data=%.3f, ack=%.3f, probe=%.3f) drops=%llu",
+                "total=%.3f MB (data=%.3f, ack=%.3f, probe=%.3f) "
+                "pkts=%llu (probe=%llu) drops=%llu",
                 total_bytes / 1e6, data_bytes / 1e6, ack_bytes / 1e6, probe_bytes / 1e6,
+                static_cast<unsigned long long>(total_packets),
+                static_cast<unsigned long long>(probe_packets),
                 static_cast<unsigned long long>(drops));
   return buf;
 }

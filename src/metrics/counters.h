@@ -13,10 +13,19 @@ struct OverheadReport {
   uint64_t ack_bytes = 0;
   uint64_t probe_bytes = 0;
   uint64_t total_bytes = 0;
+  uint64_t data_packets = 0;
+  uint64_t ack_packets = 0;
+  uint64_t probe_packets = 0;
+  uint64_t total_packets = 0;
   uint64_t drops = 0;
 
   double probe_fraction() const {
     return total_bytes ? static_cast<double>(probe_bytes) / total_bytes : 0.0;
+  }
+  /// Probe share of fabric *packets* — probes are small, so the packet-count
+  /// overhead can dwarf the byte overhead (pps is what switch pipelines pay).
+  double probe_packet_fraction() const {
+    return total_packets ? static_cast<double>(probe_packets) / total_packets : 0.0;
   }
   /// Total traffic relative to a baseline run of the same workload.
   double normalized_to(const OverheadReport& baseline) const {

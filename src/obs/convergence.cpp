@@ -1,0 +1,79 @@
+#include "obs/convergence.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace contra::obs {
+
+void ConvergenceTracker::observe(const TraceRecord& r) {
+  ++total_records_;
+  const auto index = static_cast<size_t>(r.ev);
+  if (index < kNumEv) ++counts_[index];
+
+  if ((r.ev == Ev::kLinkDown || r.ev == Ev::kFailureDetect) && first_failure_at_ < 0) {
+    first_failure_at_ = r.t;
+  }
+  if (r.ev == Ev::kRouteFlip && r.dst != kNoField) {
+    DestState& d = dests_[r.dst];
+    ++d.flips;
+    if (d.first_flip < 0) d.first_flip = r.t;
+    d.last_flip = r.t;
+    if (first_failure_at_ >= 0 && r.t >= first_failure_at_) {
+      ++d.post_failure_flips;
+      d.last_post_failure_flip = r.t;
+    }
+  }
+}
+
+void ConvergenceTracker::observe_all(const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) observe(r);
+}
+
+ConvergenceTracker::Report ConvergenceTracker::report() const {
+  Report out;
+  out.counts = counts_;
+  out.total_records = total_records_;
+  out.first_failure_at = first_failure_at_;
+  out.destinations.reserve(dests_.size());
+  for (const auto& [dst, d] : dests_) {
+    DestReport row;
+    row.dst = dst;
+    row.flips = d.flips;
+    row.first_route_at = d.first_flip;
+    row.quiesced_at = d.last_flip;
+    row.post_failure_flips = d.post_failure_flips;
+    if (first_failure_at_ >= 0 && d.last_post_failure_flip >= 0) {
+      row.reconvergence_s = d.last_post_failure_flip - first_failure_at_;
+    }
+    out.destinations.push_back(row);
+  }
+  return out;
+}
+
+std::string ConvergenceTracker::Report::to_string() const {
+  std::ostringstream out;
+  out << "convergence: " << total_records << " records";
+  if (first_failure_at >= 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, ", first failure at t=%.6f s", first_failure_at);
+    out << buf;
+  }
+  out << "\n";
+  out << "  dst  flips  first_route_s  quiesced_s  post_fail_flips  reconverge_s\n";
+  for (const DestReport& d : destinations) {
+    char line[160];
+    char reconv[24];
+    if (d.reconvergence_s >= 0) {
+      std::snprintf(reconv, sizeof reconv, "%12.6f", d.reconvergence_s);
+    } else {
+      std::snprintf(reconv, sizeof reconv, "%12s", "-");
+    }
+    std::snprintf(line, sizeof line, "  %3u  %5llu  %13.6f  %10.6f  %15llu  %s\n", d.dst,
+                  static_cast<unsigned long long>(d.flips), d.first_route_at, d.quiesced_at,
+                  static_cast<unsigned long long>(d.post_failure_flips), reconv);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace contra::obs

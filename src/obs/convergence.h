@@ -1,0 +1,69 @@
+// Convergence analysis over the control-plane trace stream.
+//
+// Consumes TraceRecords (live, as a sink in a FanoutSink chain, or replayed
+// from a JSONL file via read_jsonl) and derives the §5 protocol-dynamics
+// quantities the paper argues about but end-of-run aggregates cannot show:
+//
+//   * per-destination time-to-quiescence — the time of the last BestT route
+//     flip anywhere in the fabric for that destination;
+//   * route-flap counts — how often the chosen path changed, total and
+//     after the first failure;
+//   * post-failure re-convergence latency — last flip for the destination
+//     after the first link failure, minus the failure time (Fig. 14's
+//     recovery question, answered per destination).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace contra::obs {
+
+class ConvergenceTracker : public TraceSink {
+ public:
+  struct DestReport {
+    uint32_t dst = kNoField;
+    uint64_t flips = 0;               ///< route flips across all switches
+    double first_route_at = -1.0;     ///< first flip (initial route found)
+    double quiesced_at = -1.0;        ///< last flip: quiescent afterwards
+    uint64_t post_failure_flips = 0;  ///< flips after the first failure
+    double reconvergence_s = -1.0;    ///< last post-failure flip − failure time
+  };
+
+  struct Report {
+    std::array<uint64_t, kNumEv> counts{};  ///< records seen, by event type
+    uint64_t total_records = 0;
+    double first_failure_at = -1.0;  ///< first link_down / failure_detect
+    std::vector<DestReport> destinations;  ///< sorted by dst
+
+    uint64_t count(Ev ev) const { return counts[static_cast<size_t>(ev)]; }
+    /// Human-readable convergence table.
+    std::string to_string() const;
+  };
+
+  void write(const TraceRecord& record) override { observe(record); }
+  void observe(const TraceRecord& record);
+  void observe_all(const std::vector<TraceRecord>& records);
+
+  Report report() const;
+
+ private:
+  struct DestState {
+    uint64_t flips = 0;
+    double first_flip = -1.0;
+    double last_flip = -1.0;
+    uint64_t post_failure_flips = 0;
+    double last_post_failure_flip = -1.0;
+  };
+
+  std::array<uint64_t, kNumEv> counts_{};
+  uint64_t total_records_ = 0;
+  double first_failure_at_ = -1.0;
+  std::map<uint32_t, DestState> dests_;  ///< ordered: deterministic reports
+};
+
+}  // namespace contra::obs

@@ -1,0 +1,113 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace contra::obs {
+
+namespace {
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+RunManifest RunManifest::make(std::string tool) {
+  RunManifest m;
+  m.tool = std::move(tool);
+#ifdef NDEBUG
+  m.build_type = "optimized";
+#else
+  m.build_type = "debug";
+#endif
+#ifdef __VERSION__
+  m.compiler = __VERSION__;
+#else
+  m.compiler = "unknown";
+#endif
+  return m;
+}
+
+std::string RunManifest::canonical_config() const {
+  std::ostringstream out;
+  out << "schema=" << schema << ";tool=" << tool << ";topology=" << topology
+      << ";nodes=" << nodes << ";links=" << links << ";plane=" << plane
+      << ";policy=" << policy << ";workload=" << workload << ";seed=" << seed
+      << ";load=" << fmt_double(load) << ";duration_s=" << fmt_double(duration_s)
+      << ";probe_period_s=" << fmt_double(probe_period_s)
+      << ";link_bps=" << fmt_double(link_bps) << ";";
+  return out.str();
+}
+
+uint64_t RunManifest::config_hash() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : canonical_config()) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string RunManifest::to_json() const {
+  char hash_hex[24];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(config_hash()));
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": " << schema << ",\n";
+  out << "  \"tool\": \"" << escape_json(tool) << "\",\n";
+  out << "  \"topology\": \"" << escape_json(topology) << "\",\n";
+  out << "  \"nodes\": " << nodes << ",\n";
+  out << "  \"links\": " << links << ",\n";
+  out << "  \"plane\": \"" << escape_json(plane) << "\",\n";
+  out << "  \"policy\": \"" << escape_json(policy) << "\",\n";
+  out << "  \"workload\": \"" << escape_json(workload) << "\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"load\": " << fmt_double(load) << ",\n";
+  out << "  \"duration_s\": " << fmt_double(duration_s) << ",\n";
+  out << "  \"probe_period_s\": " << fmt_double(probe_period_s) << ",\n";
+  out << "  \"link_bps\": " << fmt_double(link_bps) << ",\n";
+  out << "  \"config_hash\": \"" << hash_hex << "\",\n";
+  out << "  \"build\": {\"type\": \"" << escape_json(build_type) << "\", \"compiler\": \""
+      << escape_json(compiler) << "\"}\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool RunManifest::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+std::string manifest_path_for(const std::string& trace_path) {
+  static constexpr std::string_view kJsonl = ".jsonl";
+  if (trace_path.size() > kJsonl.size() &&
+      trace_path.compare(trace_path.size() - kJsonl.size(), kJsonl.size(), kJsonl) == 0) {
+    return trace_path.substr(0, trace_path.size() - kJsonl.size()) + ".manifest.json";
+  }
+  return trace_path + ".manifest.json";
+}
+
+}  // namespace contra::obs

@@ -1,0 +1,50 @@
+// Run manifests: every telemetry-producing run writes a small JSON file next
+// to its trace describing exactly what ran — topology, policy, plane, seed,
+// workload knobs, build flags, and an FNV-1a hash over the canonical
+// configuration string. Two runs are comparable iff their config hashes
+// match; the hash changing tells you *why* two traces differ before you
+// read a single record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace contra::obs {
+
+struct RunManifest {
+  int schema = 1;
+  std::string tool;         ///< producing binary, e.g. "contrasim"
+  std::string topology;     ///< --builtin spec or topology file path
+  uint32_t nodes = 0;
+  uint32_t links = 0;
+  std::string plane;        ///< contra / ecmp / hula / spain / sp
+  std::string policy;       ///< policy text ("" for baseline planes)
+  std::string workload;     ///< workload name ("" when no traffic)
+  uint64_t seed = 0;
+  double load = 0.0;
+  double duration_s = 0.0;
+  double probe_period_s = 0.0;
+  double link_bps = 0.0;
+  std::string build_type;   ///< "debug" / "optimized" (NDEBUG)
+  std::string compiler;     ///< __VERSION__ of the building compiler
+
+  /// Filled by make() from compile-time facts.
+  static RunManifest make(std::string tool);
+
+  /// Canonical "key=value;" string the config hash covers (excludes build
+  /// info: the same experiment built twice should hash identically).
+  std::string canonical_config() const;
+  /// FNV-1a over canonical_config().
+  uint64_t config_hash() const;
+
+  std::string to_json() const;
+  /// Writes to_json() to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+};
+
+/// Conventional manifest location for a trace file: "x.jsonl" →
+/// "x.manifest.json", anything else → "<path>.manifest.json".
+/// tools/telemetry_report.py applies the same rule.
+std::string manifest_path_for(const std::string& trace_path);
+
+}  // namespace contra::obs

@@ -1,0 +1,88 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace contra::obs {
+
+MetricsRegistry::MetricsRegistry() : slots_(kMaxSlots) {
+  for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+}
+
+uint32_t MetricsRegistry::acquire(uint32_t count, const char* what) {
+  if (used_ + count > kMaxSlots) {
+    throw std::length_error(std::string("MetricsRegistry: out of slots registering ") + what);
+  }
+  const uint32_t first = used_;
+  used_ += count;
+  return first;
+}
+
+CounterId MetricsRegistry::counter(std::string name) {
+  const uint32_t slot = acquire(1, name.c_str());
+  scalars_.push_back(ScalarMeta{std::move(name), SlotKind::kCounter, slot});
+  return slot;
+}
+
+GaugeId MetricsRegistry::gauge(std::string name) {
+  const uint32_t slot = acquire(1, name.c_str());
+  scalars_.push_back(ScalarMeta{std::move(name), SlotKind::kGauge, slot});
+  return slot;
+}
+
+HistogramId MetricsRegistry::histogram(std::string name, std::vector<double> upper_bounds) {
+  const uint32_t buckets = static_cast<uint32_t>(upper_bounds.size()) + 1;
+  const uint32_t first = acquire(buckets, name.c_str());
+  HistogramId id{first, buckets, static_cast<uint32_t>(histograms_.size())};
+  histograms_.push_back(HistogramMeta{std::move(name), std::move(upper_bounds), first});
+  return id;
+}
+
+uint64_t MetricsRegistry::histogram_total(HistogramId id) const {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < id.num_buckets; ++i) total += bucket_value(id, i);
+  return total;
+}
+
+std::string MetricsRegistry::snapshot_json(double t) const {
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", t);
+  out << "{\"t\":" << buf;
+
+  for (const char* kind : {"counters", "gauges"}) {
+    const SlotKind want = kind[0] == 'c' ? SlotKind::kCounter : SlotKind::kGauge;
+    out << ",\"" << kind << "\":{";
+    bool first = true;
+    for (const ScalarMeta& meta : scalars_) {
+      if (meta.kind != want) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << meta.name << "\":" << slots_[meta.slot].load(std::memory_order_relaxed);
+    }
+    out << "}";
+  }
+
+  out << ",\"histograms\":{";
+  for (size_t h = 0; h < histograms_.size(); ++h) {
+    const HistogramMeta& meta = histograms_[h];
+    if (h > 0) out << ",";
+    out << "\"" << meta.name << "\":{\"bounds\":[";
+    for (size_t i = 0; i < meta.bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      std::snprintf(buf, sizeof buf, "%.9g", meta.bounds[i]);
+      out << buf;
+    }
+    out << "],\"counts\":[";
+    for (size_t i = 0; i <= meta.bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      out << slots_[meta.first_slot + i].load(std::memory_order_relaxed);
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace contra::obs

@@ -1,0 +1,70 @@
+// Telemetry hub: one per Simulator.
+//
+// Bundles the fixed-slot metrics registry (always on, bench-gated to
+// near-zero cost), the preregistered core metric ids every instrumented
+// component uses, and the optional trace sink. Instrumentation calls are
+// written so the disabled path is one branch:
+//
+//   obs::Telemetry& t = sim.telemetry();
+//   t.metrics().add(t.core().probes_received);            // relaxed add
+//   if (t.tracing()) t.emit({now, obs::Ev::kProbeRx, …}); // branch when off
+#pragma once
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace contra::obs {
+
+/// Core metric slots, registered once per registry. Components reach them
+/// via Telemetry::core() so names stay consistent between the periodic
+/// snapshots, --metrics-json output, and tools/telemetry_report.py.
+struct CoreMetrics {
+  // Probe lifecycle (contra + hula).
+  CounterId probes_originated, probes_received, probes_accepted;
+  CounterId probes_rejected_stale, probes_rejected_rank, probes_rejected_no_pg;
+  CounterId fwdt_updates, route_flips;
+  // Flowlet churn (all flowlet-switching planes).
+  CounterId flowlets_created, flowlets_switched, flowlets_expired, flowlets_flushed;
+  // Failure handling + loop breaking.
+  CounterId failure_detections, failure_clears, loop_breaks;
+  CounterId link_down_events, link_up_events;
+  // Link-level loss.
+  CounterId link_drops, link_ecn_marks;
+  // Data forwarding outcomes.
+  CounterId data_forwarded, data_dropped_no_route, data_dropped_ttl;
+  // Transport.
+  CounterId tcp_rto_fired, tcp_fast_retx, flows_completed;
+  // CONGA in-band feedback.
+  CounterId conga_feedback_sent, conga_feedback_received;
+  // Distributions.
+  HistogramId drop_queue_bytes;   ///< queue depth (bytes) at each drop
+  HistogramId probe_path_len;     ///< mv.len of accepted probes
+
+  explicit CoreMetrics(MetricsRegistry& registry);
+};
+
+class Telemetry {
+ public:
+  Telemetry() : core_(registry_) {}
+
+  MetricsRegistry& metrics() { return registry_; }
+  const MetricsRegistry& metrics() const { return registry_; }
+  const CoreMetrics& core() const { return core_; }
+
+  /// Whether a trace sink is attached. Gate any tracing-only bookkeeping
+  /// (route-flip scans, flowlet tombstones) on this.
+  bool tracing() const { return sink_ != nullptr; }
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+
+  void emit(const TraceRecord& record) {
+    if (sink_ != nullptr) sink_->write(record);
+  }
+
+ private:
+  MetricsRegistry registry_;
+  CoreMetrics core_;
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace contra::obs

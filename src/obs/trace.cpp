@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace contra::obs {
+
+namespace {
+
+constexpr std::string_view kEvNames[kNumEv] = {
+    "probe_orig",         "probe_rx",       "probe_accept",  "probe_reject_stale",
+    "probe_reject_rank",  "probe_reject_no_pg", "route_flip", "flowlet_create",
+    "flowlet_switch",     "flowlet_expire", "flowlet_flush", "failure_detect",
+    "failure_clear",      "loop_break",     "link_down",     "link_up",
+    "drop",
+};
+
+}  // namespace
+
+std::string_view ev_name(Ev ev) {
+  const auto index = static_cast<size_t>(ev);
+  return index < kNumEv ? kEvNames[index] : "?";
+}
+
+std::optional<Ev> ev_from_name(std::string_view name) {
+  for (size_t i = 0; i < kNumEv; ++i) {
+    if (kEvNames[i] == name) return static_cast<Ev>(i);
+  }
+  return std::nullopt;
+}
+
+size_t format_jsonl(const TraceRecord& r, char* out) {
+  // Fixed key order; fields at their sentinel are omitted. %.9g keeps
+  // nanosecond resolution over sub-second sim times without padding zeros.
+  size_t n = static_cast<size_t>(
+      std::snprintf(out, kMaxLineBytes, "{\"t\":%.9g,\"ev\":\"%s\"", r.t,
+                    ev_name(r.ev).data()));
+  auto append = [&](const char* fmt, auto v) {
+    n += static_cast<size_t>(std::snprintf(out + n, kMaxLineBytes - n, fmt, v));
+  };
+  if (r.sw != kNoField) append(",\"sw\":%u", r.sw);
+  if (r.dst != kNoField) append(",\"dst\":%u", r.dst);
+  if (r.tag != kNoField) append(",\"tag\":%u", r.tag);
+  if (r.pid != kNoField) append(",\"pid\":%u", r.pid);
+  if (r.link != kNoField) append(",\"link\":%u", r.link);
+  if (r.aux != kNoField) append(",\"aux\":%u", r.aux);
+  if (r.version != 0) append(",\"ver\":%llu", static_cast<unsigned long long>(r.version));
+  if (r.value != 0.0) append(",\"val\":%.9g", r.value);
+  append("%s", "}");
+  return n;
+}
+
+namespace {
+
+/// Value text of `"key":` in a flat one-level JSON object, or empty.
+std::string_view find_value(std::string_view line, std::string_view key) {
+  char pattern[32];
+  std::snprintf(pattern, sizeof pattern, "\"%.*s\":", static_cast<int>(key.size()),
+                key.data());
+  const size_t at = line.find(pattern);
+  if (at == std::string_view::npos) return {};
+  size_t begin = at + std::strlen(pattern);
+  size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(begin, end - begin);
+}
+
+bool parse_u32(std::string_view text, uint32_t* out) {
+  if (text.empty()) return false;
+  *out = static_cast<uint32_t>(std::strtoul(std::string(text).c_str(), nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+std::optional<TraceRecord> parse_jsonl_line(std::string_view line) {
+  const std::string_view t_text = find_value(line, "t");
+  std::string_view ev_text = find_value(line, "ev");
+  if (t_text.empty() || ev_text.size() < 2 || ev_text.front() != '"' ||
+      ev_text.back() != '"') {
+    return std::nullopt;
+  }
+  ev_text = ev_text.substr(1, ev_text.size() - 2);
+  const std::optional<Ev> ev = ev_from_name(ev_text);
+  if (!ev) return std::nullopt;
+
+  TraceRecord r;
+  r.t = std::strtod(std::string(t_text).c_str(), nullptr);
+  r.ev = *ev;
+  parse_u32(find_value(line, "sw"), &r.sw);
+  parse_u32(find_value(line, "dst"), &r.dst);
+  parse_u32(find_value(line, "tag"), &r.tag);
+  parse_u32(find_value(line, "pid"), &r.pid);
+  parse_u32(find_value(line, "link"), &r.link);
+  parse_u32(find_value(line, "aux"), &r.aux);
+  const std::string_view ver = find_value(line, "ver");
+  if (!ver.empty()) r.version = std::strtoull(std::string(ver).c_str(), nullptr, 10);
+  const std::string_view val = find_value(line, "val");
+  if (!val.empty()) r.value = std::strtod(std::string(val).c_str(), nullptr);
+  return r;
+}
+
+std::vector<TraceRecord> read_jsonl(std::istream& in, size_t* bad_lines) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  size_t bad = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto record = parse_jsonl_line(line)) {
+      records.push_back(*record);
+    } else {
+      ++bad;
+    }
+  }
+  if (bad_lines != nullptr) *bad_lines = bad;
+  return records;
+}
+
+void JsonlTraceSink::write(const TraceRecord& record) {
+  char line[kMaxLineBytes];
+  const size_t n = format_jsonl(record, line);
+  out_->write(line, static_cast<std::streamsize>(n));
+  out_->put('\n');
+  ++written_;
+}
+
+void JsonlTraceSink::flush() { out_->flush(); }
+
+}  // namespace contra::obs

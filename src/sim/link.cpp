@@ -16,13 +16,12 @@ Link::Link(EventQueue& events, double capacity_bps, double delay_s,
 
 bool Link::enqueue(Packet&& packet) {
   if (down_ || queue_bytes_ + packet.size_bytes > queue_capacity_bytes_) {
-    ++stats_.drops;
-    stats_.drop_bytes += packet.size_bytes;
-    if (packet.kind != PacketKind::kProbe) ++stats_.data_drops;
+    note_drop(packet);
     return false;
   }
   if (ecn_threshold_bytes_ > 0 && queue_bytes_ > ecn_threshold_bytes_) {
     packet.ecn_marked = true;  // DCTCP-style instantaneous-queue marking
+    if (telemetry_ != nullptr) telemetry_->metrics().add(telemetry_->core().link_ecn_marks);
   }
   queue_bytes_ += packet.size_bytes;
   queue_.push_back(std::move(packet));
@@ -35,13 +34,28 @@ void Link::set_down(bool down) {
   down_ = down;
   if (down) {
     // In-queue packets are lost with the link.
-    stats_.drops += queue_.size();
-    queue_.for_each([this](const Packet& p) {
-      stats_.drop_bytes += p.size_bytes;
-      if (p.kind != PacketKind::kProbe) ++stats_.data_drops;
-    });
+    queue_.for_each([this](const Packet& p) { note_drop(p); });
     queue_.clear();
     queue_bytes_ = 0;
+  }
+}
+
+void Link::note_drop(const Packet& packet) {
+  ++stats_.drops;
+  stats_.drop_bytes += packet.size_bytes;
+  if (packet.kind != PacketKind::kProbe) ++stats_.data_drops;
+  if (telemetry_ == nullptr) return;
+  telemetry_->metrics().add(telemetry_->core().link_drops);
+  telemetry_->metrics().observe(telemetry_->core().drop_queue_bytes,
+                                static_cast<double>(queue_bytes_));
+  if (telemetry_->tracing()) {
+    obs::TraceRecord r;
+    r.t = events_.now();
+    r.ev = obs::Ev::kDrop;
+    r.link = link_id_;
+    r.aux = static_cast<uint32_t>(packet.kind);
+    r.value = static_cast<double>(packet.size_bytes);
+    telemetry_->emit(r);
   }
 }
 
@@ -72,9 +86,18 @@ void Link::note_tx(const Packet& packet) {
   ++stats_.tx_packets;
   stats_.tx_bytes += packet.size_bytes;
   switch (packet.kind) {
-    case PacketKind::kData: stats_.tx_data_bytes += packet.size_bytes; break;
-    case PacketKind::kAck: stats_.tx_ack_bytes += packet.size_bytes; break;
-    case PacketKind::kProbe: stats_.tx_probe_bytes += packet.size_bytes; break;
+    case PacketKind::kData:
+      stats_.tx_data_bytes += packet.size_bytes;
+      ++stats_.tx_data_packets;
+      break;
+    case PacketKind::kAck:
+      stats_.tx_ack_bytes += packet.size_bytes;
+      ++stats_.tx_ack_packets;
+      break;
+    case PacketKind::kProbe:
+      stats_.tx_probe_bytes += packet.size_bytes;
+      ++stats_.tx_probe_packets;
+      break;
   }
   // Utilization EWMA (HULA-style): linear decay over tau, then add the
   // transmitted bytes.

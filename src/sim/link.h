@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "util/ring_queue.h"
@@ -19,6 +20,9 @@ struct LinkStats {
   uint64_t tx_data_bytes = 0;
   uint64_t tx_ack_bytes = 0;
   uint64_t tx_probe_bytes = 0;
+  uint64_t tx_data_packets = 0;
+  uint64_t tx_ack_packets = 0;
+  uint64_t tx_probe_packets = 0;
   uint64_t drops = 0;       ///< all kinds (incl. probes sent at down links)
   uint64_t drop_bytes = 0;
   uint64_t data_drops = 0;  ///< data/ACK packets only — the loss that hurts flows
@@ -40,6 +44,13 @@ class Link {
 
   void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
   void set_queue_sampler(QueueSampleFn sampler) { queue_sampler_ = std::move(sampler); }
+
+  /// Telemetry tap: drop/ECN counters and per-drop trace records, attributed
+  /// to `link_id`. The Simulator wires this for every link it creates.
+  void set_telemetry(obs::Telemetry* telemetry, uint32_t link_id) {
+    telemetry_ = telemetry;
+    link_id_ = link_id;
+  }
 
   /// Enqueues for transmission; false (and a drop count) if the queue is
   /// full or the link is administratively down.
@@ -87,9 +98,13 @@ class Link {
   double util_bytes_ = 0.0;
   Time util_updated_ = 0.0;
 
+  void note_drop(const Packet& packet);
+
   DeliverFn deliver_;
   QueueSampleFn queue_sampler_;
   LinkStats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
+  uint32_t link_id_ = obs::kNoField;
 };
 
 }  // namespace contra::sim

@@ -18,6 +18,7 @@ void Simulator::wire_topology_links() {
     const topology::DirectedLink& l = topo_->link(id);
     auto link = std::make_unique<Link>(events_, l.capacity_bps, l.delay_s,
                                        config_.queue_capacity_bytes, config_.util_tau_s);
+    link->set_telemetry(&telemetry_, id);
     const topology::NodeId to = l.to;
     link->set_deliver([this, to, id](Packet&& packet) {
       if (devices_[to]) devices_[to]->handle_packet(*this, std::move(packet), id);
@@ -34,6 +35,7 @@ HostId Simulator::add_host(topology::NodeId attach) {
   // Host -> switch (uplink).
   auto up = std::make_unique<Link>(events_, config_.host_link_bps, config_.host_link_delay_s,
                                    config_.queue_capacity_bytes, config_.util_tau_s);
+  up->set_telemetry(&telemetry_, static_cast<uint32_t>(links_.size()));
   up->set_deliver([this, attach](Packet&& packet) {
     if (devices_[attach]) devices_[attach]->handle_packet(*this, std::move(packet), kFromHost);
   });
@@ -43,6 +45,7 @@ HostId Simulator::add_host(topology::NodeId attach) {
   // Switch -> host (downlink).
   auto down = std::make_unique<Link>(events_, config_.host_link_bps, config_.host_link_delay_s,
                                      config_.queue_capacity_bytes, config_.util_tau_s);
+  down->set_telemetry(&telemetry_, static_cast<uint32_t>(links_.size()));
   down->set_deliver([this, host](Packet&& packet) {
     if (host_receiver_) host_receiver_(host, std::move(packet));
   });
@@ -77,6 +80,15 @@ bool Simulator::host_send(HostId host, Packet&& packet) {
 void Simulator::fail_cable(topology::LinkId link) {
   links_.at(link)->set_down(true);
   links_.at(topo_->link(link).reverse)->set_down(true);
+  telemetry_.metrics().add(telemetry_.core().link_down_events);
+  if (telemetry_.tracing()) {
+    obs::TraceRecord r;
+    r.t = now();
+    r.ev = obs::Ev::kLinkDown;
+    r.link = link;
+    r.aux = topo_->link(link).reverse;
+    telemetry_.emit(r);
+  }
   LOG_INFO("sim") << "cable " << topo_->name(topo_->link(link).from) << "-"
                   << topo_->name(topo_->link(link).to) << " failed at t=" << now();
 }
@@ -84,6 +96,15 @@ void Simulator::fail_cable(topology::LinkId link) {
 void Simulator::restore_cable(topology::LinkId link) {
   links_.at(link)->set_down(false);
   links_.at(topo_->link(link).reverse)->set_down(false);
+  telemetry_.metrics().add(telemetry_.core().link_up_events);
+  if (telemetry_.tracing()) {
+    obs::TraceRecord r;
+    r.t = now();
+    r.ev = obs::Ev::kLinkUp;
+    r.link = link;
+    r.aux = topo_->link(link).reverse;
+    telemetry_.emit(r);
+  }
 }
 
 LinkStats Simulator::aggregate_fabric_stats() const {
@@ -95,6 +116,9 @@ LinkStats Simulator::aggregate_fabric_stats() const {
     total.tx_data_bytes += s.tx_data_bytes;
     total.tx_ack_bytes += s.tx_ack_bytes;
     total.tx_probe_bytes += s.tx_probe_bytes;
+    total.tx_data_packets += s.tx_data_packets;
+    total.tx_ack_packets += s.tx_ack_packets;
+    total.tx_probe_packets += s.tx_probe_packets;
     total.drops += s.drops;
     total.drop_bytes += s.drop_bytes;
     total.data_drops += s.data_drops;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "sim/link.h"
 #include "sim/node.h"
@@ -40,6 +41,13 @@ class Simulator {
   /// Whether dataplanes should append to Packet::trace (see
   /// SimConfig::capture_traces).
   bool trace_enabled() const { return config_.capture_traces; }
+
+  /// Telemetry hub for this simulation: always-on fixed-slot metrics plus
+  /// the optional control-plane trace sink (attach one with
+  /// telemetry().set_sink()). Links and installed dataplanes all report
+  /// through it.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
 
   // ----- setup ------------------------------------------------------------
 
@@ -94,6 +102,7 @@ class Simulator {
 
   const topology::Topology* topo_;
   SimConfig config_;
+  obs::Telemetry telemetry_;  ///< before links_: links hold a pointer into it
   EventQueue events_;
 
   /// [0, topo.num_links()) are topology links; host links follow.

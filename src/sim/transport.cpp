@@ -126,6 +126,7 @@ void TransportManager::tcp_on_rto(uint64_t flow_id, uint64_t generation) {
   if (sender.done || generation != sender.rto_generation) return;
   if (sender.acked >= sender.total_pkts) return;
 
+  sim_.telemetry().metrics().add(sim_.telemetry().core().tcp_rto_fired);
   // Timeout: multiplicative backoff, window collapse, go-back to the hole.
   sender.ssthresh = std::max(sender.cwnd / 2.0, 2.0);
   sender.cwnd = 1.0;
@@ -137,6 +138,7 @@ void TransportManager::tcp_on_rto(uint64_t flow_id, uint64_t generation) {
 }
 
 void TransportManager::tcp_complete(TcpSender& sender) {
+  sim_.telemetry().metrics().add(sim_.telemetry().core().flows_completed);
   sender.done = true;
   ++sender.rto_generation;  // cancels any outstanding timer
   completed_.push_back(FlowRecord{sender.flow_id, sender.src, sender.dst, sender.bytes,
@@ -267,6 +269,7 @@ void TransportManager::on_ack(Packet&& packet) {
   } else if (ack == sender.acked) {
     ++sender.dupacks;
     if (sender.dupacks == 3) {
+      sim_.telemetry().metrics().add(sim_.telemetry().core().tcp_fast_retx);
       // Fast retransmit + window halving.
       sender.ssthresh = std::max(sender.cwnd / 2.0, 2.0);
       sender.cwnd = sender.ssthresh;

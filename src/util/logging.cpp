@@ -1,5 +1,8 @@
 #include "util/logging.h"
 
+#include <cctype>
+#include <cstdlib>
+
 namespace contra::util {
 
 namespace {
@@ -19,6 +22,32 @@ std::string_view log_level_name(LogLevel level) {
     case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::optional<LogLevel> init_log_level_from_env() {
+  const char* value = std::getenv("CONTRA_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  const auto level = parse_log_level(value);
+  if (!level) {
+    std::cerr << "[WARN] logging: ignoring unrecognized CONTRA_LOG_LEVEL='" << value
+              << "' (want trace|debug|info|warn|error|off)\n";
+    return std::nullopt;
+  }
+  set_log_level(*level);
+  return level;
 }
 
 namespace detail {

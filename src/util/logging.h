@@ -6,6 +6,7 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -20,6 +21,16 @@ void set_log_level(LogLevel level);
 
 /// Returns a short tag such as "INFO" for a level.
 std::string_view log_level_name(LogLevel level);
+
+/// Parses a level name ("trace", "DEBUG", "info", "warn"/"warning",
+/// "error", "off"/"none"); nullopt when unrecognized.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Applies the CONTRA_LOG_LEVEL environment variable (if set and valid) to
+/// the global level. Returns the level applied, or nullopt when the variable
+/// is unset or unparseable — an unparseable value also prints one warning.
+/// CLI entry points call this before doing any work.
+std::optional<LogLevel> init_log_level_from_env();
 
 namespace detail {
 void log_emit(LogLevel level, std::string_view module, std::string_view message);

@@ -1,0 +1,96 @@
+# End-to-end telemetry check, run via `cmake -P` from ctest:
+#
+#   cmake -DCONTRASIM=<binary> -DWORK_DIR=<dir>
+#         [-DPYTHON=<python3> -DREPORT=<tools/telemetry_report.py>]
+#         -P run_telemetry_e2e.cmake
+#
+# Drives a real contrasim run with a scheduled link failure and
+# --telemetry-out, then validates the whole reporting pipeline: the JSONL
+# trace exists and parses, the run manifest sits next to it with a config
+# hash, and (when python3 is available) tools/telemetry_report.py digests
+# both and validates the manifest.
+
+if(NOT DEFINED CONTRASIM OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "need -DCONTRASIM=<binary> and -DWORK_DIR=<dir>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(trace "${WORK_DIR}/trace.jsonl")
+set(manifest "${WORK_DIR}/trace.manifest.json")
+
+# Small leaf-spine fabric, slow probes, short workload: the run stays fast
+# while still exercising probes, traffic, and a mid-run cable failure.
+execute_process(
+  COMMAND "${CONTRASIM}"
+          --builtin leaf-spine:3x3 --plane contra
+          --policy "minimize(path.util)"
+          --load 0.2 --duration-ms 2 --seed 1
+          --probe-period-us 500
+          --fail leaf0-spine0 --fail-at-ms 11
+          --telemetry-out "${trace}"
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_output)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "contrasim failed (${run_result}):\n${run_output}")
+endif()
+
+# contrasim reports the convergence table derived from the trace.
+if(NOT run_output MATCHES "convergence:")
+  message(FATAL_ERROR "contrasim output has no convergence table:\n${run_output}")
+endif()
+
+foreach(artifact "${trace}" "${manifest}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "expected run artifact missing: ${artifact}")
+  endif()
+endforeach()
+
+# The trace is JSONL in the documented schema: every line carries a
+# timestamp and an event name. Spot-check the first line and that the
+# scheduled failure shows up.
+file(STRINGS "${trace}" first_lines LIMIT_COUNT 1)
+if(NOT first_lines MATCHES "^\\{\"t\":.*\"ev\":\"")
+  message(FATAL_ERROR "trace first line is not a schema record: ${first_lines}")
+endif()
+file(STRINGS "${trace}" down_lines REGEX "\"ev\":\"link_down\"")
+list(LENGTH down_lines num_down)
+if(NOT num_down EQUAL 1)
+  message(FATAL_ERROR "expected exactly 1 link_down record, got ${num_down}")
+endif()
+
+# The manifest is valid JSON-ish with the fields two-run comparison needs.
+file(READ "${manifest}" manifest_text)
+foreach(key "\"schema\"" "\"tool\"" "\"topology\"" "\"plane\"" "\"seed\"" "\"config_hash\"")
+  if(NOT manifest_text MATCHES "${key}")
+    message(FATAL_ERROR "manifest missing ${key}: ${manifest_text}")
+  endif()
+endforeach()
+
+if(DEFINED PYTHON AND DEFINED REPORT)
+  execute_process(
+    COMMAND "${PYTHON}" "${REPORT}" "${trace}"
+    RESULT_VARIABLE report_result
+    OUTPUT_VARIABLE report_output
+    ERROR_VARIABLE report_output)
+  if(NOT report_result EQUAL 0)
+    message(FATAL_ERROR "telemetry_report.py failed (${report_result}):\n${report_output}")
+  endif()
+  foreach(expected "by event" "route_flip" "convergence:" "config_hash")
+    if(NOT report_output MATCHES "${expected}")
+      message(FATAL_ERROR "report output missing '${expected}':\n${report_output}")
+    endif()
+  endforeach()
+
+  execute_process(
+    COMMAND "${PYTHON}" "${REPORT}" --validate-manifest "${manifest}"
+    RESULT_VARIABLE validate_result
+    OUTPUT_VARIABLE validate_output
+    ERROR_VARIABLE validate_output)
+  if(NOT validate_result EQUAL 0)
+    message(FATAL_ERROR "manifest validation failed:\n${validate_output}")
+  endif()
+endif()
+
+message(STATUS "telemetry e2e ok: ${trace}")

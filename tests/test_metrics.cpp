@@ -63,6 +63,73 @@ TEST(Overhead, ReportAggregates) {
   EXPECT_EQ(r.drops, 3u);
 }
 
+TEST(Overhead, ReportIncludesPacketCounts) {
+  sim::LinkStats stats;
+  stats.tx_data_packets = 60;
+  stats.tx_ack_packets = 30;
+  stats.tx_probe_packets = 10;
+  stats.tx_packets = 100;
+  const OverheadReport r = make_overhead_report(stats);
+  EXPECT_EQ(r.data_packets, 60u);
+  EXPECT_EQ(r.ack_packets, 30u);
+  EXPECT_EQ(r.probe_packets, 10u);
+  EXPECT_EQ(r.total_packets, 100u);
+  EXPECT_DOUBLE_EQ(r.probe_packet_fraction(), 0.1);
+  EXPECT_DOUBLE_EQ(OverheadReport{}.probe_packet_fraction(), 0.0);
+}
+
+TEST(Overhead, WindowedReportDiffsMonotonicCounters) {
+  sim::LinkStats start;
+  start.tx_data_bytes = 500;
+  start.tx_ack_bytes = 50;
+  start.tx_probe_bytes = 70;
+  start.tx_bytes = 620;
+  start.tx_data_packets = 5;
+  start.tx_ack_packets = 5;
+  start.tx_probe_packets = 1;
+  start.tx_packets = 11;
+  start.drops = 2;
+
+  sim::LinkStats end = start;
+  end.tx_data_bytes += 800;
+  end.tx_ack_bytes += 100;
+  end.tx_probe_bytes += 100;
+  end.tx_bytes += 1000;
+  end.tx_data_packets += 8;
+  end.tx_ack_packets += 2;
+  end.tx_probe_packets += 10;
+  end.tx_packets += 20;
+  end.drops += 3;
+
+  const OverheadReport r = make_overhead_report(end, start);
+  EXPECT_EQ(r.data_bytes, 800u);
+  EXPECT_EQ(r.ack_bytes, 100u);
+  EXPECT_EQ(r.probe_bytes, 100u);
+  EXPECT_EQ(r.total_bytes, 1000u);
+  EXPECT_EQ(r.data_packets, 8u);
+  EXPECT_EQ(r.ack_packets, 2u);
+  EXPECT_EQ(r.probe_packets, 10u);
+  EXPECT_EQ(r.total_packets, 20u);
+  EXPECT_EQ(r.drops, 3u);
+  EXPECT_DOUBLE_EQ(r.probe_fraction(), 0.1);
+  EXPECT_DOUBLE_EQ(r.probe_packet_fraction(), 0.5);
+
+  // A zero-width window reports all zeros, not stale totals.
+  const OverheadReport zero = make_overhead_report(start, start);
+  EXPECT_EQ(zero.total_bytes, 0u);
+  EXPECT_EQ(zero.total_packets, 0u);
+  EXPECT_EQ(zero.drops, 0u);
+}
+
+TEST(Overhead, ToStringMentionsPacketCounts) {
+  sim::LinkStats stats;
+  stats.tx_packets = 42;
+  stats.tx_probe_packets = 7;
+  const std::string s = make_overhead_report(stats).to_string();
+  EXPECT_NE(s.find("pkts=42"), std::string::npos);
+  EXPECT_NE(s.find("probe=7"), std::string::npos);
+}
+
 TEST(Overhead, NormalizationAgainstBaseline) {
   OverheadReport contra;
   contra.total_bytes = 1010;

@@ -15,6 +15,7 @@
 #include "lang/parser.h"
 #include "lang/printer.h"
 #include "p4gen/p4gen.h"
+#include "util/logging.h"
 
 using namespace contra;
 
@@ -35,6 +36,7 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::init_log_level_from_env();
   const tools::Args args(argc, argv);
   if (args.has("help")) return usage(argv[0]);
 

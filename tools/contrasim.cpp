@@ -9,6 +9,7 @@
 // Hosts attach to fat-tree edge switches / leaf-spine leaves automatically;
 // on arbitrary topologies one host attaches to every switch.
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "cli_common.h"
@@ -21,8 +22,12 @@
 #include "lang/parser.h"
 #include "metrics/counters.h"
 #include "metrics/fct.h"
+#include "obs/convergence.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "sim/host.h"
 #include "sim/transport.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "workload/generator.h"
 
@@ -38,10 +43,31 @@ int usage(const char* argv0) {
                "          [--workload web-search|cache] [--load 0.5]\n"
                "          [--duration-ms 30] [--seed 1] [--size-scale 0.1]\n"
                "          [--link-gbps 10] [--probe-period-us 256]\n"
-               "          [--fail <nodeA>-<nodeB>]      (fail a cable pre-traffic)\n",
+               "          [--fail <nodeA>-<nodeB>]      (fail a cable pre-traffic)\n"
+               "          [--fail-at-ms <t>]            (delay --fail until t)\n"
+               "          [--telemetry-out <trace.jsonl>]  (control-plane trace +\n"
+               "                                            run manifest + convergence table)\n"
+               "          [--metrics-json <file|->]     (final metrics snapshot)\n"
+               "          [--metrics-interval-ms <t>]   (periodic snapshots, needs --metrics-json)\n"
+               "environment: CONTRA_LOG_LEVEL=trace|debug|info|warn|error|off\n",
                argv0);
   return 2;
 }
+
+/// Appends one metrics snapshot line per interval; reschedules itself. The
+/// capture is a single pointer so the handler stays within the event queue's
+/// inline capacity.
+struct MetricsExporter {
+  sim::Simulator* sim = nullptr;
+  std::ostream* out = nullptr;
+  double interval_s = 0.0;
+
+  void tick() {
+    *out << sim->telemetry().metrics().snapshot_json(sim->now()) << "\n";
+    MetricsExporter* self = this;
+    sim->events().schedule_in(interval_s, [self] { self->tick(); });
+  }
+};
 
 std::vector<sim::HostId> attach_hosts_auto(sim::Simulator& sim) {
   std::vector<sim::HostId> hosts = sim::attach_hosts_to_fat_tree_edges(sim, 2);
@@ -55,6 +81,7 @@ std::vector<sim::HostId> attach_hosts_auto(sim::Simulator& sim) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::init_log_level_from_env();
   const tools::Args args(argc, argv);
   if (args.has("help")) return usage(argv[0]);
 
@@ -93,13 +120,66 @@ int main(int argc, char** argv) {
                    args.get("fail").c_str());
       return 1;
     }
-    sim.fail_cable(topo->link_between(topo->find(parts[0]), topo->find(parts[1])));
+    const topology::LinkId fail_link =
+        topo->link_between(topo->find(parts[0]), topo->find(parts[1]));
+    const double fail_at_s = args.get_double("fail-at-ms", 0.0) * 1e-3;
+    if (fail_at_s > 0) {
+      sim::Simulator* simp = &sim;
+      sim.events().schedule_in(fail_at_s, [simp, fail_link] { simp->fail_cable(fail_link); });
+    } else {
+      sim.fail_cable(fail_link);
+    }
+  }
+
+  // ----- telemetry ----------------------------------------------------------
+  const std::string trace_path = args.get("telemetry-out");
+  std::ofstream trace_file;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  obs::ConvergenceTracker convergence;
+  obs::FanoutSink fanout;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open --telemetry-out file: %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_file);
+    fanout.add(trace_sink.get());
+    fanout.add(&convergence);
+    sim.telemetry().set_sink(&fanout);
+  }
+
+  const double metrics_interval_s = args.get_double("metrics-interval-ms", 0.0) * 1e-3;
+  const std::string metrics_path = args.get("metrics-json");
+  std::ofstream metrics_file;
+  std::ostream* metrics_out = nullptr;
+  if (!metrics_path.empty()) {
+    if (metrics_path == "-") {
+      metrics_out = &std::cout;
+    } else {
+      metrics_file.open(metrics_path);
+      if (!metrics_file) {
+        std::fprintf(stderr, "cannot open --metrics-json file: %s\n", metrics_path.c_str());
+        return 1;
+      }
+      metrics_out = &metrics_file;
+    }
+  } else if (metrics_interval_s > 0) {
+    std::fprintf(stderr, "--metrics-interval-ms needs --metrics-json <file|->\n");
+    return 1;
+  }
+  MetricsExporter exporter{&sim, metrics_out, metrics_interval_s};
+  if (metrics_out != nullptr && metrics_interval_s > 0) {
+    MetricsExporter* ep = &exporter;
+    sim.events().schedule_in(metrics_interval_s, [ep] { ep->tick(); });
   }
 
   compiler::CompileResult compiled;
   std::unique_ptr<pg::PolicyEvaluator> evaluator;
+  std::string policy_text;
   if (plane == "contra") {
     const std::string policy = args.get("policy", "minimize(path.util)");
+    policy_text = policy;
     try {
       compiled = compiler::compile(policy, *topo);
     } catch (const std::exception& e) {
@@ -143,6 +223,29 @@ int main(int argc, char** argv) {
   const auto flows = workload::generate_poisson(sizes, senders, receivers, wl);
   workload::submit(transport, flows);
 
+  if (!trace_path.empty()) {
+    obs::RunManifest manifest = obs::RunManifest::make("contrasim");
+    manifest.topology = args.has("topology") ? args.get("topology") : args.get("builtin", "diamond");
+    manifest.nodes = topo->num_nodes();
+    manifest.links = topo->num_links();
+    manifest.plane = plane;
+    manifest.policy = policy_text;
+    manifest.workload = args.get("workload", "web-search");
+    manifest.seed = seed;
+    manifest.load = load;
+    manifest.duration_s = duration_s;
+    manifest.probe_period_s = probe_period_s;
+    manifest.link_bps = link_bps;
+    const std::string manifest_path = obs::manifest_path_for(trace_path);
+    if (!manifest.write(manifest_path)) {
+      std::fprintf(stderr, "cannot write run manifest: %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("telemetry: trace=%s manifest=%s config_hash=%016llx\n", trace_path.c_str(),
+                manifest_path.c_str(),
+                static_cast<unsigned long long>(manifest.config_hash()));
+  }
+
   sim.start();
   sim.run_until(wl.start);
   const sim::LinkStats window_start = sim.aggregate_fabric_stats();
@@ -157,5 +260,17 @@ int main(int argc, char** argv) {
   std::printf("traffic : %s\n", overhead.to_string().c_str());
   std::printf("drops   : %llu data packets\n",
               static_cast<unsigned long long>(sim.aggregate_fabric_stats().data_drops));
+
+  if (metrics_out != nullptr) {
+    *metrics_out << sim.telemetry().metrics().snapshot_json(sim.now()) << "\n";
+  }
+  if (!trace_path.empty()) {
+    fanout.flush();
+    std::printf("trace   : %llu records -> %s\n",
+                static_cast<unsigned long long>(trace_sink->records_written()),
+                trace_path.c_str());
+    std::printf("%s", convergence.report().to_string().c_str());
+    sim.telemetry().set_sink(nullptr);  // sinks go out of scope before sim
+  }
   return 0;
 }

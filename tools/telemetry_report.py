@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Summarize a contrasim control-plane trace (JSONL) and its run manifest.
+
+Usage:
+  telemetry_report.py TRACE.jsonl [--manifest PATH] [--top 5] [--json]
+  telemetry_report.py --validate-manifest MANIFEST.json
+
+Reads the trace schema written by obs::JsonlTraceSink (see
+docs/OBSERVABILITY.md): one record per line, keys t/ev/sw/dst/tag/pid/link/
+aux/ver/val, absent keys meaning "not applicable". Prints:
+
+  * record counts by event type,
+  * top probe talkers (switches by probe records),
+  * route-flap leaders (destinations by route_flip count),
+  * the per-destination convergence table (time-to-quiescence, flap counts,
+    and post-failure re-convergence latency — mirroring obs::ConvergenceTracker),
+  * the run manifest, when found next to the trace (x.jsonl -> x.manifest.json).
+
+--json emits the same summary as one JSON object for scripting.
+--validate-manifest checks a manifest file has every required field and a
+config hash, exit 0/1 — used by the telemetry e2e test.
+"""
+
+import argparse
+import collections
+import json
+import os
+import sys
+
+EVENT_NAMES = [
+    "probe_orig", "probe_rx", "probe_accept", "probe_reject_stale",
+    "probe_reject_rank", "probe_reject_no_pg", "route_flip",
+    "flowlet_create", "flowlet_switch", "flowlet_expire", "flowlet_flush",
+    "failure_detect", "failure_clear", "loop_break", "link_down", "link_up",
+    "drop",
+]
+
+MANIFEST_REQUIRED = [
+    "schema", "tool", "topology", "nodes", "links", "plane", "seed",
+    "duration_s", "config_hash", "build",
+]
+
+
+def manifest_path_for(trace_path):
+    if trace_path.endswith(".jsonl"):
+        return trace_path[: -len(".jsonl")] + ".manifest.json"
+    return trace_path + ".manifest.json"
+
+
+def validate_manifest(path):
+    """Returns a list of problems (empty = valid)."""
+    try:
+        with open(path) as f:
+            manifest = json.load(f)
+    except OSError as e:
+        return [f"cannot read {path}: {e.strerror}"]
+    except json.JSONDecodeError as e:
+        return [f"{path} is not valid JSON: {e}"]
+    problems = [f"missing field: {key}" for key in MANIFEST_REQUIRED if key not in manifest]
+    if isinstance(manifest.get("config_hash"), str):
+        try:
+            int(manifest["config_hash"], 16)
+        except ValueError:
+            problems.append(f"config_hash is not hex: {manifest['config_hash']!r}")
+    if isinstance(manifest.get("build"), dict):
+        for key in ("type", "compiler"):
+            if key not in manifest["build"]:
+                problems.append(f"missing field: build.{key}")
+    return problems
+
+
+class Convergence:
+    """Per-destination convergence state, mirroring obs::ConvergenceTracker."""
+
+    def __init__(self):
+        self.first_failure = None
+        self.dests = {}
+
+    def observe(self, record):
+        ev = record.get("ev")
+        t = float(record.get("t", 0.0))
+        if ev in ("link_down", "failure_detect") and self.first_failure is None:
+            self.first_failure = t
+        if ev != "route_flip" or "dst" not in record:
+            return
+        state = self.dests.setdefault(
+            record["dst"],
+            {"flips": 0, "first": None, "last": None, "post_flips": 0, "post_last": None})
+        state["flips"] += 1
+        if state["first"] is None:
+            state["first"] = t
+        state["last"] = t
+        if self.first_failure is not None and t >= self.first_failure:
+            state["post_flips"] += 1
+            state["post_last"] = t
+
+    def table(self):
+        rows = []
+        for dst in sorted(self.dests):
+            s = self.dests[dst]
+            reconverge = (s["post_last"] - self.first_failure
+                          if s["post_last"] is not None else None)
+            rows.append({
+                "dst": dst,
+                "flips": s["flips"],
+                "first_route_s": s["first"],
+                "quiesced_s": s["last"],
+                "post_failure_flips": s["post_flips"],
+                "reconvergence_s": reconverge,
+            })
+        return rows
+
+
+def read_trace(path):
+    counts = collections.Counter()
+    probe_talkers = collections.Counter()
+    flap_leaders = collections.Counter()
+    convergence = Convergence()
+    bad_lines = 0
+    total = 0
+    probe_events = {"probe_orig", "probe_rx", "probe_accept", "probe_reject_stale",
+                    "probe_reject_rank", "probe_reject_no_pg"}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad_lines += 1
+                continue
+            ev = record.get("ev")
+            if ev not in EVENT_NAMES:
+                bad_lines += 1
+                continue
+            total += 1
+            counts[ev] += 1
+            if ev in probe_events and "sw" in record:
+                probe_talkers[record["sw"]] += 1
+            if ev == "route_flip" and "dst" in record:
+                flap_leaders[record["dst"]] += 1
+            convergence.observe(record)
+    return {
+        "total_records": total,
+        "bad_lines": bad_lines,
+        "counts": {name: counts[name] for name in EVENT_NAMES if counts[name]},
+        "probe_talkers": probe_talkers,
+        "flap_leaders": flap_leaders,
+        "convergence": convergence,
+    }
+
+
+def fmt_s(value):
+    return "-" if value is None else f"{value:.6f}"
+
+
+def print_report(path, summary, manifest, manifest_path, top):
+    print(f"trace    : {path}")
+    print(f"records  : {summary['total_records']} ({summary['bad_lines']} malformed skipped)")
+    print("by event :")
+    for name, count in sorted(summary["counts"].items(), key=lambda kv: -kv[1]):
+        print(f"  {name:20s} {count}")
+    if summary["probe_talkers"]:
+        print(f"top probe talkers (switch: probe records):")
+        for sw, count in summary["probe_talkers"].most_common(top):
+            print(f"  sw {sw:4d}  {count}")
+    if summary["flap_leaders"]:
+        print(f"route-flap leaders (dst: flips):")
+        for dst, count in summary["flap_leaders"].most_common(top):
+            print(f"  dst {dst:4d}  {count}")
+    convergence = summary["convergence"]
+    rows = convergence.table()
+    if rows:
+        if convergence.first_failure is not None:
+            print(f"first failure at t={convergence.first_failure:.6f} s")
+        print("convergence:")
+        print("  dst  flips  first_route_s  quiesced_s  post_fail_flips  reconverge_s")
+        for r in rows:
+            print(f"  {r['dst']:3d}  {r['flips']:5d}  {fmt_s(r['first_route_s']):>13s}"
+                  f"  {fmt_s(r['quiesced_s']):>10s}  {r['post_failure_flips']:15d}"
+                  f"  {fmt_s(r['reconvergence_s']):>12s}")
+    if manifest is not None:
+        print(f"manifest : {manifest_path}")
+        print(f"  tool={manifest.get('tool')} topology={manifest.get('topology')}"
+              f" plane={manifest.get('plane')} seed={manifest.get('seed')}"
+              f" config_hash={manifest.get('config_hash')}")
+    else:
+        print(f"manifest : not found ({manifest_path})")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", nargs="?", help="trace JSONL file")
+    parser.add_argument("--manifest", help="manifest path (default: derived from trace)")
+    parser.add_argument("--top", type=int, default=5, help="top-N talkers/flappers (default 5)")
+    parser.add_argument("--json", action="store_true", help="emit a JSON summary")
+    parser.add_argument("--validate-manifest", metavar="MANIFEST",
+                        help="validate a manifest file and exit")
+    args = parser.parse_args()
+
+    if args.validate_manifest:
+        problems = validate_manifest(args.validate_manifest)
+        for problem in problems:
+            print(f"telemetry_report: {problem}", file=sys.stderr)
+        print(f"{args.validate_manifest}: {'INVALID' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    if not args.trace:
+        parser.error("need a trace file (or --validate-manifest)")
+    try:
+        summary = read_trace(args.trace)
+    except OSError as e:
+        sys.exit(f"telemetry_report: cannot read {args.trace}: {e.strerror}")
+
+    manifest_path = args.manifest or manifest_path_for(args.trace)
+    manifest = None
+    if os.path.exists(manifest_path):
+        problems = validate_manifest(manifest_path)
+        if problems:
+            for problem in problems:
+                print(f"telemetry_report: manifest problem: {problem}", file=sys.stderr)
+            return 1
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+
+    if args.json:
+        convergence = summary["convergence"]
+        print(json.dumps({
+            "trace": args.trace,
+            "total_records": summary["total_records"],
+            "bad_lines": summary["bad_lines"],
+            "counts": summary["counts"],
+            "top_probe_talkers": summary["probe_talkers"].most_common(args.top),
+            "route_flap_leaders": summary["flap_leaders"].most_common(args.top),
+            "first_failure_s": convergence.first_failure,
+            "convergence": convergence.table(),
+            "manifest": manifest,
+        }, indent=2))
+    else:
+        print_report(args.trace, summary, manifest, manifest_path, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
