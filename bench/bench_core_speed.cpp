@@ -36,9 +36,12 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "compiler/compiler.h"
 #include "dataplane/contra_switch.h"
 #include "obs/telemetry.h"
+#include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
 #include "topology/generators.h"
 #include "util/alloc_probe.h"
@@ -215,6 +218,132 @@ ScenarioResult run_probe_flood(double sim_seconds) {
   return run_probe_flood_impl("probe_flood", sim_seconds, false);
 }
 
+// ---- parallel_scaling ------------------------------------------------------
+//
+// The probe flood on the sharded parallel engine (DESIGN.md §8), workers
+// 1..8 at a fixed shard count. Reported under its own top-level JSON key —
+// deliberately outside "scenarios", so the compare_bench.py serial gate
+// never keys on machine-dependent thread scaling. Bit-identity across
+// worker counts is a hard contract and fails the binary; the speedup is
+// informational (this gate also runs on single-core CI machines, where no
+// speedup is physically possible).
+
+struct ScalingRun {
+  uint32_t workers = 0;
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  double allocs_per_event = 0.0;
+  uint64_t digest = 0;  ///< per-link traffic digest: the determinism check
+
+  double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0.0; }
+};
+
+ScalingRun run_parallel_probe_flood(const topology::Topology& topo,
+                                    const compiler::CompileResult& compiled,
+                                    const pg::PolicyEvaluator& evaluator, uint32_t workers,
+                                    uint32_t shards, double sim_seconds) {
+  sim::SimConfig config;
+  config.workers = workers;
+  config.shards = shards;
+  sim::ParallelSimulator psim(topo, config);
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 64e-6;
+  psim.for_each_shard([&](sim::Simulator& shard_sim) {
+    dataplane::install_contra_network(shard_sim, compiled, evaluator, options);
+  });
+  psim.start();
+
+  psim.run_until(sim_seconds * 0.1);  // warm-up: pools, mailboxes, heaps
+  const uint64_t events_before = psim.events_processed();
+  const uint64_t allocs_before = util::alloc_count();
+  const auto start = Clock::now();
+  psim.run_until(sim_seconds * 1.1);
+  const uint64_t allocs = util::alloc_count() - allocs_before;
+
+  ScalingRun run;
+  run.workers = workers;
+  run.wall_s = seconds_since(start);
+  run.events = psim.events_processed() - events_before;
+  run.allocs_per_event = run.events ? double(allocs) / run.events : 0.0;
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over merged link traffic
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(run.events);
+  for (topology::LinkId id = 0; id < topo.num_links(); ++id) {
+    uint64_t tx_packets = 0, tx_bytes = 0, drops = 0;
+    for (uint32_t s = 0; s < psim.num_shards(); ++s) {
+      const sim::LinkStats& ls = psim.shard_sim(s).link(id).stats();
+      tx_packets += ls.tx_packets;
+      tx_bytes += ls.tx_bytes;
+      drops += ls.drops;
+    }
+    mix(tx_packets);
+    mix(tx_bytes);
+    mix(drops);
+  }
+  run.digest = h;
+  return run;
+}
+
+std::string run_parallel_scaling(double sim_seconds) {
+  const topology::Topology topo =
+      topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile("minimize((path.len, path.util))", topo);
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+  constexpr uint32_t kShards = 4;
+
+  std::vector<ScalingRun> runs;
+  for (const uint32_t workers : {1u, 2u, 4u, 8u}) {
+    runs.push_back(
+        run_parallel_probe_flood(topo, compiled, evaluator, workers, kShards, sim_seconds));
+  }
+
+  bool identical = true;
+  for (const ScalingRun& run : runs) {
+    if (run.digest != runs.front().digest || run.events != runs.front().events) {
+      identical = false;
+    }
+  }
+  if (!identical) {
+    std::fprintf(stderr, "parallel_scaling: worker counts disagree — determinism broken\n");
+    std::exit(1);
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const double speedup_w4 =
+      runs[2].wall_s > 0 ? runs[0].wall_s / runs[2].wall_s : 0.0;
+  for (const ScalingRun& run : runs) {
+    std::printf("parallel_scaling w=%u %9llu events  %8.4f s  %12.0f ev/s  %.4f allocs/event\n",
+                run.workers, static_cast<unsigned long long>(run.events), run.wall_s,
+                run.events_per_sec(), run.allocs_per_event);
+  }
+  std::printf("parallel_scaling: bit-identical across workers, speedup(w4)=%.2fx on %u cores\n",
+              speedup_w4, cores);
+
+  std::ostringstream os;
+  os << "{\n    \"shards\": " << kShards << ",\n    \"hardware_concurrency\": " << cores
+     << ",\n    \"bit_identical\": true,\n    \"speedup_w4\": " << speedup_w4
+     << ",\n    \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ScalingRun& run = runs[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "      {\"workers\": %u, \"events\": %llu, \"wall_s\": %.6f, "
+                  "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f, "
+                  "\"digest\": \"%016llx\"}%s\n",
+                  run.workers, static_cast<unsigned long long>(run.events), run.wall_s,
+                  run.events_per_sec(), run.allocs_per_event,
+                  static_cast<unsigned long long>(run.digest),
+                  i + 1 < runs.size() ? "," : "");
+    os << buf;
+  }
+  os << "    ]\n  }";
+  return os.str();
+}
+
 ScenarioResult run_probe_flood_telemetry_off(double sim_seconds) {
   return run_probe_flood_impl("probe_flood_telemetry_off", sim_seconds, true);
 }
@@ -223,7 +352,7 @@ ScenarioResult run_probe_flood_telemetry_off(double sim_seconds) {
 
 void write_json(const std::string& path, const std::string& label,
                 const std::vector<ScenarioResult>& results,
-                const std::string& baseline_blob) {
+                const std::string& scaling_blob, const std::string& baseline_blob) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"core_speed\",\n";
@@ -241,6 +370,7 @@ void write_json(const std::string& path, const std::string& label,
     out << buf;
   }
   out << "  }";
+  if (!scaling_blob.empty()) out << ",\n  \"parallel_scaling\": " << scaling_blob;
   if (!baseline_blob.empty()) out << ",\n  \"baseline\": " << baseline_blob;
   out << "\n}\n";
 
@@ -256,6 +386,7 @@ int main(int argc, char** argv) {
   int repeats = 3;
   uint64_t timer_events = 2'000'000;
   double sim_seconds = 20e-3;
+  bool run_scaling = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -265,11 +396,12 @@ int main(int argc, char** argv) {
     else if (arg == "--repeats") repeats = std::atoi(next());
     else if (arg == "--events") timer_events = std::strtoull(next(), nullptr, 10);
     else if (arg == "--sim-seconds") sim_seconds = std::atof(next());
+    else if (arg == "--no-scaling") run_scaling = false;
     else {
       std::fprintf(stderr,
                    "usage: bench_core_speed [--out file] [--label name] "
                    "[--baseline-json file] [--repeats n] [--events n] "
-                   "[--sim-seconds s]\n");
+                   "[--sim-seconds s] [--no-scaling]\n");
       return 2;
     }
   }
@@ -297,6 +429,8 @@ int main(int argc, char** argv) {
                 r.events_per_sec(), r.allocs_per_event);
   }
 
+  const std::string scaling_blob = run_scaling ? run_parallel_scaling(sim_seconds) : "";
+
   std::string baseline_blob;
   if (!baseline_path.empty()) {
     std::ifstream in(baseline_path);
@@ -312,7 +446,7 @@ int main(int argc, char** argv) {
       baseline_blob.pop_back();
     }
   }
-  write_json(out_path, label, best, baseline_blob);
+  write_json(out_path, label, best, scaling_blob, baseline_blob);
   return 0;
 }
 

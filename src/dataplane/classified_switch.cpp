@@ -52,8 +52,8 @@ ClassifiedNetwork install_classified_network(sim::Simulator& sim,
   }
   for (topology::NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
     auto sw = std::make_unique<ClassifiedContraSwitch>(compiled, network.evaluators, n, options);
-    network.switches.push_back(sw.get());
-    sim.install_switch(n, std::move(sw));
+    ClassifiedContraSwitch* raw = sw.get();
+    if (sim.install_switch(n, std::move(sw))) network.switches.push_back(raw);
   }
   return network;
 }

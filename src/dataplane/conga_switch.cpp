@@ -176,8 +176,8 @@ std::vector<CongaSwitch*> install_conga_network(sim::Simulator& sim, CongaOption
   std::vector<CongaSwitch*> switches;
   for (NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
     auto sw = std::make_unique<CongaSwitch>(n, options);
-    switches.push_back(sw.get());
-    sim.install_switch(n, std::move(sw));
+    CongaSwitch* raw = sw.get();
+    if (sim.install_switch(n, std::move(sw))) switches.push_back(raw);
   }
   return switches;
 }

@@ -26,7 +26,20 @@ ContraSwitch::ContraSwitch(const compiler::CompileResult& compiled,
       flowlets_(options.flowlet_timeout_s),
       loop_detector_(options.loop_table_slots, options.loop_ttl_threshold),
       probe_clock_(options.probe_period_s),
-      failure_detector_(options.failure_detect_periods * options.probe_period_s) {}
+      failure_detector_(options.failure_detect_periods * options.probe_period_s) {
+  // Pre-size the hot maps from the compiled bounds (§4.3 state accounting):
+  // FwdT converges to one entry per (destination, local tag, pid), BestT's
+  // scan index to one bucket per destination. Reserving up front keeps the
+  // warm-up phase from rehashing mid-run — rehashes are the only allocation
+  // these maps would otherwise do after convergence.
+  const compiler::StateFootprint& footprint = compiled.switches[self].footprint;
+  fwdt_.reserve(footprint.fwdt_entries);
+  uint64_t num_destinations = 0;
+  for (const compiler::SwitchConfig& cfg : compiled.switches) {
+    if (cfg.is_destination) ++num_destinations;
+  }
+  best_index_.reserve(num_destinations);
+}
 
 void ContraSwitch::bind_telemetry(Simulator& sim) {
   telemetry_ = &sim.telemetry();
@@ -284,7 +297,7 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
   } else {
     // Exact transit loop accounting (simulator-side ground truth): the same
     // packet id crossing this switch twice within the window is a loop.
-    if (now - recent_packets_reset_ > 0.01) {
+    if (now - recent_packets_reset_ > 0.01 || recent_packets_.size() >= kRecentPacketsCap) {
       recent_packets_.clear();
       recent_packets_reset_ = now;
     }
@@ -407,8 +420,8 @@ std::vector<ContraSwitch*> install_contra_network(Simulator& sim,
   switches.reserve(sim.topo().num_nodes());
   for (NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
     auto sw = std::make_unique<ContraSwitch>(compiled, evaluator, n, options);
-    switches.push_back(sw.get());
-    sim.install_switch(n, std::move(sw));
+    ContraSwitch* raw = sw.get();
+    if (sim.install_switch(n, std::move(sw))) switches.push_back(raw);
   }
   return switches;
 }

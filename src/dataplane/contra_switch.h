@@ -125,6 +125,15 @@ class ContraSwitch : public sim::Device {
   /// skipping expired entries and presumed-failed next hops.
   std::optional<BestChoice> best_choice(topology::NodeId dst, sim::Time now) const;
 
+  /// Current size of the loop-accounting window (bounded by
+  /// kRecentPacketsCap; test hook).
+  size_t recent_packet_window_size() const { return recent_packets_.size(); }
+
+  /// Hard cap on the loop-accounting window: reaching it restarts the
+  /// window, exactly like the periodic reset, so the map cannot grow without
+  /// bound on long runs with many distinct packets.
+  static constexpr size_t kRecentPacketsCap = 1u << 16;
+
   /// Renders FwdT + BestT in the paper's Fig. 6e layout:
   ///   [dst, tag, pid] -> mv, ntag, nhop, version   (* marks BestT's pick)
   std::string render_tables(sim::Time now) const;
@@ -184,8 +193,13 @@ class ContraSwitch : public sim::Device {
   FailureDetector failure_detector_;
 
   /// Exact loop accounting (simulator-side truth, not a switch table): packet
-  /// ids seen recently at this switch; a revisit is a looped packet.
-  std::unordered_map<uint64_t, uint8_t> recent_packets_;
+  /// ids seen recently at this switch; a revisit is a looped packet. Packet
+  /// ids are near-sequential (and shard-namespaced under the parallel
+  /// engine), so they go through a full 64-bit mix before bucketing.
+  struct PacketIdHash {
+    size_t operator()(uint64_t id) const { return static_cast<size_t>(util::mix64(id)); }
+  };
+  std::unordered_map<uint64_t, uint8_t, PacketIdHash> recent_packets_;
   sim::Time recent_packets_reset_ = 0.0;
 
   ContraSwitchStats stats_;

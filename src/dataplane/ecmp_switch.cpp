@@ -44,8 +44,8 @@ std::vector<EcmpSwitch*> install_ecmp_network(sim::Simulator& sim) {
   std::vector<EcmpSwitch*> switches;
   for (topology::NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
     auto sw = std::make_unique<EcmpSwitch>(table, n);
-    switches.push_back(sw.get());
-    sim.install_switch(n, std::move(sw));
+    EcmpSwitch* raw = sw.get();
+    if (sim.install_switch(n, std::move(sw))) switches.push_back(raw);
   }
   return switches;
 }

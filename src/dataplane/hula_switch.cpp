@@ -223,8 +223,8 @@ std::vector<HulaSwitch*> install_hula_network(sim::Simulator& sim, HulaOptions o
   std::vector<HulaSwitch*> switches;
   for (NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
     auto sw = std::make_unique<HulaSwitch>(n, options);
-    switches.push_back(sw.get());
-    sim.install_switch(n, std::move(sw));
+    HulaSwitch* raw = sw.get();
+    if (sim.install_switch(n, std::move(sw))) switches.push_back(raw);
   }
   return switches;
 }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
-#include <map>
 #include <queue>
 
 namespace contra::dataplane {
@@ -74,9 +73,13 @@ std::vector<std::vector<LinkId>> compute_shortest_next_hops(const Topology& topo
 
 namespace {
 
-/// Dijkstra with per-cable additive penalties (for path diversity).
+/// Dijkstra with per-cable additive penalties (for path diversity). The
+/// penalty table is dense, indexed by canonical link id (min of the two
+/// directed ids of a cable): this probe sits in the O(E·V) relaxation inner
+/// loop, where the old std::map lookup cost an O(log E) pointer chase per
+/// edge.
 std::vector<NodeId> penalized_shortest_path(const Topology& topo, NodeId src, NodeId dst,
-                                            const std::map<LinkId, double>& penalty) {
+                                            const std::vector<double>& penalty) {
   const double inf = std::numeric_limits<double>::infinity();
   std::vector<double> dist(topo.num_nodes(), inf);
   std::vector<LinkId> via(topo.num_nodes(), topology::kInvalidLink);
@@ -90,8 +93,7 @@ std::vector<NodeId> penalized_shortest_path(const Topology& topo, NodeId src, No
     if (d > dist[u]) continue;
     if (u == dst) break;
     for (LinkId l : topo.out_links(u)) {
-      auto it = penalty.find(std::min(l, topo.link(l).reverse));
-      const double w = 1.0 + (it == penalty.end() ? 0.0 : it->second);
+      const double w = 1.0 + penalty[std::min(l, topo.link(l).reverse)];
       const NodeId v = topo.link(l).to;
       if (d + w < dist[v]) {
         dist[v] = d + w;
@@ -116,10 +118,11 @@ std::vector<NodeId> penalized_shortest_path(const Topology& topo, NodeId src, No
 SpainRouting::SpainRouting(const Topology& topo, uint32_t k)
     : topo_(&topo), k_(k), num_nodes_(topo.num_nodes()) {
   paths_.resize(static_cast<size_t>(num_nodes_) * num_nodes_);
+  std::vector<double> penalty(topo.num_links(), 0.0);
   for (NodeId src = 0; src < num_nodes_; ++src) {
     for (NodeId dst = 0; dst < num_nodes_; ++dst) {
       if (src == dst) continue;
-      std::map<LinkId, double> penalty;
+      std::fill(penalty.begin(), penalty.end(), 0.0);
       auto& bucket = paths_[index(src, dst)];
       for (uint32_t i = 0; i < k_; ++i) {
         std::vector<NodeId> path = penalized_shortest_path(topo, src, dst, penalty);

@@ -42,8 +42,8 @@ std::vector<SpainSwitch*> install_spain_network(sim::Simulator& sim, uint32_t k)
   std::vector<SpainSwitch*> switches;
   for (topology::NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
     auto sw = std::make_unique<SpainSwitch>(routing, n);
-    switches.push_back(sw.get());
-    sim.install_switch(n, std::move(sw));
+    SpainSwitch* raw = sw.get();
+    if (sim.install_switch(n, std::move(sw))) switches.push_back(raw);
   }
   return switches;
 }

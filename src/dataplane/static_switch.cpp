@@ -31,8 +31,8 @@ std::vector<StaticSwitch*> install_shortest_path_network(sim::Simulator& sim) {
   std::vector<StaticSwitch*> switches;
   for (topology::NodeId n = 0; n < sim.topo().num_nodes(); ++n) {
     auto sw = std::make_unique<StaticSwitch>(table, n);
-    switches.push_back(sw.get());
-    sim.install_switch(n, std::move(sw));
+    StaticSwitch* raw = sw.get();
+    if (sim.install_switch(n, std::move(sw))) switches.push_back(raw);
   }
   return switches;
 }

@@ -1,5 +1,6 @@
 #include "obs/metrics_registry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -37,6 +38,37 @@ HistogramId MetricsRegistry::histogram(std::string name, std::vector<double> upp
   HistogramId id{first, buckets, static_cast<uint32_t>(histograms_.size())};
   histograms_.push_back(HistogramMeta{std::move(name), std::move(upper_bounds), first});
   return id;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  if (other.used_ != used_ || other.scalars_.size() != scalars_.size() ||
+      other.histograms_.size() != histograms_.size()) {
+    throw std::invalid_argument("MetricsRegistry::merge_from: slot layout mismatch");
+  }
+  for (size_t i = 0; i < scalars_.size(); ++i) {
+    const ScalarMeta& meta = scalars_[i];
+    const ScalarMeta& theirs = other.scalars_[i];
+    if (meta.name != theirs.name || meta.kind != theirs.kind || meta.slot != theirs.slot) {
+      throw std::invalid_argument("MetricsRegistry::merge_from: scalar layout mismatch");
+    }
+    const uint64_t ours = slots_[meta.slot].load(std::memory_order_relaxed);
+    const uint64_t value = other.slots_[meta.slot].load(std::memory_order_relaxed);
+    slots_[meta.slot].store(meta.kind == SlotKind::kGauge ? std::max(ours, value) : ours + value,
+                            std::memory_order_relaxed);
+  }
+  for (size_t h = 0; h < histograms_.size(); ++h) {
+    const HistogramMeta& meta = histograms_[h];
+    if (meta.name != other.histograms_[h].name || meta.first_slot != other.histograms_[h].first_slot ||
+        meta.bounds != other.histograms_[h].bounds) {
+      throw std::invalid_argument("MetricsRegistry::merge_from: histogram layout mismatch");
+    }
+    for (uint32_t i = 0; i <= meta.bounds.size(); ++i) {
+      const uint32_t slot = meta.first_slot + i;
+      slots_[slot].store(slots_[slot].load(std::memory_order_relaxed) +
+                             other.slots_[slot].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+  }
 }
 
 uint64_t MetricsRegistry::histogram_total(HistogramId id) const {

@@ -82,6 +82,14 @@ class MetricsRegistry {
 
   uint32_t slots_used() const { return used_; }
 
+  /// Folds another registry with the *identical slot layout* into this one:
+  /// counters and histogram buckets add, gauges take the max. The parallel
+  /// engine uses this to merge per-shard registries (each shard's Simulator
+  /// registers the same CoreMetrics in the same order) into one global view;
+  /// call only at barriers or after the run, when the source is quiescent.
+  /// Throws on layout mismatch.
+  void merge_from(const MetricsRegistry& other);
+
   /// One-line JSON snapshot: {"t":…,"counters":{…},"gauges":{…},
   /// "histograms":{name:{"bounds":[…],"counts":[…]}}}. Zero-valued scalar
   /// slots are included — a snapshot is a complete picture, diffs depend on

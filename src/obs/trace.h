@@ -42,6 +42,8 @@ enum class Ev : uint8_t {
   kLinkDown,           ///< cable administratively failed
   kLinkUp,             ///< cable restored
   kDrop,               ///< link dropped a packet (queue full or link down)
+  kEpoch,              ///< parallel engine: epoch boundary reached (sw=shard)
+  kBarrier,            ///< parallel engine: mailbox drain at a barrier (sw=shard)
   kCount,
 };
 

@@ -88,4 +88,9 @@ void EventQueue::run_until(Time end) {
   now_ = std::max(now_, end);
 }
 
+void EventQueue::run_before(Time end) {
+  while (!heap_.empty() && heap_.front().time < end) step();
+  now_ = std::max(now_, end);
+}
+
 }  // namespace contra::sim

@@ -175,6 +175,12 @@ class EventQueue {
   /// advances now() to `end` at most.
   void run_until(Time end);
 
+  /// Like run_until, but strictly: events at exactly `end` stay pending.
+  /// This is the per-epoch step of the sharded parallel engine — an epoch
+  /// [T, T+delta) owns events in the half-open interval, and cross-shard
+  /// deliveries scheduled *at* the boundary belong to the next epoch.
+  void run_before(Time end);
+
   uint64_t events_processed() const { return processed_; }
   /// Events whose requested time was in the past and got clamped to now().
   uint64_t events_clamped() const { return clamped_; }

@@ -72,8 +72,13 @@ void Link::on_transmit_done() {
   Packet packet = queue_.pop_front();
   queue_bytes_ -= packet.size_bytes;
   note_tx(packet);
-  // Propagation: deliver after the wire delay.
-  events_.schedule_deliver(events_.now() + delay_s_, this, std::move(packet));
+  // Propagation: deliver after the wire delay — locally, or via the
+  // cross-shard mailbox when this link's receive side lives in another shard.
+  if (remote_forward_) {
+    remote_forward_(events_.now() + delay_s_, std::move(packet));
+  } else {
+    events_.schedule_deliver(events_.now() + delay_s_, this, std::move(packet));
+  }
   maybe_start_transmit();
 }
 

@@ -42,7 +42,15 @@ class Link {
   /// congestion-marked (0 disables marking — the default).
   void set_ecn_threshold_bytes(uint64_t bytes) { ecn_threshold_bytes_ = bytes; }
 
+  /// Cross-shard hop hook (parallel engine): when set, finished transmissions
+  /// hand (arrival_time, packet) to this function instead of scheduling the
+  /// propagation-delivery event locally — the destination shard schedules the
+  /// delivery on *its* event queue when the mailbox drains at the epoch
+  /// barrier. arrival_time already includes the propagation delay.
+  using RemoteForwardFn = std::function<void(Time arrival_time, Packet&&)>;
+
   void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+  void set_remote_forward(RemoteForwardFn forward) { remote_forward_ = std::move(forward); }
   void set_queue_sampler(QueueSampleFn sampler) { queue_sampler_ = std::move(sampler); }
 
   /// Telemetry tap: drop/ECN counters and per-drop trace records, attributed
@@ -101,6 +109,7 @@ class Link {
   void note_drop(const Packet& packet);
 
   DeliverFn deliver_;
+  RemoteForwardFn remote_forward_;
   QueueSampleFn queue_sampler_;
   LinkStats stats_;
   obs::Telemetry* telemetry_ = nullptr;

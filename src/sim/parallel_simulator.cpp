@@ -1,0 +1,369 @@
+#include "sim/parallel_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/telemetry.h"
+#include "topology/generators.h"
+#include "util/strings.h"
+
+namespace contra::sim {
+
+namespace {
+
+/// Spin a few hundred iterations, then start yielding: epochs are
+/// microseconds of work so spinning usually wins, but on machines with fewer
+/// cores than workers the yield is what lets the other worker run at all.
+template <typename Cond>
+void spin_wait(Cond&& cond) {
+  uint32_t spins = 0;
+  while (!cond()) {
+    if (++spins > 256) std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(const topology::Topology& topo, SimConfig config)
+    : topo_(&topo), config_(config) {
+  const uint32_t requested =
+      config.shards != 0 ? config.shards : topology::default_num_shards(topo);
+  partition_ = topology::partition_topology(topo, requested);
+  // A zero-delay cut link admits no epoch width — no conservative window in
+  // which shards can run independently. Collapse to one shard: still the
+  // parallel engine's code path, just without concurrency.
+  if (partition_.num_shards > 1 && partition_.num_cut_links > 0 &&
+      partition_.min_cut_delay_s <= 0.0) {
+    partition_ = topology::partition_topology(topo, 1);
+  }
+  shards_.reserve(partition_.num_shards);
+  for (uint32_t s = 0; s < partition_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(s, topo, config_, partition_));
+  }
+  next_boundary_ = epoch_width_s();  // +inf when nothing crosses the cut
+
+  workers_ = std::max<uint32_t>(
+      1, std::min(config.workers == 0 ? 1 : config.workers, partition_.num_shards));
+  threads_.reserve(workers_ > 0 ? workers_ - 1 : 0);
+  for (uint32_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  if (!threads_.empty()) {
+    shutdown_.store(true, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+void ParallelSimulator::worker_loop(uint32_t worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    spin_wait([&] { return generation_.load(std::memory_order_acquire) != seen; });
+    ++seen;
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    auto job = job_;
+    const Time t = job_time_;
+    const bool flag = job_flag_;
+    for (uint32_t s = worker; s < partition_.num_shards; s += workers_) {
+      (this->*job)(s, t, flag);
+    }
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ParallelSimulator::parallel_for_shards(void (ParallelSimulator::*job)(uint32_t, Time, bool),
+                                            Time t, bool flag) {
+  const uint32_t n = partition_.num_shards;
+  if (threads_.empty()) {
+    for (uint32_t s = 0; s < n; ++s) (this->*job)(s, t, flag);
+    return;
+  }
+  job_ = job;
+  job_time_ = t;
+  job_flag_ = flag;
+  done_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);  // publishes the job fields
+  for (uint32_t s = 0; s < n; s += workers_) (this->*job)(s, t, flag);
+  // The acquire on done_ pairs with each worker's release, publishing every
+  // mailbox/queue write of this phase back to the main thread.
+  spin_wait([&] { return done_.load(std::memory_order_acquire) == workers_ - 1; });
+}
+
+void ParallelSimulator::run_shard_epoch(uint32_t s, Time boundary, bool inclusive) {
+  Shard& shard = *shards_[s];
+  if (inclusive) {
+    shard.sim.run_until(boundary);
+  } else {
+    shard.sim.events().run_before(boundary);
+  }
+  const uint64_t processed = shard.sim.events().events_processed();
+  if (tracing_ && processed != shard.events_at_epoch_start) {
+    obs::TraceRecord r;
+    r.t = boundary;
+    r.ev = obs::Ev::kEpoch;
+    r.sw = s;
+    r.value = static_cast<double>(processed - shard.events_at_epoch_start);
+    shard.sim.telemetry().emit(r);
+  }
+  shard.events_at_epoch_start = processed;
+}
+
+void ParallelSimulator::drain_shard(uint32_t s, Time boundary, bool /*unused*/) {
+  Shard& shard = *shards_[s];
+  const uint64_t drained = drain_mailboxes_into(shard, shards_);
+  if (tracing_ && drained > 0) {
+    obs::TraceRecord r;
+    r.t = boundary;
+    r.ev = obs::Ev::kBarrier;
+    r.sw = s;
+    r.value = static_cast<double>(drained);
+    shard.sim.telemetry().emit(r);
+  }
+}
+
+void ParallelSimulator::run_until(Time end) {
+  const double delta = epoch_width_s();
+  if (shards_.size() == 1 || !std::isfinite(delta)) {
+    // Nothing crosses the cut: one unsynchronized phase. With one shard this
+    // is exactly the serial engine (same queue, same insertion order).
+    parallel_for_shards(&ParallelSimulator::run_shard_epoch, end, /*inclusive=*/true);
+    now_ = std::max(now_, end);
+    return;
+  }
+  while (next_boundary_ <= end) {
+    parallel_for_shards(&ParallelSimulator::run_shard_epoch, next_boundary_,
+                        /*inclusive=*/false);
+    bool any_pending = false;
+    for (const auto& src : shards_) {
+      for (const Mailbox& box : src->outbox) {
+        if (!box.empty()) {
+          any_pending = true;
+          break;
+        }
+      }
+      if (any_pending) break;
+    }
+    if (any_pending) {
+      parallel_for_shards(&ParallelSimulator::drain_shard, next_boundary_, false);
+    }
+    ++epochs_;
+    next_boundary_ += delta;
+  }
+  // Partial epoch up to `end`, inclusive — matching Simulator::run_until
+  // semantics. Cross-shard hops produced here arrive at or after
+  // next_boundary_ (> end), so they wait in the mailboxes for the next call.
+  parallel_for_shards(&ParallelSimulator::run_shard_epoch, end, /*inclusive=*/true);
+  now_ = std::max(now_, end);
+}
+
+HostId ParallelSimulator::add_host(topology::NodeId attach) {
+  HostId id = kInvalidHost;
+  for (auto& shard : shards_) {
+    const HostId shard_id = shard->sim.add_host(attach);
+    assert(id == kInvalidHost || id == shard_id);
+    id = shard_id;
+  }
+  return id;
+}
+
+void ParallelSimulator::start() {
+  for (auto& shard : shards_) shard->sim.start();
+}
+
+void ParallelSimulator::enable_tracing() {
+  tracing_ = true;
+  for (auto& shard : shards_) shard->sim.telemetry().set_sink(&shard->trace);
+}
+
+void ParallelSimulator::fail_cable(topology::LinkId link) {
+  const uint32_t owner = partition_.shard(topo_->link(link).from);
+  for (auto& shard : shards_) {
+    if (shard->id == owner) {
+      shard->sim.fail_cable(link);
+    } else {
+      shard->sim.set_cable_state_quiet(link, true);
+    }
+  }
+}
+
+void ParallelSimulator::restore_cable(topology::LinkId link) {
+  const uint32_t owner = partition_.shard(topo_->link(link).from);
+  for (auto& shard : shards_) {
+    if (shard->id == owner) {
+      shard->sim.restore_cable(link);
+    } else {
+      shard->sim.set_cable_state_quiet(link, false);
+    }
+  }
+}
+
+void ParallelSimulator::schedule_cable_event(Time t, topology::LinkId link, bool down) {
+  const uint32_t owner = partition_.shard(topo_->link(link).from);
+  for (auto& shard : shards_) {
+    Simulator* sim = &shard->sim;
+    const bool loud = shard->id == owner;
+    shard->sim.events().schedule_at(t, [sim, link, down, loud] {
+      if (loud && down) {
+        sim->fail_cable(link);
+      } else if (loud) {
+        sim->restore_cable(link);
+      } else {
+        sim->set_cable_state_quiet(link, down);
+      }
+    });
+  }
+}
+
+LinkStats ParallelSimulator::aggregate_fabric_stats() const {
+  LinkStats total;
+  for (const auto& shard : shards_) {
+    const LinkStats s = shard->sim.aggregate_fabric_stats();
+    total.tx_packets += s.tx_packets;
+    total.tx_bytes += s.tx_bytes;
+    total.tx_data_bytes += s.tx_data_bytes;
+    total.tx_ack_bytes += s.tx_ack_bytes;
+    total.tx_probe_bytes += s.tx_probe_bytes;
+    total.tx_data_packets += s.tx_data_packets;
+    total.tx_ack_packets += s.tx_ack_packets;
+    total.tx_probe_packets += s.tx_probe_packets;
+    total.drops += s.drops;
+    total.drop_bytes += s.drop_bytes;
+    total.data_drops += s.data_drops;
+  }
+  return total;
+}
+
+uint64_t ParallelSimulator::events_processed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.events().events_processed();
+  return total;
+}
+
+uint64_t ParallelSimulator::events_clamped() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.events().events_clamped();
+  return total;
+}
+
+std::vector<obs::TraceRecord> ParallelSimulator::merged_trace() const {
+  std::vector<obs::TraceRecord> all;
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->trace.records().size();
+  all.reserve(total);
+  // Concatenate in shard order, then stable-sort by time alone: equal-time
+  // records keep (shard, emission index) order — the engine's canonical tie
+  // order.
+  for (const auto& shard : shards_) {
+    all.insert(all.end(), shard->trace.records().begin(), shard->trace.records().end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const obs::TraceRecord& a, const obs::TraceRecord& b) { return a.t < b.t; });
+  return all;
+}
+
+std::string ParallelSimulator::merged_metrics_json(double t) const {
+  obs::Telemetry merged;  // registers CoreMetrics in the same order as every shard
+  for (const auto& shard : shards_) {
+    merged.metrics().merge_from(shard->sim.telemetry().metrics());
+  }
+  return merged.metrics().snapshot_json(t);
+}
+
+// ----- ParallelTransport -----------------------------------------------------
+
+ParallelTransport::ParallelTransport(ParallelSimulator& psim, TransportConfig config)
+    : psim_(&psim), config_(config) {
+  transports_.reserve(psim.num_shards());
+  for (uint32_t s = 0; s < psim.num_shards(); ++s) {
+    auto transport = std::make_unique<TransportManager>(psim.shard_sim(s), config);
+    transport->set_next_flow_id((static_cast<uint64_t>(s) << 48) + 1);
+    transports_.push_back(std::move(transport));
+  }
+}
+
+TransportManager& ParallelTransport::for_host(HostId src) {
+  return *transports_[psim_->shard_of_node(psim_->host_switch(src))];
+}
+
+uint64_t ParallelTransport::start_flow(HostId src, HostId dst, uint64_t bytes, Time start_time) {
+  return for_host(src).start_flow(src, dst, bytes, start_time);
+}
+
+uint64_t ParallelTransport::start_udp_flow(HostId src, HostId dst, double rate_bps,
+                                           Time start_time, Time stop_time,
+                                           uint32_t packet_bytes) {
+  return for_host(src).start_udp_flow(src, dst, rate_bps, start_time, stop_time, packet_bytes);
+}
+
+std::vector<FlowRecord> ParallelTransport::completed_flows() const {
+  std::vector<FlowRecord> all;
+  for (const auto& transport : transports_) {
+    const auto& flows = transport->completed_flows();
+    all.insert(all.end(), flows.begin(), flows.end());
+  }
+  std::sort(all.begin(), all.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    if (a.end != b.end) return a.end < b.end;
+    return a.flow_id < b.flow_id;
+  });
+  return all;
+}
+
+std::vector<FlowRecord> ParallelTransport::all_flows() const {
+  std::vector<FlowRecord> all;
+  for (const auto& transport : transports_) {
+    const auto flows = transport->all_flows();
+    all.insert(all.end(), flows.begin(), flows.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const FlowRecord& a, const FlowRecord& b) { return a.flow_id < b.flow_id; });
+  return all;
+}
+
+uint64_t ParallelTransport::total_reordered_packets() const {
+  uint64_t total = 0;
+  for (const auto& transport : transports_) total += transport->total_reordered_packets();
+  return total;
+}
+
+uint64_t ParallelTransport::udp_bytes_received() const {
+  uint64_t total = 0;
+  for (const auto& transport : transports_) total += transport->udp_bytes_received();
+  return total;
+}
+
+// ----- host placement --------------------------------------------------------
+
+std::vector<HostId> attach_hosts_to_fat_tree_edges(ParallelSimulator& sim, uint32_t per_switch) {
+  std::vector<HostId> hosts;
+  const topology::Topology& topo = sim.topo();
+  for (topology::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (topology::fat_tree_layer(topo, n) != topology::FatTreeLayer::kEdge) continue;
+    for (uint32_t i = 0; i < per_switch; ++i) hosts.push_back(sim.add_host(n));
+  }
+  return hosts;
+}
+
+std::vector<HostId> attach_hosts_to_leaves(ParallelSimulator& sim, uint32_t per_switch) {
+  std::vector<HostId> hosts;
+  const topology::Topology& topo = sim.topo();
+  for (topology::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (!util::starts_with(topo.name(n), "leaf")) continue;
+    for (uint32_t i = 0; i < per_switch; ++i) hosts.push_back(sim.add_host(n));
+  }
+  return hosts;
+}
+
+std::vector<HostId> attach_hosts(ParallelSimulator& sim,
+                                 const std::vector<topology::NodeId>& switches) {
+  std::vector<HostId> hosts;
+  hosts.reserve(switches.size());
+  for (topology::NodeId n : switches) hosts.push_back(sim.add_host(n));
+  return hosts;
+}
+
+}  // namespace contra::sim

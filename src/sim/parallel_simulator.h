@@ -1,0 +1,196 @@
+// Sharded parallel simulation engine (DESIGN.md §8).
+//
+// The topology is partitioned into shards (topology/partitioner.h); each
+// shard owns a full Simulator restricted to its switches and advances on its
+// own EventQueue. Shards synchronize with conservative epochs: the epoch
+// width is the minimum propagation delay across the partition cut, so a
+// packet transmitted onto a cut link during epoch [T, T+d) cannot arrive
+// before T+d — every cross-shard hop lands in a mailbox and is scheduled on
+// the destination shard at the next barrier, always into that shard's
+// future.
+//
+// Determinism contract (the part worth reading twice):
+//   * The execution schedule is a pure function of (topology, shard count,
+//     seeds). Worker threads only decide *who* executes a shard's
+//     deterministic event stream, never *what* is executed — so any
+//     --workers N, including 1, is bit-identical to any other N.
+//   * Ties are processed in (time, shard, sequence) order: each queue breaks
+//     time ties by insertion sequence, and barriers drain mailboxes in fixed
+//     source-shard order.
+//   * With 1 shard the engine degenerates to exactly the serial Simulator
+//     (same id sequences, same insertion order, no barriers) — bit-identical
+//     to Simulator::run_until.
+//   * With >1 shards, results are deterministic and workers-invariant but
+//     not bit-identical to the serial engine: a cross-shard delivery enters
+//     the destination queue at the barrier rather than at transmit time, so
+//     *simultaneous* events can interleave differently than serially (and
+//     first-arrival-wins protocol ties, e.g. equal-rank probes, can resolve
+//     the other way). Same-time tie order is the only divergence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/shard.h"
+#include "sim/transport.h"
+#include "topology/partitioner.h"
+
+namespace contra::sim {
+
+class ParallelSimulator {
+ public:
+  /// `config.shards` = 0 picks topology::default_num_shards; `config.workers`
+  /// = 0 runs single-threaded (same schedule regardless).
+  ParallelSimulator(const topology::Topology& topo, SimConfig config);
+  ~ParallelSimulator();
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  const topology::Topology& topo() const { return *topo_; }
+  const SimConfig& config() const { return config_; }
+  const topology::Partition& partition() const { return partition_; }
+  uint32_t num_shards() const { return partition_.num_shards; }
+  uint32_t num_workers() const { return workers_; }
+  /// Conservative lookahead: epoch width in seconds (+inf when no link
+  /// crosses the cut — then the run is a single unsynchronized phase).
+  double epoch_width_s() const { return partition_.min_cut_delay_s; }
+  uint64_t epochs_completed() const { return epochs_; }
+
+  Simulator& shard_sim(uint32_t shard) { return shards_[shard]->sim; }
+  Shard& shard(uint32_t s) { return *shards_[s]; }
+  uint32_t shard_of_node(topology::NodeId node) const { return partition_.shard(node); }
+
+  // ----- setup (main thread, before run_until) -----------------------------
+
+  /// Adds the host on *every* shard (ids and link indices must line up);
+  /// only the shard owning `attach` ever carries its traffic.
+  HostId add_host(topology::NodeId attach);
+  uint32_t num_hosts() const { return shards_[0]->sim.num_hosts(); }
+  topology::NodeId host_switch(HostId host) const { return shards_[0]->sim.host_switch(host); }
+
+  /// Runs `fn(Simulator&)` on every shard simulator in shard order — the
+  /// hook for install_*_network style setup.
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) {
+    for (auto& shard : shards_) fn(shard->sim);
+  }
+
+  /// Arms device timers on every shard.
+  void start();
+
+  /// Attaches a per-shard in-memory trace buffer to every shard's telemetry
+  /// (merged_trace() reads them back). Call before start().
+  void enable_tracing();
+
+  // ----- failure injection -------------------------------------------------
+
+  /// Immediate fail/restore on every shard's replica; telemetry and logging
+  /// fire once, on the shard owning the link's transmit side.
+  void fail_cable(topology::LinkId link);
+  void restore_cable(topology::LinkId link);
+  /// Pre-run scheduling of a mid-run failure: every shard applies the state
+  /// change at local time `t` inside its own epoch.
+  void schedule_cable_event(Time t, topology::LinkId link, bool down);
+
+  // ----- run ---------------------------------------------------------------
+
+  /// Advances every shard to `end` (inclusive, like Simulator::run_until)
+  /// through the epoch barrier protocol. Callable repeatedly with growing
+  /// `end`, exactly like the serial engine's run windows.
+  void run_until(Time end);
+
+  Time now() const { return now_; }
+
+  // ----- merged views ------------------------------------------------------
+
+  /// Per-link stats summed over shards (only the owning shard's replica ever
+  /// counts, so the sum is exact).
+  LinkStats aggregate_fabric_stats() const;
+  uint64_t events_processed() const;
+  uint64_t events_clamped() const;
+
+  /// All shard trace buffers merged in (t, shard, emission index) order.
+  std::vector<obs::TraceRecord> merged_trace() const;
+  /// Metrics snapshot with per-shard registries folded together (counters
+  /// and histograms sum, gauges max).
+  std::string merged_metrics_json(double t) const;
+
+ private:
+  void run_epoch_phase(Time boundary, bool inclusive);
+  void drain_phase(Time boundary);
+  /// Fork-join: job(shard) for every shard, spread across the worker pool
+  /// (shard s runs on worker s % workers). Main thread is worker 0.
+  void parallel_for_shards(void (ParallelSimulator::*job)(uint32_t, Time, bool), Time t, bool flag);
+  void worker_loop(uint32_t worker);
+  void run_shard_epoch(uint32_t s, Time boundary, bool inclusive);
+  void drain_shard(uint32_t s, Time boundary, bool unused);
+
+  const topology::Topology* topo_;
+  SimConfig config_;
+  topology::Partition partition_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  Time now_ = 0.0;
+  Time next_boundary_ = 0.0;  ///< first unreached epoch boundary (grid anchored at 0)
+  uint64_t epochs_ = 0;
+  bool tracing_ = false;
+
+  // Worker pool: persistent threads, fork-join per phase via a generation
+  // counter (release) and a completion counter (acquire). Spin-then-yield:
+  // epochs are microseconds of work, but single-core machines need the
+  // yield to make progress at all.
+  uint32_t workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint32_t> done_{0};
+  std::atomic<bool> shutdown_{false};
+  // Current job, published before the generation bump.
+  void (ParallelSimulator::*job_)(uint32_t, Time, bool) = nullptr;
+  Time job_time_ = 0.0;
+  bool job_flag_ = false;
+};
+
+// ----- transport over shards -----------------------------------------------
+
+/// One TransportManager per shard; a flow lives on the shard owning its
+/// source host's edge switch (the receiver side materializes on the
+/// destination shard on first data arrival, keyed by flow id). Flow ids are
+/// namespaced per shard — (shard << 48) + sequence — so shard 0 matches the
+/// serial id sequence.
+class ParallelTransport {
+ public:
+  explicit ParallelTransport(ParallelSimulator& psim, TransportConfig config = {});
+
+  uint64_t start_flow(HostId src, HostId dst, uint64_t bytes, Time start_time);
+  uint64_t start_udp_flow(HostId src, HostId dst, double rate_bps, Time start_time,
+                          Time stop_time, uint32_t packet_bytes = 1500);
+
+  /// Completed flows merged over shards, ordered by (end time, flow id) —
+  /// deterministic, unlike raw per-shard completion interleaving.
+  std::vector<FlowRecord> completed_flows() const;
+  std::vector<FlowRecord> all_flows() const;
+  uint64_t total_reordered_packets() const;
+  uint64_t udp_bytes_received() const;
+
+  TransportManager& shard_transport(uint32_t shard) { return *transports_[shard]; }
+  const TransportConfig& config() const { return config_; }
+
+ private:
+  TransportManager& for_host(HostId src);
+
+  ParallelSimulator* psim_;
+  TransportConfig config_;
+  std::vector<std::unique_ptr<TransportManager>> transports_;
+};
+
+// Host-placement helpers mirroring sim/host.h for the parallel engine.
+std::vector<HostId> attach_hosts_to_fat_tree_edges(ParallelSimulator& sim, uint32_t per_switch);
+std::vector<HostId> attach_hosts_to_leaves(ParallelSimulator& sim, uint32_t per_switch);
+std::vector<HostId> attach_hosts(ParallelSimulator& sim,
+                                 const std::vector<topology::NodeId>& switches);
+
+}  // namespace contra::sim

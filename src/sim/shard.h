@@ -1,0 +1,79 @@
+// One shard of the parallel simulation engine (DESIGN.md §8).
+//
+// A shard is a complete Simulator over the *shared* topology, restricted by
+// an install filter to the switches its partition slice owns, plus the
+// outgoing mailboxes that carry packets whose next hop lives in another
+// shard. Replicating the Link array in every shard costs a few hundred bytes
+// per link and buys a big simplification: link ids, host ids and packet-id
+// spaces line up across shards, every dataplane reads only links its own
+// shard transmits on, and a cross-shard delivery is just schedule_deliver on
+// the destination shard's copy of the very same link id.
+//
+// Threading contract: a shard's simulator, telemetry, and trace buffer are
+// touched by exactly one worker during a run phase; mailboxes are written by
+// the producing shard during run phases and drained by the consuming shard
+// during drain phases, with an epoch barrier (release/acquire) between the
+// two — so none of this needs per-access synchronization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "topology/partitioner.h"
+
+namespace contra::sim {
+
+/// A packet in flight between shards: produced when a cut link finishes
+/// serializing, consumed (scheduled on the destination queue) at the next
+/// epoch barrier. `deliver_at` already includes the propagation delay, and
+/// the conservative epoch width guarantees it is never before the barrier.
+struct CrossHop {
+  Time deliver_at = 0.0;
+  topology::LinkId link = topology::kInvalidLink;
+  Packet packet;
+};
+
+/// SPSC mailbox from one source shard to one destination shard. A plain
+/// vector suffices (no ring, no atomics): produce and drain phases never
+/// overlap, and the barrier between them publishes the writes. clear() keeps
+/// capacity, so the steady state allocates nothing.
+class Mailbox {
+ public:
+  void push(Time deliver_at, topology::LinkId link, Packet&& packet) {
+    entries_.push_back(CrossHop{deliver_at, link, std::move(packet)});
+  }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  std::vector<CrossHop>& entries() { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<CrossHop> entries_;
+};
+
+struct Shard {
+  /// Builds the shard simulator and wires its ownership boundary: install
+  /// filter, id-namespace bases, and remote-forward hooks on every owned cut
+  /// link (each pushing into outbox[shard of the link's far end]).
+  Shard(uint32_t shard_id, const topology::Topology& topo, const SimConfig& config,
+        const topology::Partition& partition);
+
+  uint32_t id;
+  Simulator sim;
+  std::vector<Mailbox> outbox;  ///< indexed by destination shard
+
+  obs::MemoryTraceSink trace;  ///< per-shard buffer; merged by (t, shard, index)
+  uint64_t events_at_epoch_start = 0;  ///< for per-epoch kEpoch accounting
+};
+
+/// Drains every mailbox addressed to `dst` in fixed source-shard order,
+/// scheduling each entry on dst's queue (push order within a mailbox).
+/// Together with the queue's (time, seq) tie-break this realizes the
+/// deterministic (time, source shard, sequence) processing order. Returns
+/// the number of hops drained. Runs on dst's worker.
+uint64_t drain_mailboxes_into(Shard& dst, std::vector<std::unique_ptr<Shard>>& shards);
+
+}  // namespace contra::sim

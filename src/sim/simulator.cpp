@@ -54,9 +54,11 @@ HostId Simulator::add_host(topology::NodeId attach) {
   return host;
 }
 
-void Simulator::install_switch(topology::NodeId node, std::unique_ptr<Device> device) {
+bool Simulator::install_switch(topology::NodeId node, std::unique_ptr<Device> device) {
   if (node >= devices_.size()) throw std::out_of_range("install_switch: bad node id");
+  if (install_filter_ && !install_filter_(node)) return false;
   devices_[node] = std::move(device);
+  return true;
 }
 
 void Simulator::start() {
@@ -105,6 +107,11 @@ void Simulator::restore_cable(topology::LinkId link) {
     r.aux = topo_->link(link).reverse;
     telemetry_.emit(r);
   }
+}
+
+void Simulator::set_cable_state_quiet(topology::LinkId link, bool down) {
+  links_.at(link)->set_down(down);
+  links_.at(topo_->link(link).reverse)->set_down(down);
 }
 
 LinkStats Simulator::aggregate_fabric_stats() const {

@@ -28,6 +28,13 @@ struct SimConfig {
   /// Compliance checks need it; everything else runs faster without the
   /// per-hop vector growth, so it is opt-in.
   bool capture_traces = false;
+  /// Parallel engine (see ParallelSimulator / DESIGN.md §8). 0 = serial
+  /// engine, the default; the serial Simulator itself ignores both fields.
+  /// `workers` is the thread count; `shards` the topology partition count
+  /// (0 = auto from the topology). The execution schedule depends only on
+  /// the shard count, never on `workers`.
+  uint32_t workers = 0;
+  uint32_t shards = 0;
 };
 
 class Simulator {
@@ -56,8 +63,18 @@ class Simulator {
   uint32_t num_hosts() const { return static_cast<uint32_t>(host_attach_.size()); }
   topology::NodeId host_switch(HostId host) const { return host_attach_.at(host); }
 
-  void install_switch(topology::NodeId node, std::unique_ptr<Device> device);
+  /// Restricts install_switch to nodes this simulator owns (parallel engine:
+  /// each shard instantiates only its own switches). Unset = accept all.
+  void set_install_filter(std::function<bool(topology::NodeId)> filter) {
+    install_filter_ = std::move(filter);
+  }
+
+  /// Installs the device, unless an install filter rejects the node — then
+  /// the device is discarded and false is returned. Installers must not hand
+  /// out pointers to devices they installed without checking this.
+  bool install_switch(topology::NodeId node, std::unique_ptr<Device> device);
   Device& device_at(topology::NodeId node) { return *devices_.at(node); }
+  bool has_device(topology::NodeId node) const { return devices_.at(node) != nullptr; }
 
   /// Delivery of packets that reached their destination host.
   void set_host_receiver(std::function<void(HostId, Packet&&)> receiver) {
@@ -88,6 +105,11 @@ class Simulator {
   void fail_cable(topology::LinkId link);
   void restore_cable(topology::LinkId link);
 
+  /// Same state change without telemetry/logging. The parallel engine keeps a
+  /// replica of every Link in every shard and applies failures to all of
+  /// them; only the owning shard reports the event (once), via fail_cable.
+  void set_cable_state_quiet(topology::LinkId link, bool down);
+
   // ----- run / stats ---------------------------------------------------------
 
   void run_until(Time end) { events_.run_until(end); }
@@ -96,6 +118,10 @@ class Simulator {
   LinkStats aggregate_fabric_stats() const;
 
   uint64_t next_packet_id() { return next_packet_id_++; }
+  /// Packet-id namespace base (parallel engine: shard s starts at
+  /// (s << 48) + 1 so ids never collide across shards; shard 0 matches the
+  /// serial sequence exactly).
+  void set_next_packet_id(uint64_t id) { next_packet_id_ = id; }
 
  private:
   void wire_topology_links();
@@ -114,6 +140,7 @@ class Simulator {
   std::vector<size_t> host_downlink_;  ///< switch -> host link index
 
   std::function<void(HostId, Packet&&)> host_receiver_;
+  std::function<bool(topology::NodeId)> install_filter_;
   uint64_t next_packet_id_ = 1;
 };
 

@@ -76,6 +76,10 @@ class TransportManager {
 
   const TransportConfig& config() const { return config_; }
 
+  /// Flow-id namespace base (parallel engine: shard s starts at
+  /// (s << 48) + 1; shard 0 matches the serial sequence exactly).
+  void set_next_flow_id(uint64_t id) { next_flow_id_ = id; }
+
  private:
   struct TcpSender {
     HostId src = kInvalidHost;

@@ -1,0 +1,146 @@
+#include "topology/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace contra::topology {
+
+namespace {
+
+constexpr uint32_t kUnassigned = UINT32_MAX;
+
+/// Number of neighbors of `node` already assigned to `shard`.
+uint32_t affinity(const Topology& topo, const std::vector<uint32_t>& shard_of, NodeId node,
+                  uint32_t shard) {
+  uint32_t n = 0;
+  for (LinkId l : topo.out_links(node)) {
+    if (shard_of[topo.link(l).to] == shard) ++n;
+  }
+  return n;
+}
+
+/// Grows one shard by BFS-like accretion: repeatedly absorb the unassigned
+/// node with the most edges into the shard so far (ties -> lowest id), which
+/// keeps the frontier — the eventual cut — small.
+void grow_shard(const Topology& topo, std::vector<uint32_t>& shard_of, uint32_t shard,
+                uint32_t target_size) {
+  // Seed: lowest-id unassigned node.
+  NodeId seed = kInvalidNode;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (shard_of[n] == kUnassigned) {
+      seed = n;
+      break;
+    }
+  }
+  if (seed == kInvalidNode) return;
+  shard_of[seed] = shard;
+  uint32_t size = 1;
+
+  while (size < target_size) {
+    NodeId best = kInvalidNode;
+    uint32_t best_affinity = 0;
+    // Scan the frontier: unassigned neighbors of current members. O(V·E) over
+    // the whole partition in the worst case — partitioning runs once at
+    // setup, and topology-zoo graphs top out at a few hundred nodes.
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      if (shard_of[n] != kUnassigned) continue;
+      const uint32_t a = affinity(topo, shard_of, n, shard);
+      if (a > best_affinity) {
+        best = n;
+        best_affinity = a;
+      }
+    }
+    if (best == kInvalidNode) break;  // disconnected remainder; next shard picks it up
+    shard_of[best] = shard;
+    ++size;
+  }
+}
+
+/// One boundary-refinement sweep: move a node to a neighboring shard when
+/// that strictly reduces the cut and keeps both shards' sizes within
+/// [1, target+1]. Nodes are visited in id order, so the sweep — and with it
+/// the final partition — is deterministic.
+bool refine_once(const Topology& topo, std::vector<uint32_t>& shard_of,
+                 std::vector<uint32_t>& shard_size, uint32_t num_shards, uint32_t target_size) {
+  bool changed = false;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const uint32_t home = shard_of[n];
+    if (shard_size[home] <= 1) continue;
+    const uint32_t home_edges = affinity(topo, shard_of, n, home);
+    uint32_t best_shard = home;
+    uint32_t best_gain = 0;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (s == home || shard_size[s] >= target_size + 1) continue;
+      const uint32_t there = affinity(topo, shard_of, n, s);
+      if (there > home_edges && there - home_edges > best_gain) {
+        best_shard = s;
+        best_gain = there - home_edges;
+      }
+    }
+    if (best_shard != home) {
+      shard_of[n] = best_shard;
+      --shard_size[home];
+      ++shard_size[best_shard];
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+void recompute_cut(const Topology& topo, Partition& partition) {
+  partition.num_cut_links = 0;
+  partition.min_cut_delay_s = std::numeric_limits<double>::infinity();
+  for (const DirectedLink& l : topo.links()) {
+    if (!partition.crosses(l)) continue;
+    ++partition.num_cut_links;
+    partition.min_cut_delay_s = std::min(partition.min_cut_delay_s, l.delay_s);
+  }
+}
+
+Partition partition_topology(const Topology& topo, uint32_t num_shards) {
+  Partition p;
+  const uint32_t n = topo.num_nodes();
+  num_shards = std::max<uint32_t>(1, std::min(num_shards, std::max<uint32_t>(n, 1)));
+  p.num_shards = num_shards;
+  p.shard_of.assign(n, 0);
+  if (num_shards <= 1 || n == 0) {
+    recompute_cut(topo, p);
+    return p;
+  }
+
+  std::fill(p.shard_of.begin(), p.shard_of.end(), kUnassigned);
+  const uint32_t target = (n + num_shards - 1) / num_shards;
+  for (uint32_t s = 0; s < num_shards; ++s) grow_shard(topo, p.shard_of, s, target);
+  // grow_shard stops at disconnected components; sweep up any leftovers into
+  // the smallest shard so far (deterministic: id order, lowest shard wins ties).
+  std::vector<uint32_t> size(num_shards, 0);
+  for (NodeId node = 0; node < n; ++node) {
+    if (p.shard_of[node] != kUnassigned) ++size[p.shard_of[node]];
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    if (p.shard_of[node] != kUnassigned) continue;
+    const uint32_t s = static_cast<uint32_t>(
+        std::min_element(size.begin(), size.end()) - size.begin());
+    p.shard_of[node] = s;
+    ++size[s];
+  }
+
+  for (int pass = 0; pass < 4; ++pass) {
+    if (!refine_once(topo, p.shard_of, size, num_shards, target)) break;
+  }
+
+  recompute_cut(topo, p);
+  return p;
+}
+
+uint32_t default_num_shards(const Topology& topo) {
+  // ~5 switches per shard amortizes the barrier cost; cap at 8 shards (the
+  // bench's scaling ceiling) and never exceed the node count.
+  const uint32_t n = topo.num_nodes();
+  if (n <= 1) return 1;
+  return std::max<uint32_t>(1, std::min<uint32_t>(8, n / 5 + (n % 5 != 0)));
+}
+
+}  // namespace contra::topology

@@ -1,0 +1,50 @@
+// Topology partitioner for the sharded parallel simulator.
+//
+// Splits the switch graph into `num_shards` balanced node sets while
+// greedily minimizing the number of cables cut (METIS-style grow+refine,
+// deterministic: every tie breaks on the lowest node id). The cut matters
+// twice: each cut cable becomes a mailbox hop at runtime, and the *minimum
+// propagation delay across the cut* is the conservative lookahead window —
+// shards can only advance in epochs of that width (see DESIGN.md §8), so a
+// partition that cuts a zero-ish-delay link serializes the whole run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace contra::topology {
+
+struct Partition {
+  uint32_t num_shards = 1;
+  std::vector<uint32_t> shard_of;  ///< node id -> shard in [0, num_shards)
+
+  /// Directed links whose endpoints live in different shards.
+  uint32_t num_cut_links = 0;
+  /// min delay_s over cut links — the conservative epoch width (lookahead).
+  /// +infinity when no link is cut (shards never interact; no barriers).
+  double min_cut_delay_s = std::numeric_limits<double>::infinity();
+
+  uint32_t shard(NodeId node) const { return shard_of[node]; }
+  bool crosses(const DirectedLink& l) const { return shard_of[l.from] != shard_of[l.to]; }
+};
+
+/// Partitions `topo` into at most `num_shards` balanced shards (fewer when
+/// the topology has fewer nodes; always >= 1). Deterministic for a given
+/// (topology, num_shards) pair.
+Partition partition_topology(const Topology& topo, uint32_t num_shards);
+
+/// Recomputes the cut statistics of an arbitrary assignment (test hook, and
+/// used internally after refinement).
+void recompute_cut(const Topology& topo, Partition& partition);
+
+/// Default shard count for a topology: enough to spread the event load, but
+/// never more shards than nodes and never so many that every shard is a
+/// couple of switches. Fixed per topology — deliberately independent of the
+/// worker count, so changing --workers never changes the execution schedule
+/// (see DESIGN.md §8, determinism).
+uint32_t default_num_shards(const Topology& topo);
+
+}  // namespace contra::topology

@@ -39,9 +39,21 @@ inline uint64_t alloc_count() { return alloc_counter().load(std::memory_order_re
     throw std::bad_alloc{};                                                              \
   }                                                                                      \
   void* operator new[](std::size_t size) { return ::operator new(size); }                \
+  /* The nothrow forms must be replaced too: std::stable_sort's temporary    */          \
+  /* buffer allocates through them, and a half-replaced set pairs the        */          \
+  /* default nothrow new with the counting delete (ASan flags the mismatch). */          \
+  void* operator new(std::size_t size, const std::nothrow_t&) noexcept {                 \
+    ::contra::util::alloc_counter().fetch_add(1, std::memory_order_relaxed);             \
+    return std::malloc(size ? size : 1);                                                 \
+  }                                                                                      \
+  void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {           \
+    return ::operator new(size, tag);                                                    \
+  }                                                                                      \
   void operator delete(void* p) noexcept { std::free(p); }                               \
   void operator delete[](void* p) noexcept { std::free(p); }                             \
   void operator delete(void* p, std::size_t) noexcept { std::free(p); }                  \
   void operator delete[](void* p, std::size_t) noexcept { std::free(p); }                \
+  void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }        \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }      \
   _Pragma("GCC diagnostic pop")
 // NOLINTEND

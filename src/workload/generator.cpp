@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/parallel_simulator.h"
+
 namespace contra::workload {
 
 std::vector<GeneratedFlow> generate_poisson(const EmpiricalCdf& sizes,
@@ -37,6 +39,12 @@ std::vector<GeneratedFlow> generate_poisson(const EmpiricalCdf& sizes,
 }
 
 void submit(sim::TransportManager& transport, const std::vector<GeneratedFlow>& flows) {
+  for (const GeneratedFlow& flow : flows) {
+    transport.start_flow(flow.src, flow.dst, flow.bytes, flow.start);
+  }
+}
+
+void submit(sim::ParallelTransport& transport, const std::vector<GeneratedFlow>& flows) {
   for (const GeneratedFlow& flow : flows) {
     transport.start_flow(flow.src, flow.dst, flow.bytes, flow.start);
   }

@@ -11,6 +11,10 @@
 #include "sim/transport.h"
 #include "workload/distributions.h"
 
+namespace contra::sim {
+class ParallelTransport;
+}
+
 namespace contra::workload {
 
 struct GeneratedFlow {
@@ -42,6 +46,10 @@ std::vector<GeneratedFlow> generate_poisson(const EmpiricalCdf& sizes,
 
 /// Registers every generated flow with the transport.
 void submit(sim::TransportManager& transport, const std::vector<GeneratedFlow>& flows);
+/// Parallel-engine variant: each flow is registered on the shard that owns
+/// its source host (flow-id assignment stays deterministic — it depends only
+/// on the generated order, never on worker scheduling).
+void submit(sim::ParallelTransport& transport, const std::vector<GeneratedFlow>& flows);
 
 /// Total offered bytes (for load sanity checks).
 uint64_t total_bytes(const std::vector<GeneratedFlow>& flows);

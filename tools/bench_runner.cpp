@@ -44,6 +44,11 @@ struct SweepConfig {
   int threads = 0;  // 0 = hardware_concurrency
   double load = 0.4;
   double duration_s = 10e-3;
+  /// > 0: run each seed on the sharded parallel engine with this many
+  /// worker threads (deterministic; orthogonal to the seed-level --threads
+  /// pool). 0 = serial engine.
+  int workers = 0;
+  int shards = 0;  ///< parallel engine shard count; 0 = topology default
 };
 
 SeedResult run_one(const SweepConfig& cfg, uint64_t seed) {
@@ -56,6 +61,8 @@ SeedResult run_one(const SweepConfig& cfg, uint64_t seed) {
     exp.seed = seed;
     exp.load = cfg.load;
     exp.duration_s = cfg.duration_s;
+    exp.workers = static_cast<uint32_t>(cfg.workers);
+    exp.shards = static_cast<uint32_t>(cfg.shards);
     result = contra::bench::run_abilene_experiment(exp);
   } else {
     contra::bench::FatTreeExperiment exp;
@@ -63,6 +70,8 @@ SeedResult run_one(const SweepConfig& cfg, uint64_t seed) {
     exp.load = cfg.load;
     exp.duration_s = cfg.duration_s;
     exp.drain_s = 0.05;
+    exp.workers = static_cast<uint32_t>(cfg.workers);
+    exp.shards = static_cast<uint32_t>(cfg.shards);
     result = contra::bench::run_fat_tree_experiment(exp);
   }
   out.wall_s = seconds_since(start);
@@ -90,6 +99,8 @@ std::string render_json(const SweepConfig& cfg, const std::vector<SeedResult>& s
   os << "  \"bench\": \"seed_sweep\",\n";
   os << "  \"topology\": \"" << cfg.topology << "\",\n";
   os << "  \"threads\": " << threads << ",\n";
+  os << "  \"engine_workers\": " << cfg.workers << ",\n";
+  os << "  \"engine_shards\": " << cfg.shards << ",\n";
   os << "  \"load\": " << cfg.load << ",\n";
   os << "  \"duration_s\": " << cfg.duration_s << ",\n";
   os << "  \"per_seed\": [\n";
@@ -152,6 +163,8 @@ int main(int argc, char** argv) {
     else if (arg == "--seeds") cfg.num_seeds = std::atoi(value());
     else if (arg == "--first-seed") cfg.first_seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--threads") cfg.threads = std::atoi(value());
+    else if (arg == "--workers") cfg.workers = std::atoi(value());
+    else if (arg == "--shards") cfg.shards = std::atoi(value());
     else if (arg == "--load") cfg.load = std::atof(value());
     else if (arg == "--duration") cfg.duration_s = std::atof(value());
     else if (arg == "--out") out_path = value();
@@ -160,6 +173,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_runner [--topo fat_tree|abilene] [--seeds N] [--first-seed S]\n"
                    "                    [--threads N] [--load F] [--duration SEC]\n"
+                   "                    [--workers N] [--shards N]   (parallel engine per seed)\n"
                    "                    [--out FILE] [--merge BENCH_core.json]\n");
       return 2;
     }
@@ -171,8 +185,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // With the parallel engine active, the engine owns the cores: default the
+  // seed-level pool to one task at a time instead of oversubscribing.
   int threads = cfg.threads > 0 ? cfg.threads
-                                : static_cast<int>(std::thread::hardware_concurrency());
+                : cfg.workers > 0 ? 1
+                                  : static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
   if (threads > cfg.num_seeds) threads = cfg.num_seeds;
 

@@ -9,6 +9,11 @@ Each scenario's events_per_sec in CURRENT must be no more than `threshold`
 below BASELINE (default 10%). With --self, CURRENT's embedded "baseline"
 section (written by bench_core_speed --baseline-json) is the reference.
 Exit code 0 = ok, 1 = regression, 2 = bad input.
+
+The gate keys only on the serial "scenarios" section. A "parallel_scaling"
+section (the sharded engine's worker sweep) is reported informationally —
+thread scaling is machine-dependent, so it never fails the gate, with one
+exception: bit_identical=false in CURRENT is a determinism break and fails.
 """
 
 import argparse
@@ -76,6 +81,18 @@ def main():
             failed = True
         print(f"{status:10s} {name}: {base_eps:,.0f} -> {cur_eps:,.0f} ev/s "
               f"({(ratio - 1) * 100:+.1f}%)")
+
+    scaling = current_report.get("parallel_scaling")
+    if isinstance(scaling, dict):
+        cores = scaling.get("hardware_concurrency", "?")
+        speedup = scaling.get("speedup_w4")
+        if isinstance(speedup, (int, float)):
+            print(f"INFO       parallel_scaling: speedup(w4)={speedup:.2f}x "
+                  f"on {cores} cores (informational)")
+        if scaling.get("bit_identical") is False:
+            print("compare_bench: parallel_scaling reports bit_identical=false "
+                  "— determinism break", file=sys.stderr)
+            failed = True
 
     if failed:
         print(f"compare_bench: regression beyond {args.threshold:.0%} threshold", file=sys.stderr)

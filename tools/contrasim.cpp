@@ -26,6 +26,7 @@
 #include "obs/manifest.h"
 #include "obs/trace.h"
 #include "sim/host.h"
+#include "sim/parallel_simulator.h"
 #include "sim/transport.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -43,12 +44,17 @@ int usage(const char* argv0) {
                "          [--workload web-search|cache] [--load 0.5]\n"
                "          [--duration-ms 30] [--seed 1] [--size-scale 0.1]\n"
                "          [--link-gbps 10] [--probe-period-us 256]\n"
+               "          [--workers <n>]               (sharded parallel engine; see\n"
+               "                                         DESIGN.md s8 -- deterministic for any n)\n"
+               "          [--shards <n>]                (override shard count; fixes the\n"
+               "                                         schedule independently of --workers)\n"
                "          [--fail <nodeA>-<nodeB>]      (fail a cable pre-traffic)\n"
                "          [--fail-at-ms <t>]            (delay --fail until t)\n"
                "          [--telemetry-out <trace.jsonl>]  (control-plane trace +\n"
                "                                            run manifest + convergence table)\n"
                "          [--metrics-json <file|->]     (final metrics snapshot)\n"
-               "          [--metrics-interval-ms <t>]   (periodic snapshots, needs --metrics-json)\n"
+               "          [--metrics-interval-ms <t>]   (periodic snapshots, needs --metrics-json;\n"
+               "                                         serial engine only)\n"
                "environment: CONTRA_LOG_LEVEL=trace|debug|info|warn|error|off\n",
                argv0);
   return 2;
@@ -78,6 +84,197 @@ std::vector<sim::HostId> attach_hosts_auto(sim::Simulator& sim) {
   return hosts;
 }
 
+std::vector<sim::HostId> attach_hosts_auto(sim::ParallelSimulator& psim) {
+  std::vector<sim::HostId> hosts = sim::attach_hosts_to_fat_tree_edges(psim, 2);
+  if (!hosts.empty()) return hosts;
+  hosts = sim::attach_hosts_to_leaves(psim, 2);
+  if (!hosts.empty()) return hosts;
+  for (topology::NodeId n = 0; n < psim.topo().num_nodes(); ++n) hosts.push_back(psim.add_host(n));
+  return hosts;
+}
+
+/// The --workers/--shards path: same experiment on the sharded parallel
+/// engine (DESIGN.md §8). Deterministic for any worker count; periodic
+/// metrics snapshots are the one serial-only feature (the merged registry
+/// only exists at barriers, not mid-epoch).
+int run_parallel(const tools::Args& args, const topology::Topology& topo, const char* argv0) {
+  const double link_bps = args.get_double("link-gbps", 10.0) * 1e9;
+  const double load = args.get_double("load", 0.5);
+  const double duration_s = args.get_double("duration-ms", 30.0) * 1e-3;
+  const double probe_period_s = args.get_double("probe-period-us", 256.0) * 1e-6;
+  const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
+  const double size_scale = args.get_double("size-scale", 0.1);
+  const std::string plane = args.get("plane", "contra");
+
+  if (args.get_double("metrics-interval-ms", 0.0) > 0) {
+    std::fprintf(stderr, "--metrics-interval-ms needs the serial engine (drop --workers/--shards)\n");
+    return 1;
+  }
+
+  sim::SimConfig config;
+  config.host_link_bps = link_bps;
+  config.util_tau_s = 2 * probe_period_s;
+  config.workers = static_cast<uint32_t>(args.get_int("workers", 1));
+  config.shards = static_cast<uint32_t>(args.get_int("shards", 0));
+  sim::ParallelSimulator psim(topo, config);
+  const std::vector<sim::HostId> hosts = attach_hosts_auto(psim);
+  if (hosts.size() < 2) {
+    std::fprintf(stderr, "topology too small to host traffic\n");
+    return 1;
+  }
+
+  if (args.has("fail")) {
+    const auto parts = util::split(args.get("fail"), '-');
+    if (parts.size() != 2 || topo.find(parts[0]) == topology::kInvalidNode ||
+        topo.find(parts[1]) == topology::kInvalidNode ||
+        topo.link_between(topo.find(parts[0]), topo.find(parts[1])) == topology::kInvalidLink) {
+      std::fprintf(stderr, "bad --fail spec '%s' (want <nodeA>-<nodeB>)\n",
+                   args.get("fail").c_str());
+      return 1;
+    }
+    const topology::LinkId fail_link =
+        topo.link_between(topo.find(parts[0]), topo.find(parts[1]));
+    const double fail_at_s = args.get_double("fail-at-ms", 0.0) * 1e-3;
+    if (fail_at_s > 0) {
+      psim.schedule_cable_event(fail_at_s, fail_link, /*down=*/true);
+    } else {
+      psim.fail_cable(fail_link);
+    }
+  }
+
+  const std::string trace_path = args.get("telemetry-out");
+  if (!trace_path.empty()) psim.enable_tracing();
+
+  compiler::CompileResult compiled;
+  std::unique_ptr<pg::PolicyEvaluator> evaluator;
+  std::string policy_text;
+  if (plane == "contra") {
+    const std::string policy = args.get("policy", "minimize(path.util)");
+    policy_text = policy;
+    try {
+      compiled = compiler::compile(policy, topo);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "compile error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("compiled: %s\n", compiled.summary().c_str());
+    evaluator = std::make_unique<pg::PolicyEvaluator>(compiled.graph, compiled.decomposition);
+  } else if (plane != "ecmp" && plane != "hula" && plane != "spain" && plane != "sp") {
+    std::fprintf(stderr, "unknown --plane '%s'\n", plane.c_str());
+    return usage(argv0);
+  }
+  psim.for_each_shard([&](sim::Simulator& shard_sim) {
+    if (plane == "contra") {
+      dataplane::ContraSwitchOptions options;
+      options.probe_period_s = std::max(probe_period_s, compiled.min_probe_period_s);
+      dataplane::install_contra_network(shard_sim, compiled, *evaluator, options);
+    } else if (plane == "ecmp") {
+      dataplane::install_ecmp_network(shard_sim);
+    } else if (plane == "hula") {
+      dataplane::HulaOptions options;
+      options.probe_period_s = probe_period_s;
+      dataplane::install_hula_network(shard_sim, options);
+    } else if (plane == "spain") {
+      dataplane::install_spain_network(shard_sim);
+    } else {
+      dataplane::install_shortest_path_network(shard_sim);
+    }
+  });
+
+  const workload::EmpiricalCdf& sizes = args.get("workload", "web-search") == "cache"
+                                            ? workload::cache_flow_sizes()
+                                            : workload::web_search_flow_sizes();
+  std::vector<sim::HostId> senders, receivers;
+  for (sim::HostId h : hosts) (h % 2 ? receivers : senders).push_back(h);
+
+  sim::ParallelTransport transport(psim);
+  workload::WorkloadConfig wl;
+  wl.load = load;
+  wl.sender_capacity_bps = link_bps / 4;
+  wl.start = 20 * probe_period_s;
+  wl.duration = duration_s;
+  wl.seed = seed;
+  wl.size_scale = size_scale;
+  const auto flows = workload::generate_poisson(sizes, senders, receivers, wl);
+  workload::submit(transport, flows);
+
+  if (!trace_path.empty()) {
+    obs::RunManifest manifest = obs::RunManifest::make("contrasim");
+    manifest.topology = args.has("topology") ? args.get("topology") : args.get("builtin", "diamond");
+    manifest.nodes = topo.num_nodes();
+    manifest.links = topo.num_links();
+    manifest.plane = plane;
+    manifest.policy = policy_text;
+    manifest.workload = args.get("workload", "web-search");
+    manifest.seed = seed;
+    manifest.load = load;
+    manifest.duration_s = duration_s;
+    manifest.probe_period_s = probe_period_s;
+    manifest.link_bps = link_bps;
+    const std::string manifest_path = obs::manifest_path_for(trace_path);
+    if (!manifest.write(manifest_path)) {
+      std::fprintf(stderr, "cannot write run manifest: %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("telemetry: trace=%s manifest=%s config_hash=%016llx\n", trace_path.c_str(),
+                manifest_path.c_str(),
+                static_cast<unsigned long long>(manifest.config_hash()));
+  }
+
+  psim.start();
+  psim.run_until(wl.start);
+  const sim::LinkStats window_start = psim.aggregate_fabric_stats();
+  psim.run_until(wl.start + wl.duration);
+  const sim::LinkStats window_end = psim.aggregate_fabric_stats();
+  psim.run_until(wl.start + wl.duration + 0.25);
+
+  const auto fct = metrics::summarize_fct(transport.completed_flows(), flows.size());
+  const auto overhead = metrics::make_overhead_report(window_end, window_start);
+  std::printf("engine  : %u shards x %u workers, epoch %.3g us, %llu epochs\n",
+              psim.num_shards(), psim.num_workers(), psim.epoch_width_s() * 1e6,
+              static_cast<unsigned long long>(psim.epochs_completed()));
+  std::printf("plane=%s load=%.0f%% flows=%zu\n", plane.c_str(), load * 100, flows.size());
+  std::printf("FCT     : %s\n", fct.to_string().c_str());
+  std::printf("traffic : %s\n", overhead.to_string().c_str());
+  std::printf("drops   : %llu data packets\n",
+              static_cast<unsigned long long>(psim.aggregate_fabric_stats().data_drops));
+
+  const std::string metrics_path = args.get("metrics-json");
+  if (!metrics_path.empty()) {
+    const std::string snapshot = psim.merged_metrics_json(psim.now());
+    if (metrics_path == "-") {
+      std::cout << snapshot << "\n";
+    } else {
+      std::ofstream metrics_file(metrics_path);
+      if (!metrics_file) {
+        std::fprintf(stderr, "cannot open --metrics-json file: %s\n", metrics_path.c_str());
+        return 1;
+      }
+      metrics_file << snapshot << "\n";
+    }
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open --telemetry-out file: %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::JsonlTraceSink trace_sink(trace_file);
+    obs::ConvergenceTracker convergence;
+    for (const obs::TraceRecord& rec : psim.merged_trace()) {
+      trace_sink.write(rec);
+      convergence.write(rec);
+    }
+    trace_sink.flush();
+    std::printf("trace   : %llu records -> %s\n",
+                static_cast<unsigned long long>(trace_sink.records_written()),
+                trace_path.c_str());
+    std::printf("%s", convergence.report().to_string().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +288,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return usage(argv[0]);
   }
+
+  if (args.has("workers") || args.has("shards")) return run_parallel(args, *topo, argv[0]);
 
   const double link_bps = args.get_double("link-gbps", 10.0) * 1e9;
   const double load = args.get_double("load", 0.5);
