@@ -168,13 +168,23 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
   bool propagate = true;
   if (it != fwdt_.end()) {
     FwdEntry& entry = it->second;
+    bool version_reset = false;
     if (options_.versioned_probes && probe.version < entry.version) {
-      ++stats_.probes_dropped_version;  // outdated probe (§5.1)
-      tel.metrics().add(tel.core().probes_rejected_stale);
-      if (tel.tracing()) trace_probe(obs::Ev::kProbeRejectStale, probe, sim.now());
-      return;
+      // DSDV-style sequence recovery: a regressed version is normally a stale
+      // in-flight probe (§5.1), but when the stored entry has had no accepted
+      // refresh for a whole staleness window the origin's clock must have
+      // restarted — adopt the probe instead of ignoring the origin forever.
+      const double staleness_s = options_.version_reset_periods * options_.probe_period_s;
+      version_reset = staleness_s > 0 && sim.now() - entry.updated_at > staleness_s;
+      if (!version_reset) {
+        ++stats_.probes_dropped_version;  // outdated probe (§5.1)
+        tel.metrics().add(tel.core().probes_rejected_stale);
+        if (tel.tracing()) trace_probe(obs::Ev::kProbeRejectStale, probe, sim.now());
+        return;
+      }
     }
-    const bool fresher = options_.versioned_probes && probe.version > entry.version;
+    const bool fresher =
+        version_reset || (options_.versioned_probes && probe.version > entry.version);
     lang::Rank new_rank = evaluator_->propagation_rank(probe.pid, probe.mv);
     const lang::Rank& old_rank = entry.rank;  // cached f(pid, entry.mv)
     const bool better = new_rank < old_rank;
@@ -276,7 +286,9 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
     // flowlet-pinned so a flowlet stays on one (tag, pid) path.
     const uint32_t fid = util::hash_five_tuple(packet.tuple);
     auto pin = source_pins_.find(fid);
-    if (pin != source_pins_.end() && now - pin->second.last_seen <= options_.flowlet_timeout_s) {
+    // Strict <: a gap of exactly the timeout expires the pin, matching
+    // FlowletTable::lookup's >= expiry (§5.2 boundary semantics).
+    if (pin != source_pins_.end() && now - pin->second.last_seen < options_.flowlet_timeout_s) {
       packet.routing.tag = pin->second.tag;
       packet.routing.pid = pin->second.pid;
       pin->second.last_seen = now;

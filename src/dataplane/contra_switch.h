@@ -61,6 +61,14 @@ struct ContraSwitchOptions {
   bool policy_aware_flowlets = true; ///< §5.3 off => flowlet key ignores tag/pid
   bool loop_detection = true;        ///< §5.5 off => no lazy loop breaking
 
+  /// Version-reset detection (DSDV-style sequence recovery): a probe whose
+  /// version regressed is normally dropped (§5.1), but when the stored entry
+  /// has gone this many periods without an *accepted* refresh, the
+  /// regression is read as an origin restart and the probe is adopted.
+  /// Without it, a destination whose probe clock restarts (device reboot
+  /// after a failure) is ignored forever. <= 0 disables the escape hatch.
+  double version_reset_periods = 3.0;
+
   /// When this switch is one protocol instance of a classified policy, the
   /// rule index it serves; stamped into probes and data it sources.
   uint32_t traffic_class_id = 0;
@@ -97,6 +105,12 @@ class ContraSwitch : public sim::Device {
 
   const ContraSwitchStats& stats() const { return stats_; }
   const FlowletStats& flowlet_stats() const { return flowlets_.stats(); }
+  topology::NodeId node_id() const { return self_; }
+
+  /// Simulates a control-plane reboot: the probe clock restarts from zero,
+  /// so subsequent probe rounds carry *lower* versions than neighbors have
+  /// stored (the version-regression scenario version_reset_periods covers).
+  void restart_control_plane() { probe_clock_.reset(); }
 
   // ----- introspection for tests and convergence checks -------------------
 
@@ -114,6 +128,18 @@ class ContraSwitch : public sim::Device {
 
   /// Entry for (traffic destination, local tag, pid), or nullptr.
   const FwdEntry* fwd_entry(topology::NodeId dst, uint32_t tag, uint32_t pid) const;
+
+  /// Whether an entry currently counts for forwarding: not metric-expired
+  /// (§5.4) and its next hop not presumed failed. Exposed for the invariant
+  /// checker (src/oracle), which must skip entries the dataplane skips.
+  bool entry_usable(const FwdEntry& entry, sim::Time now) const;
+
+  /// Invariant-checker hook: visits every FwdT entry as
+  /// fn(dst, local_tag, pid, entry). Iteration order is unspecified.
+  template <typename Fn>
+  void for_each_fwd_entry(Fn&& fn) const {
+    for (const auto& [key, entry] : fwdt_) fn(key.origin, key.tag, key.pid, entry);
+  }
 
   struct BestChoice {
     uint32_t tag = 0;
@@ -156,7 +182,6 @@ class ContraSwitch : public sim::Device {
   void process_probe(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
   void forward_data(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
 
-  bool entry_usable(const FwdEntry& entry, sim::Time now) const;
   uint32_t probe_wire_bytes() const;
 
   /// Wires this switch, its flowlet table, loop detector, and failure

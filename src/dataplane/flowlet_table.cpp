@@ -16,17 +16,25 @@ void FlowletTable::emit(obs::Ev ev, const FlowletKey& key, topology::LinkId nhop
   telemetry_->emit(r);
 }
 
+void FlowletTable::remember_prev_nhop(const FlowletKey& key, topology::LinkId nhop) {
+  if (prev_nhop_.size() >= kPrevNhopCap) prev_nhop_.clear();
+  prev_nhop_[key] = nhop;
+}
+
 FlowletEntry* FlowletTable::lookup(const FlowletKey& key, sim::Time now) {
   auto it = table_.find(key);
   if (it == table_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  if (now - it->second.last_seen > timeout_s_) {
+  // A flowlet whose inter-packet gap reached the timeout is expired: the
+  // §5.2 failover story needs the boundary packet to re-rate, so the
+  // comparison is >= (not >).
+  if (now - it->second.last_seen >= timeout_s_) {
+    remember_prev_nhop(key, it->second.nhop);
     if (telemetry_ != nullptr) {
       telemetry_->metrics().add(telemetry_->core().flowlets_expired);
       if (telemetry_->tracing()) {
-        prev_nhop_[key] = it->second.nhop;
         emit(obs::Ev::kFlowletExpire, key, it->second.nhop, now,
              now - it->second.last_seen);
       }
@@ -41,20 +49,22 @@ FlowletEntry* FlowletTable::lookup(const FlowletKey& key, sim::Time now) {
 }
 
 void FlowletTable::pin(const FlowletKey& key, const FlowletEntry& entry, sim::Time now) {
+  auto prev = prev_nhop_.find(key);
+  const bool switched = prev != prev_nhop_.end() && prev->second != entry.nhop;
+  if (switched) ++stats_.switches;
   if (telemetry_ != nullptr) {
     telemetry_->metrics().add(telemetry_->core().flowlets_created);
+    if (switched) telemetry_->metrics().add(telemetry_->core().flowlets_switched);
     if (telemetry_->tracing()) {
-      auto prev = prev_nhop_.find(key);
-      if (prev != prev_nhop_.end() && prev->second != entry.nhop) {
-        telemetry_->metrics().add(telemetry_->core().flowlets_switched);
+      if (switched) {
         emit(obs::Ev::kFlowletSwitch, key, entry.nhop, now,
              static_cast<double>(prev->second));
       } else {
         emit(obs::Ev::kFlowletCreate, key, entry.nhop, now);
       }
-      if (prev != prev_nhop_.end()) prev_nhop_.erase(prev);
     }
   }
+  if (prev != prev_nhop_.end()) prev_nhop_.erase(prev);
   table_[key] = entry;
 }
 
@@ -66,10 +76,10 @@ void FlowletTable::touch(const FlowletKey& key, sim::Time now) {
 void FlowletTable::flush(const FlowletKey& key, sim::Time now) {
   auto it = table_.find(key);
   if (it == table_.end()) return;
+  remember_prev_nhop(key, it->second.nhop);
   if (telemetry_ != nullptr) {
     telemetry_->metrics().add(telemetry_->core().flowlets_flushed);
     if (telemetry_->tracing()) {
-      prev_nhop_[key] = it->second.nhop;
       emit(obs::Ev::kFlowletFlush, key, it->second.nhop, now);
     }
   }

@@ -43,6 +43,9 @@ struct FlowletStats {
   uint64_t misses = 0;
   uint64_t expirations = 0;
   uint64_t flushes = 0;
+  /// Re-pins of a previously expired/flushed key onto a different next hop
+  /// (a path switch). Counted whether or not telemetry is attached.
+  uint64_t switches = 0;
 };
 
 class FlowletTable {
@@ -50,13 +53,17 @@ class FlowletTable {
   explicit FlowletTable(double timeout_s) : timeout_s_(timeout_s) {}
 
   /// Attributes flowlet create/switch/expire/flush events to `switch_id`.
-  /// Path-switch detection (same key re-pinned onto a different next hop
-  /// after expiry) keeps a tombstone of the previous next hop per key — that
-  /// bookkeeping only runs while a trace sink is attached.
   void bind_telemetry(obs::Telemetry* telemetry, uint32_t switch_id) {
     telemetry_ = telemetry;
     switch_id_ = switch_id;
   }
+
+  /// Bound on the path-switch tombstone map: keys that expired but were
+  /// never re-pinned would otherwise accumulate forever, so reaching the cap
+  /// restarts the window (losing only switch-vs-create attribution for the
+  /// dropped tombstones, never correctness).
+  static constexpr size_t kPrevNhopCap = 1u << 12;
+  size_t prev_nhop_window_size() const { return prev_nhop_.size(); }
 
   /// Live entry for this key, or nullptr (expired entries are erased and
   /// counted). Does NOT refresh the timestamp — call touch() after use.
@@ -82,10 +89,14 @@ class FlowletTable {
   double timeout_s_;
   std::unordered_map<FlowletKey, FlowletEntry, FlowletKeyHash> table_;
   FlowletStats stats_;
+  void remember_prev_nhop(const FlowletKey& key, topology::LinkId nhop);
+
   obs::Telemetry* telemetry_ = nullptr;
   uint32_t switch_id_ = obs::kNoField;
   /// Last next hop a (now removed) key was pinned to — distinguishes a
-  /// flowlet *switch* from a flowlet *create*. Populated only while tracing.
+  /// flowlet *switch* from a flowlet *create*. Maintained whenever entries
+  /// are removed (metrics must count switches even without a trace sink) and
+  /// bounded by kPrevNhopCap.
   std::unordered_map<FlowletKey, topology::LinkId, FlowletKeyHash> prev_nhop_;
 };
 

@@ -21,6 +21,10 @@ class ProbeClock {
   double period_s() const { return period_s_; }
   uint64_t version() const { return version_; }
   uint64_t advance() { return ++version_; }
+  /// Control-plane restart: the next round re-announces from version 1, the
+  /// regression neighbors must survive (see ContraSwitch version-reset
+  /// detection).
+  void reset() { version_ = 0; }
 
  private:
   double period_s_;

@@ -1,0 +1,356 @@
+#include "oracle/checker.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "pg/prune.h"
+
+namespace contra::oracle {
+
+using dataplane::ContraSwitch;
+using topology::LinkId;
+using topology::NodeId;
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kForwardingLoop: return "forwarding-loop";
+    case ViolationKind::kBlackHole: return "black-hole";
+    case ViolationKind::kMissingEntry: return "missing-entry";
+    case ViolationKind::kPhantomEntry: return "phantom-entry";
+    case ViolationKind::kRankMismatch: return "rank-mismatch";
+    case ViolationKind::kBestMismatch: return "best-mismatch";
+    case ViolationKind::kTagMergeUnsound: return "tag-merge-unsound";
+    case ViolationKind::kOracleDiverged: return "oracle-diverged";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string(const topology::Topology& topo) const {
+  std::ostringstream out;
+  out << violation_kind_name(kind);
+  if (sw != topology::kInvalidNode) out << " sw=" << topo.name(sw);
+  if (dst != topology::kInvalidNode) out << " dst=" << topo.name(dst);
+  out << " tag=" << tag << " pid=" << pid;
+  if (!detail.empty()) out << ": " << detail;
+  return out.str();
+}
+
+std::string CheckReport::to_string(const topology::Topology& topo) const {
+  std::ostringstream out;
+  out << (ok() ? "OK" : "VIOLATIONS") << " (entries=" << entries_checked
+      << " best=" << best_checked << " walks=" << walks_checked << ")";
+  for (const Violation& v : violations) out << "\n  " << v.to_string(topo);
+  if (truncated) out << "\n  ... (truncated)";
+  return out.str();
+}
+
+CheckerOptions options_for(const analysis::IsotonicityReport& report) {
+  CheckerOptions options;
+  switch (report.classification) {
+    case analysis::IsotonicityClass::kIsotonic:
+      break;  // full strictness
+    case analysis::IsotonicityClass::kDecomposed:
+      // Per-pid f-optimality holds (each subpolicy is isotonic), but f-tied
+      // candidates of dynamic-test policies may carry different s-ranks.
+      options.check_best = false;
+      break;
+    case analysis::IsotonicityClass::kWeaklyNonIsotonic:
+      // Best-probe propagation may legitimately settle on a non-optimal
+      // path; only reachability and loop-freedom are guaranteed.
+      options.check_optimality = false;
+      options.check_best = false;
+      break;
+  }
+  return options;
+}
+
+bool ranks_close(const lang::Rank& a, const lang::Rank& b, double tolerance) {
+  if (a.is_infinite() || b.is_infinite()) return a.is_infinite() == b.is_infinite();
+  const auto& ca = a.components();
+  const auto& cb = b.components();
+  const size_t width = ca.size() > cb.size() ? ca.size() : cb.size();
+  for (size_t i = 0; i < width; ++i) {
+    const double va = i < ca.size() ? ca[i].to_double() : 0.0;
+    const double vb = i < cb.size() ? cb[i].to_double() : 0.0;
+    if (std::abs(va - vb) > tolerance) return false;
+  }
+  return true;
+}
+
+namespace {
+
+class Collector {
+ public:
+  Collector(CheckReport& report, size_t cap) : report_(report), cap_(cap) {}
+
+  bool full() const { return report_.violations.size() >= cap_; }
+
+  void add(ViolationKind kind, NodeId sw, NodeId dst, uint32_t tag, uint32_t pid,
+           std::string detail) {
+    if (full()) {
+      report_.truncated = true;
+      return;
+    }
+    report_.violations.push_back({kind, sw, dst, tag, pid, std::move(detail)});
+  }
+
+ private:
+  CheckReport& report_;
+  size_t cap_;
+};
+
+std::string rank_pair(const lang::Rank& got, const lang::Rank& want) {
+  return "got " + got.to_string() + ", oracle " + want.to_string();
+}
+
+}  // namespace
+
+CheckReport check_invariants(const RouteOracle& oracle,
+                             const std::vector<const ContraSwitch*>& switches,
+                             sim::Time now, const CheckerOptions& options) {
+  CheckReport report;
+  Collector out(report, options.max_violations);
+  const pg::ProductGraph& graph = oracle.graph();
+  const topology::Topology& topo = graph.topo();
+
+  if (!oracle.converged()) {
+    out.add(ViolationKind::kOracleDiverged, topology::kInvalidNode, topology::kInvalidNode,
+            0, 0, "relaxation budget exhausted; input likely non-monotonic");
+    return report;
+  }
+
+  std::vector<const ContraSwitch*> by_node(topo.num_nodes(), nullptr);
+  for (const ContraSwitch* sw : switches) by_node[sw->node_id()] = sw;
+
+  // ---- (b) entry-level checks against the oracle tables --------------------
+  for (NodeId dst : oracle.destinations()) {
+    for (uint32_t pid = 0; pid < oracle.num_pids() && !out.full(); ++pid) {
+      const std::vector<OracleEntry>* table = oracle.table(dst, pid);
+      if (table == nullptr) continue;
+      for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+        const OracleEntry& want = (*table)[node];
+        if (!want.reached) continue;
+        const NodeId sw = graph.node_location(node);
+        if (sw == dst) continue;  // the destination never forwards to itself
+        const uint32_t tag = graph.node_tag(node);
+        const ContraSwitch* device = by_node[sw];
+        if (device == nullptr) continue;  // partial installs (unit tests)
+        ++report.entries_checked;
+        const ContraSwitch::FwdEntry* got = device->fwd_entry(dst, tag, pid);
+        if (got == nullptr || !device->entry_usable(*got, now)) {
+          out.add(ViolationKind::kMissingEntry, sw, dst, tag, pid,
+                  got == nullptr ? "no FwdT entry for oracle-reachable node"
+                                 : "FwdT entry present but unusable at quiescence");
+          continue;
+        }
+        if (options.check_optimality && !ranks_close(got->rank, want.rank, options.tolerance)) {
+          out.add(ViolationKind::kRankMismatch, sw, dst, tag, pid,
+                  rank_pair(got->rank, want.rank));
+        }
+      }
+    }
+  }
+
+  // Phantoms: usable entries the oracle says cannot exist.
+  for (const ContraSwitch* device : switches) {
+    if (out.full()) break;
+    const NodeId sw = device->node_id();
+    device->for_each_fwd_entry([&](NodeId dst, uint32_t tag, uint32_t pid,
+                                   const ContraSwitch::FwdEntry& entry) {
+      if (sw == dst || out.full()) return;
+      if (!device->entry_usable(entry, now)) return;
+      if (oracle.entry(sw, tag, dst, pid) == nullptr) {
+        out.add(ViolationKind::kPhantomEntry, sw, dst, tag, pid,
+                "usable FwdT entry at oracle-unreachable virtual node");
+      }
+    });
+  }
+
+  // ---- (a) loop-freedom of the induced forwarding graph --------------------
+  // Per (dst, pid) the usable entries form a functional graph over (sw, tag);
+  // tri-color DFS (iterative, since each node has out-degree <= 1 a simple
+  // walk suffices) finds any cycle.
+  for (NodeId dst : oracle.destinations()) {
+    for (uint32_t pid = 0; pid < oracle.num_pids() && !out.full(); ++pid) {
+      // color: 0 unvisited, 1 on current walk, 2 proven acyclic.
+      std::unordered_map<uint64_t, uint8_t> color;
+      auto state_key = [](NodeId sw, uint32_t tag) {
+        return (static_cast<uint64_t>(sw) << 32) | tag;
+      };
+      for (const ContraSwitch* start : switches) {
+        if (out.full()) break;
+        std::vector<std::pair<NodeId, uint32_t>> starts;
+        start->for_each_fwd_entry(
+            [&](NodeId d, uint32_t tag, uint32_t p, const ContraSwitch::FwdEntry& entry) {
+              if (d == dst && p == pid && start->entry_usable(entry, now)) {
+                starts.emplace_back(start->node_id(), tag);
+              }
+            });
+        for (const auto& [sw0, tag0] : starts) {
+          NodeId sw = sw0;
+          uint32_t tag = tag0;
+          std::vector<uint64_t> walk;
+          while (true) {
+            const uint64_t k = state_key(sw, tag);
+            const uint8_t c = color[k];
+            if (c == 2) break;
+            if (c == 1) {
+              std::ostringstream cyc;
+              cyc << "cycle through";
+              for (uint64_t wk : walk) {
+                cyc << " " << topo.name(static_cast<NodeId>(wk >> 32)) << "/t"
+                    << static_cast<uint32_t>(wk);
+              }
+              out.add(ViolationKind::kForwardingLoop, sw, dst, tag, pid, cyc.str());
+              break;
+            }
+            color[k] = 1;
+            walk.push_back(k);
+            if (sw == dst) break;  // delivered
+            const ContraSwitch* device = by_node[sw];
+            const ContraSwitch::FwdEntry* entry =
+                device == nullptr ? nullptr : device->fwd_entry(dst, tag, pid);
+            if (entry == nullptr || !device->entry_usable(*entry, now)) break;  // dead end
+            const topology::DirectedLink& link = topo.link(entry->nhop);
+            sw = link.to;
+            tag = entry->ntag;
+          }
+          for (uint64_t wk : walk) color[wk] = 2;
+        }
+      }
+    }
+  }
+
+  // ---- BestT: existence, delivery walk, and (optionally) s-rank ------------
+  for (NodeId dst : oracle.destinations()) {
+    if (out.full()) break;
+    for (const ContraSwitch* device : switches) {
+      if (out.full()) break;
+      const NodeId sw = device->node_id();
+      if (sw == dst) continue;
+      const auto want = oracle.best(sw, dst);
+      const auto got = device->best_choice(dst, now);
+      if (!want.has_value()) {
+        if (got.has_value()) {
+          out.add(ViolationKind::kBestMismatch, sw, dst, got->tag, got->pid,
+                  "BestT has a choice where the oracle has none");
+        }
+        continue;
+      }
+      ++report.best_checked;
+      if (!got.has_value()) {
+        out.add(ViolationKind::kBlackHole, sw, dst, want->tag, want->pid,
+                "no BestT choice for an oracle-reachable destination");
+        continue;
+      }
+      if (options.check_best && !ranks_close(got->rank, want->srank, options.tolerance)) {
+        out.add(ViolationKind::kBestMismatch, sw, dst, got->tag, got->pid,
+                rank_pair(got->rank, want->srank));
+      }
+      // Delivery walk from the pick.
+      ++report.walks_checked;
+      NodeId at = sw;
+      uint32_t tag = got->tag;
+      const uint32_t pid = got->pid;
+      uint32_t steps = 0;
+      const uint32_t max_steps = graph.num_nodes() + 1;
+      while (at != dst) {
+        if (++steps > max_steps) {
+          out.add(ViolationKind::kForwardingLoop, at, dst, tag, pid,
+                  "BestT walk exceeded the virtual-node count");
+          break;
+        }
+        const ContraSwitch* hop = by_node[at];
+        const ContraSwitch::FwdEntry* entry =
+            hop == nullptr ? nullptr : hop->fwd_entry(dst, tag, pid);
+        if (entry == nullptr || !hop->entry_usable(*entry, now)) {
+          out.add(ViolationKind::kBlackHole, at, dst, tag, pid,
+                  "BestT walk hit a switch without a usable entry");
+          break;
+        }
+        at = topo.link(entry->nhop).to;
+        tag = entry->ntag;
+      }
+    }
+  }
+
+  return report;
+}
+
+CheckReport check_tag_minimization(const compiler::CompileResult& compiled,
+                                   const LinkState& links, double tolerance) {
+  CheckReport report;
+  Collector out(report, 64);
+  const topology::Topology& topo = compiled.graph.topo();
+
+  // Reference graph: same construction, pruning, but no tag merge.
+  pg::ProductGraph raw = pg::build_unpruned(topo, compiled.decomposition);
+  pg::prune_useless(raw);
+  const pg::PolicyEvaluator raw_eval(raw, compiled.decomposition);
+  const pg::PolicyEvaluator min_eval(compiled.graph, compiled.decomposition);
+
+  const RouteOracle minimized(compiled.graph, min_eval, links);
+  const RouteOracle reference(raw, raw_eval, links);
+
+  if (!minimized.converged() || !reference.converged()) {
+    out.add(ViolationKind::kOracleDiverged, topology::kInvalidNode, topology::kInvalidNode,
+            0, 0, "oracle diverged during tag-minimization comparison");
+    return report;
+  }
+
+  // Destinations must agree: the merge may never create or destroy an
+  // admissible destination.
+  if (minimized.destinations() != reference.destinations()) {
+    out.add(ViolationKind::kTagMergeUnsound, topology::kInvalidNode, topology::kInvalidNode,
+            0, 0, "admitted destination sets differ pre/post merge");
+    return report;
+  }
+
+  // Per (sw, dst, pid): the best f-rank over the switch's tags must agree;
+  // per (sw, dst): the best s-rank must agree. Tags themselves differ
+  // between the graphs, so only tag-aggregated quantities are comparable.
+  auto best_f = [](const RouteOracle& oracle, NodeId sw, NodeId dst,
+                   uint32_t pid) -> std::optional<lang::Rank> {
+    const std::vector<OracleEntry>* table = oracle.table(dst, pid);
+    if (table == nullptr) return std::nullopt;
+    std::optional<lang::Rank> best;
+    for (uint32_t node : oracle.graph().nodes_at(sw)) {
+      const OracleEntry& e = (*table)[node];
+      if (!e.reached) continue;
+      if (!best || e.rank < *best) best = e.rank;
+    }
+    return best;
+  };
+
+  for (NodeId dst : minimized.destinations()) {
+    for (NodeId sw = 0; sw < topo.num_nodes() && !out.full(); ++sw) {
+      if (sw == dst) continue;
+      ++report.entries_checked;
+      for (uint32_t pid = 0; pid < minimized.num_pids(); ++pid) {
+        const auto a = best_f(minimized, sw, dst, pid);
+        const auto b = best_f(reference, sw, dst, pid);
+        if (a.has_value() != b.has_value()) {
+          out.add(ViolationKind::kTagMergeUnsound, sw, dst, 0, pid,
+                  a.has_value() ? "reachable only post-merge" : "reachable only pre-merge");
+        } else if (a && !ranks_close(*a, *b, tolerance)) {
+          out.add(ViolationKind::kTagMergeUnsound, sw, dst, 0, pid,
+                  "f-rank changed by merge: " + rank_pair(*a, *b));
+        }
+      }
+      const auto sa = minimized.best(sw, dst);
+      const auto sb = reference.best(sw, dst);
+      ++report.best_checked;
+      if (sa.has_value() != sb.has_value()) {
+        out.add(ViolationKind::kTagMergeUnsound, sw, dst, 0, 0,
+                sa.has_value() ? "selectable only post-merge" : "selectable only pre-merge");
+      } else if (sa && !ranks_close(sa->srank, sb->srank, tolerance)) {
+        out.add(ViolationKind::kTagMergeUnsound, sw, dst, sa->tag, sa->pid,
+                "s-rank changed by merge: " + rank_pair(sa->srank, sb->srank));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace contra::oracle

@@ -1,0 +1,107 @@
+// Routing-invariant checker: walks a converged network's FwdT/BestT state
+// and asserts it against the centralized RouteOracle.
+//
+// Invariants (and when each is sound to assert):
+//  (a) loop-freedom — the forwarding graph induced by usable FwdT entries,
+//      with nodes (switch, tag) per (dst, pid) and the edge each entry's
+//      (nhop, ntag) implies, contains no cycle; and every BestT pick
+//      delivers (the walk from it reaches dst). Always checked.
+//  (b) metric optimality — every usable FwdT entry's cached f-rank equals
+//      the oracle's optimum at its virtual node within tolerance, every
+//      oracle-reachable node has an entry, and no usable entry exists where
+//      the oracle says the node is unreachable. Sound per-pid whenever the
+//      subpolicy objectives are isotonic (kIsotonic and kDecomposed); for
+//      kWeaklyNonIsotonic only reachability + loop-freedom are asserted.
+//      BestT s-rank equality is additionally asserted for kIsotonic, where
+//      an f-tie implies an s-tie; under decomposed dynamic-test policies
+//      f-tied candidates can carry different s-ranks, so it is skipped.
+//  (c) tag-minimization soundness — the oracle computed on the minimized
+//      graph and on the un-minimized (pruned-only) graph agree: per
+//      (switch, dst) the best s-rank matches, and per (switch, dst, pid)
+//      the best f-rank over the switch's tags matches.
+//
+// Tolerance model: ranks compare component-wise with an absolute tolerance
+// that absorbs floating-point association noise between the oracle's
+// relaxation order and the probes' accumulation order. The checker assumes
+// a quiescent, idle network whose quantized link utilizations match the
+// LinkState the oracle was given (fuzz harnesses run probe-only with a
+// coarse util quantum so both are exactly zero).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/isotonicity.h"
+#include "compiler/compiler.h"
+#include "dataplane/contra_switch.h"
+#include "oracle/oracle.h"
+
+namespace contra::oracle {
+
+enum class ViolationKind {
+  kForwardingLoop,  ///< cycle in the induced forwarding graph
+  kBlackHole,       ///< BestT walk fails to reach the destination
+  kMissingEntry,    ///< oracle-reachable node without a usable FwdT entry
+  kPhantomEntry,    ///< usable FwdT entry at an oracle-unreachable node
+  kRankMismatch,    ///< FwdT f-rank differs from the oracle optimum
+  kBestMismatch,    ///< BestT s-rank differs from the oracle optimum
+  kTagMergeUnsound, ///< minimized vs un-minimized oracle disagreement
+  kOracleDiverged,  ///< relaxation budget exhausted (non-monotonic input)
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kRankMismatch;
+  topology::NodeId sw = topology::kInvalidNode;
+  topology::NodeId dst = topology::kInvalidNode;
+  uint32_t tag = 0;
+  uint32_t pid = 0;
+  std::string detail;
+
+  std::string to_string(const topology::Topology& topo) const;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  uint64_t entries_checked = 0;
+  uint64_t best_checked = 0;
+  uint64_t walks_checked = 0;
+  bool truncated = false;  ///< stopped early at max_violations
+
+  bool ok() const { return violations.empty(); }
+  std::string to_string(const topology::Topology& topo) const;
+};
+
+struct CheckerOptions {
+  /// Absolute per-component rank tolerance (see tolerance model above).
+  double tolerance = 1e-3;
+  /// Assert (b) entry-rank optimality (disable for weakly non-isotonic).
+  bool check_optimality = true;
+  /// Assert BestT s-rank equality (sound for kIsotonic only).
+  bool check_best = true;
+  /// Stop collecting after this many violations.
+  size_t max_violations = 64;
+};
+
+/// Checker strictness appropriate for a compiled policy's isotonicity class.
+CheckerOptions options_for(const analysis::IsotonicityReport& report);
+
+/// Rank equality within per-component absolute tolerance (∞ only equals ∞;
+/// widths zero-pad like Rank::compare).
+bool ranks_close(const lang::Rank& a, const lang::Rank& b, double tolerance);
+
+/// Invariants (a) + (b) against converged switches. `switches` holds every
+/// installed ContraSwitch (any order; parallel-engine callers concatenate
+/// the per-shard vectors); `now` is the quiescence timestamp used for
+/// usability checks.
+CheckReport check_invariants(const RouteOracle& oracle,
+                             const std::vector<const dataplane::ContraSwitch*>& switches,
+                             sim::Time now, const CheckerOptions& options = {});
+
+/// Invariant (c): rebuilds the PG without tag minimization (build_unpruned +
+/// prune_useless) and compares oracle fixed points on both graphs.
+CheckReport check_tag_minimization(const compiler::CompileResult& compiled,
+                                   const LinkState& links, double tolerance = 1e-3);
+
+}  // namespace contra::oracle

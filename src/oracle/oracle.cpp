@@ -1,0 +1,142 @@
+#include "oracle/oracle.h"
+
+#include <deque>
+
+namespace contra::oracle {
+
+using topology::LinkId;
+using topology::NodeId;
+
+LinkState LinkState::all_up(const topology::Topology& topo) {
+  LinkState state;
+  state.up.assign(topo.num_links(), true);
+  return state;
+}
+
+void LinkState::fail_cable(const topology::Topology& topo, LinkId link) {
+  if (up.empty()) up.assign(topo.num_links(), true);
+  up[link] = false;
+  const LinkId rev = topo.link(link).reverse;
+  if (rev != topology::kInvalidLink) up[rev] = false;
+}
+
+RouteOracle::RouteOracle(const pg::ProductGraph& graph, const pg::PolicyEvaluator& evaluator,
+                         LinkState links, uint64_t max_relaxations)
+    : graph_(&graph), evaluator_(&evaluator), links_(std::move(links)) {
+  // Budget per (dst, pid) run. Monotonic policies converge in O(nodes*edges)
+  // relaxations; the factor absorbs equal-rank churn on dense graphs.
+  uint64_t budget = max_relaxations;
+  if (budget == 0) {
+    const uint64_t n = graph_->num_nodes();
+    const uint64_t e = graph_->num_edges();
+    budget = 64 * (n + 1) * (e + 1);
+  }
+  for (NodeId d = 0; d < graph_->topo().num_nodes(); ++d) compute(d, budget);
+}
+
+void RouteOracle::compute(NodeId dst, uint64_t budget) {
+  const uint32_t origin_tag = graph_->origin_tag(dst);
+  if (origin_tag == pg::kInvalidTag) return;
+  const uint32_t origin = graph_->node_index(dst, origin_tag);
+  if (origin == pg::kInvalidPgNode) return;
+  destinations_.push_back(dst);
+
+  const uint32_t n = graph_->num_nodes();
+  const topology::Topology& topo = graph_->topo();
+  for (uint32_t pid = 0; pid < evaluator_->num_pids(); ++pid) {
+    std::vector<OracleEntry> dist(n);
+    std::vector<char> queued(n, 0);
+    std::deque<uint32_t> work;
+    dist[origin].reached = true;
+    dist[origin].rank = evaluator_->propagation_rank(pid, dist[origin].mv);
+    work.push_back(origin);
+    queued[origin] = 1;
+
+    uint64_t remaining = budget;
+    while (!work.empty()) {
+      if (remaining-- == 0) {
+        converged_ = false;
+        break;
+      }
+      const uint32_t u = work.front();
+      work.pop_front();
+      queued[u] = 0;
+      const uint32_t u_tag = graph_->node_tag(u);
+      for (const pg::PgEdge& edge : graph_->out_edges(u)) {
+        // Probes need the probe-direction link; traffic needs its reverse.
+        // fail_cable takes both down together, but check each for safety.
+        const LinkId traffic_link = topo.link(edge.link).reverse;
+        if (!links_.link_up(edge.link) || !links_.link_up(traffic_link)) continue;
+        const uint32_t v = graph_->node_index(edge.to, edge.to_tag);
+        if (v == pg::kInvalidPgNode) continue;  // pruned target
+
+        pg::MetricsVector mv = dist[u].mv;
+        mv.extend(links_.link_util(traffic_link), topo.link(traffic_link).delay_s * 1e6);
+        lang::Rank rank = evaluator_->propagation_rank(pid, mv);
+
+        OracleEntry& dv = dist[v];
+        if (!dv.reached || rank < dv.rank) {
+          dv.reached = true;
+          dv.mv = mv;
+          dv.rank = std::move(rank);
+          dv.nhops.assign(1, traffic_link);
+          dv.ntags.assign(1, u_tag);
+          if (!queued[v]) {
+            work.push_back(v);
+            queued[v] = 1;
+          }
+        } else if (rank == dv.rank) {
+          bool known = false;
+          for (size_t i = 0; i < dv.nhops.size(); ++i) {
+            if (dv.nhops[i] == traffic_link && dv.ntags[i] == u_tag) {
+              known = true;
+              break;
+            }
+          }
+          if (!known) {
+            dv.nhops.push_back(traffic_link);
+            dv.ntags.push_back(u_tag);
+          }
+        }
+      }
+    }
+    tables_.emplace(key(dst, pid), std::move(dist));
+  }
+}
+
+const OracleEntry* RouteOracle::entry(NodeId sw, uint32_t tag, NodeId dst,
+                                      uint32_t pid) const {
+  const std::vector<OracleEntry>* t = table(dst, pid);
+  if (t == nullptr) return nullptr;
+  const uint32_t node = graph_->node_index(sw, tag);
+  if (node == pg::kInvalidPgNode) return nullptr;
+  const OracleEntry& e = (*t)[node];
+  return e.reached ? &e : nullptr;
+}
+
+const std::vector<OracleEntry>* RouteOracle::table(NodeId dst, uint32_t pid) const {
+  auto it = tables_.find(key(dst, pid));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::optional<RouteOracle::Best> RouteOracle::best(NodeId sw, NodeId dst) const {
+  // A switch never selects a route to itself: delivery short-circuits before
+  // any BestT lookup, and BestT holds no self-entries.
+  if (sw == dst) return std::nullopt;
+  std::optional<Best> best;
+  for (uint32_t pid = 0; pid < num_pids(); ++pid) {
+    const std::vector<OracleEntry>* t = table(dst, pid);
+    if (t == nullptr) continue;
+    for (uint32_t node : graph_->nodes_at(sw)) {
+      const OracleEntry& e = (*t)[node];
+      if (!e.reached) continue;
+      const uint32_t tag = graph_->node_tag(node);
+      lang::Rank s = evaluator_->selection_rank(tag, e.mv);
+      if (s.is_infinite()) continue;
+      if (!best || s < best->srank) best = Best{tag, pid, std::move(s)};
+    }
+  }
+  return best;
+}
+
+}  // namespace contra::oracle

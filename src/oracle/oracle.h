@@ -1,0 +1,116 @@
+// Centralized routing oracle: the ground truth the distributed protocol is
+// checked against (differential testing, Batfish/Minesweeper-style).
+//
+// Given the compiled product graph and the policy's rank functions, the
+// oracle runs a generalized Bellman–Ford directly on the PG, per
+// (destination, pid): starting from the probe origin node (dst, origin_tag)
+// it relaxes PG edges in probe direction, extending the metrics vector with
+// the traffic-direction link exactly like UPDATEMVEC does, and adopts a
+// candidate only when its f(pid, mv) rank strictly improves — the same
+// adoption rule ContraSwitch::process_probe applies. The fixed point is the
+// per-(switch, tag, dst, pid) optimal metrics vector and the set of next
+// hops achieving it.
+//
+// Scope / soundness:
+//  * The oracle evaluates a *static* link view (LinkState): up/down flags
+//    and a fixed per-link utilization (default 0 — the idle, probe-only
+//    network the checker runs against). It is exact when the simulated
+//    network is quiescent and link utilizations quantize to the same values
+//    the oracle was given.
+//  * The fixed point equals the true per-pid optimum only when the
+//    subpolicy objective is isotonic (the checker gates its strictness on
+//    the compiled IsotonicityReport; see checker.h).
+//  * Termination relies on the decomposition's path.len tie-break making
+//    adoption strictly improving for monotonic policies. A relaxation
+//    budget guards non-terminating inputs; `converged()` reports overflow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/rank.h"
+#include "pg/policy_eval.h"
+#include "pg/product_graph.h"
+
+namespace contra::oracle {
+
+/// Static view of link state the oracle routes over. Indexed by directed
+/// LinkId; empty vectors mean "all up" / "all idle".
+struct LinkState {
+  std::vector<bool> up;
+  std::vector<double> util;  ///< already-quantized traffic-direction utilization
+
+  bool link_up(topology::LinkId l) const { return up.empty() || up[l]; }
+  double link_util(topology::LinkId l) const { return util.empty() ? 0.0 : util[l]; }
+
+  /// All-up state sized for `topo` (convenient to then fail specific cables).
+  static LinkState all_up(const topology::Topology& topo);
+  /// Fails both directions of the cable containing `link`.
+  void fail_cable(const topology::Topology& topo, topology::LinkId link);
+};
+
+/// Oracle fixed point at one PG node for one (dst, pid).
+struct OracleEntry {
+  bool reached = false;
+  pg::MetricsVector mv;       ///< optimal metrics (probe-direction accumulation)
+  lang::Rank rank;            ///< f(pid, mv)
+  /// Traffic-direction next hops achieving the optimal rank, with the tag
+  /// the data packet would carry to each (parallel arrays).
+  std::vector<topology::LinkId> nhops;
+  std::vector<uint32_t> ntags;
+};
+
+class RouteOracle {
+ public:
+  /// Computes the fixed point for every destination the policy admits.
+  /// `max_relaxations` = 0 picks an automatic budget from the graph size.
+  RouteOracle(const pg::ProductGraph& graph, const pg::PolicyEvaluator& evaluator,
+              LinkState links = {}, uint64_t max_relaxations = 0);
+
+  const pg::ProductGraph& graph() const { return *graph_; }
+  const pg::PolicyEvaluator& evaluator() const { return *evaluator_; }
+  const LinkState& links() const { return links_; }
+  uint32_t num_pids() const { return evaluator_->num_pids(); }
+
+  /// False when the relaxation budget ran out (non-monotonic input).
+  bool converged() const { return converged_; }
+
+  /// Destinations the policy admits (origin node exists in the PG).
+  const std::vector<topology::NodeId>& destinations() const { return destinations_; }
+
+  /// Fixed point at virtual node (sw, tag) for (dst, pid); nullptr when the
+  /// node does not exist, the dst is not admitted, or no probe path reaches
+  /// it over up links.
+  const OracleEntry* entry(topology::NodeId sw, uint32_t tag, topology::NodeId dst,
+                           uint32_t pid) const;
+
+  /// Full table for (dst, pid), indexed by PG node id; nullptr when dst is
+  /// not admitted.
+  const std::vector<OracleEntry>* table(topology::NodeId dst, uint32_t pid) const;
+
+  struct Best {
+    uint32_t tag = 0;
+    uint32_t pid = 0;
+    lang::Rank srank;  ///< s(tag, mv) of the winning candidate
+  };
+  /// The s()-optimal candidate a source at `sw` should select for `dst` —
+  /// BestT's ground truth. nullopt when no finite-rank candidate exists.
+  std::optional<Best> best(topology::NodeId sw, topology::NodeId dst) const;
+
+ private:
+  static uint64_t key(topology::NodeId dst, uint32_t pid) {
+    return (static_cast<uint64_t>(dst) << 32) | pid;
+  }
+  void compute(topology::NodeId dst, uint64_t budget);
+
+  const pg::ProductGraph* graph_;
+  const pg::PolicyEvaluator* evaluator_;
+  LinkState links_;
+  std::vector<topology::NodeId> destinations_;
+  std::unordered_map<uint64_t, std::vector<OracleEntry>> tables_;
+  bool converged_ = true;
+};
+
+}  // namespace contra::oracle

@@ -1,0 +1,32 @@
+#include "oracle/quiesce.h"
+
+#include <bit>
+
+#include "util/hash.h"
+
+namespace contra::oracle {
+
+uint64_t fwdt_digest(const std::vector<dataplane::ContraSwitch*>& switches, sim::Time now) {
+  // Commutative accumulation: iteration order over the hash maps (and over
+  // shards) must not matter, so per-entry hashes are mixed independently and
+  // summed.
+  uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (const dataplane::ContraSwitch* sw : switches) {
+    sw->for_each_fwd_entry([&](topology::NodeId dst, uint32_t tag, uint32_t pid,
+                               const dataplane::ContraSwitch::FwdEntry& entry) {
+      uint64_t h = util::hash_combine(sw->node_id(), dst);
+      h = util::hash_combine(h, tag);
+      h = util::hash_combine(h, pid);
+      h = util::hash_combine(h, entry.nhop);
+      h = util::hash_combine(h, entry.ntag);
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.util));
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.lat));
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.len));
+      h = util::hash_combine(h, sw->entry_usable(entry, now) ? 1u : 0u);
+      acc += util::mix64(h);
+    });
+  }
+  return acc;
+}
+
+}  // namespace contra::oracle

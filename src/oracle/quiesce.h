@@ -1,0 +1,81 @@
+// Quiescence detection for invariant checking: advance a simulation in
+// probe-period steps until the network's forwarding state stops changing.
+//
+// The digest covers every FwdT entry's routing content — (switch, dst, tag,
+// pid) -> (mv, ntag, nhop, usable) — but deliberately excludes the probe
+// version and updated_at timestamp, which advance every round even at the
+// fixed point. Samples are taken at a fixed phase within the probe period
+// (default 0.99, i.e. just before the next origination) so the per-round
+// probe wave has fully settled at each sample; a state that is periodic but
+// not constant would otherwise alias as stable.
+//
+// Works with both engines: anything exposing run_until(Time) and now()
+// (sim::Simulator, sim::ParallelSimulator).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dataplane/contra_switch.h"
+#include "sim/event_queue.h"
+
+namespace contra::oracle {
+
+struct QuiesceOptions {
+  double probe_period_s = 256e-6;
+  /// Do not sample before this time (set past the last scheduled failure
+  /// plus the metric-expiry window so expiries have resolved).
+  double start_s = 0.0;
+  /// Sample phase within the probe period, in (0, 1).
+  double phase = 0.99;
+  /// Consecutive identical digests required.
+  int stable_window = 3;
+  /// Give up past this simulated time.
+  double max_time_s = 1.0;
+};
+
+struct QuiesceResult {
+  bool quiesced = false;
+  sim::Time at = 0.0;
+  uint64_t digest = 0;
+  int samples = 0;
+};
+
+/// Order-independent digest of all switches' FwdT routing state at `now`.
+uint64_t fwdt_digest(const std::vector<dataplane::ContraSwitch*>& switches, sim::Time now);
+
+template <typename Engine>
+QuiesceResult run_to_quiescence(Engine& engine,
+                                const std::vector<dataplane::ContraSwitch*>& switches,
+                                const QuiesceOptions& options) {
+  QuiesceResult result;
+  const double period = options.probe_period_s;
+  const double first = std::max(engine.now(), options.start_s);
+  long k = static_cast<long>(std::floor(first / period));
+  uint64_t last = 0;
+  int stable = 0;
+  while (true) {
+    const sim::Time target = (static_cast<double>(++k) + options.phase) * period;
+    if (target > options.max_time_s) break;
+    engine.run_until(target);
+    const uint64_t digest = fwdt_digest(switches, engine.now());
+    ++result.samples;
+    if (result.samples > 1 && digest == last) {
+      if (++stable + 1 >= options.stable_window) {
+        result.quiesced = true;
+        result.at = engine.now();
+        result.digest = digest;
+        return result;
+      }
+    } else {
+      stable = 0;
+    }
+    last = digest;
+  }
+  result.at = engine.now();
+  result.digest = last;
+  return result;
+}
+
+}  // namespace contra::oracle

@@ -118,4 +118,11 @@ class ProductGraph {
   std::unordered_map<uint64_t, uint32_t> node_index_;
 };
 
+/// Raw PG before reachability/usefulness pruning and tag minimization.
+/// Exposed for the correctness oracle (src/oracle), which compares routing
+/// fixed points on the minimized and un-minimized graphs to validate that
+/// the tag-merge is sound. Production callers want ProductGraph::build.
+ProductGraph build_unpruned(const topology::Topology& topo,
+                            const analysis::Decomposition& decomposition);
+
 }  // namespace contra::pg

@@ -148,6 +148,39 @@ TEST_F(ProbeSemantics, MetricsVectorExtendsWithIngressLink) {
   EXPECT_NEAR(sw.fwd_entry(0, 0, 0)->mv.len, 2.0, 1e-9);
 }
 
+TEST_F(ProbeSemantics, RegressedVersionAcceptedAfterStalenessWindow) {
+  // DSDV-style version reset: a probe whose version went backwards means the
+  // origin restarted its control plane. Inside the staleness window it is
+  // dropped (could be a delayed duplicate); after version_reset_periods of
+  // silence it must be accepted or routes to the restarted origin die.
+  ContraSwitch sw = make_switch(1);  // defaults: 256us period, 3-period window
+  const topology::LinkId in = topo.link_between(0, 1);
+  sw.handle_packet(sim, make_probe(0, 0, 0, /*version=*/40, 0.5, 1), in);
+
+  sim.run_until(2 * 256e-6);  // inside the 3-period window
+  sw.handle_packet(sim, make_probe(0, 0, 0, 1, 0.1, 1), in);
+  EXPECT_EQ(sw.fwd_entry(0, 0, 0)->version, 40u);
+  EXPECT_EQ(sw.stats().probes_dropped_version, 1u);
+
+  sim.run_until(4 * 256e-6);  // no accepted refresh for > 3 periods
+  sw.handle_packet(sim, make_probe(0, 0, 0, 2, 0.7, 1), in);
+  ASSERT_NE(sw.fwd_entry(0, 0, 0), nullptr);
+  EXPECT_EQ(sw.fwd_entry(0, 0, 0)->version, 2u);
+  EXPECT_NEAR(sw.fwd_entry(0, 0, 0)->mv.util, 0.7, 1e-9);
+}
+
+TEST_F(ProbeSemantics, VersionResetDisabledKeepsDropping) {
+  ContraSwitchOptions options;
+  options.version_reset_periods = 0.0;
+  ContraSwitch sw = make_switch(1, options);
+  const topology::LinkId in = topo.link_between(0, 1);
+  sw.handle_packet(sim, make_probe(0, 0, 0, 40, 0.5, 1), in);
+  sim.run_until(10 * 256e-6);  // far past any window
+  sw.handle_packet(sim, make_probe(0, 0, 0, 2, 0.7, 1), in);
+  EXPECT_EQ(sw.fwd_entry(0, 0, 0)->version, 40u);
+  EXPECT_EQ(sw.stats().probes_dropped_version, 1u);
+}
+
 // ---- convergence -----------------------------------------------------------
 
 TEST(ContraConvergence, ShortestPathPolicyMatchesBfs) {
@@ -318,6 +351,49 @@ TEST(ContraFailure, FailoverPolicyPrefersPrimaryThenBackup) {
   best = world.switches[a]->best_choice(d, world.sim.now());
   ASSERT_TRUE(best.has_value());
   EXPECT_EQ(world.topo.link(best->nhop).to, b);
+}
+
+TEST(ContraFailure, RestartedDestinationRecoversRoutes) {
+  // Kill/revive: the destination's control plane restarts (probe versions go
+  // back to zero). The rest of the fabric holds entries with much larger
+  // versions; without the staleness-window reset the restarted origin could
+  // never re-announce itself and its routes would expire.
+  ContraSwitchOptions options;
+  options.probe_period_s = 100e-6;
+  ContraWorld world(topology::line(3), lang::policies::min_util(), options);
+  world.converge(3e-3);
+
+  const auto before = world.switches[0]->best_choice(2, world.sim.now());
+  ASSERT_TRUE(before.has_value());
+  const uint64_t v_before = world.switches[0]->fwd_entry(2, before->tag, before->pid)->version;
+  ASSERT_GT(v_before, 3u);
+
+  world.switches[2]->restart_control_plane();
+  world.sim.run_until(world.sim.now() + 3e-3);
+
+  const auto after = world.switches[0]->best_choice(2, world.sim.now());
+  ASSERT_TRUE(after.has_value());
+  const auto* entry = world.switches[0]->fwd_entry(2, after->tag, after->pid);
+  ASSERT_NE(entry, nullptr);
+  // The adopted version comes from the restarted clock, which lags the old
+  // one by the whole pre-restart run.
+  EXPECT_LT(entry->version, v_before);
+}
+
+TEST(ContraFailure, RestartedDestinationStaysDarkWithoutReset) {
+  // Ablation for the test above: with the reset window disabled, regressed
+  // versions are dropped forever and metric expiry removes the routes.
+  ContraSwitchOptions options;
+  options.probe_period_s = 100e-6;
+  options.version_reset_periods = 0.0;
+  options.metric_expiry_periods = 8.0;
+  ContraWorld world(topology::line(3), lang::policies::min_util(), options);
+  world.converge(3e-3);
+  ASSERT_TRUE(world.switches[0]->best_choice(2, world.sim.now()).has_value());
+
+  world.switches[2]->restart_control_plane();
+  world.sim.run_until(world.sim.now() + 3e-3);
+  EXPECT_FALSE(world.switches[0]->best_choice(2, world.sim.now()).has_value());
 }
 
 // ---- end-to-end forwarding --------------------------------------------------

@@ -26,6 +26,42 @@ TEST(FlowletTable, PinsAndExpires) {
   EXPECT_EQ(table.stats().expirations, 1u);
 }
 
+TEST(FlowletTable, ExpiresExactlyAtTimeoutBoundary) {
+  // Regression: the expiry comparison is >=, so a gap of exactly the
+  // timeout ends the flowlet (the boundary packet must re-rate).
+  FlowletTable table(200e-6);
+  const FlowletKey key{1, 0, 7};
+  table.pin(key, FlowletEntry{3, 0, 0, 0.0});
+  EXPECT_EQ(table.lookup(key, 200e-6), nullptr);
+  EXPECT_EQ(table.stats().expirations, 1u);
+}
+
+TEST(FlowletTable, SwitchIsCountedWithoutTelemetry) {
+  // Regression: path switches used to be detected only while a trace sink
+  // was attached; the stats counter must work standalone.
+  FlowletTable table(200e-6);
+  const FlowletKey key{0, 0, 9};
+  table.pin(key, FlowletEntry{5, 0, 0, 0.0});
+  ASSERT_EQ(table.lookup(key, 300e-6), nullptr);  // expires, remembers nhop 5
+  table.pin(key, FlowletEntry{6, 0, 0, 300e-6});  // different next hop
+  EXPECT_EQ(table.stats().switches, 1u);
+  // Re-pinning the same next hop after a flush is not a switch.
+  table.flush(key, 400e-6);
+  table.pin(key, FlowletEntry{6, 0, 0, 500e-6});
+  EXPECT_EQ(table.stats().switches, 1u);
+}
+
+TEST(FlowletTable, PrevNhopWindowIsBounded) {
+  FlowletTable table(200e-6);
+  for (uint32_t i = 0; i < FlowletTable::kPrevNhopCap + 10; ++i) {
+    const FlowletKey key{0, 0, i};
+    table.pin(key, FlowletEntry{1, 0, 0, 0.0});
+    table.flush(key);
+  }
+  EXPECT_LE(table.prev_nhop_window_size(), FlowletTable::kPrevNhopCap);
+  EXPECT_GE(table.prev_nhop_window_size(), 1u);
+}
+
 TEST(FlowletTable, TouchExtendsLife) {
   FlowletTable table(200e-6);
   const FlowletKey key{0, 0, 1};

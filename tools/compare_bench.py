@@ -4,6 +4,7 @@
 Usage:
   compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
   compare_bench.py --self CURRENT.json [--threshold 0.10]
+  compare_bench.py --fuzz-corpus DIR
 
 Each scenario's events_per_sec in CURRENT must be no more than `threshold`
 below BASELINE (default 10%). With --self, CURRENT's embedded "baseline"
@@ -14,11 +15,36 @@ The gate keys only on the serial "scenarios" section. A "parallel_scaling"
 section (the sharded engine's worker sweep) is reported informationally —
 thread scaling is machine-dependent, so it never fails the gate, with one
 exception: bit_identical=false in CURRENT is a determinism break and fails.
+
+--fuzz-corpus is an unrelated gate sharing this entry point: it hard-fails
+(exit 1) when DIR contains contrafuzz violation repros (repro-*.txt) that
+were never triaged with `contrafuzz --replay` (no .replayed stamp next to
+them). A missing DIR is fine — nothing to triage.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
+
+
+def check_fuzz_corpus(corpus_dir):
+    if not os.path.isdir(corpus_dir):
+        print(f"fuzz-corpus: {corpus_dir} does not exist — nothing to triage")
+        return 0
+    repros = sorted(glob.glob(os.path.join(corpus_dir, "repro-*.txt")))
+    unreplayed = [r for r in repros if not os.path.exists(r + ".replayed")]
+    for r in repros:
+        status = "UNREPLAYED" if r in unreplayed else "ok"
+        print(f"{status:10s} {r}")
+    if unreplayed:
+        print(f"fuzz-corpus: {len(unreplayed)} violation repro(s) without a "
+              f".replayed stamp — run `contrafuzz --replay <file>` to triage",
+              file=sys.stderr)
+        return 1
+    print(f"fuzz-corpus: {len(repros)} repro(s), all replayed")
+    return 0
 
 
 def load_report(path):
@@ -40,12 +66,22 @@ def load_scenarios(report, where):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("files", nargs="+", help="BASELINE CURRENT, or CURRENT with --self")
+    parser.add_argument("files", nargs="*", help="BASELINE CURRENT, or CURRENT with --self")
     parser.add_argument("--self", dest="use_self", action="store_true",
                         help="compare CURRENT against its embedded baseline section")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed fractional events/sec drop (default 0.10)")
+    parser.add_argument("--fuzz-corpus", metavar="DIR",
+                        help="fail on unreplayed contrafuzz repros in DIR")
     args = parser.parse_args()
+
+    if args.fuzz_corpus is not None:
+        if args.files:
+            sys.exit("compare_bench: --fuzz-corpus takes no report files")
+        return check_fuzz_corpus(args.fuzz_corpus)
+
+    if not args.files:
+        sys.exit("compare_bench: need report files (or --fuzz-corpus DIR)")
 
     if args.use_self:
         if len(args.files) != 1:
