@@ -24,6 +24,7 @@
 // Uses only the public simulator API on purpose: the same source measures
 // the std::function core before the zero-allocation rewrite and the SBO
 // core after it.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -63,7 +64,30 @@ struct ScenarioResult {
   double wall_s = 0.0;
   double allocs_per_event = 0.0;
 
+  // Probe-flood extras (has_probe_stats gates JSON emission). probes_per_s is
+  // workload-normalized: the probe deliveries the *unsuppressed* protocol
+  // performs for the simulated interval, divided by this run's wall time —
+  // "same converged routing state, delivered faster". probes_received is the
+  // raw delivery count actually processed (suppression shrinks it).
+  bool has_probe_stats = false;
+  uint64_t probes_received = 0;
+  uint64_t probes_suppressed = 0;
+  uint64_t dense_fallback_hits = 0;
+  uint64_t workload_probes = 0;  ///< unsuppressed deliveries for the same interval
+  double fwdt_lookup_ns = 0.0;   ///< measured only in the canonical probe_flood
+
   double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0.0; }
+  double probes_per_s() const {
+    return wall_s > 0 ? workload_probes / wall_s : 0.0;
+  }
+  /// Fraction of the unsuppressed workload's deliveries elided network-wide.
+  /// One advert-unchanged elision cancels the whole downstream flood subtree,
+  /// so this is larger than the locally counted probes_suppressed / received.
+  double probe_suppression_rate() const {
+    return workload_probes > probes_received
+               ? 1.0 - double(probes_received) / workload_probes
+               : 0.0;
+  }
 };
 
 // ---- event_throughput ------------------------------------------------------
@@ -158,8 +182,32 @@ ScenarioResult run_link_saturation(double sim_seconds) {
 
 // ---- probe_flood -----------------------------------------------------------
 
+/// Times ContraSwitch::fwd_entry over the switch's full compiled key universe
+/// (every (dst, tag, pid) the dense index addresses), ~2M lookups. A volatile
+/// sink defeats dead-code elimination.
+double measure_fwdt_lookup_ns(const dataplane::ContraSwitch& sw,
+                              const compiler::DenseFwdIndex& dense) {
+  const uint64_t universe = dense.num_rows();
+  if (universe == 0) return 0.0;
+  const uint64_t passes = std::max<uint64_t>(1, 2'000'000 / universe);
+  volatile uintptr_t sink = 0;
+  const auto start = Clock::now();
+  for (uint64_t p = 0; p < passes; ++p) {
+    for (topology::NodeId dst : dense.destinations) {
+      for (uint32_t tag : dense.slot_tags) {
+        for (uint32_t pid = 0; pid < dense.num_pids; ++pid) {
+          sink = sink + reinterpret_cast<uintptr_t>(sw.fwd_entry(dst, tag, pid));
+        }
+      }
+    }
+  }
+  const double wall = seconds_since(start);
+  return wall * 1e9 / double(passes * universe);
+}
+
 ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
-                                    bool verify_telemetry_contract) {
+                                    bool verify_telemetry_contract, bool suppression,
+                                    uint64_t workload_probes, bool lookup_bench) {
   const topology::Topology topo =
       topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
   const compiler::CompileResult compiled =
@@ -170,14 +218,19 @@ ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
   sim::Simulator sim(topo, config);
   dataplane::ContraSwitchOptions options;
   options.probe_period_s = 64e-6;  // 4x the paper's rate: a deliberate flood
-  dataplane::install_contra_network(sim, compiled, evaluator, options);
+  options.probe_suppression = suppression;
+  const std::vector<dataplane::ContraSwitch*> switches =
+      dataplane::install_contra_network(sim, compiled, evaluator, options);
   sim.start();
 
+  const obs::CoreMetrics& core = sim.telemetry().core();
+  const obs::MetricsRegistry& metrics = sim.telemetry().metrics();
   // Warm up: tables converge, pools and probe fan-out paths fill.
   sim.run_until(sim_seconds * 0.1);
   const uint64_t events_before = sim.events().events_processed();
-  const uint64_t probes_before =
-      sim.telemetry().metrics().value(sim.telemetry().core().probes_received);
+  const uint64_t probes_before = metrics.value(core.probes_received);
+  const uint64_t suppressed_before = metrics.value(core.probes_suppressed);
+  const uint64_t fallback_before = metrics.value(core.dense_fallback_hits);
   const uint64_t allocs_before = util::alloc_count();
   const auto start = Clock::now();
   sim.run_until(sim_seconds * 1.1);
@@ -189,13 +242,20 @@ ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
   result.wall_s = seconds_since(start);
   result.events = sim.events().events_processed() - events_before;
   result.allocs_per_event = result.events ? double(allocs) / result.events : 0.0;
+  result.has_probe_stats = true;
+  result.probes_received = metrics.value(core.probes_received) - probes_before;
+  result.probes_suppressed = metrics.value(core.probes_suppressed) - suppressed_before;
+  result.dense_fallback_hits = metrics.value(core.dense_fallback_hits) - fallback_before;
+  result.workload_probes = workload_probes ? workload_probes : result.probes_received;
+  if (lookup_bench && !switches.empty()) {
+    const dataplane::ContraSwitch& sw = *switches.front();
+    result.fwdt_lookup_ns =
+        measure_fwdt_lookup_ns(sw, compiled.switches[sw.node_id()].dense);
+  }
 
   if (verify_telemetry_contract) {
     // The always-on counters must actually be counting…
-    const uint64_t probes =
-        sim.telemetry().metrics().value(sim.telemetry().core().probes_received) -
-        probes_before;
-    if (probes == 0) {
+    if (result.probes_received == 0) {
       std::fprintf(stderr, "%s: telemetry counters did not advance\n", name);
       std::exit(1);
     }
@@ -214,8 +274,19 @@ ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
   return result;
 }
 
-ScenarioResult run_probe_flood(double sim_seconds) {
-  return run_probe_flood_impl("probe_flood", sim_seconds, false);
+/// Legacy protocol semantics (no delta-suppression) on the dense tables:
+/// measures the unsuppressed probe workload the suppressed runs normalize
+/// against, and isolates the dense-table speedup from the suppression win.
+ScenarioResult run_probe_flood_nosuppress(double sim_seconds) {
+  return run_probe_flood_impl("probe_flood_nosuppress", sim_seconds, false,
+                              /*suppression=*/false, /*workload_probes=*/0,
+                              /*lookup_bench=*/false);
+}
+
+ScenarioResult run_probe_flood(double sim_seconds, uint64_t workload_probes) {
+  return run_probe_flood_impl("probe_flood", sim_seconds, false,
+                              /*suppression=*/true, workload_probes,
+                              /*lookup_bench=*/true);
 }
 
 // ---- parallel_scaling ------------------------------------------------------
@@ -344,8 +415,10 @@ std::string run_parallel_scaling(double sim_seconds) {
   return os.str();
 }
 
-ScenarioResult run_probe_flood_telemetry_off(double sim_seconds) {
-  return run_probe_flood_impl("probe_flood_telemetry_off", sim_seconds, true);
+ScenarioResult run_probe_flood_telemetry_off(double sim_seconds, uint64_t workload_probes) {
+  return run_probe_flood_impl("probe_flood_telemetry_off", sim_seconds, true,
+                              /*suppression=*/true, workload_probes,
+                              /*lookup_bench=*/false);
 }
 
 // ---- driver ----------------------------------------------------------------
@@ -360,14 +433,30 @@ void write_json(const std::string& path, const std::string& label,
   out << "  \"scenarios\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
-    char buf[256];
+    char buf[512];
     std::snprintf(buf, sizeof buf,
                   "    \"%s\": {\"events\": %llu, \"wall_s\": %.6f, "
-                  "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f}%s\n",
+                  "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f",
                   r.name.c_str(), static_cast<unsigned long long>(r.events), r.wall_s,
-                  r.events_per_sec(), r.allocs_per_event,
-                  i + 1 < results.size() ? "," : "");
+                  r.events_per_sec(), r.allocs_per_event);
     out << buf;
+    if (r.has_probe_stats) {
+      std::snprintf(buf, sizeof buf,
+                    ", \"probes_received\": %llu, \"probes_suppressed\": %llu, "
+                    "\"workload_probes\": %llu, \"probes_per_s\": %.0f, "
+                    "\"probe_suppression_rate\": %.4f, \"dense_fallback_hits\": %llu",
+                    static_cast<unsigned long long>(r.probes_received),
+                    static_cast<unsigned long long>(r.probes_suppressed),
+                    static_cast<unsigned long long>(r.workload_probes), r.probes_per_s(),
+                    r.probe_suppression_rate(),
+                    static_cast<unsigned long long>(r.dense_fallback_hits));
+      out << buf;
+      if (r.fwdt_lookup_ns > 0.0) {
+        std::snprintf(buf, sizeof buf, ", \"fwdt_lookup_ns\": %.2f", r.fwdt_lookup_ns);
+        out << buf;
+      }
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  }";
   if (!scaling_blob.empty()) out << ",\n  \"parallel_scaling\": " << scaling_blob;
@@ -412,8 +501,12 @@ int main(int argc, char** argv) {
     std::vector<ScenarioResult> round;
     round.push_back(run_event_throughput(timer_events));
     round.push_back(run_link_saturation(sim_seconds));
-    round.push_back(run_probe_flood(sim_seconds));
-    round.push_back(run_probe_flood_telemetry_off(sim_seconds));
+    // The unsuppressed flood runs first: its (deterministic) delivery count is
+    // the workload numerator for the suppressed scenarios' probes_per_s.
+    round.push_back(run_probe_flood_nosuppress(sim_seconds));
+    const uint64_t workload_probes = round.back().probes_received;
+    round.push_back(run_probe_flood(sim_seconds, workload_probes));
+    round.push_back(run_probe_flood_telemetry_off(sim_seconds, workload_probes));
     if (best.empty()) {
       best = round;
     } else {
@@ -424,9 +517,16 @@ int main(int argc, char** argv) {
   }
 
   for (const ScenarioResult& r : best) {
-    std::printf("%-18s %9llu events  %8.4f s  %12.0f ev/s  %.4f allocs/event\n",
+    std::printf("%-25s %9llu events  %8.4f s  %12.0f ev/s  %.4f allocs/event\n",
                 r.name.c_str(), static_cast<unsigned long long>(r.events), r.wall_s,
                 r.events_per_sec(), r.allocs_per_event);
+    if (r.has_probe_stats) {
+      std::printf("%-25s %9llu probes  %12.0f probes/s  suppression %.1f%%  "
+                  "fallback %llu  fwdt %.2f ns/lookup\n",
+                  "", static_cast<unsigned long long>(r.probes_received), r.probes_per_s(),
+                  100.0 * r.probe_suppression_rate(),
+                  static_cast<unsigned long long>(r.dense_fallback_hits), r.fwdt_lookup_ns);
+    }
   }
 
   const std::string scaling_blob = run_scaling ? run_parallel_scaling(sim_seconds) : "";

@@ -62,6 +62,18 @@ CompileResult compile(const lang::Policy& policy, const topology::Topology& topo
     cfg.origin_tag = cfg.is_destination ? origin : 0;
   }
 
+  // Dense FwdT addressing needs the full destination set, so it runs as a
+  // second pass. NodeId-ascending collection keeps slot order deterministic.
+  std::vector<topology::NodeId> destinations;
+  for (const SwitchConfig& cfg : result.switches) {
+    if (cfg.is_destination) destinations.push_back(cfg.node);
+  }
+  const auto num_pids = static_cast<uint32_t>(result.num_pids());
+  for (SwitchConfig& cfg : result.switches) {
+    cfg.dense =
+        build_dense_index(cfg.local_tags, num_tags, destinations, topo.num_nodes(), num_pids);
+  }
+
   account_state(result, options);
   LOG_INFO("compiler") << "compiled policy " << lang::to_string(policy) << ": "
                        << result.summary();

@@ -26,8 +26,11 @@ void account_state(CompileResult& result, const CompileOptions& options) {
 
     // FwdT: one entry per (destination, local tag, pid). On a connected
     // topology probes from every valid destination reach every useful
-    // virtual node, so this product is the steady-state table size.
-    fp.fwdt_entries = num_destinations * cfg.local_tags.size() * num_pids;
+    // virtual node, so this product is the steady-state table size — and the
+    // dense row index, when built, materializes exactly this universe.
+    fp.fwdt_entries = cfg.dense.empty()
+                          ? num_destinations * cfg.local_tags.size() * num_pids
+                          : cfg.dense.num_rows();
     const uint64_t key_bytes = 2 + tag_bytes + 1;              // dst + tag + pid
     const uint64_t mv_bytes = 4 * num_attrs;                   // fixed-point metrics
     const uint64_t action_bytes = tag_bytes + 2 + 2;           // ntag + nhop + version

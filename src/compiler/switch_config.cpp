@@ -1,4 +1,30 @@
 #include "compiler/switch_config.h"
 
-// SwitchConfig is a plain data carrier; this TU anchors the module.
-namespace contra::compiler {}
+#include <algorithm>
+
+namespace contra::compiler {
+
+DenseFwdIndex build_dense_index(const std::vector<uint32_t>& local_tags, uint32_t num_tags,
+                                const std::vector<topology::NodeId>& destinations,
+                                uint32_t num_nodes, uint32_t num_pids) {
+  DenseFwdIndex index;
+  index.num_pids = num_pids;
+
+  index.slot_tags = local_tags;
+  std::sort(index.slot_tags.begin(), index.slot_tags.end());
+  index.slot_tags.erase(std::unique(index.slot_tags.begin(), index.slot_tags.end()),
+                        index.slot_tags.end());
+  index.tag_slot.assign(num_tags, DenseFwdIndex::kNoSlot);
+  for (uint32_t slot = 0; slot < index.slot_tags.size(); ++slot) {
+    index.tag_slot[index.slot_tags[slot]] = slot;
+  }
+
+  index.destinations = destinations;
+  index.dst_slot.assign(num_nodes, DenseFwdIndex::kNoSlot);
+  for (uint32_t slot = 0; slot < index.destinations.size(); ++slot) {
+    index.dst_slot[index.destinations[slot]] = slot;
+  }
+  return index;
+}
+
+}  // namespace contra::compiler

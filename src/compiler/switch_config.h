@@ -27,6 +27,76 @@ struct ProbeMulticastEntry {
   uint32_t neighbor_tag = 0;
 };
 
+/// Dense FwdT row index for one switch. The compiler knows the exact key
+/// universe `(dst, tag, pid)` a switch can ever store (§4.3 state
+/// accounting), so FwdT rows live in a flat array mirroring the P4 register
+/// arrays the paper generates (§4.2): dst-major, one contiguous `(tag, pid)`
+/// slice per destination,
+///
+///   row(dst, tag, pid) = dst_slot[dst] * slice_width()
+///                      + tag_slot[tag] * num_pids + pid
+///
+/// Slots are assigned in ascending id order (destinations by NodeId, tags by
+/// tag value), so a linear walk of the row array already visits entries in
+/// deterministic (dst, tag, pid) order — table renders and digests need no
+/// sort. Keys outside the universe map to kNoRow; the dataplane counts (and
+/// debug-asserts on) probe-path hits of that fallback.
+struct DenseFwdIndex {
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+  static constexpr uint32_t kNoRow = 0xffffffffu;
+
+  /// NodeId -> destination slot; kNoSlot for non-destinations. Sized to the
+  /// full topology so the hot-path lookup is one bounds check + one load.
+  std::vector<uint32_t> dst_slot;
+  /// Destination slot -> NodeId, ascending.
+  std::vector<topology::NodeId> destinations;
+  /// Global tag -> local tag slot; kNoSlot for tags not living here.
+  std::vector<uint32_t> tag_slot;
+  /// Local tag slot -> global tag, ascending.
+  std::vector<uint32_t> slot_tags;
+  uint32_t num_pids = 0;
+
+  uint32_t num_tag_slots() const { return static_cast<uint32_t>(slot_tags.size()); }
+  uint32_t slice_width() const { return num_tag_slots() * num_pids; }
+  uint32_t num_rows() const {
+    return static_cast<uint32_t>(destinations.size()) * slice_width();
+  }
+  bool empty() const { return num_rows() == 0; }
+
+  /// Flat row for a key, or kNoRow when the key is outside this switch's
+  /// compiled universe.
+  uint32_t row(topology::NodeId dst, uint32_t tag, uint32_t pid) const {
+    if (dst >= dst_slot.size() || tag >= tag_slot.size() || pid >= num_pids) return kNoRow;
+    const uint32_t d = dst_slot[dst];
+    const uint32_t t = tag_slot[tag];
+    if (d == kNoSlot || t == kNoSlot) return kNoRow;
+    return d * slice_width() + t * num_pids + pid;
+  }
+
+  /// First row of a destination slot's contiguous (tag, pid) slice; the
+  /// slice spans [slice_begin(d), slice_begin(d) + slice_width()).
+  uint32_t slice_begin(uint32_t dst_slot_index) const {
+    return dst_slot_index * slice_width();
+  }
+
+  /// Decomposes a flat row back into its key (inverse of row()).
+  void key_of(uint32_t row_index, topology::NodeId& dst, uint32_t& tag, uint32_t& pid) const {
+    const uint32_t width = slice_width();
+    dst = destinations[row_index / width];
+    const uint32_t rem = row_index % width;
+    tag = slot_tags[rem / num_pids];
+    pid = rem % num_pids;
+  }
+};
+
+/// Builds the dense index for one switch. `local_tags` may arrive in PG
+/// discovery order (and with duplicates); slots are assigned over the sorted
+/// unique set. `destinations` must already be ascending (compile() collects
+/// them in NodeId order).
+DenseFwdIndex build_dense_index(const std::vector<uint32_t>& local_tags, uint32_t num_tags,
+                                const std::vector<topology::NodeId>& destinations,
+                                uint32_t num_nodes, uint32_t num_pids);
+
 /// Estimated switch memory for the generated program (Fig. 10).
 struct StateFootprint {
   uint64_t fwdt_entries = 0;
@@ -54,6 +124,9 @@ struct SwitchConfig {
   /// probe-sending tag if so.
   bool is_destination = false;
   uint32_t origin_tag = 0;
+
+  /// Flat FwdT addressing for this switch (the P4 register-array layout).
+  DenseFwdIndex dense;
 
   StateFootprint footprint;
 };

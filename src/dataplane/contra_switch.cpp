@@ -1,6 +1,7 @@
 #include "dataplane/contra_switch.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -23,22 +24,28 @@ ContraSwitch::ContraSwitch(const compiler::CompileResult& compiled,
       evaluator_(&evaluator),
       self_(self),
       options_(options),
+      dense_(&compiled.switches[self].dense),
+      // The full compiled key universe is materialized up front (§4.3 state
+      // accounting — exactly the P4 register array a real switch would
+      // allocate), so steady-state probe processing never allocates: updates
+      // are indexed stores, not hash inserts.
+      rows_(dense_->num_rows()),
+      row_present_(dense_->num_rows(), 0),
+      adverts_(dense_->num_rows()),
       flowlets_(options.flowlet_timeout_s),
       loop_detector_(options.loop_table_slots, options.loop_ttl_threshold),
       probe_clock_(options.probe_period_s),
-      failure_detector_(options.failure_detect_periods * options.probe_period_s) {
-  // Pre-size the hot maps from the compiled bounds (§4.3 state accounting):
-  // FwdT converges to one entry per (destination, local tag, pid), BestT's
-  // scan index to one bucket per destination. Reserving up front keeps the
-  // warm-up phase from rehashing mid-run — rehashes are the only allocation
-  // these maps would otherwise do after convergence.
-  const compiler::StateFootprint& footprint = compiled.switches[self].footprint;
-  fwdt_.reserve(footprint.fwdt_entries);
-  uint64_t num_destinations = 0;
-  for (const compiler::SwitchConfig& cfg : compiled.switches) {
-    if (cfg.is_destination) ++num_destinations;
+      failure_detector_(options.failure_detect_periods * options.probe_period_s,
+                        compiled.graph.topo().num_links()),
+      last_best_(dense_->destinations.size(), topology::kInvalidLink) {
+  const uint32_t num_tags = compiled.graph.num_tags();
+  tag_step_.assign(num_tags, pg::kInvalidTag);
+  pg_node_of_tag_.assign(num_tags, pg::kInvalidPgNode);
+  for (uint32_t tag = 0; tag < num_tags; ++tag) {
+    tag_step_[tag] = compiled.graph.next_tag(tag, self);
+    pg_node_of_tag_[tag] = compiled.graph.node_index(self, tag);
   }
-  best_index_.reserve(num_destinations);
+  if (options_.reference_tables) reference_fwdt_.reserve(rows_.size());
 }
 
 void ContraSwitch::bind_telemetry(Simulator& sim) {
@@ -73,10 +80,16 @@ void ContraSwitch::trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double
 void ContraSwitch::note_route_flip(NodeId dst, sim::Time now) {
   const auto choice = best_choice(dst, now);
   if (!choice) return;
-  auto [it, inserted] = last_best_.try_emplace(dst, choice->nhop);
-  if (inserted || it->second == choice->nhop) return;
-  const LinkId old_nhop = it->second;
-  it->second = choice->nhop;
+  const uint32_t slot = dst < dense_->dst_slot.size() ? dense_->dst_slot[dst]
+                                                      : compiler::DenseFwdIndex::kNoSlot;
+  if (slot == compiler::DenseFwdIndex::kNoSlot) return;
+  LinkId& last = last_best_[slot];
+  if (last == topology::kInvalidLink || last == choice->nhop) {
+    last = choice->nhop;
+    return;
+  }
+  const LinkId old_nhop = last;
+  last = choice->nhop;
   telemetry_->metrics().add(telemetry_->core().route_flips);
   obs::TraceRecord r;
   r.t = now;
@@ -98,7 +111,7 @@ uint32_t ContraSwitch::probe_wire_bytes() const {
 void ContraSwitch::originate_probes(Simulator& sim) {
   const uint32_t origin_tag = compiled_->switches[self_].origin_tag;
   const uint64_t version = probe_clock_.advance();
-  const uint32_t pg_node = compiled_->graph.node_index(self_, origin_tag);
+  const uint32_t pg_node = pg_node_of_tag_[origin_tag];
   if (pg_node != pg::kInvalidPgNode) {
     for (uint32_t pid = 0; pid < evaluator_->num_pids(); ++pid) {
       for (const pg::PgEdge& edge : compiled_->graph.out_edges(pg_node)) {
@@ -153,9 +166,11 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
   }
   probe.mv.extend(util, link.delay_s() * 1e6);
 
-  // NEXTPGNODE: the local virtual node implied by the carried tag.
+  // NEXTPGNODE: the local virtual node implied by the carried tag, one load
+  // from the per-switch flattened transition table.
   const uint32_t incoming_tag = probe.tag;
-  const uint32_t local_tag = compiled_->graph.next_tag(incoming_tag, self_);
+  const uint32_t local_tag =
+      incoming_tag < tag_step_.size() ? tag_step_[incoming_tag] : pg::kInvalidTag;
   if (local_tag == pg::kInvalidTag) {
     ++stats_.probes_dropped_no_pg;
     tel.metrics().add(tel.core().probes_rejected_no_pg);
@@ -163,11 +178,33 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     return;
   }
 
-  const FwdKey key{probe.origin, local_tag, probe.pid};
-  auto it = fwdt_.find(key);
+  // Indexed FwdT update: the compiler proved the key universe, so the row is
+  // a computed offset into the flat register array — no hashing, no insert.
+  const uint32_t row = dense_->row(probe.origin, local_tag, probe.pid);
+  if (row == compiler::DenseFwdIndex::kNoRow) {
+    // Out-of-universe key. Unreachable in a correctly compiled network (the
+    // tag step above already rejected non-PG tags, and only destinations
+    // originate probes), so count it loudly and trip debug builds — a hit
+    // here means the compiler's universe and the dataplane disagree.
+    ++stats_.dense_fallback_hits;
+    tel.metrics().add(tel.core().dense_fallback_hits);
+    if (tel.tracing()) trace_probe(obs::Ev::kDenseFallback, probe, sim.now());
+    assert(!options_.assert_on_dense_fallback &&
+           "probe key outside the compiled dense FwdT universe");
+    return;
+  }
+  // Delta-suppression round phase (§5.2 semantics): rounds are identified by
+  // the version the probe carries, so every switch in the network agrees on
+  // which rounds are refresh rounds with no extra state or clock sync. On a
+  // refresh round the protocol below is exactly the unsuppressed one.
+  const bool suppression_active = options_.probe_suppression && options_.versioned_probes &&
+                                  options_.suppress_refresh_rounds > 1;
+  const bool refresh_round =
+      !suppression_active || probe.version % options_.suppress_refresh_rounds == 0;
+
+  FwdEntry& entry = rows_[row];
   bool propagate = true;
-  if (it != fwdt_.end()) {
-    FwdEntry& entry = it->second;
+  if (row_present_[row]) {
     bool version_reset = false;
     if (options_.versioned_probes && probe.version < entry.version) {
       // DSDV-style sequence recovery: a regressed version is normally a stale
@@ -185,9 +222,39 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     }
     const bool fresher =
         version_reset || (options_.versioned_probes && probe.version > entry.version);
-    lang::Rank new_rank = evaluator_->propagation_rank(probe.pid, probe.mv);
-    const lang::Rank& old_rank = entry.rank;  // cached f(pid, entry.mv)
-    const bool better = new_rank < old_rank;
+    // Steady-state fast path: a probe carrying exactly the stored mv has
+    // exactly the stored rank (f is a pure function of (pid, mv)), so the
+    // rank evaluation — the priciest step of probe processing — is skipped
+    // for the refresh traffic that dominates a converged network.
+    const bool same_content = probe.mv.util == entry.mv.util &&
+                              probe.mv.lat == entry.mv.lat && probe.mv.len == entry.mv.len;
+    lang::Rank new_rank;
+    bool better = false;
+    bool rank_changed = false;
+    if (!same_content) {
+      new_rank = evaluator_->propagation_rank(probe.pid, probe.mv);
+      better = new_rank < entry.rank;  // entry.rank caches f(pid, entry.mv)
+      rank_changed = new_rank != entry.rank;
+    }
+    // Receiver-side delta-suppression: between refresh rounds, a fresher
+    // probe that does not strictly improve the stored rank is deferred — the
+    // entry keeps its content and the probe is not re-flooded. Without this,
+    // a worse path whose upstream never suppresses (a probe origin is one)
+    // would be re-adopted on version freshness every round while the better
+    // path's unchanged re-announcement sits suppressed upstream, making the
+    // row oscillate. Worse news (failures, genuine degradations) still lands
+    // within suppress_refresh_rounds periods via the full refresh flood, and
+    // improvements propagate immediately through the `better` path below.
+    if (!refresh_round && fresher && !version_reset && !better) {
+      ++stats_.probes_suppressed;
+      tel.metrics().add(tel.core().probes_suppressed);
+      if (tel.tracing()) {
+        sim::ProbeFields suppressed = probe;
+        suppressed.tag = local_tag;
+        trace_probe(obs::Ev::kProbeSuppress, suppressed, sim.now());
+      }
+      return;
+    }
     // Without versions this is classic distance-vector: the current next hop
     // may always overwrite its own advertisement (worse news included), but
     // other neighbors must strictly improve — the §3 loop-prone strawman.
@@ -200,17 +267,26 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     }
     // A same-successor refresh with an unchanged rank keeps the entry alive
     // but is not re-advertised (DV re-advertises on change, not on refresh).
-    propagate = fresher || better || new_rank != old_rank;
+    propagate = fresher || better || rank_changed;
     entry.mv = probe.mv;
     entry.ntag = incoming_tag;
     entry.nhop = traffic_link;
     entry.version = probe.version;
     entry.updated_at = sim.now();
-    entry.rank = std::move(new_rank);
+    if (!same_content) entry.rank = std::move(new_rank);
   } else {
-    fwdt_.emplace(key, FwdEntry{probe.mv, incoming_tag, traffic_link, probe.version, sim.now(),
-                                evaluator_->propagation_rank(probe.pid, probe.mv)});
-    best_index_[probe.origin].emplace_back(local_tag, probe.pid);
+    row_present_[row] = 1;
+    entry.mv = probe.mv;
+    entry.ntag = incoming_tag;
+    entry.nhop = traffic_link;
+    entry.version = probe.version;
+    entry.updated_at = sim.now();
+    entry.rank = evaluator_->propagation_rank(probe.pid, probe.mv);
+  }
+  if (options_.reference_tables) {
+    // Shadow hash-map table (PR 4 layout): same accept path, same end state;
+    // check_reference_parity() diffs it against the dense rows.
+    reference_fwdt_[FwdKey{probe.origin, local_tag, probe.pid}] = entry;
   }
   ++stats_.fwdt_updates;
   tel.metrics().add(tel.core().probes_accepted);
@@ -222,12 +298,51 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     trace_probe(obs::Ev::kProbeAccept, accepted, sim.now());
     note_route_flip(probe.origin, sim.now());
   }
+
+  // Sender-side delta-suppression: even an accepted update is not worth
+  // re-flooding when the quantized advertisement for this row — the carried
+  // mv plus the stored next tag / next hop — matches what was last sent
+  // (e.g. a sub-quantum latency improvement). Refresh rounds always
+  // re-broadcast, which keeps downstream failure detectors and metric expiry
+  // fed and pins the steady-state fixed point to the unsuppressed
+  // protocol's: every refresh round replays the full flood, so the per-row
+  // winner is decided by exactly the legacy comparisons.
+  if (propagate && !refresh_round) {
+    const double lat_quantum = options_.suppress_lat_quantum_us;
+    const double lat_q = lat_quantum > 0
+                             ? std::round(probe.mv.lat / lat_quantum) * lat_quantum
+                             : probe.mv.lat;
+    const AdvertState& adv = adverts_[row];
+    if (adv.valid && adv.util == probe.mv.util && adv.lat == lat_q &&
+        adv.len == probe.mv.len && adv.ntag == incoming_tag && adv.nhop == traffic_link) {
+      ++stats_.probes_suppressed;
+      tel.metrics().add(tel.core().probes_suppressed);
+      if (tel.tracing()) {
+        sim::ProbeFields suppressed = probe;
+        suppressed.tag = local_tag;
+        trace_probe(obs::Ev::kProbeSuppress, suppressed, sim.now());
+      }
+      propagate = false;
+    }
+  }
   if (!propagate) return;
+  if (suppression_active) {
+    // Record what is about to go out as this row's standing advertisement.
+    AdvertState& adv = adverts_[row];
+    const double lat_quantum = options_.suppress_lat_quantum_us;
+    adv.util = probe.mv.util;
+    adv.lat = lat_quantum > 0 ? std::round(probe.mv.lat / lat_quantum) * lat_quantum
+                              : probe.mv.lat;
+    adv.len = probe.mv.len;
+    adv.ntag = incoming_tag;
+    adv.nhop = traffic_link;
+    adv.valid = true;
+  }
 
   // MULTICASTPROBE along PG out-edges of the local virtual node. The pure
   // back-edge (same link, same virtual node it just came from) is skipped —
   // such a probe is strictly stale at the sender.
-  const uint32_t pg_node = compiled_->graph.node_index(self_, local_tag);
+  const uint32_t pg_node = pg_node_of_tag_[local_tag];
   if (pg_node == pg::kInvalidPgNode) return;
   probe.tag = local_tag;
   for (const pg::PgEdge& edge : compiled_->graph.out_edges(pg_node)) {
@@ -250,22 +365,32 @@ bool ContraSwitch::entry_usable(const FwdEntry& entry, sim::Time now) const {
 
 const ContraSwitch::FwdEntry* ContraSwitch::fwd_entry(NodeId dst, uint32_t tag,
                                                       uint32_t pid) const {
-  auto it = fwdt_.find(FwdKey{dst, tag, pid});
-  return it == fwdt_.end() ? nullptr : &it->second;
+  const uint32_t row = dense_->row(dst, tag, pid);
+  if (row == compiler::DenseFwdIndex::kNoRow || !row_present_[row]) return nullptr;
+  return &rows_[row];
 }
 
 std::optional<ContraSwitch::BestChoice> ContraSwitch::best_choice(NodeId dst,
                                                                   sim::Time now) const {
-  auto idx = best_index_.find(dst);
-  if (idx == best_index_.end()) return std::nullopt;
+  // BestT scan = one cache-linear pass over the destination's contiguous
+  // (tag, pid) slice of the register array, in ascending (tag, pid) order.
+  if (dst >= dense_->dst_slot.size()) return std::nullopt;
+  const uint32_t slot = dense_->dst_slot[dst];
+  if (slot == compiler::DenseFwdIndex::kNoSlot) return std::nullopt;
+  const uint32_t begin = dense_->slice_begin(slot);
+  const uint32_t width = dense_->slice_width();
+  const uint32_t num_pids = dense_->num_pids;
   std::optional<BestChoice> best;
-  for (const auto& [tag, pid] : idx->second) {
-    auto it = fwdt_.find(FwdKey{dst, tag, pid});
-    if (it == fwdt_.end() || !entry_usable(it->second, now)) continue;
-    lang::Rank rank = evaluator_->selection_rank(tag, it->second.mv);
+  for (uint32_t off = 0; off < width; ++off) {
+    const uint32_t row = begin + off;
+    if (!row_present_[row]) continue;
+    const FwdEntry& entry = rows_[row];
+    if (!entry_usable(entry, now)) continue;
+    const uint32_t tag = dense_->slot_tags[off / num_pids];
+    lang::Rank rank = evaluator_->selection_rank(tag, entry.mv);
     if (rank.is_infinite()) continue;
     if (!best || rank < best->rank) {
-      best = BestChoice{tag, pid, std::move(rank), it->second.nhop};
+      best = BestChoice{tag, off % num_pids, std::move(rank), entry.nhop};
     }
   }
   return best;
@@ -369,15 +494,18 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
     }
     flowlets_.touch(fkey, now);
   } else {
-    const FwdKey key{packet.dst_switch, packet.routing.tag, packet.routing.pid};
-    auto it = fwdt_.find(key);
-    if (it == fwdt_.end() || !entry_usable(it->second, now)) {
+    // Out-of-universe data keys (e.g. traffic addressed to a non-destination)
+    // behave exactly like a missing entry always did: a no-route drop.
+    const uint32_t row =
+        dense_->row(packet.dst_switch, packet.routing.tag, packet.routing.pid);
+    if (row == compiler::DenseFwdIndex::kNoRow || !row_present_[row] ||
+        !entry_usable(rows_[row], now)) {
       ++stats_.data_dropped_no_route;
       telemetry_->metrics().add(telemetry_->core().data_dropped_no_route);
       return;
     }
-    nhop = it->second.nhop;
-    ntag = it->second.ntag;
+    nhop = rows_[row].nhop;
+    ntag = rows_[row].ntag;
     flowlets_.pin(fkey, FlowletEntry{nhop, ntag, packet.routing.pid, now}, now);
   }
 
@@ -399,29 +527,90 @@ std::string ContraSwitch::render_tables(sim::Time now) const {
   out << "FwdT @ " << topo.name(self_) << " (* = BestT choice)\n";
   out << "  [dst, tag, pid] -> (util, lat_us, len), ntag, nhop, version\n";
 
-  // Deterministic order: by destination, tag, pid.
-  std::vector<std::pair<FwdKey, const FwdEntry*>> rows;
-  rows.reserve(fwdt_.size());
-  for (const auto& [key, entry] : fwdt_) rows.emplace_back(key, &entry);
-  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return std::tie(a.first.origin, a.first.tag, a.first.pid) <
-           std::tie(b.first.origin, b.first.tag, b.first.pid);
-  });
-
-  for (const auto& [key, entry] : rows) {
-    const auto best = best_choice(key.origin, now);
-    const bool starred = best && best->tag == key.tag && best->pid == key.pid;
-    char line[192];
-    std::snprintf(line, sizeof line,
-                  "  [%s, t%u, p%u] -> (%.3f, %.2f, %.0f), t%u, %s, v%llu%s%s\n",
-                  topo.name(key.origin).c_str(), key.tag, key.pid, entry->mv.util,
-                  entry->mv.lat, entry->mv.len, entry->ntag,
-                  topo.name(topo.link(entry->nhop).to).c_str(),
-                  static_cast<unsigned long long>(entry->version),
-                  entry_usable(*entry, now) ? "" : " [expired]", starred ? " *" : "");
-    out << line;
+  // The dense layout is already in (dst, tag, pid) order, so rendering is a
+  // single pass over each destination's slice — no sort, and BestT is
+  // computed once per destination instead of once per row.
+  const uint32_t width = dense_->slice_width();
+  const uint32_t num_pids = dense_->num_pids;
+  for (uint32_t slot = 0; slot < dense_->destinations.size(); ++slot) {
+    const NodeId dst = dense_->destinations[slot];
+    const auto best = best_choice(dst, now);
+    const uint32_t begin = dense_->slice_begin(slot);
+    for (uint32_t off = 0; off < width; ++off) {
+      if (!row_present_[begin + off]) continue;
+      const FwdEntry& entry = rows_[begin + off];
+      const uint32_t tag = dense_->slot_tags[off / num_pids];
+      const uint32_t pid = off % num_pids;
+      const bool starred = best && best->tag == tag && best->pid == pid;
+      char line[192];
+      std::snprintf(line, sizeof line,
+                    "  [%s, t%u, p%u] -> (%.3f, %.2f, %.0f), t%u, %s, v%llu%s%s\n",
+                    topo.name(dst).c_str(), tag, pid, entry.mv.util, entry.mv.lat,
+                    entry.mv.len, entry.ntag, topo.name(topo.link(entry.nhop).to).c_str(),
+                    static_cast<unsigned long long>(entry.version),
+                    entry_usable(entry, now) ? "" : " [expired]", starred ? " *" : "");
+      out << line;
+    }
   }
   return out.str();
+}
+
+std::string ContraSwitch::check_reference_parity(sim::Time now) const {
+  if (!options_.reference_tables) return "reference tables are not enabled";
+  const topology::Topology& topo = compiled_->graph.topo();
+  char buf[160];
+
+  // Dense -> reference: every present row must shadow an identical map entry.
+  std::string diff;
+  size_t present = 0;
+  for_each_fwd_entry([&](NodeId dst, uint32_t tag, uint32_t pid, const FwdEntry& entry) {
+    ++present;
+    if (!diff.empty()) return;
+    const auto it = reference_fwdt_.find(FwdKey{dst, tag, pid});
+    if (it == reference_fwdt_.end()) {
+      std::snprintf(buf, sizeof buf, "sw %s: dense row [dst=%u,t%u,p%u] missing from reference",
+                    topo.name(self_).c_str(), dst, tag, pid);
+      diff = buf;
+      return;
+    }
+    const FwdEntry& ref = it->second;
+    if (ref.mv.util != entry.mv.util || ref.mv.lat != entry.mv.lat ||
+        ref.mv.len != entry.mv.len || ref.ntag != entry.ntag || ref.nhop != entry.nhop ||
+        ref.version != entry.version || ref.updated_at != entry.updated_at) {
+      std::snprintf(buf, sizeof buf, "sw %s: dense/reference contents differ at [dst=%u,t%u,p%u]",
+                    topo.name(self_).c_str(), dst, tag, pid);
+      diff = buf;
+    }
+  });
+  if (!diff.empty()) return diff;
+  // Reference -> dense: equal sizes close the bijection (no extra map keys).
+  if (present != reference_fwdt_.size()) {
+    std::snprintf(buf, sizeof buf, "sw %s: %zu dense rows vs %zu reference entries",
+                  topo.name(self_).c_str(), present, reference_fwdt_.size());
+    return buf;
+  }
+
+  // BestT: the dense slice scan must pick a winner of the same rank the
+  // reference map yields. Ranks (not exact (tag, pid)) are compared — ties
+  // are broken by iteration order, which is unspecified for the hash map.
+  for (const NodeId dst : dense_->destinations) {
+    const auto dense_best = best_choice(dst, now);
+    std::optional<lang::Rank> ref_best;
+    for (const auto& [key, entry] : reference_fwdt_) {
+      if (key.origin != dst || !entry_usable(entry, now)) continue;
+      lang::Rank rank = evaluator_->selection_rank(key.tag, entry.mv);
+      if (rank.is_infinite()) continue;
+      if (!ref_best || rank < *ref_best) ref_best = std::move(rank);
+    }
+    if (dense_best.has_value() != ref_best.has_value() ||
+        (dense_best && dense_best->rank != *ref_best)) {
+      std::snprintf(buf, sizeof buf, "sw %s: BestT divergence for dst %u (%s vs %s winner)",
+                    topo.name(self_).c_str(), dst, dense_best ? "dense" : "no-dense",
+                    ref_best ? "reference" : "no-reference");
+      return buf;
+    }
+  }
+  return "";
 }
 
 std::vector<ContraSwitch*> install_contra_network(Simulator& sim,

@@ -69,6 +69,38 @@ struct ContraSwitchOptions {
   /// after a failure) is ignored forever. <= 0 disables the escape hatch.
   double version_reset_periods = 3.0;
 
+  /// Probe delta-suppression (§5.2 semantics on the dense tables): an
+  /// accepted probe whose quantized advertisement — mv as carried (util is
+  /// already register-quantized, latency via suppress_lat_quantum_us), next
+  /// tag, next hop — matches what this switch last re-broadcast for the row
+  /// is not re-flooded. Refresh rounds (below) re-announce unconditionally,
+  /// which keeps downstream failure detectors and metric expiry fed and pins
+  /// the fixed point to the unsuppressed protocol's: on a refresh round every
+  /// switch runs exactly the legacy propagate rule, so the steady-state
+  /// winner per row is decided by the same comparisons in the same order.
+  /// Requires versioned_probes (rounds are identified by the carried
+  /// version); ignored under the classic distance-vector ablation.
+  bool probe_suppression = true;
+  /// Refresh cadence: origin rounds whose version is a multiple of this
+  /// value propagate under the unsuppressed rule. Must stay below
+  /// failure_detect_periods (default 3) so probe silence on a healthy path
+  /// never crosses the failure threshold between refreshes. <= 1 makes every
+  /// round a refresh round, i.e. disables suppression.
+  uint32_t suppress_refresh_rounds = 2;
+  /// Advertised-latency deltas below this many microseconds do not count as
+  /// a change. Latency is propagation-only (see process_probe), so any real
+  /// path change moves it by at least one link delay; the quantum only
+  /// absorbs float noise.
+  double suppress_lat_quantum_us = 0.25;
+
+  /// Test-only: shadow the dense tables with the PR 4 hash-map tables so
+  /// check_reference_parity() can cross-check them (contrafuzz
+  /// --cross-check). Allocates per entry — never enable in benchmarks.
+  bool reference_tables = false;
+  /// Test-only: lets the out-of-universe probe fallback be exercised without
+  /// tripping the debug assert that guards it in real runs.
+  bool assert_on_dense_fallback = true;
+
   /// When this switch is one protocol instance of a classified policy, the
   /// rule index it serves; stamped into probes and data it sources.
   uint32_t traffic_class_id = 0;
@@ -81,6 +113,8 @@ struct ContraSwitchStats {
   uint64_t probes_dropped_version = 0;
   uint64_t probes_dropped_worse = 0;
   uint64_t probes_dropped_no_pg = 0;
+  uint64_t probes_suppressed = 0;    ///< accepted but not re-broadcast (delta-suppression)
+  uint64_t dense_fallback_hits = 0;  ///< probe keys outside the compiled dense universe
   uint64_t fwdt_updates = 0;
   uint64_t data_forwarded = 0;
   uint64_t data_to_host = 0;
@@ -135,10 +169,18 @@ class ContraSwitch : public sim::Device {
   bool entry_usable(const FwdEntry& entry, sim::Time now) const;
 
   /// Invariant-checker hook: visits every FwdT entry as
-  /// fn(dst, local_tag, pid, entry). Iteration order is unspecified.
+  /// fn(dst, local_tag, pid, entry). The dense layout makes the order
+  /// deterministic — ascending (dst, tag, pid) — but callers should not rely
+  /// on it (the contract predates the dense tables).
   template <typename Fn>
   void for_each_fwd_entry(Fn&& fn) const {
-    for (const auto& [key, entry] : fwdt_) fn(key.origin, key.tag, key.pid, entry);
+    topology::NodeId dst = topology::kInvalidNode;
+    uint32_t tag = 0, pid = 0;
+    for (uint32_t r = 0; r < rows_.size(); ++r) {
+      if (!row_present_[r]) continue;
+      dense_->key_of(r, dst, tag, pid);
+      fn(dst, tag, pid, rows_[r]);
+    }
   }
 
   struct BestChoice {
@@ -163,6 +205,12 @@ class ContraSwitch : public sim::Device {
   /// Renders FwdT + BestT in the paper's Fig. 6e layout:
   ///   [dst, tag, pid] -> mv, ntag, nhop, version   (* marks BestT's pick)
   std::string render_tables(sim::Time now) const;
+
+  /// Test-only (requires options.reference_tables): cross-checks the dense
+  /// FwdT rows and the per-destination BestT scans against the shadow
+  /// hash-map tables. Returns "" when they agree, else a description of the
+  /// first divergence.
+  std::string check_reference_parity(sim::Time now) const;
 
  private:
   struct FwdKey {
@@ -199,9 +247,37 @@ class ContraSwitch : public sim::Device {
   topology::NodeId self_;
   ContraSwitchOptions options_;
 
-  std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwdt_;
-  /// Per destination: the (tag, pid) keys present (BestT scan index).
-  std::unordered_map<topology::NodeId, std::vector<std::pair<uint32_t, uint32_t>>> best_index_;
+  /// This switch's slice of the compiled dense addressing (owned by
+  /// compiled_; cached to skip the double indirection on every packet).
+  const compiler::DenseFwdIndex* dense_;
+  /// Probe-path PG lookups densified per switch so the hot path never
+  /// hashes: carried tag -> local tag (NEXTPGNODE, kInvalidTag when there is
+  /// no transition) and local tag -> PG node index for the multicast fan-out
+  /// (kInvalidPgNode when the tag does not live here). Both are pure
+  /// compiled data, flattened from the ProductGraph in the constructor.
+  std::vector<uint32_t> tag_step_;
+  std::vector<uint32_t> pg_node_of_tag_;
+  /// FwdT as a flat register array: one row per compiled (dst, tag, pid),
+  /// preallocated in the constructor — probe updates index in O(1) and never
+  /// allocate, BestT scans walk one contiguous per-destination slice.
+  std::vector<FwdEntry> rows_;
+  /// 1 = the row has been written (the register-array "valid" bit).
+  std::vector<uint8_t> row_present_;
+
+  /// What this switch last re-broadcast per row, quantized — the comparand
+  /// for probe delta-suppression. Written only when a probe propagates.
+  struct AdvertState {
+    double util = 0.0;  ///< carried quantized (util_quantum)
+    double lat = 0.0;   ///< quantized to suppress_lat_quantum_us
+    double len = 0.0;
+    uint32_t ntag = 0;
+    topology::LinkId nhop = topology::kInvalidLink;
+    bool valid = false;  ///< row has been advertised at least once
+  };
+  std::vector<AdvertState> adverts_;
+
+  /// Test-only shadow of the PR 4 hash-map FwdT (options_.reference_tables).
+  std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> reference_fwdt_;
 
   /// Source-side pin of the BestT choice per flowlet (the "sender sets the
   /// initial tag and probe number" rule, §4.2).
@@ -232,9 +308,10 @@ class ContraSwitch : public sim::Device {
   /// Bound at start(); counters are a relaxed add when set, trace records one
   /// predictable branch when no sink is attached.
   obs::Telemetry* telemetry_ = nullptr;
-  /// Tracing-only: BestT next hop last reported per destination, for
-  /// kRouteFlip detection. Untouched (empty) when no sink is attached.
-  std::unordered_map<topology::NodeId, topology::LinkId> last_best_;
+  /// Tracing-only: BestT next hop last reported per destination slot, for
+  /// kRouteFlip detection (kInvalidLink = not yet reported). Only read when
+  /// a sink is attached.
+  std::vector<topology::LinkId> last_best_;
 };
 
 /// Installs a ContraSwitch at every node and returns raw observers.

@@ -38,6 +38,9 @@ void HulaSwitch::bind_telemetry(Simulator& sim) {
   telemetry_ = &sim.telemetry();
   flowlets_.bind_telemetry(telemetry_, self_);
   failure_detector_.bind_telemetry(telemetry_, self_);
+  // The topology is first reachable here (the constructor has no Simulator):
+  // size the per-link failure state once so the hot path never grows it.
+  failure_detector_.reserve_links(sim.topo().num_links());
 }
 
 void HulaSwitch::start(Simulator& sim) {

@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "obs/telemetry.h"
 #include "sim/event_queue.h"
@@ -34,9 +34,36 @@ class ProbeClock {
 class FailureDetector {
  public:
   /// `silence_threshold_s` — how long without probes before a link is
-  /// presumed failed (the paper uses k probe periods, k≈3).
-  explicit FailureDetector(double silence_threshold_s)
-      : threshold_s_(silence_threshold_s) {}
+  /// presumed failed (the paper uses k probe periods, k≈3). `num_links`
+  /// pre-sizes the per-link state from the topology so steady-state queries
+  /// and probe arrivals never allocate and the footprint is bounded by the
+  /// wiring, not by churn history.
+  explicit FailureDetector(double silence_threshold_s, size_t num_links = 0)
+      : threshold_s_(silence_threshold_s) {
+    reserve_links(num_links);
+  }
+
+  /// Grows (never shrinks) the tracked-link range; idempotent.
+  void reserve_links(size_t num_links) {
+    if (num_links > last_probe_.size()) {
+      last_probe_.resize(num_links, 0.0);
+      presumed_.resize(num_links, kUnknown);
+    }
+  }
+
+  /// Links the detector holds state for (bounded by the topology once
+  /// reserve_links ran; the regression tests pin this).
+  size_t tracked_links() const { return last_probe_.size(); }
+
+  /// Drops all state for a link removed from service: its timestamp returns
+  /// to the bootstrap-grace default and the tracing transition state is
+  /// forgotten, exactly as if the link had never carried a probe.
+  void evict(topology::LinkId link) {
+    if (link < last_probe_.size()) {
+      last_probe_[link] = 0.0;
+      presumed_[link] = kUnknown;
+    }
+  }
 
   /// Attributes failure_detect/failure_clear events to `switch_id`. The
   /// failed<->alive transition bookkeeping this needs runs only while a
@@ -48,14 +75,18 @@ class FailureDetector {
   }
 
   /// A probe arrived over the given directed link (toward this switch).
-  void note_probe(topology::LinkId in_link, sim::Time now) { last_probe_[in_link] = now; }
+  /// Out-of-range links (only reachable when reserve_links never ran) grow
+  /// the state once; after reservation this is a plain store.
+  void note_probe(topology::LinkId in_link, sim::Time now) {
+    if (in_link >= last_probe_.size()) reserve_links(in_link + 1);
+    last_probe_[in_link] = now;
+  }
 
   /// Is the link presumed failed? Links that never carried a probe are
   /// treated as alive until `now` exceeds the threshold from time zero
   /// (bootstrap grace).
   bool presumed_failed(topology::LinkId in_link, sim::Time now) const {
-    auto it = last_probe_.find(in_link);
-    const sim::Time last = it == last_probe_.end() ? 0.0 : it->second;
+    const sim::Time last = in_link < last_probe_.size() ? last_probe_[in_link] : 0.0;
     const bool failed = now - last > threshold_s_;
     if (telemetry_ != nullptr && telemetry_->tracing()) note_state(in_link, failed, now);
     return failed;
@@ -64,14 +95,19 @@ class FailureDetector {
   double threshold_s() const { return threshold_s_; }
 
  private:
+  /// Tracing-only transition states; kUnknown = never queried under tracing.
+  static constexpr int8_t kUnknown = -1;
+  static constexpr int8_t kAlive = 0;
+  static constexpr int8_t kFailed = 1;
+
   void note_state(topology::LinkId in_link, bool failed, sim::Time now) const {
-    auto [it, inserted] = presumed_.try_emplace(in_link, failed);
-    if (!inserted) {
-      if (it->second == failed) return;
-      it->second = failed;
-    } else if (!failed) {
-      return;  // first query saw a healthy link — nothing to report
-    }
+    if (in_link >= presumed_.size()) return;  // unreserved link: nothing to attribute
+    int8_t& state = presumed_[in_link];
+    const int8_t next = failed ? kFailed : kAlive;
+    if (state == next) return;
+    const bool first = state == kUnknown;
+    state = next;
+    if (first && !failed) return;  // first query saw a healthy link — nothing to report
     telemetry_->metrics().add(failed ? telemetry_->core().failure_detections
                                      : telemetry_->core().failure_clears);
     obs::TraceRecord r;
@@ -83,11 +119,12 @@ class FailureDetector {
   }
 
   double threshold_s_;
-  std::unordered_map<topology::LinkId, sim::Time> last_probe_;
+  /// Last probe arrival per directed in-link; 0.0 = bootstrap grace.
+  std::vector<sim::Time> last_probe_;
   obs::Telemetry* telemetry_ = nullptr;
   uint32_t switch_id_ = obs::kNoField;
   /// Tracing-only failed/alive transition state per in-link.
-  mutable std::unordered_map<topology::LinkId, bool> presumed_;
+  mutable std::vector<int8_t> presumed_;
 };
 
 }  // namespace contra::dataplane

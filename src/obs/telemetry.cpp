@@ -11,6 +11,8 @@ CoreMetrics::CoreMetrics(MetricsRegistry& r)
       probes_rejected_no_pg(r.counter("probes_rejected_no_pg")),
       fwdt_updates(r.counter("fwdt_updates")),
       route_flips(r.counter("route_flips")),
+      probes_suppressed(r.counter("probes_suppressed")),
+      dense_fallback_hits(r.counter("dense_fallback_hits")),
       flowlets_created(r.counter("flowlets_created")),
       flowlets_switched(r.counter("flowlets_switched")),
       flowlets_expired(r.counter("flowlets_expired")),

@@ -23,6 +23,8 @@ struct CoreMetrics {
   CounterId probes_originated, probes_received, probes_accepted;
   CounterId probes_rejected_stale, probes_rejected_rank, probes_rejected_no_pg;
   CounterId fwdt_updates, route_flips;
+  // Dense-table control plane (contra).
+  CounterId probes_suppressed, dense_fallback_hits;
   // Flowlet churn (all flowlet-switching planes).
   CounterId flowlets_created, flowlets_switched, flowlets_expired, flowlets_flushed;
   // Failure handling + loop breaking.

@@ -15,7 +15,8 @@ constexpr std::string_view kEvNames[kNumEv] = {
     "probe_reject_rank",  "probe_reject_no_pg", "route_flip", "flowlet_create",
     "flowlet_switch",     "flowlet_expire", "flowlet_flush", "failure_detect",
     "failure_clear",      "loop_break",     "link_down",     "link_up",
-    "drop",               "epoch",          "barrier",
+    "drop",               "epoch",          "barrier",       "probe_suppress",
+    "dense_fallback",
 };
 
 }  // namespace

@@ -44,6 +44,9 @@ enum class Ev : uint8_t {
   kDrop,               ///< link dropped a packet (queue full or link down)
   kEpoch,              ///< parallel engine: epoch boundary reached (sw=shard)
   kBarrier,            ///< parallel engine: mailbox drain at a barrier (sw=shard)
+  // Appended (schema is append-only; numeric order is not the wire format):
+  kProbeSuppress,      ///< accepted probe not re-broadcast: quantized advert unchanged
+  kDenseFallback,      ///< probe key outside the compiled dense FwdT universe
   kCount,
 };
 

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "compiler/compiler.h"
 #include "dataplane/contra_switch.h"
@@ -179,6 +181,42 @@ TEST_F(ProbeSemantics, VersionResetDisabledKeepsDropping) {
   sw.handle_packet(sim, make_probe(0, 0, 0, 2, 0.7, 1), in);
   EXPECT_EQ(sw.fwd_entry(0, 0, 0)->version, 40u);
   EXPECT_EQ(sw.stats().probes_dropped_version, 1u);
+}
+
+TEST_F(ProbeSemantics, OutOfUniverseKeyCountsFallback) {
+  // The compiler proved the (dst, tag, pid) universe; a probe outside it must
+  // be counted and dropped, never silently hashed into existence. The assert
+  // option is lowered to exercise the release-mode counting path.
+  ContraSwitchOptions options;
+  options.assert_on_dense_fallback = false;
+  ContraSwitch sw = make_switch(1, options);
+  const topology::LinkId in = topo.link_between(0, 1);
+  // pid 7 was never compiled (min_util has a single subpolicy): the key
+  // passes the PG tag step but addresses no dense row.
+  sw.handle_packet(sim, make_probe(0, /*pid=*/7, 0, 1, 0.4, 1), in);
+  EXPECT_EQ(sw.stats().dense_fallback_hits, 1u);
+  EXPECT_EQ(sw.stats().fwdt_updates, 0u);
+  EXPECT_EQ(sw.stats().probes_propagated, 0u);
+  // In-universe probes on the same switch still work afterwards.
+  sw.handle_packet(sim, make_probe(0, 0, 0, 1, 0.4, 1), in);
+  EXPECT_NE(sw.fwd_entry(0, 0, 0), nullptr);
+  EXPECT_EQ(sw.stats().dense_fallback_hits, 1u);
+}
+
+TEST_F(ProbeSemantics, RenderTablesGoldenFormat) {
+  // Pins the exact rendered table (format AND row order) against hand-fed
+  // probes. The dense layout guarantees (dst, tag, pid)-major order without
+  // sorting; a diff here means either the introspection format or the slice
+  // ordering changed — both load-bearing for tooling that parses the dump.
+  ContraSwitch sw = make_switch(1);
+  sw.handle_packet(sim, make_probe(0, 0, 0, 1, 0.4, 1), topo.link_between(0, 1));
+  sw.handle_packet(sim, make_probe(2, 0, 0, 1, 0.1, 1), topo.link_between(2, 1));
+  const std::string tables = sw.render_tables(sim.now());
+  EXPECT_EQ(tables,
+            "FwdT @ n1 (* = BestT choice)\n"
+            "  [dst, tag, pid] -> (util, lat_us, len), ntag, nhop, version\n"
+            "  [n0, t0, p0] -> (0.400, 1.00, 2), t0, n0, v1 *\n"
+            "  [n2, t0, p0] -> (0.100, 1.00, 2), t0, n2, v1 *\n");
 }
 
 // ---- convergence -----------------------------------------------------------
@@ -460,6 +498,78 @@ TEST(ContraIntrospection, RenderTablesShowsEntriesAndBestChoice) {
   }
   const size_t stars = std::count(tables.begin(), tables.end(), '*');
   EXPECT_EQ(stars, 3u + 1u);  // 3 destinations + the header legend's '*'
+}
+
+// ---- dense/reference parity and suppression fixed points -------------------
+
+TEST(ContraParity, ReferenceHashTablesMatchDenseTables) {
+  // The PR 4 hash-map tables ride along as a shadow (reference_tables) and
+  // must agree with the dense rows entry-for-entry after real convergence,
+  // including the BestT winner rank per destination.
+  ContraSwitchOptions options;
+  options.reference_tables = true;
+  ContraWorld world(topology::abilene(1e9, 0.001), lang::policies::min_util(), options);
+  world.converge(10e-3);
+  for (ContraSwitch* sw : world.switches) {
+    EXPECT_EQ(sw->check_reference_parity(world.sim.now()), "")
+        << "switch " << sw->node_id();
+  }
+}
+
+/// Present FwdT rows keyed by (dst, tag, pid) with version/updated_at
+/// excluded: the fixed-point content suppression must not disturb.
+using FwdContent = std::map<std::tuple<NodeId, uint32_t, uint32_t>,
+                            std::tuple<double, double, double, uint32_t, topology::LinkId>>;
+
+FwdContent fwdt_content(const ContraSwitch& sw, bool include_util) {
+  FwdContent content;
+  sw.for_each_fwd_entry(
+      [&](NodeId dst, uint32_t tag, uint32_t pid, const ContraSwitch::FwdEntry& entry) {
+        content[{dst, tag, pid}] = {include_util ? entry.mv.util : 0.0, entry.mv.lat,
+                                    entry.mv.len, entry.ntag, entry.nhop};
+      });
+  return content;
+}
+
+void expect_suppression_preserves_fixed_point(const Topology& topo,
+                                              const lang::Policy& policy,
+                                              bool include_util) {
+  ContraSwitchOptions on;  // defaults: suppression enabled
+  ContraSwitchOptions off;
+  off.probe_suppression = false;
+  ContraWorld world_on(topo, policy, on);
+  ContraWorld world_off(topo, policy, off);
+  world_on.converge(10e-3);
+  world_off.converge(10e-3);
+  ASSERT_EQ(world_on.switches.size(), world_off.switches.size());
+  for (size_t i = 0; i < world_on.switches.size(); ++i) {
+    EXPECT_EQ(fwdt_content(*world_on.switches[i], include_util),
+              fwdt_content(*world_off.switches[i], include_util))
+        << "switch " << world_on.switches[i]->node_id();
+  }
+}
+
+TEST(ContraSuppression, FixedPointMatchesUnsuppressedOnFatTree) {
+  expect_suppression_preserves_fixed_point(topology::fat_tree(4),
+                                           lang::policies::min_util(),
+                                           /*include_util=*/true);
+}
+
+TEST(ContraSuppression, FixedPointMatchesUnsuppressedOnAbilene) {
+  expect_suppression_preserves_fixed_point(topology::abilene(10e9, 0.001),
+                                           lang::policies::shortest_path(),
+                                           /*include_util=*/true);
+}
+
+TEST(ContraSuppression, PathFixedPointMatchesOnSlowAbilene) {
+  // At 1 Gbps the probe stream itself registers about one util quantum, and
+  // the two worlds genuinely measure different offered loads — suppression
+  // removes control traffic from the wire; that is part of its point. The
+  // routing fixed point (next hop, next tag, propagated lat/len) must still
+  // be bit-identical; only the measured util may differ.
+  expect_suppression_preserves_fixed_point(topology::abilene(1e9, 0.001),
+                                           lang::policies::shortest_path(),
+                                           /*include_util=*/false);
 }
 
 TEST(ContraForwarding, SameSwitchHostsShortCircuit) {

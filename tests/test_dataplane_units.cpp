@@ -147,6 +147,46 @@ TEST(FailureDetector, UnseenLinksGetBootstrapGrace) {
   EXPECT_TRUE(detector.presumed_failed(9, 1e-3));
 }
 
+TEST(FailureDetector, StateIsBoundedByReservedTopology) {
+  FailureDetector detector(768e-6, /*num_links=*/16);
+  EXPECT_EQ(detector.tracked_links(), 16u);
+  // Steady-state probe churn on reserved links never grows the state: the
+  // footprint is pinned by the wiring, not by traffic history.
+  for (int round = 0; round < 1000; ++round) {
+    for (topology::LinkId l = 0; l < 16; ++l) detector.note_probe(l, round * 1e-4);
+  }
+  EXPECT_EQ(detector.tracked_links(), 16u);
+  // reserve_links never shrinks and re-reserving is idempotent.
+  detector.reserve_links(8);
+  EXPECT_EQ(detector.tracked_links(), 16u);
+  detector.reserve_links(16);
+  EXPECT_EQ(detector.tracked_links(), 16u);
+}
+
+TEST(FailureDetector, UnreservedLinkGrowsOnceThenStays) {
+  FailureDetector detector(768e-6);
+  EXPECT_EQ(detector.tracked_links(), 0u);
+  detector.note_probe(9, 1e-3);
+  EXPECT_EQ(detector.tracked_links(), 10u);
+  detector.note_probe(9, 2e-3);  // repeat arrivals reuse the slot
+  detector.note_probe(3, 2e-3);  // lower ids fit in the existing range
+  EXPECT_EQ(detector.tracked_links(), 10u);
+}
+
+TEST(FailureDetector, EvictRestoresBootstrapGrace) {
+  FailureDetector detector(768e-6, /*num_links=*/16);
+  detector.note_probe(5, 10e-3);
+  EXPECT_FALSE(detector.presumed_failed(5, 10.5e-3));
+  detector.evict(5);
+  // As if the link never carried a probe: bootstrap grace counts from time
+  // zero, which at t=10.5ms has long expired…
+  EXPECT_TRUE(detector.presumed_failed(5, 10.5e-3));
+  // …while early queries would still be within grace.
+  EXPECT_FALSE(detector.presumed_failed(5, 500e-6));
+  detector.evict(999);  // out-of-range eviction is a harmless no-op
+  EXPECT_EQ(detector.tracked_links(), 16u);
+}
+
 TEST(RoutingTables, EcmpFindsAllShortestNextHops) {
   const topology::Topology topo = topology::fat_tree(4);
   const auto table = compute_ecmp_next_hops(topo);

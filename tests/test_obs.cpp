@@ -428,14 +428,18 @@ TEST(ObsIntegration, TracedFailoverRecordCountsArePinned) {
   // with the change that justifies it.
   const std::unique_ptr<TracedRun> run = run_traced_failover();
   const obs::ConvergenceTracker::Report report = run->convergence.report();
-  EXPECT_EQ(run->trace.records().size(), 73806u);
+  // Re-pinned when probe delta-suppression landed: probe traffic roughly
+  // halves (suppress_refresh_rounds=2), origination is unchanged.
+  EXPECT_EQ(run->trace.records().size(), 42418u);
   EXPECT_EQ(report.count(obs::Ev::kProbeOrig), 2560u);
-  EXPECT_EQ(report.count(obs::Ev::kProbeRx), 35200u);
-  EXPECT_EQ(report.count(obs::Ev::kProbeAccept), 15200u);
-  EXPECT_EQ(report.count(obs::Ev::kProbeRejectRank), 20000u);
+  EXPECT_EQ(report.count(obs::Ev::kProbeRx), 19696u);
+  EXPECT_EQ(report.count(obs::Ev::kProbeAccept), 7980u);
+  EXPECT_EQ(report.count(obs::Ev::kProbeRejectRank), 10520u);
+  EXPECT_GT(report.count(obs::Ev::kProbeSuppress), 0u);
+  EXPECT_EQ(report.count(obs::Ev::kDenseFallback), 0u);
   EXPECT_EQ(report.count(obs::Ev::kRouteFlip), 45u);
   EXPECT_EQ(report.count(obs::Ev::kLinkDown), 1u);
-  EXPECT_EQ(report.count(obs::Ev::kDrop), 800u);
+  EXPECT_EQ(report.count(obs::Ev::kDrop), 420u);
 
   // And the run is exactly repeatable within one process.
   const std::unique_ptr<TracedRun> again = run_traced_failover();

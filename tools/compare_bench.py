@@ -7,8 +7,14 @@ Usage:
   compare_bench.py --fuzz-corpus DIR
 
 Each scenario's events_per_sec in CURRENT must be no more than `threshold`
-below BASELINE (default 10%). With --self, CURRENT's embedded "baseline"
-section (written by bench_core_speed --baseline-json) is the reference.
+below BASELINE (default 10%). Probe scenarios carry two extra hard gates:
+probes_per_s (workload-normalized control-plane throughput) obeys the same
+threshold when both reports record it, and any dense_fallback_hits > 0 in
+CURRENT fails outright — a fallback means a probe key escaped the compiled
+dense FwdT universe, which is a compiler/dataplane contract break, not a
+perf wobble. Baselines predating these keys are tolerated (events_per_sec
+gate only). With --self, CURRENT's embedded "baseline" section (written by
+bench_core_speed --baseline-json) is the reference.
 Exit code 0 = ok, 1 = regression, 2 = bad input.
 
 The gate keys only on the serial "scenarios" section. A "parallel_scaling"
@@ -117,6 +123,29 @@ def main():
             failed = True
         print(f"{status:10s} {name}: {base_eps:,.0f} -> {cur_eps:,.0f} ev/s "
               f"({(ratio - 1) * 100:+.1f}%)")
+        if "probes_per_s" in base and "probes_per_s" in cur:
+            base_pps = float(base["probes_per_s"])
+            cur_pps = float(cur["probes_per_s"])
+            pps_ratio = cur_pps / base_pps if base_pps > 0 else float("inf")
+            pps_status = "OK" if pps_ratio >= 1.0 - args.threshold else "REGRESSION"
+            if pps_status != "OK":
+                failed = True
+            print(f"{pps_status:10s} {name}: {base_pps:,.0f} -> {cur_pps:,.0f} probes/s "
+                  f"({(pps_ratio - 1) * 100:+.1f}%)")
+        if "fwdt_lookup_ns" in base and "fwdt_lookup_ns" in cur:
+            print(f"INFO       {name}: fwdt_lookup "
+                  f"{float(base['fwdt_lookup_ns']):.2f} -> "
+                  f"{float(cur['fwdt_lookup_ns']):.2f} ns (informational)")
+
+    # dense_fallback_hits is a correctness gate on CURRENT alone: no baseline
+    # needed, and zero is the only passing value.
+    for name, cur in sorted(current.items()):
+        hits = cur.get("dense_fallback_hits")
+        if hits is not None and int(hits) > 0:
+            print(f"FALLBACK   {name}: dense_fallback_hits={int(hits)} (want 0) "
+                  f"— probe key escaped the compiled dense FwdT universe",
+                  file=sys.stderr)
+            failed = True
 
     scaling = current_report.get("parallel_scaling")
     if isinstance(scaling, dict):

@@ -17,9 +17,15 @@
 //
 // Usage:
 //   contrafuzz --seed 1 --iterations 200 [--corpus DIR] [--workers-every 4]
-//              [--tag-check-every 5] [--verbose]
+//              [--tag-check-every 5] [--cross-check] [--verbose]
 //   contrafuzz --replay DIR/repro-<seed>.txt
+//
+// --cross-check arms two differentials on every quiesced run: the dense
+// FwdT/BestT rows against the shadow PR 4 hash-map tables (reference_tables),
+// and the delta-suppression protocol against an unsuppressed rerun of the
+// same case, compared by a usable-entry content digest.
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -70,6 +76,8 @@ struct FuzzCase {
   std::vector<FailEvent> events;
   uint32_t workers = 0;  ///< 0 = serial engine
   double probe_period_s = 256e-6;
+  bool suppression = true;   ///< probe delta-suppression (the shipping default)
+  bool cross_check = false;  ///< dense-vs-reference + suppression differential
 };
 
 struct CaseResult {
@@ -77,10 +85,40 @@ struct CaseResult {
   bool quiesced = false;
   oracle::CheckReport report;
   std::string error;  ///< compile/setup failure (not a violation)
+  std::string cross_note;  ///< cross-check divergence (empty = agree)
   sim::Time quiesced_at = 0.0;
+  uint64_t usable_digest = 0;  ///< usable-FwdT content digest at quiescence
 
-  bool violated() const { return compiled && (!quiesced || !report.ok()); }
+  bool violated() const {
+    return compiled && (!quiesced || !report.ok() || !cross_note.empty());
+  }
 };
+
+/// Order-independent digest over USABLE FwdT entries only — content, not
+/// version/updated_at. Dead (expired / failed-next-hop) entries are excluded
+/// on purpose: delta-suppression legitimately freezes a dying row's last
+/// content at a different round than the unsuppressed protocol would, while
+/// the rows the dataplane actually forwards on must agree exactly.
+uint64_t usable_fwdt_digest(const std::vector<const dataplane::ContraSwitch*>& switches,
+                            sim::Time now) {
+  uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (const dataplane::ContraSwitch* sw : switches) {
+    sw->for_each_fwd_entry([&](topology::NodeId dst, uint32_t tag, uint32_t pid,
+                               const dataplane::ContraSwitch::FwdEntry& entry) {
+      if (!sw->entry_usable(entry, now)) return;
+      uint64_t h = util::hash_combine(sw->node_id(), dst);
+      h = util::hash_combine(h, tag);
+      h = util::hash_combine(h, pid);
+      h = util::hash_combine(h, entry.nhop);
+      h = util::hash_combine(h, entry.ntag);
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.util));
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.lat));
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.len));
+      acc += util::mix64(h);
+    });
+  }
+  return acc;
+}
 
 // ---------------------------------------------------------------------------
 // Generation
@@ -293,8 +331,12 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
   options.probe_period_s = std::max(c.probe_period_s, compiled.min_probe_period_s);
   // Idle-exact mode: with a full-scale quantum, probe-only utilization
   // quantizes to exactly 0 on every link, matching the oracle's idle view
-  // (see the checker's tolerance model).
+  // (see the checker's tolerance model). It also makes the suppression
+  // differential exact: both protocol variants measure identical (zero)
+  // utilization even though they emit different probe loads.
   options.util_quantum = 1.0;
+  options.probe_suppression = c.suppression;
+  options.reference_tables = c.cross_check;
 
   double last_event = 0.0;
   for (const FailEvent& e : c.events) last_event = std::max(last_event, e.t);
@@ -332,6 +374,17 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
       oracle::RouteOracle oracle(compiled.graph, evaluator, final_link_state(c));
       result.report = oracle::check_invariants(
           oracle, view, q.at, oracle::options_for(compiled.isotonicity));
+      result.usable_digest = usable_fwdt_digest(view, q.at);
+      if (c.cross_check) {
+        // Dense FwdT/BestT vs the shadow PR 4 hash-map tables, every switch.
+        for (const dataplane::ContraSwitch* sw : view) {
+          const std::string diff = sw->check_reference_parity(q.at);
+          if (!diff.empty()) {
+            result.cross_note = "dense/reference parity: " + diff;
+            break;
+          }
+        }
+      }
     }
   } else {
     cfg.workers = c.workers;
@@ -354,6 +407,32 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
       oracle::RouteOracle oracle(compiled.graph, evaluator, final_link_state(c));
       result.report = oracle::check_invariants(
           oracle, view, q.at, oracle::options_for(compiled.isotonicity));
+      result.usable_digest = usable_fwdt_digest(view, q.at);
+      if (c.cross_check) {
+        // Dense FwdT/BestT vs the shadow PR 4 hash-map tables, every switch.
+        for (const dataplane::ContraSwitch* sw : view) {
+          const std::string diff = sw->check_reference_parity(q.at);
+          if (!diff.empty()) {
+            result.cross_note = "dense/reference parity: " + diff;
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Suppression differential: the same case under the legacy (unsuppressed)
+  // protocol must reach the same usable-FwdT fixed point. Runs only when the
+  // primary is the suppressed variant (the recursion bottoms out because the
+  // rerun clears cross_check).
+  if (c.cross_check && c.suppression && result.quiesced && result.cross_note.empty()) {
+    FuzzCase legacy = c;
+    legacy.cross_check = false;
+    legacy.suppression = false;
+    const CaseResult ref = run_case(legacy, false);
+    if (!ref.quiesced) {
+      result.cross_note = "unsuppressed rerun failed to quiesce";
+    } else if (ref.usable_digest != result.usable_digest) {
+      result.cross_note = "suppression on/off usable-FwdT fixed points differ";
     }
   }
   if (verbose) {
@@ -378,8 +457,13 @@ std::string format_repro(const FuzzCase& c, const CaseResult& result) {
   for (const oracle::Violation& v : result.report.violations) {
     out << "# " << v.to_string(c.topo) << "\n";
   }
+  if (!result.cross_note.empty()) {
+    out << "# cross-check: " << result.cross_note << "\n";
+  }
   out << "seed " << c.seed << "\n";
   out << "workers " << c.workers << "\n";
+  if (c.cross_check) out << "cross-check 1\n";
+  if (!c.suppression) out << "suppression 0\n";
   out << "probe-period " << c.probe_period_s << "\n";
   out << "policy " << c.policy_text << "\n";
   for (const FailEvent& e : c.events) {
@@ -413,6 +497,14 @@ std::optional<FuzzCase> parse_repro(const std::string& text, std::string* error)
       ls >> c.seed;
     } else if (key == "workers") {
       ls >> c.workers;
+    } else if (key == "cross-check") {
+      int v = 0;
+      ls >> v;
+      c.cross_check = v != 0;
+    } else if (key == "suppression") {
+      int v = 1;
+      ls >> v;
+      c.suppression = v != 0;
     } else if (key == "probe-period") {
       ls >> c.probe_period_s;
     } else if (key == "policy") {
@@ -487,7 +579,8 @@ int replay(const std::string& path) {
   } else if (!result.quiesced) {
     summary << "VIOLATION reproduced: network failed to quiesce\n";
   } else {
-    summary << (result.report.ok() ? "violation did NOT reproduce\n" : "VIOLATION reproduced\n");
+    summary << (result.violated() ? "VIOLATION reproduced\n" : "violation did NOT reproduce\n");
+    if (!result.cross_note.empty()) summary << "cross-check: " << result.cross_note << "\n";
     summary << result.report.to_string(c->topo) << "\n";
   }
   std::cout << summary.str();
@@ -508,6 +601,7 @@ int main(int argc, char** argv) {
   const std::string corpus = args.get("corpus", "fuzz-corpus");
   const uint64_t workers_every = static_cast<uint64_t>(args.get_int("workers-every", 4));
   const uint64_t tag_check_every = static_cast<uint64_t>(args.get_int("tag-check-every", 5));
+  const bool cross_check = args.has("cross-check");
   const bool verbose = args.has("verbose");
 
   uint64_t violations = 0;
@@ -516,6 +610,7 @@ int main(int argc, char** argv) {
   uint64_t parallel_runs = 0;
   for (uint64_t i = 0; i < iterations; ++i) {
     FuzzCase c = generate_case(seed, i);
+    c.cross_check = cross_check;
     if (workers_every > 0 && i % workers_every == workers_every - 1) {
       c.workers = (i / workers_every) % 2 == 0 ? 2 : 4;
       ++parallel_runs;
@@ -562,7 +657,7 @@ int main(int argc, char** argv) {
 
   std::cout << "contrafuzz: " << iterations << " iterations, " << violations
             << " violations, " << compile_skips << " compile-skips, " << tag_checks
-            << " tag-merge checks, " << parallel_runs << " parallel runs (seed " << seed
-            << ")\n";
+            << " tag-merge checks, " << parallel_runs << " parallel runs"
+            << (cross_check ? ", cross-check armed" : "") << " (seed " << seed << ")\n";
   return violations == 0 ? 0 : 2;
 }

@@ -12,6 +12,8 @@ aux/ver/val, absent keys meaning "not applicable". Prints:
   * record counts by event type,
   * top probe talkers (switches by probe records),
   * route-flap leaders (destinations by route_flip count),
+  * per-switch probe suppression rates (probe_suppress / probe_rx) and any
+    dense-table fallback hits (dense_fallback records — always a bug),
   * the per-destination convergence table (time-to-quiescence, flap counts,
     and post-failure re-convergence latency — mirroring obs::ConvergenceTracker),
   * the run manifest, when found next to the trace (x.jsonl -> x.manifest.json).
@@ -32,7 +34,7 @@ EVENT_NAMES = [
     "probe_reject_rank", "probe_reject_no_pg", "route_flip",
     "flowlet_create", "flowlet_switch", "flowlet_expire", "flowlet_flush",
     "failure_detect", "failure_clear", "loop_break", "link_down", "link_up",
-    "drop", "epoch", "barrier",
+    "drop", "epoch", "barrier", "probe_suppress", "dense_fallback",
 ]
 
 MANIFEST_REQUIRED = [
@@ -115,11 +117,15 @@ def read_trace(path):
     counts = collections.Counter()
     probe_talkers = collections.Counter()
     flap_leaders = collections.Counter()
+    suppress_by_switch = collections.Counter()
+    rx_by_switch = collections.Counter()
+    fallback_by_switch = collections.Counter()
     convergence = Convergence()
     bad_lines = 0
     total = 0
     probe_events = {"probe_orig", "probe_rx", "probe_accept", "probe_reject_stale",
-                    "probe_reject_rank", "probe_reject_no_pg"}
+                    "probe_reject_rank", "probe_reject_no_pg", "probe_suppress",
+                    "dense_fallback"}
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -140,6 +146,13 @@ def read_trace(path):
                 probe_talkers[record["sw"]] += 1
             if ev == "route_flip" and "dst" in record:
                 flap_leaders[record["dst"]] += 1
+            if "sw" in record:
+                if ev == "probe_rx":
+                    rx_by_switch[record["sw"]] += 1
+                elif ev == "probe_suppress":
+                    suppress_by_switch[record["sw"]] += 1
+                elif ev == "dense_fallback":
+                    fallback_by_switch[record["sw"]] += 1
             convergence.observe(record)
     return {
         "total_records": total,
@@ -147,8 +160,25 @@ def read_trace(path):
         "counts": {name: counts[name] for name in EVENT_NAMES if counts[name]},
         "probe_talkers": probe_talkers,
         "flap_leaders": flap_leaders,
+        "suppress_by_switch": suppress_by_switch,
+        "rx_by_switch": rx_by_switch,
+        "fallback_by_switch": fallback_by_switch,
         "convergence": convergence,
     }
+
+
+def suppression_rows(summary, top):
+    """Top switches by probe_suppress count with their suppression rate."""
+    rows = []
+    for sw, suppressed in summary["suppress_by_switch"].most_common(top):
+        rx = summary["rx_by_switch"].get(sw, 0)
+        rows.append({
+            "sw": sw,
+            "suppressed": suppressed,
+            "probe_rx": rx,
+            "rate": suppressed / rx if rx else None,
+        })
+    return rows
 
 
 def fmt_s(value):
@@ -169,6 +199,15 @@ def print_report(path, summary, manifest, manifest_path, top):
         print(f"route-flap leaders (dst: flips):")
         for dst, count in summary["flap_leaders"].most_common(top):
             print(f"  dst {dst:4d}  {count}")
+    if summary["suppress_by_switch"]:
+        print("probe suppression (switch: suppressed / probe_rx):")
+        for row in suppression_rows(summary, top):
+            rate = "-" if row["rate"] is None else f"{row['rate']:.1%}"
+            print(f"  sw {row['sw']:4d}  {row['suppressed']} / {row['probe_rx']}  ({rate})")
+    if summary["fallback_by_switch"]:
+        print("DENSE FALLBACKS (switch: hits) — probe keys escaped the compiled table:")
+        for sw, count in summary["fallback_by_switch"].most_common():
+            print(f"  sw {sw:4d}  {count}")
     convergence = summary["convergence"]
     rows = convergence.table()
     if rows:
@@ -234,6 +273,8 @@ def main():
             "counts": summary["counts"],
             "top_probe_talkers": summary["probe_talkers"].most_common(args.top),
             "route_flap_leaders": summary["flap_leaders"].most_common(args.top),
+            "probe_suppression_by_switch": suppression_rows(summary, args.top),
+            "dense_fallback_by_switch": sorted(summary["fallback_by_switch"].items()),
             "first_failure_s": convergence.first_failure,
             "convergence": convergence.table(),
             "manifest": manifest,
