@@ -32,10 +32,16 @@ CoreMetrics::CoreMetrics(MetricsRegistry& r)
       flows_completed(r.counter("flows_completed")),
       conga_feedback_sent(r.counter("conga_feedback_sent")),
       conga_feedback_received(r.counter("conga_feedback_received")),
+      par_epochs(r.counter("par_epochs")),
+      par_idle_skips(r.counter("par_idle_skips")),
+      par_mailbox_hops(r.counter("par_mailbox_hops")),
+      par_mailbox_batches(r.counter("par_mailbox_batches")),
+      par_shards_fused(r.counter("par_shards_fused")),
       // Queue depth at drop, in bytes; bounds at MSS multiples of a
       // 1000×1500B drop-tail queue.
       drop_queue_bytes(r.histogram("drop_queue_bytes",
                                    {15e3, 150e3, 375e3, 750e3, 1125e3, 1.5e6})),
-      probe_path_len(r.histogram("probe_path_len", {1, 2, 3, 4, 6, 8, 12, 16})) {}
+      probe_path_len(r.histogram("probe_path_len", {1, 2, 3, 4, 6, 8, 12, 16})),
+      par_batch_size(r.histogram("par_batch_size", {1, 4, 16, 64, 256, 1024})) {}
 
 }  // namespace contra::obs

@@ -38,9 +38,16 @@ struct CoreMetrics {
   CounterId tcp_rto_fired, tcp_fast_retx, flows_completed;
   // CONGA in-band feedback.
   CounterId conga_feedback_sent, conga_feedback_received;
+  // Parallel engine (per-shard registries; merged view sums them).
+  CounterId par_epochs;            ///< phases this shard actually ran work in
+  CounterId par_idle_skips;       ///< phases this shard skipped the barrier (provably idle)
+  CounterId par_mailbox_hops;     ///< cross-shard packets drained into this shard
+  CounterId par_mailbox_batches;  ///< non-empty mailbox drain passes
+  CounterId par_shards_fused;     ///< partition-time shard fusions (shard 0 only)
   // Distributions.
   HistogramId drop_queue_bytes;   ///< queue depth (bytes) at each drop
   HistogramId probe_path_len;     ///< mv.len of accepted probes
+  HistogramId par_batch_size;     ///< hops per non-empty mailbox drain batch
 
   explicit CoreMetrics(MetricsRegistry& registry);
 };

@@ -19,6 +19,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -167,6 +168,22 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   size_t pending() const { return heap_.size(); }
+
+  /// Time of the earliest pending event, +infinity when empty. The parallel
+  /// engine's epoch scheduler reads this at barriers to compute per-shard
+  /// safe horizons (next-event lookahead: a quiescent shard promises it
+  /// cannot transmit anything before its next event fires).
+  Time next_time() const {
+    return heap_.empty() ? std::numeric_limits<Time>::infinity() : heap_.front().time;
+  }
+
+  /// Pre-grows heap and slot storage for `n` more events — the batched
+  /// mailbox drain reserves once per batch so the per-hop push never
+  /// reallocates mid-drain.
+  void reserve_extra(size_t n) {
+    heap_.reserve(heap_.size() + n);
+    slots_.reserve(slots_.size() + n);
+  }
 
   /// Runs one event; returns false when the queue is empty.
   bool step();

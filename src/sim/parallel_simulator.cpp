@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <stdexcept>
+#include <limits>
 
 #include "obs/telemetry.h"
 #include "topology/generators.h"
@@ -11,42 +11,38 @@
 
 namespace contra::sim {
 
-namespace {
-
-/// Spin a few hundred iterations, then start yielding: epochs are
-/// microseconds of work so spinning usually wins, but on machines with fewer
-/// cores than workers the yield is what lets the other worker run at all.
-template <typename Cond>
-void spin_wait(Cond&& cond) {
-  uint32_t spins = 0;
-  while (!cond()) {
-    if (++spins > 256) std::this_thread::yield();
-  }
-}
-
-}  // namespace
-
 ParallelSimulator::ParallelSimulator(const topology::Topology& topo, SimConfig config)
     : topo_(&topo), config_(config) {
+  const uint32_t want_workers = config.workers == 0 ? 1 : config.workers;
+  // Auto shard count: sized to the topology, capped by the parallelism we
+  // can actually use — the larger of the requested workers and the machine's
+  // cores (workers may exceed cores deliberately, e.g. determinism tests).
   const uint32_t requested =
-      config.shards != 0 ? config.shards : topology::default_num_shards(topo);
+      config.shards != 0
+          ? config.shards
+          : topology::default_num_shards(
+                topo, std::max(want_workers, std::thread::hardware_concurrency()));
   partition_ = topology::partition_topology(topo, requested);
-  // A zero-delay cut link admits no epoch width — no conservative window in
-  // which shards can run independently. Collapse to one shard: still the
-  // parallel engine's code path, just without concurrency.
-  if (partition_.num_shards > 1 && partition_.num_cut_links > 0 &&
-      partition_.min_cut_delay_s <= 0.0) {
-    partition_ = topology::partition_topology(topo, 1);
-  }
+  // Zero-delay cut links are fused away at partition time (a zero-width
+  // channel admits no conservative lookahead at all).
+  assert(partition_.num_shards == 1 || partition_.num_cut_links == 0 ||
+         partition_.min_cut_delay_s > 0.0);
   shards_.reserve(partition_.num_shards);
   for (uint32_t s = 0; s < partition_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(s, topo, config_, partition_));
   }
+  if (partition_.fused_shards > 0) {
+    obs::Telemetry& tel = shards_[0]->sim.telemetry();
+    tel.metrics().add(tel.core().par_shards_fused, partition_.fused_shards);
+  }
   next_boundary_ = epoch_width_s();  // +inf when nothing crosses the cut
 
-  workers_ = std::max<uint32_t>(
-      1, std::min(config.workers == 0 ? 1 : config.workers, partition_.num_shards));
-  threads_.reserve(workers_ > 0 ? workers_ - 1 : 0);
+  base_.resize(partition_.num_shards);
+  avail_.resize(partition_.num_shards);
+  dispatch_.reserve(partition_.num_shards);
+
+  workers_ = std::max<uint32_t>(1, std::min(want_workers, partition_.num_shards));
+  threads_.reserve(workers_ - 1);
   for (uint32_t w = 1; w < workers_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
   }
@@ -56,6 +52,7 @@ ParallelSimulator::~ParallelSimulator() {
   if (!threads_.empty()) {
     shutdown_.store(true, std::memory_order_relaxed);
     generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
     for (std::thread& t : threads_) t.join();
   }
 }
@@ -63,48 +60,71 @@ ParallelSimulator::~ParallelSimulator() {
 void ParallelSimulator::worker_loop(uint32_t worker) {
   uint64_t seen = 0;
   for (;;) {
-    spin_wait([&] { return generation_.load(std::memory_order_acquire) != seen; });
-    ++seen;
+    // Bounded spin, then park on the generation word. Phases are typically
+    // microseconds apart so the spin usually wins; parking is what keeps
+    // idle-heavy or oversubscribed runs from burning a core per worker.
+    uint32_t spins = 0;
+    for (;;) {
+      const uint64_t g = generation_.load(std::memory_order_acquire);
+      if (g != seen) {
+        seen = g;
+        break;
+      }
+      if (++spins < 64) continue;
+      if (spins < 1024) {
+        std::this_thread::yield();
+        continue;
+      }
+      generation_.wait(g, std::memory_order_acquire);
+    }
     if (shutdown_.load(std::memory_order_relaxed)) return;
-    auto job = job_;
-    const Time t = job_time_;
-    const bool flag = job_flag_;
-    for (uint32_t s = worker; s < partition_.num_shards; s += workers_) {
-      (this->*job)(s, t, flag);
+    for (size_t i = worker; i < dispatch_.size(); i += workers_) {
+      run_phase_shard(dispatch_[i]);
     }
     done_.fetch_add(1, std::memory_order_release);
+    done_.notify_one();
   }
 }
 
-void ParallelSimulator::parallel_for_shards(void (ParallelSimulator::*job)(uint32_t, Time, bool),
-                                            Time t, bool flag) {
-  const uint32_t n = partition_.num_shards;
-  if (threads_.empty()) {
-    for (uint32_t s = 0; s < n; ++s) (this->*job)(s, t, flag);
-    return;
+void ParallelSimulator::wait_done() {
+  // The acquire pairs with each worker's release, publishing every mailbox
+  // and queue write of this phase back to the main thread.
+  const uint32_t expected = workers_ - 1;
+  uint32_t spins = 0;
+  for (;;) {
+    const uint32_t d = done_.load(std::memory_order_acquire);
+    if (d == expected) return;
+    if (++spins < 1024) {
+      std::this_thread::yield();
+      continue;
+    }
+    done_.wait(d, std::memory_order_acquire);
   }
-  job_ = job;
-  job_time_ = t;
-  job_flag_ = flag;
-  done_.store(0, std::memory_order_relaxed);
-  generation_.fetch_add(1, std::memory_order_release);  // publishes the job fields
-  for (uint32_t s = 0; s < n; s += workers_) (this->*job)(s, t, flag);
-  // The acquire on done_ pairs with each worker's release, publishing every
-  // mailbox/queue write of this phase back to the main thread.
-  spin_wait([&] { return done_.load(std::memory_order_acquire) == workers_ - 1; });
 }
 
-void ParallelSimulator::run_shard_epoch(uint32_t s, Time boundary, bool inclusive) {
+void ParallelSimulator::run_phase_shard(uint32_t s) {
   Shard& shard = *shards_[s];
-  if (inclusive) {
-    shard.sim.run_until(boundary);
-  } else {
-    shard.sim.events().run_before(boundary);
+  const uint64_t drained = drain_mailboxes_into(shard, shards_);
+  if (tracing_ && drained > 0) {
+    obs::TraceRecord r;
+    r.t = shard.target;
+    r.ev = obs::Ev::kBarrier;
+    r.sw = s;
+    r.value = static_cast<double>(drained);
+    shard.sim.telemetry().emit(r);
   }
+  if (shard.inclusive) {
+    shard.sim.run_until(shard.target);
+  } else {
+    shard.sim.events().run_before(shard.target);
+  }
+  shard.committed = shard.target;
+  obs::Telemetry& tel = shard.sim.telemetry();
+  tel.metrics().add(tel.core().par_epochs);
   const uint64_t processed = shard.sim.events().events_processed();
   if (tracing_ && processed != shard.events_at_epoch_start) {
     obs::TraceRecord r;
-    r.t = boundary;
+    r.t = shard.target;
     r.ev = obs::Ev::kEpoch;
     r.sw = s;
     r.value = static_cast<double>(processed - shard.events_at_epoch_start);
@@ -113,51 +133,155 @@ void ParallelSimulator::run_shard_epoch(uint32_t s, Time boundary, bool inclusiv
   shard.events_at_epoch_start = processed;
 }
 
-void ParallelSimulator::drain_shard(uint32_t s, Time boundary, bool /*unused*/) {
-  Shard& shard = *shards_[s];
-  const uint64_t drained = drain_mailboxes_into(shard, shards_);
-  if (tracing_ && drained > 0) {
-    obs::TraceRecord r;
-    r.t = boundary;
-    r.ev = obs::Ev::kBarrier;
-    r.sw = s;
-    r.value = static_cast<double>(drained);
-    shard.sim.telemetry().emit(r);
+bool ParallelSimulator::plan_phase(Time end) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const uint32_t n = partition_.num_shards;
+
+  // base[s]: earliest pending work anywhere for shard s — its next queue
+  // event or the earliest hop parked in an inbound mailbox. An invariant of
+  // the scheduler is base[s] >= committed[s]: a shard never advances past
+  // work it has not executed.
+  double min_base = kInf;
+  for (uint32_t s = 0; s < n; ++s) {
+    double b = shards_[s]->sim.events().next_time();
+    for (uint32_t src = 0; src < n; ++src) {
+      b = std::min(b, shards_[src]->outbox[s].min_deliver_at());
+    }
+    base_[s] = b;
+    min_base = std::min(min_base, b);
   }
+  if (!(min_base <= end)) return false;  // window complete
+
+  const bool grid_mode = config_.global_min_epochs && std::isfinite(partition_.min_cut_delay_s);
+  double grid_boundary = end;
+  bool grid_inclusive = true;
+  if (grid_mode) {
+    // Legacy schedule: everyone steps to the next global grid boundary
+    // (width = min cut-link delay), one barrier per boundary, and a final
+    // inclusive step to `end`.
+    if (next_boundary_ <= end) {
+      grid_boundary = next_boundary_;
+      grid_inclusive = false;
+      next_boundary_ += partition_.min_cut_delay_s;
+    }
+  } else {
+    // Per-channel lookahead: close base over the horizon matrix (min-plus /
+    // Bellman-Ford fixpoint, the classical LBTS computation). avail[s]
+    // lower-bounds the time of *any* event shard s can still execute,
+    // including events reaching it through relay chains — without the
+    // closure, a two-hop chain (C -> A -> B) can deliver into B earlier
+    // than B's direct-channel bounds admit, and the schedule is unsound.
+    avail_ = base_;
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (uint32_t dst = 0; dst < n; ++dst) {
+        double best = avail_[dst];
+        for (uint32_t src = 0; src < n; ++src) {
+          if (src == dst) continue;
+          const double cand = avail_[src] + partition_.horizon_of(src, dst);
+          if (cand < best) best = cand;
+        }
+        if (best < avail_[dst]) {
+          avail_[dst] = best;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  dispatch_.clear();
+  for (uint32_t s = 0; s < n; ++s) {
+    Shard& shard = *shards_[s];
+    double boundary = grid_boundary;
+    bool inclusive = grid_inclusive;
+    if (!grid_mode) {
+      // Safe horizon for s: the earliest instant any other shard could still
+      // deliver into it. Horizons are strictly positive (zero-delay cuts are
+      // fused), so the globally-earliest shard always gets a boundary above
+      // its own next event — every planned phase makes progress.
+      double t = kInf;
+      for (uint32_t src = 0; src < n; ++src) {
+        if (src == s) continue;
+        t = std::min(t, avail_[src] + partition_.horizon_of(src, s));
+      }
+      inclusive = !(t <= end);
+      boundary = inclusive ? end : t;
+    }
+    // An inclusive boundary may be revisited (run_until(end) twice, with new
+    // work injected at exactly `end` in between) — matching the serial
+    // engine's inclusive-end semantics. A strict boundary may not.
+    const bool can_advance = inclusive ? boundary >= shard.committed : boundary > shard.committed;
+    if (!can_advance) continue;
+
+    double inbound = kInf;
+    for (uint32_t src = 0; src < n; ++src) {
+      inbound = std::min(inbound, shards_[src]->outbox[s].min_deliver_at());
+    }
+    const double earliest = std::min(inbound, shard.sim.events().next_time());
+    const bool has_work = inclusive ? earliest <= boundary : earliest < boundary;
+    if (has_work) {
+      shard.target = boundary;
+      shard.inclusive = inclusive;
+      dispatch_.push_back(s);
+    } else if (boundary > shard.committed) {
+      // Provably idle up to the boundary: advance its scheduler clock right
+      // here and keep it out of the barrier entirely. (Parked inbound hops,
+      // if any, are all at or after the boundary, so committed never passes
+      // an undrained delivery.)
+      shard.committed = boundary;
+      obs::Telemetry& tel = shard.sim.telemetry();
+      tel.metrics().add(tel.core().par_idle_skips);
+    }
+  }
+  // Hand parked hops to each dispatched consumer. Producers keep pushing
+  // into the (now empty) pending side during the phase, so a producer and a
+  // drainer of the same mailbox can share a phase without a race.
+  for (uint32_t s : dispatch_) {
+    for (auto& src : shards_) src->outbox[s].stage();
+  }
+  // Every planned round is a phase: in grid mode that is one per boundary
+  // even if nothing runs (the legacy engine barriered regardless — that cost
+  // is exactly what the A/B comparison measures).
+  ++phases_;
+  return true;
+}
+
+void ParallelSimulator::execute_phase() {
+  const size_t n = dispatch_.size();
+  if (n == 1 || threads_.empty()) {
+    // One busy shard (or one worker): run inline, skip the pool entirely.
+    if (n == 1 && !threads_.empty()) ++solo_phases_;
+    for (uint32_t s : dispatch_) run_phase_shard(s);
+    return;
+  }
+  done_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);  // publishes dispatch_ + targets
+  generation_.notify_all();
+  for (size_t i = 0; i < n; i += workers_) run_phase_shard(dispatch_[i]);
+  wait_done();
 }
 
 void ParallelSimulator::run_until(Time end) {
-  const double delta = epoch_width_s();
-  if (shards_.size() == 1 || !std::isfinite(delta)) {
-    // Nothing crosses the cut: one unsynchronized phase. With one shard this
-    // is exactly the serial engine (same queue, same insertion order).
-    parallel_for_shards(&ParallelSimulator::run_shard_epoch, end, /*inclusive=*/true);
+  if (partition_.num_shards == 1) {
+    // Exactly the serial engine: same queue, same insertion order.
+    Shard& shard = *shards_[0];
+    shard.target = end;
+    shard.inclusive = true;
+    run_phase_shard(0);
     now_ = std::max(now_, end);
     return;
   }
-  while (next_boundary_ <= end) {
-    parallel_for_shards(&ParallelSimulator::run_shard_epoch, next_boundary_,
-                        /*inclusive=*/false);
-    bool any_pending = false;
-    for (const auto& src : shards_) {
-      for (const Mailbox& box : src->outbox) {
-        if (!box.empty()) {
-          any_pending = true;
-          break;
-        }
-      }
-      if (any_pending) break;
-    }
-    if (any_pending) {
-      parallel_for_shards(&ParallelSimulator::drain_shard, next_boundary_, false);
-    }
-    ++epochs_;
-    next_boundary_ += delta;
+  while (plan_phase(end)) {
+    if (!dispatch_.empty()) execute_phase();
   }
-  // Partial epoch up to `end`, inclusive — matching Simulator::run_until
-  // semantics. Cross-shard hops produced here arrive at or after
-  // next_boundary_ (> end), so they wait in the mailboxes for the next call.
-  parallel_for_shards(&ParallelSimulator::run_shard_epoch, end, /*inclusive=*/true);
+  // Quiescent tail: nothing at or before `end` remains anywhere, but shards
+  // that idle-skipped (or stopped at an early strict boundary) still have
+  // local clocks behind `end`. Advance them — processes no events, matching
+  // the serial engine's run_until semantics for empty windows.
+  for (auto& shard : shards_) {
+    if (shard->sim.now() < end) shard->sim.run_until(end);
+    shard->committed = std::max(shard->committed, end);
+  }
   now_ = std::max(now_, end);
 }
 

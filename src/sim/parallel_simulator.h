@@ -2,30 +2,41 @@
 //
 // The topology is partitioned into shards (topology/partitioner.h); each
 // shard owns a full Simulator restricted to its switches and advances on its
-// own EventQueue. Shards synchronize with conservative epochs: the epoch
-// width is the minimum propagation delay across the partition cut, so a
-// packet transmitted onto a cut link during epoch [T, T+d) cannot arrive
-// before T+d — every cross-shard hop lands in a mailbox and is scheduled on
-// the destination shard at the next barrier, always into that shard's
-// future.
+// own EventQueue. Shards synchronize with conservative per-channel lookahead
+// (CMB/null-message style): the partitioner exposes a safe-horizon matrix
+// h[src][dst] = min propagation delay over cut links src->dst, and between
+// phases the scheduler computes, for every shard, the earliest time any
+// other shard could still reach it — folding in each shard's next pending
+// event (a quiescent shard cannot transmit before its next event fires) and
+// closing the bound transitively over relay chains (min-plus closure, the
+// classical LBTS computation). Each shard then runs to its own safe target:
+// shards with no short inbound cut links advance in wide epochs, provably
+// idle shards skip the barrier entirely, and a phase that dispatches a
+// single shard runs inline on the main thread with no pool wakeup.
 //
 // Determinism contract (the part worth reading twice):
 //   * The execution schedule is a pure function of (topology, shard count,
-//     seeds). Worker threads only decide *who* executes a shard's
-//     deterministic event stream, never *what* is executed — so any
+//     seeds). Phase targets are computed from barrier-time queue state that
+//     is itself deterministic, so worker threads only decide *who* executes
+//     a shard's deterministic event stream, never *what* is executed — any
 //     --workers N, including 1, is bit-identical to any other N.
 //   * Ties are processed in (time, shard, sequence) order: each queue breaks
-//     time ties by insertion sequence, and barriers drain mailboxes in fixed
-//     source-shard order.
+//     time ties by insertion sequence, and drains happen at deterministic
+//     phases in fixed source-shard order.
 //   * With 1 shard the engine degenerates to exactly the serial Simulator
 //     (same id sequences, same insertion order, no barriers) — bit-identical
 //     to Simulator::run_until.
 //   * With >1 shards, results are deterministic and workers-invariant but
-//     not bit-identical to the serial engine: a cross-shard delivery enters
-//     the destination queue at the barrier rather than at transmit time, so
-//     *simultaneous* events can interleave differently than serially (and
-//     first-arrival-wins protocol ties, e.g. equal-rank probes, can resolve
-//     the other way). Same-time tie order is the only divergence.
+//     not bit-identical to the serial engine (or to a different shard count
+//     or epoch schedule): a cross-shard delivery enters the destination
+//     queue at a drain rather than at transmit time, so *simultaneous*
+//     events can interleave differently (and first-arrival-wins protocol
+//     ties, e.g. equal-rank probes, can resolve the other way). Same-time
+//     tie order is the only divergence.
+//
+// SimConfig::global_min_epochs selects the legacy PR-3 schedule (every
+// shard steps on a global grid of width = min cut-link delay) for the
+// epoch-width regression tests and the bench's barrier-count comparison.
 #pragma once
 
 #include <atomic>
@@ -43,8 +54,10 @@ namespace contra::sim {
 
 class ParallelSimulator {
  public:
-  /// `config.shards` = 0 picks topology::default_num_shards; `config.workers`
-  /// = 0 runs single-threaded (same schedule regardless).
+  /// `config.shards` = 0 picks topology::default_num_shards sized to the
+  /// topology and to max(config.workers, hardware_concurrency) — pass an
+  /// explicit shard count when the schedule must reproduce across machines.
+  /// `config.workers` = 0 runs single-threaded (same schedule regardless).
   ParallelSimulator(const topology::Topology& topo, SimConfig config);
   ~ParallelSimulator();
   ParallelSimulator(const ParallelSimulator&) = delete;
@@ -55,10 +68,18 @@ class ParallelSimulator {
   const topology::Partition& partition() const { return partition_; }
   uint32_t num_shards() const { return partition_.num_shards; }
   uint32_t num_workers() const { return workers_; }
-  /// Conservative lookahead: epoch width in seconds (+inf when no link
-  /// crosses the cut — then the run is a single unsynchronized phase).
+  /// Legacy global-min lookahead: the width every epoch had before the
+  /// per-channel scheduler (+inf when no link crosses the cut). Still the
+  /// epoch grid when config().global_min_epochs is set; otherwise a summary
+  /// lower bound on per-channel horizons.
   double epoch_width_s() const { return partition_.min_cut_delay_s; }
-  uint64_t epochs_completed() const { return epochs_; }
+  /// Synchronization phases completed — one fork-join barrier each. The
+  /// per-channel scheduler's whole point is keeping this small relative to
+  /// sim-time / epoch_width_s.
+  uint64_t epochs_completed() const { return phases_; }
+  /// Phases whose dispatch list was a single shard: run inline on the main
+  /// thread, no worker wakeup — a "free" barrier.
+  uint64_t solo_phases() const { return solo_phases_; }
 
   Simulator& shard_sim(uint32_t shard) { return shards_[shard]->sim; }
   Shard& shard(uint32_t s) { return *shards_[s]; }
@@ -99,8 +120,8 @@ class ParallelSimulator {
   // ----- run ---------------------------------------------------------------
 
   /// Advances every shard to `end` (inclusive, like Simulator::run_until)
-  /// through the epoch barrier protocol. Callable repeatedly with growing
-  /// `end`, exactly like the serial engine's run windows.
+  /// through the phase scheduler. Callable repeatedly with growing `end`,
+  /// exactly like the serial engine's run windows.
   void run_until(Time end);
 
   Time now() const { return now_; }
@@ -120,14 +141,17 @@ class ParallelSimulator {
   std::string merged_metrics_json(double t) const;
 
  private:
-  void run_epoch_phase(Time boundary, bool inclusive);
-  void drain_phase(Time boundary);
-  /// Fork-join: job(shard) for every shard, spread across the worker pool
-  /// (shard s runs on worker s % workers). Main thread is worker 0.
-  void parallel_for_shards(void (ParallelSimulator::*job)(uint32_t, Time, bool), Time t, bool flag);
+  /// Computes per-shard phase targets (per-channel lookahead or the legacy
+  /// grid), fills dispatch_, and idle-skips shards with no work. Returns
+  /// false when nothing at or before `end` remains anywhere.
+  bool plan_phase(Time end);
+  /// Drain inbound mailboxes + run one shard to its planned target.
+  void run_phase_shard(uint32_t s);
+  /// Runs the planned dispatch list across the worker pool (or inline when
+  /// it is a single shard) and retires the phase.
+  void execute_phase();
   void worker_loop(uint32_t worker);
-  void run_shard_epoch(uint32_t s, Time boundary, bool inclusive);
-  void drain_shard(uint32_t s, Time boundary, bool unused);
+  void wait_done();
 
   const topology::Topology* topo_;
   SimConfig config_;
@@ -135,23 +159,26 @@ class ParallelSimulator {
   std::vector<std::unique_ptr<Shard>> shards_;
 
   Time now_ = 0.0;
-  Time next_boundary_ = 0.0;  ///< first unreached epoch boundary (grid anchored at 0)
-  uint64_t epochs_ = 0;
+  Time next_boundary_ = 0.0;  ///< legacy grid mode: first unreached boundary
+  uint64_t phases_ = 0;
+  uint64_t solo_phases_ = 0;
   bool tracing_ = false;
 
+  // Phase-scheduler scratch (sized once; the steady state allocates nothing).
+  std::vector<double> base_;   ///< earliest pending work per shard
+  std::vector<double> avail_;  ///< min-plus closure of base_ over the horizon matrix
+  std::vector<uint32_t> dispatch_;  ///< shards with real work this phase
+
   // Worker pool: persistent threads, fork-join per phase via a generation
-  // counter (release) and a completion counter (acquire). Spin-then-yield:
-  // epochs are microseconds of work, but single-core machines need the
-  // yield to make progress at all.
+  // counter (release) and a completion counter (acquire). Bounded spin, then
+  // park on the atomic (C++20 wait/notify): epochs are microseconds of work
+  // so short spins usually win, but oversubscribed or idle-heavy runs must
+  // not burn cores.
   uint32_t workers_ = 1;
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> generation_{0};
   std::atomic<uint32_t> done_{0};
   std::atomic<bool> shutdown_{false};
-  // Current job, published before the generation bump.
-  void (ParallelSimulator::*job_)(uint32_t, Time, bool) = nullptr;
-  Time job_time_ = 0.0;
-  bool job_flag_ = false;
 };
 
 // ----- transport over shards -----------------------------------------------

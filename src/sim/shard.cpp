@@ -1,5 +1,7 @@
 #include "sim/shard.h"
 
+#include "obs/telemetry.h"
+
 namespace contra::sim {
 
 Shard::Shard(uint32_t shard_id, const topology::Topology& topo, const SimConfig& config,
@@ -24,18 +26,23 @@ Shard::Shard(uint32_t shard_id, const topology::Topology& topo, const SimConfig&
 }
 
 uint64_t drain_mailboxes_into(Shard& dst, std::vector<std::unique_ptr<Shard>>& shards) {
-  uint64_t drained = 0;
+  size_t batch = 0;
+  for (auto& src : shards) batch += src->outbox[dst.id].staged().size();
+  if (batch == 0) return 0;
+  dst.sim.events().reserve_extra(batch);
   for (auto& src : shards) {
     Mailbox& box = src->outbox[dst.id];
-    if (box.empty()) continue;
-    for (CrossHop& hop : box.entries()) {
+    for (CrossHop& hop : box.staged()) {
       dst.sim.events().schedule_deliver(hop.deliver_at, &dst.sim.link(hop.link),
                                         std::move(hop.packet));
     }
-    drained += box.size();
-    box.clear();
+    box.clear_staged();
   }
-  return drained;
+  obs::Telemetry& t = dst.sim.telemetry();
+  t.metrics().add(t.core().par_mailbox_hops, batch);
+  t.metrics().add(t.core().par_mailbox_batches);
+  t.metrics().observe(t.core().par_batch_size, static_cast<double>(batch));
+  return batch;
 }
 
 }  // namespace contra::sim

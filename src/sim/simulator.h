@@ -35,6 +35,11 @@ struct SimConfig {
   /// the shard count, never on `workers`.
   uint32_t workers = 0;
   uint32_t shards = 0;
+  /// Parallel engine A/B knob: schedule epochs on the legacy global grid
+  /// (width = min cut-link delay everywhere) instead of the per-channel
+  /// lookahead scheduler. Strictly slower — kept for the epoch-width
+  /// regression tests and the bench's barrier-count comparison.
+  bool global_min_epochs = false;
 };
 
 class Simulator {

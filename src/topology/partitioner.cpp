@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 namespace contra::topology {
 
 namespace {
 
 constexpr uint32_t kUnassigned = UINT32_MAX;
+
+/// A shard whose estimated load is below this fraction of the mean gets
+/// fused into its best-connected neighbor: its share of the useful work
+/// cannot amortize the per-phase barrier it would add.
+constexpr double kFuseLoadFraction = 0.5;
 
 /// Number of neighbors of `node` already assigned to `shard`.
 uint32_t affinity(const Topology& topo, const std::vector<uint32_t>& shard_of, NodeId node,
@@ -87,16 +93,116 @@ bool refine_once(const Topology& topo, std::vector<uint32_t>& shard_of,
   return changed;
 }
 
+struct UnionFind {
+  std::vector<uint32_t> parent;
+  explicit UnionFind(uint32_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+  uint32_t find(uint32_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void merge(uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Lower root wins: keeps renumbering deterministic.
+    if (a < b) parent[b] = a;
+    else parent[a] = b;
+  }
+};
+
+/// Collapses a union-find over shard ids into a compact renumbering of
+/// `shard_of` (roots keep ascending order). Returns the new shard count.
+uint32_t renumber(UnionFind& uf, uint32_t num_shards, std::vector<uint32_t>& shard_of) {
+  std::vector<uint32_t> new_id(num_shards, kUnassigned);
+  uint32_t next = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const uint32_t root = uf.find(s);
+    if (new_id[root] == kUnassigned) new_id[root] = next++;
+  }
+  for (uint32_t& s : shard_of) s = new_id[uf.find(s)];
+  return next;
+}
+
+/// Merges every shard pair joined by a zero-delay cut link: such a pair
+/// admits no conservative lookahead window at all (horizon 0 would deadlock
+/// the epoch scheduler), so the only safe schedule is to run them as one
+/// shard. Transitive by construction.
+bool fuse_zero_delay_cuts(const Topology& topo, Partition& p) {
+  UnionFind uf(p.num_shards);
+  bool any = false;
+  for (const DirectedLink& l : topo.links()) {
+    if (!p.crosses(l) || l.delay_s > 0.0) continue;
+    uf.merge(p.shard_of[l.from], p.shard_of[l.to]);
+    any = true;
+  }
+  if (!any) return false;
+  const uint32_t merged = renumber(uf, p.num_shards, p.shard_of);
+  if (merged == p.num_shards) return false;
+  p.fused_shards += p.num_shards - merged;
+  p.num_shards = merged;
+  return true;
+}
+
+/// Folds shards whose estimated event load is below kFuseLoadFraction of
+/// the mean into the neighboring shard they share the most cut links with
+/// (tie -> lowest shard id). One shard per iteration, smallest load first,
+/// so the result is deterministic and the mean is recomputed as fusion
+/// proceeds.
+void fuse_underloaded_shards(const Topology& topo, Partition& p) {
+  while (p.num_shards > 1) {
+    const std::vector<uint64_t> load = estimate_shard_loads(topo, p);
+    const uint64_t total = std::accumulate(load.begin(), load.end(), uint64_t{0});
+    const double mean = double(total) / p.num_shards;
+    uint32_t victim = kUnassigned;
+    for (uint32_t s = 0; s < p.num_shards; ++s) {
+      if (double(load[s]) >= kFuseLoadFraction * mean) continue;
+      if (victim == kUnassigned || load[s] < load[victim]) victim = s;
+    }
+    if (victim == kUnassigned) return;
+
+    // Best-connected neighbor: most cut links shared with the victim.
+    std::vector<uint32_t> shared(p.num_shards, 0);
+    for (const DirectedLink& l : topo.links()) {
+      const uint32_t a = p.shard_of[l.from], b = p.shard_of[l.to];
+      if (a == victim && b != victim) ++shared[b];
+    }
+    uint32_t host = victim == 0 ? 1 : 0;
+    for (uint32_t s = 0; s < p.num_shards; ++s) {
+      if (s != victim && shared[s] > shared[host]) host = s;
+    }
+
+    UnionFind uf(p.num_shards);
+    uf.merge(victim, host);
+    p.num_shards = renumber(uf, p.num_shards, p.shard_of);
+    ++p.fused_shards;
+  }
+}
+
 }  // namespace
 
 void recompute_cut(const Topology& topo, Partition& partition) {
+  const uint32_t s = partition.num_shards;
   partition.num_cut_links = 0;
   partition.min_cut_delay_s = std::numeric_limits<double>::infinity();
+  partition.horizon.assign(size_t{s} * s, std::numeric_limits<double>::infinity());
   for (const DirectedLink& l : topo.links()) {
     if (!partition.crosses(l)) continue;
     ++partition.num_cut_links;
     partition.min_cut_delay_s = std::min(partition.min_cut_delay_s, l.delay_s);
+    double& h = partition.horizon[size_t{partition.shard_of[l.from]} * s +
+                                  partition.shard_of[l.to]];
+    h = std::min(h, l.delay_s);
   }
+}
+
+std::vector<uint64_t> estimate_shard_loads(const Topology& topo, const Partition& partition) {
+  std::vector<uint64_t> load(partition.num_shards, 0);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    load[partition.shard_of[n]] += topo.out_links(n).size() + 1;
+  }
+  return load;
 }
 
 Partition partition_topology(const Topology& topo, uint32_t num_shards) {
@@ -132,6 +238,9 @@ Partition partition_topology(const Topology& topo, uint32_t num_shards) {
   }
 
   recompute_cut(topo, p);
+  fuse_zero_delay_cuts(topo, p);
+  fuse_underloaded_shards(topo, p);
+  recompute_cut(topo, p);
   return p;
 }
 
@@ -141,6 +250,18 @@ uint32_t default_num_shards(const Topology& topo) {
   const uint32_t n = topo.num_nodes();
   if (n <= 1) return 1;
   return std::max<uint32_t>(1, std::min<uint32_t>(8, n / 5 + (n % 5 != 0)));
+}
+
+uint32_t default_num_shards(const Topology& topo, uint32_t hardware_threads) {
+  const uint32_t n = topo.num_nodes();
+  if (n <= 1) return 1;
+  // Topology-sized as above, but allowed to grow past 8 on big graphs…
+  const uint32_t by_topology =
+      std::max<uint32_t>(1, std::min<uint32_t>(16, n / 5 + (n % 5 != 0)));
+  if (hardware_threads == 0) return std::min<uint32_t>(8, by_topology);
+  // …and capped at the machine's thread budget: extra shards past the core
+  // count add barrier work without adding parallelism.
+  return std::min(by_topology, std::max<uint32_t>(1, hardware_threads));
 }
 
 }  // namespace contra::topology

@@ -3,10 +3,14 @@
 // Splits the switch graph into `num_shards` balanced node sets while
 // greedily minimizing the number of cables cut (METIS-style grow+refine,
 // deterministic: every tie breaks on the lowest node id). The cut matters
-// twice: each cut cable becomes a mailbox hop at runtime, and the *minimum
-// propagation delay across the cut* is the conservative lookahead window —
-// shards can only advance in epochs of that width (see DESIGN.md §8), so a
-// partition that cuts a zero-ish-delay link serializes the whole run.
+// twice: each cut cable becomes a mailbox hop at runtime, and the per-pair
+// minimum propagation delay across the cut is the conservative lookahead —
+// the safe-horizon matrix the epoch scheduler advances shards by (see
+// DESIGN.md §8). Two fusion passes run after refinement: shard pairs joined
+// by a zero-delay cut link are merged (no conservative window exists for
+// them), and shards whose estimated event load is far below the mean are
+// folded into their best-connected neighbor, so tiny shards never pay
+// barrier cost for negligible work.
 #pragma once
 
 #include <cstdint>
@@ -23,28 +27,62 @@ struct Partition {
 
   /// Directed links whose endpoints live in different shards.
   uint32_t num_cut_links = 0;
-  /// min delay_s over cut links — the conservative epoch width (lookahead).
+  /// min delay_s over all cut links — the legacy global-min epoch width.
   /// +infinity when no link is cut (shards never interact; no barriers).
   double min_cut_delay_s = std::numeric_limits<double>::infinity();
 
+  /// Per-channel safe-horizon matrix, row-major [src * num_shards + dst]:
+  /// the minimum delay_s over cut links src->dst, +infinity when no link
+  /// crosses that pair (including the diagonal). A packet transmitted by
+  /// `src` at local time T cannot reach `dst` before T + horizon_of(src,
+  /// dst), which is the CMB/null-message-style per-channel lookahead.
+  std::vector<double> horizon;
+
+  /// Shards merged away by the fusion passes (zero-delay cut + load).
+  uint32_t fused_shards = 0;
+
   uint32_t shard(NodeId node) const { return shard_of[node]; }
   bool crosses(const DirectedLink& l) const { return shard_of[l.from] != shard_of[l.to]; }
+
+  double horizon_of(uint32_t src, uint32_t dst) const {
+    return horizon[src * num_shards + dst];
+  }
+  /// The true minimum inbound delay of `dst`: min over src of the channel
+  /// horizon. No future message can reach `dst` sooner than the sender's
+  /// local clock plus this.
+  double min_inbound_delay_s(uint32_t dst) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t src = 0; src < num_shards; ++src) {
+      if (src != dst) best = std::min(best, horizon_of(src, dst));
+    }
+    return best;
+  }
 };
 
 /// Partitions `topo` into at most `num_shards` balanced shards (fewer when
-/// the topology has fewer nodes; always >= 1). Deterministic for a given
-/// (topology, num_shards) pair.
+/// the topology has fewer nodes or the fusion passes merge some; always
+/// >= 1). Deterministic for a given (topology, num_shards) pair.
 Partition partition_topology(const Topology& topo, uint32_t num_shards);
 
-/// Recomputes the cut statistics of an arbitrary assignment (test hook, and
-/// used internally after refinement).
+/// Recomputes the cut statistics and horizon matrix of an arbitrary
+/// assignment (test hook, and used internally after refinement/fusion).
 void recompute_cut(const Topology& topo, Partition& partition);
+
+/// Estimated relative event load of each shard: sum over owned nodes of
+/// (out-degree + 1), a proxy for probe fan-out plus per-node timer work.
+/// Exposed for tests and the fusion heuristic.
+std::vector<uint64_t> estimate_shard_loads(const Topology& topo, const Partition& partition);
 
 /// Default shard count for a topology: enough to spread the event load, but
 /// never more shards than nodes and never so many that every shard is a
-/// couple of switches. Fixed per topology — deliberately independent of the
-/// worker count, so changing --workers never changes the execution schedule
-/// (see DESIGN.md §8, determinism).
+/// couple of switches. The one-argument form is a pure function of the
+/// topology (cap 8; use it when the execution schedule must be reproducible
+/// across machines). The two-argument form additionally caps at
+/// `hardware_threads` (when nonzero) so auto-sharded runs don't pay barrier
+/// cost for parallelism the machine can't deliver — pass
+/// std::thread::hardware_concurrency(). Explicit --shards always overrides
+/// both.
 uint32_t default_num_shards(const Topology& topo);
+uint32_t default_num_shards(const Topology& topo, uint32_t hardware_threads);
 
 }  // namespace contra::topology

@@ -17,12 +17,17 @@ NodeId Topology::add_node(std::string name) {
 }
 
 LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps, double delay_s) {
+  return add_link(a, b, capacity_bps, delay_s, delay_s);
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps, double delay_ab_s,
+                          double delay_ba_s) {
   if (a >= num_nodes() || b >= num_nodes()) throw std::out_of_range("bad node id in add_link");
   if (a == b) throw std::invalid_argument("self-loop links are not allowed");
   const LinkId ab = static_cast<LinkId>(links_.size());
   const LinkId ba = ab + 1;
-  links_.push_back({a, b, capacity_bps, delay_s, ba});
-  links_.push_back({b, a, capacity_bps, delay_s, ab});
+  links_.push_back({a, b, capacity_bps, delay_ab_s, ba});
+  links_.push_back({b, a, capacity_bps, delay_ba_s, ab});
   adjacency_[a].push_back(ab);
   adjacency_[b].push_back(ba);
   return ab;

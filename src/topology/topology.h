@@ -37,6 +37,11 @@ class Topology {
   /// id is its `reverse`).
   LinkId add_link(NodeId a, NodeId b, double capacity_bps, double delay_s);
 
+  /// Same, with per-direction propagation delays (asymmetric paths — e.g.
+  /// satellite up/down legs, or partitioner lookahead tests).
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps, double delay_ab_s,
+                  double delay_ba_s);
+
   uint32_t num_nodes() const { return static_cast<uint32_t>(names_.size()); }
   uint32_t num_links() const { return static_cast<uint32_t>(links_.size()); }
 

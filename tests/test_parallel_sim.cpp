@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <limits>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -95,6 +97,127 @@ TEST(Partitioner, DefaultShardCountScalesWithNodes) {
   EXPECT_EQ(topology::default_num_shards(ft8), 8u);  // 80 switches, capped at 8
 }
 
+TEST(Partitioner, DefaultShardCountRespectsHardwareBudget) {
+  const topology::Topology ft8 = topology::fat_tree(8, topology::LinkParams{10e9, 1e-6});
+  // Unknown hardware (0): behave like the reproducible one-argument form.
+  EXPECT_EQ(topology::default_num_shards(ft8, 0), topology::default_num_shards(ft8));
+  // Fewer cores than the topology-sized count: shards follow the cores.
+  EXPECT_EQ(topology::default_num_shards(ft8, 4), 4u);
+  EXPECT_EQ(topology::default_num_shards(ft8, 1), 1u);
+  // More cores than the topology can use: the topology cap wins (80 switches
+  // -> 16 shards of ~5).
+  EXPECT_EQ(topology::default_num_shards(ft8, 64), 16u);
+  EXPECT_EQ(topology::default_num_shards(topology::line(2), 64), 1u);
+}
+
+// ---- per-channel safe-horizon matrix ---------------------------------------
+
+/// Two 2-node clusters joined by one cable with asymmetric per-direction
+/// delays: a0-a1, b0-b1 internal, a1->b0 slow one way and slower the other.
+topology::Topology asymmetric_dumbbell() {
+  topology::Topology topo;
+  const auto a0 = topo.add_node("a0"), a1 = topo.add_node("a1");
+  const auto b0 = topo.add_node("b0"), b1 = topo.add_node("b1");
+  topo.add_link(a0, a1, 10e9, 1e-6);
+  topo.add_link(b0, b1, 10e9, 1e-6);
+  topo.add_link(a1, b0, 10e9, 5e-6, 9e-6);  // a->b 5us, b->a 9us
+  return topo;
+}
+
+TEST(Partitioner, HorizonMatrixCapturesAsymmetricCutDelays) {
+  const topology::Topology topo = asymmetric_dumbbell();
+  const topology::Partition p = topology::partition_topology(topo, 2);
+  ASSERT_EQ(p.num_shards, 2u);
+  const uint32_t sa = p.shard(topo.find("a1"));
+  const uint32_t sb = p.shard(topo.find("b0"));
+  ASSERT_NE(sa, sb);
+  ASSERT_EQ(p.shard(topo.find("a0")), sa);
+  ASSERT_EQ(p.shard(topo.find("b1")), sb);
+
+  // The channel horizons are per-direction; the legacy global width is the
+  // min over both — a 1.8x lookahead giveaway on the b->a channel.
+  EXPECT_DOUBLE_EQ(p.horizon_of(sa, sb), 5e-6);
+  EXPECT_DOUBLE_EQ(p.horizon_of(sb, sa), 9e-6);
+  EXPECT_DOUBLE_EQ(p.min_cut_delay_s, 5e-6);
+  EXPECT_DOUBLE_EQ(p.min_inbound_delay_s(sb), 5e-6);
+  EXPECT_DOUBLE_EQ(p.min_inbound_delay_s(sa), 9e-6);
+  // Diagonal entries are +infinity: a shard has no cut channel to itself.
+  EXPECT_TRUE(std::isinf(p.horizon_of(sa, sa)));
+  EXPECT_TRUE(std::isinf(p.horizon_of(sb, sb)));
+}
+
+TEST(Partitioner, HorizonMatrixMatchesBruteForceOnFatTree) {
+  // Safety bound: for every channel, the matrix entry must equal the true
+  // minimum delay over the cut links of that channel (never wider), and the
+  // per-dst inbound minimum must never be below the global min cut delay.
+  const topology::Topology topo = topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const topology::Partition p = topology::partition_topology(topo, 4);
+  ASSERT_EQ(p.num_shards, 4u);
+
+  std::vector<double> truth(size_t{p.num_shards} * p.num_shards,
+                            std::numeric_limits<double>::infinity());
+  for (const topology::DirectedLink& l : topo.links()) {
+    if (!p.crosses(l)) continue;
+    double& h = truth[size_t{p.shard(l.from)} * p.num_shards + p.shard(l.to)];
+    h = std::min(h, l.delay_s);
+  }
+  for (uint32_t src = 0; src < p.num_shards; ++src) {
+    for (uint32_t dst = 0; dst < p.num_shards; ++dst) {
+      const double expect = src == dst ? std::numeric_limits<double>::infinity()
+                                       : truth[size_t{src} * p.num_shards + dst];
+      EXPECT_EQ(p.horizon_of(src, dst), expect) << src << "->" << dst;
+    }
+  }
+  for (uint32_t dst = 0; dst < p.num_shards; ++dst) {
+    EXPECT_GE(p.min_inbound_delay_s(dst), p.min_cut_delay_s);
+  }
+}
+
+TEST(Partitioner, ZeroDelayCutLinkForcesFusion) {
+  // A zero-delay cable in the cut admits no conservative window at all; the
+  // two shards it joins must fuse at partition time.
+  topology::Topology topo;
+  const auto n0 = topo.add_node("n0"), n1 = topo.add_node("n1");
+  const auto n2 = topo.add_node("n2"), n3 = topo.add_node("n3");
+  topo.add_link(n0, n1, 10e9, 1e-6);
+  topo.add_link(n1, n2, 10e9, 0.0);  // the only balanced 2-way cut
+  topo.add_link(n2, n3, 10e9, 1e-6);
+  const topology::Partition p = topology::partition_topology(topo, 2);
+  EXPECT_EQ(p.num_shards, 1u);
+  EXPECT_GE(p.fused_shards, 1u);
+  EXPECT_EQ(p.num_cut_links, 0u);
+  for (topology::NodeId n = 0; n < topo.num_nodes(); ++n) EXPECT_EQ(p.shard(n), 0u);
+}
+
+TEST(Partitioner, UnderloadedShardFusesIntoNeighbor) {
+  // A 15-node clique (degree 14, heavy probe fan-out) next to a 15-node
+  // path (degree <= 2): the natural 2-way split gives the path shard about
+  // a sixth of the estimated event load — below the fusion threshold, so it
+  // folds into the clique shard rather than paying a barrier per phase.
+  topology::Topology topo;
+  std::vector<topology::NodeId> clique, path;
+  for (int i = 0; i < 15; ++i) clique.push_back(topo.add_node("c" + std::to_string(i)));
+  for (int i = 0; i < 15; ++i) path.push_back(topo.add_node("p" + std::to_string(i)));
+  for (size_t i = 0; i < clique.size(); ++i) {
+    for (size_t j = i + 1; j < clique.size(); ++j) topo.add_link(clique[i], clique[j], 10e9, 1e-6);
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) topo.add_link(path[i], path[i + 1], 10e9, 1e-6);
+  topo.add_link(clique[14], path[0], 10e9, 10e-6);
+
+  const topology::Partition p = topology::partition_topology(topo, 2);
+  EXPECT_EQ(p.num_shards, 1u);
+  EXPECT_GE(p.fused_shards, 1u);
+
+  // Balanced loads do not fuse: the estimate itself is exposed for tests.
+  const topology::Topology ft = topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const topology::Partition pf = topology::partition_topology(ft, 4);
+  ASSERT_EQ(pf.num_shards, 4u);
+  EXPECT_EQ(pf.fused_shards, 0u);
+  const std::vector<uint64_t> loads = topology::estimate_shard_loads(ft, pf);
+  ASSERT_EQ(loads.size(), 4u);
+  for (uint64_t l : loads) EXPECT_GT(l, 0u);
+}
+
 // ---- epoch primitives ------------------------------------------------------
 
 TEST(EventQueue, RunBeforeStopsStrictlyBeforeBoundary) {
@@ -111,7 +234,11 @@ TEST(EventQueue, RunBeforeStopsStrictlyBeforeBoundary) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
-TEST(ParallelEngine, EpochGridAndLookahead) {
+TEST(ParallelEngine, IdleShardsNeedNoBarriers) {
+  // No devices, no hosts, no events: the lookahead scheduler proves the
+  // whole window quiescent and completes without a single barrier. (The
+  // legacy global grid ticked ~10 empty epochs here.) Local clocks still
+  // advance to the end, matching serial run_until semantics.
   const topology::Topology topo = topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
   SimConfig config;
   config.shards = 4;
@@ -120,15 +247,46 @@ TEST(ParallelEngine, EpochGridAndLookahead) {
   EXPECT_DOUBLE_EQ(psim.epoch_width_s(), 1e-6);
   psim.run_until(10.5e-6);
   EXPECT_DOUBLE_EQ(psim.now(), 10.5e-6);
-  // Boundaries at 1us..10us: ten full epochs plus the final partial one
-  // (floating-point grid accumulation may lose the last boundary).
-  EXPECT_GE(psim.epochs_completed(), 9u);
-  EXPECT_LE(psim.epochs_completed(), 11u);
+  EXPECT_EQ(psim.epochs_completed(), 0u);
+  for (uint32_t s = 0; s < psim.num_shards(); ++s) {
+    EXPECT_DOUBLE_EQ(psim.shard_sim(s).now(), 10.5e-6) << "shard " << s;
+  }
 }
 
+// Three clusters chained by cut cables of very different delay (used by the
+// epoch-width regression test further down, after the digest helpers): a
+// narrow 3.1us channel A-B and a wide 97us channel B-C. The legacy
+// global-min grid barriers *every* shard every 3.1us; the per-channel
+// scheduler lets C run in ~97us strides and skips provably idle shards
+// entirely.
+topology::Topology heterogeneous_chain() {
+  topology::Topology topo;
+  std::vector<topology::NodeId> nodes;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(topo.add_node(std::string(1, char('a' + c)) + std::to_string(i)));
+    }
+  }
+  // Irregular intra-cluster delays so cross-shard arrivals never tie with
+  // local periodic timers (equal-time ties are the one place two epoch
+  // schedules may legitimately diverge).
+  const double intra[3] = {1.3e-6, 1.7e-6, 2.3e-6};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      topo.add_link(nodes[c * 4 + i], nodes[c * 4 + i + 1], 10e9, intra[c]);
+    }
+    topo.add_link(nodes[c * 4], nodes[c * 4 + 2], 10e9, intra[c] * 1.5);
+  }
+  topo.add_link(nodes[3], nodes[4], 10e9, 3.1e-6);   // A-B: narrow channel
+  topo.add_link(nodes[7], nodes[8], 10e9, 97e-6);    // B-C: wide channel
+  return topo;
+}
+
+
 TEST(ParallelEngine, ZeroDelayCutCollapsesToOneShard) {
-  // All-zero-delay links make the conservative lookahead zero; the engine
-  // must fall back to one shard instead of spinning on empty epochs.
+  // All-zero-delay links make the conservative lookahead zero; the
+  // partitioner's fusion pass must hand the engine a single shard instead of
+  // letting it spin on zero-width epochs.
   const topology::Topology topo = topology::fat_tree(4, topology::LinkParams{10e9, 0.0});
   SimConfig config;
   config.shards = 4;
@@ -444,6 +602,73 @@ TEST(ParallelDeterminism, SplitRunWindowsMatchSingleRun) {
                             false, /*split_run=*/true);
   EXPECT_EQ(whole.digest, split.digest);
   EXPECT_EQ(whole.events, split.events);
+}
+
+// ---- epoch-width regression (per-channel lookahead vs global-min grid) -----
+
+TEST(ParallelEngine, PerChannelLookaheadBeatsGlobalMinGrid) {
+  const topology::Topology topo = heterogeneous_chain();
+  const compiler::CompileResult compiled = compiler::compile("minimize(path.len)", topo);
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+
+  auto run = [&](bool global_min) {
+    SimConfig config;
+    config.shards = 3;
+    config.workers = 2;
+    config.global_min_epochs = global_min;
+    auto psim = std::make_unique<ParallelSimulator>(topo, config);
+    EXPECT_EQ(psim->num_shards(), 3u);
+    dataplane::ContraSwitchOptions options;
+    options.probe_period_s = 256e-6;
+    psim->for_each_shard([&](Simulator& shard_sim) {
+      dataplane::install_contra_network(shard_sim, compiled, evaluator, options);
+    });
+    psim->start();
+    psim->run_until(5e-3);
+
+    std::vector<LinkStats> per_link(topo.num_links());
+    for (topology::LinkId id = 0; id < topo.num_links(); ++id) {
+      for (uint32_t s = 0; s < psim->num_shards(); ++s) {
+        const LinkStats& ls = psim->shard_sim(s).link(id).stats();
+        per_link[id].tx_packets += ls.tx_packets;
+        per_link[id].tx_bytes += ls.tx_bytes;
+        per_link[id].tx_probe_bytes += ls.tx_probe_bytes;
+        per_link[id].drops += ls.drops;
+        per_link[id].data_drops += ls.data_drops;
+      }
+    }
+    struct Out {
+      uint64_t digest;
+      uint64_t phases;
+      uint64_t idle_skips;
+      uint64_t epochs_run;
+    } out{};
+    out.digest = canonical_digest(psim->events_processed(), {}, per_link);
+    out.phases = psim->epochs_completed();
+    for (uint32_t s = 0; s < psim->num_shards(); ++s) {
+      obs::Telemetry& tel = psim->shard_sim(s).telemetry();
+      out.idle_skips += tel.metrics().value(tel.core().par_idle_skips);
+      out.epochs_run += tel.metrics().value(tel.core().par_epochs);
+    }
+    return out;
+  };
+
+  const auto grid = run(/*global_min=*/true);
+  const auto channel = run(/*global_min=*/false);
+
+  // Same simulation either way — the schedule is a performance knob, not a
+  // semantics knob.
+  EXPECT_EQ(grid.digest, channel.digest);
+
+  // The whole point: strictly (and substantially) fewer barriers. The grid
+  // ticks 5ms / 3.1us ≈ 1600 boundaries; the lookahead scheduler only
+  // synchronizes where cross-shard work actually exists.
+  EXPECT_LT(channel.phases, grid.phases);
+  EXPECT_GE(grid.phases, 5 * channel.phases)
+      << "grid " << grid.phases << " vs channel " << channel.phases;
+  // Per-shard dispatches shrink too, and idle shards were skipped outright.
+  EXPECT_LT(channel.epochs_run, grid.epochs_run);
+  EXPECT_GT(channel.idle_skips, 0u);
 }
 
 // ---- ContraSwitch loop-accounting cap (satellite: state-bound audit) -------

@@ -18,9 +18,11 @@ bench_core_speed --baseline-json) is the reference.
 Exit code 0 = ok, 1 = regression, 2 = bad input.
 
 The gate keys only on the serial "scenarios" section. A "parallel_scaling"
-section (the sharded engine's worker sweep) is reported informationally —
-thread scaling is machine-dependent, so it never fails the gate, with one
-exception: bit_identical=false in CURRENT is a determinism break and fails.
+section (the sharded engine's worker sweep plus the per-channel vs
+global-min lookahead A/B) is reported informationally — thread scaling is
+machine-dependent, so it never fails the gate, with two exceptions:
+bit_identical=false and lookahead_ab.digest_match=false in CURRENT are
+determinism breaks and fail.
 
 --fuzz-corpus is an unrelated gate sharing this entry point: it hard-fails
 (exit 1) when DIR contains contrafuzz violation repros (repro-*.txt) that
@@ -150,14 +152,35 @@ def main():
     scaling = current_report.get("parallel_scaling")
     if isinstance(scaling, dict):
         cores = scaling.get("hardware_concurrency", "?")
-        speedup = scaling.get("speedup_w4")
-        if isinstance(speedup, (int, float)):
-            print(f"INFO       parallel_scaling: speedup(w4)={speedup:.2f}x "
-                  f"on {cores} cores (informational)")
+        qualifier = ""
+        if scaling.get("speedup_informational"):
+            qualifier = ", workers exceed cores"
+        for key, label in (("speedup_w4", "w4"), ("speedup_w8", "w8")):
+            speedup = scaling.get(key)
+            if isinstance(speedup, (int, float)):
+                print(f"INFO       parallel_scaling: speedup({label})="
+                      f"{speedup:.2f}x on {cores} cores "
+                      f"(informational{qualifier})")
         if scaling.get("bit_identical") is False:
             print("compare_bench: parallel_scaling reports bit_identical=false "
                   "— determinism break", file=sys.stderr)
             failed = True
+        ab = scaling.get("lookahead_ab")
+        if isinstance(ab, dict):
+            print(f"INFO       lookahead_ab: {ab.get('phases_channel', '?')} "
+                  f"phases (per-channel) vs {ab.get('phases_global_min', '?')} "
+                  f"(global-min grid), "
+                  f"{float(ab.get('barrier_reduction', 0)):.1f}x fewer "
+                  f"barriers, {ab.get('idle_skips', '?')} idle skips "
+                  f"(informational)")
+            # Digest equality between the two epoch schedules is a hard
+            # gate like bit_identical: a mismatch means the phase schedule
+            # changed observable results, not just barrier counts.
+            if ab.get("digest_match") is False:
+                print("compare_bench: lookahead_ab reports digest_match=false "
+                      "— per-channel schedule diverged from global-min grid",
+                      file=sys.stderr)
+                failed = True
 
     if failed:
         print(f"compare_bench: regression beyond {args.threshold:.0%} threshold", file=sys.stderr)

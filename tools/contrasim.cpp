@@ -46,8 +46,10 @@ int usage(const char* argv0) {
                "          [--link-gbps 10] [--probe-period-us 256]\n"
                "          [--workers <n>]               (sharded parallel engine; see\n"
                "                                         DESIGN.md s8 -- deterministic for any n)\n"
-               "          [--shards <n>]                (override shard count; fixes the\n"
-               "                                         schedule independently of --workers)\n"
+               "          [--shards <n>]                (override shard count; default 0 auto-\n"
+               "                                         sizes to topology+cores -- pass an\n"
+               "                                         explicit n to reproduce a schedule\n"
+               "                                         across machines)\n"
                "          [--fail <nodeA>-<nodeB>]      (fail a cable pre-traffic)\n"
                "          [--fail-at-ms <t>]            (delay --fail until t)\n"
                "          [--telemetry-out <trace.jsonl>]  (control-plane trace +\n"
@@ -230,9 +232,12 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
 
   const auto fct = metrics::summarize_fct(transport.completed_flows(), flows.size());
   const auto overhead = metrics::make_overhead_report(window_end, window_start);
-  std::printf("engine  : %u shards x %u workers, epoch %.3g us, %llu epochs\n",
-              psim.num_shards(), psim.num_workers(), psim.epoch_width_s() * 1e6,
-              static_cast<unsigned long long>(psim.epochs_completed()));
+  std::printf("engine  : %u shards x %u workers (%u fused at partition), "
+              "min cut %.3g us, %llu phases (%llu solo)\n",
+              psim.num_shards(), psim.num_workers(), psim.partition().fused_shards,
+              psim.epoch_width_s() * 1e6,
+              static_cast<unsigned long long>(psim.epochs_completed()),
+              static_cast<unsigned long long>(psim.solo_phases()));
   std::printf("plane=%s load=%.0f%% flows=%zu\n", plane.c_str(), load * 100, flows.size());
   std::printf("FCT     : %s\n", fct.to_string().c_str());
   std::printf("traffic : %s\n", overhead.to_string().c_str());

@@ -14,6 +14,9 @@ aux/ver/val, absent keys meaning "not applicable". Prints:
   * route-flap leaders (destinations by route_flip count),
   * per-switch probe suppression rates (probe_suppress / probe_rx) and any
     dense-table fallback hits (dense_fallback records — always a bug),
+  * the parallel-engine section when the trace came from a sharded run:
+    per-shard epochs run and events processed (epoch records, sw=shard),
+    mailbox drains with message counts and max batch (barrier records),
   * the per-destination convergence table (time-to-quiescence, flap counts,
     and post-failure re-convergence latency — mirroring obs::ConvergenceTracker),
   * the run manifest, when found next to the trace (x.jsonl -> x.manifest.json).
@@ -120,6 +123,11 @@ def read_trace(path):
     suppress_by_switch = collections.Counter()
     rx_by_switch = collections.Counter()
     fallback_by_switch = collections.Counter()
+    # Parallel engine: "epoch"/"barrier" records carry the shard in sw and a
+    # payload in val (events processed that phase / messages drained).
+    shard_stats = collections.defaultdict(
+        lambda: {"epochs": 0, "events": 0, "drains": 0, "msgs_drained": 0,
+                 "max_batch": 0})
     convergence = Convergence()
     bad_lines = 0
     total = 0
@@ -153,6 +161,16 @@ def read_trace(path):
                     suppress_by_switch[record["sw"]] += 1
                 elif ev == "dense_fallback":
                     fallback_by_switch[record["sw"]] += 1
+                elif ev == "epoch":
+                    s = shard_stats[record["sw"]]
+                    s["epochs"] += 1
+                    s["events"] += int(record.get("val", 0))
+                elif ev == "barrier":
+                    s = shard_stats[record["sw"]]
+                    batch = int(record.get("val", 0))
+                    s["drains"] += 1
+                    s["msgs_drained"] += batch
+                    s["max_batch"] = max(s["max_batch"], batch)
             convergence.observe(record)
     return {
         "total_records": total,
@@ -163,8 +181,26 @@ def read_trace(path):
         "suppress_by_switch": suppress_by_switch,
         "rx_by_switch": rx_by_switch,
         "fallback_by_switch": fallback_by_switch,
+        "shard_stats": shard_stats,
         "convergence": convergence,
     }
+
+
+def shard_rows(summary):
+    """Per-shard parallel-engine rows, shard order."""
+    rows = []
+    for shard in sorted(summary["shard_stats"]):
+        s = summary["shard_stats"][shard]
+        rows.append({
+            "shard": shard,
+            "epochs": s["epochs"],
+            "events": s["events"],
+            "drains": s["drains"],
+            "msgs_drained": s["msgs_drained"],
+            "mean_batch": s["msgs_drained"] / s["drains"] if s["drains"] else None,
+            "max_batch": s["max_batch"],
+        })
+    return rows
 
 
 def suppression_rows(summary, top):
@@ -208,6 +244,14 @@ def print_report(path, summary, manifest, manifest_path, top):
         print("DENSE FALLBACKS (switch: hits) — probe keys escaped the compiled table:")
         for sw, count in summary["fallback_by_switch"].most_common():
             print(f"  sw {sw:4d}  {count}")
+    if summary["shard_stats"]:
+        print("parallel engine (per shard):")
+        print("  shard  epochs    events  drains  msgs_drained  mean_batch  max_batch")
+        for r in shard_rows(summary):
+            mean = "-" if r["mean_batch"] is None else f"{r['mean_batch']:.1f}"
+            print(f"  {r['shard']:5d}  {r['epochs']:6d}  {r['events']:8d}"
+                  f"  {r['drains']:6d}  {r['msgs_drained']:12d}  {mean:>10s}"
+                  f"  {r['max_batch']:9d}")
     convergence = summary["convergence"]
     rows = convergence.table()
     if rows:
@@ -275,6 +319,7 @@ def main():
             "route_flap_leaders": summary["flap_leaders"].most_common(args.top),
             "probe_suppression_by_switch": suppression_rows(summary, args.top),
             "dense_fallback_by_switch": sorted(summary["fallback_by_switch"].items()),
+            "parallel_engine": shard_rows(summary),
             "first_failure_s": convergence.first_failure,
             "convergence": convergence.table(),
             "manifest": manifest,
