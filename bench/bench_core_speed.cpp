@@ -15,6 +15,10 @@
 //       advancing, no trace sink is attached, and the measured window does
 //       exactly zero heap allocations. A regression here fails the bench
 //       binary itself (exit 1), not just the compare_bench gate.
+//   probe_flood_flowtrack_off — the flood with the flow-telemetry machinery
+//       attached but disabled (transport wired, no FlowTracker, path
+//       sampling off): the hook branches must stay free — zero allocations
+//       in the measured window, same exit-1 hard gate.
 //
 // Emits machine-readable JSON (default BENCH_core.json) so future PRs can
 // regress against this one with tools/compare_bench.py. Pass
@@ -42,8 +46,10 @@
 #include "compiler/compiler.h"
 #include "dataplane/contra_switch.h"
 #include "obs/telemetry.h"
+#include "sim/host.h"
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
+#include "sim/transport.h"
 #include "topology/generators.h"
 #include "util/alloc_probe.h"
 
@@ -554,6 +560,80 @@ ScenarioResult run_probe_flood_telemetry_off(double sim_seconds, uint64_t worklo
                               /*lookup_bench=*/false);
 }
 
+/// The probe flood with the dataplane flow-telemetry machinery wired up but
+/// disabled — the observability overhead contract. A TransportManager is
+/// attached, so every flow-telemetry hook branch (flow lifecycle, delivery
+/// accounting, INT path stamping in Simulator::send_on_link) is present and
+/// reachable, and a warm-up UDP burst pushes real data packets through the
+/// fabric before measurement. The measured window — back at probe steady
+/// state, no FlowTracker attached, path sampling off, set_flow_telemetry
+/// at its default (off) — must perform exactly zero heap allocations.
+/// Hard gate: any allocation exits 1, and compare_bench.py independently
+/// rejects a report whose *_off scenarios carry allocs_per_event != 0.
+ScenarioResult run_probe_flood_flowtrack_off(double sim_seconds, uint64_t workload_probes) {
+  const topology::Topology topo =
+      topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile("minimize((path.len, path.util))", topo);
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+
+  sim::SimConfig config;
+  sim::Simulator sim(topo, config);
+  const std::vector<sim::HostId> senders = sim::attach_hosts(sim, {topo.find("e0_0")});
+  const std::vector<sim::HostId> receivers = sim::attach_hosts(sim, {topo.find("e1_1")});
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 64e-6;
+  options.probe_suppression = true;
+  dataplane::install_contra_network(sim, compiled, evaluator, options);
+  sim::TransportManager transport(sim);
+  // UDP burst inside the warm-up window: done and drained before measuring.
+  transport.start_udp_flow(senders[0], receivers[0], /*rate_bps=*/200e6,
+                           /*start_time=*/sim_seconds * 0.01,
+                           /*stop_time=*/sim_seconds * 0.06);
+  sim.start();
+
+  const obs::CoreMetrics& core = sim.telemetry().core();
+  const obs::MetricsRegistry& metrics = sim.telemetry().metrics();
+  sim.run_until(sim_seconds * 0.1);
+  if (transport.udp_bytes_received() == 0) {
+    std::fprintf(stderr, "probe_flood_flowtrack_off: warm-up flow moved no data\n");
+    std::exit(1);
+  }
+  const uint64_t events_before = sim.events().events_processed();
+  const uint64_t probes_before = metrics.value(core.probes_received);
+  const uint64_t suppressed_before = metrics.value(core.probes_suppressed);
+  const uint64_t fallback_before = metrics.value(core.dense_fallback_hits);
+  const uint64_t allocs_before = util::alloc_count();
+  const auto start = Clock::now();
+  sim.run_until(sim_seconds * 1.1);
+  const uint64_t allocs = util::alloc_count() - allocs_before;
+  ScenarioResult result;
+  result.name = "probe_flood_flowtrack_off";
+  result.wall_s = seconds_since(start);
+  result.events = sim.events().events_processed() - events_before;
+  result.allocs_per_event = result.events ? double(allocs) / result.events : 0.0;
+  result.has_probe_stats = true;
+  result.probes_received = metrics.value(core.probes_received) - probes_before;
+  result.probes_suppressed = metrics.value(core.probes_suppressed) - suppressed_before;
+  result.dense_fallback_hits = metrics.value(core.dense_fallback_hits) - fallback_before;
+  result.workload_probes = workload_probes ? workload_probes : result.probes_received;
+
+  if (result.probes_received == 0) {
+    std::fprintf(stderr, "probe_flood_flowtrack_off: telemetry counters did not advance\n");
+    std::exit(1);
+  }
+  if (transport.flow_tracker() != nullptr || sim.telemetry().tracing()) {
+    std::fprintf(stderr, "probe_flood_flowtrack_off: unexpected sink attached\n");
+    std::exit(1);
+  }
+  if (allocs != 0) {
+    std::fprintf(stderr, "probe_flood_flowtrack_off: %llu allocations in measured window (want 0)\n",
+                 static_cast<unsigned long long>(allocs));
+    std::exit(1);
+  }
+  return result;
+}
+
 // ---- driver ----------------------------------------------------------------
 
 void write_json(const std::string& path, const std::string& label,
@@ -640,6 +720,7 @@ int main(int argc, char** argv) {
     const uint64_t workload_probes = round.back().probes_received;
     round.push_back(run_probe_flood(sim_seconds, workload_probes));
     round.push_back(run_probe_flood_telemetry_off(sim_seconds, workload_probes));
+    round.push_back(run_probe_flood_flowtrack_off(sim_seconds, workload_probes));
     if (best.empty()) {
       best = round;
     } else {

@@ -3,20 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "metrics/quantile.h"
+
 namespace contra::metrics {
-
-namespace {
-
-double quantile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * (sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - lo;
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-}  // namespace
 
 FctSummary summarize_fct(const std::vector<sim::FlowRecord>& completed, size_t total_flows) {
   FctSummary summary;

@@ -1,0 +1,22 @@
+// Shared quantile helper for FCT summaries (metrics::summarize_fct) and the
+// flow-telemetry size-bucket percentiles (obs::FlowTracker::summary_json) —
+// one definition so the two report the same numbers for the same sample set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace contra::metrics {
+
+/// Linear-interpolation quantile of an ascending-sorted sample set,
+/// q in [0, 1]; 0 for empty input.
+inline double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * (sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = lo + 1 < sorted.size() ? lo + 1 : sorted.size() - 1;
+  const double frac = pos - lo;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace contra::metrics

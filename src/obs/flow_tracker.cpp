@@ -1,0 +1,254 @@
+#include "obs/flow_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "metrics/quantile.h"
+
+namespace contra::obs {
+
+FlowLife& FlowTracker::life(uint64_t flow_id) {
+  FlowLife& flow = flows_[flow_id];
+  flow.flow_id = flow_id;
+  return flow;
+}
+
+void FlowTracker::on_start(uint64_t flow_id, uint32_t src_host, uint32_t dst_host,
+                           uint64_t bytes, double t) {
+  FlowLife& flow = life(flow_id);
+  flow.src_host = src_host;
+  flow.dst_host = dst_host;
+  flow.bytes = bytes;
+  flow.start_t = t;
+  flow.started = true;
+}
+
+void FlowTracker::on_complete(uint64_t flow_id, double t) {
+  FlowLife& flow = life(flow_id);
+  flow.end_t = t;
+  flow.completed = true;
+}
+
+void FlowTracker::on_rto(uint64_t flow_id) { ++life(flow_id).rtos; }
+
+void FlowTracker::on_fast_retx(uint64_t flow_id) { ++life(flow_id).fast_retx; }
+
+void FlowTracker::on_data(uint64_t flow_id, uint32_t bytes, uint64_t path_sig, uint8_t hops,
+                          bool reordered) {
+  FlowLife& flow = life(flow_id);
+  ++flow.pkts_rx;
+  flow.bytes_rx += bytes;
+  if (reordered) ++flow.reordered;
+  if (!flow.any_rx) {
+    flow.hops_min = hops;
+    flow.hops_max = hops;
+  } else {
+    flow.hops_min = std::min(flow.hops_min, hops);
+    flow.hops_max = std::max(flow.hops_max, hops);
+    if (path_sig != flow.last_sig) ++flow.path_switches;
+  }
+  flow.any_rx = true;
+  flow.last_sig = path_sig;
+  bool known = false;
+  for (uint32_t i = 0; i < flow.distinct_paths; ++i) {
+    if (flow.path_sigs[i] == path_sig) {
+      known = true;
+      break;
+    }
+  }
+  if (!known && flow.distinct_paths < FlowLife::kMaxDistinctPaths) {
+    flow.path_sigs[flow.distinct_paths++] = path_sig;
+  }
+}
+
+void FlowTracker::on_path_sample(uint64_t flow_id, uint64_t seq, uint32_t dst_switch,
+                                 uint32_t bytes, double t, uint8_t total_hops,
+                                 const PathHop* hops, uint8_t nhops) {
+  PathSample sample;
+  sample.flow_id = flow_id;
+  sample.seq = seq;
+  sample.dst_switch = dst_switch;
+  sample.bytes = bytes;
+  sample.t = t;
+  sample.total_hops = total_hops;
+  sample.nhops = nhops < PathSample::kMaxHops ? nhops : PathSample::kMaxHops;
+  for (uint8_t i = 0; i < sample.nhops; ++i) sample.hops[i] = hops[i];
+  samples_.push_back(sample);
+}
+
+void FlowTracker::merge_from(const FlowTracker& other) {
+  for (const auto& [id, theirs] : other.flows_) {
+    FlowLife& flow = life(id);
+    // Sender half: ownership of start/end/size follows the `started` flag.
+    if (theirs.started) {
+      flow.src_host = theirs.src_host;
+      flow.dst_host = theirs.dst_host;
+      flow.bytes = theirs.bytes;
+      flow.start_t = theirs.start_t;
+      flow.started = true;
+    }
+    if (theirs.completed) {
+      flow.end_t = theirs.end_t;
+      flow.completed = true;
+    }
+    flow.fast_retx += theirs.fast_retx;
+    flow.rtos += theirs.rtos;
+    // Receiver half: at most one shard ever sees deliveries for a flow, so
+    // the path stats transfer wholesale rather than interleave.
+    flow.pkts_rx += theirs.pkts_rx;
+    flow.bytes_rx += theirs.bytes_rx;
+    flow.reordered += theirs.reordered;
+    if (theirs.any_rx) {
+      flow.path_switches += theirs.path_switches;
+      flow.last_sig = theirs.last_sig;
+      if (!flow.any_rx) {
+        flow.hops_min = theirs.hops_min;
+        flow.hops_max = theirs.hops_max;
+      } else {
+        flow.hops_min = std::min(flow.hops_min, theirs.hops_min);
+        flow.hops_max = std::max(flow.hops_max, theirs.hops_max);
+      }
+      flow.any_rx = true;
+      for (uint32_t i = 0; i < theirs.distinct_paths; ++i) {
+        bool known = false;
+        for (uint32_t j = 0; j < flow.distinct_paths; ++j) {
+          if (flow.path_sigs[j] == theirs.path_sigs[i]) {
+            known = true;
+            break;
+          }
+        }
+        if (!known && flow.distinct_paths < FlowLife::kMaxDistinctPaths) {
+          flow.path_sigs[flow.distinct_paths++] = theirs.path_sigs[i];
+        }
+      }
+    }
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+}
+
+std::vector<FlowLife> FlowTracker::sorted_flows() const {
+  std::vector<FlowLife> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) out.push_back(flow);
+  std::sort(out.begin(), out.end(), [](const FlowLife& a, const FlowLife& b) {
+    if (a.start_t != b.start_t) return a.start_t < b.start_t;
+    return a.flow_id < b.flow_id;
+  });
+  return out;
+}
+
+std::vector<PathSample> FlowTracker::sorted_path_samples() const {
+  std::vector<PathSample> out = samples_;
+  std::sort(out.begin(), out.end(), [](const PathSample& a, const PathSample& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.flow_id != b.flow_id) return a.flow_id < b.flow_id;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+size_t FlowTracker::flow_jsonl(const FlowLife& flow, char* buf, size_t cap) {
+  const int n = std::snprintf(
+      buf, cap,
+      "{\"flow\":%llu,\"src\":%u,\"dst\":%u,\"bytes\":%llu,\"start\":%.9g,\"end\":%.9g,"
+      "\"fct_us\":%.9g,\"done\":%u,\"pkts\":%llu,\"bytes_rx\":%llu,\"retx\":%u,\"rtos\":%u,"
+      "\"reordered\":%llu,\"path_switches\":%u,\"paths\":%u,\"hops_min\":%u,\"hops_max\":%u}",
+      static_cast<unsigned long long>(flow.flow_id), flow.src_host, flow.dst_host,
+      static_cast<unsigned long long>(flow.bytes), flow.start_t, flow.end_t, flow.fct_us(),
+      flow.completed ? 1u : 0u, static_cast<unsigned long long>(flow.pkts_rx),
+      static_cast<unsigned long long>(flow.bytes_rx), flow.fast_retx, flow.rtos,
+      static_cast<unsigned long long>(flow.reordered), flow.path_switches,
+      flow.distinct_paths, flow.hops_min, flow.hops_max);
+  return n > 0 && static_cast<size_t>(n) < cap ? static_cast<size_t>(n) : 0;
+}
+
+size_t FlowTracker::path_jsonl(const PathSample& sample, char* buf, size_t cap) {
+  int n = std::snprintf(buf, cap,
+                        "{\"t\":%.9g,\"flow\":%llu,\"seq\":%llu,\"dst_sw\":%u,\"bytes\":%u,"
+                        "\"total_hops\":%u,\"hops\":[",
+                        sample.t, static_cast<unsigned long long>(sample.flow_id),
+                        static_cast<unsigned long long>(sample.seq), sample.dst_switch,
+                        sample.bytes, sample.total_hops);
+  if (n <= 0) return 0;
+  size_t pos = static_cast<size_t>(n);
+  for (uint8_t i = 0; i < sample.nhops && pos < cap; ++i) {
+    const PathHop& hop = sample.hops[i];
+    n = std::snprintf(buf + pos, cap - pos, "%s{\"link\":%u,\"q\":%u,\"t\":%.9g}",
+                      i == 0 ? "" : ",", hop.link, hop.queue_bytes, hop.t);
+    if (n <= 0) return 0;
+    pos += static_cast<size_t>(n);
+  }
+  if (pos + 2 >= cap) return 0;
+  buf[pos++] = ']';
+  buf[pos++] = '}';
+  buf[pos] = '\0';
+  return pos;
+}
+
+void FlowTracker::write_flows_jsonl(std::ostream& out) const {
+  char buf[512];
+  for (const FlowLife& flow : sorted_flows()) {
+    const size_t n = flow_jsonl(flow, buf, sizeof buf);
+    if (n > 0) out.write(buf, static_cast<std::streamsize>(n)).put('\n');
+  }
+}
+
+void FlowTracker::write_paths_jsonl(std::ostream& out) const {
+  char buf[1536];
+  for (const PathSample& sample : sorted_path_samples()) {
+    const size_t n = path_jsonl(sample, buf, sizeof buf);
+    if (n > 0) out.write(buf, static_cast<std::streamsize>(n)).put('\n');
+  }
+}
+
+std::string FlowTracker::summary_json() const {
+  // Size buckets mirroring the paper's small/medium/large flow split.
+  static constexpr struct {
+    const char* name;
+    uint64_t lo;
+    uint64_t hi;
+  } kBuckets[] = {
+      {"all", 0, UINT64_MAX},
+      {"lt_10KB", 0, 10'000},
+      {"10KB_100KB", 10'000, 100'000},
+      {"100KB_1MB", 100'000, 1'000'000},
+      {"ge_1MB", 1'000'000, UINT64_MAX},
+  };
+
+  uint64_t started = 0;
+  uint64_t completed = 0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.started) ++started;
+    if (flow.completed) ++completed;
+  }
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"flows_started\":%llu,\"flows_completed\":%llu,\"path_samples\":%llu,"
+                "\"fct_us\":{",
+                static_cast<unsigned long long>(started),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(samples_.size()));
+  out += buf;
+  bool first = true;
+  for (const auto& bucket : kBuckets) {
+    std::vector<double> fcts;
+    for (const auto& [id, flow] : flows_) {
+      if (flow.completed && flow.bytes >= bucket.lo && flow.bytes < bucket.hi) {
+        fcts.push_back(flow.fct_us());
+      }
+    }
+    std::sort(fcts.begin(), fcts.end());
+    std::snprintf(buf, sizeof buf, "%s\"%s\":{\"n\":%zu,\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g}",
+                  first ? "" : ",", bucket.name, fcts.size(), metrics::quantile(fcts, 0.5),
+                  metrics::quantile(fcts, 0.95), metrics::quantile(fcts, 0.99));
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace contra::obs

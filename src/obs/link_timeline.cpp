@@ -1,0 +1,78 @@
+#include "obs/link_timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace contra::obs {
+
+LinkTimeline::LinkTimeline(uint32_t num_links, uint32_t capacity_per_link)
+    : rings_(num_links), capacity_(capacity_per_link == 0 ? 1 : capacity_per_link) {}
+
+void LinkTimeline::add(uint32_t link, double t, double util, uint64_t queue_bytes) {
+  Ring& ring = rings_[link];
+  if (ring.data.empty()) ring.data.resize(capacity_);
+  ring.data[ring.next] = Sample{t, util, queue_bytes};
+  ring.next = (ring.next + 1) % capacity_;
+  if (ring.count < capacity_) ++ring.count;
+}
+
+std::vector<LinkTimeline::Sample> LinkTimeline::samples(uint32_t link) const {
+  const Ring& ring = rings_[link];
+  std::vector<Sample> out;
+  if (ring.count == 0) return out;
+  out.reserve(ring.count);
+  // Ring arithmetic uses the ring's own size: merge_from may adopt rings
+  // built with a different per-link capacity.
+  const uint32_t cap = static_cast<uint32_t>(ring.data.size());
+  const uint32_t start = (ring.next + cap - ring.count) % cap;
+  for (uint32_t i = 0; i < ring.count; ++i) out.push_back(ring.data[(start + i) % cap]);
+  return out;
+}
+
+double LinkTimeline::util_at(uint32_t link, double t) const {
+  const Ring& ring = rings_[link];
+  if (ring.count == 0) return 0.0;
+  const uint32_t cap = static_cast<uint32_t>(ring.data.size());
+  const uint32_t start = (ring.next + cap - ring.count) % cap;
+  // Scan newest-first: samples are appended in time order.
+  for (uint32_t i = ring.count; i-- > 0;) {
+    const Sample& s = ring.data[(start + i) % cap];
+    if (s.t <= t) return s.util;
+  }
+  return 0.0;
+}
+
+void LinkTimeline::merge_from(const LinkTimeline& other) {
+  if (rings_.size() < other.rings_.size()) rings_.resize(other.rings_.size());
+  if (capacity_ == 0) capacity_ = other.capacity_;
+  for (size_t l = 0; l < other.rings_.size(); ++l) {
+    if (other.rings_[l].count > 0) rings_[l] = other.rings_[l];
+  }
+}
+
+void LinkTimeline::write_jsonl(std::ostream& out) const {
+  struct Row {
+    double t;
+    uint32_t link;
+    double util;
+    uint64_t queue_bytes;
+  };
+  std::vector<Row> rows;
+  for (uint32_t l = 0; l < num_links(); ++l) {
+    for (const Sample& s : samples(l)) rows.push_back(Row{s.t, l, s.util, s.queue_bytes});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.link < b.link;
+  });
+  char buf[192];
+  for (const Row& row : rows) {
+    const int n =
+        std::snprintf(buf, sizeof buf, "{\"t\":%.9g,\"link\":%u,\"util\":%.9g,\"q\":%llu}\n",
+                      row.t, row.link, row.util, static_cast<unsigned long long>(row.queue_bytes));
+    if (n > 0) out.write(buf, n);
+  }
+}
+
+}  // namespace contra::obs

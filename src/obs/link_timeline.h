@@ -1,0 +1,61 @@
+// Per-link telemetry timelines: bounded ring buffers of (t, utilization EWMA,
+// queue depth) samples, fed by a periodic sampler (tools/contrasim.cpp) or by
+// tests directly. Opt-in like the trace sinks — nothing here runs unless a
+// timeline is attached and the sampler scheduled.
+//
+// The ring bound makes the memory cost O(links × capacity) regardless of run
+// length; when a ring wraps, the oldest samples fall off (the JSONL dump
+// therefore covers a trailing window on very long runs — noted in
+// OBSERVABILITY.md). Under the parallel engine each shard samples only the
+// links it owns, so shard timelines are disjoint and `merge_from` is a union.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace contra::obs {
+
+class LinkTimeline {
+ public:
+  struct Sample {
+    double t = 0.0;
+    double util = 0.0;
+    uint64_t queue_bytes = 0;
+  };
+
+  LinkTimeline() = default;
+  explicit LinkTimeline(uint32_t num_links, uint32_t capacity_per_link = 1024);
+
+  uint32_t num_links() const { return static_cast<uint32_t>(rings_.size()); }
+
+  void add(uint32_t link, double t, double util, uint64_t queue_bytes);
+
+  /// Latest recorded utilization at or before `t`; 0 when no such sample.
+  double util_at(uint32_t link, double t) const;
+  /// Total samples currently held for `link`.
+  uint32_t count(uint32_t link) const { return rings_[link].count; }
+  /// Samples for `link` in time order (oldest surviving first).
+  std::vector<Sample> samples(uint32_t link) const;
+
+  /// Union with another timeline covering a disjoint link set (parallel
+  /// shards); links sampled by both keep whichever ring has samples, `other`
+  /// winning ties — shard ownership guarantees there are none.
+  void merge_from(const LinkTimeline& other);
+
+  /// One `{"t":…,"link":…,"util":…,"q":…}` line per sample, sorted by
+  /// (t, link) — byte-deterministic across worker counts.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  struct Ring {
+    std::vector<Sample> data;
+    uint32_t next = 0;   ///< insertion slot
+    uint32_t count = 0;  ///< valid samples, <= data.size()
+  };
+
+  std::vector<Ring> rings_;
+  uint32_t capacity_ = 0;
+};
+
+}  // namespace contra::obs

@@ -1,0 +1,42 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace contra::obs {
+
+EngineProfiler::EngineProfiler(uint32_t num_tracks)
+    : tracks_(num_tracks == 0 ? 1 : num_tracks) {
+  // Keep the hot-path push_backs amortized from the start; profiling runs
+  // are short, so a few thousand spans per track is plenty of headroom.
+  for (auto& track : tracks_) track.reserve(4096);
+}
+
+void EngineProfiler::add_span(uint32_t track, const char* name, double ts_us, double dur_us) {
+  tracks_[track].push_back(Span{name, ts_us, dur_us});
+}
+
+size_t EngineProfiler::num_spans() const {
+  size_t n = 0;
+  for (const auto& track : tracks_) n += track.size();
+  return n;
+}
+
+void EngineProfiler::write_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  char buf[192];
+  bool first = true;
+  for (uint32_t tid = 0; tid < num_tracks(); ++tid) {
+    for (const Span& span : tracks_[tid]) {
+      const int n = std::snprintf(
+          buf, sizeof buf,
+          "%s{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+          first ? "" : ",", span.name, span.ts_us, span.dur_us, tid);
+      if (n > 0) out.write(buf, n);
+      first = false;
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace contra::obs

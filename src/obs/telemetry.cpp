@@ -29,6 +29,7 @@ CoreMetrics::CoreMetrics(MetricsRegistry& r)
       data_dropped_ttl(r.counter("data_dropped_ttl")),
       tcp_rto_fired(r.counter("tcp_rto_fired")),
       tcp_fast_retx(r.counter("tcp_fast_retx")),
+      flows_started(r.counter("flows_started")),
       flows_completed(r.counter("flows_completed")),
       conga_feedback_sent(r.counter("conga_feedback_sent")),
       conga_feedback_received(r.counter("conga_feedback_received")),
@@ -42,6 +43,8 @@ CoreMetrics::CoreMetrics(MetricsRegistry& r)
       drop_queue_bytes(r.histogram("drop_queue_bytes",
                                    {15e3, 150e3, 375e3, 750e3, 1125e3, 1.5e6})),
       probe_path_len(r.histogram("probe_path_len", {1, 2, 3, 4, 6, 8, 12, 16})),
-      par_batch_size(r.histogram("par_batch_size", {1, 4, 16, 64, 256, 1024})) {}
+      par_batch_size(r.histogram("par_batch_size", {1, 4, 16, 64, 256, 1024})),
+      // FCT in µs; bounds span intra-rack mice through multi-RTT elephants.
+      fct_us(r.histogram("fct_us", {10, 50, 100, 500, 1e3, 5e3, 1e4, 5e4, 1e5})) {}
 
 }  // namespace contra::obs

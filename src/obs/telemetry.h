@@ -35,7 +35,7 @@ struct CoreMetrics {
   // Data forwarding outcomes.
   CounterId data_forwarded, data_dropped_no_route, data_dropped_ttl;
   // Transport.
-  CounterId tcp_rto_fired, tcp_fast_retx, flows_completed;
+  CounterId tcp_rto_fired, tcp_fast_retx, flows_started, flows_completed;
   // CONGA in-band feedback.
   CounterId conga_feedback_sent, conga_feedback_received;
   // Parallel engine (per-shard registries; merged view sums them).
@@ -48,6 +48,7 @@ struct CoreMetrics {
   HistogramId drop_queue_bytes;   ///< queue depth (bytes) at each drop
   HistogramId probe_path_len;     ///< mv.len of accepted probes
   HistogramId par_batch_size;     ///< hops per non-empty mailbox drain batch
+  HistogramId fct_us;             ///< flow completion time (µs) of completed TCP flows
 
   explicit CoreMetrics(MetricsRegistry& registry);
 };

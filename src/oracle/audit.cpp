@@ -1,0 +1,131 @@
+#include "oracle/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace contra::oracle {
+
+using topology::LinkId;
+using topology::NodeId;
+
+std::string AuditResult::to_string() const {
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "optimal bytes %.1f%% (%llu/%llu), samples %llu/%llu, %u time buckets",
+                fraction() * 100.0, static_cast<unsigned long long>(optimal_bytes),
+                static_cast<unsigned long long>(total_bytes),
+                static_cast<unsigned long long>(optimal_samples),
+                static_cast<unsigned long long>(total_samples), buckets);
+  return buf;
+}
+
+std::string AuditResult::to_json() const {
+  char buf[288];
+  std::snprintf(buf, sizeof buf,
+                "{\"optimal_fraction\":%.9g,\"optimal_bytes\":%llu,\"total_bytes\":%llu,"
+                "\"optimal_samples\":%llu,\"total_samples\":%llu,\"unreached_hops\":%llu,"
+                "\"buckets\":%u}",
+                fraction(), static_cast<unsigned long long>(optimal_bytes),
+                static_cast<unsigned long long>(total_bytes),
+                static_cast<unsigned long long>(optimal_samples),
+                static_cast<unsigned long long>(total_samples),
+                static_cast<unsigned long long>(unreached_hops), buckets);
+  return buf;
+}
+
+std::vector<LinkId> optimal_next_hops(const RouteOracle& oracle, NodeId sw, NodeId dst) {
+  std::vector<LinkId> out;
+  if (sw == dst) return out;
+  const pg::ProductGraph& graph = oracle.graph();
+  const pg::PolicyEvaluator& evaluator = oracle.evaluator();
+
+  // Pass 1: the best selection rank over all (pid, virtual node) candidates —
+  // exactly RouteOracle::best — then pass 2 unions the next hops of every
+  // rank-tied candidate, because BestT may spread flowlets across any of
+  // them without being suboptimal.
+  std::optional<lang::Rank> best;
+  for (uint32_t pid = 0; pid < oracle.num_pids(); ++pid) {
+    for (uint32_t node : graph.nodes_at(sw)) {
+      const OracleEntry* e = oracle.entry(sw, graph.node_tag(node), dst, pid);
+      if (e == nullptr) continue;
+      lang::Rank s = evaluator.selection_rank(graph.node_tag(node), e->mv);
+      if (s.is_infinite()) continue;
+      if (!best || s < *best) best = std::move(s);
+    }
+  }
+  if (!best) return out;
+
+  for (uint32_t pid = 0; pid < oracle.num_pids(); ++pid) {
+    for (uint32_t node : graph.nodes_at(sw)) {
+      const OracleEntry* e = oracle.entry(sw, graph.node_tag(node), dst, pid);
+      if (e == nullptr) continue;
+      lang::Rank s = evaluator.selection_rank(graph.node_tag(node), e->mv);
+      if (s.is_infinite() || *best < s) continue;
+      for (LinkId nhop : e->nhops) {
+        if (std::find(out.begin(), out.end(), nhop) == out.end()) out.push_back(nhop);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+AuditResult audit_paths(const pg::ProductGraph& graph, const pg::PolicyEvaluator& evaluator,
+                        const std::vector<AuditSample>& samples,
+                        const std::function<LinkState(double)>& state_at, double bucket_s) {
+  AuditResult result;
+  if (samples.empty()) return result;
+
+  // Group sample indices by time bucket so each bucket builds one oracle.
+  std::map<int64_t, std::vector<size_t>> by_bucket;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const int64_t bucket =
+        bucket_s > 0 ? static_cast<int64_t>(std::floor(samples[i].t / bucket_s)) : 0;
+    by_bucket[bucket].push_back(i);
+  }
+
+  const topology::Topology& topo = graph.topo();
+  for (const auto& [bucket, idxs] : by_bucket) {
+    const double mid = bucket_s > 0 ? (bucket + 0.5) * bucket_s : samples[idxs[0]].t;
+    RouteOracle oracle(graph, evaluator, state_at ? state_at(mid) : LinkState{});
+    ++result.buckets;
+
+    // The optimal sets repeat heavily within a bucket; memoize per (sw, dst).
+    std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> optimal_cache;
+    for (size_t i : idxs) {
+      const AuditSample& sample = samples[i];
+      ++result.total_samples;
+      result.total_bytes += sample.bytes;
+      bool optimal = true;
+      for (LinkId hop : sample.hop_links) {
+        const NodeId sw = topo.link(hop).from;
+        if (sw == sample.dst_switch) break;  // delivered; trailing hops can't exist
+        auto key = std::make_pair(sw, sample.dst_switch);
+        auto it = optimal_cache.find(key);
+        if (it == optimal_cache.end()) {
+          it = optimal_cache.emplace(key, optimal_next_hops(oracle, sw, sample.dst_switch))
+                   .first;
+        }
+        const std::vector<LinkId>& allowed = it->second;
+        if (allowed.empty()) {
+          ++result.unreached_hops;
+          optimal = false;
+          break;
+        }
+        if (!std::binary_search(allowed.begin(), allowed.end(), hop)) {
+          optimal = false;
+          break;
+        }
+      }
+      if (optimal) {
+        ++result.optimal_samples;
+        result.optimal_bytes += sample.bytes;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace contra::oracle

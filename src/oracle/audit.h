@@ -1,0 +1,64 @@
+// Path-optimality auditing: scores sampled dataplane paths (obs::FlowTracker
+// INT records) against the routing oracle's rank-optimal next-hop sets — the
+// paper's optimality claim reduced to a single gated fraction of delivered
+// bytes.
+//
+// The oracle evaluates a static link view, but the dataplane routes over a
+// moving one; the auditor bridges the gap by bucketing samples in time and
+// building one oracle per bucket from a caller-supplied LinkState snapshot
+// (reconstructed from obs::LinkTimeline utilization, quantized exactly like
+// the probes quantize adverts, plus the failure schedule). A hop is optimal
+// when it belongs to the union of next hops over every selection-rank-tied
+// best candidate at that switch — the same multipath set BestT spreads
+// flowlets across — so an ECMP-style spray over rank-equal paths still
+// scores 1.0 and only genuinely rank-suboptimal detours lose bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "oracle/oracle.h"
+
+namespace contra::oracle {
+
+/// One delivered-packet path to score (built from an obs::PathSample).
+struct AuditSample {
+  topology::NodeId dst_switch = 0;
+  uint64_t bytes = 0;
+  double t = 0.0;
+  std::vector<topology::LinkId> hop_links;  ///< traffic-direction fabric links, in order
+};
+
+struct AuditResult {
+  uint64_t total_samples = 0;
+  uint64_t optimal_samples = 0;
+  uint64_t total_bytes = 0;
+  uint64_t optimal_bytes = 0;
+  uint64_t unreached_hops = 0;  ///< hops where the oracle had no candidate at all
+  uint32_t buckets = 0;         ///< time buckets (= oracles built)
+
+  double fraction() const {
+    return total_bytes ? static_cast<double>(optimal_bytes) / total_bytes : 1.0;
+  }
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+/// Rank-optimal traffic-direction next hops out of `sw` toward `dst`: the
+/// union of `nhops` over every (pid, PG node at sw) candidate whose
+/// selection rank ties the best. Empty when nothing reaches. Exposed for the
+/// hand-checked correctness test.
+std::vector<topology::LinkId> optimal_next_hops(const RouteOracle& oracle,
+                                                topology::NodeId sw, topology::NodeId dst);
+
+/// Scores every sample: optimal iff each hop leaves its switch on an optimal
+/// next hop for the sample's destination under the oracle built for the
+/// sample's time bucket. `state_at(t)` supplies the link view at bucket
+/// midpoints; `bucket_s` <= 0 collapses everything into one bucket.
+AuditResult audit_paths(const pg::ProductGraph& graph, const pg::PolicyEvaluator& evaluator,
+                        const std::vector<AuditSample>& samples,
+                        const std::function<LinkState(double)>& state_at, double bucket_s);
+
+}  // namespace contra::oracle

@@ -54,6 +54,19 @@ struct ProbeFields {
   pg::MetricsVector mv;
 };
 
+/// One INT-style hop record accumulated on sampled data packets (flow
+/// telemetry, DESIGN.md §11): the directed link crossed, the queue depth the
+/// packet found there, and the enqueue time.
+struct IntHop {
+  uint32_t link = 0;
+  uint32_t queue_bytes = 0;
+  double t = 0.0;
+};
+
+/// Cap on recorded INT hops per packet (== obs::PathSample::kMaxHops; the
+/// hop count keeps counting past it, so truncated samples are detectable).
+inline constexpr size_t kIntHopCap = 16;
+
 // Probe payloads must stay heap-free: probe fan-out copies packets once per
 // PG out-edge, and the metrics vector rides along as a fixed-width register
 // block exactly as it would on a switch ASIC.
@@ -61,6 +74,8 @@ static_assert(std::is_trivially_copyable_v<ProbeFields>,
               "probe fields must copy without touching the heap");
 static_assert(std::is_trivially_copyable_v<CongaFields>,
               "conga fields must copy without touching the heap");
+static_assert(std::is_trivially_copyable_v<IntHop>,
+              "INT hop records must copy without touching the heap");
 
 struct Packet {
   PacketKind kind = PacketKind::kData;
@@ -87,6 +102,15 @@ struct Packet {
   /// them). A simulation affordance for compliance checking — it has no
   /// wire-format counterpart and no effect on behaviour.
   std::vector<uint16_t> trace;
+
+  // Flow telemetry (stamped by Simulator::send_on_link only when
+  // Simulator::set_flow_telemetry(true); all defaults otherwise, so the
+  // fields copy for free on the probe-flood hot path).
+  uint64_t path_sig = 0;    ///< order-sensitive hash of fabric links crossed
+  uint8_t hops = 0;         ///< fabric hops crossed
+  bool int_sampled = false; ///< this packet accumulates int_hops (1-in-N)
+  /// Per-hop INT records; empty (no heap) unless int_sampled.
+  std::vector<IntHop> int_hops;
 
   bool is_probe() const { return kind == PacketKind::kProbe; }
 

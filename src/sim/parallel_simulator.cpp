@@ -4,7 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <ostream>
 
+#include "obs/flow_tracker.h"
+#include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "topology/generators.h"
 #include "util/strings.h"
@@ -104,7 +107,11 @@ void ParallelSimulator::wait_done() {
 
 void ParallelSimulator::run_phase_shard(uint32_t s) {
   Shard& shard = *shards_[s];
+  using Clock = std::chrono::steady_clock;
+  const bool prof = profiler_ != nullptr;
+  const Clock::time_point t0 = prof ? Clock::now() : Clock::time_point{};
   const uint64_t drained = drain_mailboxes_into(shard, shards_);
+  const Clock::time_point t1 = prof ? Clock::now() : Clock::time_point{};
   if (tracing_ && drained > 0) {
     obs::TraceRecord r;
     r.t = shard.target;
@@ -131,6 +138,13 @@ void ParallelSimulator::run_phase_shard(uint32_t s) {
     shard.sim.telemetry().emit(r);
   }
   shard.events_at_epoch_start = processed;
+  if (prof) {
+    // Track s is written only while shard s is dispatched, and phases are
+    // fork-join separated — single writer per track at any instant.
+    const Clock::time_point t2 = Clock::now();
+    if (drained > 0) profiler_->add_span(s, "mailbox_drain", profile_us(t0), profile_us(t1) - profile_us(t0));
+    profiler_->add_span(s, "phase_run", profile_us(t1), profile_us(t2) - profile_us(t1));
+  }
 }
 
 bool ParallelSimulator::plan_phase(Time end) {
@@ -263,16 +277,49 @@ void ParallelSimulator::execute_phase() {
 
 void ParallelSimulator::run_until(Time end) {
   if (partition_.num_shards == 1) {
-    // Exactly the serial engine: same queue, same insertion order.
+    // Exactly the serial engine: same queue, same insertion order — except
+    // that snapshot ticks split the window (processing no extra events, so
+    // the event schedule is untouched).
     Shard& shard = *shards_[0];
+    while (snapshot_out_ != nullptr && snapshot_interval_s_ > 0 &&
+           snapshot_tick_ * snapshot_interval_s_ <= end) {
+      const Time t = snapshot_tick_ * snapshot_interval_s_;
+      shard.target = t;
+      shard.inclusive = true;
+      run_phase_shard(0);
+      *snapshot_out_ << merged_metrics_json(t) << '\n';
+      ++snapshot_tick_;
+    }
     shard.target = end;
     shard.inclusive = true;
     run_phase_shard(0);
     now_ = std::max(now_, end);
     return;
   }
-  while (plan_phase(end)) {
-    if (!dispatch_.empty()) execute_phase();
+  using Clock = std::chrono::steady_clock;
+  while (true) {
+    const Clock::time_point p0 = profiler_ ? Clock::now() : Clock::time_point{};
+    const bool more = plan_phase(end);
+    if (profiler_) {
+      const Clock::time_point p1 = Clock::now();
+      profiler_->add_span(profiler_->scheduler_track(), "plan", profile_us(p0),
+                          profile_us(p1) - profile_us(p0));
+    }
+    if (!more) break;
+    if (!dispatch_.empty()) {
+      const Clock::time_point e0 = profiler_ ? Clock::now() : Clock::time_point{};
+      execute_phase();
+      if (profiler_) {
+        const Clock::time_point e1 = Clock::now();
+        profiler_->add_span(profiler_->scheduler_track(), "barrier", profile_us(e0),
+                            profile_us(e1) - profile_us(e0));
+      }
+    }
+    if (snapshot_out_ != nullptr) {
+      Time committed_min = std::numeric_limits<Time>::infinity();
+      for (const auto& shard : shards_) committed_min = std::min(committed_min, shard->committed);
+      emit_snapshots_through(std::min(committed_min, end));
+    }
   }
   // Quiescent tail: nothing at or before `end` remains anywhere, but shards
   // that idle-skipped (or stopped at an early strict boundary) still have
@@ -282,7 +329,29 @@ void ParallelSimulator::run_until(Time end) {
     if (shard->sim.now() < end) shard->sim.run_until(end);
     shard->committed = std::max(shard->committed, end);
   }
+  emit_snapshots_through(end);
   now_ = std::max(now_, end);
+}
+
+void ParallelSimulator::set_profiler(obs::EngineProfiler* profiler) {
+  profiler_ = profiler;
+  profile_epoch_ = std::chrono::steady_clock::now();
+}
+
+void ParallelSimulator::set_metrics_snapshots(double interval_s, std::ostream* out) {
+  snapshot_interval_s_ = interval_s;
+  snapshot_out_ = interval_s > 0 ? out : nullptr;
+  snapshot_tick_ = 1;
+}
+
+void ParallelSimulator::emit_snapshots_through(Time t) {
+  if (snapshot_out_ == nullptr || snapshot_interval_s_ <= 0) return;
+  // Tick times are multiples of the interval (never accumulated sums), so a
+  // run emits the identical tick sequence regardless of phase granularity.
+  while (snapshot_tick_ * snapshot_interval_s_ <= t) {
+    *snapshot_out_ << merged_metrics_json(snapshot_tick_ * snapshot_interval_s_) << '\n';
+    ++snapshot_tick_;
+  }
 }
 
 HostId ParallelSimulator::add_host(topology::NodeId attach) {
@@ -408,6 +477,29 @@ ParallelTransport::ParallelTransport(ParallelSimulator& psim, TransportConfig co
     transport->set_next_flow_id((static_cast<uint64_t>(s) << 48) + 1);
     transports_.push_back(std::move(transport));
   }
+}
+
+ParallelTransport::~ParallelTransport() {
+  // Detach trackers before they die (the transports outlive this scope only
+  // in teardown order edge cases; cheap insurance either way).
+  for (uint32_t s = 0; s < transports_.size(); ++s) transports_[s]->set_flow_tracker(nullptr);
+}
+
+void ParallelTransport::enable_flow_tracking(uint32_t path_sample_every) {
+  if (!trackers_.empty()) return;
+  trackers_.reserve(transports_.size());
+  for (uint32_t s = 0; s < transports_.size(); ++s) {
+    trackers_.push_back(std::make_unique<obs::FlowTracker>());
+    transports_[s]->set_flow_tracker(trackers_.back().get());
+    transports_[s]->set_path_sample_every(path_sample_every);
+    psim_->shard_sim(s).set_flow_telemetry(true);
+  }
+}
+
+obs::FlowTracker ParallelTransport::merged_flow_tracker() const {
+  obs::FlowTracker merged;
+  for (const auto& tracker : trackers_) merged.merge_from(*tracker);
+  return merged;
 }
 
 TransportManager& ParallelTransport::for_host(HostId src) {

@@ -40,7 +40,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <thread>
@@ -49,6 +51,11 @@
 #include "sim/shard.h"
 #include "sim/transport.h"
 #include "topology/partitioner.h"
+
+namespace contra::obs {
+class EngineProfiler;
+class FlowTracker;
+}
 
 namespace contra::sim {
 
@@ -107,6 +114,21 @@ class ParallelSimulator {
   /// (merged_trace() reads them back). Call before start().
   void enable_tracing();
 
+  /// Attaches a wall-clock engine profiler (obs::EngineProfiler built with
+  /// num_shards()+1 tracks: one per shard plus the scheduler track). Spans:
+  /// per-shard `mailbox_drain` / `phase_run`, scheduler-track `plan` /
+  /// `barrier`. Opt-in; one null-check per phase when absent. Call before
+  /// run_until; timestamps are relative to the call.
+  void set_profiler(obs::EngineProfiler* profiler);
+
+  /// Periodic metrics snapshots under the phase scheduler: one merged
+  /// snapshot line is written per `interval_s` tick of simulation time, at
+  /// the first phase boundary where every shard has committed past the tick
+  /// (the engine's natural stop-the-world points — see OBSERVABILITY.md).
+  /// The emission schedule depends only on the deterministic phase plan, so
+  /// output is workers-invariant. nullptr disables.
+  void set_metrics_snapshots(double interval_s, std::ostream* out);
+
   // ----- failure injection -------------------------------------------------
 
   /// Immediate fail/restore on every shard's replica; telemetry and logging
@@ -164,6 +186,19 @@ class ParallelSimulator {
   uint64_t solo_phases_ = 0;
   bool tracing_ = false;
 
+  // Engine profiling (opt-in; see set_profiler).
+  obs::EngineProfiler* profiler_ = nullptr;
+  std::chrono::steady_clock::time_point profile_epoch_{};
+  double profile_us(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - profile_epoch_).count();
+  }
+
+  // Periodic merged snapshots (opt-in; see set_metrics_snapshots).
+  std::ostream* snapshot_out_ = nullptr;
+  double snapshot_interval_s_ = 0.0;
+  uint64_t snapshot_tick_ = 1;  ///< next unemitted tick index (t = tick * interval)
+  void emit_snapshots_through(Time t);
+
   // Phase-scheduler scratch (sized once; the steady state allocates nothing).
   std::vector<double> base_;   ///< earliest pending work per shard
   std::vector<double> avail_;  ///< min-plus closure of base_ over the horizon matrix
@@ -191,6 +226,7 @@ class ParallelSimulator {
 class ParallelTransport {
  public:
   explicit ParallelTransport(ParallelSimulator& psim, TransportConfig config = {});
+  ~ParallelTransport();  // out of line: trackers_ holds an incomplete type here
 
   uint64_t start_flow(HostId src, HostId dst, uint64_t bytes, Time start_time);
   uint64_t start_udp_flow(HostId src, HostId dst, double rate_bps, Time start_time,
@@ -206,12 +242,24 @@ class ParallelTransport {
   TransportManager& shard_transport(uint32_t shard) { return *transports_[shard]; }
   const TransportConfig& config() const { return config_; }
 
+  /// Attaches one obs::FlowTracker per shard (and turns on path-signature
+  /// stamping in every shard simulator). A flow's sender half lands on its
+  /// source shard's tracker and the receiver half on the destination
+  /// shard's; merged_flow_tracker() folds them by flow id.
+  /// `path_sample_every` > 0 additionally samples 1-in-N data packets with
+  /// INT hop records (deterministic in (flow_id, seq)).
+  void enable_flow_tracking(uint32_t path_sample_every = 0);
+  bool flow_tracking() const { return !trackers_.empty(); }
+  obs::FlowTracker& shard_flow_tracker(uint32_t shard) { return *trackers_[shard]; }
+  obs::FlowTracker merged_flow_tracker() const;
+
  private:
   TransportManager& for_host(HostId src);
 
   ParallelSimulator* psim_;
   TransportConfig config_;
   std::vector<std::unique_ptr<TransportManager>> transports_;
+  std::vector<std::unique_ptr<obs::FlowTracker>> trackers_;
 };
 
 // Host-placement helpers mirroring sim/host.h for the parallel engine.

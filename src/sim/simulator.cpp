@@ -68,6 +68,17 @@ void Simulator::start() {
 }
 
 bool Simulator::send_on_link(topology::LinkId link, Packet&& packet) {
+  if (flow_telemetry_ && packet.kind == PacketKind::kData) {
+    // Order-sensitive path signature over fabric links: link+1 so link 0
+    // contributes. Host links never pass through here, so the signature
+    // identifies the fabric path alone.
+    packet.path_sig = util::hash_combine(packet.path_sig, link + 1);
+    if (packet.hops < UINT8_MAX) ++packet.hops;
+    if (packet.int_sampled && packet.int_hops.size() < kIntHopCap) {
+      Link& l = *links_[link];
+      packet.int_hops.push_back(IntHop{link, static_cast<uint32_t>(l.queue_bytes()), now()});
+    }
+  }
   return links_.at(link)->enqueue(std::move(packet));
 }
 

@@ -91,6 +91,14 @@ class Simulator {
 
   // ----- dataplane services -----------------------------------------------
 
+  /// Enables flow telemetry: data packets accumulate a path signature / hop
+  /// count on every fabric hop, and packets flagged `int_sampled` record
+  /// per-hop INT state (DESIGN.md §11). Off by default — the hot path then
+  /// pays exactly one predictable branch per hop (bench-gated by
+  /// `probe_flood_flowtrack_off`).
+  void set_flow_telemetry(bool enabled) { flow_telemetry_ = enabled; }
+  bool flow_telemetry() const { return flow_telemetry_; }
+
   /// Switch egress on a topology link. Returns false when dropped.
   bool send_on_link(topology::LinkId link, Packet&& packet);
   /// Edge switch -> attached host.
@@ -147,6 +155,7 @@ class Simulator {
   std::function<void(HostId, Packet&&)> host_receiver_;
   std::function<bool(topology::NodeId)> install_filter_;
   uint64_t next_packet_id_ = 1;
+  bool flow_telemetry_ = false;
 };
 
 }  // namespace contra::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flow_tracker.h"
 #include "util/logging.h"
 
 namespace contra::sim {
@@ -31,6 +32,11 @@ uint64_t TransportManager::start_flow(HostId src, HostId dst, uint64_t bytes, Ti
   sender.dst_port = static_cast<uint16_t>(5000 + flow_id % 1000);
   senders_.emplace(flow_id, std::move(sender));
 
+  sim_.telemetry().metrics().add(sim_.telemetry().core().flows_started);
+  if (flow_tracker_) {
+    flow_tracker_->on_start(flow_id, src, dst, std::max<uint64_t>(bytes, 1), start_time);
+  }
+
   sim_.events().schedule_at(start_time, [this, flow_id] {
     auto it = senders_.find(flow_id);
     if (it != senders_.end()) tcp_start(it->second);
@@ -50,6 +56,8 @@ uint64_t TransportManager::start_udp_flow(HostId src, HostId dst, double rate_bp
   flow.stop_time = stop_time;
   flow.packet_bytes = packet_bytes;
   udp_flows_.emplace(flow_id, flow);
+  sim_.telemetry().metrics().add(sim_.telemetry().core().flows_started);
+  if (flow_tracker_) flow_tracker_->on_start(flow_id, src, dst, /*bytes=*/0, start_time);
   sim_.events().schedule_at(start_time, [this, flow_id] { udp_send_next(flow_id); });
   return flow_id;
 }
@@ -108,6 +116,9 @@ void TransportManager::tcp_send_packet(TcpSender& sender, uint64_t seq) {
                               payload + config_.header_bytes, /*protocol=*/6);
   packet.tuple.src_port = sender.src_port;
   packet.tuple.dst_port = sender.dst_port;
+  if (path_sample_every_ != 0) {
+    packet.int_sampled = obs::FlowTracker::sampled(sender.flow_id, seq, path_sample_every_);
+  }
   sender.send_time[seq] = sim_.now();
   sim_.host_send(sender.src, std::move(packet));
 }
@@ -127,6 +138,7 @@ void TransportManager::tcp_on_rto(uint64_t flow_id, uint64_t generation) {
   if (sender.acked >= sender.total_pkts) return;
 
   sim_.telemetry().metrics().add(sim_.telemetry().core().tcp_rto_fired);
+  if (flow_tracker_) flow_tracker_->on_rto(flow_id);
   // Timeout: multiplicative backoff, window collapse, go-back to the hole.
   sender.ssthresh = std::max(sender.cwnd / 2.0, 2.0);
   sender.cwnd = 1.0;
@@ -139,6 +151,9 @@ void TransportManager::tcp_on_rto(uint64_t flow_id, uint64_t generation) {
 
 void TransportManager::tcp_complete(TcpSender& sender) {
   sim_.telemetry().metrics().add(sim_.telemetry().core().flows_completed);
+  sim_.telemetry().metrics().observe(sim_.telemetry().core().fct_us,
+                                     (sim_.now() - sender.start_time) * 1e6);
+  if (flow_tracker_) flow_tracker_->on_complete(sender.flow_id, sim_.now());
   sender.done = true;
   ++sender.rto_generation;  // cancels any outstanding timer
   completed_.push_back(FlowRecord{sender.flow_id, sender.src, sender.dst, sender.bytes,
@@ -168,17 +183,21 @@ void TransportManager::on_data(Packet&& packet) {
   if (packet.tuple.protocol == 17) {  // UDP: count and notify
     udp_bytes_received_ += packet.size_bytes;
     if (udp_hook_) udp_hook_(sim_.now(), packet.size_bytes);
+    if (flow_tracker_) record_delivery(packet, /*reordered=*/false);
     return;
   }
   TcpReceiver& receiver = receivers_[packet.flow_id];
   // Reordering accounting (the "Ordered" objective): an arrival below the
   // highest sequence already seen was overtaken in the network.
+  bool reordered = false;
   if (receiver.any_seen && packet.seq < receiver.max_seq_seen) {
     ++receiver.reordered;
+    reordered = true;
   } else {
     receiver.max_seq_seen = packet.seq;
     receiver.any_seen = true;
   }
+  if (flow_tracker_) record_delivery(packet, reordered);
   const bool marked = packet.ecn_marked;
   if (packet.seq == receiver.expected) {
     ++receiver.expected;
@@ -270,6 +289,7 @@ void TransportManager::on_ack(Packet&& packet) {
     ++sender.dupacks;
     if (sender.dupacks == 3) {
       sim_.telemetry().metrics().add(sim_.telemetry().core().tcp_fast_retx);
+      if (flow_tracker_) flow_tracker_->on_fast_retx(sender.flow_id);
       // Fast retransmit + window halving.
       sender.ssthresh = std::max(sender.cwnd / 2.0, 2.0);
       sender.cwnd = sender.ssthresh;
@@ -277,6 +297,21 @@ void TransportManager::on_ack(Packet&& packet) {
       tcp_send_packet(sender, sender.acked);
       tcp_arm_rto(sender);
     }
+  }
+}
+
+void TransportManager::record_delivery(const Packet& packet, bool reordered) {
+  flow_tracker_->on_data(packet.flow_id, packet.size_bytes, packet.path_sig, packet.hops,
+                         reordered);
+  if (packet.int_sampled) {
+    obs::PathHop hops[kIntHopCap];
+    const uint8_t n = static_cast<uint8_t>(packet.int_hops.size());
+    for (uint8_t i = 0; i < n; ++i) {
+      hops[i] = obs::PathHop{packet.int_hops[i].link, packet.int_hops[i].queue_bytes,
+                             packet.int_hops[i].t};
+    }
+    flow_tracker_->on_path_sample(packet.flow_id, packet.seq, packet.dst_switch,
+                                  packet.size_bytes, sim_.now(), packet.hops, hops, n);
   }
 }
 
@@ -299,6 +334,9 @@ void TransportManager::udp_send_next(uint64_t flow_id) {
                               flow.next_seq++, flow.packet_bytes, /*protocol=*/17);
   packet.tuple.src_port = static_cast<uint16_t>(7000 + flow_id % 1000);
   packet.tuple.dst_port = 7;
+  if (path_sample_every_ != 0) {
+    packet.int_sampled = obs::FlowTracker::sampled(flow.flow_id, packet.seq, path_sample_every_);
+  }
   sim_.host_send(flow.src, std::move(packet));
   const double gap = flow.packet_bytes * 8.0 / flow.rate_bps;
   sim_.events().schedule_in(gap, [this, flow_id] { udp_send_next(flow_id); });

@@ -13,6 +13,10 @@
 
 #include "sim/simulator.h"
 
+namespace contra::obs {
+class FlowTracker;
+}
+
 namespace contra::sim {
 
 struct TransportConfig {
@@ -80,6 +84,18 @@ class TransportManager {
   /// (s << 48) + 1; shard 0 matches the serial sequence exactly).
   void set_next_flow_id(uint64_t id) { next_flow_id_ = id; }
 
+  /// Attaches a flow-lifecycle tracker (DESIGN.md §11). Opt-in: with no
+  /// tracker the hook sites are one predictable branch each. The caller
+  /// should also Simulator::set_flow_telemetry(true) so deliveries carry
+  /// path signatures. Detach (nullptr) before the tracker dies.
+  void set_flow_tracker(obs::FlowTracker* tracker) { flow_tracker_ = tracker; }
+  obs::FlowTracker* flow_tracker() const { return flow_tracker_; }
+
+  /// INT-style path sampling: every `every`-th data packet (deterministic in
+  /// (flow_id, seq); see obs::FlowTracker::sampled) records per-hop state,
+  /// delivered to the tracker on arrival. 0 disables.
+  void set_path_sample_every(uint32_t every) { path_sample_every_ = every; }
+
  private:
   struct TcpSender {
     HostId src = kInvalidHost;
@@ -136,6 +152,9 @@ class TransportManager {
   void on_host_receive(HostId host, Packet&& packet);
   void on_data(Packet&& packet);
   void on_ack(Packet&& packet);
+  /// Pushes one delivered data packet into the attached flow tracker
+  /// (call sites guard on flow_tracker_ != nullptr).
+  void record_delivery(const Packet& packet, bool reordered);
 
   void tcp_start(TcpSender& sender);
   void tcp_send_window(TcpSender& sender);
@@ -159,6 +178,8 @@ class TransportManager {
   uint64_t udp_bytes_received_ = 0;
   std::function<void(Time, uint32_t)> udp_hook_;
   std::function<void(const Packet&)> data_inspector_;
+  obs::FlowTracker* flow_tracker_ = nullptr;
+  uint32_t path_sample_every_ = 0;
 };
 
 }  // namespace contra::sim

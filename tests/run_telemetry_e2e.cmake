@@ -5,10 +5,12 @@
 #         -P run_telemetry_e2e.cmake
 #
 # Drives a real contrasim run with a scheduled link failure and
-# --telemetry-out, then validates the whole reporting pipeline: the JSONL
-# trace exists and parses, the run manifest sits next to it with a config
-# hash, and (when python3 is available) tools/telemetry_report.py digests
-# both and validates the manifest.
+# --telemetry-out plus the dataplane telemetry streams (--flows-out /
+# --paths-out / --links-out / --engine-profile), then validates the whole
+# reporting pipeline: the JSONL trace and flow stream exist and parse, the
+# run manifest sits next to the trace with a config hash, the engine profile
+# is loadable Chrome-trace JSON, and (when python3 is available)
+# tools/telemetry_report.py digests everything and validates the manifest.
 
 if(NOT DEFINED CONTRASIM OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "need -DCONTRASIM=<binary> and -DWORK_DIR=<dir>")
@@ -18,6 +20,10 @@ file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(trace "${WORK_DIR}/trace.jsonl")
 set(manifest "${WORK_DIR}/trace.manifest.json")
+set(flows "${WORK_DIR}/flows.jsonl")
+set(paths "${WORK_DIR}/paths.jsonl")
+set(links "${WORK_DIR}/links.jsonl")
+set(profile "${WORK_DIR}/profile.json")
 
 # Small leaf-spine fabric, slow probes, short workload: the run stays fast
 # while still exercising probes, traffic, and a mid-run cable failure.
@@ -29,6 +35,10 @@ execute_process(
           --probe-period-us 500
           --fail leaf0-spine0 --fail-at-ms 11
           --telemetry-out "${trace}"
+          --flows-out "${flows}"
+          --paths-out "${paths}" --path-sample-n 4
+          --links-out "${links}" --link-sample-us 500
+          --engine-profile "${profile}"
   RESULT_VARIABLE run_result
   OUTPUT_VARIABLE run_output
   ERROR_VARIABLE run_output)
@@ -41,7 +51,8 @@ if(NOT run_output MATCHES "convergence:")
   message(FATAL_ERROR "contrasim output has no convergence table:\n${run_output}")
 endif()
 
-foreach(artifact "${trace}" "${manifest}")
+foreach(artifact "${trace}" "${manifest}" "${flows}" "${flows}.summary.json"
+        "${paths}" "${links}" "${profile}")
   if(NOT EXISTS "${artifact}")
     message(FATAL_ERROR "expected run artifact missing: ${artifact}")
   endif()
@@ -68,20 +79,45 @@ foreach(key "\"schema\"" "\"tool\"" "\"topology\"" "\"plane\"" "\"seed\"" "\"con
   endif()
 endforeach()
 
+# The flow stream follows the documented fixed-key-order schema.
+file(STRINGS "${flows}" flow_first LIMIT_COUNT 1)
+if(NOT flow_first MATCHES "^\\{\"flow\":.*\"fct_us\":")
+  message(FATAL_ERROR "flows first line is not a schema record: ${flow_first}")
+endif()
+file(STRINGS "${links}" link_first LIMIT_COUNT 1)
+if(NOT link_first MATCHES "^\\{\"t\":.*\"link\":.*\"util\":")
+  message(FATAL_ERROR "links first line is not a schema record: ${link_first}")
+endif()
+
 if(DEFINED PYTHON AND DEFINED REPORT)
   execute_process(
     COMMAND "${PYTHON}" "${REPORT}" "${trace}"
+            --flows "${flows}" --paths "${paths}" --links "${links}"
     RESULT_VARIABLE report_result
     OUTPUT_VARIABLE report_output
     ERROR_VARIABLE report_output)
   if(NOT report_result EQUAL 0)
     message(FATAL_ERROR "telemetry_report.py failed (${report_result}):\n${report_output}")
   endif()
-  foreach(expected "by event" "route_flip" "convergence:" "config_hash")
+  foreach(expected "by event" "route_flip" "convergence:" "config_hash"
+          "FLOWS" "p50_us" "PATHS" "LINK HOTSPOTS" "by peak queue depth")
     if(NOT report_output MATCHES "${expected}")
       message(FATAL_ERROR "report output missing '${expected}':\n${report_output}")
     endif()
   endforeach()
+
+  # The engine profile is loadable Chrome trace-event JSON.
+  execute_process(
+    COMMAND "${PYTHON}" -c "import json,sys; d=json.load(open(sys.argv[1])); \
+evs=d['traceEvents']; assert evs, 'no spans'; \
+assert all(k in e for e in evs for k in ('name','ph','ts','dur','pid','tid')); \
+print(len(evs),'spans ok')" "${profile}"
+    RESULT_VARIABLE profile_result
+    OUTPUT_VARIABLE profile_output
+    ERROR_VARIABLE profile_output)
+  if(NOT profile_result EQUAL 0)
+    message(FATAL_ERROR "engine profile is not loadable trace JSON:\n${profile_output}")
+  endif()
 
   execute_process(
     COMMAND "${PYTHON}" "${REPORT}" --validate-manifest "${manifest}"

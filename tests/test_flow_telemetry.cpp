@@ -1,0 +1,305 @@
+// Dataplane flow-telemetry tests: the workers-invariance gate for the
+// opt-in observability streams (flows.jsonl / paths.jsonl), the pure-function
+// contract of the INT path sampler, the hand-checked optimality auditor on
+// the paper's running-example diamond, and the Chrome-trace shape of the
+// engine profiler.
+//
+// The determinism contract under test (OBSERVABILITY.md):
+//   * the serialized flow stream and sampled-path stream are byte-identical
+//     for every --workers N (sampling keys off (flow_id, seq), never off
+//     schedule or thread identity; serialization sorts by schedule-invariant
+//     keys);
+//   * attaching the profiler never changes simulation output (wall-clock
+//     spans observe the engine, they do not steer it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "dataplane/contra_switch.h"
+#include "obs/flow_tracker.h"
+#include "obs/profile.h"
+#include "oracle/audit.h"
+#include "oracle/oracle.h"
+#include "sim/host.h"
+#include "sim/parallel_simulator.h"
+#include "sim/simulator.h"
+#include "sim/transport.h"
+#include "topology/abilene.h"
+#include "topology/generators.h"
+#include "workload/generator.h"
+
+namespace contra::sim {
+namespace {
+
+topology::LinkId find_link(const topology::Topology& topo, const std::string& from,
+                           const std::string& to) {
+  const topology::NodeId a = topo.find(from);
+  const topology::NodeId b = topo.find(to);
+  for (topology::LinkId l = 0; l < topo.num_links(); ++l) {
+    if (topo.link(l).from == a && topo.link(l).to == b) return l;
+  }
+  ADD_FAILURE() << "no link " << from << "->" << to;
+  return 0;
+}
+
+// ---- workers-invariance gate -----------------------------------------------
+
+struct TrackedRun {
+  std::string flows;    ///< write_flows_jsonl output
+  std::string paths;    ///< write_paths_jsonl output
+  std::string summary;  ///< summary_json output
+  size_t completed = 0;
+  size_t profile_spans = 0;
+};
+
+/// One short contra workload on the sharded engine with flow tracking and
+/// 1-in-4 path sampling on, plus (fat-tree only) a mid-run cable failure.
+TrackedRun run_tracked(const topology::Topology& topo, const compiler::CompileResult& compiled,
+                       const pg::PolicyEvaluator& evaluator, bool abilene, uint64_t seed,
+                       uint32_t shards, uint32_t workers) {
+  SimConfig config;
+  config.host_link_bps = abilene ? 2e9 : 10e9;
+  config.util_tau_s = 512e-6;
+  config.shards = shards;
+  config.workers = workers;
+  ParallelSimulator psim(topo, config);
+
+  std::vector<HostId> senders, receivers;
+  if (abilene) {
+    senders = attach_hosts(psim, {topo.find("Seattle"), topo.find("Sunnyvale")});
+    receivers = attach_hosts(psim, {topo.find("NewYork"), topo.find("Atlanta")});
+  } else {
+    for (HostId h : attach_hosts_to_fat_tree_edges(psim, 2)) {
+      (h % 2 ? receivers : senders).push_back(h);
+    }
+  }
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 256e-6;
+  psim.for_each_shard([&](Simulator& shard_sim) {
+    dataplane::install_contra_network(shard_sim, compiled, evaluator, options);
+  });
+  if (!abilene) {
+    psim.schedule_cable_event(3e-3, find_link(topo, "e0_0", "a0_0"), /*down=*/true);
+  }
+
+  ParallelTransport transport(psim);
+  transport.enable_flow_tracking(/*path_sample_every=*/4);
+
+  workload::WorkloadConfig wl;
+  wl.load = 0.4;
+  wl.sender_capacity_bps = 2e9;
+  wl.start = 2e-3;
+  wl.duration = 2e-3;
+  wl.seed = seed;
+  wl.size_scale = 0.05;
+  workload::submit(transport, workload::generate_poisson(workload::web_search_flow_sizes(),
+                                                         senders, receivers, wl));
+
+  obs::EngineProfiler profiler(psim.num_shards() + 1);
+  psim.set_profiler(&profiler);
+  psim.start();
+  psim.run_until(12e-3);
+  psim.set_profiler(nullptr);
+
+  const obs::FlowTracker merged = transport.merged_flow_tracker();
+  TrackedRun out;
+  std::ostringstream flows, paths;
+  merged.write_flows_jsonl(flows);
+  merged.write_paths_jsonl(paths);
+  out.flows = flows.str();
+  out.paths = paths.str();
+  out.summary = merged.summary_json();
+  out.completed = transport.completed_flows().size();
+  out.profile_spans = profiler.num_spans();
+  return out;
+}
+
+TEST(FlowTelemetryDeterminism, FatTreeStreamsAreWorkersInvariant) {
+  const topology::Topology topo = topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile("minimize((path.len, path.util))", topo);
+  const pg::PolicyEvaluator evaluator{compiled.graph, compiled.decomposition};
+
+  for (const uint64_t seed : {1ull, 2ull, 3ull}) {
+    const TrackedRun base =
+        run_tracked(topo, compiled, evaluator, /*abilene=*/false, seed, 4, 1);
+    ASSERT_FALSE(base.flows.empty());
+    ASSERT_FALSE(base.paths.empty());
+    EXPECT_GT(base.completed, 0u);
+    EXPECT_GT(base.profile_spans, 0u);
+    for (const uint32_t workers : {2u, 4u}) {
+      const TrackedRun other =
+          run_tracked(topo, compiled, evaluator, /*abilene=*/false, seed, 4, workers);
+      EXPECT_EQ(base.flows, other.flows) << "seed " << seed << " workers " << workers;
+      EXPECT_EQ(base.paths, other.paths) << "seed " << seed << " workers " << workers;
+      EXPECT_EQ(base.summary, other.summary) << "seed " << seed << " workers " << workers;
+    }
+  }
+}
+
+TEST(FlowTelemetryDeterminism, AbileneStreamsAreWorkersInvariant) {
+  const topology::Topology topo = topology::abilene(2e9, 0.02);
+  const compiler::CompileResult compiled = compiler::compile("minimize(path.util)", topo);
+  const pg::PolicyEvaluator evaluator{compiled.graph, compiled.decomposition};
+
+  for (const uint64_t seed : {1ull, 2ull, 3ull}) {
+    const TrackedRun base =
+        run_tracked(topo, compiled, evaluator, /*abilene=*/true, seed, 2, 1);
+    ASSERT_FALSE(base.flows.empty());
+    const TrackedRun other =
+        run_tracked(topo, compiled, evaluator, /*abilene=*/true, seed, 2, 2);
+    EXPECT_EQ(base.flows, other.flows) << "seed " << seed;
+    EXPECT_EQ(base.paths, other.paths) << "seed " << seed;
+    EXPECT_EQ(base.summary, other.summary) << "seed " << seed;
+  }
+}
+
+// ---- INT sampler ------------------------------------------------------------
+
+TEST(FlowTelemetry, PathSamplerIsAPureFunctionOfFlowAndSeq) {
+  // every == 0 disables sampling outright.
+  for (uint64_t f = 0; f < 64; ++f) {
+    EXPECT_FALSE(obs::FlowTracker::sampled(f, f * 7, 0));
+    EXPECT_TRUE(obs::FlowTracker::sampled(f, f * 7, 1));
+  }
+  // Deterministic: the same (flow, seq, every) always answers the same, so
+  // every worker count samples the same packets.
+  uint64_t hits = 0;
+  for (uint64_t f = 1; f <= 100; ++f) {
+    for (uint64_t seq = 0; seq < 100; ++seq) {
+      const bool s = obs::FlowTracker::sampled(f, seq, 4);
+      EXPECT_EQ(s, obs::FlowTracker::sampled(f, seq, 4));
+      hits += s;
+    }
+  }
+  // 1-in-4 sampling over 10k draws: the mixed hash should land near 2500.
+  EXPECT_GT(hits, 2000u);
+  EXPECT_LT(hits, 3000u);
+}
+
+// ---- optimality auditor: hand-checked diamond --------------------------------
+
+// Running-example diamond (A-B, A-C, B-C, B-D, C-D) under minimize(path.util)
+// with the A->B link hot: every rank-optimal A->D path must leave A on A->C,
+// and a sample routed over A->B is suboptimal by inspection.
+TEST(OptimalityAudit, HandCheckedDiamondScoresOnlyColdPath) {
+  const topology::Topology topo = topology::running_example();
+  const compiler::CompileResult compiled = compiler::compile("minimize(path.util)", topo);
+  const pg::PolicyEvaluator evaluator{compiled.graph, compiled.decomposition};
+
+  const topology::NodeId a = topo.find("A");
+  const topology::NodeId b = topo.find("B");
+  const topology::NodeId d = topo.find("D");
+  const topology::LinkId ab = find_link(topo, "A", "B");
+  const topology::LinkId ac = find_link(topo, "A", "C");
+  const topology::LinkId bd = find_link(topo, "B", "D");
+  const topology::LinkId cd = find_link(topo, "C", "D");
+
+  oracle::LinkState hot = oracle::LinkState::all_up(topo);
+  hot.util.assign(topo.num_links(), 0.0);
+  hot.util[ab] = 0.5;
+
+  // Idle network: both 2-hop paths (and the 3-hop detours) tie at util 0, so
+  // the optimal next-hop set at A spreads over both diamond arms.
+  {
+    const oracle::RouteOracle idle(compiled.graph, evaluator, oracle::LinkState::all_up(topo));
+    const std::vector<topology::LinkId> nhops = oracle::optimal_next_hops(idle, a, d);
+    EXPECT_NE(std::find(nhops.begin(), nhops.end(), ab), nhops.end());
+    EXPECT_NE(std::find(nhops.begin(), nhops.end(), ac), nhops.end());
+  }
+  // Hot A->B: only the cold arm through C is rank-optimal at A.
+  {
+    const oracle::RouteOracle oracle(compiled.graph, evaluator, hot);
+    const std::vector<topology::LinkId> nhops = oracle::optimal_next_hops(oracle, a, d);
+    ASSERT_EQ(nhops.size(), 1u);
+    EXPECT_EQ(nhops[0], ac);
+    // Downstream of the hot link both B->D and B->C->D stay util-0 ties, so
+    // B's set keeps both — non-optimality of the hot sample is decided at A.
+    EXPECT_GE(oracle::optimal_next_hops(oracle, b, d).size(), 1u);
+  }
+
+  std::vector<oracle::AuditSample> samples;
+  samples.push_back({d, /*bytes=*/100, /*t=*/0.5, {ac, cd}});  // cold arm: optimal
+  samples.push_back({d, /*bytes=*/50, /*t=*/0.5, {ab, bd}});   // hot arm: suboptimal
+  const oracle::AuditResult result = oracle::audit_paths(
+      compiled.graph, evaluator, samples, [&](double) { return hot; }, /*bucket_s=*/0.0);
+
+  EXPECT_EQ(result.total_samples, 2u);
+  EXPECT_EQ(result.optimal_samples, 1u);
+  EXPECT_EQ(result.total_bytes, 150u);
+  EXPECT_EQ(result.optimal_bytes, 100u);
+  EXPECT_EQ(result.unreached_hops, 0u);
+  EXPECT_EQ(result.buckets, 1u);
+  EXPECT_NEAR(result.fraction(), 100.0 / 150.0, 1e-12);
+}
+
+// ---- always-on flow metrics --------------------------------------------------
+
+TEST(FlowTelemetry, AlwaysOnMetricsCountStartsAndObserveFct) {
+  const topology::Topology topo = topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile("minimize((path.len, path.util))", topo);
+  const pg::PolicyEvaluator evaluator{compiled.graph, compiled.decomposition};
+
+  SimConfig config;
+  config.host_link_bps = 10e9;
+  Simulator sim(topo, config);
+  std::vector<HostId> senders, receivers;
+  for (HostId h : attach_hosts_to_fat_tree_edges(sim, 2)) {
+    (h % 2 ? receivers : senders).push_back(h);
+  }
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 256e-6;
+  dataplane::install_contra_network(sim, compiled, evaluator, options);
+  TransportManager transport(sim);
+
+  workload::WorkloadConfig wl;
+  wl.load = 0.4;
+  wl.sender_capacity_bps = 2e9;
+  wl.start = 1e-3;
+  wl.duration = 2e-3;
+  wl.seed = 7;
+  wl.size_scale = 0.05;
+  workload::submit(transport, workload::generate_poisson(workload::web_search_flow_sizes(),
+                                                         senders, receivers, wl));
+  sim.start();
+  sim.run_until(10e-3);
+
+  const auto& tel = sim.telemetry();
+  const uint64_t started = tel.metrics().value(tel.core().flows_started);
+  const uint64_t completed = tel.metrics().value(tel.core().flows_completed);
+  EXPECT_GT(started, 0u);
+  EXPECT_GE(started, completed);
+  EXPECT_GT(completed, 0u);
+  // Every completed TCP flow lands one fct_us observation.
+  EXPECT_EQ(tel.metrics().histogram_total(tel.core().fct_us), completed);
+}
+
+// ---- engine profiler ---------------------------------------------------------
+
+TEST(EngineProfiler, WritesChromeTraceCompleteEvents) {
+  obs::EngineProfiler profiler(3);
+  EXPECT_EQ(profiler.num_tracks(), 3u);
+  EXPECT_EQ(profiler.scheduler_track(), 2u);
+  profiler.add_span(0, "phase_run", 1.0, 2.5);
+  profiler.add_span(2, "plan", 0.0, 0.5);
+  profiler.add_span(2, "barrier", 3.5, 1.0);
+  EXPECT_EQ(profiler.num_spans(), 3u);
+
+  std::ostringstream out;
+  profiler.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"phase_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"barrier\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"tid\":1"), std::string::npos);  // empty tracks emit nothing
+}
+
+}  // namespace
+}  // namespace contra::sim

@@ -18,7 +18,9 @@
 #include "obs/metrics_registry.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "sim/host.h"
 #include "sim/simulator.h"
+#include "sim/transport.h"
 #include "topology/generators.h"
 #include "util/alloc_probe.h"
 #include "util/logging.h"
@@ -470,6 +472,66 @@ TEST(ObsIntegration, SteadyStateWithCountersOnlyIsAllocationFree) {
   EXPECT_EQ(util::alloc_count() - allocs_before, 0u);
   EXPECT_GT(sim.telemetry().metrics().value(sim.telemetry().core().probes_received),
             probes_before);
+}
+
+// One warmed-up fat-tree run with a transport attached and a UDP stream over
+// [1ms, 5ms). Returns (allocations during the active-flow window 2-4ms,
+// allocations during the post-flow probe-only window 6.5-9ms, UDP bytes).
+struct DataPathAllocs {
+  uint64_t active_window = 0;
+  uint64_t quiet_window = 0;
+  uint64_t udp_bytes = 0;
+};
+
+DataPathAllocs run_data_path_alloc_probe(bool flow_telemetry) {
+  const topology::Topology topo =
+      topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile(lang::policies::shortest_widest(), topo);
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+
+  sim::Simulator sim(topo, sim::SimConfig{});
+  const std::vector<sim::HostId> senders =
+      sim::attach_hosts(sim, {topo.find("e0_0")});
+  const std::vector<sim::HostId> receivers =
+      sim::attach_hosts(sim, {topo.find("e1_1")});
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 128e-6;
+  dataplane::install_contra_network(sim, compiled, evaluator, options);
+  sim::TransportManager transport(sim);
+  sim.set_flow_telemetry(flow_telemetry);
+  transport.start_udp_flow(senders[0], receivers[0], /*rate_bps=*/200e6,
+                           /*start_time=*/1e-3, /*stop_time=*/5e-3);
+  sim.start();
+  sim.run_until(2e-3);  // warm-up: tables converge, pools fill
+
+  DataPathAllocs out;
+  uint64_t before = util::alloc_count();
+  sim.run_until(4e-3);
+  out.active_window = util::alloc_count() - before;
+  sim.run_until(6.5e-3);  // flow ends at 5ms; let in-flight packets drain
+  before = util::alloc_count();
+  sim.run_until(9e-3);
+  out.quiet_window = util::alloc_count() - before;
+  out.udp_bytes = transport.udp_bytes_received();
+  return out;
+}
+
+TEST(ObsIntegration, FlowTelemetryHookSitesAddZeroAllocations) {
+  // The PR-2 overhead contract extended to the flow-telemetry hook sites.
+  // Two guarantees, both with no FlowTracker attached and path sampling off:
+  //  * once the data flow ends, the probe loop with a transport attached
+  //    (hook branches present but disabled) is back to zero allocations;
+  //  * turning path-signature stamping on (set_flow_telemetry) adds exactly
+  //    zero allocations to the data path — the runs are deterministic, so
+  //    the per-window counts must match the telemetry-off run bit-for-bit.
+  const DataPathAllocs off = run_data_path_alloc_probe(false);
+  const DataPathAllocs on = run_data_path_alloc_probe(true);
+  EXPECT_GT(off.udp_bytes, 0u);
+  EXPECT_EQ(off.udp_bytes, on.udp_bytes);
+  EXPECT_EQ(off.quiet_window, 0u);
+  EXPECT_EQ(on.quiet_window, 0u);
+  EXPECT_EQ(off.active_window, on.active_window);
 }
 
 }  // namespace

@@ -12,8 +12,10 @@ probes_per_s (workload-normalized control-plane throughput) obeys the same
 threshold when both reports record it, and any dense_fallback_hits > 0 in
 CURRENT fails outright — a fallback means a probe key escaped the compiled
 dense FwdT universe, which is a compiler/dataplane contract break, not a
-perf wobble. Baselines predating these keys are tolerated (events_per_sec
-gate only). With --self, CURRENT's embedded "baseline" section (written by
+perf wobble. Scenarios named *_off are overhead-contract runs (telemetry /
+flow tracking disabled): any allocs_per_event != 0 in CURRENT fails
+outright, mirroring the bench binary's own exit-1 zero-allocation gate.
+Baselines predating these keys are tolerated (events_per_sec gate only). With --self, CURRENT's embedded "baseline" section (written by
 bench_core_speed --baseline-json) is the reference.
 Exit code 0 = ok, 1 = regression, 2 = bad input.
 
@@ -147,6 +149,15 @@ def main():
             print(f"FALLBACK   {name}: dense_fallback_hits={int(hits)} (want 0) "
                   f"— probe key escaped the compiled dense FwdT universe",
                   file=sys.stderr)
+            failed = True
+        # *_off scenarios are overhead-contract runs: disabled telemetry /
+        # flow tracking must cost zero allocations, so a nonzero
+        # allocs_per_event means the contract broke (or the binary's own
+        # exit-1 gate was bypassed).
+        if name.endswith("_off") and float(cur.get("allocs_per_event", 0.0)) != 0.0:
+            print(f"ALLOCS     {name}: allocs_per_event="
+                  f"{float(cur['allocs_per_event'])} (want 0) — disabled-"
+                  f"telemetry overhead contract broken", file=sys.stderr)
             failed = True
 
     scaling = current_report.get("parallel_scaling")

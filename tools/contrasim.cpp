@@ -8,6 +8,8 @@
 //
 // Hosts attach to fat-tree edge switches / leaf-spine leaves automatically;
 // on arbitrary topologies one host attaches to every switch.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -23,8 +25,12 @@
 #include "metrics/counters.h"
 #include "metrics/fct.h"
 #include "obs/convergence.h"
+#include "obs/flow_tracker.h"
+#include "obs/link_timeline.h"
 #include "obs/manifest.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
+#include "oracle/audit.h"
 #include "sim/host.h"
 #include "sim/parallel_simulator.h"
 #include "sim/transport.h"
@@ -56,7 +62,19 @@ int usage(const char* argv0) {
                "                                            run manifest + convergence table)\n"
                "          [--metrics-json <file|->]     (final metrics snapshot)\n"
                "          [--metrics-interval-ms <t>]   (periodic snapshots, needs --metrics-json;\n"
-               "                                         serial engine only)\n"
+               "                                         parallel engine emits at phase boundaries)\n"
+               "          [--flows-out <flows.jsonl>]   (per-flow lifecycle records + FCT\n"
+               "                                         summary in <file>.summary.json)\n"
+               "          [--paths-out <paths.jsonl>]   (sampled INT-style per-hop path records)\n"
+               "          [--path-sample-n <n>]         (sample 1-in-n data packets; default 8\n"
+               "                                         when --paths-out/--audit-optimality set)\n"
+               "          [--links-out <links.jsonl>]   (periodic per-link util/queue timelines)\n"
+               "          [--link-sample-us <t>]        (timeline sample period; default 256)\n"
+               "          [--audit-optimality]          (score sampled paths against the routing\n"
+               "                                         oracle; implies path+link sampling)\n"
+               "          [--audit-bucket-ms <t>]       (oracle rebuild period; default 5)\n"
+               "          [--engine-profile <out.json>] (Chrome trace-event spans; load in\n"
+               "                                         Perfetto / chrome://tracing)\n"
                "environment: CONTRA_LOG_LEVEL=trace|debug|info|warn|error|off\n",
                argv0);
   return 2;
@@ -76,6 +94,159 @@ struct MetricsExporter {
     sim->events().schedule_in(interval_s, [self] { self->tick(); });
   }
 };
+
+/// Samples util EWMA + queue depth for a fixed set of links into a
+/// LinkTimeline every interval; reschedules itself (single-pointer capture,
+/// same discipline as MetricsExporter). Under the parallel engine one
+/// sampler runs per shard over the links that shard owns, so shard
+/// timelines stay disjoint and merge by union.
+struct LinkSampler {
+  sim::Simulator* sim = nullptr;
+  obs::LinkTimeline* timeline = nullptr;
+  std::vector<topology::LinkId> links;
+  double interval_s = 0.0;
+
+  void tick() {
+    const double t = sim->now();
+    for (topology::LinkId l : links) {
+      const sim::Link& link = sim->link(l);
+      timeline->add(l, t, link.utilization(), link.queue_bytes());
+    }
+    LinkSampler* self = this;
+    sim->events().schedule_in(interval_s, [self] { self->tick(); });
+  }
+  void arm() {
+    LinkSampler* self = this;
+    sim->events().schedule_in(interval_s, [self] { self->tick(); });
+  }
+};
+
+/// The dataplane-telemetry flag set shared by the serial and parallel paths.
+struct TelemetryOpts {
+  std::string flows_path;
+  std::string paths_path;
+  std::string links_path;
+  std::string profile_path;
+  bool audit = false;
+  uint32_t path_sample_every = 0;
+  double link_sample_s = 0.0;
+  double audit_bucket_s = 0.0;
+
+  bool flow_tracking() const { return !flows_path.empty() || !paths_path.empty() || audit; }
+  bool link_sampling() const { return !links_path.empty() || audit; }
+
+  static TelemetryOpts from_args(const tools::Args& args) {
+    TelemetryOpts opts;
+    opts.flows_path = args.get("flows-out");
+    opts.paths_path = args.get("paths-out");
+    opts.links_path = args.get("links-out");
+    opts.profile_path = args.get("engine-profile");
+    opts.audit = args.has("audit-optimality");
+    opts.path_sample_every = static_cast<uint32_t>(args.get_int("path-sample-n", 0));
+    if (opts.path_sample_every == 0 && (!opts.paths_path.empty() || opts.audit)) {
+      opts.path_sample_every = 8;
+    }
+    opts.link_sample_s = args.get_double("link-sample-us", 256.0) * 1e-6;
+    opts.audit_bucket_s = args.get_double("audit-bucket-ms", 5.0) * 1e-3;
+    return opts;
+  }
+
+  /// Ring capacity covering the whole run so the audit sees the traffic
+  /// window (the ring only drops samples on runs longer than planned).
+  uint32_t timeline_capacity(double horizon_s) const {
+    return static_cast<uint32_t>(horizon_s / link_sample_s) + 32;
+  }
+};
+
+bool write_flow_outputs(const TelemetryOpts& opts, const obs::FlowTracker& tracker) {
+  if (!opts.flows_path.empty()) {
+    std::ofstream out(opts.flows_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --flows-out file: %s\n", opts.flows_path.c_str());
+      return false;
+    }
+    tracker.write_flows_jsonl(out);
+    const std::string summary_path = opts.flows_path + ".summary.json";
+    std::ofstream summary(summary_path);
+    if (!summary) {
+      std::fprintf(stderr, "cannot open flow summary file: %s\n", summary_path.c_str());
+      return false;
+    }
+    summary << tracker.summary_json() << "\n";
+    std::printf("flows   : %zu records -> %s (summary: %s)\n", tracker.num_flows(),
+                opts.flows_path.c_str(), summary_path.c_str());
+  }
+  if (!opts.paths_path.empty()) {
+    std::ofstream out(opts.paths_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --paths-out file: %s\n", opts.paths_path.c_str());
+      return false;
+    }
+    tracker.write_paths_jsonl(out);
+    std::printf("paths   : %zu samples -> %s\n", tracker.num_path_samples(),
+                opts.paths_path.c_str());
+  }
+  return true;
+}
+
+bool write_link_output(const TelemetryOpts& opts, const obs::LinkTimeline& timeline) {
+  if (opts.links_path.empty()) return true;
+  std::ofstream out(opts.links_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --links-out file: %s\n", opts.links_path.c_str());
+    return false;
+  }
+  timeline.write_jsonl(out);
+  std::printf("links   : timelines -> %s\n", opts.links_path.c_str());
+  return true;
+}
+
+bool write_profile_output(const std::string& path, const obs::EngineProfiler& profiler) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --engine-profile file: %s\n", path.c_str());
+    return false;
+  }
+  profiler.write_chrome_trace(out);
+  std::printf("profile : %zu spans -> %s\n", profiler.num_spans(), path.c_str());
+  return true;
+}
+
+/// Scores the sampled dataplane paths against per-time-bucket routing
+/// oracles fed the timeline's utilization view (quantized exactly like probe
+/// adverts) plus the failure schedule. Prints the gated fraction.
+void run_optimality_audit(const topology::Topology& topo, const compiler::CompileResult& compiled,
+                          const pg::PolicyEvaluator& evaluator, const obs::FlowTracker& tracker,
+                          const obs::LinkTimeline& timeline, double bucket_s,
+                          topology::LinkId fail_link, double fail_at_s) {
+  std::vector<oracle::AuditSample> samples;
+  samples.reserve(tracker.num_path_samples());
+  for (const obs::PathSample& ps : tracker.sorted_path_samples()) {
+    if (ps.truncated() || ps.nhops == 0) continue;
+    oracle::AuditSample sample;
+    sample.dst_switch = ps.dst_switch;
+    sample.bytes = ps.bytes;
+    sample.t = ps.t;
+    sample.hop_links.reserve(ps.nhops);
+    for (uint8_t i = 0; i < ps.nhops; ++i) sample.hop_links.push_back(ps.hops[i].link);
+    samples.push_back(std::move(sample));
+  }
+  const double quantum = dataplane::ContraSwitchOptions{}.util_quantum;
+  const auto state_at = [&](double t) {
+    oracle::LinkState state = oracle::LinkState::all_up(topo);
+    state.util.assign(topo.num_links(), 0.0);
+    for (topology::LinkId l = 0; l < topo.num_links(); ++l) {
+      state.util[l] = std::round(timeline.util_at(l, t) / quantum) * quantum;
+    }
+    if (fail_link != topology::kInvalidLink && (fail_at_s <= 0.0 || t >= fail_at_s)) {
+      state.fail_cable(topo, fail_link);
+    }
+    return state;
+  };
+  const oracle::AuditResult result =
+      oracle::audit_paths(compiled.graph, evaluator, samples, state_at, bucket_s);
+  std::printf("audit   : %s\n", result.to_string().c_str());
+}
 
 std::vector<sim::HostId> attach_hosts_auto(sim::Simulator& sim) {
   std::vector<sim::HostId> hosts = sim::attach_hosts_to_fat_tree_edges(sim, 2);
@@ -97,8 +268,8 @@ std::vector<sim::HostId> attach_hosts_auto(sim::ParallelSimulator& psim) {
 
 /// The --workers/--shards path: same experiment on the sharded parallel
 /// engine (DESIGN.md §8). Deterministic for any worker count; periodic
-/// metrics snapshots are the one serial-only feature (the merged registry
-/// only exists at barriers, not mid-epoch).
+/// metrics snapshots emit at phase boundaries once every shard has
+/// committed past the tick (workers-invariant — see OBSERVABILITY.md).
 int run_parallel(const tools::Args& args, const topology::Topology& topo, const char* argv0) {
   const double link_bps = args.get_double("link-gbps", 10.0) * 1e9;
   const double load = args.get_double("load", 0.5);
@@ -107,11 +278,7 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
   const double size_scale = args.get_double("size-scale", 0.1);
   const std::string plane = args.get("plane", "contra");
-
-  if (args.get_double("metrics-interval-ms", 0.0) > 0) {
-    std::fprintf(stderr, "--metrics-interval-ms needs the serial engine (drop --workers/--shards)\n");
-    return 1;
-  }
+  const TelemetryOpts tel = TelemetryOpts::from_args(args);
 
   sim::SimConfig config;
   config.host_link_bps = link_bps;
@@ -125,6 +292,8 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
     return 1;
   }
 
+  topology::LinkId fail_link = topology::kInvalidLink;
+  double fail_at_s = 0.0;
   if (args.has("fail")) {
     const auto parts = util::split(args.get("fail"), '-');
     if (parts.size() != 2 || topo.find(parts[0]) == topology::kInvalidNode ||
@@ -134,9 +303,8 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
                    args.get("fail").c_str());
       return 1;
     }
-    const topology::LinkId fail_link =
-        topo.link_between(topo.find(parts[0]), topo.find(parts[1]));
-    const double fail_at_s = args.get_double("fail-at-ms", 0.0) * 1e-3;
+    fail_link = topo.link_between(topo.find(parts[0]), topo.find(parts[1]));
+    fail_at_s = args.get_double("fail-at-ms", 0.0) * 1e-3;
     if (fail_at_s > 0) {
       psim.schedule_cable_event(fail_at_s, fail_link, /*down=*/true);
     } else {
@@ -147,10 +315,33 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   const std::string trace_path = args.get("telemetry-out");
   if (!trace_path.empty()) psim.enable_tracing();
 
+  const double metrics_interval_s = args.get_double("metrics-interval-ms", 0.0) * 1e-3;
+  const std::string metrics_path = args.get("metrics-json");
+  std::ofstream metrics_file;
+  std::ostream* metrics_out = nullptr;
+  if (!metrics_path.empty()) {
+    if (metrics_path == "-") {
+      metrics_out = &std::cout;
+    } else {
+      metrics_file.open(metrics_path);
+      if (!metrics_file) {
+        std::fprintf(stderr, "cannot open --metrics-json file: %s\n", metrics_path.c_str());
+        return 1;
+      }
+      metrics_out = &metrics_file;
+    }
+  } else if (metrics_interval_s > 0) {
+    std::fprintf(stderr, "--metrics-interval-ms needs --metrics-json <file|->\n");
+    return 1;
+  }
+  if (metrics_out != nullptr && metrics_interval_s > 0) {
+    psim.set_metrics_snapshots(metrics_interval_s, metrics_out);
+  }
+
   compiler::CompileResult compiled;
   std::unique_ptr<pg::PolicyEvaluator> evaluator;
   std::string policy_text;
-  if (plane == "contra") {
+  if (plane == "contra" || tel.audit) {
     const std::string policy = args.get("policy", "minimize(path.util)");
     policy_text = policy;
     try {
@@ -161,7 +352,9 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
     }
     std::printf("compiled: %s\n", compiled.summary().c_str());
     evaluator = std::make_unique<pg::PolicyEvaluator>(compiled.graph, compiled.decomposition);
-  } else if (plane != "ecmp" && plane != "hula" && plane != "spain" && plane != "sp") {
+  }
+  if (plane != "contra" && plane != "ecmp" && plane != "hula" && plane != "spain" &&
+      plane != "sp") {
     std::fprintf(stderr, "unknown --plane '%s'\n", plane.c_str());
     return usage(argv0);
   }
@@ -190,6 +383,8 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   for (sim::HostId h : hosts) (h % 2 ? receivers : senders).push_back(h);
 
   sim::ParallelTransport transport(psim);
+  if (tel.flow_tracking()) transport.enable_flow_tracking(tel.path_sample_every);
+
   workload::WorkloadConfig wl;
   wl.load = load;
   wl.sender_capacity_bps = link_bps / 4;
@@ -199,6 +394,33 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   wl.size_scale = size_scale;
   const auto flows = workload::generate_poisson(sizes, senders, receivers, wl);
   workload::submit(transport, flows);
+
+  // Per-shard link samplers over the links each shard owns (transmit side):
+  // shard timelines are disjoint, so the merged timeline is workers-invariant.
+  std::vector<std::unique_ptr<obs::LinkTimeline>> shard_timelines;
+  std::vector<std::unique_ptr<LinkSampler>> shard_samplers;
+  if (tel.link_sampling()) {
+    const uint32_t capacity = tel.timeline_capacity(wl.start + wl.duration + 0.3);
+    for (uint32_t s = 0; s < psim.num_shards(); ++s) {
+      auto timeline = std::make_unique<obs::LinkTimeline>(topo.num_links(), capacity);
+      auto sampler = std::make_unique<LinkSampler>();
+      sampler->sim = &psim.shard_sim(s);
+      sampler->timeline = timeline.get();
+      sampler->interval_s = tel.link_sample_s;
+      for (topology::LinkId l = 0; l < topo.num_links(); ++l) {
+        if (psim.shard_of_node(topo.link(l).from) == s) sampler->links.push_back(l);
+      }
+      if (!sampler->links.empty()) sampler->arm();
+      shard_timelines.push_back(std::move(timeline));
+      shard_samplers.push_back(std::move(sampler));
+    }
+  }
+
+  std::unique_ptr<obs::EngineProfiler> profiler;
+  if (!tel.profile_path.empty()) {
+    profiler = std::make_unique<obs::EngineProfiler>(psim.num_shards() + 1);
+    psim.set_profiler(profiler.get());
+  }
 
   if (!trace_path.empty()) {
     obs::RunManifest manifest = obs::RunManifest::make("contrasim");
@@ -244,19 +466,27 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   std::printf("drops   : %llu data packets\n",
               static_cast<unsigned long long>(psim.aggregate_fabric_stats().data_drops));
 
-  const std::string metrics_path = args.get("metrics-json");
-  if (!metrics_path.empty()) {
-    const std::string snapshot = psim.merged_metrics_json(psim.now());
-    if (metrics_path == "-") {
-      std::cout << snapshot << "\n";
-    } else {
-      std::ofstream metrics_file(metrics_path);
-      if (!metrics_file) {
-        std::fprintf(stderr, "cannot open --metrics-json file: %s\n", metrics_path.c_str());
-        return 1;
-      }
-      metrics_file << snapshot << "\n";
-    }
+  if (metrics_out != nullptr) {
+    *metrics_out << psim.merged_metrics_json(psim.now()) << "\n";
+  }
+
+  obs::FlowTracker merged_tracker;
+  if (transport.flow_tracking()) {
+    merged_tracker = transport.merged_flow_tracker();
+    if (!write_flow_outputs(tel, merged_tracker)) return 1;
+  }
+  obs::LinkTimeline merged_timeline;
+  if (tel.link_sampling()) {
+    for (const auto& timeline : shard_timelines) merged_timeline.merge_from(*timeline);
+    if (!write_link_output(tel, merged_timeline)) return 1;
+  }
+  if (tel.audit) {
+    run_optimality_audit(topo, compiled, *evaluator, merged_tracker, merged_timeline,
+                         tel.audit_bucket_s, fail_link, fail_at_s);
+  }
+  if (profiler) {
+    psim.set_profiler(nullptr);
+    if (!write_profile_output(tel.profile_path, *profiler)) return 1;
   }
 
   if (!trace_path.empty()) {
@@ -303,6 +533,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
   const double size_scale = args.get_double("size-scale", 0.1);
   const std::string plane = args.get("plane", "contra");
+  const TelemetryOpts tel = TelemetryOpts::from_args(args);
 
   sim::SimConfig config;
   config.host_link_bps = link_bps;
@@ -314,6 +545,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  topology::LinkId fail_link = topology::kInvalidLink;
+  double fail_at_s = 0.0;
   if (args.has("fail")) {
     const auto parts = util::split(args.get("fail"), '-');
     if (parts.size() != 2 || topo->find(parts[0]) == topology::kInvalidNode ||
@@ -324,12 +557,12 @@ int main(int argc, char** argv) {
                    args.get("fail").c_str());
       return 1;
     }
-    const topology::LinkId fail_link =
-        topo->link_between(topo->find(parts[0]), topo->find(parts[1]));
-    const double fail_at_s = args.get_double("fail-at-ms", 0.0) * 1e-3;
+    fail_link = topo->link_between(topo->find(parts[0]), topo->find(parts[1]));
+    fail_at_s = args.get_double("fail-at-ms", 0.0) * 1e-3;
     if (fail_at_s > 0) {
       sim::Simulator* simp = &sim;
-      sim.events().schedule_in(fail_at_s, [simp, fail_link] { simp->fail_cable(fail_link); });
+      const topology::LinkId link = fail_link;
+      sim.events().schedule_in(fail_at_s, [simp, link] { simp->fail_cable(link); });
     } else {
       sim.fail_cable(fail_link);
     }
@@ -381,7 +614,7 @@ int main(int argc, char** argv) {
   compiler::CompileResult compiled;
   std::unique_ptr<pg::PolicyEvaluator> evaluator;
   std::string policy_text;
-  if (plane == "contra") {
+  if (plane == "contra" || tel.audit) {
     const std::string policy = args.get("policy", "minimize(path.util)");
     policy_text = policy;
     try {
@@ -392,6 +625,8 @@ int main(int argc, char** argv) {
     }
     std::printf("compiled: %s\n", compiled.summary().c_str());
     evaluator = std::make_unique<pg::PolicyEvaluator>(compiled.graph, compiled.decomposition);
+  }
+  if (plane == "contra") {
     dataplane::ContraSwitchOptions options;
     options.probe_period_s = std::max(probe_period_s, compiled.min_probe_period_s);
     dataplane::install_contra_network(sim, compiled, *evaluator, options);
@@ -416,7 +651,14 @@ int main(int argc, char** argv) {
   std::vector<sim::HostId> senders, receivers;
   for (sim::HostId h : hosts) (h % 2 ? receivers : senders).push_back(h);
 
+  obs::FlowTracker flow_tracker;  // declared before transport: outlives it
   sim::TransportManager transport(sim);
+  if (tel.flow_tracking()) {
+    transport.set_flow_tracker(&flow_tracker);
+    transport.set_path_sample_every(tel.path_sample_every);
+    sim.set_flow_telemetry(true);
+  }
+
   workload::WorkloadConfig wl;
   wl.load = load;
   wl.sender_capacity_bps = link_bps / 4;  // conservative fair share
@@ -426,6 +668,39 @@ int main(int argc, char** argv) {
   wl.size_scale = size_scale;
   const auto flows = workload::generate_poisson(sizes, senders, receivers, wl);
   workload::submit(transport, flows);
+
+  obs::LinkTimeline link_timeline;
+  LinkSampler link_sampler;
+  if (tel.link_sampling()) {
+    link_timeline =
+        obs::LinkTimeline(topo->num_links(), tel.timeline_capacity(wl.start + wl.duration + 0.3));
+    link_sampler.sim = &sim;
+    link_sampler.timeline = &link_timeline;
+    link_sampler.interval_s = tel.link_sample_s;
+    for (topology::LinkId l = 0; l < topo->num_links(); ++l) link_sampler.links.push_back(l);
+    link_sampler.arm();
+  }
+
+  std::unique_ptr<obs::EngineProfiler> profiler;
+  std::chrono::steady_clock::time_point profile_epoch{};
+  if (!tel.profile_path.empty()) {
+    // The serial engine has no phases; profile the three run windows as
+    // coarse spans on a single track.
+    profiler = std::make_unique<obs::EngineProfiler>(1);
+    profile_epoch = std::chrono::steady_clock::now();
+  }
+  const auto profiled = [&](const char* name, auto&& fn) {
+    if (!profiler) {
+      fn();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    profiler->add_span(0, name,
+                       std::chrono::duration<double, std::micro>(t0 - profile_epoch).count(),
+                       std::chrono::duration<double, std::micro>(t1 - t0).count());
+  };
 
   if (!trace_path.empty()) {
     obs::RunManifest manifest = obs::RunManifest::make("contrasim");
@@ -451,11 +726,12 @@ int main(int argc, char** argv) {
   }
 
   sim.start();
-  sim.run_until(wl.start);
-  const sim::LinkStats window_start = sim.aggregate_fabric_stats();
-  sim.run_until(wl.start + wl.duration);
-  const sim::LinkStats window_end = sim.aggregate_fabric_stats();
-  sim.run_until(wl.start + wl.duration + 0.25);
+  sim::LinkStats window_start, window_end;
+  profiled("warmup", [&] { sim.run_until(wl.start); });
+  window_start = sim.aggregate_fabric_stats();
+  profiled("traffic", [&] { sim.run_until(wl.start + wl.duration); });
+  window_end = sim.aggregate_fabric_stats();
+  profiled("drain", [&] { sim.run_until(wl.start + wl.duration + 0.25); });
 
   const auto fct = metrics::summarize_fct(transport.completed_flows(), flows.size());
   const auto overhead = metrics::make_overhead_report(window_end, window_start);
@@ -468,6 +744,15 @@ int main(int argc, char** argv) {
   if (metrics_out != nullptr) {
     *metrics_out << sim.telemetry().metrics().snapshot_json(sim.now()) << "\n";
   }
+
+  if (tel.flow_tracking() && !write_flow_outputs(tel, flow_tracker)) return 1;
+  if (tel.link_sampling() && !write_link_output(tel, link_timeline)) return 1;
+  if (tel.audit) {
+    run_optimality_audit(*topo, compiled, *evaluator, flow_tracker, link_timeline,
+                         tel.audit_bucket_s, fail_link, fail_at_s);
+  }
+  if (profiler && !write_profile_output(tel.profile_path, *profiler)) return 1;
+
   if (!trace_path.empty()) {
     fanout.flush();
     std::printf("trace   : %llu records -> %s\n",
@@ -476,5 +761,6 @@ int main(int argc, char** argv) {
     std::printf("%s", convergence.report().to_string().c_str());
     sim.telemetry().set_sink(nullptr);  // sinks go out of scope before sim
   }
+  transport.set_flow_tracker(nullptr);
   return 0;
 }

@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
-"""Summarize a contrasim control-plane trace (JSONL) and its run manifest.
+"""Summarize contrasim telemetry: control-plane trace, flow stream, link
+timelines, and the run manifest.
 
 Usage:
   telemetry_report.py TRACE.jsonl [--manifest PATH] [--top 5] [--json]
+  telemetry_report.py --flows FLOWS.jsonl [--links LINKS.jsonl] [--json]
+  telemetry_report.py TRACE.jsonl --flows FLOWS.jsonl --paths PATHS.jsonl \
+      --links LINKS.jsonl
   telemetry_report.py --validate-manifest MANIFEST.json
 
 Reads the trace schema written by obs::JsonlTraceSink (see
@@ -20,6 +24,15 @@ aux/ver/val, absent keys meaning "not applicable". Prints:
   * the per-destination convergence table (time-to-quiescence, flap counts,
     and post-failure re-convergence latency — mirroring obs::ConvergenceTracker),
   * the run manifest, when found next to the trace (x.jsonl -> x.manifest.json).
+
+Dataplane telemetry streams (written by contrasim --flows-out / --paths-out /
+--links-out; schemas in docs/OBSERVABILITY.md) get their own sections:
+
+  * FLOWS: FCT percentiles (p50/p95/p99, µs) bucketed by flow size, plus the
+    slowest completed flows with their retransmit / path-switch counts,
+  * PATHS: sampled INT path-record stats (records, truncation, hop spread),
+  * LINK HOTSPOTS: top links by peak queue depth and by sustained (mean)
+    utilization over the sampled timeline.
 
 --json emits the same summary as one JSON object for scripting.
 --validate-manifest checks a manifest file has every required field and a
@@ -186,6 +199,150 @@ def read_trace(path):
     }
 
 
+# Size buckets mirroring obs::FlowTracker::summary_json (bytes: [lo, hi)).
+FLOW_BUCKETS = [
+    ("all", 0.0, float("inf")),
+    ("lt_10KB", 0.0, 1e4),
+    ("10KB_100KB", 1e4, 1e5),
+    ("100KB_1MB", 1e5, 1e6),
+    ("ge_1MB", 1e6, float("inf")),
+]
+
+
+def percentile(sorted_vals, q):
+    """Linear interpolation, matching contra::metrics::quantile."""
+    if not sorted_vals:
+        return 0.0
+    pos = q * (len(sorted_vals) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+
+
+def read_jsonl(path, required_key):
+    """Parses a telemetry JSONL stream; lines missing required_key are bad."""
+    rows = []
+    bad = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if required_key not in row:
+                bad += 1
+                continue
+            rows.append(row)
+    return rows, bad
+
+
+def flows_summary(flows, top):
+    """FCT percentiles by size bucket + the slowest completed flows."""
+    completed = [f for f in flows if f.get("done")]
+    buckets = []
+    for name, lo, hi in FLOW_BUCKETS:
+        fcts = sorted(f["fct_us"] for f in completed if lo <= f.get("bytes", 0) < hi)
+        buckets.append({
+            "bucket": name,
+            "n": len(fcts),
+            "p50_us": percentile(fcts, 0.50),
+            "p95_us": percentile(fcts, 0.95),
+            "p99_us": percentile(fcts, 0.99),
+        })
+    slowest = sorted(completed, key=lambda f: -f["fct_us"])[:top]
+    return {
+        "total": len(flows),
+        "completed": len(completed),
+        "buckets": buckets,
+        "slowest": [{
+            "flow": f.get("flow"),
+            "src": f.get("src"),
+            "dst": f.get("dst"),
+            "bytes": f.get("bytes"),
+            "fct_us": f.get("fct_us"),
+            "retx": f.get("retx", 0),
+            "rtos": f.get("rtos", 0),
+            "path_switches": f.get("path_switches", 0),
+        } for f in slowest],
+    }
+
+
+def paths_summary(samples):
+    """Sampled INT path-record stats."""
+    hops = [s.get("total_hops", 0) for s in samples]
+    truncated = sum(1 for s in samples if s.get("total_hops", 0) > len(s.get("hops", [])))
+    return {
+        "records": len(samples),
+        "truncated": truncated,
+        "min_hops": min(hops) if hops else 0,
+        "max_hops": max(hops) if hops else 0,
+        "mean_hops": sum(hops) / len(hops) if hops else 0.0,
+    }
+
+
+def link_hotspots(rows, top):
+    """Per-link peak queue depth and sustained (mean) utilization."""
+    links = {}
+    for row in rows:
+        s = links.setdefault(row["link"], {"peak_q": 0, "util_sum": 0.0,
+                                           "max_util": 0.0, "samples": 0})
+        s["peak_q"] = max(s["peak_q"], row.get("q", 0))
+        s["util_sum"] += row.get("util", 0.0)
+        s["max_util"] = max(s["max_util"], row.get("util", 0.0))
+        s["samples"] += 1
+    stats = [{
+        "link": link,
+        "peak_q": s["peak_q"],
+        "mean_util": s["util_sum"] / s["samples"],
+        "max_util": s["max_util"],
+        "samples": s["samples"],
+    } for link, s in links.items()]
+    return {
+        "links": len(stats),
+        "by_peak_queue": sorted(stats, key=lambda s: (-s["peak_q"], s["link"]))[:top],
+        "by_sustained_util": sorted(stats, key=lambda s: (-s["mean_util"], s["link"]))[:top],
+    }
+
+
+def print_flows(summary):
+    print(f"FLOWS    : {summary['total']} flows ({summary['completed']} completed)")
+    print("  bucket           n   p50_us     p95_us     p99_us")
+    for b in summary["buckets"]:
+        print(f"  {b['bucket']:12s}  {b['n']:4d}  {b['p50_us']:9.1f}  {b['p95_us']:9.1f}"
+              f"  {b['p99_us']:9.1f}")
+    if summary["slowest"]:
+        print("  slowest flows:")
+        for f in summary["slowest"]:
+            print(f"    flow {f['flow']:6d}  {f['src']:3d}->{f['dst']:3d}"
+                  f"  {f['bytes']:9d} B  fct {f['fct_us']:10.1f} us"
+                  f"  retx {f['retx']}  rtos {f['rtos']}"
+                  f"  path_switches {f['path_switches']}")
+
+
+def print_paths(summary):
+    print(f"PATHS    : {summary['records']} sampled records"
+          f" ({summary['truncated']} truncated)")
+    print(f"  hops: min {summary['min_hops']}  max {summary['max_hops']}"
+          f"  mean {summary['mean_hops']:.2f}")
+
+
+def print_link_hotspots(summary):
+    print(f"LINK HOTSPOTS ({summary['links']} links sampled):")
+    print("  by peak queue depth:")
+    for s in summary["by_peak_queue"]:
+        print(f"    link {s['link']:4d}  peak_q {s['peak_q']:8d} B"
+              f"  mean_util {s['mean_util']:.4f}  max_util {s['max_util']:.4f}")
+    print("  by sustained utilization:")
+    for s in summary["by_sustained_util"]:
+        print(f"    link {s['link']:4d}  mean_util {s['mean_util']:.4f}"
+              f"  max_util {s['max_util']:.4f}  peak_q {s['peak_q']:8d} B")
+
+
 def shard_rows(summary):
     """Per-shard parallel-engine rows, shard order."""
     rows = []
@@ -279,6 +436,12 @@ def main():
     parser.add_argument("--manifest", help="manifest path (default: derived from trace)")
     parser.add_argument("--top", type=int, default=5, help="top-N talkers/flappers (default 5)")
     parser.add_argument("--json", action="store_true", help="emit a JSON summary")
+    parser.add_argument("--flows", metavar="FLOWS",
+                        help="flow stream from contrasim --flows-out")
+    parser.add_argument("--paths", metavar="PATHS",
+                        help="sampled path records from contrasim --paths-out")
+    parser.add_argument("--links", metavar="LINKS",
+                        help="link timelines from contrasim --links-out")
     parser.add_argument("--validate-manifest", metavar="MANIFEST",
                         help="validate a manifest file and exit")
     args = parser.parse_args()
@@ -290,42 +453,76 @@ def main():
         print(f"{args.validate_manifest}: {'INVALID' if problems else 'ok'}")
         return 1 if problems else 0
 
-    if not args.trace:
-        parser.error("need a trace file (or --validate-manifest)")
-    try:
-        summary = read_trace(args.trace)
-    except OSError as e:
-        sys.exit(f"telemetry_report: cannot read {args.trace}: {e.strerror}")
+    if not args.trace and not (args.flows or args.paths or args.links):
+        parser.error("need a trace file or a telemetry stream (--flows/--paths/--links)")
 
-    manifest_path = args.manifest or manifest_path_for(args.trace)
+    def read_stream(path, key, summarize):
+        if not path:
+            return None
+        try:
+            rows, bad = read_jsonl(path, key)
+        except OSError as e:
+            sys.exit(f"telemetry_report: cannot read {path}: {e.strerror}")
+        summary = summarize(rows)
+        summary["bad_lines"] = bad
+        return summary
+
+    flows = read_stream(args.flows, "flow", lambda rows: flows_summary(rows, args.top))
+    paths = read_stream(args.paths, "hops", paths_summary)
+    links = read_stream(args.links, "link", lambda rows: link_hotspots(rows, args.top))
+
+    summary = None
     manifest = None
-    if os.path.exists(manifest_path):
-        problems = validate_manifest(manifest_path)
-        if problems:
-            for problem in problems:
-                print(f"telemetry_report: manifest problem: {problem}", file=sys.stderr)
-            return 1
-        with open(manifest_path) as f:
-            manifest = json.load(f)
+    manifest_path = None
+    if args.trace:
+        try:
+            summary = read_trace(args.trace)
+        except OSError as e:
+            sys.exit(f"telemetry_report: cannot read {args.trace}: {e.strerror}")
+        manifest_path = args.manifest or manifest_path_for(args.trace)
+        if os.path.exists(manifest_path):
+            problems = validate_manifest(manifest_path)
+            if problems:
+                for problem in problems:
+                    print(f"telemetry_report: manifest problem: {problem}", file=sys.stderr)
+                return 1
+            with open(manifest_path) as f:
+                manifest = json.load(f)
 
     if args.json:
-        convergence = summary["convergence"]
-        print(json.dumps({
-            "trace": args.trace,
-            "total_records": summary["total_records"],
-            "bad_lines": summary["bad_lines"],
-            "counts": summary["counts"],
-            "top_probe_talkers": summary["probe_talkers"].most_common(args.top),
-            "route_flap_leaders": summary["flap_leaders"].most_common(args.top),
-            "probe_suppression_by_switch": suppression_rows(summary, args.top),
-            "dense_fallback_by_switch": sorted(summary["fallback_by_switch"].items()),
-            "parallel_engine": shard_rows(summary),
-            "first_failure_s": convergence.first_failure,
-            "convergence": convergence.table(),
-            "manifest": manifest,
-        }, indent=2))
+        out = {}
+        if summary is not None:
+            convergence = summary["convergence"]
+            out.update({
+                "trace": args.trace,
+                "total_records": summary["total_records"],
+                "bad_lines": summary["bad_lines"],
+                "counts": summary["counts"],
+                "top_probe_talkers": summary["probe_talkers"].most_common(args.top),
+                "route_flap_leaders": summary["flap_leaders"].most_common(args.top),
+                "probe_suppression_by_switch": suppression_rows(summary, args.top),
+                "dense_fallback_by_switch": sorted(summary["fallback_by_switch"].items()),
+                "parallel_engine": shard_rows(summary),
+                "first_failure_s": convergence.first_failure,
+                "convergence": convergence.table(),
+                "manifest": manifest,
+            })
+        if flows is not None:
+            out["flows"] = flows
+        if paths is not None:
+            out["paths"] = paths
+        if links is not None:
+            out["link_hotspots"] = links
+        print(json.dumps(out, indent=2))
     else:
-        print_report(args.trace, summary, manifest, manifest_path, args.top)
+        if summary is not None:
+            print_report(args.trace, summary, manifest, manifest_path, args.top)
+        if flows is not None:
+            print_flows(flows)
+        if paths is not None:
+            print_paths(paths)
+        if links is not None:
+            print_link_hotspots(links)
     return 0
 
 
