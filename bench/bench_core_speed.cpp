@@ -46,6 +46,7 @@
 #include "compiler/compiler.h"
 #include "dataplane/contra_switch.h"
 #include "obs/telemetry.h"
+#include "oracle/quiesce.h"
 #include "sim/host.h"
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
@@ -81,6 +82,8 @@ struct ScenarioResult {
   uint64_t dense_fallback_hits = 0;
   uint64_t workload_probes = 0;  ///< unsuppressed deliveries for the same interval
   double fwdt_lookup_ns = 0.0;   ///< measured only in the canonical probe_flood
+  uint64_t usable_digest = 0;    ///< usable-FwdT fixed point at scenario end
+  std::string extra_json;        ///< scenario-specific keys, emitted verbatim
 
   double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0.0; }
   double probes_per_s() const {
@@ -211,9 +214,16 @@ double measure_fwdt_lookup_ns(const dataplane::ContraSwitch& sw,
   return wall * 1e9 / double(passes * universe);
 }
 
+uint64_t usable_digest_of(const std::vector<dataplane::ContraSwitch*>& switches,
+                          sim::Time now) {
+  const std::vector<const dataplane::ContraSwitch*> view(switches.begin(), switches.end());
+  return oracle::usable_fwdt_digest(view, now);
+}
+
 ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
                                     bool verify_telemetry_contract, bool suppression,
-                                    uint64_t workload_probes, bool lookup_bench) {
+                                    uint64_t workload_probes, bool lookup_bench,
+                                    bool triggered = false) {
   const topology::Topology topo =
       topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
   const compiler::CompileResult compiled =
@@ -225,6 +235,7 @@ ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
   dataplane::ContraSwitchOptions options;
   options.probe_period_s = 64e-6;  // 4x the paper's rate: a deliberate flood
   options.probe_suppression = suppression;
+  options.triggered_updates = triggered;
   const std::vector<dataplane::ContraSwitch*> switches =
       dataplane::install_contra_network(sim, compiled, evaluator, options);
   sim.start();
@@ -253,6 +264,7 @@ ScenarioResult run_probe_flood_impl(const char* name, double sim_seconds,
   result.probes_suppressed = metrics.value(core.probes_suppressed) - suppressed_before;
   result.dense_fallback_hits = metrics.value(core.dense_fallback_hits) - fallback_before;
   result.workload_probes = workload_probes ? workload_probes : result.probes_received;
+  result.usable_digest = usable_digest_of(switches, sim.now());
   if (lookup_bench && !switches.empty()) {
     const dataplane::ContraSwitch& sw = *switches.front();
     result.fwdt_lookup_ns =
@@ -289,10 +301,160 @@ ScenarioResult run_probe_flood_nosuppress(double sim_seconds) {
                               /*lookup_bench=*/false);
 }
 
+/// The canonical probe_flood now runs the triggered engine (§12): same
+/// converged routing state, delivered with keepalive-only steady traffic. Its
+/// probes_per_s stays normalized to the unsuppressed workload — "the same
+/// interval's routing protocol work, done in this much wall time".
 ScenarioResult run_probe_flood(double sim_seconds, uint64_t workload_probes) {
   return run_probe_flood_impl("probe_flood", sim_seconds, false,
                               /*suppression=*/true, workload_probes,
-                              /*lookup_bench=*/true);
+                              /*lookup_bench=*/true, /*triggered=*/true);
+}
+
+/// The PR 5 periodic engine (delta-suppression, no triggers), kept for A/B:
+/// its fixed point must be bit-identical to the triggered probe_flood's.
+ScenarioResult run_probe_flood_periodic(double sim_seconds, uint64_t workload_probes) {
+  return run_probe_flood_impl("probe_flood_periodic", sim_seconds, false,
+                              /*suppression=*/true, workload_probes,
+                              /*lookup_bench=*/false);
+}
+
+// ---- probe_steady_state / probe_failure_wave -------------------------------
+//
+// The two triggered-update acceptance scenarios (§12). Each runs the periodic
+// and triggered engines on the same k=4 fat-tree and compares a measured
+// window:
+//
+//   probe_steady_state — post-convergence window with no events. Hard gates:
+//       triggered mode delivers >=90% fewer probes than the periodic
+//       (suppressed) engine, the two usable-FwdT fixed points are
+//       bit-identical, and the triggered window performs zero allocations.
+//   probe_failure_wave — one agg-core cable fails mid-run. Hard gate: the
+//       triggered failure wave costs fewer probe deliveries than the
+//       periodic engine spends over the same recovery window.
+
+struct ModeWindow {
+  uint64_t probes = 0;
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  uint64_t allocs = 0;
+  uint64_t digest = 0;
+};
+
+template <typename Mutate>
+ModeWindow run_mode_window(bool triggered, double converge_s, double window_s,
+                           Mutate&& mutate) {
+  const topology::Topology topo =
+      topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile("minimize((path.len, path.util))", topo);
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+  sim::SimConfig config;
+  sim::Simulator sim(topo, config);
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 64e-6;
+  options.probe_suppression = true;
+  options.triggered_updates = triggered;
+  const std::vector<dataplane::ContraSwitch*> switches =
+      dataplane::install_contra_network(sim, compiled, evaluator, options);
+  sim.start();
+  const obs::CoreMetrics& core = sim.telemetry().core();
+  const obs::MetricsRegistry& metrics = sim.telemetry().metrics();
+  sim.run_until(converge_s);
+  mutate(sim, topo);
+  const uint64_t probes_before = metrics.value(core.probes_received);
+  const uint64_t events_before = sim.events().events_processed();
+  const uint64_t allocs_before = util::alloc_count();
+  const auto start = Clock::now();
+  sim.run_until(converge_s + window_s);
+  ModeWindow w;
+  w.allocs = util::alloc_count() - allocs_before;
+  w.wall_s = seconds_since(start);
+  w.probes = metrics.value(core.probes_received) - probes_before;
+  w.events = sim.events().events_processed() - events_before;
+  w.digest = usable_digest_of(switches, sim.now());
+  return w;
+}
+
+ScenarioResult run_probe_steady_state(double sim_seconds) {
+  const double converge_s = sim_seconds * 0.4;
+  auto noop = [](sim::Simulator&, const topology::Topology&) {};
+  const ModeWindow periodic = run_mode_window(false, converge_s, sim_seconds, noop);
+  const ModeWindow trig = run_mode_window(true, converge_s, sim_seconds, noop);
+
+  const double reduction =
+      periodic.probes > 0 ? 1.0 - double(trig.probes) / double(periodic.probes) : 0.0;
+  const bool digest_match = periodic.digest == trig.digest;
+  if (reduction < 0.9) {
+    std::fprintf(stderr,
+                 "probe_steady_state: triggered reduction %.4f < 0.90 "
+                 "(periodic %llu probes, triggered %llu)\n",
+                 reduction, static_cast<unsigned long long>(periodic.probes),
+                 static_cast<unsigned long long>(trig.probes));
+    std::exit(1);
+  }
+  if (!digest_match) {
+    std::fprintf(stderr,
+                 "probe_steady_state: triggered/periodic usable-FwdT fixed "
+                 "points differ (%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(trig.digest),
+                 static_cast<unsigned long long>(periodic.digest));
+    std::exit(1);
+  }
+  if (trig.allocs != 0) {
+    std::fprintf(stderr, "probe_steady_state: %llu allocations in triggered window (want 0)\n",
+                 static_cast<unsigned long long>(trig.allocs));
+    std::exit(1);
+  }
+
+  ScenarioResult result;
+  result.name = "probe_steady_state";
+  result.events = trig.events;
+  result.wall_s = trig.wall_s;
+  result.allocs_per_event = trig.events ? double(trig.allocs) / trig.events : 0.0;
+  result.has_probe_stats = true;
+  result.probes_received = trig.probes;
+  result.workload_probes = periodic.probes;  // probes_per_s vs the periodic window
+  result.usable_digest = trig.digest;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                ", \"steady_state_reduction\": %.4f, \"digest_match\": true", reduction);
+  result.extra_json = buf;
+  return result;
+}
+
+ScenarioResult run_probe_failure_wave(double sim_seconds) {
+  const double converge_s = sim_seconds * 0.4;
+  const double wave_s = sim_seconds * 0.3;
+  auto fail_agg_core = [](sim::Simulator& sim, const topology::Topology& topo) {
+    sim.fail_cable(topo.link_between(topo.find("a0_0"), topo.find("c0")));
+  };
+  const ModeWindow periodic = run_mode_window(false, converge_s, wave_s, fail_agg_core);
+  const ModeWindow trig = run_mode_window(true, converge_s, wave_s, fail_agg_core);
+
+  if (trig.probes >= periodic.probes) {
+    std::fprintf(stderr,
+                 "probe_failure_wave: triggered wave (%llu probes) not cheaper "
+                 "than periodic (%llu)\n",
+                 static_cast<unsigned long long>(trig.probes),
+                 static_cast<unsigned long long>(periodic.probes));
+    std::exit(1);
+  }
+
+  ScenarioResult result;
+  result.name = "probe_failure_wave";
+  result.events = trig.events;
+  result.wall_s = trig.wall_s;
+  result.allocs_per_event = trig.events ? double(trig.allocs) / trig.events : 0.0;
+  result.has_probe_stats = true;
+  result.probes_received = trig.probes;
+  result.workload_probes = periodic.probes;
+  result.usable_digest = trig.digest;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, ", \"wave_ratio\": %.4f",
+                periodic.probes ? double(trig.probes) / periodic.probes : 0.0);
+  result.extra_json = buf;
+  return result;
 }
 
 // ---- parallel_scaling ------------------------------------------------------
@@ -669,6 +831,7 @@ void write_json(const std::string& path, const std::string& label,
         out << buf;
       }
     }
+    out << r.extra_json;
     out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  }";
@@ -719,8 +882,23 @@ int main(int argc, char** argv) {
     round.push_back(run_probe_flood_nosuppress(sim_seconds));
     const uint64_t workload_probes = round.back().probes_received;
     round.push_back(run_probe_flood(sim_seconds, workload_probes));
+    round.push_back(run_probe_flood_periodic(sim_seconds, workload_probes));
+    // A/B contract: the triggered engine must land on the exact usable-FwdT
+    // fixed point the periodic engine computes — same fabric, same policy,
+    // vastly less probe traffic. A mismatch is a protocol bug, not a perf
+    // regression, so it fails the binary.
+    if (round[round.size() - 2].usable_digest != round.back().usable_digest) {
+      std::fprintf(stderr,
+                   "probe_flood: triggered fixed point %016llx != periodic %016llx\n",
+                   static_cast<unsigned long long>(round[round.size() - 2].usable_digest),
+                   static_cast<unsigned long long>(round.back().usable_digest));
+      return 1;
+    }
+    round.back().extra_json = ", \"digest_match\": true";
     round.push_back(run_probe_flood_telemetry_off(sim_seconds, workload_probes));
     round.push_back(run_probe_flood_flowtrack_off(sim_seconds, workload_probes));
+    round.push_back(run_probe_steady_state(sim_seconds));
+    round.push_back(run_probe_failure_wave(sim_seconds));
     if (best.empty()) {
       best = round;
     } else {

@@ -70,6 +70,62 @@ Trend trend_of(const ExprPtr& e) {
   return Trend::kUnknown;
 }
 
+/// Strictness lattice: how the expression moves under a single-link
+/// extension. kWeak = non-decreasing but can tie; kStrict = always grows.
+enum class Strict { kConstant, kWeak, kStrict, kUnknown };
+
+Strict strict_of(const ExprPtr& e) {
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kInfinity:
+      return Strict::kConstant;
+    case Expr::Kind::kAttr:
+      // len grows by exactly 1 per hop. util (max-combine) and lat
+      // (zero-delay links exist) can tie across an extension.
+      return e->attr == lang::PathAttr::kLen ? Strict::kStrict : Strict::kWeak;
+    case Expr::Kind::kBinOp: {
+      const Strict l = strict_of(e->lhs);
+      const Strict r = strict_of(e->rhs);
+      if (l == Strict::kUnknown || r == Strict::kUnknown) return Strict::kUnknown;
+      switch (e->op) {
+        case lang::BinOp::kAdd:
+          // strict + non-decreasing grows strictly.
+          if (l == Strict::kStrict || r == Strict::kStrict) return Strict::kStrict;
+          if (l == Strict::kConstant && r == Strict::kConstant) return Strict::kConstant;
+          return Strict::kWeak;
+        case lang::BinOp::kSub:
+          return Strict::kUnknown;  // the monotone pass may still reject it
+        case lang::BinOp::kMin:
+        case lang::BinOp::kMax:
+          // min/max of two strictly growing terms strictly grows; one
+          // tie-capable side can pin the result.
+          if (l == Strict::kStrict && r == Strict::kStrict) return Strict::kStrict;
+          if (l == Strict::kConstant && r == Strict::kConstant) return Strict::kConstant;
+          return Strict::kWeak;
+      }
+      return Strict::kUnknown;
+    }
+    case Expr::Kind::kIf:
+      return Strict::kUnknown;  // handled by decomposition first
+    case Expr::Kind::kTuple: {
+      // Lexicographic order: with every element non-decreasing, the first
+      // element that moves decides — so one strict element anywhere makes
+      // the whole tuple strictly increase.
+      bool any_strict = false;
+      bool all_const = true;
+      for (const auto& el : e->elems) {
+        const Strict s = strict_of(el);
+        if (s == Strict::kUnknown) return Strict::kUnknown;
+        if (s == Strict::kStrict) any_strict = true;
+        if (s != Strict::kConstant) all_const = false;
+      }
+      if (any_strict) return Strict::kStrict;
+      return all_const ? Strict::kConstant : Strict::kWeak;
+    }
+  }
+  return Strict::kUnknown;
+}
+
 lang::PathAttributes random_attrs(util::Rng& rng) {
   lang::PathAttributes a;
   a.util = rng.uniform();
@@ -87,6 +143,10 @@ lang::LinkMetrics random_link(util::Rng& rng) {
 bool metric_is_monotonic_structural(const ExprPtr& expr) {
   const Trend t = trend_of(expr);
   return t == Trend::kConstant || t == Trend::kNonDecreasing;
+}
+
+bool metric_is_strictly_monotonic_structural(const ExprPtr& expr) {
+  return strict_of(expr) == Strict::kStrict;
 }
 
 std::optional<MonotonicityCounterexample> sample_monotonicity_violation(const ExprPtr& expr,
@@ -111,21 +171,56 @@ std::optional<MonotonicityCounterexample> sample_monotonicity_violation(const Ex
   return std::nullopt;
 }
 
+std::optional<MonotonicityCounterexample> sample_strictness_violation(const ExprPtr& expr,
+                                                                      uint64_t seed,
+                                                                      int samples) {
+  util::Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const lang::PathAttributes base = random_attrs(rng);
+    const lang::LinkMetrics link = random_link(rng);
+    const lang::PathAttributes extended = extend(base, link);
+    const lang::Rank before = evaluate_metric(expr, base);
+    const lang::Rank after = evaluate_metric(expr, extended);
+    if (!(before < after)) {
+      return MonotonicityCounterexample{
+          .base = base,
+          .extension = link,
+          .base_rank = before.to_string(),
+          .extended_rank = after.to_string(),
+      };
+    }
+  }
+  return std::nullopt;
+}
+
 MonotonicityReport check_monotonicity(const Decomposition& decomposition, uint64_t seed,
                                       int samples) {
   MonotonicityReport report;
+  report.strictly_monotonic = true;
   for (size_t pid = 0; pid < decomposition.subpolicies.size(); ++pid) {
     const ExprPtr& objective = decomposition.subpolicies[pid].objective;
-    if (metric_is_monotonic_structural(objective)) continue;
-    auto violation = sample_monotonicity_violation(objective, seed, samples);
-    if (violation) {
-      report.monotonic = false;
-      report.violating_pid = pid;
-      report.counterexample = std::move(violation);
-      return report;
+    if (!metric_is_monotonic_structural(objective)) {
+      auto violation = sample_monotonicity_violation(objective, seed, samples);
+      if (violation) {
+        report.monotonic = false;
+        report.strictly_monotonic = false;
+        report.violating_pid = pid;
+        report.counterexample = std::move(violation);
+        return report;
+      }
+      // Structurally unknown but no sampled violation: treat as monotonic
+      // (randomized soundness); the structural pass covers all paper policies.
     }
-    // Structurally unknown but no sampled violation: treat as monotonic
-    // (randomized soundness); the structural pass covers all paper policies.
+    if (report.strictly_monotonic && !metric_is_strictly_monotonic_structural(objective)) {
+      // Structural pass said "can tie": trust it for the known-weak shapes
+      // (util, lat) and fall back to sampling only for unknown ones. The
+      // sampler draws strictly positive link metrics, so it would wrongly
+      // certify `path.lat`-style objectives the structural pass already
+      // understands.
+      const Strict s = strict_of(objective);
+      report.strictly_monotonic =
+          s == Strict::kUnknown && !sample_strictness_violation(objective, seed, samples);
+    }
   }
   return report;
 }
@@ -135,7 +230,7 @@ MonotonicityReport check_monotonicity(const lang::Policy& policy, uint64_t seed,
 }
 
 std::string MonotonicityReport::to_string() const {
-  if (monotonic) return "monotonic";
+  if (monotonic) return strictly_monotonic ? "strictly monotonic" : "monotonic";
   std::ostringstream out;
   out << "non-monotonic (pid " << violating_pid << ")";
   if (counterexample) {

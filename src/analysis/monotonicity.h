@@ -29,6 +29,12 @@ struct MonotonicityCounterexample {
 
 struct MonotonicityReport {
   bool monotonic = true;
+  /// Strict monotonicity: every extension strictly worsens the rank (a probe
+  /// circling a loop cannot tie the stored entry). This is the stronger
+  /// property the triggered-update fixed-point argument needs (DESIGN.md
+  /// §12): with ties possible, triggered and periodic runs may legitimately
+  /// settle on different equal-rank paths. Implied false when !monotonic.
+  bool strictly_monotonic = false;
   /// Which subpolicy (pid) violated, if any.
   size_t violating_pid = 0;
   std::optional<MonotonicityCounterexample> counterexample;
@@ -39,9 +45,21 @@ struct MonotonicityReport {
 /// Checks a single test-free metric expression.
 bool metric_is_monotonic_structural(const lang::ExprPtr& expr);
 
+/// Strict variant: true when every single-link extension strictly increases
+/// the rank. Structurally, `len` grows by exactly 1 per hop while `util`
+/// (max-combine) and `lat` (zero-delay links) may tie, so a tuple is strict
+/// iff all elements are non-decreasing and at least one is strict —
+/// lexicographic order then strictly increases.
+bool metric_is_strictly_monotonic_structural(const lang::ExprPtr& expr);
+
 /// Randomized semantic check of one metric expression. Returns a
 /// counterexample if rank(extend(attrs, link)) < rank(attrs) for any sample.
 std::optional<MonotonicityCounterexample> sample_monotonicity_violation(
+    const lang::ExprPtr& expr, uint64_t seed, int samples);
+
+/// Randomized strictness check: a counterexample where the extended rank
+/// fails to strictly worsen (after <= before).
+std::optional<MonotonicityCounterexample> sample_strictness_violation(
     const lang::ExprPtr& expr, uint64_t seed, int samples);
 
 /// Full policy check via decomposition.

@@ -104,7 +104,10 @@ std::string CompileResult::summary() const {
   out << decomposition.subpolicies.size() << " pid(s), " << graph.num_tags() << " tag(s) ("
       << tag_bits() << " bits), " << graph.num_nodes() << " PG nodes, " << graph.num_edges()
       << " PG edges, " << isotonicity.to_string() << ", "
-      << (monotonicity.monotonic ? "monotonic" : "NON-monotonic") << ", max switch state "
+      << (monotonicity.monotonic
+              ? (monotonicity.strictly_monotonic ? "strictly monotonic" : "monotonic")
+              : "NON-monotonic")
+      << ", max switch state "
       << max_switch_state_bytes() / 1024.0 << " kB";
   return out.str();
 }

@@ -35,7 +35,15 @@ ContraSwitch::ContraSwitch(const compiler::CompileResult& compiled,
       flowlets_(options.flowlet_timeout_s),
       loop_detector_(options.loop_table_slots, options.loop_ttl_threshold),
       probe_clock_(options.probe_period_s),
-      failure_detector_(options.failure_detect_periods * options.probe_period_s,
+      // Triggered mode stretches the silence threshold by the keepalive
+      // cadence: between keepalives, probe silence on a healthy link is the
+      // designed steady state, not a failure. Port signals (note_down) cover
+      // the fast path.
+      failure_detector_(options.failure_detect_periods * options.probe_period_s *
+                            ((options.triggered_updates && options.versioned_probes &&
+                              options.keepalive_rounds > 1)
+                                 ? options.keepalive_rounds
+                                 : 1),
                         compiled.graph.topo().num_links()),
       last_best_(dense_->destinations.size(), topology::kInvalidLink) {
   const uint32_t num_tags = compiled.graph.num_tags();
@@ -46,6 +54,19 @@ ContraSwitch::ContraSwitch(const compiler::CompileResult& compiled,
     pg_node_of_tag_[tag] = compiled.graph.node_index(self, tag);
   }
   if (options_.reference_tables) reference_fwdt_.reserve(rows_.size());
+  if (triggered()) {
+    // All triggered-engine state is preallocated here so the steady-state
+    // scan/emit paths never allocate (the probe_steady_state bench gates it).
+    const size_t num_links = compiled.graph.topo().num_links();
+    neighbor_mv_.assign(rows_.size(), pg::MetricsVector{});
+    probe_link_alive_.assign(num_links, 1);
+    link_util_adv_.assign(num_links, 0.0);
+    holddown_until_.assign(dense_->destinations.size(), 0.0);
+    trigger_pending_.assign(dense_->destinations.size(), 0);
+    self_slot_ = compiled.switches[self_].is_destination && self_ < dense_->dst_slot.size()
+                     ? dense_->dst_slot[self_]
+                     : compiler::DenseFwdIndex::kNoSlot;
+  }
 }
 
 void ContraSwitch::bind_telemetry(Simulator& sim) {
@@ -57,14 +78,20 @@ void ContraSwitch::bind_telemetry(Simulator& sim) {
 
 void ContraSwitch::start(Simulator& sim) {
   bind_telemetry(sim);
-  if (compiled_->switches[self_].is_destination) {
+  if (triggered()) {
+    // Every switch runs the per-period control tick: destinations advance
+    // their clock (emitting only on keepalive rounds), and all switches scan
+    // local link/utilization state and flush hold-down-deferred triggers.
+    control_tick(sim);
+  } else if (compiled_->switches[self_].is_destination) {
     // Jitter-free periodic origination; all destinations share the phase,
     // which keeps rounds comparable (the paper's probes are periodic too).
     originate_probes(sim);
   }
 }
 
-void ContraSwitch::trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double t) {
+void ContraSwitch::trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double t,
+                               uint32_t aux) {
   obs::TraceRecord r;
   r.t = t;
   r.ev = ev;
@@ -74,6 +101,7 @@ void ContraSwitch::trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double
   r.pid = probe.pid;
   r.version = probe.version;
   r.value = probe.mv.len;
+  r.aux = aux;
   telemetry_->emit(r);
 }
 
@@ -108,28 +136,259 @@ uint32_t ContraSwitch::probe_wire_bytes() const {
          4 * static_cast<uint32_t>(compiled_->decomposition.attrs.size());
 }
 
-void ContraSwitch::originate_probes(Simulator& sim) {
+void ContraSwitch::emit_origin_round(Simulator& sim, uint64_t version) {
   const uint32_t origin_tag = compiled_->switches[self_].origin_tag;
-  const uint64_t version = probe_clock_.advance();
   const uint32_t pg_node = pg_node_of_tag_[origin_tag];
-  if (pg_node != pg::kInvalidPgNode) {
-    for (uint32_t pid = 0; pid < evaluator_->num_pids(); ++pid) {
-      for (const pg::PgEdge& edge : compiled_->graph.out_edges(pg_node)) {
-        Packet probe;
-        probe.kind = PacketKind::kProbe;
-        probe.id = sim.next_packet_id();
-        probe.size_bytes = probe_wire_bytes();
-        probe.src_switch = self_;
-        probe.probe = sim::ProbeFields{self_, pid, origin_tag, options_.traffic_class_id,
-                                       version, pg::MetricsVector{}};
-        ++stats_.probes_originated;
-        telemetry_->metrics().add(telemetry_->core().probes_originated);
-        if (telemetry_->tracing()) trace_probe(obs::Ev::kProbeOrig, *probe.probe, sim.now());
-        sim.send_on_link(edge.link, std::move(probe));
-      }
+  if (pg_node == pg::kInvalidPgNode) return;
+  for (uint32_t pid = 0; pid < evaluator_->num_pids(); ++pid) {
+    for (const pg::PgEdge& edge : compiled_->graph.out_edges(pg_node)) {
+      Packet probe;
+      probe.kind = PacketKind::kProbe;
+      probe.id = sim.next_packet_id();
+      probe.size_bytes = probe_wire_bytes();
+      probe.src_switch = self_;
+      probe.probe = sim::ProbeFields{self_, pid, origin_tag, options_.traffic_class_id,
+                                     version, pg::MetricsVector{}};
+      ++stats_.probes_originated;
+      telemetry_->metrics().add(telemetry_->core().probes_originated);
+      if (telemetry_->tracing()) trace_probe(obs::Ev::kProbeOrig, *probe.probe, sim.now());
+      sim.send_on_link(edge.link, std::move(probe));
     }
   }
+}
+
+void ContraSwitch::originate_probes(Simulator& sim) {
+  emit_origin_round(sim, probe_clock_.advance());
   sim.events().schedule_in(options_.probe_period_s, [this, &sim] { originate_probes(sim); });
+}
+
+void ContraSwitch::control_tick(Simulator& sim) {
+  if (compiled_->switches[self_].is_destination) {
+    // The clock still ticks every period (versions identify rounds network-
+    // wide), but only keepalive rounds flood — the liveness backstop that
+    // feeds downstream failure detectors and pins the fixed point (§12).
+    const uint64_t version = probe_clock_.advance();
+    if (keepalive_version(version)) emit_origin_round(sim, version);
+  }
+  scan_local_changes(sim);
+  flush_pending(sim);
+  sim.events().schedule_in(options_.probe_period_s, [this, &sim] { control_tick(sim); });
+}
+
+void ContraSwitch::scan_local_changes(Simulator& sim) {
+  const sim::Time now = sim.now();
+  const topology::Topology& topo = compiled_->graph.topo();
+  for (const LinkId out : topo.out_links(self_)) {
+    // Probe-silence transitions found by the detector (remote failures the
+    // port signal cannot see) become trigger waves here, one period late at
+    // worst.
+    const LinkId probe_dir = topo.link(out).reverse;
+    const bool alive = !failure_detector_.presumed_failed(probe_dir, now);
+    if (alive != (probe_link_alive_[probe_dir] != 0)) {
+      probe_link_alive_[probe_dir] = alive ? 1 : 0;
+      on_link_transition(sim, out, alive);
+    }
+    // Quantized-utilization drift on the out-link: re-derive every row routed
+    // over it from the cached neighbor advert (metric drift => focused wave,
+    // no fresh probe needed).
+    double util = sim.link(out).utilization();
+    if (options_.util_quantum > 0) {
+      util = std::round(util / options_.util_quantum) * options_.util_quantum;
+    }
+    if (util == link_util_adv_[out]) continue;
+    link_util_adv_[out] = util;
+    const double lat_us = sim.link(out).delay_s() * 1e6;
+    for (uint32_t r = 0; r < rows_.size(); ++r) {
+      if (!row_present_[r]) continue;
+      FwdEntry& entry = rows_[r];
+      if (entry.nhop != out || entry.withdrawn) continue;
+      pg::MetricsVector mv = neighbor_mv_[r];
+      mv.extend(util, lat_us);
+      if (mv.util == entry.mv.util && mv.lat == entry.mv.lat && mv.len == entry.mv.len) {
+        continue;
+      }
+      topology::NodeId dst = topology::kInvalidNode;
+      uint32_t tag = 0, pid = 0;
+      dense_->key_of(r, dst, tag, pid);
+      entry.mv = mv;
+      entry.rank = evaluator_->propagation_rank(pid, mv);
+      if (options_.reference_tables) reference_fwdt_[FwdKey{dst, tag, pid}] = entry;
+      request_trigger(dense_->dst_slot[dst], now);
+    }
+  }
+}
+
+void ContraSwitch::on_link_transition(Simulator& sim, LinkId traffic_link, bool alive) {
+  (void)alive;  // emit_deltas re-reads entry_usable; both edges just mark dirty
+  const sim::Time now = sim.now();
+  for (uint32_t r = 0; r < rows_.size(); ++r) {
+    if (!row_present_[r] || rows_[r].nhop != traffic_link) continue;
+    topology::NodeId dst = topology::kInvalidNode;
+    uint32_t tag = 0, pid = 0;
+    dense_->key_of(r, dst, tag, pid);
+    request_trigger(dense_->dst_slot[dst], now);
+  }
+}
+
+void ContraSwitch::request_trigger(uint32_t slot, sim::Time now) {
+  if (slot >= trigger_pending_.size() || trigger_pending_[slot] != 0) return;
+  trigger_pending_[slot] = 1;
+  ++pending_count_;
+  if (now < holddown_until_[slot]) {
+    // Inside the hold-down window: parked until the first control tick after
+    // expiry (trailing-edge coalescing — the final state still propagates).
+    ++stats_.probes_holddown_deferred;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().add(telemetry_->core().probes_holddown_deferred);
+    }
+  }
+}
+
+void ContraSwitch::flush_pending(Simulator& sim) {
+  if (pending_count_ == 0) return;
+  const sim::Time now = sim.now();
+  for (uint32_t slot = 0; slot < trigger_pending_.size(); ++slot) {
+    if (trigger_pending_[slot] == 0 || now < holddown_until_[slot]) continue;
+    trigger_pending_[slot] = 0;
+    --pending_count_;
+    uint32_t sent = 0;
+    if (slot == self_slot_) {
+      // Origin trigger (e.g. local link recovery): re-announce under the
+      // CURRENT round's version. It is still fresher than anything a receiver
+      // holds (only every keepalive_rounds-th version floods), so adoption is
+      // unconditional — but the clock is NOT advanced: an out-of-band advance
+      // would shift this origin's keepalive phase off the network-wide tick,
+      // and the resulting probe serialization changes re-break equal-rank
+      // ties differently from the periodic protocol (digest parity breaks).
+      emit_origin_round(sim, probe_clock_.version());
+      sent = 1;
+    } else {
+      sent = emit_deltas(sim, slot);
+    }
+    // Arm hold-down only when something went out; a no-op flush should not
+    // penalize the next real change.
+    if (sent > 0) {
+      holddown_until_[slot] = now + options_.holddown_periods * options_.probe_period_s;
+    }
+  }
+}
+
+uint32_t ContraSwitch::emit_deltas(Simulator& sim, uint32_t slot) {
+  const sim::Time now = sim.now();
+  const uint32_t begin = dense_->slice_begin(slot);
+  const uint32_t width = dense_->slice_width();
+  const uint32_t num_pids = dense_->num_pids;
+  const NodeId dst = dense_->destinations[slot];
+  obs::Telemetry& tel = *telemetry_;
+  uint32_t sent = 0;
+  for (uint32_t off = 0; off < width; ++off) {
+    const uint32_t row = begin + off;
+    if (!row_present_[row]) continue;
+    FwdEntry& entry = rows_[row];
+    const uint32_t local_tag = dense_->slot_tags[off / num_pids];
+    const uint32_t pid = off % num_pids;
+    AdvertState& adv = adverts_[row];
+    if (entry_usable(entry, now)) {
+      const double lat_q = quantize_advert_lat(entry.mv.lat);
+      if (adv.valid && adv.util == entry.mv.util && adv.lat == lat_q &&
+          adv.len == entry.mv.len && adv.ntag == entry.ntag && adv.nhop == entry.nhop) {
+        continue;  // standing advertisement unchanged: nothing to say
+      }
+      const uint32_t copies = send_row_advert(sim, dst, local_tag, pid, entry, false);
+      sent += copies;
+      stats_.probes_triggered += copies;
+      tel.metrics().add(tel.core().probes_triggered, copies);
+      adv.util = entry.mv.util;
+      adv.lat = lat_q;
+      adv.len = entry.mv.len;
+      adv.ntag = entry.ntag;
+      adv.nhop = entry.nhop;
+      adv.valid = true;
+    } else if (adv.valid) {
+      // The row we once advertised is no longer usable: poison it downstream
+      // instead of letting neighbors wait out metric expiry.
+      const uint32_t copies = send_row_advert(sim, dst, local_tag, pid, entry, true);
+      sent += copies;
+      stats_.probes_withdrawn += copies;
+      tel.metrics().add(tel.core().probes_withdrawn, copies);
+      adv.valid = false;
+    }
+  }
+  return sent;
+}
+
+uint32_t ContraSwitch::send_row_advert(Simulator& sim, NodeId dst, uint32_t local_tag,
+                                       uint32_t pid, const FwdEntry& entry, bool withdraw,
+                                       LinkId only_link) {
+  const uint32_t pg_node = pg_node_of_tag_[local_tag];
+  if (pg_node == pg::kInvalidPgNode) return 0;
+  Packet probe;
+  probe.kind = PacketKind::kProbe;
+  probe.size_bytes = probe_wire_bytes();
+  probe.src_switch = self_;
+  probe.probe = sim::ProbeFields{dst,           pid,  local_tag, options_.traffic_class_id,
+                                 entry.version, entry.mv, withdraw};
+  uint32_t copies = 0;
+  for (const pg::PgEdge& edge : compiled_->graph.out_edges(pg_node)) {
+    // Pure back-edge: our successor taught us this row; telling it back is
+    // stale by construction (and poison toward it would be split-horizon
+    // noise).
+    if (edge.link == entry.nhop && edge.to_tag == entry.ntag) continue;
+    if (only_link != topology::kInvalidLink && edge.link != only_link) continue;
+    Packet copy = probe;
+    copy.id = sim.next_packet_id();
+    sim.send_on_link(edge.link, std::move(copy));
+    ++copies;
+  }
+  if (copies > 0 && telemetry_->tracing()) {
+    trace_probe(withdraw ? obs::Ev::kProbeWithdraw : obs::Ev::kProbeTrigger, *probe.probe,
+                sim.now(), copies);
+  }
+  return copies;
+}
+
+void ContraSwitch::resync_link(Simulator& sim, LinkId traffic_link) {
+  const sim::Time now = sim.now();
+  obs::Telemetry& tel = *telemetry_;
+  for (uint32_t r = 0; r < rows_.size(); ++r) {
+    if (!row_present_[r]) continue;
+    const FwdEntry& entry = rows_[r];
+    if (!entry_usable(entry, now)) continue;
+    topology::NodeId dst = topology::kInvalidNode;
+    uint32_t tag = 0, pid = 0;
+    dense_->key_of(r, dst, tag, pid);
+    const uint32_t copies = send_row_advert(sim, dst, tag, pid, entry, false, traffic_link);
+    stats_.probes_triggered += copies;
+    if (copies > 0) tel.metrics().add(tel.core().probes_triggered, copies);
+  }
+}
+
+void ContraSwitch::handle_link_state(Simulator& sim, LinkId link, bool up) {
+  if (!triggered()) return;  // periodic protocols rely on probe silence only
+  if (telemetry_ == nullptr) bind_telemetry(sim);
+  const sim::Time now = sim.now();
+  const LinkId probe_dir = sim.topo().link(link).reverse;
+  if (!up) {
+    // Port-down: presume the probe direction failed *now* (no silence wait)
+    // and poison every destination routed over the link — the focused
+    // failure wave.
+    failure_detector_.note_down(probe_dir, now);
+    if (probe_dir < probe_link_alive_.size() && probe_link_alive_[probe_dir] != 0) {
+      probe_link_alive_[probe_dir] = 0;
+      on_link_transition(sim, link, false);
+    }
+    flush_pending(sim);
+  } else {
+    // Port-up: the detector keeps presuming failure until probes actually
+    // flow again. Re-send our standing adverts over the revived link so the
+    // neighbor relearns state now, and re-announce ourself with a fresh
+    // version instead of waiting for the next keepalive.
+    resync_link(sim, link);
+    if (self_slot_ != compiler::DenseFwdIndex::kNoSlot) {
+      request_trigger(self_slot_, now);
+      flush_pending(sim);
+    }
+  }
 }
 
 void ContraSwitch::handle_packet(Simulator& sim, Packet&& packet, LinkId in_link) {
@@ -148,7 +407,11 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
   sim::ProbeFields& probe = *packet.probe;
   obs::Telemetry& tel = *telemetry_;
   tel.metrics().add(tel.core().probes_received);
+  tel.metrics().add(tel.core().probe_bytes_rx, packet.size_bytes);
   if (tel.tracing()) trace_probe(obs::Ev::kProbeRx, probe, sim.now());
+  // Triggered mode needs the neighbor's advert as received (pre-extension)
+  // so utilization drift can later re-derive the row without a fresh probe.
+  const pg::MetricsVector rx_mv = probe.mv;
 
   // UPDATEMVEC: probes travel opposite to traffic, so the traffic-direction
   // link is the reverse of the arrival link. Latency counts propagation plus
@@ -196,14 +459,55 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
   // Delta-suppression round phase (§5.2 semantics): rounds are identified by
   // the version the probe carries, so every switch in the network agrees on
   // which rounds are refresh rounds with no extra state or clock sync. On a
-  // refresh round the protocol below is exactly the unsuppressed one.
-  const bool suppression_active = options_.probe_suppression && options_.versioned_probes &&
+  // refresh round the protocol below is exactly the unsuppressed one. Under
+  // the triggered engine (§12) the keepalive rounds play that role instead,
+  // and the PR 5 receiver deferral is replaced by hold-down damping.
+  const bool trig = triggered();
+  const bool suppression_active = !trig && options_.probe_suppression &&
+                                  options_.versioned_probes &&
                                   options_.suppress_refresh_rounds > 1;
   const bool refresh_round =
-      !suppression_active || probe.version % options_.suppress_refresh_rounds == 0;
+      trig ? keepalive_version(probe.version)
+           : !suppression_active || probe.version % options_.suppress_refresh_rounds == 0;
+  if (trig && refresh_round) {
+    ++stats_.keepalive_probes;
+    tel.metrics().add(tel.core().keepalive_probes);
+  }
 
   FwdEntry& entry = rows_[row];
+
+  // Poison advert (§12): our successor for this row lost it. Withdraw ours
+  // too — split-horizon scoped (only the successor's word counts) and
+  // version-guarded (an in-flight stale poison cannot kill a newer entry).
+  if (probe.withdraw) {
+    // The poison names one row at the sender (its local tag). It only kills
+    // our entry if that is the exact row we adopted (link + ntag), not some
+    // other row the same neighbor holds for this destination.
+    if (!trig || !row_present_[row] || entry.nhop != traffic_link ||
+        entry.ntag != incoming_tag || entry.withdrawn || probe.version < entry.version) {
+      return;
+    }
+    entry.withdrawn = true;
+    entry.version = probe.version;
+    entry.updated_at = sim.now();
+    if (options_.reference_tables) {
+      reference_fwdt_[FwdKey{probe.origin, local_tag, probe.pid}] = entry;
+    }
+    if (tel.tracing()) {
+      sim::ProbeFields withdrawn = probe;
+      withdrawn.tag = local_tag;
+      trace_probe(obs::Ev::kProbeWithdraw, withdrawn, sim.now());
+    }
+    if (probe.origin < dense_->dst_slot.size()) {
+      request_trigger(dense_->dst_slot[probe.origin], sim.now());
+      flush_pending(sim);  // propagate the failure wave within this event
+    }
+    return;
+  }
+
   bool propagate = true;
+  bool content_changed = true;
+  bool echo_accept = false;
   if (row_present_[row]) {
     bool version_reset = false;
     if (options_.versioned_probes && probe.version < entry.version) {
@@ -211,7 +515,9 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
       // in-flight probe (§5.1), but when the stored entry has had no accepted
       // refresh for a whole staleness window the origin's clock must have
       // restarted — adopt the probe instead of ignoring the origin forever.
-      const double staleness_s = options_.version_reset_periods * options_.probe_period_s;
+      // Triggered mode scales the window by the keepalive cadence.
+      const double staleness_s =
+          options_.version_reset_periods * options_.probe_period_s * window_scale();
       version_reset = staleness_s > 0 && sim.now() - entry.updated_at > staleness_s;
       if (!version_reset) {
         ++stats_.probes_dropped_version;  // outdated probe (§5.1)
@@ -220,8 +526,21 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
         return;
       }
     }
-    const bool fresher =
-        version_reset || (options_.versioned_probes && probe.version > entry.version);
+    // Triggered mode: a withdrawn row is a DSDV-style version floor. Only a
+    // strictly newer flood — one the origin emitted after the poison's
+    // version was already in circulation — may resurrect it; anything at or
+    // below the floor is a stale pre-failure advert still echoing around the
+    // network, and adopting one restarts count-to-infinity through the dead
+    // region (the loop that poisoning exists to cut).
+    const bool resurrect = trig && entry.withdrawn && probe.version > entry.version;
+    if (trig && entry.withdrawn && !resurrect && !version_reset) {
+      ++stats_.probes_dropped_version;
+      tel.metrics().add(tel.core().probes_rejected_stale);
+      if (tel.tracing()) trace_probe(obs::Ev::kProbeRejectStale, probe, sim.now());
+      return;
+    }
+    const bool fresher = version_reset || resurrect ||
+                         (options_.versioned_probes && probe.version > entry.version);
     // Steady-state fast path: a probe carrying exactly the stored mv has
     // exactly the stored rank (f is a pure function of (pid, mv)), so the
     // rank evaluation — the priciest step of probe processing — is skipped
@@ -245,7 +564,9 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     // row oscillate. Worse news (failures, genuine degradations) still lands
     // within suppress_refresh_rounds periods via the full refresh flood, and
     // improvements propagate immediately through the `better` path below.
-    if (!refresh_round && fresher && !version_reset && !better) {
+    // (Triggered mode does not defer: senders only emit on change, and the
+    // per-(switch,dst) hold-down is the oscillation damper.)
+    if (!trig && !refresh_round && fresher && !version_reset && !better) {
       ++stats_.probes_suppressed;
       tel.metrics().add(tel.core().probes_suppressed);
       if (tel.tracing()) {
@@ -258,8 +579,19 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     // Without versions this is classic distance-vector: the current next hop
     // may always overwrite its own advertisement (worse news included), but
     // other neighbors must strictly improve — the §3 loop-prone strawman.
-    const bool same_successor = entry.nhop == traffic_link;
-    if (!fresher && !better && !(!options_.versioned_probes && same_successor)) {
+    // The triggered engine extends the successor rule to same-version probes
+    // (resyncs and drift re-adverts reuse the version they were learned at).
+    // "Same successor" means the probe describes the row we adopted: same
+    // link AND same sender-side row (the carried tag names the sender's row,
+    // and ours recorded it as ntag). The link alone is not enough — a
+    // neighbor can advertise several rows for one destination (e.g. a probe
+    // origin re-flooding a loop path learned for its own address), and only
+    // the adopted one may overwrite without winning on rank.
+    const bool same_successor = entry.nhop == traffic_link && entry.ntag == incoming_tag;
+    const bool successor_update =
+        trig && same_successor && probe.version >= entry.version;
+    if (!fresher && !better && !successor_update &&
+        !(!options_.versioned_probes && same_successor)) {
       ++stats_.probes_dropped_worse;
       tel.metrics().add(tel.core().probes_rejected_rank);
       if (tel.tracing()) trace_probe(obs::Ev::kProbeRejectRank, probe, sim.now());
@@ -268,11 +600,23 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     // A same-successor refresh with an unchanged rank keeps the entry alive
     // but is not re-advertised (DV re-advertises on change, not on refresh).
     propagate = fresher || better || rank_changed;
+    echo_accept = trig && !fresher && !better;
+    content_changed = !same_content || entry.ntag != incoming_tag ||
+                      entry.nhop != traffic_link || entry.withdrawn;
     entry.mv = probe.mv;
     entry.ntag = incoming_tag;
     entry.nhop = traffic_link;
     entry.version = probe.version;
-    entry.updated_at = sim.now();
+    // A pure successor-rule accept (same version, not better) adopts the
+    // content but must NOT extend the row's liveness: an origin that went
+    // unreachable stops minting versions, and if same-version echoes kept
+    // refreshing updated_at a count-to-infinity loop would hold its zombie
+    // rows alive forever. Frozen liveness lets them expire, which turns them
+    // into poisons (emit_deltas) and ends the loop. Genuinely fresh floods
+    // and rank improvements refresh as before, and the unversioned engine
+    // (classic distance-vector) keeps its refresh-on-successor semantics.
+    if (fresher || better || !options_.versioned_probes) entry.updated_at = sim.now();
+    entry.withdrawn = false;
     if (!same_content) entry.rank = std::move(new_rank);
   } else {
     row_present_[row] = 1;
@@ -282,7 +626,9 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     entry.version = probe.version;
     entry.updated_at = sim.now();
     entry.rank = evaluator_->propagation_rank(probe.pid, probe.mv);
+    entry.withdrawn = false;
   }
+  if (trig) neighbor_mv_[row] = rx_mv;
   if (options_.reference_tables) {
     // Shadow hash-map table (PR 4 layout): same accept path, same end state;
     // check_reference_parity() diffs it against the dense rows.
@@ -297,6 +643,28 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     accepted.tag = local_tag;  // record against the adopted local virtual node
     trace_probe(obs::Ev::kProbeAccept, accepted, sim.now());
     note_route_flip(probe.origin, sim.now());
+  }
+
+  // Triggered engine, non-keepalive rounds: accepted deltas do not flood
+  // directly. The destination is marked dirty and emit_deltas diffs the
+  // rows' standing advertisements — coalescing concurrent changes and
+  // respecting the hold-down damper. Keepalive rounds fall through to the
+  // exact legacy flood below (the fixed-point-pinning backstop) — but only
+  // for the wavefront (`fresher`) and genuine improvements (`better`), the
+  // two accept classes whose legacy relay provably terminates (one fresh
+  // arrival per row per round; rank strictly decreases along `better`
+  // chains). A pure successor-rule echo (same version, not better) must
+  // take the damped delta path even on keepalive rounds: under live
+  // traffic its rank re-churns on every pass — probe bytes move the very
+  // util EWMA being advertised — and relaying each repaint re-excites the
+  // echo's own loop, a self-sustaining probe storm the quiesced benches
+  // never see.
+  if (trig && (!refresh_round || echo_accept)) {
+    if ((propagate || content_changed) && probe.origin < dense_->dst_slot.size()) {
+      request_trigger(dense_->dst_slot[probe.origin], sim.now());
+      flush_pending(sim);
+    }
+    return;
   }
 
   // Sender-side delta-suppression: even an accepted update is not worth
@@ -326,8 +694,10 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     }
   }
   if (!propagate) return;
-  if (suppression_active) {
-    // Record what is about to go out as this row's standing advertisement.
+  if (suppression_active || trig) {
+    // Record what is about to go out as this row's standing advertisement
+    // (triggered mode: keepalive floods must refresh it so the next
+    // emit_deltas diffs against what neighbors actually heard).
     AdvertState& adv = adverts_[row];
     const double lat_quantum = options_.suppress_lat_quantum_us;
     adv.util = probe.mv.util;
@@ -355,8 +725,10 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
 }
 
 bool ContraSwitch::entry_usable(const FwdEntry& entry, sim::Time now) const {
-  if (now - entry.updated_at > options_.metric_expiry_periods * options_.probe_period_s) {
-    return false;  // metric expiration (§5.4)
+  if (entry.withdrawn) return false;  // poisoned (§12) until a probe resurrects it
+  if (now - entry.updated_at >
+      options_.metric_expiry_periods * options_.probe_period_s * window_scale()) {
+    return false;  // metric expiration (§5.4; ×keepalive cadence when triggered)
   }
   // The next hop is presumed failed when its probe direction went silent.
   const LinkId probe_dir = compiled_->graph.topo().link(entry.nhop).reverse;

@@ -18,6 +18,7 @@
 // so experiments can demonstrate why each exists.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -93,6 +94,29 @@ struct ContraSwitchOptions {
   /// absorbs float noise.
   double suppress_lat_quantum_us = 0.25;
 
+  /// Triggered-update mode (DESIGN.md §12): probes are emitted only when a
+  /// row's advertisement *changes* — accepted delta, next-hop move, local
+  /// link state or quantized-utilization drift — plus a low-rate keepalive
+  /// flood every keepalive_rounds periods as the liveness backstop. Failure
+  /// detection, metric expiry, and version-reset staleness windows scale by
+  /// keepalive_rounds (silence between keepalives is the healthy state).
+  /// Fixed points match the periodic protocol for strictly monotonic
+  /// policies (keepalive rounds replay the legacy propagate rule; see the
+  /// Daggitt–Griffin argument in DESIGN.md §12) — enforced by
+  /// contrafuzz --cross-check-triggered. Requires versioned_probes.
+  bool triggered_updates = false;
+  /// Keepalive cadence: origin rounds whose version ≡ 1 (mod this) flood
+  /// under the unsuppressed legacy rule. Larger = less steady-state control
+  /// traffic, slower worst-case resync after recovery. <= 1 floods every
+  /// round (triggered mode degenerates to the periodic protocol).
+  uint32_t keepalive_rounds = 32;
+  /// Per-(switch,dst) hold-down: after a triggered emission for a
+  /// destination, further triggers for it are deferred this many probe
+  /// periods and coalesced (trailing-edge flush at the next control tick
+  /// after expiry, so the final state always propagates). Damps metric
+  /// oscillation into at most one wave per hold-down window.
+  double holddown_periods = 4.0;
+
   /// Test-only: shadow the dense tables with the PR 4 hash-map tables so
   /// check_reference_parity() can cross-check them (contrafuzz
   /// --cross-check). Allocates per entry — never enable in benchmarks.
@@ -115,6 +139,10 @@ struct ContraSwitchStats {
   uint64_t probes_dropped_no_pg = 0;
   uint64_t probes_suppressed = 0;    ///< accepted but not re-broadcast (delta-suppression)
   uint64_t dense_fallback_hits = 0;  ///< probe keys outside the compiled dense universe
+  uint64_t probes_triggered = 0;     ///< probe copies sent by triggered emissions (§12)
+  uint64_t probes_holddown_deferred = 0;  ///< trigger requests parked by hold-down
+  uint64_t keepalive_probes = 0;     ///< probes received on keepalive refresh rounds
+  uint64_t probes_withdrawn = 0;     ///< poison (withdraw) advert copies sent
   uint64_t fwdt_updates = 0;
   uint64_t data_forwarded = 0;
   uint64_t data_to_host = 0;
@@ -135,6 +163,9 @@ class ContraSwitch : public sim::Device {
   void start(sim::Simulator& sim) override;
   void handle_packet(sim::Simulator& sim, sim::Packet&& packet,
                      topology::LinkId in_link) override;
+  /// Port signal (triggered mode only): instant failure presumption +
+  /// focused trigger wave on down, advert resync + origin re-announce on up.
+  void handle_link_state(sim::Simulator& sim, topology::LinkId link, bool up) override;
   const char* kind_name() const override { return "contra"; }
 
   const ContraSwitchStats& stats() const { return stats_; }
@@ -158,6 +189,9 @@ class ContraSwitch : public sim::Device {
     /// an incoming probe against the entry costs one rank evaluation, not
     /// two. propagation_rank is pure, so the cache can never go stale.
     lang::Rank rank;
+    /// Triggered mode: a poison advert marked this row unusable until a
+    /// probe with version >= the stored one resurrects it (§12).
+    bool withdrawn = false;
   };
 
   /// Entry for (traffic destination, local tag, pid), or nullptr.
@@ -230,6 +264,61 @@ class ContraSwitch : public sim::Device {
   void process_probe(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
   void forward_data(sim::Simulator& sim, sim::Packet&& packet, topology::LinkId in_link);
 
+  // ----- triggered-update engine (DESIGN.md §12) ---------------------------
+
+  /// Whether the triggered engine is live (requires versioned probes).
+  bool triggered() const { return options_.triggered_updates && options_.versioned_probes; }
+  /// Number of probe periods a protocol timing window spans: triggered mode
+  /// stretches failure detection / metric expiry / version-reset staleness
+  /// by the keepalive cadence (between keepalives, silence is healthy).
+  double window_scale() const {
+    return triggered() && options_.keepalive_rounds > 1
+               ? static_cast<double>(options_.keepalive_rounds)
+               : 1.0;
+  }
+  /// Is `version` a keepalive (full legacy flood) round in triggered mode?
+  bool keepalive_version(uint64_t version) const {
+    return options_.keepalive_rounds <= 1 || version % options_.keepalive_rounds == 1;
+  }
+  /// One flood of this destination's probes at `version` (the legacy
+  /// origination body; both the periodic clock and keepalives call it).
+  void emit_origin_round(sim::Simulator& sim, uint64_t version);
+  /// Per-period timer of triggered mode, on every switch: advance the origin
+  /// clock / emit keepalives, scan local link + utilization state for
+  /// changes, and flush hold-down-deferred triggers (trailing edge).
+  void control_tick(sim::Simulator& sim);
+  /// Detect probe-silence transitions and quantized-utilization drift on
+  /// this switch's own out-links; affected rows are recomputed and their
+  /// destinations marked pending.
+  void scan_local_changes(sim::Simulator& sim);
+  /// A local link's probe direction flipped alive/dead: mark every
+  /// destination routed over `traffic_link` pending (emit_deltas will
+  /// re-advertise or poison as entry_usable dictates).
+  void on_link_transition(sim::Simulator& sim, topology::LinkId traffic_link, bool alive);
+  /// Mark a destination slot dirty; respects + counts hold-down deferral.
+  void request_trigger(uint32_t slot, sim::Time now);
+  /// Emit deltas for every pending destination whose hold-down expired.
+  void flush_pending(sim::Simulator& sim);
+  /// Diff a destination's rows against their standing advertisements and
+  /// send only the changes: re-adverts for changed usable rows, withdraw
+  /// poison for rows whose standing advert is no longer usable. Returns the
+  /// number of probe copies sent (0 = nothing changed, hold-down not armed).
+  uint32_t emit_deltas(sim::Simulator& sim, uint32_t slot);
+  /// Link recovery: re-send this switch's current usable adverts over PG
+  /// out-edges that traverse `traffic_link`, so the revived neighbor
+  /// relearns state now instead of at the next keepalive.
+  void resync_link(sim::Simulator& sim, topology::LinkId traffic_link);
+  /// Sends one advert (or withdraw) probe for a row along its PG out-edges,
+  /// skipping the pure back-edge. Returns copies sent.
+  uint32_t send_row_advert(sim::Simulator& sim, topology::NodeId dst, uint32_t local_tag,
+                           uint32_t pid, const FwdEntry& entry, bool withdraw,
+                           topology::LinkId only_link = topology::kInvalidLink);
+
+  double quantize_advert_lat(double lat) const {
+    const double q = options_.suppress_lat_quantum_us;
+    return q > 0 ? std::round(lat / q) * q : lat;
+  }
+
   uint32_t probe_wire_bytes() const;
 
   /// Wires this switch, its flowlet table, loop detector, and failure
@@ -237,7 +326,8 @@ class ContraSwitch : public sim::Device {
   void bind_telemetry(sim::Simulator& sim);
   /// Emits a probe-lifecycle trace record (sw/dst/tag/pid/version from the
   /// probe, value = carried path length). Caller checks tracing().
-  void trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double t);
+  void trace_probe(obs::Ev ev, const sim::ProbeFields& probe, double t,
+                   uint32_t aux = obs::kNoField);
   /// Tracing-only: recompute BestT for `dst` and emit kRouteFlip when its
   /// next hop moved since the last accepted probe for that destination.
   void note_route_flip(topology::NodeId dst, sim::Time now);
@@ -275,6 +365,26 @@ class ContraSwitch : public sim::Device {
     bool valid = false;  ///< row has been advertised at least once
   };
   std::vector<AdvertState> adverts_;
+
+  // ----- triggered-update state (allocated only when triggered(); §12) -----
+
+  /// Per row: the neighbor's advertised metrics as received, *before* the
+  /// local link extension — so utilization drift on the out-link can
+  /// recompute the stored mv without a fresh probe.
+  std::vector<pg::MetricsVector> neighbor_mv_;
+  /// Per directed in-link (probe direction): last alive/dead state the local
+  /// scan saw (1 = alive), for transition detection.
+  std::vector<uint8_t> probe_link_alive_;
+  /// Per directed out-link: last quantized utilization advertised into
+  /// probes, for drift detection.
+  std::vector<double> link_util_adv_;
+  /// Per destination slot: hold-down expiry and the dirty flag.
+  std::vector<sim::Time> holddown_until_;
+  std::vector<uint8_t> trigger_pending_;
+  uint32_t pending_count_ = 0;
+  /// This switch's own destination slot (kNoSlot when not a destination):
+  /// its trigger requests re-originate instead of diffing empty rows.
+  uint32_t self_slot_ = UINT32_MAX;
 
   /// Test-only shadow of the PR 4 hash-map FwdT (options_.reference_tables).
   std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> reference_fwdt_;

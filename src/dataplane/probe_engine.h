@@ -82,6 +82,16 @@ class FailureDetector {
     last_probe_[in_link] = now;
   }
 
+  /// Port signal: the link went administratively down. Backdates the
+  /// last-probe timestamp past the silence threshold so presumed_failed
+  /// flips immediately instead of waiting out the threshold — the
+  /// triggered-update fast path (DESIGN.md §12). A later note_probe (link
+  /// restored, probes flowing) clears it naturally.
+  void note_down(topology::LinkId in_link, sim::Time now) {
+    if (in_link >= last_probe_.size()) reserve_links(in_link + 1);
+    last_probe_[in_link] = now - threshold_s_ * (1.0 + 1e-9) - 1e-12;
+  }
+
   /// Is the link presumed failed? Links that never carried a probe are
   /// treated as alive until `now` exceeds the threshold from time zero
   /// (bootstrap grace).

@@ -13,6 +13,11 @@ CoreMetrics::CoreMetrics(MetricsRegistry& r)
       route_flips(r.counter("route_flips")),
       probes_suppressed(r.counter("probes_suppressed")),
       dense_fallback_hits(r.counter("dense_fallback_hits")),
+      probes_triggered(r.counter("probes_triggered")),
+      probes_holddown_deferred(r.counter("probes_holddown_deferred")),
+      keepalive_probes(r.counter("keepalive_probes")),
+      probes_withdrawn(r.counter("probes_withdrawn")),
+      probe_bytes_rx(r.counter("probe_bytes_rx")),
       flowlets_created(r.counter("flowlets_created")),
       flowlets_switched(r.counter("flowlets_switched")),
       flowlets_expired(r.counter("flowlets_expired")),

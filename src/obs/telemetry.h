@@ -25,6 +25,12 @@ struct CoreMetrics {
   CounterId fwdt_updates, route_flips;
   // Dense-table control plane (contra).
   CounterId probes_suppressed, dense_fallback_hits;
+  // Triggered-update control plane (contra + hula; DESIGN.md §12).
+  CounterId probes_triggered;          ///< probe copies sent by triggered emissions
+  CounterId probes_holddown_deferred;  ///< trigger requests parked by the hold-down timer
+  CounterId keepalive_probes;          ///< probes received on keepalive refresh rounds
+  CounterId probes_withdrawn;          ///< poison (withdraw) adverts sent
+  CounterId probe_bytes_rx;            ///< control-plane bytes received as probes
   // Flowlet churn (all flowlet-switching planes).
   CounterId flowlets_created, flowlets_switched, flowlets_expired, flowlets_flushed;
   // Failure handling + loop breaking.

@@ -16,7 +16,7 @@ constexpr std::string_view kEvNames[kNumEv] = {
     "flowlet_switch",     "flowlet_expire", "flowlet_flush", "failure_detect",
     "failure_clear",      "loop_break",     "link_down",     "link_up",
     "drop",               "epoch",          "barrier",       "probe_suppress",
-    "dense_fallback",
+    "dense_fallback",     "probe_trigger",  "probe_withdraw",
 };
 
 }  // namespace

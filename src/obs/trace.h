@@ -47,6 +47,8 @@ enum class Ev : uint8_t {
   // Appended (schema is append-only; numeric order is not the wire format):
   kProbeSuppress,      ///< accepted probe not re-broadcast: quantized advert unchanged
   kDenseFallback,      ///< probe key outside the compiled dense FwdT universe
+  kProbeTrigger,       ///< triggered-update emission for a destination (aux=probe copies)
+  kProbeWithdraw,      ///< poison advert sent/accepted for a now-unusable row
   kCount,
 };
 

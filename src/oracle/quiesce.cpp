@@ -29,4 +29,25 @@ uint64_t fwdt_digest(const std::vector<dataplane::ContraSwitch*>& switches, sim:
   return acc;
 }
 
+uint64_t usable_fwdt_digest(const std::vector<const dataplane::ContraSwitch*>& switches,
+                            sim::Time now) {
+  uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (const dataplane::ContraSwitch* sw : switches) {
+    sw->for_each_fwd_entry([&](topology::NodeId dst, uint32_t tag, uint32_t pid,
+                               const dataplane::ContraSwitch::FwdEntry& entry) {
+      if (!sw->entry_usable(entry, now)) return;
+      uint64_t h = util::hash_combine(sw->node_id(), dst);
+      h = util::hash_combine(h, tag);
+      h = util::hash_combine(h, pid);
+      h = util::hash_combine(h, entry.nhop);
+      h = util::hash_combine(h, entry.ntag);
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.util));
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.lat));
+      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.len));
+      acc += util::mix64(h);
+    });
+  }
+  return acc;
+}
+
 }  // namespace contra::oracle

@@ -45,6 +45,16 @@ struct QuiesceResult {
 /// Order-independent digest of all switches' FwdT routing state at `now`.
 uint64_t fwdt_digest(const std::vector<dataplane::ContraSwitch*>& switches, sim::Time now);
 
+/// Order-independent digest over USABLE FwdT entries only — content, not
+/// version/updated_at. Dead (expired / failed-next-hop / withdrawn) entries
+/// are excluded on purpose: delta-suppression and triggered updates
+/// legitimately freeze a dying row's last content at a different round than
+/// the flooding protocol would, while the rows the dataplane actually
+/// forwards on must agree exactly. This is the fixed-point comparator for
+/// the contrafuzz differentials and the bench digest_match gates.
+uint64_t usable_fwdt_digest(const std::vector<const dataplane::ContraSwitch*>& switches,
+                            sim::Time now);
+
 template <typename Engine>
 QuiesceResult run_to_quiescence(Engine& engine,
                                 const std::vector<dataplane::ContraSwitch*>& switches,

@@ -24,6 +24,17 @@ class Device {
   /// topology link it came over, or kFromHost for host ingress.
   virtual void handle_packet(Simulator& sim, Packet&& packet, topology::LinkId in_link) = 0;
 
+  /// Port signal: one of this node's attached cables changed administrative
+  /// state (`link` is the directed link leaving this node). Fired by
+  /// Simulator::fail_cable / restore_cable on both endpoint devices.
+  /// Event-driven control planes react immediately (trigger waves, resyncs);
+  /// the default is a no-op, matching the probe-silence-only protocols.
+  virtual void handle_link_state(Simulator& sim, topology::LinkId link, bool up) {
+    (void)sim;
+    (void)link;
+    (void)up;
+  }
+
   /// Human-readable name for diagnostics.
   virtual const char* kind_name() const = 0;
 };

@@ -52,6 +52,10 @@ struct ProbeFields {
   uint32_t traffic_class = 0;  ///< classified policies: which protocol instance
   uint64_t version = 0;
   pg::MetricsVector mv;
+  /// Triggered-update poison advert (DESIGN.md §12): the sender's row for
+  /// (origin, tag, pid) became unusable; receivers who route via the sender
+  /// withdraw theirs too instead of waiting for metric expiry.
+  bool withdraw = false;
 };
 
 /// One INT-style hop record accumulated on sampled data packets (flow

@@ -104,6 +104,7 @@ void Simulator::fail_cable(topology::LinkId link) {
   }
   LOG_INFO("sim") << "cable " << topo_->name(topo_->link(link).from) << "-"
                   << topo_->name(topo_->link(link).to) << " failed at t=" << now();
+  notify_link_state(link, /*up=*/false);
 }
 
 void Simulator::restore_cable(topology::LinkId link) {
@@ -118,11 +119,28 @@ void Simulator::restore_cable(topology::LinkId link) {
     r.aux = topo_->link(link).reverse;
     telemetry_.emit(r);
   }
+  notify_link_state(link, /*up=*/true);
 }
 
 void Simulator::set_cable_state_quiet(topology::LinkId link, bool down) {
   links_.at(link)->set_down(down);
   links_.at(topo_->link(link).reverse)->set_down(down);
+  notify_link_state(link, !down);
+}
+
+void Simulator::notify_link_state(topology::LinkId link, bool up) {
+  // Each endpoint is handed the directed link *leaving* it, in (from, to)
+  // order — deterministic, and the order is shard-invariant because a device
+  // lives in exactly one shard.
+  const topology::LinkId reverse = topo_->link(link).reverse;
+  const topology::NodeId from = topo_->link(link).from;
+  const topology::NodeId to = topo_->link(link).to;
+  if (from < devices_.size() && devices_[from] != nullptr) {
+    devices_[from]->handle_link_state(*this, link, up);
+  }
+  if (to < devices_.size() && devices_[to] != nullptr) {
+    devices_[to]->handle_link_state(*this, reverse, up);
+  }
 }
 
 LinkStats Simulator::aggregate_fabric_stats() const {

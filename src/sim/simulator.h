@@ -138,6 +138,10 @@ class Simulator {
 
  private:
   void wire_topology_links();
+  /// Port signal to both cable endpoints (devices installed here only — under
+  /// the parallel engine each shard notifies the switches it owns, so every
+  /// device hears each cable event exactly once).
+  void notify_link_state(topology::LinkId link, bool up);
 
   const topology::Topology* topo_;
   SimConfig config_;

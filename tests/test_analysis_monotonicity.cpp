@@ -85,8 +85,52 @@ TEST(Monotonicity, NegativeWeightIsRejected) {
 }
 
 TEST(Monotonicity, ReportStringsAreInformative) {
+  // Decomposition appends the path.len tie-break, so even the max-combine
+  // policy ranks strictly at the propagation layer.
   const MonotonicityReport good = check_monotonicity(lang::policies::min_util());
-  EXPECT_EQ(good.to_string(), "monotonic");
+  EXPECT_EQ(good.to_string(), "strictly monotonic");
+}
+
+TEST(StrictMonotonicityStructural, LenIsStrictUtilAndLatCanTie) {
+  EXPECT_TRUE(metric_is_strictly_monotonic_structural(parse_expr("path.len")));
+  // util is max-combined; lat can cross a zero-delay link.
+  EXPECT_FALSE(metric_is_strictly_monotonic_structural(parse_expr("path.util")));
+  EXPECT_FALSE(metric_is_strictly_monotonic_structural(parse_expr("path.lat")));
+}
+
+TEST(StrictMonotonicityStructural, TuplesAreStrictWithOneStrictElement) {
+  // Lexicographic: the strict element breaks any tie in the weak ones.
+  EXPECT_TRUE(metric_is_strictly_monotonic_structural(parse_expr("(path.util, path.len)")));
+  EXPECT_TRUE(metric_is_strictly_monotonic_structural(parse_expr("(path.len, path.util)")));
+  EXPECT_FALSE(metric_is_strictly_monotonic_structural(parse_expr("(path.util, path.lat)")));
+}
+
+TEST(StrictMonotonicityStructural, ArithmeticShapes) {
+  EXPECT_TRUE(metric_is_strictly_monotonic_structural(parse_expr("path.lat + path.len")));
+  EXPECT_TRUE(metric_is_strictly_monotonic_structural(parse_expr("10 + path.len")));
+  EXPECT_FALSE(metric_is_strictly_monotonic_structural(parse_expr("path.util + path.lat")));
+  EXPECT_TRUE(metric_is_strictly_monotonic_structural(parse_expr("min(path.len, 5 + path.len)")));
+  EXPECT_FALSE(metric_is_strictly_monotonic_structural(parse_expr("min(path.lat, path.len)")));
+  EXPECT_FALSE(metric_is_strictly_monotonic_structural(parse_expr("10 - path.util")));
+}
+
+TEST(StrictMonotonicitySampled, CatchesTies) {
+  // util ties whenever the new link is not the bottleneck.
+  EXPECT_TRUE(sample_strictness_violation(parse_expr("path.util"), 1, 4000).has_value());
+  EXPECT_FALSE(sample_strictness_violation(parse_expr("path.len"), 1, 4000).has_value());
+}
+
+TEST(StrictMonotonicity, CatalogPoliciesRankStrictlyAfterDecomposition) {
+  // The appended len tie-break makes every monotone catalog policy strict.
+  for (const lang::Policy& p :
+       {lang::policies::shortest_path(), lang::policies::min_util(),
+        lang::policies::widest_shortest(), lang::policies::shortest_widest(),
+        lang::policies::congestion_aware()}) {
+    const MonotonicityReport report = check_monotonicity(p);
+    EXPECT_TRUE(report.strictly_monotonic) << report.to_string();
+  }
+  // Non-monotone implies non-strict.
+  EXPECT_FALSE(check_monotonicity(parse_policy("minimize(1 - path.util)")).strictly_monotonic);
 }
 
 }  // namespace

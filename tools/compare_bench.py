@@ -15,6 +15,13 @@ dense FwdT universe, which is a compiler/dataplane contract break, not a
 perf wobble. Scenarios named *_off are overhead-contract runs (telemetry /
 flow tracking disabled): any allocs_per_event != 0 in CURRENT fails
 outright, mirroring the bench binary's own exit-1 zero-allocation gate.
+Triggered-update scenarios add three more hard gates on CURRENT alone:
+any scenario reporting digest_match=false fails (the triggered engine
+landed on a different usable-FwdT fixed point than the periodic one — a
+protocol break), probe_steady_state's steady_state_reduction must stay
+>= 0.90 (the §12 tentpole: keepalive-only steady traffic), and
+probe_failure_wave's wave_ratio must stay < 1.0 (a triggered failure
+wave may not cost more probes than the periodic recovery).
 Baselines predating these keys are tolerated (events_per_sec gate only). With --self, CURRENT's embedded "baseline" section (written by
 bench_core_speed --baseline-json) is the reference.
 Exit code 0 = ok, 1 = regression, 2 = bad input.
@@ -22,9 +29,14 @@ Exit code 0 = ok, 1 = regression, 2 = bad input.
 The gate keys only on the serial "scenarios" section. A "parallel_scaling"
 section (the sharded engine's worker sweep plus the per-channel vs
 global-min lookahead A/B) is reported informationally — thread scaling is
-machine-dependent, so it never fails the gate, with two exceptions:
+machine-dependent, so it never fails the gate, with three exceptions:
 bit_identical=false and lookahead_ab.digest_match=false in CURRENT are
-determinism breaks and fail.
+determinism breaks and fail, and when CURRENT records
+hardware_concurrency >= 8 (the bench binary measures and embeds it) the
+8-worker sweep must show a real engine speedup: speedup_w8 >= 2.0. The
+core-count key makes the gate self-activating — laptop and CI runs with
+fewer cores keep the informational behavior, big machines are held to the
+scaling contract.
 
 --fuzz-corpus is an unrelated gate sharing this entry point: it hard-fails
 (exit 1) when DIR contains contrafuzz violation repros (repro-*.txt) that
@@ -159,6 +171,32 @@ def main():
                   f"{float(cur['allocs_per_event'])} (want 0) — disabled-"
                   f"telemetry overhead contract broken", file=sys.stderr)
             failed = True
+        # Triggered-vs-periodic fixed-point identity is a correctness gate:
+        # any scenario that records the comparison must have passed it.
+        if cur.get("digest_match") is False:
+            print(f"DIGEST     {name}: digest_match=false — triggered engine "
+                  f"diverged from the periodic fixed point", file=sys.stderr)
+            failed = True
+        if name == "probe_steady_state":
+            reduction = cur.get("steady_state_reduction")
+            if reduction is None or float(reduction) < 0.9:
+                print(f"TRIGGERED  {name}: steady_state_reduction="
+                      f"{reduction} (want >= 0.90) — triggered engine no "
+                      f"longer suppresses steady-state probe traffic",
+                      file=sys.stderr)
+                failed = True
+            else:
+                print(f"OK         {name}: steady_state_reduction="
+                      f"{float(reduction):.4f} (>= 0.90)")
+        if name == "probe_failure_wave":
+            ratio = cur.get("wave_ratio")
+            if ratio is None or float(ratio) >= 1.0:
+                print(f"TRIGGERED  {name}: wave_ratio={ratio} (want < 1.0) — "
+                      f"triggered failure wave costs more than periodic",
+                      file=sys.stderr)
+                failed = True
+            else:
+                print(f"OK         {name}: wave_ratio={float(ratio):.4f} (< 1.0)")
 
     scaling = current_report.get("parallel_scaling")
     if isinstance(scaling, dict):
@@ -175,6 +213,19 @@ def main():
         if scaling.get("bit_identical") is False:
             print("compare_bench: parallel_scaling reports bit_identical=false "
                   "— determinism break", file=sys.stderr)
+            failed = True
+        # Self-activating scaling gate: when the bench machine has the cores
+        # to deliver parallelism (recorded by the binary itself), an 8-worker
+        # sweep that can't reach 2x over serial is an engine regression, not
+        # machine noise.
+        cores_n = scaling.get("hardware_concurrency")
+        w8 = scaling.get("speedup_w8")
+        if (isinstance(cores_n, int) and cores_n >= 8 and
+                not scaling.get("speedup_informational") and
+                isinstance(w8, (int, float)) and w8 < 2.0):
+            print(f"compare_bench: speedup_w8={w8:.2f}x < 2.0x on "
+                  f"{cores_n} cores — parallel engine scaling regression",
+                  file=sys.stderr)
             failed = True
         ab = scaling.get("lookahead_ab")
         if isinstance(ab, dict):

@@ -17,13 +17,18 @@
 //
 // Usage:
 //   contrafuzz --seed 1 --iterations 200 [--corpus DIR] [--workers-every 4]
-//              [--tag-check-every 5] [--cross-check] [--verbose]
+//              [--tag-check-every 5] [--cross-check] [--cross-check-triggered]
+//              [--verbose]
 //   contrafuzz --replay DIR/repro-<seed>.txt
 //
 // --cross-check arms two differentials on every quiesced run: the dense
 // FwdT/BestT rows against the shadow PR 4 hash-map tables (reference_tables),
 // and the delta-suppression protocol against an unsuppressed rerun of the
 // same case, compared by a usable-entry content digest.
+//
+// --cross-check-triggered reruns every strictly monotonic quiesced case under
+// the triggered-update engine (keepalive_rounds=4) and hard-fails unless both
+// protocols reach the same usable-FwdT fixed point.
 #include <algorithm>
 #include <bit>
 #include <cstdint>
@@ -78,6 +83,10 @@ struct FuzzCase {
   double probe_period_s = 256e-6;
   bool suppression = true;   ///< probe delta-suppression (the shipping default)
   bool cross_check = false;  ///< dense-vs-reference + suppression differential
+  bool triggered = false;    ///< run under the triggered-update engine
+  /// Rerun strictly-monotonic cases under triggered updates and compare
+  /// usable-FwdT fixed points against the periodic run.
+  bool cross_check_triggered = false;
 };
 
 struct CaseResult {
@@ -93,32 +102,6 @@ struct CaseResult {
     return compiled && (!quiesced || !report.ok() || !cross_note.empty());
   }
 };
-
-/// Order-independent digest over USABLE FwdT entries only — content, not
-/// version/updated_at. Dead (expired / failed-next-hop) entries are excluded
-/// on purpose: delta-suppression legitimately freezes a dying row's last
-/// content at a different round than the unsuppressed protocol would, while
-/// the rows the dataplane actually forwards on must agree exactly.
-uint64_t usable_fwdt_digest(const std::vector<const dataplane::ContraSwitch*>& switches,
-                            sim::Time now) {
-  uint64_t acc = 0x9e3779b97f4a7c15ULL;
-  for (const dataplane::ContraSwitch* sw : switches) {
-    sw->for_each_fwd_entry([&](topology::NodeId dst, uint32_t tag, uint32_t pid,
-                               const dataplane::ContraSwitch::FwdEntry& entry) {
-      if (!sw->entry_usable(entry, now)) return;
-      uint64_t h = util::hash_combine(sw->node_id(), dst);
-      h = util::hash_combine(h, tag);
-      h = util::hash_combine(h, pid);
-      h = util::hash_combine(h, entry.nhop);
-      h = util::hash_combine(h, entry.ntag);
-      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.util));
-      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.lat));
-      h = util::hash_combine(h, std::bit_cast<uint64_t>(entry.mv.len));
-      acc += util::mix64(h);
-    });
-  }
-  return acc;
-}
 
 // ---------------------------------------------------------------------------
 // Generation
@@ -337,15 +320,26 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
   options.util_quantum = 1.0;
   options.probe_suppression = c.suppression;
   options.reference_tables = c.cross_check;
+  options.triggered_updates = c.triggered;
+  if (c.triggered) {
+    // Small keepalive window so fuzz cases converge in few rounds; hold-down
+    // short enough that failure waves settle inside the quiesce budget.
+    options.keepalive_rounds = 4;
+    options.holddown_periods = 2.0;
+  }
+  // Triggered runs change state only on keepalive rounds / trigger waves, so
+  // every protocol timing window — and the quiescence sampler below — spans
+  // keepalive_rounds probe periods instead of one.
+  const double wscale = c.triggered ? static_cast<double>(options.keepalive_rounds) : 1.0;
 
   double last_event = 0.0;
   for (const FailEvent& e : c.events) last_event = std::max(last_event, e.t);
   oracle::QuiesceOptions qopts;
-  qopts.probe_period_s = options.probe_period_s;
+  qopts.probe_period_s = options.probe_period_s * wscale;
   qopts.start_s = last_event +
                   (options.metric_expiry_periods + options.failure_detect_periods + 4.0) *
-                      options.probe_period_s;
-  qopts.max_time_s = qopts.start_s + 400.0 * options.probe_period_s;
+                      options.probe_period_s * wscale;
+  qopts.max_time_s = qopts.start_s + 400.0 * options.probe_period_s * wscale;
 
   auto resolve = [&](const FailEvent& e) {
     return c.topo.link_between(c.topo.find(e.a), c.topo.find(e.b));
@@ -374,7 +368,7 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
       oracle::RouteOracle oracle(compiled.graph, evaluator, final_link_state(c));
       result.report = oracle::check_invariants(
           oracle, view, q.at, oracle::options_for(compiled.isotonicity));
-      result.usable_digest = usable_fwdt_digest(view, q.at);
+      result.usable_digest = oracle::usable_fwdt_digest(view, q.at);
       if (c.cross_check) {
         // Dense FwdT/BestT vs the shadow PR 4 hash-map tables, every switch.
         for (const dataplane::ContraSwitch* sw : view) {
@@ -407,7 +401,7 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
       oracle::RouteOracle oracle(compiled.graph, evaluator, final_link_state(c));
       result.report = oracle::check_invariants(
           oracle, view, q.at, oracle::options_for(compiled.isotonicity));
-      result.usable_digest = usable_fwdt_digest(view, q.at);
+      result.usable_digest = oracle::usable_fwdt_digest(view, q.at);
       if (c.cross_check) {
         // Dense FwdT/BestT vs the shadow PR 4 hash-map tables, every switch.
         for (const dataplane::ContraSwitch* sw : view) {
@@ -427,12 +421,31 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
   if (c.cross_check && c.suppression && result.quiesced && result.cross_note.empty()) {
     FuzzCase legacy = c;
     legacy.cross_check = false;
+    legacy.cross_check_triggered = false;
     legacy.suppression = false;
     const CaseResult ref = run_case(legacy, false);
     if (!ref.quiesced) {
       result.cross_note = "unsuppressed rerun failed to quiesce";
     } else if (ref.usable_digest != result.usable_digest) {
       result.cross_note = "suppression on/off usable-FwdT fixed points differ";
+    }
+  }
+  // Triggered differential: rerun the case under the triggered-update engine
+  // and compare usable-FwdT fixed points. Gated on strict monotonicity — with
+  // rank ties the two protocols may legitimately settle on different
+  // equal-rank paths (DESIGN.md §12), so only strictly ranked policies are a
+  // hard digest gate.
+  if (c.cross_check_triggered && !c.triggered && result.quiesced && result.cross_note.empty() &&
+      compiled.monotonicity.strictly_monotonic) {
+    FuzzCase trig = c;
+    trig.cross_check = false;
+    trig.cross_check_triggered = false;
+    trig.triggered = true;
+    const CaseResult ref = run_case(trig, false);
+    if (!ref.quiesced) {
+      result.cross_note = "triggered rerun failed to quiesce";
+    } else if (ref.usable_digest != result.usable_digest) {
+      result.cross_note = "triggered/periodic usable-FwdT fixed points differ";
     }
   }
   if (verbose) {
@@ -463,6 +476,8 @@ std::string format_repro(const FuzzCase& c, const CaseResult& result) {
   out << "seed " << c.seed << "\n";
   out << "workers " << c.workers << "\n";
   if (c.cross_check) out << "cross-check 1\n";
+  if (c.cross_check_triggered) out << "cross-check-triggered 1\n";
+  if (c.triggered) out << "triggered 1\n";
   if (!c.suppression) out << "suppression 0\n";
   out << "probe-period " << c.probe_period_s << "\n";
   out << "policy " << c.policy_text << "\n";
@@ -501,6 +516,14 @@ std::optional<FuzzCase> parse_repro(const std::string& text, std::string* error)
       int v = 0;
       ls >> v;
       c.cross_check = v != 0;
+    } else if (key == "cross-check-triggered") {
+      int v = 0;
+      ls >> v;
+      c.cross_check_triggered = v != 0;
+    } else if (key == "triggered") {
+      int v = 0;
+      ls >> v;
+      c.triggered = v != 0;
     } else if (key == "suppression") {
       int v = 1;
       ls >> v;
@@ -602,6 +625,7 @@ int main(int argc, char** argv) {
   const uint64_t workers_every = static_cast<uint64_t>(args.get_int("workers-every", 4));
   const uint64_t tag_check_every = static_cast<uint64_t>(args.get_int("tag-check-every", 5));
   const bool cross_check = args.has("cross-check");
+  const bool cross_check_triggered = args.has("cross-check-triggered");
   const bool verbose = args.has("verbose");
 
   uint64_t violations = 0;
@@ -611,6 +635,7 @@ int main(int argc, char** argv) {
   for (uint64_t i = 0; i < iterations; ++i) {
     FuzzCase c = generate_case(seed, i);
     c.cross_check = cross_check;
+    c.cross_check_triggered = cross_check_triggered;
     if (workers_every > 0 && i % workers_every == workers_every - 1) {
       c.workers = (i / workers_every) % 2 == 0 ? 2 : 4;
       ++parallel_runs;
@@ -658,6 +683,8 @@ int main(int argc, char** argv) {
   std::cout << "contrafuzz: " << iterations << " iterations, " << violations
             << " violations, " << compile_skips << " compile-skips, " << tag_checks
             << " tag-merge checks, " << parallel_runs << " parallel runs"
-            << (cross_check ? ", cross-check armed" : "") << " (seed " << seed << ")\n";
+            << (cross_check ? ", cross-check armed" : "")
+            << (cross_check_triggered ? ", triggered cross-check armed" : "") << " (seed "
+            << seed << ")\n";
   return violations == 0 ? 0 : 2;
 }

@@ -50,6 +50,13 @@ int usage(const char* argv0) {
                "          [--workload web-search|cache] [--load 0.5]\n"
                "          [--duration-ms 30] [--seed 1] [--size-scale 0.1]\n"
                "          [--link-gbps 10] [--probe-period-us 256]\n"
+               "          [--triggered]                 (event-driven control plane: probes only\n"
+               "                                         on change + keepalive backstop; see\n"
+               "                                         DESIGN.md s12)\n"
+               "          [--keepalive-rounds <k>]      (triggered keepalive cadence; default 32\n"
+               "                                         periods between full refresh floods)\n"
+               "          [--holddown-periods <p>]      (triggered per-(switch,dst) hold-down\n"
+               "                                         window in probe periods; default 4)\n"
                "          [--workers <n>]               (sharded parallel engine; see\n"
                "                                         DESIGN.md s8 -- deterministic for any n)\n"
                "          [--shards <n>]                (override shard count; default 0 auto-\n"
@@ -362,6 +369,10 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
     if (plane == "contra") {
       dataplane::ContraSwitchOptions options;
       options.probe_period_s = std::max(probe_period_s, compiled.min_probe_period_s);
+      options.triggered_updates = args.has("triggered");
+      options.keepalive_rounds = static_cast<uint32_t>(
+          args.get_int("keepalive-rounds", static_cast<int64_t>(options.keepalive_rounds)));
+      options.holddown_periods = args.get_double("holddown-periods", options.holddown_periods);
       dataplane::install_contra_network(shard_sim, compiled, *evaluator, options);
     } else if (plane == "ecmp") {
       dataplane::install_ecmp_network(shard_sim);
@@ -629,6 +640,10 @@ int main(int argc, char** argv) {
   if (plane == "contra") {
     dataplane::ContraSwitchOptions options;
     options.probe_period_s = std::max(probe_period_s, compiled.min_probe_period_s);
+    options.triggered_updates = args.has("triggered");
+    options.keepalive_rounds = static_cast<uint32_t>(
+        args.get_int("keepalive-rounds", static_cast<int64_t>(options.keepalive_rounds)));
+    options.holddown_periods = args.get_double("holddown-periods", options.holddown_periods);
     dataplane::install_contra_network(sim, compiled, *evaluator, options);
   } else if (plane == "ecmp") {
     dataplane::install_ecmp_network(sim);

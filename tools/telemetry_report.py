@@ -18,6 +18,13 @@ aux/ver/val, absent keys meaning "not applicable". Prints:
   * route-flap leaders (destinations by route_flip count),
   * per-switch probe suppression rates (probe_suppress / probe_rx) and any
     dense-table fallback hits (dense_fallback records — always a bug),
+  * the TRIGGERED UPDATES section when the run used the event-driven control
+    plane (DESIGN.md s12): per-switch trigger emissions with probe copies
+    (probe_trigger records, aux=copies) and withdraw/poison adverts
+    (probe_withdraw); pass --metrics METRICS.json (a contrasim --metrics-json
+    snapshot) to add the counter view — trigger/withdraw totals, hold-down
+    deferrals, the keepalive share of received probes, and the control-plane
+    byte rate from probe_bytes_rx,
   * the parallel-engine section when the trace came from a sharded run:
     per-shard epochs run and events processed (epoch records, sw=shard),
     mailbox drains with message counts and max batch (barrier records),
@@ -51,6 +58,7 @@ EVENT_NAMES = [
     "flowlet_create", "flowlet_switch", "flowlet_expire", "flowlet_flush",
     "failure_detect", "failure_clear", "loop_break", "link_down", "link_up",
     "drop", "epoch", "barrier", "probe_suppress", "dense_fallback",
+    "probe_trigger", "probe_withdraw",
 ]
 
 MANIFEST_REQUIRED = [
@@ -136,6 +144,9 @@ def read_trace(path):
     suppress_by_switch = collections.Counter()
     rx_by_switch = collections.Counter()
     fallback_by_switch = collections.Counter()
+    trigger_by_switch = collections.Counter()
+    trigger_copies = collections.Counter()
+    withdraw_by_switch = collections.Counter()
     # Parallel engine: "epoch"/"barrier" records carry the shard in sw and a
     # payload in val (events processed that phase / messages drained).
     shard_stats = collections.defaultdict(
@@ -146,7 +157,7 @@ def read_trace(path):
     total = 0
     probe_events = {"probe_orig", "probe_rx", "probe_accept", "probe_reject_stale",
                     "probe_reject_rank", "probe_reject_no_pg", "probe_suppress",
-                    "dense_fallback"}
+                    "dense_fallback", "probe_trigger", "probe_withdraw"}
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -174,6 +185,11 @@ def read_trace(path):
                     suppress_by_switch[record["sw"]] += 1
                 elif ev == "dense_fallback":
                     fallback_by_switch[record["sw"]] += 1
+                elif ev == "probe_trigger":
+                    trigger_by_switch[record["sw"]] += 1
+                    trigger_copies[record["sw"]] += int(record.get("aux", 0))
+                elif ev == "probe_withdraw":
+                    withdraw_by_switch[record["sw"]] += 1
                 elif ev == "epoch":
                     s = shard_stats[record["sw"]]
                     s["epochs"] += 1
@@ -194,6 +210,9 @@ def read_trace(path):
         "suppress_by_switch": suppress_by_switch,
         "rx_by_switch": rx_by_switch,
         "fallback_by_switch": fallback_by_switch,
+        "trigger_by_switch": trigger_by_switch,
+        "trigger_copies": trigger_copies,
+        "withdraw_by_switch": withdraw_by_switch,
         "shard_stats": shard_stats,
         "convergence": convergence,
     }
@@ -374,6 +393,65 @@ def suppression_rows(summary, top):
     return rows
 
 
+def trigger_rows(summary, top):
+    """Top switches by trigger emissions, with total probe copies sent."""
+    return [{
+        "sw": sw,
+        "triggers": triggers,
+        "copies": summary["trigger_copies"].get(sw, 0),
+        "withdraws": summary["withdraw_by_switch"].get(sw, 0),
+    } for sw, triggers in summary["trigger_by_switch"].most_common(top)]
+
+
+def triggered_counters(metrics):
+    """The TRIGGERED UPDATES counter view from a --metrics-json snapshot.
+
+    Returns None when the snapshot has no triggered-engine activity (a
+    periodic run), so the section only shows up when it means something.
+    """
+    counters = metrics.get("counters", {})
+    triggered = int(counters.get("probes_triggered", 0))
+    keepalive = int(counters.get("keepalive_probes", 0))
+    if triggered == 0 and keepalive == 0:
+        return None
+    received = int(counters.get("probes_received", 0))
+    t = float(metrics.get("t", 0.0))
+    bytes_rx = int(counters.get("probe_bytes_rx", 0))
+    return {
+        "probes_triggered": triggered,
+        "probes_holddown_deferred": int(counters.get("probes_holddown_deferred", 0)),
+        "probes_withdrawn": int(counters.get("probes_withdrawn", 0)),
+        "keepalive_probes": keepalive,
+        "probes_received": received,
+        "keepalive_share": keepalive / received if received else None,
+        "probe_bytes_rx": bytes_rx,
+        "control_bytes_per_s": bytes_rx / t if t > 0 else None,
+    }
+
+
+def print_triggered(summary, metrics_summary, top):
+    has_trace = bool(summary and summary["trigger_by_switch"])
+    if not has_trace and metrics_summary is None:
+        return
+    print("TRIGGERED UPDATES (event-driven control plane, DESIGN.md s12):")
+    if metrics_summary is not None:
+        m = metrics_summary
+        share = ("-" if m["keepalive_share"] is None
+                 else f"{m['keepalive_share']:.1%}")
+        rate = ("-" if m["control_bytes_per_s"] is None
+                else f"{m['control_bytes_per_s'] / 1e6:.3f} MB/s")
+        print(f"  triggers {m['probes_triggered']}  holddown_deferred "
+              f"{m['probes_holddown_deferred']}  withdraws {m['probes_withdrawn']}")
+        print(f"  keepalive share: {m['keepalive_probes']} / {m['probes_received']}"
+              f" received ({share})")
+        print(f"  control-plane byte rate: {m['probe_bytes_rx']} B rx ({rate})")
+    if has_trace:
+        print("  top trigger emitters (switch: triggers / probe copies / withdraws):")
+        for r in trigger_rows(summary, top):
+            print(f"    sw {r['sw']:4d}  {r['triggers']} / {r['copies']}"
+                  f" / {r['withdraws']}")
+
+
 def fmt_s(value):
     return "-" if value is None else f"{value:.6f}"
 
@@ -442,6 +520,9 @@ def main():
                         help="sampled path records from contrasim --paths-out")
     parser.add_argument("--links", metavar="LINKS",
                         help="link timelines from contrasim --links-out")
+    parser.add_argument("--metrics", metavar="METRICS",
+                        help="metrics snapshot from contrasim --metrics-json "
+                             "(last line of a periodic stream is used)")
     parser.add_argument("--validate-manifest", metavar="MANIFEST",
                         help="validate a manifest file and exit")
     args = parser.parse_args()
@@ -470,6 +551,20 @@ def main():
     flows = read_stream(args.flows, "flow", lambda rows: flows_summary(rows, args.top))
     paths = read_stream(args.paths, "hops", paths_summary)
     links = read_stream(args.links, "link", lambda rows: link_hotspots(rows, args.top))
+
+    triggered = None
+    if args.metrics:
+        try:
+            with open(args.metrics) as f:
+                lines = [line for line in f if line.strip()]
+        except OSError as e:
+            sys.exit(f"telemetry_report: cannot read {args.metrics}: {e.strerror}")
+        if not lines:
+            sys.exit(f"telemetry_report: {args.metrics} is empty")
+        try:
+            triggered = triggered_counters(json.loads(lines[-1]))
+        except json.JSONDecodeError as e:
+            sys.exit(f"telemetry_report: {args.metrics} is not valid JSON: {e}")
 
     summary = None
     manifest = None
@@ -502,11 +597,14 @@ def main():
                 "route_flap_leaders": summary["flap_leaders"].most_common(args.top),
                 "probe_suppression_by_switch": suppression_rows(summary, args.top),
                 "dense_fallback_by_switch": sorted(summary["fallback_by_switch"].items()),
+                "triggered_by_switch": trigger_rows(summary, args.top),
                 "parallel_engine": shard_rows(summary),
                 "first_failure_s": convergence.first_failure,
                 "convergence": convergence.table(),
                 "manifest": manifest,
             })
+        if triggered is not None:
+            out["triggered"] = triggered
         if flows is not None:
             out["flows"] = flows
         if paths is not None:
@@ -517,6 +615,7 @@ def main():
     else:
         if summary is not None:
             print_report(args.trace, summary, manifest, manifest_path, args.top)
+        print_triggered(summary, triggered, args.top)
         if flows is not None:
             print_flows(flows)
         if paths is not None:
