@@ -47,6 +47,7 @@
 #include "dataplane/contra_switch.h"
 #include "obs/telemetry.h"
 #include "oracle/quiesce.h"
+#include "sim/churn_engine.h"
 #include "sim/host.h"
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
@@ -454,6 +455,114 @@ ScenarioResult run_probe_failure_wave(double sim_seconds) {
   std::snprintf(buf, sizeof buf, ", \"wave_ratio\": %.4f",
                 periodic.probes ? double(trig.probes) / periodic.probes : 0.0);
   result.extra_json = buf;
+  return result;
+}
+
+// ---- churn_waves -----------------------------------------------------------
+//
+// Adversarial churn acceptance (DESIGN.md §13): a strictly monotonic policy
+// on the k=4 fat-tree rides out four fault waves — a link flap, a
+// whole-switch SRG, a gray failure, and a control-plane restart — and must
+// return to the all-links-up usable-FwdT fixed point after every wave, under
+// both the periodic and the triggered engine. A wave that fails to
+// reconverge fails the binary: this scenario is first a correctness gate
+// (the reconvergence contract under churn) and only then a perf number.
+
+struct ChurnModeRun {
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  uint64_t digest = 0;  ///< all-links-up fixed point, re-verified per wave
+};
+
+ChurnModeRun run_churn_mode(bool triggered, double converge_s, double wave_s) {
+  const topology::Topology topo =
+      topology::fat_tree(4, topology::LinkParams{10e9, 1e-6});
+  const compiler::CompileResult compiled =
+      compiler::compile("minimize((path.len, path.util))", topo);
+  const pg::PolicyEvaluator evaluator(compiled.graph, compiled.decomposition);
+  sim::SimConfig config;
+  sim::Simulator sim(topo, config);
+  dataplane::ContraSwitchOptions options;
+  options.probe_period_s = 64e-6;
+  options.probe_suppression = true;
+  options.triggered_updates = triggered;
+  if (triggered) {
+    // Short keepalive window so every protocol timing window (restart's
+    // version-reset escape and the scaled metric expiry included) fits well
+    // inside one wave.
+    options.keepalive_rounds = 4;
+    options.holddown_periods = 2.0;
+  }
+  const std::vector<dataplane::ContraSwitch*> switches =
+      dataplane::install_contra_network(sim, compiled, evaluator, options);
+  sim.start();
+  sim.run_until(converge_s);
+  const uint64_t baseline = usable_digest_of(switches, sim.now());
+
+  const auto link = [&](const char* a, const char* b) {
+    return topo.link_between(topo.find(a), topo.find(b));
+  };
+  sim::ChurnEngine churn(topo);
+  const double w0 = converge_s;
+  churn.flap(link("e0_0", "a0_0"), w0 + 0.05 * wave_s, 0.1 * wave_s, 2);
+  const double w1 = converge_s + wave_s;
+  churn.srg_switch(topo.find("a0_0"), w1 + 0.05 * wave_s, w1 + 0.45 * wave_s);
+  const double w2 = converge_s + 2 * wave_s;
+  sim::GrayParams gray;
+  gray.loss_prob = 0.3;
+  gray.extra_delay_s = 50e-6;
+  gray.capacity_factor = 0.5;
+  churn.gray(link("a0_1", "c2"), w2 + 0.05 * wave_s, w2 + 0.45 * wave_s, gray);
+  const double w3 = converge_s + 3 * wave_s;
+  churn.restart(topo.find("a1_0"), w3 + 0.05 * wave_s);
+  churn.arm(sim);
+
+  const uint64_t events_before = sim.events().events_processed();
+  const auto start = Clock::now();
+  for (int wave = 0; wave < 4; ++wave) {
+    sim.run_until(converge_s + (wave + 1) * wave_s);
+    const uint64_t digest = usable_digest_of(switches, sim.now());
+    if (digest != baseline) {
+      std::fprintf(stderr,
+                   "churn_waves: %s engine did not reconverge after wave %d "
+                   "(%016llx vs baseline %016llx)\n",
+                   triggered ? "triggered" : "periodic", wave,
+                   static_cast<unsigned long long>(digest),
+                   static_cast<unsigned long long>(baseline));
+      std::exit(1);
+    }
+  }
+  ChurnModeRun run;
+  run.wall_s = seconds_since(start);
+  run.events = sim.events().events_processed() - events_before;
+  run.digest = baseline;
+  return run;
+}
+
+ScenarioResult run_churn_waves(double sim_seconds) {
+  // Floors sized to the slowest protocol window in play: the triggered
+  // engine's scaled metric expiry (12 periods x keepalive_rounds x 64 us ~=
+  // 3.1 ms) must fit between a wave's last restore and its digest check.
+  const double converge_s = std::max(3e-3, sim_seconds * 0.15);
+  const double wave_s = std::max(8e-3, sim_seconds * 0.2);
+  const ChurnModeRun periodic = run_churn_mode(false, converge_s, wave_s);
+  const ChurnModeRun trig = run_churn_mode(true, converge_s, wave_s);
+  // Strictly monotonic policy => unique fixed point: both engines must land
+  // on the same all-links-up digest they each reconverged to per wave.
+  if (periodic.digest != trig.digest) {
+    std::fprintf(stderr,
+                 "churn_waves: triggered fixed point %016llx != periodic %016llx\n",
+                 static_cast<unsigned long long>(trig.digest),
+                 static_cast<unsigned long long>(periodic.digest));
+    std::exit(1);
+  }
+  ScenarioResult result;
+  result.name = "churn_waves";
+  result.events = trig.events;
+  result.wall_s = trig.wall_s;
+  result.allocs_per_event = 0.0;
+  result.usable_digest = trig.digest;
+  result.extra_json = ", \"waves\": 4, \"modes\": 2, \"digest_match\": true";
   return result;
 }
 
@@ -899,6 +1008,7 @@ int main(int argc, char** argv) {
     round.push_back(run_probe_flood_flowtrack_off(sim_seconds, workload_probes));
     round.push_back(run_probe_steady_state(sim_seconds));
     round.push_back(run_probe_failure_wave(sim_seconds));
+    round.push_back(run_churn_waves(sim_seconds));
     if (best.empty()) {
       best = round;
     } else {

@@ -283,11 +283,30 @@ uint32_t ContraSwitch::emit_deltas(Simulator& sim, uint32_t slot) {
   uint32_t sent = 0;
   for (uint32_t off = 0; off < width; ++off) {
     const uint32_t row = begin + off;
-    if (!row_present_[row]) continue;
-    FwdEntry& entry = rows_[row];
     const uint32_t local_tag = dense_->slot_tags[off / num_pids];
     const uint32_t pid = off % num_pids;
     AdvertState& adv = adverts_[row];
+    if (!row_present_[row]) {
+      if (adv.valid) {
+        // A standing advert for a row this switch no longer holds — only
+        // reachable after a control-plane restart wiped the RIB (rows are
+        // never deleted otherwise). Withdraw it at the ledger's version so
+        // the poison clears the receiver's version guard; the ledger entry
+        // then retires. Origins keep minting fresher versions, so the next
+        // keepalive resurrects whatever is genuinely alive.
+        FwdEntry ghost;
+        ghost.ntag = adv.ntag;
+        ghost.nhop = adv.nhop;
+        ghost.version = adv.version;
+        const uint32_t copies = send_row_advert(sim, dst, local_tag, pid, ghost, true);
+        sent += copies;
+        stats_.probes_withdrawn += copies;
+        tel.metrics().add(tel.core().probes_withdrawn, copies);
+        adv.valid = false;
+      }
+      continue;
+    }
+    FwdEntry& entry = rows_[row];
     if (entry_usable(entry, now)) {
       const double lat_q = quantize_advert_lat(entry.mv.lat);
       if (adv.valid && adv.util == entry.mv.util && adv.lat == lat_q &&
@@ -303,6 +322,7 @@ uint32_t ContraSwitch::emit_deltas(Simulator& sim, uint32_t slot) {
       adv.len = entry.mv.len;
       adv.ntag = entry.ntag;
       adv.nhop = entry.nhop;
+      adv.version = entry.version;
       adv.valid = true;
     } else if (adv.valid) {
       // The row we once advertised is no longer usable: poison it downstream
@@ -388,6 +408,47 @@ void ContraSwitch::handle_link_state(Simulator& sim, LinkId link, bool up) {
       request_trigger(self_slot_, now);
       flush_pending(sim);
     }
+  }
+}
+
+void ContraSwitch::restart_control_plane() {
+  // Reboot: the probe clock restarts from zero and every piece of soft
+  // protocol state is lost. Forwarding state relearns from scratch — the
+  // next keepalive flood from each origin repopulates the rows.
+  probe_clock_.reset();
+  std::fill(row_present_.begin(), row_present_.end(), 0);
+  for (pg::MetricsVector& mv : neighbor_mv_) mv = pg::MetricsVector{};
+  reference_fwdt_.clear();
+  source_pins_.clear();
+  // The flowlet table and failure detector model dataplane/port hardware and
+  // survive a control-CPU reboot.
+  if (!triggered()) {
+    // Periodic modes have no withdraw machinery; the stale caches just die
+    // (refresh rounds re-announce everything within suppress_refresh_rounds
+    // periods anyway).
+    for (AdvertState& adv : adverts_) adv.valid = false;
+    return;
+  }
+  // Triggered engine: local-scan baselines and hold-down bookkeeping reset…
+  std::fill(probe_link_alive_.begin(), probe_link_alive_.end(), 1);
+  std::fill(link_util_adv_.begin(), link_util_adv_.end(), 0.0);
+  std::fill(holddown_until_.begin(), holddown_until_.end(), 0.0);
+  // …and the advert ledger is replayed rather than silently kept: every
+  // destination slot goes pending, so the next control tick runs emit_deltas
+  // across the whole table — the keepalive-equivalent resync flood. With the
+  // RIB empty that means withdrawing each standing advert at its recorded
+  // version (see emit_deltas), telling neighbors *now* that their routes
+  // through this switch are gone instead of letting the stale caches
+  // suppress the resync until metric expiry. The origin slot is skipped: the
+  // clock's next tick is version 1, a keepalive round, which floods anyway.
+  pending_count_ = 0;
+  for (uint32_t slot = 0; slot < trigger_pending_.size(); ++slot) {
+    if (slot == self_slot_) {
+      trigger_pending_[slot] = 0;
+      continue;
+    }
+    trigger_pending_[slot] = 1;
+    ++pending_count_;
   }
 }
 
@@ -706,6 +767,7 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
     adv.len = probe.mv.len;
     adv.ntag = incoming_tag;
     adv.nhop = traffic_link;
+    adv.version = probe.version;
     adv.valid = true;
   }
 

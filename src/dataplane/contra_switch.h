@@ -172,10 +172,18 @@ class ContraSwitch : public sim::Device {
   const FlowletStats& flowlet_stats() const { return flowlets_.stats(); }
   topology::NodeId node_id() const { return self_; }
 
-  /// Simulates a control-plane reboot: the probe clock restarts from zero,
-  /// so subsequent probe rounds carry *lower* versions than neighbors have
-  /// stored (the version-regression scenario version_reset_periods covers).
-  void restart_control_plane() { probe_clock_.reset(); }
+  /// Simulates a control-plane reboot (churn engine §13): the probe clock
+  /// restarts from zero — subsequent rounds carry *lower* versions than
+  /// neighbors have stored, the regression scenario version_reset_periods
+  /// covers — and all soft protocol state (FwdT rows, triggered-engine
+  /// bookkeeping) is lost. The per-row advert ledger survives just long
+  /// enough to be replayed: every destination slot is marked pending, so the
+  /// next control tick floods a keepalive-equivalent resync in which rows
+  /// the reborn RIB no longer holds are withdrawn at their last-advertised
+  /// version. Without that replay the stale AdvertState caches would
+  /// suppress the resync entirely and neighbors would route through the
+  /// amnesiac switch until metric expiry.
+  void restart_control_plane() override;
 
   // ----- introspection for tests and convergence checks -------------------
 
@@ -355,13 +363,19 @@ class ContraSwitch : public sim::Device {
   std::vector<uint8_t> row_present_;
 
   /// What this switch last re-broadcast per row, quantized — the comparand
-  /// for probe delta-suppression. Written only when a probe propagates.
+  /// for probe delta-suppression, and the ledger restart_control_plane
+  /// replays (withdrawing rows the reborn RIB no longer holds). Written only
+  /// when a probe propagates.
   struct AdvertState {
     double util = 0.0;  ///< carried quantized (util_quantum)
     double lat = 0.0;   ///< quantized to suppress_lat_quantum_us
     double len = 0.0;
     uint32_t ntag = 0;
     topology::LinkId nhop = topology::kInvalidLink;
+    /// Version the advert carried. A post-restart withdraw of a vanished row
+    /// must quote it: receivers version-guard poison, and the reborn clock
+    /// holds nothing comparable.
+    uint64_t version = 0;
     bool valid = false;  ///< row has been advertised at least once
   };
   std::vector<AdvertState> adverts_;

@@ -1,5 +1,6 @@
 #include "obs/convergence.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -13,6 +14,23 @@ void ConvergenceTracker::observe(const TraceRecord& r) {
   if ((r.ev == Ev::kLinkDown || r.ev == Ev::kFailureDetect) && first_failure_at_ < 0) {
     first_failure_at_ = r.t;
   }
+
+  // Wave anchors. A churn_wave record (the engine emits it before injecting
+  // the wave's events) always anchors; without the engine every link state
+  // transition or restart does. Same-timestamp anchors — an SRG failing
+  // several cables at once — fold into one wave.
+  const bool anchor =
+      r.ev == Ev::kChurnWave ||
+      (!saw_churn_wave_ && (r.ev == Ev::kLinkDown || r.ev == Ev::kLinkUp ||
+                            r.ev == Ev::kSwitchRestart || r.ev == Ev::kGrayDegrade));
+  if (r.ev == Ev::kChurnWave) saw_churn_wave_ = true;
+  if (anchor && (waves_.empty() || r.t > waves_.back().start)) {
+    Wave wave;
+    wave.start = r.t;
+    wave.fault_class = r.ev == Ev::kChurnWave ? r.aux : kNoField;
+    waves_.push_back(wave);
+  }
+
   if (r.ev == Ev::kRouteFlip && r.dst != kNoField) {
     DestState& d = dests_[r.dst];
     ++d.flips;
@@ -21,6 +39,16 @@ void ConvergenceTracker::observe(const TraceRecord& r) {
     if (first_failure_at_ >= 0 && r.t >= first_failure_at_) {
       ++d.post_failure_flips;
       d.last_post_failure_flip = r.t;
+    }
+    // Per-wave window: the flip counts against the wave currently open. The
+    // wave's reconvergence is its *last* flip before the next anchor, so
+    // overwriting on every flip lands on the right value; the destination
+    // keeps its worst window across all waves.
+    if (!waves_.empty() && r.t >= waves_.back().start) {
+      Wave& wave = waves_.back();
+      ++wave.flips;
+      wave.last_flip = r.t;
+      d.max_wave_reconv = std::max(d.max_wave_reconv, r.t - wave.start);
     }
   }
 }
@@ -42,10 +70,41 @@ ConvergenceTracker::Report ConvergenceTracker::report() const {
     row.first_route_at = d.first_flip;
     row.quiesced_at = d.last_flip;
     row.post_failure_flips = d.post_failure_flips;
-    if (first_failure_at_ >= 0 && d.last_post_failure_flip >= 0) {
+    if (d.max_wave_reconv >= 0) {
+      row.reconvergence_s = d.max_wave_reconv;
+    } else if (waves_.empty() && first_failure_at_ >= 0 && d.last_post_failure_flip >= 0) {
+      // No wave anchors in the stream (e.g. a replayed trace with detector
+      // events only): the single-window legacy measure is all there is.
       row.reconvergence_s = d.last_post_failure_flip - first_failure_at_;
     }
     out.destinations.push_back(row);
+  }
+  out.waves.reserve(waves_.size());
+  // Per-class aggregation, keyed by the raw aux value so unknown classes
+  // still bucket deterministically.
+  std::map<uint32_t, ClassReport> by_class;
+  for (const Wave& wave : waves_) {
+    WaveReport row;
+    row.start = wave.start;
+    row.fault_class = wave.fault_class;
+    row.flips = wave.flips;
+    if (wave.last_flip >= 0) row.reconvergence_s = wave.last_flip - wave.start;
+    out.waves.push_back(row);
+
+    ClassReport& cls = by_class[wave.fault_class];
+    cls.fault_class = wave.fault_class;
+    ++cls.waves;
+    if (row.reconvergence_s >= 0) {
+      ++cls.reacted;
+      if (cls.min_s < 0 || row.reconvergence_s < cls.min_s) cls.min_s = row.reconvergence_s;
+      cls.max_s = std::max(cls.max_s, row.reconvergence_s);
+      cls.mean_s = (cls.mean_s < 0 ? 0.0 : cls.mean_s) + row.reconvergence_s;  // sum for now
+    }
+  }
+  out.by_class.reserve(by_class.size());
+  for (auto& [cls_id, cls] : by_class) {
+    if (cls.reacted > 0) cls.mean_s /= static_cast<double>(cls.reacted);
+    out.by_class.push_back(cls);
   }
   return out;
 }
@@ -72,6 +131,41 @@ std::string ConvergenceTracker::Report::to_string() const {
                   static_cast<unsigned long long>(d.flips), d.first_route_at, d.quiesced_at,
                   static_cast<unsigned long long>(d.post_failure_flips), reconv);
     out << line;
+  }
+  if (!waves.empty()) {
+    out << "  wave  t_start_s  class    flips  reconverge_s\n";
+    for (size_t i = 0; i < waves.size(); ++i) {
+      const WaveReport& w = waves[i];
+      const std::string_view cls = fault_class_name(static_cast<FaultClass>(w.fault_class));
+      char line[160];
+      char reconv[24];
+      if (w.reconvergence_s >= 0) {
+        std::snprintf(reconv, sizeof reconv, "%12.6f", w.reconvergence_s);
+      } else {
+        std::snprintf(reconv, sizeof reconv, "%12s", "-");
+      }
+      std::snprintf(line, sizeof line, "  %4zu  %9.6f  %-7.*s  %5llu  %s\n", i, w.start,
+                    static_cast<int>(cls.size()), cls.data(),
+                    static_cast<unsigned long long>(w.flips), reconv);
+      out << line;
+    }
+    out << "  class    waves  reacted  min_s     mean_s    max_s\n";
+    for (const ClassReport& c : by_class) {
+      const std::string_view cls = fault_class_name(static_cast<FaultClass>(c.fault_class));
+      char line[160];
+      if (c.reacted > 0) {
+        std::snprintf(line, sizeof line, "  %-7.*s  %5llu  %7llu  %.6f  %.6f  %.6f\n",
+                      static_cast<int>(cls.size()), cls.data(),
+                      static_cast<unsigned long long>(c.waves),
+                      static_cast<unsigned long long>(c.reacted), c.min_s, c.mean_s, c.max_s);
+      } else {
+        std::snprintf(line, sizeof line, "  %-7.*s  %5llu  %7llu  %9s  %9s  %9s\n",
+                      static_cast<int>(cls.size()), cls.data(),
+                      static_cast<unsigned long long>(c.waves),
+                      static_cast<unsigned long long>(c.reacted), "-", "-", "-");
+      }
+      out << line;
+    }
   }
   return out.str();
 }

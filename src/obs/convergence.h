@@ -8,9 +8,12 @@
 //     flip anywhere in the fabric for that destination;
 //   * route-flap counts — how often the chosen path changed, total and
 //     after the first failure;
-//   * post-failure re-convergence latency — last flip for the destination
-//     after the first link failure, minus the failure time (Fig. 14's
-//     recovery question, answered per destination).
+//   * per-wave re-convergence latency — faults partition the run into waves
+//     (a churn_wave record when the churn engine drives the run, else every
+//     link_down/link_up/restart transition), and each wave's window runs
+//     from its fault to the last flip before the next fault. Reported as a
+//     distribution, bucketed per fault class (Fig. 14's recovery question
+//     under sustained churn, not just a single failure).
 #pragma once
 
 #include <array>
@@ -31,7 +34,28 @@ class ConvergenceTracker : public TraceSink {
     double first_route_at = -1.0;     ///< first flip (initial route found)
     double quiesced_at = -1.0;        ///< last flip: quiescent afterwards
     uint64_t post_failure_flips = 0;  ///< flips after the first failure
-    double reconvergence_s = -1.0;    ///< last post-failure flip − failure time
+    /// Worst per-wave window for this destination: max over waves of (last
+    /// flip inside the wave − wave start). Falls back to the legacy
+    /// last-flip − first-failure measure when the stream had no wave
+    /// anchors at all.
+    double reconvergence_s = -1.0;
+  };
+
+  /// One fault wave: the window from its anchor to the last flip before the
+  /// next wave's anchor.
+  struct WaveReport {
+    double start = -1.0;
+    uint32_t fault_class = kNoField;  ///< FaultClass, or kNoField (raw link event)
+    uint64_t flips = 0;               ///< route flips inside the window
+    double reconvergence_s = -1.0;    ///< last flip − start; -1 = no reaction
+  };
+
+  /// Reconvergence distribution of one fault class.
+  struct ClassReport {
+    uint32_t fault_class = kNoField;
+    uint64_t waves = 0;      ///< waves of this class
+    uint64_t reacted = 0;    ///< waves with at least one route flip
+    double min_s = -1.0, mean_s = -1.0, max_s = -1.0;  ///< over reacted waves
   };
 
   struct Report {
@@ -39,6 +63,8 @@ class ConvergenceTracker : public TraceSink {
     uint64_t total_records = 0;
     double first_failure_at = -1.0;  ///< first link_down / failure_detect
     std::vector<DestReport> destinations;  ///< sorted by dst
+    std::vector<WaveReport> waves;         ///< in wave-start order
+    std::vector<ClassReport> by_class;     ///< sorted by fault_class
 
     uint64_t count(Ev ev) const { return counts[static_cast<size_t>(ev)]; }
     /// Human-readable convergence table.
@@ -58,11 +84,22 @@ class ConvergenceTracker : public TraceSink {
     double last_flip = -1.0;
     uint64_t post_failure_flips = 0;
     double last_post_failure_flip = -1.0;
+    double max_wave_reconv = -1.0;  ///< worst per-wave window (see DestReport)
+  };
+  struct Wave {
+    double start = 0.0;
+    uint32_t fault_class = kNoField;
+    uint64_t flips = 0;
+    double last_flip = -1.0;
   };
 
   std::array<uint64_t, kNumEv> counts_{};
   uint64_t total_records_ = 0;
   double first_failure_at_ = -1.0;
+  std::vector<Wave> waves_;
+  /// Once the stream carries churn_wave anchors, raw link events stop opening
+  /// waves (the engine emits its anchor before the events it injects).
+  bool saw_churn_wave_ = false;
   std::map<uint32_t, DestState> dests_;  ///< ordered: deterministic reports
 };
 

@@ -43,6 +43,9 @@ CoreMetrics::CoreMetrics(MetricsRegistry& r)
       par_mailbox_hops(r.counter("par_mailbox_hops")),
       par_mailbox_batches(r.counter("par_mailbox_batches")),
       par_shards_fused(r.counter("par_shards_fused")),
+      churn_waves(r.counter("churn_waves")),
+      gray_loss_drops(r.counter("gray_loss_drops")),
+      switch_restarts(r.counter("switch_restarts")),
       // Queue depth at drop, in bytes; bounds at MSS multiples of a
       // 1000×1500B drop-tail queue.
       drop_queue_bytes(r.histogram("drop_queue_bytes",

@@ -50,6 +50,10 @@ struct CoreMetrics {
   CounterId par_mailbox_hops;     ///< cross-shard packets drained into this shard
   CounterId par_mailbox_batches;  ///< non-empty mailbox drain passes
   CounterId par_shards_fused;     ///< partition-time shard fusions (shard 0 only)
+  // Churn engine (DESIGN.md §13).
+  CounterId churn_waves;          ///< fault waves injected by the churn engine
+  CounterId gray_loss_drops;      ///< packets lost to gray-failure loss draws
+  CounterId switch_restarts;      ///< control-plane restarts injected
   // Distributions.
   HistogramId drop_queue_bytes;   ///< queue depth (bytes) at each drop
   HistogramId probe_path_len;     ///< mv.len of accepted probes

@@ -16,7 +16,8 @@ constexpr std::string_view kEvNames[kNumEv] = {
     "flowlet_switch",     "flowlet_expire", "flowlet_flush", "failure_detect",
     "failure_clear",      "loop_break",     "link_down",     "link_up",
     "drop",               "epoch",          "barrier",       "probe_suppress",
-    "dense_fallback",     "probe_trigger",  "probe_withdraw",
+    "dense_fallback",     "probe_trigger",  "probe_withdraw", "churn_wave",
+    "gray_degrade",       "switch_restart",
 };
 
 }  // namespace
@@ -24,6 +25,12 @@ constexpr std::string_view kEvNames[kNumEv] = {
 std::string_view ev_name(Ev ev) {
   const auto index = static_cast<size_t>(ev);
   return index < kNumEv ? kEvNames[index] : "?";
+}
+
+std::string_view fault_class_name(FaultClass cls) {
+  constexpr std::string_view kNames[] = {"flap", "srg", "gray", "drift", "drain", "restart"};
+  const auto index = static_cast<size_t>(cls);
+  return index < static_cast<size_t>(FaultClass::kCount) ? kNames[index] : "link";
 }
 
 std::optional<Ev> ev_from_name(std::string_view name) {

@@ -49,6 +49,9 @@ enum class Ev : uint8_t {
   kDenseFallback,      ///< probe key outside the compiled dense FwdT universe
   kProbeTrigger,       ///< triggered-update emission for a destination (aux=probe copies)
   kProbeWithdraw,      ///< poison advert sent/accepted for a now-unusable row
+  kChurnWave,          ///< churn engine wave starts (aux=FaultClass, value=wave index)
+  kGrayDegrade,        ///< gray-failure state changed on a cable (value=loss prob)
+  kSwitchRestart,      ///< control-plane restart injected at a switch
   kCount,
 };
 
@@ -56,6 +59,20 @@ inline constexpr size_t kNumEv = static_cast<size_t>(Ev::kCount);
 
 std::string_view ev_name(Ev ev);
 std::optional<Ev> ev_from_name(std::string_view name);
+
+/// Fault-class taxonomy of the churn engine (DESIGN.md §13), carried in
+/// TraceRecord::aux of kChurnWave records so the ConvergenceTracker can
+/// bucket reconvergence windows per class without depending on the engine.
+enum class FaultClass : uint32_t {
+  kFlap = 0,   ///< link flapping at a tunable frequency
+  kSrg,        ///< correlated failure over a shared-risk group
+  kGray,       ///< gray failure: loss / added latency / capacity derate
+  kDrift,      ///< metric drift: oscillating link degradation
+  kDrain,      ///< maintenance drain: deep capacity derate, link stays up
+  kRestart,    ///< control-plane restart of one switch
+  kCount,
+};
+std::string_view fault_class_name(FaultClass cls);
 
 /// Field sentinel: "not applicable to this event".
 inline constexpr uint32_t kNoField = 0xffffffffu;

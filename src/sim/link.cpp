@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace contra::sim {
@@ -15,6 +16,19 @@ Link::Link(EventQueue& events, double capacity_bps, double delay_s,
       util_tau_s_(util_tau_s) {}
 
 bool Link::enqueue(Packet&& packet) {
+  if (!down_ && gray_.loss_prob > 0.0) {
+    // Gray loss: one hash draw per enqueue attempt, keyed by a per-link
+    // counter + salt. Packet ids would be the obvious key, but they are
+    // shard-namespaced under the parallel engine and would break
+    // serial/parallel loss parity.
+    const double draw =
+        static_cast<double>(util::mix64(gray_.salt + ++gray_tries_) >> 11) * 0x1.0p-53;
+    if (draw < gray_.loss_prob) {
+      if (telemetry_ != nullptr) telemetry_->metrics().add(telemetry_->core().gray_loss_drops);
+      note_drop(packet);
+      return false;
+    }
+  }
   if (down_ || queue_bytes_ + packet.size_bytes > queue_capacity_bytes_) {
     note_drop(packet);
     return false;
@@ -31,13 +45,30 @@ bool Link::enqueue(Packet&& packet) {
 }
 
 void Link::set_down(bool down) {
+  if (down_ == down) return;  // duplicate schedule events must be idempotent
   down_ = down;
   if (down) {
-    // In-queue packets are lost with the link.
+    // In-queue packets are lost with the link — including the in-flight head
+    // being serialized. Abort that transmission too: leaving busy_ set until
+    // the already-scheduled transmit-done fires would let a restore inside
+    // the serialization window either stall (enqueue sees busy_) or, once
+    // the stale event fires, pop and forward a *new* head packet before its
+    // serialization time has elapsed. The stale event itself is disarmed by
+    // the tx_done_at_ stamp check in on_transmit_done.
     queue_.for_each([this](const Packet& p) { note_drop(p); });
     queue_.clear();
     queue_bytes_ = 0;
+    busy_ = false;
   }
+}
+
+void Link::set_gray(const GrayParams& gray) {
+  gray_.loss_prob = std::clamp(gray.loss_prob, 0.0, 1.0);
+  gray_.extra_delay_s = std::max(0.0, gray.extra_delay_s);
+  gray_.capacity_factor = std::clamp(gray.capacity_factor, 1e-6, 1.0);
+  gray_.salt = gray.salt;
+  // gray_tries_ keeps counting across episodes so re-applying the same salt
+  // mid-run cannot replay an earlier drop sequence.
 }
 
 void Link::note_drop(const Packet& packet) {
@@ -62,11 +93,18 @@ void Link::note_drop(const Packet& packet) {
 void Link::maybe_start_transmit() {
   if (busy_ || queue_.empty() || down_) return;
   busy_ = true;
-  const double tx_time = queue_.front().size_bytes * 8.0 / capacity_bps_;
-  events_.schedule_link_tx(events_.now() + tx_time, this);
+  const double tx_time = queue_.front().size_bytes * 8.0 / capacity_bps();
+  tx_done_at_ = events_.now() + tx_time;
+  events_.schedule_link_tx(tx_done_at_, this);
 }
 
 void Link::on_transmit_done() {
+  // Stale completion guard: the transmission this event belonged to was
+  // aborted by set_down(true), or superseded by one started after a
+  // fail→restore flap (whose own completion carries a different stamp).
+  // Both doubles come from the same now()+tx_time computation, so exact
+  // equality is the right test.
+  if (!busy_ || events_.now() != tx_done_at_) return;
   busy_ = false;
   if (down_ || queue_.empty()) return;  // lost while down
   Packet packet = queue_.pop_front();
@@ -74,10 +112,13 @@ void Link::on_transmit_done() {
   note_tx(packet);
   // Propagation: deliver after the wire delay — locally, or via the
   // cross-shard mailbox when this link's receive side lives in another shard.
+  // delay_s() (not the raw member): a gray link's extra propagation latency
+  // applies here. Only ever >= the base delay, so the parallel engine's
+  // conservative lookahead (computed from base delays) stays valid.
   if (remote_forward_) {
-    remote_forward_(events_.now() + delay_s_, std::move(packet));
+    remote_forward_(events_.now() + delay_s(), std::move(packet));
   } else {
-    events_.schedule_deliver(events_.now() + delay_s_, this, std::move(packet));
+    events_.schedule_deliver(events_.now() + delay_s(), this, std::move(packet));
   }
   maybe_start_transmit();
 }
@@ -119,7 +160,10 @@ double Link::utilization() const {
   // make the estimate depend on how often it is observed — probes sampling a
   // link twice in one round would see different values.
   const double decay = std::max(0.0, 1.0 - (events_.now() - util_updated_) / util_tau_s_);
-  const double window_bytes = capacity_bps_ / 8.0 * util_tau_s_;
+  // Normalized by the *effective* rate: a capacity-derated gray link carrying
+  // unchanged traffic reads as more utilized, which is exactly the drift the
+  // routing metric should see.
+  const double window_bytes = capacity_bps() / 8.0 * util_tau_s_;
   return window_bytes > 0 ? util_bytes_ * decay / window_bytes : 0.0;
 }
 

@@ -14,6 +14,15 @@
 
 namespace contra::sim {
 
+/// Gray-failure state (DESIGN.md §13): a link that is sick but not down.
+/// Applied by the churn engine; all-defaults means healthy.
+struct GrayParams {
+  double loss_prob = 0.0;       ///< per-enqueue drop probability in [0, 1)
+  double extra_delay_s = 0.0;   ///< added propagation delay (>= 0: lookahead-safe)
+  double capacity_factor = 1.0; ///< serialization-rate derate in (0, 1]
+  uint64_t salt = 0;            ///< loss-sequence seed (deterministic replay)
+};
+
 struct LinkStats {
   uint64_t tx_packets = 0;
   uint64_t tx_bytes = 0;
@@ -67,13 +76,28 @@ class Link {
   void set_down(bool down);
   bool down() const { return down_; }
 
+  /// Installs / clears gray-failure degradation. Loss draws come from a
+  /// counter-keyed hash of `salt` (not packet ids, which are shard-namespaced
+  /// under the parallel engine), so the drop sequence is deterministic and
+  /// workers-invariant. Out-of-range parameters are clamped: extra delay
+  /// below 0 or a capacity factor outside (0, 1] would break the parallel
+  /// engine's conservative lookahead.
+  void set_gray(const GrayParams& gray);
+  void clear_gray() { set_gray(GrayParams{}); }
+  bool gray() const {
+    return gray_.loss_prob > 0.0 || gray_.extra_delay_s > 0.0 || gray_.capacity_factor != 1.0;
+  }
+  const GrayParams& gray_params() const { return gray_; }
+
   /// Current utilization estimate in [0, ~1]: EWMA of transmitted bytes over
   /// the decay window tau, normalized by capacity.
   double utilization() const;
 
   uint64_t queue_bytes() const { return queue_bytes_; }
-  double capacity_bps() const { return capacity_bps_; }
-  double delay_s() const { return delay_s_; }
+  /// Effective serialization rate (gray capacity derate included).
+  double capacity_bps() const { return capacity_bps_ * gray_.capacity_factor; }
+  /// Effective propagation delay (gray added latency included).
+  double delay_s() const { return delay_s_ + gray_.extra_delay_s; }
   const LinkStats& stats() const { return stats_; }
 
  private:
@@ -100,6 +124,13 @@ class Link {
   uint64_t ecn_threshold_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;
+  /// Completion stamp of the in-flight transmission; on_transmit_done ignores
+  /// events whose firing time does not match (they belong to a transmission
+  /// aborted by set_down or superseded after a flap).
+  Time tx_done_at_ = 0.0;
+
+  GrayParams gray_;
+  uint64_t gray_tries_ = 0;  ///< enqueue attempts under gray loss (hash key)
 
   // Utilization EWMA state; written only by note_tx, so utilization() reads
   // are idempotent at any timestamp.

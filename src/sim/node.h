@@ -35,6 +35,11 @@ class Device {
     (void)up;
   }
 
+  /// Control-plane reboot injected by the churn engine (Simulator::
+  /// restart_switch). Devices with soft protocol state model losing it here;
+  /// the default is a no-op, matching stateless dataplanes.
+  virtual void restart_control_plane() {}
+
   /// Human-readable name for diagnostics.
   virtual const char* kind_name() const = 0;
 };

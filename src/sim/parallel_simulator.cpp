@@ -395,6 +395,32 @@ void ParallelSimulator::restore_cable(topology::LinkId link) {
   }
 }
 
+void ParallelSimulator::schedule_gray_event(Time t, topology::LinkId link, GrayParams gray) {
+  const uint32_t owner = partition_.shard(topo_->link(link).from);
+  for (auto& shard : shards_) {
+    Simulator* sim = &shard->sim;
+    const bool loud = shard->id == owner;
+    shard->sim.events().schedule_at(t, [sim, link, gray, loud] {
+      if (loud) {
+        sim->set_cable_gray(link, gray);
+      } else {
+        sim->set_cable_gray_quiet(link, gray);
+      }
+    });
+  }
+}
+
+void ParallelSimulator::schedule_restart_event(Time t, topology::NodeId node) {
+  const uint32_t owner = partition_.shard(node);
+  Simulator* sim = &shards_[owner]->sim;
+  sim->events().schedule_at(t, [sim, node] { sim->restart_switch(node); });
+}
+
+void ParallelSimulator::schedule_churn_wave(Time t, obs::FaultClass cls, uint32_t wave_index) {
+  Simulator* sim = &shards_[0]->sim;
+  sim->events().schedule_at(t, [sim, cls, wave_index] { sim->note_churn_wave(cls, wave_index); });
+}
+
 void ParallelSimulator::schedule_cable_event(Time t, topology::LinkId link, bool down) {
   const uint32_t owner = partition_.shard(topo_->link(link).from);
   for (auto& shard : shards_) {

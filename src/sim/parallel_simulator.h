@@ -139,6 +139,14 @@ class ParallelSimulator {
   /// change at local time `t` inside its own epoch.
   void schedule_cable_event(Time t, topology::LinkId link, bool down);
 
+  // Churn engine hooks (DESIGN.md §13). Gray state replicates to every
+  // shard's link replicas (loud on the owner, like cable events); a restart
+  // is scheduled only on the shard owning the device; the wave marker fires
+  // on shard 0, once.
+  void schedule_gray_event(Time t, topology::LinkId link, GrayParams gray);
+  void schedule_restart_event(Time t, topology::NodeId node);
+  void schedule_churn_wave(Time t, obs::FaultClass cls, uint32_t wave_index);
+
   // ----- run ---------------------------------------------------------------
 
   /// Advances every shard to `end` (inclusive, like Simulator::run_until)

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace contra::sim {
@@ -91,6 +92,10 @@ bool Simulator::host_send(HostId host, Packet&& packet) {
 }
 
 void Simulator::fail_cable(topology::LinkId link) {
+  // Duplicate / overlapping schedule events are idempotent: a cable that is
+  // already down emits no second transition (no telemetry, no port signal),
+  // so a schedule with redundant events is byte-identical to the clean one.
+  if (links_.at(link)->down()) return;
   links_.at(link)->set_down(true);
   links_.at(topo_->link(link).reverse)->set_down(true);
   telemetry_.metrics().add(telemetry_.core().link_down_events);
@@ -108,6 +113,7 @@ void Simulator::fail_cable(topology::LinkId link) {
 }
 
 void Simulator::restore_cable(topology::LinkId link) {
+  if (!links_.at(link)->down()) return;  // idempotent (see fail_cable)
   links_.at(link)->set_down(false);
   links_.at(topo_->link(link).reverse)->set_down(false);
   telemetry_.metrics().add(telemetry_.core().link_up_events);
@@ -123,9 +129,65 @@ void Simulator::restore_cable(topology::LinkId link) {
 }
 
 void Simulator::set_cable_state_quiet(topology::LinkId link, bool down) {
+  // Mirror fail_cable/restore_cable's duplicate guard: replica shards must
+  // suppress the port signal on exactly the same events the owner does.
+  if (links_.at(link)->down() == down) return;
   links_.at(link)->set_down(down);
   links_.at(topo_->link(link).reverse)->set_down(down);
   notify_link_state(link, !down);
+}
+
+void Simulator::set_cable_gray(topology::LinkId link, const GrayParams& gray) {
+  set_cable_gray_quiet(link, gray);
+  if (telemetry_.tracing()) {
+    obs::TraceRecord r;
+    r.t = now();
+    r.ev = obs::Ev::kGrayDegrade;
+    r.link = link;
+    r.aux = topo_->link(link).reverse;
+    r.value = gray.loss_prob;
+    telemetry_.emit(r);
+  }
+  LOG_INFO("sim") << "cable " << topo_->name(topo_->link(link).from) << "-"
+                  << topo_->name(topo_->link(link).to) << " gray(loss=" << gray.loss_prob
+                  << ", +delay=" << gray.extra_delay_s << "s, cap×" << gray.capacity_factor
+                  << ") at t=" << now();
+}
+
+void Simulator::set_cable_gray_quiet(topology::LinkId link, const GrayParams& gray) {
+  // Both directions share the degradation but draw independent loss
+  // sequences (the reverse direction salts differently), like a sick optic
+  // hurting both lanes.
+  GrayParams reverse = gray;
+  reverse.salt = util::mix64(gray.salt + 1);
+  links_.at(link)->set_gray(gray);
+  links_.at(topo_->link(link).reverse)->set_gray(reverse);
+}
+
+void Simulator::restart_switch(topology::NodeId node) {
+  if (node >= devices_.size() || devices_[node] == nullptr) return;
+  devices_[node]->restart_control_plane();
+  telemetry_.metrics().add(telemetry_.core().switch_restarts);
+  if (telemetry_.tracing()) {
+    obs::TraceRecord r;
+    r.t = now();
+    r.ev = obs::Ev::kSwitchRestart;
+    r.sw = node;
+    telemetry_.emit(r);
+  }
+  LOG_INFO("sim") << "switch " << topo_->name(node) << " control plane restarted at t=" << now();
+}
+
+void Simulator::note_churn_wave(obs::FaultClass cls, uint32_t wave_index) {
+  telemetry_.metrics().add(telemetry_.core().churn_waves);
+  if (telemetry_.tracing()) {
+    obs::TraceRecord r;
+    r.t = now();
+    r.ev = obs::Ev::kChurnWave;
+    r.aux = static_cast<uint32_t>(cls);
+    r.value = wave_index;
+    telemetry_.emit(r);
+  }
 }
 
 void Simulator::notify_link_state(topology::LinkId link, bool up) {

@@ -123,6 +123,22 @@ class Simulator {
   /// them; only the owning shard reports the event (once), via fail_cable.
   void set_cable_state_quiet(topology::LinkId link, bool down);
 
+  /// Gray failure (DESIGN.md §13): degrades both directions of the cable
+  /// containing `link` — loss probability, added latency, capacity derate.
+  /// All-defaults GrayParams heals the cable. The quiet variant mirrors
+  /// set_cable_state_quiet for non-owning parallel shards.
+  void set_cable_gray(topology::LinkId link, const GrayParams& gray);
+  void set_cable_gray_quiet(topology::LinkId link, const GrayParams& gray);
+
+  /// Control-plane restart of the device at `node` (no-op when this
+  /// simulator owns no device there — parallel shards call it blindly).
+  void restart_switch(topology::NodeId node);
+
+  /// Churn-engine wave marker: one churn_wave trace record + counter. The
+  /// engine calls it at each wave's start, before injecting the wave's
+  /// events, so the ConvergenceTracker can anchor reconvergence windows.
+  void note_churn_wave(obs::FaultClass cls, uint32_t wave_index);
+
   // ----- run / stats ---------------------------------------------------------
 
   void run_until(Time end) { events_.run_until(end); }

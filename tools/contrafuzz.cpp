@@ -18,7 +18,7 @@
 // Usage:
 //   contrafuzz --seed 1 --iterations 200 [--corpus DIR] [--workers-every 4]
 //              [--tag-check-every 5] [--cross-check] [--cross-check-triggered]
-//              [--verbose]
+//              [--fault-schedules] [--verbose]
 //   contrafuzz --replay DIR/repro-<seed>.txt
 //
 // --cross-check arms two differentials on every quiesced run: the dense
@@ -29,6 +29,13 @@
 // --cross-check-triggered reruns every strictly monotonic quiesced case under
 // the triggered-update engine (keepalive_rounds=4) and hard-fails unless both
 // protocols reach the same usable-FwdT fixed point.
+//
+// --fault-schedules arms a generated ChurnEngine schedule on every case —
+// flaps, shared-risk groups, gray failures, metric drift, maintenance
+// drains, and control-plane restarts, all derived from a per-case churn
+// seed. Schedules always end clean (links restored, gray healed), so the
+// all-links-up quiescence oracle stays sound; restart-bearing schedules
+// widen the quiesce budget by the version-reset escape window.
 #include <algorithm>
 #include <bit>
 #include <cstdint>
@@ -47,6 +54,7 @@
 #include "oracle/checker.h"
 #include "oracle/oracle.h"
 #include "oracle/quiesce.h"
+#include "sim/churn_engine.h"
 #include "sim/failure_schedule.h"
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
@@ -80,6 +88,10 @@ struct FuzzCase {
   std::string policy_text;
   std::vector<FailEvent> events;
   uint32_t workers = 0;  ///< 0 = serial engine
+  /// Non-zero arms a ChurnEngine::generate fault schedule (flaps, SRGs, gray
+  /// failures, drift, drains, restarts) derived from this seed. The schedule
+  /// always ends clean, so the all-links-up quiescence oracle stays sound.
+  uint64_t churn_seed = 0;
   double probe_period_s = 256e-6;
   bool suppression = true;   ///< probe delta-suppression (the shipping default)
   bool cross_check = false;  ///< dense-vs-reference + suppression differential
@@ -332,13 +344,49 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
   // keepalive_rounds probe periods instead of one.
   const double wscale = c.triggered ? static_cast<double>(options.keepalive_rounds) : 1.0;
 
+  // Generated fault-schedule churn (--fault-schedules). Times are fixed
+  // multiples of the configured probe period, independent of the protocol
+  // variant, so a repro's churn-seed fully determines the schedule.
+  sim::ChurnEngine churn(c.topo);
+  if (c.churn_seed != 0 && c.topo.num_links() > 0) {
+    churn.generate(c.churn_seed, 4.0 * c.probe_period_s, 28.0 * c.probe_period_s, 2);
+  }
+
+  // The generated churn is independent of the base event list, so a clean-
+  // ending churn wave can restore a cable the base schedule failed for good —
+  // and the quiesced network would then disagree with final_link_state()'s
+  // view. Re-assert every net-down base failure after the churn clears;
+  // fail_cable is idempotent, so re-failing an already-down cable is a no-op
+  // (no telemetry, no port signal) when there was no conflict.
+  std::vector<topology::LinkId> reassert_downs;
+  double reassert_t = 0.0;
+  if (churn.last_event_time() > 0.0) {
+    const oracle::LinkState final_state = final_link_state(c);
+    for (topology::LinkId l = 0; l < c.topo.num_links(); ++l) {
+      if (!final_state.up[l] && l < c.topo.link(l).reverse) reassert_downs.push_back(l);
+    }
+    if (!reassert_downs.empty()) {
+      reassert_t = churn.last_event_time() + options.probe_period_s;
+      for (const FailEvent& e : c.events) {
+        reassert_t = std::max(reassert_t, e.t + options.probe_period_s);
+      }
+    }
+  }
+
   double last_event = 0.0;
   for (const FailEvent& e : c.events) last_event = std::max(last_event, e.t);
+  last_event = std::max(last_event, churn.last_event_time());
+  last_event = std::max(last_event, reassert_t);
   oracle::QuiesceOptions qopts;
   qopts.probe_period_s = options.probe_period_s * wscale;
   qopts.start_s = last_event +
                   (options.metric_expiry_periods + options.failure_detect_periods + 4.0) *
                       options.probe_period_s * wscale;
+  // Restarted control planes may need the DSDV version-reset escape before
+  // their origin rounds are adopted again; widen the budget only then.
+  if (churn.has_restarts()) {
+    qopts.start_s += options.version_reset_periods * options.probe_period_s * wscale;
+  }
   qopts.max_time_s = qopts.start_s + 400.0 * options.probe_period_s * wscale;
 
   auto resolve = [&](const FailEvent& e) {
@@ -358,7 +406,9 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
       if (e.fail) schedule.fail_at(e.t, l);
       else schedule.restore_at(e.t, l);
     }
+    for (const topology::LinkId l : reassert_downs) schedule.fail_at(reassert_t, l);
     schedule.arm(sim);
+    churn.arm(sim);
     sim.start();
     q = oracle::run_to_quiescence(sim, switches, qopts);
     result.quiesced = q.quiesced;
@@ -392,6 +442,8 @@ CaseResult run_case(const FuzzCase& c, bool verbose) {
       const topology::LinkId l = resolve(e);
       if (l != topology::kInvalidLink) psim.schedule_cable_event(e.t, l, e.fail);
     }
+    for (const topology::LinkId l : reassert_downs) psim.schedule_cable_event(reassert_t, l, true);
+    churn.arm(psim);
     psim.start();
     q = oracle::run_to_quiescence(psim, switches, qopts);
     result.quiesced = q.quiesced;
@@ -479,6 +531,7 @@ std::string format_repro(const FuzzCase& c, const CaseResult& result) {
   if (c.cross_check_triggered) out << "cross-check-triggered 1\n";
   if (c.triggered) out << "triggered 1\n";
   if (!c.suppression) out << "suppression 0\n";
+  if (c.churn_seed != 0) out << "churn-seed " << c.churn_seed << "\n";
   out << "probe-period " << c.probe_period_s << "\n";
   out << "policy " << c.policy_text << "\n";
   for (const FailEvent& e : c.events) {
@@ -528,6 +581,8 @@ std::optional<FuzzCase> parse_repro(const std::string& text, std::string* error)
       int v = 1;
       ls >> v;
       c.suppression = v != 0;
+    } else if (key == "churn-seed") {
+      ls >> c.churn_seed;
     } else if (key == "probe-period") {
       ls >> c.probe_period_s;
     } else if (key == "policy") {
@@ -570,6 +625,13 @@ FuzzCase minimize_case(FuzzCase c) {
     FuzzCase serial = c;
     serial.workers = 0;
     if (still_violates(serial)) c = std::move(serial);
+  }
+  // Churn first: a repro that reproduces without the generated fault
+  // schedule is far easier to reason about than one that needs it.
+  if (c.churn_seed != 0) {
+    FuzzCase calm = c;
+    calm.churn_seed = 0;
+    if (still_violates(calm)) c = std::move(calm);
   }
   for (size_t i = c.events.size(); i-- > 0;) {
     FuzzCase fewer = c;
@@ -626,6 +688,7 @@ int main(int argc, char** argv) {
   const uint64_t tag_check_every = static_cast<uint64_t>(args.get_int("tag-check-every", 5));
   const bool cross_check = args.has("cross-check");
   const bool cross_check_triggered = args.has("cross-check-triggered");
+  const bool fault_schedules = args.has("fault-schedules");
   const bool verbose = args.has("verbose");
 
   uint64_t violations = 0;
@@ -636,6 +699,7 @@ int main(int argc, char** argv) {
     FuzzCase c = generate_case(seed, i);
     c.cross_check = cross_check;
     c.cross_check_triggered = cross_check_triggered;
+    if (fault_schedules) c.churn_seed = util::mix64(c.seed ^ 0x6661756c74736368ULL);
     if (workers_every > 0 && i % workers_every == workers_every - 1) {
       c.workers = (i / workers_every) % 2 == 0 ? 2 : 4;
       ++parallel_runs;
@@ -684,7 +748,8 @@ int main(int argc, char** argv) {
             << " violations, " << compile_skips << " compile-skips, " << tag_checks
             << " tag-merge checks, " << parallel_runs << " parallel runs"
             << (cross_check ? ", cross-check armed" : "")
-            << (cross_check_triggered ? ", triggered cross-check armed" : "") << " (seed "
+            << (cross_check_triggered ? ", triggered cross-check armed" : "")
+            << (fault_schedules ? ", fault schedules armed" : "") << " (seed "
             << seed << ")\n";
   return violations == 0 ? 0 : 2;
 }

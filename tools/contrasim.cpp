@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "cli_common.h"
 #include "compiler/compiler.h"
@@ -31,6 +32,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "oracle/audit.h"
+#include "sim/churn_engine.h"
 #include "sim/host.h"
 #include "sim/parallel_simulator.h"
 #include "sim/transport.h"
@@ -65,6 +67,10 @@ int usage(const char* argv0) {
                "                                         across machines)\n"
                "          [--fail <nodeA>-<nodeB>]      (fail a cable pre-traffic)\n"
                "          [--fail-at-ms <t>]            (delay --fail until t)\n"
+               "          [--churn-spec <spec.json>]    (scripted/generative fault waves:\n"
+               "                                         flaps, SRGs, gray failures, drift,\n"
+               "                                         drains, restarts -- DESIGN.md s13;\n"
+               "                                         deterministic for any --workers)\n"
                "          [--telemetry-out <trace.jsonl>]  (control-plane trace +\n"
                "                                            run manifest + convergence table)\n"
                "          [--metrics-json <file|->]     (final metrics snapshot)\n"
@@ -277,6 +283,34 @@ std::vector<sim::HostId> attach_hosts_auto(sim::ParallelSimulator& psim) {
 /// engine (DESIGN.md §8). Deterministic for any worker count; periodic
 /// metrics snapshots emit at phase boundaries once every shard has
 /// committed past the tick (workers-invariant — see OBSERVABILITY.md).
+/// Loads --churn-spec when present. Returns 0 with *out reset when the flag
+/// is absent, 0 with a parsed engine on success, 1 (after printing) on error.
+int load_churn_spec(const tools::Args& args, const topology::Topology& topo,
+                    std::unique_ptr<sim::ChurnEngine>* out) {
+  out->reset();
+  if (!args.has("churn-spec")) return 0;
+  const std::string path = args.get("churn-spec");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open --churn-spec file: %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto engine = std::make_unique<sim::ChurnEngine>(topo);
+  std::string error;
+  if (!engine->load_json(buf.str(), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("churn: %u waves, %zu events, last at %.3f ms%s\n%s", engine->num_waves(),
+              engine->num_events(), engine->last_event_time() * 1e3,
+              engine->ends_clean() ? "" : " (schedule does not end clean)",
+              engine->describe().c_str());
+  *out = std::move(engine);
+  return 0;
+}
+
 int run_parallel(const tools::Args& args, const topology::Topology& topo, const char* argv0) {
   const double link_bps = args.get_double("link-gbps", 10.0) * 1e9;
   const double load = args.get_double("load", 0.5);
@@ -318,6 +352,10 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
       psim.fail_cable(fail_link);
     }
   }
+
+  std::unique_ptr<sim::ChurnEngine> churn;
+  if (load_churn_spec(args, topo, &churn) != 0) return 1;
+  if (churn) churn->arm(psim);
 
   const std::string trace_path = args.get("telemetry-out");
   if (!trace_path.empty()) psim.enable_tracing();
@@ -578,6 +616,10 @@ int main(int argc, char** argv) {
       sim.fail_cable(fail_link);
     }
   }
+
+  std::unique_ptr<sim::ChurnEngine> churn;
+  if (load_churn_spec(args, *topo, &churn) != 0) return 1;
+  if (churn) churn->arm(sim);
 
   // ----- telemetry ----------------------------------------------------------
   const std::string trace_path = args.get("telemetry-out");

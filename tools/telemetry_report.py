@@ -58,8 +58,19 @@ EVENT_NAMES = [
     "flowlet_create", "flowlet_switch", "flowlet_expire", "flowlet_flush",
     "failure_detect", "failure_clear", "loop_break", "link_down", "link_up",
     "drop", "epoch", "barrier", "probe_suppress", "dense_fallback",
-    "probe_trigger", "probe_withdraw",
+    "probe_trigger", "probe_withdraw", "churn_wave", "gray_degrade",
+    "switch_restart",
 ]
+
+# Mirrors obs::FaultClass (src/obs/trace.h); churn_wave records carry the
+# class in aux. A wave anchored by a raw link event has no class ("link").
+FAULT_CLASSES = ["flap", "srg", "gray", "drift", "drain", "restart"]
+
+
+def fault_class_name(cls):
+    if cls is None or not 0 <= cls < len(FAULT_CLASSES):
+        return "link"
+    return FAULT_CLASSES[cls]
 
 MANIFEST_REQUIRED = [
     "schema", "tool", "topology", "nodes", "links", "plane", "seed",
@@ -101,17 +112,31 @@ class Convergence:
     def __init__(self):
         self.first_failure = None
         self.dests = {}
+        # Churn waves: explicit churn_wave markers once seen; raw link_down /
+        # link_up / switch_restart / gray_degrade events anchor waves only in
+        # traces without markers (mirrors obs::ConvergenceTracker).
+        self.waves = []
+        self.saw_churn_wave = False
 
     def observe(self, record):
         ev = record.get("ev")
         t = float(record.get("t", 0.0))
+        anchor = ev == "churn_wave" or (
+            not self.saw_churn_wave
+            and ev in ("link_down", "link_up", "switch_restart", "gray_degrade"))
+        if ev == "churn_wave":
+            self.saw_churn_wave = True
+        if anchor and (not self.waves or t > self.waves[-1]["t"]):
+            cls = int(record.get("aux", 0)) if ev == "churn_wave" else None
+            self.waves.append({"t": t, "cls": cls, "flips": 0, "last_flip": None})
         if ev in ("link_down", "failure_detect") and self.first_failure is None:
             self.first_failure = t
         if ev != "route_flip" or "dst" not in record:
             return
         state = self.dests.setdefault(
             record["dst"],
-            {"flips": 0, "first": None, "last": None, "post_flips": 0, "post_last": None})
+            {"flips": 0, "first": None, "last": None, "post_flips": 0, "post_last": None,
+             "max_wave_reconv": None})
         state["flips"] += 1
         if state["first"] is None:
             state["first"] = t
@@ -119,13 +144,24 @@ class Convergence:
         if self.first_failure is not None and t >= self.first_failure:
             state["post_flips"] += 1
             state["post_last"] = t
+        if self.waves and t >= self.waves[-1]["t"]:
+            wave = self.waves[-1]
+            wave["flips"] += 1
+            wave["last_flip"] = t
+            reconv = t - wave["t"]
+            if state["max_wave_reconv"] is None or reconv > state["max_wave_reconv"]:
+                state["max_wave_reconv"] = reconv
 
     def table(self):
         rows = []
         for dst in sorted(self.dests):
             s = self.dests[dst]
-            reconverge = (s["post_last"] - self.first_failure
-                          if s["post_last"] is not None else None)
+            if s["max_wave_reconv"] is not None:
+                reconverge = s["max_wave_reconv"]
+            elif not self.waves and s["post_last"] is not None:
+                reconverge = s["post_last"] - self.first_failure
+            else:
+                reconverge = None
             rows.append({
                 "dst": dst,
                 "flips": s["flips"],
@@ -135,6 +171,35 @@ class Convergence:
                 "reconvergence_s": reconverge,
             })
         return rows
+
+    def wave_table(self):
+        return [{
+            "wave": i,
+            "t_start_s": w["t"],
+            "fault_class": fault_class_name(w["cls"]),
+            "flips": w["flips"],
+            "reconvergence_s": (w["last_flip"] - w["t"]
+                                if w["last_flip"] is not None else None),
+        } for i, w in enumerate(self.waves)]
+
+    def class_table(self):
+        """Per-fault-class reconvergence distribution over waves."""
+        by_class = {}
+        for row in self.wave_table():
+            s = by_class.setdefault(row["fault_class"],
+                                    {"waves": 0, "reacted": 0, "values": []})
+            s["waves"] += 1
+            if row["reconvergence_s"] is not None:
+                s["reacted"] += 1
+                s["values"].append(row["reconvergence_s"])
+        return [{
+            "fault_class": cls,
+            "waves": s["waves"],
+            "reacted": s["reacted"],
+            "min_s": min(s["values"]) if s["values"] else None,
+            "mean_s": sum(s["values"]) / len(s["values"]) if s["values"] else None,
+            "max_s": max(s["values"]) if s["values"] else None,
+        } for cls, s in sorted(by_class.items())]
 
 
 def read_trace(path):
@@ -498,6 +563,18 @@ def print_report(path, summary, manifest, manifest_path, top):
             print(f"  {r['dst']:3d}  {r['flips']:5d}  {fmt_s(r['first_route_s']):>13s}"
                   f"  {fmt_s(r['quiesced_s']):>10s}  {r['post_failure_flips']:15d}"
                   f"  {fmt_s(r['reconvergence_s']):>12s}")
+    waves = convergence.wave_table()
+    if waves:
+        print("CHURN (per-wave reconvergence; DESIGN.md s13):")
+        print("  wave  t_start_s  class    flips  reconverge_s")
+        for w in waves:
+            print(f"  {w['wave']:4d}  {w['t_start_s']:9.6f}  {w['fault_class']:7s}"
+                  f"  {w['flips']:5d}  {fmt_s(w['reconvergence_s']):>12s}")
+        print("  class    waves  reacted  min_s     mean_s    max_s")
+        for c in convergence.class_table():
+            print(f"  {c['fault_class']:7s}  {c['waves']:5d}  {c['reacted']:7d}"
+                  f"  {fmt_s(c['min_s']):>8s}  {fmt_s(c['mean_s']):>8s}"
+                  f"  {fmt_s(c['max_s']):>8s}")
     if manifest is not None:
         print(f"manifest : {manifest_path}")
         print(f"  tool={manifest.get('tool')} topology={manifest.get('topology')}"
@@ -601,6 +678,8 @@ def main():
                 "parallel_engine": shard_rows(summary),
                 "first_failure_s": convergence.first_failure,
                 "convergence": convergence.table(),
+                "churn_waves": convergence.wave_table(),
+                "churn_by_class": convergence.class_table(),
                 "manifest": manifest,
             })
         if triggered is not None:
