@@ -46,6 +46,9 @@ ContraSwitch::ContraSwitch(const compiler::CompileResult& compiled,
                                  : 1),
                         compiled.graph.topo().num_links()),
       last_best_(dense_->destinations.size(), topology::kInvalidLink) {
+  const auto& attrs = compiled.decomposition.attrs;
+  policy_carries_util_ =
+      std::find(attrs.begin(), attrs.end(), lang::PathAttr::kUtil) != attrs.end();
   const uint32_t num_tags = compiled.graph.num_tags();
   tag_step_.assign(num_tags, pg::kInvalidTag);
   pg_node_of_tag_.assign(num_tags, pg::kInvalidPgNode);
@@ -190,7 +193,9 @@ void ContraSwitch::scan_local_changes(Simulator& sim) {
     }
     // Quantized-utilization drift on the out-link: re-derive every row routed
     // over it from the cached neighbor advert (metric drift => focused wave,
-    // no fresh probe needed).
+    // no fresh probe needed). Util-blind policies skip the scan — the drift
+    // could never change a rank, only mint re-advertisement noise.
+    if (!policy_carries_util_) continue;
     double util = sim.link(out).utilization();
     if (options_.util_quantum > 0) {
       util = std::round(util / options_.util_quantum) * options_.util_quantum;
@@ -483,8 +488,10 @@ void ContraSwitch::process_probe(Simulator& sim, Packet&& packet, LinkId in_link
   // fixed point, where sub-microsecond second-denominated values underflow.
   // Latency here is propagation delay; queueing pressure is what path.util
   // captures (adding the instantaneous queue would couple the latency metric
-  // to probe-burst noise). Utilization is quantized like a hardware register.
-  double util = link.utilization();
+  // to probe-burst noise). Utilization is quantized like a hardware register,
+  // and a policy that never reads path.util carries 0 instead of the live
+  // EWMA (see policy_carries_util_) so content comparisons stay stable.
+  double util = policy_carries_util_ ? link.utilization() : 0.0;
   if (options_.util_quantum > 0) {
     util = std::round(util / options_.util_quantum) * options_.util_quantum;
   }
@@ -953,6 +960,61 @@ void ContraSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link)
   ++stats_.data_forwarded;
   telemetry_->metrics().add(telemetry_->core().data_forwarded);
   sim.send_on_link(nhop, std::move(packet));
+}
+
+LinkId ContraSwitch::fluid_next_hop(Simulator& sim, NodeId dst_switch,
+                                    const util::FiveTuple& tuple, sim::RoutingState& routing) {
+  // forward_data's selection logic, side-effect free: the link the flow's
+  // next packet would leave on right now. No pins are created or refreshed,
+  // no flowlets pinned/touched/flushed, no stats counted — fluid flows must
+  // not perturb the packet-level state the sampled subset still exercises.
+  const sim::Time now = sim.now();
+  if (!routing.stamped) {
+    const uint32_t fid = util::hash_five_tuple(tuple);
+    auto pin = source_pins_.find(fid);
+    if (pin != source_pins_.end() && now - pin->second.last_seen < options_.flowlet_timeout_s) {
+      routing.tag = pin->second.tag;
+      routing.pid = pin->second.pid;
+    } else {
+      const auto choice = best_choice(dst_switch, now);
+      if (!choice) return topology::kInvalidLink;
+      routing.tag = choice->tag;
+      routing.pid = choice->pid;
+    }
+    routing.traffic_class = options_.traffic_class_id;
+    routing.stamped = true;
+  }
+
+  const uint32_t fid = util::hash_five_tuple(tuple);
+  const FlowletKey fkey = options_.policy_aware_flowlets
+                              ? FlowletKey{routing.tag, routing.pid, fid}
+                              : FlowletKey{0, 0, fid};
+  LinkId nhop = topology::kInvalidLink;
+  uint32_t ntag = pg::kInvalidTag;
+  FlowletEntry* pinned = flowlets_.lookup(fkey, now);
+  if (pinned != nullptr) {
+    const LinkId probe_dir = sim.topo().link(pinned->nhop).reverse;
+    if (failure_detector_.presumed_failed(probe_dir, now)) pinned = nullptr;
+  }
+  if (pinned != nullptr) {
+    nhop = pinned->nhop;
+    if (options_.policy_aware_flowlets) {
+      ntag = pinned->ntag;
+    } else {
+      ntag = compiled_->graph.next_tag(routing.tag, sim.topo().link(nhop).to);
+      if (ntag == pg::kInvalidTag) return topology::kInvalidLink;
+    }
+  } else {
+    const uint32_t row = dense_->row(dst_switch, routing.tag, routing.pid);
+    if (row == compiler::DenseFwdIndex::kNoRow || !row_present_[row] ||
+        !entry_usable(rows_[row], now)) {
+      return topology::kInvalidLink;
+    }
+    nhop = rows_[row].nhop;
+    ntag = rows_[row].ntag;
+  }
+  routing.tag = ntag;
+  return nhop;
 }
 
 std::string ContraSwitch::render_tables(sim::Time now) const {

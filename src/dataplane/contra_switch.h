@@ -166,6 +166,12 @@ class ContraSwitch : public sim::Device {
   /// Port signal (triggered mode only): instant failure presumption +
   /// focused trigger wave on down, advert resync + origin re-announce on up.
   void handle_link_state(sim::Simulator& sim, topology::LinkId link, bool up) override;
+  /// Hybrid engine route query (DESIGN.md §14): forward_data's selection
+  /// logic with every side effect removed — reads source pins, flowlets and
+  /// FwdT state but never pins, touches, flushes, or counts.
+  topology::LinkId fluid_next_hop(sim::Simulator& sim, topology::NodeId dst_switch,
+                                  const util::FiveTuple& tuple,
+                                  sim::RoutingState& routing) override;
   const char* kind_name() const override { return "contra"; }
 
   const ContraSwitchStats& stats() const { return stats_; }
@@ -344,6 +350,13 @@ class ContraSwitch : public sim::Device {
   const pg::PolicyEvaluator* evaluator_;
   topology::NodeId self_;
   ContraSwitchOptions options_;
+  /// True when the compiled policy references path.util anywhere. When it
+  /// does not, probes are extended with util = 0 instead of the live EWMA:
+  /// the value can never affect any rank, but carrying it would still make
+  /// every content/advert comparison drift with traffic — under the
+  /// triggered engine that noise alone re-excites fabric-wide trigger waves
+  /// every period (a probe storm a util-blind policy has no reason to pay).
+  bool policy_carries_util_ = true;
 
   /// This switch's slice of the compiled dense addressing (owned by
   /// compiled_; cached to skip the double indirection on every packet).

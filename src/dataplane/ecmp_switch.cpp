@@ -35,6 +35,27 @@ void EcmpSwitch::handle_packet(sim::Simulator& sim, sim::Packet&& packet,
   sim.send_on_link(live[h % live.size()], std::move(packet));
 }
 
+topology::LinkId EcmpSwitch::fluid_next_hop(sim::Simulator& sim, topology::NodeId dst_switch,
+                                            const util::FiveTuple& tuple,
+                                            sim::RoutingState& routing) {
+  (void)routing;
+  const auto& hops = (*table_)[self_][dst_switch];
+  uint32_t live = 0;
+  for (topology::LinkId l : hops) {
+    if (!sim.link(l).down()) ++live;
+  }
+  if (live == 0) return topology::kInvalidLink;
+  // Same pick as handle_packet's `live[h % live.size()]`, found by counting
+  // instead of building the group vector.
+  const uint32_t pick = util::hash_five_tuple(tuple, /*seed=*/0x5bd1e995u) % live;
+  uint32_t idx = 0;
+  for (topology::LinkId l : hops) {
+    if (sim.link(l).down()) continue;
+    if (idx++ == pick) return l;
+  }
+  return topology::kInvalidLink;
+}
+
 std::vector<EcmpSwitch*> install_ecmp_network(sim::Simulator& sim) {
   // The table reflects the routing protocol's converged view: links already
   // down at install time are excluded (fail links before installing to model

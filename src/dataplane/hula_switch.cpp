@@ -281,6 +281,23 @@ void HulaSwitch::forward_data(Simulator& sim, Packet&& packet, LinkId in_link) {
   sim.send_on_link(nhop, std::move(packet));
 }
 
+LinkId HulaSwitch::fluid_next_hop(Simulator& sim, NodeId dst_switch,
+                                  const util::FiveTuple& tuple, sim::RoutingState& routing) {
+  (void)routing;
+  const sim::Time now = sim.now();
+  const uint32_t fid = util::hash_five_tuple(tuple);
+  const FlowletKey fkey{0, 0, fid};
+  FlowletEntry* pinned = flowlets_.lookup(fkey, now);
+  if (pinned != nullptr &&
+      failure_detector_.presumed_failed(sim.topo().link(pinned->nhop).reverse, now)) {
+    pinned = nullptr;  // read-only: the real flush waits for a packet
+  }
+  if (pinned != nullptr) return pinned->nhop;
+  auto it = best_.find(dst_switch);
+  if (it == best_.end() || !entry_usable(it->second, now)) return topology::kInvalidLink;
+  return it->second.nhop;
+}
+
 std::vector<HulaSwitch*> install_hula_network(sim::Simulator& sim, HulaOptions options) {
   std::vector<HulaSwitch*> switches;
   for (NodeId n = 0; n < sim.topo().num_nodes(); ++n) {

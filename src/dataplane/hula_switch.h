@@ -58,6 +58,11 @@ class HulaSwitch : public sim::Device {
   /// Port signal (triggered mode only): instant failure presumption on
   /// down; ToRs queue an immediate re-origination either way.
   void handle_link_state(sim::Simulator& sim, topology::LinkId link, bool up) override;
+  /// Hybrid engine route query: forward_data's flowlet/best-hop selection
+  /// without pinning, touching, or counting.
+  topology::LinkId fluid_next_hop(sim::Simulator& sim, topology::NodeId dst_switch,
+                                  const util::FiveTuple& tuple,
+                                  sim::RoutingState& routing) override;
   const char* kind_name() const override { return "hula"; }
 
   const HulaStats& stats() const { return stats_; }

@@ -20,6 +20,14 @@ class StaticSwitch : public sim::Device {
 
   void handle_packet(sim::Simulator& sim, sim::Packet&& packet,
                      topology::LinkId in_link) override;
+  topology::LinkId fluid_next_hop(sim::Simulator& sim, topology::NodeId dst_switch,
+                                  const util::FiveTuple& tuple,
+                                  sim::RoutingState& routing) override {
+    (void)sim;
+    (void)tuple;
+    (void)routing;
+    return (*table_)[self_][dst_switch];
+  }
   const char* kind_name() const override { return "shortest-path"; }
 
   const BaselineStats& stats() const { return stats_; }

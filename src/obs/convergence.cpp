@@ -31,6 +31,14 @@ void ConvergenceTracker::observe(const TraceRecord& r) {
     waves_.push_back(wave);
   }
 
+  // Trigger-wave width: distinct switches reacting with a triggered update
+  // inside the currently open wave (DESIGN.md §12).
+  if (r.ev == Ev::kProbeTrigger && r.sw != kNoField && !waves_.empty() &&
+      r.t >= waves_.back().start) {
+    waves_.back().trigger_switches.insert(r.sw);
+    ++waves_.back().trigger_records;
+  }
+
   if (r.ev == Ev::kRouteFlip && r.dst != kNoField) {
     DestState& d = dests_[r.dst];
     ++d.flips;
@@ -89,11 +97,15 @@ ConvergenceTracker::Report ConvergenceTracker::report() const {
     row.fault_class = wave.fault_class;
     row.flips = wave.flips;
     if (wave.last_flip >= 0) row.reconvergence_s = wave.last_flip - wave.start;
+    row.trigger_width = wave.trigger_switches.size();
+    row.trigger_records = wave.trigger_records;
     out.waves.push_back(row);
 
     ClassReport& cls = by_class[wave.fault_class];
     cls.fault_class = wave.fault_class;
     ++cls.waves;
+    cls.max_trigger_width = std::max(cls.max_trigger_width, row.trigger_width);
+    cls.mean_trigger_width += static_cast<double>(row.trigger_width);  // sum for now
     if (row.reconvergence_s >= 0) {
       ++cls.reacted;
       if (cls.min_s < 0 || row.reconvergence_s < cls.min_s) cls.min_s = row.reconvergence_s;
@@ -104,6 +116,7 @@ ConvergenceTracker::Report ConvergenceTracker::report() const {
   out.by_class.reserve(by_class.size());
   for (auto& [cls_id, cls] : by_class) {
     if (cls.reacted > 0) cls.mean_s /= static_cast<double>(cls.reacted);
+    if (cls.waves > 0) cls.mean_trigger_width /= static_cast<double>(cls.waves);
     out.by_class.push_back(cls);
   }
   return out;
@@ -133,7 +146,7 @@ std::string ConvergenceTracker::Report::to_string() const {
     out << line;
   }
   if (!waves.empty()) {
-    out << "  wave  t_start_s  class    flips  reconverge_s\n";
+    out << "  wave  t_start_s  class    flips  reconverge_s  trig_sw  trig_rec\n";
     for (size_t i = 0; i < waves.size(); ++i) {
       const WaveReport& w = waves[i];
       const std::string_view cls = fault_class_name(static_cast<FaultClass>(w.fault_class));
@@ -144,25 +157,33 @@ std::string ConvergenceTracker::Report::to_string() const {
       } else {
         std::snprintf(reconv, sizeof reconv, "%12s", "-");
       }
-      std::snprintf(line, sizeof line, "  %4zu  %9.6f  %-7.*s  %5llu  %s\n", i, w.start,
-                    static_cast<int>(cls.size()), cls.data(),
-                    static_cast<unsigned long long>(w.flips), reconv);
+      std::snprintf(line, sizeof line, "  %4zu  %9.6f  %-7.*s  %5llu  %s  %7llu  %8llu\n", i,
+                    w.start, static_cast<int>(cls.size()), cls.data(),
+                    static_cast<unsigned long long>(w.flips), reconv,
+                    static_cast<unsigned long long>(w.trigger_width),
+                    static_cast<unsigned long long>(w.trigger_records));
       out << line;
     }
-    out << "  class    waves  reacted  min_s     mean_s    max_s\n";
+    out << "  class    waves  reacted  min_s     mean_s    max_s     trig_w_mean  trig_w_max\n";
     for (const ClassReport& c : by_class) {
       const std::string_view cls = fault_class_name(static_cast<FaultClass>(c.fault_class));
-      char line[160];
+      char line[200];
       if (c.reacted > 0) {
-        std::snprintf(line, sizeof line, "  %-7.*s  %5llu  %7llu  %.6f  %.6f  %.6f\n",
+        std::snprintf(line, sizeof line,
+                      "  %-7.*s  %5llu  %7llu  %.6f  %.6f  %.6f  %11.1f  %10llu\n",
                       static_cast<int>(cls.size()), cls.data(),
                       static_cast<unsigned long long>(c.waves),
-                      static_cast<unsigned long long>(c.reacted), c.min_s, c.mean_s, c.max_s);
+                      static_cast<unsigned long long>(c.reacted), c.min_s, c.mean_s, c.max_s,
+                      c.mean_trigger_width,
+                      static_cast<unsigned long long>(c.max_trigger_width));
       } else {
-        std::snprintf(line, sizeof line, "  %-7.*s  %5llu  %7llu  %9s  %9s  %9s\n",
+        std::snprintf(line, sizeof line,
+                      "  %-7.*s  %5llu  %7llu  %9s  %9s  %9s  %11.1f  %10llu\n",
                       static_cast<int>(cls.size()), cls.data(),
                       static_cast<unsigned long long>(c.waves),
-                      static_cast<unsigned long long>(c.reacted), "-", "-", "-");
+                      static_cast<unsigned long long>(c.reacted), "-", "-", "-",
+                      c.mean_trigger_width,
+                      static_cast<unsigned long long>(c.max_trigger_width));
       }
       out << line;
     }

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,12 @@ class ConvergenceTracker : public TraceSink {
     uint32_t fault_class = kNoField;  ///< FaultClass, or kNoField (raw link event)
     uint64_t flips = 0;               ///< route flips inside the window
     double reconvergence_s = -1.0;    ///< last flip − start; -1 = no reaction
+    /// Trigger-wave width: DISTINCT switches that emitted a triggered update
+    /// (probe_trigger) inside the window — how far the event-driven control
+    /// plane's reaction spread through the fabric (DESIGN.md §12). 0 under
+    /// the periodic control plane.
+    uint64_t trigger_width = 0;
+    uint64_t trigger_records = 0;  ///< total probe_trigger records in the window
   };
 
   /// Reconvergence distribution of one fault class.
@@ -56,6 +63,8 @@ class ConvergenceTracker : public TraceSink {
     uint64_t waves = 0;      ///< waves of this class
     uint64_t reacted = 0;    ///< waves with at least one route flip
     double min_s = -1.0, mean_s = -1.0, max_s = -1.0;  ///< over reacted waves
+    uint64_t max_trigger_width = 0;   ///< widest trigger wave of this class
+    double mean_trigger_width = 0.0;  ///< over all waves of the class
   };
 
   struct Report {
@@ -91,6 +100,8 @@ class ConvergenceTracker : public TraceSink {
     uint32_t fault_class = kNoField;
     uint64_t flips = 0;
     double last_flip = -1.0;
+    std::set<uint32_t> trigger_switches;  ///< distinct probe_trigger emitters
+    uint64_t trigger_records = 0;
   };
 
   std::array<uint64_t, kNumEv> counts_{};

@@ -164,7 +164,12 @@ double Link::utilization() const {
   // unchanged traffic reads as more utilized, which is exactly the drift the
   // routing metric should see.
   const double window_bytes = capacity_bps() / 8.0 * util_tau_s_;
-  return window_bytes > 0 ? util_bytes_ * decay / window_bytes : 0.0;
+  const double packet_share = window_bytes > 0 ? util_bytes_ * decay / window_bytes : 0.0;
+  // Fluid flows carry no packets; their committed wire rate contributes as a
+  // steady capacity share so probe metrics see the hybrid engine's traffic.
+  const double cap = capacity_bps();
+  const double fluid_share = cap > 0 ? fluid_load_bps_ / cap : 0.0;
+  return packet_share + fluid_share;
 }
 
 }  // namespace contra::sim

@@ -90,8 +90,16 @@ class Link {
   const GrayParams& gray_params() const { return gray_; }
 
   /// Current utilization estimate in [0, ~1]: EWMA of transmitted bytes over
-  /// the decay window tau, normalized by capacity.
+  /// the decay window tau, normalized by capacity. Under the hybrid engine
+  /// the fluid load share is added on top (see set_fluid_load_bps).
   double utilization() const;
+
+  /// Hybrid engine (DESIGN.md §14): wire-rate fluid traffic currently
+  /// crossing this link. Fluid flows transmit no packets, so the EWMA never
+  /// sees them; this term feeds their load into utilization() so probes and
+  /// the routing metric react to the traffic the engine no longer simulates.
+  void set_fluid_load_bps(double bps) { fluid_load_bps_ = bps; }
+  double fluid_load_bps() const { return fluid_load_bps_; }
 
   uint64_t queue_bytes() const { return queue_bytes_; }
   /// Effective serialization rate (gray capacity derate included).
@@ -136,6 +144,7 @@ class Link {
   // are idempotent at any timestamp.
   double util_bytes_ = 0.0;
   Time util_updated_ = 0.0;
+  double fluid_load_bps_ = 0.0;  ///< hybrid engine's committed wire-rate load
 
   void note_drop(const Packet& packet);
 

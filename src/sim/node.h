@@ -40,6 +40,23 @@ class Device {
   /// the default is a no-op, matching stateless dataplanes.
   virtual void restart_control_plane() {}
 
+  /// Hybrid engine route query (DESIGN.md §14): the egress link a data packet
+  /// of `tuple` bound for `dst_switch` would take right now, *without* any
+  /// dataplane side effects (no flowlet creation, no pinning, no counters).
+  /// `routing` carries the per-flow stamp (tag/pid) across hops exactly as a
+  /// packet header would; implementations must update it the way forwarding
+  /// would. Returns kInvalidLink when this device has no usable route (the
+  /// fluid flow stalls and retries next quantum). The default refuses, which
+  /// disables hybrid mode for dataplanes without a read-only walk (SPAIN).
+  virtual topology::LinkId fluid_next_hop(Simulator& sim, topology::NodeId dst_switch,
+                                          const util::FiveTuple& tuple, RoutingState& routing) {
+    (void)sim;
+    (void)dst_switch;
+    (void)tuple;
+    (void)routing;
+    return topology::kInvalidLink;
+  }
+
   /// Human-readable name for diagnostics.
   virtual const char* kind_name() const = 0;
 };

@@ -8,6 +8,7 @@
 
 #include "obs/flow_tracker.h"
 #include "obs/profile.h"
+#include "sim/fluid.h"
 #include "obs/telemetry.h"
 #include "topology/generators.h"
 #include "util/strings.h"
@@ -276,6 +277,23 @@ void ParallelSimulator::execute_phase() {
 }
 
 void ParallelSimulator::run_until(Time end) {
+  if (fluid_ == nullptr) {
+    run_span(end);
+    return;
+  }
+  // Hybrid mode (DESIGN.md §14): split the window at fluid quantum ticks.
+  // Every shard is parked at exactly the tick time when advance_to runs, so
+  // the engine reads a consistent global link state and its completions are
+  // a pure function of the schedule — workers-invariant by construction.
+  for (;;) {
+    const Time wake = fluid_->next_wake();
+    run_span(std::min(end, wake));
+    if (!(wake <= end)) break;
+    fluid_->advance_to(wake);
+  }
+}
+
+void ParallelSimulator::run_span(Time end) {
   if (partition_.num_shards == 1) {
     // Exactly the serial engine: same queue, same insertion order — except
     // that snapshot ticks split the window (processing no extra events, so
@@ -497,10 +515,32 @@ std::string ParallelSimulator::merged_metrics_json(double t) const {
 
 ParallelTransport::ParallelTransport(ParallelSimulator& psim, TransportConfig config)
     : psim_(&psim), config_(config) {
+  // Hybrid mode builds ONE fluid engine spanning every shard (DESIGN.md
+  // §14): per-shard managers get hybrid=false configs (no per-shard engine)
+  // and route their bulk flows into the shared engine via use_fluid. The
+  // engine's ticks are driven by ParallelSimulator::run_until on the main
+  // thread, between phases.
+  TransportConfig shard_config = config;
+  shard_config.hybrid = false;
+  if (config.hybrid) {
+    FluidConfig fc;
+    fc.quantum_s = config.fluid_quantum_s;
+    fc.mss_bytes = config.mss_bytes;
+    fc.header_bytes = config.header_bytes;
+    fluid_ = std::make_unique<FluidEngine>(fc);
+    std::vector<Simulator*> sims;
+    sims.reserve(psim.num_shards());
+    for (uint32_t s = 0; s < psim.num_shards(); ++s) sims.push_back(&psim.shard_sim(s));
+    ParallelSimulator* ps = &psim;
+    fluid_->bind_shards(std::move(sims),
+                        [ps](topology::NodeId node) { return ps->shard_of_node(node); });
+    psim.set_fluid(fluid_.get());
+  }
   transports_.reserve(psim.num_shards());
   for (uint32_t s = 0; s < psim.num_shards(); ++s) {
-    auto transport = std::make_unique<TransportManager>(psim.shard_sim(s), config);
+    auto transport = std::make_unique<TransportManager>(psim.shard_sim(s), shard_config);
     transport->set_next_flow_id((static_cast<uint64_t>(s) << 48) + 1);
+    if (fluid_ != nullptr) transport->use_fluid(fluid_.get(), config.hybrid_sample_every);
     transports_.push_back(std::move(transport));
   }
 }
@@ -509,6 +549,7 @@ ParallelTransport::~ParallelTransport() {
   // Detach trackers before they die (the transports outlive this scope only
   // in teardown order edge cases; cheap insurance either way).
   for (uint32_t s = 0; s < transports_.size(); ++s) transports_[s]->set_flow_tracker(nullptr);
+  if (fluid_ != nullptr) psim_->set_fluid(nullptr);
 }
 
 void ParallelTransport::enable_flow_tracking(uint32_t path_sample_every) {

@@ -151,8 +151,16 @@ class ParallelSimulator {
 
   /// Advances every shard to `end` (inclusive, like Simulator::run_until)
   /// through the phase scheduler. Callable repeatedly with growing `end`,
-  /// exactly like the serial engine's run windows.
+  /// exactly like the serial engine's run windows. With a fluid engine
+  /// attached (set_fluid) the window is split at fluid quantum ticks: each
+  /// tick runs on the main thread while every shard is parked at exactly the
+  /// tick time, so hybrid results are workers-invariant by construction.
   void run_until(Time end);
+
+  /// Attaches the hybrid fluid engine (DESIGN.md §14). ParallelTransport
+  /// calls this when TransportConfig::hybrid is set; the engine must outlive
+  /// the runs (detach with nullptr before it dies).
+  void set_fluid(FluidEngine* fluid) { fluid_ = fluid; }
 
   Time now() const { return now_; }
 
@@ -175,6 +183,9 @@ class ParallelSimulator {
   /// grid), fills dispatch_, and idle-skips shards with no work. Returns
   /// false when nothing at or before `end` remains anywhere.
   bool plan_phase(Time end);
+  /// One scheduler window: phase loop + quiescent tail, no fluid ticks
+  /// (run_until splits windows at fluid wakes and calls this per span).
+  void run_span(Time end);
   /// Drain inbound mailboxes + run one shard to its planned target.
   void run_phase_shard(uint32_t s);
   /// Runs the planned dispatch list across the worker pool (or inline when
@@ -189,6 +200,7 @@ class ParallelSimulator {
   std::vector<std::unique_ptr<Shard>> shards_;
 
   Time now_ = 0.0;
+  FluidEngine* fluid_ = nullptr;  ///< hybrid mode (set_fluid); not owned
   Time next_boundary_ = 0.0;  ///< legacy grid mode: first unreached boundary
   uint64_t phases_ = 0;
   uint64_t solo_phases_ = 0;
@@ -261,11 +273,17 @@ class ParallelTransport {
   obs::FlowTracker& shard_flow_tracker(uint32_t shard) { return *trackers_[shard]; }
   obs::FlowTracker merged_flow_tracker() const;
 
+  /// The shared hybrid fluid engine (DESIGN.md §14); nullptr unless
+  /// config.hybrid. One engine spans every shard: it is bound to all shard
+  /// simulators and ticks on the main thread between phases.
+  FluidEngine* fluid_engine() const { return fluid_.get(); }
+
  private:
   TransportManager& for_host(HostId src);
 
   ParallelSimulator* psim_;
   TransportConfig config_;
+  std::unique_ptr<FluidEngine> fluid_;  ///< created when config.hybrid
   std::vector<std::unique_ptr<TransportManager>> transports_;
   std::vector<std::unique_ptr<obs::FlowTracker>> trackers_;
 };

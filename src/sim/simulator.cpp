@@ -98,6 +98,7 @@ void Simulator::fail_cable(topology::LinkId link) {
   if (links_.at(link)->down()) return;
   links_.at(link)->set_down(true);
   links_.at(topo_->link(link).reverse)->set_down(true);
+  ++link_state_generation_;
   telemetry_.metrics().add(telemetry_.core().link_down_events);
   if (telemetry_.tracing()) {
     obs::TraceRecord r;
@@ -116,6 +117,7 @@ void Simulator::restore_cable(topology::LinkId link) {
   if (!links_.at(link)->down()) return;  // idempotent (see fail_cable)
   links_.at(link)->set_down(false);
   links_.at(topo_->link(link).reverse)->set_down(false);
+  ++link_state_generation_;
   telemetry_.metrics().add(telemetry_.core().link_up_events);
   if (telemetry_.tracing()) {
     obs::TraceRecord r;
@@ -134,6 +136,7 @@ void Simulator::set_cable_state_quiet(topology::LinkId link, bool down) {
   if (links_.at(link)->down() == down) return;
   links_.at(link)->set_down(down);
   links_.at(topo_->link(link).reverse)->set_down(down);
+  ++link_state_generation_;
   notify_link_state(link, !down);
 }
 
@@ -162,6 +165,7 @@ void Simulator::set_cable_gray_quiet(topology::LinkId link, const GrayParams& gr
   reverse.salt = util::mix64(gray.salt + 1);
   links_.at(link)->set_gray(gray);
   links_.at(topo_->link(link).reverse)->set_gray(reverse);
+  ++link_state_generation_;  // capacity/latency changed: fluid flows re-walk
 }
 
 void Simulator::restart_switch(topology::NodeId node) {

@@ -112,6 +112,21 @@ class Simulator {
   Link& host_uplink(HostId host) { return *links_.at(host_uplink_.at(host)); }
   Link& host_downlink(HostId host) { return *links_.at(host_downlink_.at(host)); }
 
+  /// Dense link-id views for the hybrid engine: topology link ids are
+  /// [0, topo.num_links()); host up/downlinks follow in add_host order.
+  uint32_t num_total_links() const { return static_cast<uint32_t>(links_.size()); }
+  topology::LinkId host_uplink_id(HostId host) const {
+    return static_cast<topology::LinkId>(host_uplink_.at(host));
+  }
+  topology::LinkId host_downlink_id(HostId host) const {
+    return static_cast<topology::LinkId>(host_downlink_.at(host));
+  }
+
+  /// Bumped on every cable state transition (fail/restore/quiet replicas and
+  /// gray degradations). The hybrid engine polls it each quantum and re-walks
+  /// fluid flow paths when it moved — no cross-thread callbacks needed.
+  uint64_t link_state_generation() const { return link_state_generation_; }
+
   // ----- failure injection --------------------------------------------------
 
   /// Fails/restores both directions of the cable containing `link`.
@@ -175,6 +190,7 @@ class Simulator {
   std::function<void(HostId, Packet&&)> host_receiver_;
   std::function<bool(topology::NodeId)> install_filter_;
   uint64_t next_packet_id_ = 1;
+  uint64_t link_state_generation_ = 0;
   bool flow_telemetry_ = false;
 };
 

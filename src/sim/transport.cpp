@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/flow_tracker.h"
+#include "sim/fluid.h"
 #include "util/logging.h"
 
 namespace contra::sim {
@@ -13,9 +14,49 @@ TransportManager::TransportManager(Simulator& sim, TransportConfig config)
   sim_.set_host_receiver([this](HostId host, Packet&& packet) {
     on_host_receive(host, std::move(packet));
   });
+  if (config_.hybrid) {
+    FluidConfig fc;
+    fc.quantum_s = config_.fluid_quantum_s;
+    fc.mss_bytes = config_.mss_bytes;
+    fc.header_bytes = config_.header_bytes;
+    owned_fluid_ = std::make_unique<FluidEngine>(fc);
+    owned_fluid_->bind(sim_);
+    fluid_ = owned_fluid_.get();
+    fluid_sample_every_ = config_.hybrid_sample_every;
+  }
+}
+
+TransportManager::~TransportManager() = default;
+
+void TransportManager::use_fluid(FluidEngine* engine, uint32_t sample_every) {
+  fluid_ = engine;
+  fluid_sample_every_ = sample_every;
+}
+
+void TransportManager::on_fluid_complete(const FlowRecord& rec) {
+  sim_.telemetry().metrics().add(sim_.telemetry().core().flows_completed);
+  sim_.telemetry().metrics().observe(sim_.telemetry().core().fct_us, rec.fct() * 1e6);
+  if (flow_tracker_) flow_tracker_->on_complete(rec.flow_id, rec.end);
+  completed_.push_back(rec);
 }
 
 uint64_t TransportManager::start_flow(HostId src, HostId dst, uint64_t bytes, Time start_time) {
+  if (fluid_ != nullptr) {
+    // 1-in-n sampling on the submission counter: deterministic in submission
+    // order, independent of flow-id namespacing. n == 0 keeps every flow
+    // fluid; n == 1 degenerates to pure packet mode.
+    const uint64_t submission = fluid_submissions_++;
+    const bool packet_level = fluid_sample_every_ > 0 && submission % fluid_sample_every_ == 0;
+    if (!packet_level) {
+      const uint64_t flow_id = next_flow_id_++;
+      sim_.telemetry().metrics().add(sim_.telemetry().core().flows_started);
+      if (flow_tracker_) {
+        flow_tracker_->on_start(flow_id, src, dst, std::max<uint64_t>(bytes, 1), start_time);
+      }
+      fluid_->start_flow(this, flow_id, src, dst, std::max<uint64_t>(bytes, 1), start_time);
+      return flow_id;
+    }
+  }
   const uint64_t flow_id = next_flow_id_++;
   TcpSender sender;
   sender.src = src;

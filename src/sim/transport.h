@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,8 @@ class FlowTracker;
 }
 
 namespace contra::sim {
+
+class FluidEngine;
 
 struct TransportConfig {
   uint32_t mss_bytes = 1460;       ///< payload per data packet
@@ -31,6 +34,19 @@ struct TransportConfig {
   /// (requires links with an ECN threshold; see Link::set_ecn_threshold_bytes).
   bool dctcp = false;
   double dctcp_gain = 1.0 / 16;    ///< the DCTCP g parameter
+
+  /// Hybrid flow-level engine (DESIGN.md §14): bulk TCP flows advance as
+  /// fluid rates in a FluidEngine the manager creates and binds; probes,
+  /// flowlets, and a sampled flow subset stay packet-level. Serial engine
+  /// only — ParallelTransport builds one shared engine itself.
+  bool hybrid = false;
+  /// 1-in-n flow sampling: every n-th submitted TCP flow runs at packet
+  /// level anyway (keeps flowlet/queue/transport paths exercised and gives
+  /// parity tests a live reference). 0 = every flow fluid; 1 = every flow
+  /// packet-level (hybrid off in all but name).
+  uint32_t hybrid_sample_every = 64;
+  /// FluidConfig::quantum_s for the engine the manager creates.
+  double fluid_quantum_s = 64e-6;
 };
 
 struct FlowRecord {
@@ -48,8 +64,12 @@ struct FlowRecord {
 class TransportManager {
  public:
   TransportManager(Simulator& sim, TransportConfig config = {});
+  ~TransportManager();  ///< out of line: owned_fluid_ is an incomplete type here
 
-  /// Schedules a TCP-like flow; returns its flow id.
+  /// Schedules a TCP-like flow; returns its flow id. Under hybrid mode the
+  /// flow is handed to the fluid engine unless the 1-in-n sampler keeps it
+  /// packet-level (the sampling counter is per-manager submission order, so
+  /// the decision is deterministic and workers-invariant at fixed shards).
   uint64_t start_flow(HostId src, HostId dst, uint64_t bytes, Time start_time);
 
   /// Constant-rate UDP stream between [start, stop).
@@ -95,6 +115,19 @@ class TransportManager {
   /// (flow_id, seq); see obs::FlowTracker::sampled) records per-hop state,
   /// delivered to the tracker on arrival. 0 disables.
   void set_path_sample_every(uint32_t every) { path_sample_every_ = every; }
+
+  // ----- hybrid flow-level engine (DESIGN.md §14) ---------------------------
+
+  /// Routes bulk flows through an externally owned fluid engine (parallel
+  /// engine: one global engine shared by every shard's transport). Serial
+  /// callers normally just set TransportConfig::hybrid instead.
+  void use_fluid(FluidEngine* engine, uint32_t sample_every);
+  /// The engine in use (owned or external); nullptr in pure packet mode.
+  FluidEngine* fluid_engine() const { return fluid_; }
+
+  /// FluidEngine completion callback: records the analytic FCT exactly as
+  /// tcp_complete records a packet-level one (metrics, tracker, completed_).
+  void on_fluid_complete(const FlowRecord& rec);
 
  private:
   struct TcpSender {
@@ -170,6 +203,10 @@ class TransportManager {
 
   Simulator& sim_;
   TransportConfig config_;
+  std::unique_ptr<FluidEngine> owned_fluid_;  ///< created when config_.hybrid
+  FluidEngine* fluid_ = nullptr;              ///< owned or external (use_fluid)
+  uint32_t fluid_sample_every_ = 0;
+  uint64_t fluid_submissions_ = 0;  ///< 1-in-n sampling counter
   std::unordered_map<uint64_t, TcpSender> senders_;
   std::unordered_map<uint64_t, TcpReceiver> receivers_;
   std::unordered_map<uint64_t, UdpFlow> udp_flows_;

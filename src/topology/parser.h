@@ -19,6 +19,22 @@ namespace contra::topology {
 Topology parse_topology(std::string_view text, double default_capacity_bps = 10e9,
                         double default_delay_s = 1e-6);
 
+/// Parses a Topology Zoo GraphML document (topology-zoo.org corpus; see
+/// data/*.graphml). Node names come from the `label` attribute (node ids
+/// when absent or duplicated); capacities from `LinkSpeedRaw` (bps) when
+/// present; delays from the great-circle distance between the endpoints'
+/// `Latitude`/`Longitude` keys at fiber propagation speed (~2e8 m/s), with
+/// default_delay_s as the floor and the fallback when either endpoint has
+/// no coordinates. Duplicate edges and self-loops are dropped. Throws
+/// std::invalid_argument on malformed documents.
+Topology parse_graphml(std::string_view text, double default_capacity_bps = 10e9,
+                       double default_delay_s = 1e-6);
+
+/// Format sniffing: documents containing a `<graphml` element parse as
+/// GraphML, everything else as the edge-list format.
+Topology parse_topology_auto(std::string_view text, double default_capacity_bps = 10e9,
+                             double default_delay_s = 1e-6);
+
 /// Serializes a topology back to the text format (round-trips through
 /// parse_topology).
 std::string format_topology(const Topology& topo);

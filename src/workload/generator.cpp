@@ -1,9 +1,11 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "sim/parallel_simulator.h"
+#include "util/hash.h"
 
 namespace contra::workload {
 
@@ -36,6 +38,52 @@ std::vector<GeneratedFlow> generate_poisson(const EmpiricalCdf& sizes,
     }
   }
   return flows;
+}
+
+FlowStream::FlowStream(const EmpiricalCdf& sizes, std::vector<sim::HostId> senders,
+                       std::vector<sim::HostId> receivers, const WorkloadConfig& config)
+    : sizes_(&sizes), receivers_(std::move(receivers)), config_(config) {
+  if (senders.empty() || receivers_.empty()) {
+    throw std::invalid_argument("workload needs senders and receivers");
+  }
+  const double bits_per_flow = sizes.mean_bytes() * 8.0 * config.size_scale;
+  rate_per_sender_ = config.load * config.sender_capacity_bps / bits_per_flow;
+  heap_.reserve(senders.size());
+  for (uint32_t i = 0; i < senders.size(); ++i) {
+    SenderState s;
+    s.rng = util::Rng(util::hash_combine(config.seed, i));
+    s.host = senders[i];
+    s.index = i;
+    s.next_t = config.start + s.rng.exponential(rate_per_sender_);
+    if (s.next_t < config.start + config.duration) heap_.push_back(std::move(s));
+  }
+  std::make_heap(heap_.begin(), heap_.end(), ByArrival{});
+}
+
+sim::Time FlowStream::next_start() const {
+  return heap_.empty() ? std::numeric_limits<double>::infinity() : heap_.front().next_t;
+}
+
+bool FlowStream::next(GeneratedFlow* out) {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), ByArrival{});
+  SenderState& s = heap_.back();
+  out->src = s.host;
+  out->start = s.next_t;
+  out->bytes = std::max<uint64_t>(
+      1, static_cast<uint64_t>(sizes_->sample(s.rng) * config_.size_scale));
+  do {
+    out->dst = receivers_[static_cast<size_t>(
+        s.rng.uniform_int(0, static_cast<int64_t>(receivers_.size()) - 1))];
+  } while (out->dst == s.host && receivers_.size() > 1);
+  ++emitted_;
+  s.next_t += s.rng.exponential(rate_per_sender_);
+  if (s.next_t < config_.start + config_.duration) {
+    std::push_heap(heap_.begin(), heap_.end(), ByArrival{});
+  } else {
+    heap_.pop_back();
+  }
+  return true;
 }
 
 void submit(sim::TransportManager& transport, const std::vector<GeneratedFlow>& flows) {

@@ -44,6 +44,71 @@ std::vector<GeneratedFlow> generate_poisson(const EmpiricalCdf& sizes,
                                             const std::vector<sim::HostId>& receivers,
                                             const WorkloadConfig& config);
 
+/// Lazy variant of generate_poisson for production-scale runs: the same
+/// per-sender Poisson processes, materialized one flow at a time in global
+/// arrival order. Memory is O(senders) — one Rng and one next-arrival per
+/// sender in a min-heap — never O(flows), so a fat-tree k=16 / 1M-flow run
+/// holds no flow list at all. Each sender's stream is seeded with
+/// hash_combine(seed, sender index), so the sequence is deterministic but
+/// (deliberately) not the byte-identical shared-Rng order generate_poisson
+/// emits; pick one generator per experiment.
+class FlowStream {
+ public:
+  FlowStream(const EmpiricalCdf& sizes, std::vector<sim::HostId> senders,
+             std::vector<sim::HostId> receivers, const WorkloadConfig& config);
+
+  /// Next flow in arrival order; false once every sender's window ended.
+  bool next(GeneratedFlow* out);
+  /// Peek at the next arrival time without consuming (+inf when drained).
+  sim::Time next_start() const;
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct SenderState {
+    util::Rng rng{0};
+    sim::Time next_t = 0.0;
+    sim::HostId host = sim::kInvalidHost;
+    uint32_t index = 0;  ///< heap tie-break: sender submission order
+  };
+  struct ByArrival {
+    bool operator()(const SenderState& a, const SenderState& b) const {
+      if (a.next_t != b.next_t) return a.next_t > b.next_t;  // min-heap
+      return a.index > b.index;
+    }
+  };
+
+  const EmpiricalCdf* sizes_;
+  std::vector<sim::HostId> receivers_;
+  WorkloadConfig config_;
+  double rate_per_sender_ = 0.0;
+  std::vector<SenderState> heap_;  ///< min-heap (ByArrival) of live senders
+  uint64_t emitted_ = 0;
+};
+
+/// Pumps `stream` into the transport in submission windows of `chunk_s`
+/// simulated seconds, advancing the engine between windows: flows are only
+/// materialized just before their start time, so peak memory follows flows
+/// *in flight*, not flows *generated*. Drives `run(t)` — a callable that
+/// advances the engine to `t` (serial run_until or the parallel wrapper) —
+/// and always finishes with run(end). Returns the number of flows submitted.
+template <typename Transport, typename RunFn>
+uint64_t pump_stream(Transport& transport, FlowStream& stream, sim::Time end, sim::Time chunk_s,
+                     RunFn&& run) {
+  GeneratedFlow flow;
+  while (stream.next_start() < end) {
+    const sim::Time window = stream.next_start() + chunk_s;
+    while (stream.next_start() < window) {
+      stream.next(&flow);
+      transport.start_flow(flow.src, flow.dst, flow.bytes, flow.start);
+    }
+    // The engine may run right up to the last submitted start; everything
+    // later is still un-materialized.
+    run(std::min(end, window));
+  }
+  run(end);
+  return stream.emitted();
+}
+
 /// Registers every generated flow with the transport.
 void submit(sim::TransportManager& transport, const std::vector<GeneratedFlow>& flows);
 /// Parallel-engine variant: each flow is registered on the shard that owns

@@ -70,18 +70,21 @@ inline bool write_file(const std::string& path, const std::string& content) {
 }
 
 /// Topology selection shared by the tools:
-///   --topology <file>            edge-list file (topology/parser.h format)
+///   --topo-file <file>           edge-list or Topology Zoo GraphML file
+///                                (format sniffed; see topology/parser.h)
+///   --topology <file>            legacy spelling of --topo-file
 ///   --builtin fat-tree:<k> | leaf-spine:<l>x<s> | random:<n>:<seed> |
 ///             abilene | ring:<n> | grid:<r>x<c> | diamond
 inline std::optional<topology::Topology> load_topology(const Args& args, std::string* error) {
-  if (args.has("topology")) {
-    const auto text = read_file(args.get("topology"));
+  if (args.has("topo-file") || args.has("topology")) {
+    const std::string path = args.has("topo-file") ? args.get("topo-file") : args.get("topology");
+    const auto text = read_file(path);
     if (!text) {
-      *error = "cannot read topology file: " + args.get("topology");
+      *error = "cannot read topology file: " + path;
       return std::nullopt;
     }
     try {
-      return topology::parse_topology(*text);
+      return topology::parse_topology_auto(*text);
     } catch (const std::exception& e) {
       *error = e.what();
       return std::nullopt;

@@ -33,6 +33,7 @@
 #include "obs/trace.h"
 #include "oracle/audit.h"
 #include "sim/churn_engine.h"
+#include "sim/fluid.h"
 #include "sim/host.h"
 #include "sim/parallel_simulator.h"
 #include "sim/transport.h"
@@ -46,7 +47,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--topology <file> | --builtin <spec>]\n"
+               "usage: %s [--topo-file <file> | --builtin <spec>]\n"
+               "          (--topo-file reads edge lists and Topology Zoo GraphML --\n"
+               "           format is sniffed; GraphML geo-coordinates set link delays)\n"
                "          --plane contra|ecmp|hula|spain|sp\n"
                "          [--policy \"minimize(...)\"]   (contra only; default MU)\n"
                "          [--workload web-search|cache] [--load 0.5]\n"
@@ -59,6 +62,19 @@ int usage(const char* argv0) {
                "                                         periods between full refresh floods)\n"
                "          [--holddown-periods <p>]      (triggered per-(switch,dst) hold-down\n"
                "                                         window in probe periods; default 4)\n"
+               "          [--util-quantum <q>]          (advertised-utilization bucket size;\n"
+               "                                         default 1/64 -- coarser buckets damp\n"
+               "                                         util-drift trigger waves at scale)\n"
+               "          [--hybrid]                    (hybrid flow-level engine, DESIGN.md s14:\n"
+               "                                         bulk flows advance as fluid max-min\n"
+               "                                         rates; probes/flowlets/sampled flows\n"
+               "                                         stay packet-level)\n"
+               "          [--hybrid-sample-n <n>]       (1-in-n flows stay packet-level under\n"
+               "                                         --hybrid; default 64, 0 = none)\n"
+               "          [--fluid-quantum-us <t>]      (rate-recomputation quantum; default 64)\n"
+               "          [--stream]                    (lazy streaming workload generation --\n"
+               "                                         O(senders) memory, own deterministic\n"
+               "                                         arrival sequence; for 1M-flow runs)\n"
                "          [--workers <n>]               (sharded parallel engine; see\n"
                "                                         DESIGN.md s8 -- deterministic for any n)\n"
                "          [--shards <n>]                (override shard count; default 0 auto-\n"
@@ -261,6 +277,30 @@ void run_optimality_audit(const topology::Topology& topo, const compiler::Compil
   std::printf("audit   : %s\n", result.to_string().c_str());
 }
 
+/// TransportConfig from the hybrid-engine flags (shared by both engines).
+sim::TransportConfig transport_config_from_args(const tools::Args& args) {
+  sim::TransportConfig config;
+  config.hybrid = args.has("hybrid");
+  config.hybrid_sample_every = static_cast<uint32_t>(args.get_int("hybrid-sample-n", 64));
+  config.fluid_quantum_s = args.get_double("fluid-quantum-us", 64.0) * 1e-6;
+  return config;
+}
+
+void print_fluid_stats(const sim::FluidEngine* fluid) {
+  if (fluid == nullptr) return;
+  const sim::FluidStats& fs = fluid->stats();
+  std::printf("fluid   : %llu flows (%llu completed), %llu ticks, %llu recomputes, "
+              "%llu reroutes, %llu stalls, peak %llu active, digest %016llx\n",
+              static_cast<unsigned long long>(fs.flows_started),
+              static_cast<unsigned long long>(fs.flows_completed),
+              static_cast<unsigned long long>(fs.ticks),
+              static_cast<unsigned long long>(fs.recomputes),
+              static_cast<unsigned long long>(fs.reroutes),
+              static_cast<unsigned long long>(fs.stalls),
+              static_cast<unsigned long long>(fs.peak_active),
+              static_cast<unsigned long long>(fluid->completion_digest()));
+}
+
 std::vector<sim::HostId> attach_hosts_auto(sim::Simulator& sim) {
   std::vector<sim::HostId> hosts = sim::attach_hosts_to_fat_tree_edges(sim, 2);
   if (!hosts.empty()) return hosts;
@@ -411,6 +451,7 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
       options.keepalive_rounds = static_cast<uint32_t>(
           args.get_int("keepalive-rounds", static_cast<int64_t>(options.keepalive_rounds)));
       options.holddown_periods = args.get_double("holddown-periods", options.holddown_periods);
+      options.util_quantum = args.get_double("util-quantum", options.util_quantum);
       dataplane::install_contra_network(shard_sim, compiled, *evaluator, options);
     } else if (plane == "ecmp") {
       dataplane::install_ecmp_network(shard_sim);
@@ -431,7 +472,7 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   std::vector<sim::HostId> senders, receivers;
   for (sim::HostId h : hosts) (h % 2 ? receivers : senders).push_back(h);
 
-  sim::ParallelTransport transport(psim);
+  sim::ParallelTransport transport(psim, transport_config_from_args(args));
   if (tel.flow_tracking()) transport.enable_flow_tracking(tel.path_sample_every);
 
   workload::WorkloadConfig wl;
@@ -441,8 +482,14 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   wl.duration = duration_s;
   wl.seed = seed;
   wl.size_scale = size_scale;
-  const auto flows = workload::generate_poisson(sizes, senders, receivers, wl);
-  workload::submit(transport, flows);
+  std::unique_ptr<workload::FlowStream> stream;
+  std::vector<workload::GeneratedFlow> flows;
+  if (args.has("stream")) {
+    stream = std::make_unique<workload::FlowStream>(sizes, senders, receivers, wl);
+  } else {
+    flows = workload::generate_poisson(sizes, senders, receivers, wl);
+    workload::submit(transport, flows);
+  }
 
   // Per-shard link samplers over the links each shard owns (transmit side):
   // shard timelines are disjoint, so the merged timeline is workers-invariant.
@@ -473,7 +520,9 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
 
   if (!trace_path.empty()) {
     obs::RunManifest manifest = obs::RunManifest::make("contrasim");
-    manifest.topology = args.has("topology") ? args.get("topology") : args.get("builtin", "diamond");
+    manifest.topology = args.has("topo-file")   ? args.get("topo-file")
+                        : args.has("topology") ? args.get("topology")
+                                               : args.get("builtin", "diamond");
     manifest.nodes = topo.num_nodes();
     manifest.links = topo.num_links();
     manifest.plane = plane;
@@ -497,11 +546,18 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
   psim.start();
   psim.run_until(wl.start);
   const sim::LinkStats window_start = psim.aggregate_fabric_stats();
-  psim.run_until(wl.start + wl.duration);
+  if (stream) {
+    workload::pump_stream(transport, *stream, wl.start + wl.duration,
+                          std::max(wl.duration / 256, 1e-3),
+                          [&](sim::Time t) { psim.run_until(t); });
+  } else {
+    psim.run_until(wl.start + wl.duration);
+  }
   const sim::LinkStats window_end = psim.aggregate_fabric_stats();
   psim.run_until(wl.start + wl.duration + 0.25);
 
-  const auto fct = metrics::summarize_fct(transport.completed_flows(), flows.size());
+  const size_t num_flows = stream ? stream->emitted() : flows.size();
+  const auto fct = metrics::summarize_fct(transport.completed_flows(), num_flows);
   const auto overhead = metrics::make_overhead_report(window_end, window_start);
   std::printf("engine  : %u shards x %u workers (%u fused at partition), "
               "min cut %.3g us, %llu phases (%llu solo)\n",
@@ -509,11 +565,12 @@ int run_parallel(const tools::Args& args, const topology::Topology& topo, const 
               psim.epoch_width_s() * 1e6,
               static_cast<unsigned long long>(psim.epochs_completed()),
               static_cast<unsigned long long>(psim.solo_phases()));
-  std::printf("plane=%s load=%.0f%% flows=%zu\n", plane.c_str(), load * 100, flows.size());
+  std::printf("plane=%s load=%.0f%% flows=%zu\n", plane.c_str(), load * 100, num_flows);
   std::printf("FCT     : %s\n", fct.to_string().c_str());
   std::printf("traffic : %s\n", overhead.to_string().c_str());
   std::printf("drops   : %llu data packets\n",
               static_cast<unsigned long long>(psim.aggregate_fabric_stats().data_drops));
+  print_fluid_stats(transport.fluid_engine());
 
   if (metrics_out != nullptr) {
     *metrics_out << psim.merged_metrics_json(psim.now()) << "\n";
@@ -686,6 +743,7 @@ int main(int argc, char** argv) {
     options.keepalive_rounds = static_cast<uint32_t>(
         args.get_int("keepalive-rounds", static_cast<int64_t>(options.keepalive_rounds)));
     options.holddown_periods = args.get_double("holddown-periods", options.holddown_periods);
+    options.util_quantum = args.get_double("util-quantum", options.util_quantum);
     dataplane::install_contra_network(sim, compiled, *evaluator, options);
   } else if (plane == "ecmp") {
     dataplane::install_ecmp_network(sim);
@@ -709,7 +767,7 @@ int main(int argc, char** argv) {
   for (sim::HostId h : hosts) (h % 2 ? receivers : senders).push_back(h);
 
   obs::FlowTracker flow_tracker;  // declared before transport: outlives it
-  sim::TransportManager transport(sim);
+  sim::TransportManager transport(sim, transport_config_from_args(args));
   if (tel.flow_tracking()) {
     transport.set_flow_tracker(&flow_tracker);
     transport.set_path_sample_every(tel.path_sample_every);
@@ -723,8 +781,14 @@ int main(int argc, char** argv) {
   wl.duration = duration_s;
   wl.seed = seed;
   wl.size_scale = size_scale;
-  const auto flows = workload::generate_poisson(sizes, senders, receivers, wl);
-  workload::submit(transport, flows);
+  std::unique_ptr<workload::FlowStream> stream;
+  std::vector<workload::GeneratedFlow> flows;
+  if (args.has("stream")) {
+    stream = std::make_unique<workload::FlowStream>(sizes, senders, receivers, wl);
+  } else {
+    flows = workload::generate_poisson(sizes, senders, receivers, wl);
+    workload::submit(transport, flows);
+  }
 
   obs::LinkTimeline link_timeline;
   LinkSampler link_sampler;
@@ -761,7 +825,9 @@ int main(int argc, char** argv) {
 
   if (!trace_path.empty()) {
     obs::RunManifest manifest = obs::RunManifest::make("contrasim");
-    manifest.topology = args.has("topology") ? args.get("topology") : args.get("builtin", "diamond");
+    manifest.topology = args.has("topo-file")   ? args.get("topo-file")
+                        : args.has("topology") ? args.get("topology")
+                                               : args.get("builtin", "diamond");
     manifest.nodes = topo->num_nodes();
     manifest.links = topo->num_links();
     manifest.plane = plane;
@@ -786,17 +852,27 @@ int main(int argc, char** argv) {
   sim::LinkStats window_start, window_end;
   profiled("warmup", [&] { sim.run_until(wl.start); });
   window_start = sim.aggregate_fabric_stats();
-  profiled("traffic", [&] { sim.run_until(wl.start + wl.duration); });
+  profiled("traffic", [&] {
+    if (stream) {
+      workload::pump_stream(transport, *stream, wl.start + wl.duration,
+                            std::max(wl.duration / 256, 1e-3),
+                            [&](sim::Time t) { sim.run_until(t); });
+    } else {
+      sim.run_until(wl.start + wl.duration);
+    }
+  });
   window_end = sim.aggregate_fabric_stats();
   profiled("drain", [&] { sim.run_until(wl.start + wl.duration + 0.25); });
 
-  const auto fct = metrics::summarize_fct(transport.completed_flows(), flows.size());
+  const size_t num_flows = stream ? stream->emitted() : flows.size();
+  const auto fct = metrics::summarize_fct(transport.completed_flows(), num_flows);
   const auto overhead = metrics::make_overhead_report(window_end, window_start);
-  std::printf("plane=%s load=%.0f%% flows=%zu\n", plane.c_str(), load * 100, flows.size());
+  std::printf("plane=%s load=%.0f%% flows=%zu\n", plane.c_str(), load * 100, num_flows);
   std::printf("FCT     : %s\n", fct.to_string().c_str());
   std::printf("traffic : %s\n", overhead.to_string().c_str());
   std::printf("drops   : %llu data packets\n",
               static_cast<unsigned long long>(sim.aggregate_fabric_stats().data_drops));
+  print_fluid_stats(transport.fluid_engine());
 
   if (metrics_out != nullptr) {
     *metrics_out << sim.telemetry().metrics().snapshot_json(sim.now()) << "\n";

@@ -128,7 +128,14 @@ class Convergence:
             self.saw_churn_wave = True
         if anchor and (not self.waves or t > self.waves[-1]["t"]):
             cls = int(record.get("aux", 0)) if ev == "churn_wave" else None
-            self.waves.append({"t": t, "cls": cls, "flips": 0, "last_flip": None})
+            self.waves.append({"t": t, "cls": cls, "flips": 0, "last_flip": None,
+                               "trigger_sw": set(), "trigger_records": 0})
+        # Trigger-wave width: distinct switches emitting a triggered update
+        # inside the open wave (mirrors obs::ConvergenceTracker).
+        if (ev == "probe_trigger" and "sw" in record and self.waves
+                and t >= self.waves[-1]["t"]):
+            self.waves[-1]["trigger_sw"].add(record["sw"])
+            self.waves[-1]["trigger_records"] += 1
         if ev in ("link_down", "failure_detect") and self.first_failure is None:
             self.first_failure = t
         if ev != "route_flip" or "dst" not in record:
@@ -180,6 +187,8 @@ class Convergence:
             "flips": w["flips"],
             "reconvergence_s": (w["last_flip"] - w["t"]
                                 if w["last_flip"] is not None else None),
+            "trigger_width": len(w["trigger_sw"]),
+            "trigger_records": w["trigger_records"],
         } for i, w in enumerate(self.waves)]
 
     def class_table(self):
@@ -187,8 +196,10 @@ class Convergence:
         by_class = {}
         for row in self.wave_table():
             s = by_class.setdefault(row["fault_class"],
-                                    {"waves": 0, "reacted": 0, "values": []})
+                                    {"waves": 0, "reacted": 0, "values": [],
+                                     "widths": []})
             s["waves"] += 1
+            s["widths"].append(row["trigger_width"])
             if row["reconvergence_s"] is not None:
                 s["reacted"] += 1
                 s["values"].append(row["reconvergence_s"])
@@ -199,6 +210,8 @@ class Convergence:
             "min_s": min(s["values"]) if s["values"] else None,
             "mean_s": sum(s["values"]) / len(s["values"]) if s["values"] else None,
             "max_s": max(s["values"]) if s["values"] else None,
+            "mean_trigger_width": sum(s["widths"]) / len(s["widths"]),
+            "max_trigger_width": max(s["widths"]),
         } for cls, s in sorted(by_class.items())]
 
 
@@ -566,15 +579,18 @@ def print_report(path, summary, manifest, manifest_path, top):
     waves = convergence.wave_table()
     if waves:
         print("CHURN (per-wave reconvergence; DESIGN.md s13):")
-        print("  wave  t_start_s  class    flips  reconverge_s")
+        print("  wave  t_start_s  class    flips  reconverge_s  trig_sw  trig_rec")
         for w in waves:
             print(f"  {w['wave']:4d}  {w['t_start_s']:9.6f}  {w['fault_class']:7s}"
-                  f"  {w['flips']:5d}  {fmt_s(w['reconvergence_s']):>12s}")
-        print("  class    waves  reacted  min_s     mean_s    max_s")
+                  f"  {w['flips']:5d}  {fmt_s(w['reconvergence_s']):>12s}"
+                  f"  {w['trigger_width']:7d}  {w['trigger_records']:8d}")
+        print("  class    waves  reacted  min_s     mean_s    max_s"
+              "     trig_w_mean  trig_w_max")
         for c in convergence.class_table():
             print(f"  {c['fault_class']:7s}  {c['waves']:5d}  {c['reacted']:7d}"
                   f"  {fmt_s(c['min_s']):>8s}  {fmt_s(c['mean_s']):>8s}"
-                  f"  {fmt_s(c['max_s']):>8s}")
+                  f"  {fmt_s(c['max_s']):>8s}  {c['mean_trigger_width']:11.1f}"
+                  f"  {c['max_trigger_width']:10d}")
     if manifest is not None:
         print(f"manifest : {manifest_path}")
         print(f"  tool={manifest.get('tool')} topology={manifest.get('topology')}"
